@@ -1,0 +1,33 @@
+//! E3 — the cost of the focusing discipline (Appendix I / Theorem 22).
+//!
+//! The paper converts unfocused proofs to focused ones with a worst-case
+//! exponential blow-up.  We measure the dual observable: the size of the
+//! *focused* proofs our search engine produces on first-order implication
+//! chains of growing alternation depth, and verify they satisfy the
+//! FO-focusing side condition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrs_bench::fo_implication_chain;
+use nrs_fol::{fo_prove, is_fo_focused, FoProverConfig};
+use std::time::Duration;
+
+fn bench_focusing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_focused_proof_growth");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [1usize, 2, 4, 6] {
+        let (assumptions, goal) = fo_implication_chain(n);
+        let proof = fo_prove(&assumptions, &[goal.clone()], &FoProverConfig::default()).expect("provable");
+        println!(
+            "E3 row: chain_length={n} proof_size={} fo_focused={}",
+            proof.size(),
+            is_fo_focused(&proof)
+        );
+        group.bench_with_input(BenchmarkId::new("prove_chain", n), &n, |b, _| {
+            b.iter(|| fo_prove(&assumptions, &[goal.clone()], &FoProverConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_focusing);
+criterion_main!(benches);

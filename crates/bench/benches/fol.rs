@@ -1,0 +1,37 @@
+//! E7 — the first-order baseline: classical proof search and Craig
+//! interpolation on implication chains (the flat-relational setting that
+//! Segoufin–Vianu's theorem addresses and that the paper generalizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrs_bench::fo_implication_chain;
+use nrs_fol::{fo_interpolate, fo_prove, FoFormula, FoPartition, FoProverConfig};
+use std::time::Duration;
+
+fn bench_fol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_fo_baseline");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for n in [2usize, 4, 8] {
+        let (assumptions, goal) = fo_implication_chain(n);
+        let proof = fo_prove(&assumptions, &[goal.clone()], &FoProverConfig::default()).expect("provable");
+        let partition = FoPartition::with_left(
+            assumptions[..assumptions.len() / 2].iter().map(FoFormula::negate),
+        );
+        let theta = fo_interpolate(&proof, &partition).expect("interpolant");
+        println!(
+            "E7 row: chain_length={n} proof_size={} interpolant_size={}",
+            proof.size(),
+            theta.size()
+        );
+        group.bench_with_input(BenchmarkId::new("prove_and_interpolate", n), &n, |b, _| {
+            b.iter(|| {
+                let proof =
+                    fo_prove(&assumptions, &[goal.clone()], &FoProverConfig::default()).unwrap();
+                fo_interpolate(&proof, &partition).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fol);
+criterion_main!(benches);

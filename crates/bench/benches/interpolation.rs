@@ -1,0 +1,34 @@
+//! E1 — Theorem 4: interpolant extraction is linear in the proof size.
+//!
+//! Workload: equality chains of growing length.  We report the proof size,
+//! the interpolant size and the extraction time; the claim reproduced is that
+//! time and interpolant size grow (at most) linearly with the proof.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrs_bench::equality_chain;
+use nrs_interp::{interpolate, Partition};
+use nrs_prover::{prove_sequent, ProverConfig};
+use std::time::Duration;
+
+fn bench_interpolation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1_interpolation_linear_time");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for n in [4usize, 8, 16, 32] {
+        let (seq, left) = equality_chain(n);
+        let (proof, _) = prove_sequent(&seq, &ProverConfig::default()).expect("chain provable");
+        let partition = Partition::with_left([], left.clone());
+        let theta = interpolate(&proof, &partition).expect("interpolant");
+        println!(
+            "E1 row: n={n} proof_size={} interpolant_size={}",
+            proof.size(),
+            theta.size()
+        );
+        group.bench_with_input(BenchmarkId::new("interpolate", n), &n, |b, _| {
+            b.iter(|| interpolate(&proof, &partition).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpolation);
+criterion_main!(benches);

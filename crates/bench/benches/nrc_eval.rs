@@ -1,0 +1,51 @@
+//! E6 — the NRC evaluation substrate: flatten / select / join throughput on
+//! generated nested instances of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrs_delta0::typing::TypeEnv;
+use nrs_nrc::eval::eval;
+use nrs_nrc::spec::flatten_view;
+use nrs_nrc::{macros, Expr};
+use nrs_value::generate::{keyed_nested_instance, warehouse_instance};
+use nrs_value::{Name, NameGen, Type};
+use std::time::Duration;
+
+fn bench_nrc_eval(c: &mut Criterion) {
+    let row_ty = Type::prod(Type::Ur, Type::set(Type::Ur));
+    let env = TypeEnv::from_pairs([(Name::new("B"), Type::set(row_ty))]);
+    let mut gen = NameGen::new();
+    let flatten = flatten_view("B", "V").to_nrc(&env, &mut gen).unwrap();
+    // a self-join of the flat view on the key: pairs of items sharing an order
+    let join = Expr::big_union(
+        "a",
+        Expr::var("OrderItems"),
+        Expr::big_union(
+            "b",
+            Expr::var("OrderItems"),
+            macros::guard(
+                macros::eq_ur(Expr::proj1(Expr::var("a")), Expr::proj1(Expr::var("b"))),
+                Expr::singleton(Expr::pair(Expr::proj2(Expr::var("a")), Expr::proj2(Expr::var("b")))),
+                &mut gen,
+            ),
+        ),
+    );
+
+    let mut group = c.benchmark_group("E6_nrc_evaluation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for groups in [50usize, 200, 800] {
+        let nested = keyed_nested_instance(groups, 6, 7);
+        group.bench_with_input(BenchmarkId::new("flatten", groups), &groups, |b, _| {
+            b.iter(|| eval(&flatten, &nested).unwrap())
+        });
+    }
+    for orders in [50usize, 200] {
+        let wh = warehouse_instance(orders, 4, 11);
+        group.bench_with_input(BenchmarkId::new("key_self_join", orders), &orders, |b, _| {
+            b.iter(|| eval(&join, &wh).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nrc_eval);
+criterion_main!(benches);

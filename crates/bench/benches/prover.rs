@@ -1,0 +1,31 @@
+//! E4 — feasibility of proof search (the open problem of §7).
+//!
+//! Workload: Δ0 subset-inclusion chains and the determinacy goal of the
+//! partition problem.  We report states visited and proof sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrs_bench::subset_chain;
+use nrs_prover::{prove_sequent, ProverConfig};
+use std::time::Duration;
+
+fn bench_prover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4_proof_search");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for n in [1usize, 2, 3, 4] {
+        let seq = subset_chain(n);
+        let (proof, stats) = prove_sequent(&seq, &ProverConfig::default()).expect("provable");
+        println!(
+            "E4 row: chain_length={n} sequent_size={} proof_size={} states_visited={}",
+            seq.size(),
+            proof.size(),
+            stats.visited
+        );
+        group.bench_with_input(BenchmarkId::new("subset_chain", n), &n, |b, _| {
+            b.iter(|| prove_sequent(&seq, &ProverConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prover);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Shared workload builders for the benchmark harness (experiments E1–E7 of
+//! `EXPERIMENTS.md`).
+//!
+//! The paper has no empirical evaluation of its own — its quantitative content
+//! is a set of complexity claims.  Each function here builds a scaled family
+//! of inputs used by one of the Criterion benches to measure the corresponding
+//! claim: proof-size-linear interpolation, polynomial synthesis, prover
+//! scaling, rewriting-vs-recomputation, NRC evaluation throughput, and the
+//! first-order baseline.
+
+use nrs_delta0::{Formula, InContext, Term};
+use nrs_proof::Sequent;
+use nrs_value::Name;
+
+/// An equality chain `x0 = x1, …, x_{n-1} = x_n ⊢ x0 = x_n`, the workload of
+/// the interpolation experiment (E1).  Returns the sequent and the left part
+/// (the first half of the chain, negated as it appears in the sequent).
+pub fn equality_chain(n: usize) -> (Sequent, Vec<Formula>) {
+    let assumptions: Vec<Formula> = (0..n)
+        .map(|i| Formula::eq_ur(Term::var(format!("x{i}")), Term::var(format!("x{}", i + 1))))
+        .collect();
+    let goal = Formula::eq_ur("x0", Term::var(format!("x{n}")));
+    let seq = Sequent::two_sided(InContext::new(), assumptions.clone(), [goal]);
+    let left = assumptions[..n / 2].iter().map(Formula::negate).collect();
+    (seq, left)
+}
+
+/// A subset-inclusion chain `A0 ⊆ A1, …, A_{n-1} ⊆ A_n ⊢ A0 ⊆ A_n` with the
+/// Δ0 inclusion macro — a quantified family for the prover experiment (E4).
+pub fn subset_chain(n: usize) -> Sequent {
+    let mut gen = nrs_value::NameGen::new();
+    let ur = nrs_value::Type::Ur;
+    let assumptions: Vec<Formula> = (0..n)
+        .map(|i| {
+            nrs_delta0::macros::subset(
+                &ur,
+                &Term::var(format!("A{i}")),
+                &Term::var(format!("A{}", i + 1)),
+                &mut gen,
+            )
+        })
+        .collect();
+    let goal = nrs_delta0::macros::subset(
+        &ur,
+        &Term::var("A0"),
+        &Term::var(format!("A{n}")),
+        &mut gen,
+    );
+    Sequent::two_sided(InContext::new(), assumptions, [goal])
+}
+
+/// A first-order implication chain `P0(c), ∀x (P_i(x) → P_{i+1}(x)) ⊢ P_n(c)`
+/// used by the FO baseline experiments (E3 and E7).
+pub fn fo_implication_chain(n: usize) -> (Vec<nrs_fol::FoFormula>, nrs_fol::FoFormula) {
+    use nrs_fol::FoFormula;
+    let mut assumptions = vec![FoFormula::atom("P0", vec!["c"])];
+    for i in 0..n {
+        assumptions.push(FoFormula::forall(
+            "x",
+            FoFormula::implies(
+                FoFormula::Atom(format!("P{i}"), vec!["x".into()]),
+                FoFormula::Atom(format!("P{}", i + 1), vec!["x".into()]),
+            ),
+        ));
+    }
+    let goal = FoFormula::Atom(format!("P{n}"), vec!["c".into()]);
+    (assumptions, goal)
+}
+
+/// The view names of the partition rewriting problem (E2/E5 workloads reuse
+/// the constructors exported by `nrs-synthesis`).
+pub fn partition_view_names() -> Vec<Name> {
+    vec![Name::new("V1"), Name::new("V2")]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_well_formed_workloads() {
+        let (seq, left) = equality_chain(4);
+        assert!(seq.rhs().len() >= 5);
+        assert_eq!(left.len(), 2);
+        let s = subset_chain(2);
+        assert!(s.size() > 10);
+        let (assumptions, goal) = fo_implication_chain(3);
+        assert_eq!(assumptions.len(), 4);
+        assert!(goal.to_string().contains("P3"));
+        assert_eq!(partition_view_names().len(), 2);
+    }
+}

@@ -1,0 +1,608 @@
+//! The main synthesis pipeline (Theorems 2 and 10).
+
+use crate::collect::{collect_parameters, CollectInput};
+use nrs_delta0::macros as d0;
+use nrs_delta0::typing::TypeEnv;
+use nrs_delta0::{Formula, InContext, LogicError, MemAtom, Term};
+use nrs_interp::partition::Partition;
+use nrs_interp::{interpolate, InterpolationError};
+use nrs_nrc::{compile, eval as nrc_eval, macros as nrc_macros, Expr, NrcError};
+use nrs_proof::{ProofError, Sequent};
+use nrs_prover::{prove_sequent, ProverConfig};
+use nrs_value::{Instance, Name, NameGen, Type, Value};
+
+/// An implicit Δ0 specification `φ(ī, ā, o)` of an output object in terms of
+/// input objects, possibly using auxiliary objects.
+#[derive(Debug, Clone)]
+pub struct ImplicitSpec {
+    /// The Δ0 specification.
+    pub formula: Formula,
+    /// The input objects `ī` the explicit definition may use.
+    pub inputs: Vec<(Name, Type)>,
+    /// Auxiliary objects mentioned by the specification (neither inputs nor
+    /// the output); they are duplicated in the primed copy.
+    pub auxiliaries: Vec<(Name, Type)>,
+    /// The output object `o` and its type.
+    pub output: (Name, Type),
+}
+
+impl ImplicitSpec {
+    /// The typing environment induced by the declaration.
+    pub fn env(&self) -> TypeEnv {
+        let mut env = TypeEnv::new();
+        for (n, t) in self.inputs.iter().chain(self.auxiliaries.iter()) {
+            env.insert(n.clone(), t.clone());
+        }
+        env.insert(self.output.0.clone(), self.output.1.clone());
+        env
+    }
+
+    /// The "primed" copy `φ(ī, ā', o')`: inputs are shared, the output and the
+    /// auxiliaries are replaced by fresh primed variables.
+    pub fn primed(&self) -> (Formula, Name, Vec<(Name, Type)>) {
+        let primed_out = Name::new(format!("{}__prime", self.output.0));
+        let mut formula = self.formula.subst_var(&self.output.0, &Term::Var(primed_out.clone()));
+        let mut primed_aux = Vec::new();
+        for (a, t) in &self.auxiliaries {
+            let pa = Name::new(format!("{a}__prime"));
+            formula = formula.subst_var(a, &Term::Var(pa.clone()));
+            primed_aux.push((pa, t.clone()));
+        }
+        (formula, primed_out, primed_aux)
+    }
+}
+
+/// Configuration of the synthesis pipeline.
+#[derive(Debug, Clone)]
+pub struct SynthesisConfig {
+    /// Budgets for the proof-search engine used on every sub-goal.
+    pub prover: ProverConfig,
+    /// Whether to establish the top-level determinacy entailment first (a
+    /// sanity check that also reproduces the paper's input assumption).
+    pub check_determinacy: bool,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig { prover: ProverConfig::default(), check_determinacy: false }
+    }
+}
+
+/// Errors of the synthesis pipeline.
+#[derive(Debug, Clone)]
+pub enum SynthesisError {
+    /// A required sequent could not be proven within the prover's budgets;
+    /// the specification may not be an implicit definition, or the goal may be
+    /// beyond the bounded search.
+    ProofNotFound {
+        /// What the sequent was needed for.
+        purpose: String,
+        /// The underlying prover error.
+        error: ProofError,
+    },
+    /// Interpolation failed on a found proof.
+    Interpolation(String),
+    /// The parameter-collection extraction failed on a found proof.
+    Extraction(String),
+    /// Types or expressions were inconsistent.
+    Ill(String),
+}
+
+impl std::fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthesisError::ProofNotFound { purpose, error } => {
+                write!(f, "no proof found for {purpose}: {error}")
+            }
+            SynthesisError::Interpolation(m) => write!(f, "interpolation failed: {m}"),
+            SynthesisError::Extraction(m) => write!(f, "parameter collection failed: {m}"),
+            SynthesisError::Ill(m) => write!(f, "inconsistent synthesis input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+impl From<InterpolationError> for SynthesisError {
+    fn from(e: InterpolationError) -> Self {
+        SynthesisError::Interpolation(e.to_string())
+    }
+}
+
+impl From<NrcError> for SynthesisError {
+    fn from(e: NrcError) -> Self {
+        SynthesisError::Ill(e.to_string())
+    }
+}
+
+impl From<LogicError> for SynthesisError {
+    fn from(e: LogicError) -> Self {
+        SynthesisError::Ill(e.to_string())
+    }
+}
+
+/// Statistics and provenance collected while synthesizing.
+#[derive(Debug, Clone, Default)]
+pub struct SynthesisReport {
+    /// Number of sequents proved by the search engine.
+    pub goals_proved: usize,
+    /// Total search states visited across all goals.
+    pub states_visited: usize,
+    /// Sizes of the proofs found, in the order they were needed.
+    pub proof_sizes: Vec<usize>,
+    /// Human-readable notes (which steps ran, which fallbacks were taken).
+    pub notes: Vec<String>,
+}
+
+/// The result of synthesis: an explicit NRC definition of the output over the
+/// inputs, together with provenance.
+#[derive(Debug, Clone)]
+pub struct SynthesizedDefinition {
+    /// The synthesized NRC expression; its free variables are input names.
+    pub expr: Expr,
+    /// The specification it was synthesized from.
+    pub spec: ImplicitSpec,
+    /// Provenance and statistics.
+    pub report: SynthesisReport,
+}
+
+impl SynthesizedDefinition {
+    /// Evaluate the definition on an instance binding the input objects.
+    pub fn evaluate(&self, instance: &Instance) -> Result<Value, SynthesisError> {
+        nrc_eval::eval(&self.expr, instance).map_err(SynthesisError::from)
+    }
+
+    /// Check the definition against an instance that binds the inputs, the
+    /// auxiliaries and the output: if the instance satisfies the
+    /// specification, the evaluated definition must equal the bound output.
+    ///
+    /// Returns `Ok(None)` when the instance does not satisfy the
+    /// specification (nothing to check), and `Ok(Some(result))` otherwise.
+    pub fn check_against(&self, instance: &Instance) -> Result<Option<bool>, SynthesisError> {
+        let holds = nrs_delta0::eval::eval_formula(&self.spec.formula, instance)?;
+        if !holds {
+            return Ok(None);
+        }
+        let produced = self.evaluate(instance)?;
+        let expected = instance
+            .get(&self.spec.output.0)
+            .map_err(|e| SynthesisError::Ill(e.to_string()))?;
+        Ok(Some(&produced == expected))
+    }
+}
+
+/// Synthesize an explicit NRC definition from an implicit Δ0 specification
+/// (Theorem 2).
+pub fn synthesize(
+    spec: &ImplicitSpec,
+    cfg: &SynthesisConfig,
+) -> Result<SynthesizedDefinition, SynthesisError> {
+    let mut report = SynthesisReport::default();
+    let mut gen = NameGen::avoiding(
+        spec.formula
+            .free_vars()
+            .iter()
+            .chain(spec.inputs.iter().map(|(n, _)| n))
+            .chain(std::iter::once(&spec.output.0)),
+    );
+    let (phi_primed, primed_out, primed_aux) = spec.primed();
+    let mut env = spec.env();
+    env.insert(primed_out.clone(), spec.output.1.clone());
+    for (n, t) in &primed_aux {
+        env.insert(n.clone(), t.clone());
+    }
+
+    if cfg.check_determinacy {
+        let goal = d0::equiv(
+            &spec.output.1,
+            &Term::Var(spec.output.0.clone()),
+            &Term::Var(primed_out.clone()),
+            &mut gen,
+        );
+        let seq = Sequent::two_sided(
+            InContext::new(),
+            [spec.formula.clone(), phi_primed.clone()],
+            [goal],
+        );
+        prove_goal(&seq, &cfg.prover, "the determinacy of the output", &mut report)?;
+        report.notes.push("determinacy established by proof search".into());
+    }
+
+    let ctx = Ctx {
+        phi: spec.formula.clone(),
+        phi_primed,
+        primed_out,
+        inputs: spec.inputs.clone(),
+        cfg: cfg.clone(),
+    };
+    let expr = synth_output(
+        &ctx,
+        &spec.output.0,
+        &spec.output.1,
+        &env,
+        &mut gen,
+        &mut report,
+    )?;
+    Ok(SynthesizedDefinition { expr, spec: spec.clone(), report })
+}
+
+/// Immutable data threaded through the type-directed recursion.
+struct Ctx {
+    phi: Formula,
+    phi_primed: Formula,
+    primed_out: Name,
+    inputs: Vec<(Name, Type)>,
+    cfg: SynthesisConfig,
+}
+
+fn prove_goal(
+    seq: &Sequent,
+    prover: &ProverConfig,
+    purpose: &str,
+    report: &mut SynthesisReport,
+) -> Result<nrs_proof::Proof, SynthesisError> {
+    match prove_sequent(seq, prover) {
+        Ok((proof, stats)) => {
+            report.goals_proved += 1;
+            report.states_visited += stats.visited;
+            report.proof_sizes.push(proof.size());
+            Ok(proof)
+        }
+        Err(error) => Err(SynthesisError::ProofNotFound { purpose: purpose.to_string(), error }),
+    }
+}
+
+/// The Theorem 2 case analysis on the output type.
+fn synth_output(
+    ctx: &Ctx,
+    output: &Name,
+    out_ty: &Type,
+    env: &TypeEnv,
+    gen: &mut NameGen,
+    report: &mut SynthesisReport,
+) -> Result<Expr, SynthesisError> {
+    match out_ty {
+        Type::Unit => {
+            report.notes.push("output has type Unit: the definition is ()".into());
+            Ok(Expr::Unit)
+        }
+        Type::Ur => {
+            // κ(ī, o) via interpolation of  φ ⊢ φ' → o = o'
+            let goal = Formula::eq_ur(Term::Var(output.clone()), Term::Var(ctx.primed_out.clone()));
+            let seq = Sequent::two_sided(
+                InContext::new(),
+                [ctx.phi.clone(), ctx.phi_primed.clone()],
+                [goal.clone()],
+            );
+            let proof = prove_goal(&seq, &ctx.cfg.prover, "the Ur-output interpolation goal", report)?;
+            let partition = Partition::with_left([], [ctx.phi.negate()]);
+            let kappa = interpolate(&proof, &partition)?;
+            report.notes.push(format!("Ur-output interpolant: {kappa}"));
+            // E := get_𝔘({ o ∈ atoms(ī) | κ })
+            let atoms = nrc_macros::atoms_of_inputs(&ctx.inputs, gen);
+            let filtered =
+                compile::comprehension(output.clone(), atoms, &Type::Ur, &kappa, env, gen)?;
+            Ok(Expr::get(Type::Ur, filtered))
+        }
+        Type::Prod(t1, t2) => {
+            // φ̃(ī, ā, o1, o2) := φ(ī, ā, ⟨o1, o2⟩), then synthesize each component
+            let o1 = gen.fresh(&format!("{output}_1"));
+            let o2 = gen.fresh(&format!("{output}_2"));
+            let pair = Term::pair(Term::Var(o1.clone()), Term::Var(o2.clone()));
+            let phi1 = ctx.phi.subst_var(output, &pair).beta_normalize();
+            let spec1 = ImplicitSpec {
+                formula: phi1.clone(),
+                inputs: ctx.inputs.clone(),
+                auxiliaries: collect_aux(&phi1, &ctx.inputs, &o1, env, &o2, (**t2).clone()),
+                output: (o1.clone(), (**t1).clone()),
+            };
+            let spec2 = ImplicitSpec {
+                formula: phi1.clone(),
+                inputs: ctx.inputs.clone(),
+                auxiliaries: collect_aux(&phi1, &ctx.inputs, &o2, env, &o1, (**t1).clone()),
+                output: (o2.clone(), (**t2).clone()),
+            };
+            report.notes.push("product output: synthesizing the two components".into());
+            let d1 = synthesize(&spec1, &ctx.cfg)?;
+            let d2 = synthesize(&spec2, &ctx.cfg)?;
+            merge_report(report, d1.report);
+            merge_report(report, d2.report);
+            Ok(Expr::pair(d1.expr, d2.expr))
+        }
+        Type::Set(elem_ty) => {
+            // Theorem 10: a superset expression for the members of the output…
+            let r = gen.fresh("r");
+            let ctx_atoms = vec![MemAtom::new(Term::Var(r.clone()), Term::Var(output.clone()))];
+            let mut env_r = env.clone();
+            env_r.insert(r.clone(), (**elem_ty).clone());
+            let superset = collect_answers(
+                ctx,
+                &ctx_atoms,
+                &Term::Var(r.clone()),
+                elem_ty,
+                1,
+                &env_r,
+                gen,
+                report,
+            )?;
+            // …and the interpolant κ(ī, r) that filters it down to exactly o.
+            let goal = Formula::exists(
+                gen.fresh("rp"),
+                Term::Var(ctx.primed_out.clone()),
+                Formula::True,
+            );
+            // build ∃ r' ∈ o' . r ≡ r' properly (fresh bound variable)
+            let rp = match &goal {
+                Formula::Exists { var, .. } => var.clone(),
+                _ => unreachable!(),
+            };
+            let goal = Formula::exists(
+                rp.clone(),
+                Term::Var(ctx.primed_out.clone()),
+                d0::equiv(elem_ty, &Term::Var(r.clone()), &Term::Var(rp), gen),
+            );
+            let seq = Sequent::two_sided(
+                InContext::from_atoms(ctx_atoms.clone()),
+                [ctx.phi.clone(), ctx.phi_primed.clone()],
+                [goal.clone()],
+            );
+            let proof =
+                prove_goal(&seq, &ctx.cfg.prover, "the membership interpolation goal", report)?;
+            let partition =
+                Partition::with_left(ctx_atoms.iter().cloned(), [ctx.phi.negate()]);
+            let kappa = interpolate(&proof, &partition)?;
+            report.notes.push(format!("membership interpolant: {kappa}"));
+            let filtered =
+                compile::comprehension(r.clone(), superset, elem_ty, &kappa, &env_r, gen)?;
+            Ok(filtered)
+        }
+    }
+}
+
+/// The auxiliaries of a derived specification: every free variable of the
+/// formula that is neither an input nor the output (including the sibling
+/// component in the product case).
+fn collect_aux(
+    phi: &Formula,
+    inputs: &[(Name, Type)],
+    output: &Name,
+    env: &TypeEnv,
+    sibling: &Name,
+    sibling_ty: Type,
+) -> Vec<(Name, Type)> {
+    let mut out = Vec::new();
+    for v in phi.free_vars() {
+        if &v == output || inputs.iter().any(|(n, _)| n == &v) {
+            continue;
+        }
+        if &v == sibling {
+            out.push((v, sibling_ty.clone()));
+        } else if let Some(t) = env.get(&v) {
+            out.push((v, t.clone()));
+        }
+    }
+    out
+}
+
+fn merge_report(into: &mut SynthesisReport, from: SynthesisReport) {
+    into.goals_proved += from.goals_proved;
+    into.states_visited += from.states_visited;
+    into.proof_sizes.extend(from.proof_sizes);
+    into.notes.extend(from.notes);
+}
+
+/// Theorem 10: an NRC expression over the inputs that is guaranteed to contain
+/// the value of `subject` (a term denoting a piece of the output) as a member,
+/// in every model of the specification pair.
+#[allow(clippy::too_many_arguments)]
+fn collect_answers(
+    ctx: &Ctx,
+    ctx_atoms: &[MemAtom],
+    subject: &Term,
+    subject_ty: &Type,
+    depth: usize,
+    env: &TypeEnv,
+    gen: &mut NameGen,
+    report: &mut SynthesisReport,
+) -> Result<Expr, SynthesisError> {
+    match subject_ty {
+        Type::Unit => Ok(Expr::singleton(Expr::Unit)),
+        Type::Ur => Ok(nrc_macros::atoms_of_inputs(&ctx.inputs, gen)),
+        Type::Prod(t1, t2) => {
+            let e1 = collect_answers(
+                ctx,
+                ctx_atoms,
+                &Term::proj1(subject.clone()).beta_normalize(),
+                t1,
+                depth,
+                env,
+                gen,
+                report,
+            )?;
+            let e2 = collect_answers(
+                ctx,
+                ctx_atoms,
+                &Term::proj2(subject.clone()).beta_normalize(),
+                t2,
+                depth,
+                env,
+                gen,
+                report,
+            )?;
+            Ok(nrc_macros::product(e1, e2, gen))
+        }
+        Type::Set(inner) => {
+            // (a) superset of the members, one level down (the Lemma 6 step)
+            let z = gen.fresh("z");
+            let mut deeper_atoms = ctx_atoms.to_vec();
+            deeper_atoms.push(MemAtom::new(Term::Var(z.clone()), subject.clone()));
+            let mut env_z = env.clone();
+            env_z.insert(z.clone(), (**inner).clone());
+            let member_superset =
+                collect_answers(ctx, &deeper_atoms, &Term::Var(z), inner, depth + 1, &env_z, gen, report)?;
+
+            // (b) the parameter-collection goal (the Lemma 7 step):
+            //     ∃y ∈^p o' . ∀w ∈ a . (w ∈̂ subject ↔ w ∈̂ y)
+            let a = gen.fresh("a");
+            let mut env_a = env.clone();
+            env_a.insert(a.clone(), subject_ty.clone());
+            let w = gen.fresh("w");
+            let y = gen.fresh("y");
+            let lam = d0::member_hat(inner, &Term::Var(w.clone()), subject, gen);
+            let rho = d0::member_hat(inner, &Term::Var(w.clone()), &Term::Var(y.clone()), gen);
+            let body = Formula::forall(
+                w.clone(),
+                Term::Var(a.clone()),
+                d0::iff(lam.clone(), rho.clone()),
+            );
+            let path = nrs_value::SubtypePath(vec![nrs_value::SubtypeStep::Member; depth]);
+            let goal = d0::exists_path(&y, &path, &Term::Var(ctx.primed_out.clone()), body, gen);
+            let seq = Sequent::two_sided(
+                InContext::from_atoms(ctx_atoms.iter().cloned()),
+                [ctx.phi.clone(), ctx.phi_primed.clone()],
+                [goal.clone()],
+            );
+            let proof = prove_goal(
+                &seq,
+                &ctx.cfg.prover,
+                &format!("the parameter-collection goal at nesting depth {depth}"),
+                report,
+            )?;
+            let partition =
+                Partition::with_left(ctx_atoms.iter().cloned(), [ctx.phi.negate()]);
+            let input = CollectInput {
+                goal,
+                c: a.clone(),
+                elem_ty: (**inner).clone(),
+                partition,
+                env: env_a.clone(),
+            };
+            let collected = collect_parameters(&proof, &input, gen)?;
+            report
+                .notes
+                .push(format!("parameter collection at depth {depth}: θ = {}", collected.theta));
+            // (c) instantiate the common parameter a with the member superset
+            Ok(collected.expr.subst(&a, &member_superset))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrs_value::generate::GenConfig;
+
+    /// The "union split" scenario: views V1 = {x ∈ S | x ∈̂ F},
+    /// V2 = {x ∈ S | ¬ x ∈̂ F} determine S (the rewriting is V1 ∪ V2).
+    fn union_split_spec() -> ImplicitSpec {
+        let mut gen = NameGen::new();
+        let ur = Type::Ur;
+        let in_f = |x: &str, g: &mut NameGen| {
+            d0::member_hat(&ur, &Term::var(x), &Term::var("F"), g)
+        };
+        let view = |vname: &str, positive: bool, gen: &mut NameGen| {
+            let filt = if positive { in_f("x", gen) } else { in_f("x", gen).negate() };
+            let sound = Formula::forall(
+                "zv",
+                Term::var(vname),
+                Formula::exists("x", "S", Formula::and(filt.clone(), Formula::eq_ur("zv", "x"))),
+            );
+            let complete = Formula::forall(
+                "x",
+                "S",
+                d0::implies(filt, d0::member_hat(&ur, &Term::var("x"), &Term::var(vname), gen)),
+            );
+            Formula::and(sound, complete)
+        };
+        let formula = Formula::and(view("V1", true, &mut gen), view("V2", false, &mut gen));
+        ImplicitSpec {
+            formula,
+            inputs: vec![
+                (Name::new("V1"), Type::set(Type::Ur)),
+                (Name::new("V2"), Type::set(Type::Ur)),
+            ],
+            auxiliaries: vec![(Name::new("F"), Type::set(Type::Ur))],
+            output: (Name::new("S"), Type::set(Type::Ur)),
+        }
+    }
+
+    fn union_split_instance(seed: u64) -> Instance {
+        let cfg = GenConfig { universe: 8, max_set_size: 5, seed };
+        let s = nrs_value::generate::random_value(&Type::set(Type::Ur), &cfg);
+        let f = nrs_value::generate::random_value(
+            &Type::set(Type::Ur),
+            &GenConfig { seed: seed + 77, ..cfg },
+        );
+        let v1 = s.intersection(&f).unwrap();
+        let v2 = s.difference(&f).unwrap();
+        Instance::from_bindings([
+            (Name::new("S"), s),
+            (Name::new("F"), f),
+            (Name::new("V1"), v1),
+            (Name::new("V2"), v2),
+        ])
+    }
+
+    #[test]
+    fn union_split_synthesis_is_correct_on_instances() {
+        let spec = union_split_spec();
+        let cfg = SynthesisConfig { check_determinacy: true, ..Default::default() };
+        let def = synthesize(&spec, &cfg).expect("synthesis succeeds");
+        assert!(def.report.goals_proved >= 2);
+        // the definition uses only the view names
+        for v in def.expr.free_vars() {
+            assert!(["V1", "V2"].contains(&v.as_str()), "unexpected free variable {v}");
+        }
+        for seed in 0..10 {
+            let inst = union_split_instance(seed);
+            let verdict = def.check_against(&inst).unwrap();
+            assert_eq!(verdict, Some(true), "seed {seed}: synthesized definition disagrees");
+        }
+    }
+
+    #[test]
+    fn union_split_definition_rejects_wrong_outputs() {
+        let spec = union_split_spec();
+        let def = synthesize(&spec, &SynthesisConfig::default()).unwrap();
+        // an instance that does NOT satisfy the spec is simply skipped
+        let bad = Instance::from_bindings([
+            (Name::new("S"), Value::set([Value::atom(1)])),
+            (Name::new("F"), Value::empty_set()),
+            (Name::new("V1"), Value::set([Value::atom(9)])),
+            (Name::new("V2"), Value::empty_set()),
+        ]);
+        assert_eq!(def.check_against(&bad).unwrap(), None);
+    }
+
+    #[test]
+    fn unit_and_product_outputs() {
+        // Unit output: trivial
+        let spec = ImplicitSpec {
+            formula: Formula::True,
+            inputs: vec![(Name::new("I"), Type::set(Type::Ur))],
+            auxiliaries: vec![],
+            output: (Name::new("O"), Type::Unit),
+        };
+        let def = synthesize(&spec, &SynthesisConfig::default()).unwrap();
+        assert_eq!(def.expr, Expr::Unit);
+
+        // Ur output determined as "the unique member of the singleton input":
+        // φ := ∀x ∈ I . x = o  ∧  ∃x ∈ I . ⊤
+        let phi = Formula::and(
+            Formula::forall("x", "I", Formula::eq_ur("x", "o")),
+            Formula::exists("x", "I", Formula::True),
+        );
+        let spec = ImplicitSpec {
+            formula: phi,
+            inputs: vec![(Name::new("I"), Type::set(Type::Ur))],
+            auxiliaries: vec![],
+            output: (Name::new("o"), Type::Ur),
+        };
+        let def = synthesize(&spec, &SynthesisConfig::default()).unwrap();
+        let inst = Instance::from_bindings([
+            (Name::new("I"), Value::set([Value::atom(7)])),
+            (Name::new("o"), Value::atom(7)),
+        ]);
+        assert_eq!(def.check_against(&inst).unwrap(), Some(true));
+    }
+}

@@ -1,0 +1,301 @@
+//! View-based query rewriting (Corollary 3).
+//!
+//! A [`RewritingProblem`] packages base relations, composition-free view
+//! definitions, optional Δ0 integrity constraints and a query.  The pipeline
+//! conjoins the views' and query's input/output specifications (paper §3 /
+//! Appendix B), asks the synthesis engine for an explicit definition of the
+//! query output in terms of the *view names*, and returns the rewriting
+//! together with helpers to materialize views and verify the rewriting on
+//! concrete instances.
+
+use crate::synthesis::{
+    synthesize, ImplicitSpec, SynthesisConfig, SynthesisError, SynthesizedDefinition,
+};
+use nrs_delta0::macros as d0;
+use nrs_delta0::typing::TypeEnv;
+use nrs_delta0::Formula;
+use nrs_nrc::spec::ViewDef;
+use nrs_nrc::{eval as nrc_eval, Expr};
+use nrs_value::{Instance, Name, NameGen, Type, Value};
+
+/// A query-rewriting problem: determine the query from the views (relative to
+/// the constraints) and synthesize the rewriting.
+#[derive(Debug, Clone)]
+pub struct RewritingProblem {
+    /// Base objects and their types.
+    pub base: Vec<(Name, Type)>,
+    /// The views, as composition-free definitions over the base.
+    pub views: Vec<ViewDef>,
+    /// Δ0 integrity constraints on the base data (may be empty).
+    pub constraints: Vec<Formula>,
+    /// The query, as a composition-free definition over the base.
+    pub query: ViewDef,
+}
+
+/// The outcome of rewriting synthesis.
+#[derive(Debug, Clone)]
+pub struct RewritingResult {
+    /// The synthesized definition; its expression's free variables are the
+    /// view names.
+    pub definition: SynthesizedDefinition,
+    /// The problem it was synthesized for.
+    pub problem: RewritingProblem,
+}
+
+impl RewritingProblem {
+    /// The typing environment of base objects.
+    pub fn base_env(&self) -> TypeEnv {
+        TypeEnv::from_pairs(self.base.iter().cloned())
+    }
+
+    /// The combined Δ0 specification `Σ_{V̄,Q}` of views, query and constraints.
+    pub fn specification(&self, gen: &mut NameGen) -> Result<ImplicitSpec, SynthesisError> {
+        let env = self.base_env();
+        let mut conjuncts = Vec::new();
+        let mut inputs = Vec::new();
+        for view in &self.views {
+            let io = view.io_spec(&env, gen).map_err(|e| SynthesisError::Ill(e.to_string()))?;
+            conjuncts.push(io);
+            let ty = view.output_type(&env).map_err(|e| SynthesisError::Ill(e.to_string()))?;
+            inputs.push((view.name.clone(), ty));
+        }
+        let q_io =
+            self.query.io_spec(&env, gen).map_err(|e| SynthesisError::Ill(e.to_string()))?;
+        conjuncts.push(q_io);
+        conjuncts.extend(self.constraints.iter().cloned());
+        let out_ty =
+            self.query.output_type(&env).map_err(|e| SynthesisError::Ill(e.to_string()))?;
+        Ok(ImplicitSpec {
+            formula: d0::and_all(conjuncts),
+            inputs,
+            auxiliaries: self.base.clone(),
+            output: (self.query.name.clone(), out_ty),
+        })
+    }
+
+    /// Run the full Corollary 3 pipeline: build the specification, prove the
+    /// goals, and synthesize the rewriting.
+    pub fn derive_rewriting(&self, cfg: &SynthesisConfig) -> Result<RewritingResult, SynthesisError> {
+        let mut gen = NameGen::new();
+        let spec = self.specification(&mut gen)?;
+        let definition = synthesize(&spec, cfg)?;
+        Ok(RewritingResult { definition, problem: self.clone() })
+    }
+
+    /// Evaluate every view (and the query) on a base instance, returning an
+    /// instance binding the base objects, the view names and the query name.
+    pub fn materialize(&self, base: &Instance) -> Result<Instance, SynthesisError> {
+        let env = self.base_env();
+        let mut gen = NameGen::new();
+        let mut out = base.clone();
+        for view in self.views.iter().chain(std::iter::once(&self.query)) {
+            let expr =
+                view.to_nrc(&env, &mut gen).map_err(|e| SynthesisError::Ill(e.to_string()))?;
+            let value = nrc_eval::eval(&expr, base).map_err(|e| SynthesisError::Ill(e.to_string()))?;
+            out.bind(view.name.clone(), value);
+        }
+        Ok(out)
+    }
+}
+
+/// Materialize only the views of a problem over a base instance (no query),
+/// e.g. to feed the rewriting at query-answering time.
+pub fn materialize_views(
+    problem: &RewritingProblem,
+    base: &Instance,
+) -> Result<Instance, SynthesisError> {
+    let env = problem.base_env();
+    let mut gen = NameGen::new();
+    let mut out = Instance::new();
+    for view in &problem.views {
+        let expr = view.to_nrc(&env, &mut gen).map_err(|e| SynthesisError::Ill(e.to_string()))?;
+        let value = nrc_eval::eval(&expr, base).map_err(|e| SynthesisError::Ill(e.to_string()))?;
+        out.bind(view.name.clone(), value);
+    }
+    Ok(out)
+}
+
+impl RewritingResult {
+    /// The rewriting expression over the view names.
+    pub fn expr(&self) -> &Expr {
+        &self.definition.expr
+    }
+
+    /// Answer the query from materialized views only.
+    pub fn answer_from_views(&self, views: &Instance) -> Result<Value, SynthesisError> {
+        self.definition.evaluate(views)
+    }
+
+    /// End-to-end check on a base instance: materialize the views, evaluate
+    /// the rewriting on them, and compare with the directly evaluated query.
+    pub fn verify_on_base(&self, base: &Instance) -> Result<bool, SynthesisError> {
+        let env = self.problem.base_env();
+        let mut gen = NameGen::new();
+        let views = materialize_views(&self.problem, base)?;
+        let from_views = self.answer_from_views(&views)?;
+        let q_expr = self
+            .problem
+            .query
+            .to_nrc(&env, &mut gen)
+            .map_err(|e| SynthesisError::Ill(e.to_string()))?;
+        let direct = nrc_eval::eval(&q_expr, base).map_err(|e| SynthesisError::Ill(e.to_string()))?;
+        Ok(from_views == direct)
+    }
+}
+
+/// The "partition" rewriting problem used across tests, examples and benches:
+/// base `S : Set(𝔘)` and `F : Set(𝔘)`, views `V1 = S ∩ F`, `V2 = S \ F`
+/// (written as comprehensions), query `Q = S`.  The expected rewriting is
+/// `V1 ∪ V2` up to equivalence.
+pub fn partition_problem() -> RewritingProblem {
+    use nrs_delta0::Term;
+    use nrs_nrc::spec::{GenExpr, Generator};
+    let mut gen = NameGen::new();
+    let in_f = d0::member_hat(&Type::Ur, &Term::var("gx"), &Term::var("F"), &mut gen);
+    let v1 = ViewDef::new(
+        "V1",
+        GenExpr::comprehension(
+            vec![Generator::new("gx", Term::var("S"))],
+            in_f.clone(),
+            Term::var("gx"),
+        ),
+    );
+    let v2 = ViewDef::new(
+        "V2",
+        GenExpr::comprehension(
+            vec![Generator::new("gx", Term::var("S"))],
+            in_f.negate(),
+            Term::var("gx"),
+        ),
+    );
+    let query = ViewDef::new(
+        "Q",
+        GenExpr::collect(vec![Generator::new("gq", Term::var("S"))], Term::var("gq")),
+    );
+    RewritingProblem {
+        base: vec![(Name::new("S"), Type::set(Type::Ur)), (Name::new("F"), Type::set(Type::Ur))],
+        views: vec![v1, v2],
+        constraints: vec![],
+        query,
+    }
+}
+
+/// The lossless key-based decomposition problem: base
+/// `R : Set(𝔘 × (𝔘 × 𝔘))` whose first component is a key, views
+/// `V1 = {⟨π1 r, π1 π2 r⟩ | r ∈ R}` and `V2 = {⟨π1 r, π2 π2 r⟩ | r ∈ R}`,
+/// query `Q = R`.  The classical lossless-join scenario: the rewriting joins
+/// the two views on the key.
+pub fn lossless_join_problem() -> RewritingProblem {
+    use nrs_delta0::Term;
+    use nrs_nrc::spec::{GenExpr, Generator};
+    let mut gen = NameGen::new();
+    let row = Type::prod(Type::Ur, Type::prod(Type::Ur, Type::Ur));
+    let v1 = ViewDef::new(
+        "V1",
+        GenExpr::collect(
+            vec![Generator::new("r", Term::var("R"))],
+            Term::pair(Term::proj1(Term::var("r")), Term::proj1(Term::proj2(Term::var("r")))),
+        ),
+    );
+    let v2 = ViewDef::new(
+        "V2",
+        GenExpr::collect(
+            vec![Generator::new("r", Term::var("R"))],
+            Term::pair(Term::proj1(Term::var("r")), Term::proj2(Term::proj2(Term::var("r")))),
+        ),
+    );
+    let query = ViewDef::new(
+        "Q",
+        GenExpr::collect(vec![Generator::new("q", Term::var("R"))], Term::var("q")),
+    );
+    RewritingProblem {
+        base: vec![(Name::new("R"), Type::set(row.clone()))],
+        views: vec![v1, v2],
+        constraints: vec![d0::key_constraint(&Name::new("R"), &row, &mut gen)],
+        query,
+    }
+}
+
+/// A keyed base instance for [`lossless_join_problem`]: `rows` rows with
+/// distinct keys over a small payload universe.
+pub fn lossless_join_instance(rows: usize, seed: u64) -> Instance {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut set = std::collections::BTreeSet::new();
+    for k in 0..rows {
+        let a = rng.gen_range(0..(rows as u64 * 2 + 2));
+        let b = rng.gen_range(0..(rows as u64 * 2 + 2));
+        set.insert(Value::pair(
+            Value::atom(1000 + k as u64),
+            Value::pair(Value::atom(a), Value::atom(b)),
+        ));
+    }
+    Instance::from_bindings([(Name::new("R"), Value::Set(set))])
+}
+
+/// A base instance for [`partition_problem`].
+pub fn partition_instance(size: usize, seed: u64) -> Instance {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let universe = (size as u64 * 2).max(4);
+    let s: std::collections::BTreeSet<Value> =
+        (0..size).map(|_| Value::atom(rng.gen_range(0..universe))).collect();
+    let f: std::collections::BTreeSet<Value> =
+        (0..size).map(|_| Value::atom(rng.gen_range(0..universe))).collect();
+    Instance::from_bindings([(Name::new("S"), Value::Set(s)), (Name::new("F"), Value::Set(f))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrs_prover::ProverConfig;
+
+    #[test]
+    fn partition_views_determine_and_rewrite_the_query() {
+        let problem = partition_problem();
+        let cfg = SynthesisConfig { check_determinacy: true, ..Default::default() };
+        let result = problem.derive_rewriting(&cfg).expect("rewriting exists");
+        // the rewriting only mentions the views
+        for v in result.expr().free_vars() {
+            assert!(["V1", "V2"].contains(&v.as_str()));
+        }
+        for seed in 0..8 {
+            let base = partition_instance(6, seed);
+            assert!(result.verify_on_base(&base).unwrap(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn materialization_binds_views_and_query() {
+        let problem = partition_problem();
+        let base = partition_instance(5, 3);
+        let all = problem.materialize(&base).unwrap();
+        assert!(all.contains(&Name::new("V1")));
+        assert!(all.contains(&Name::new("V2")));
+        assert!(all.contains(&Name::new("Q")));
+        let only_views = materialize_views(&problem, &base).unwrap();
+        assert!(only_views.contains(&Name::new("V1")));
+        assert!(!only_views.contains(&Name::new("Q")));
+        // V1 and V2 partition S
+        let s = base.get(&Name::new("S")).unwrap();
+        let v1 = all.get(&Name::new("V1")).unwrap();
+        let v2 = all.get(&Name::new("V2")).unwrap();
+        assert_eq!(&v1.union(v2).unwrap(), s);
+        assert_eq!(v1.intersection(v2).unwrap(), Value::empty_set());
+    }
+
+    #[test]
+    #[ignore = "expensive: the lossless-join goals take tens of seconds of proof search"]
+    fn lossless_join_rewriting_is_correct() {
+        let problem = lossless_join_problem();
+        let cfg = SynthesisConfig {
+            prover: ProverConfig { max_states: 4_000_000, ..ProverConfig::default() },
+            check_determinacy: false,
+        };
+        let result = problem.derive_rewriting(&cfg).expect("rewriting exists");
+        for seed in 0..3 {
+            let base = lossless_join_instance(4, seed);
+            assert!(result.verify_on_base(&base).unwrap(), "seed {seed}");
+        }
+    }
+}

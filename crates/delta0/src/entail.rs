@@ -1,0 +1,287 @@
+//! Bounded (finite-universe) entailment checking.
+//!
+//! The theorems of the paper concern entailment over *all* nested relations.
+//! That is undecidable in general, but for testing the proof rules, the
+//! interpolants and the synthesized definitions we use the standard trick of
+//! checking entailment over all instances whose atoms are drawn from a small
+//! finite universe.  A violation found here is a genuine counterexample; the
+//! absence of small counterexamples is (only) strong evidence of validity,
+//! which is exactly what a test suite needs, while soundness of the algorithms
+//! themselves is established by the paper's proofs.
+
+use crate::context::InContext;
+use crate::eval::{eval_any, eval_formula};
+use crate::formula::Formula;
+use crate::typing::TypeEnv;
+use crate::LogicError;
+use nrs_value::{Atom, Instance, Name, Value};
+use std::collections::BTreeSet;
+
+/// Configuration for bounded entailment checks.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedCheck {
+    /// Number of atoms in the universe.
+    pub universe: usize,
+    /// Hard cap on the number of candidate instances examined (guards against
+    /// accidental combinatorial blow-ups in tests).
+    pub max_models: usize,
+}
+
+impl Default for BoundedCheck {
+    fn default() -> Self {
+        BoundedCheck { universe: 2, max_models: 2_000_000 }
+    }
+}
+
+/// The outcome of a bounded check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// No counterexample exists within the bound.
+    Valid,
+    /// A counterexample instance was found.
+    Counterexample(Instance),
+    /// The search space exceeded `max_models` and was abandoned.
+    TooLarge,
+}
+
+impl CheckOutcome {
+    /// Was the check conclusive and positive?
+    pub fn is_valid(&self) -> bool {
+        matches!(self, CheckOutcome::Valid)
+    }
+}
+
+/// Check the sequent `context ; assumptions ⊢ goals` over all instances with
+/// atoms from a universe of `cfg.universe` atoms: in every such instance where
+/// every membership atom of `context` and every formula of `assumptions`
+/// holds, at least one formula of `goals` must hold.
+///
+/// `env` must assign a type to every free variable of the sequent.
+pub fn check_sequent_bounded(
+    context: &InContext,
+    assumptions: &[Formula],
+    goals: &[Formula],
+    env: &TypeEnv,
+    cfg: &BoundedCheck,
+) -> Result<CheckOutcome, LogicError> {
+    // Collect the free variables we must enumerate.
+    let mut vars: BTreeSet<Name> = BTreeSet::new();
+    vars.extend(context.free_vars());
+    for f in assumptions.iter().chain(goals.iter()) {
+        vars.extend(f.free_vars());
+    }
+    let universe: Vec<Atom> = (0..cfg.universe as u64).map(Atom::new).collect();
+
+    // Pre-compute the candidate values for each variable.
+    let mut domains: Vec<(Name, Vec<Value>)> = Vec::new();
+    let mut total: u128 = 1;
+    for v in &vars {
+        let ty = env.get(v).ok_or_else(|| LogicError::UnboundVariable(v.clone()))?;
+        let dom_size = Value::enumeration_size(ty, universe.len());
+        total = total.saturating_mul(dom_size);
+        if total > cfg.max_models as u128 {
+            return Ok(CheckOutcome::TooLarge);
+        }
+        domains.push((v.clone(), Value::enumerate(ty, &universe)));
+    }
+
+    // Depth-first enumeration of assignments.
+    fn rec(
+        domains: &[(Name, Vec<Value>)],
+        idx: usize,
+        inst: &Instance,
+        context: &InContext,
+        assumptions: &[Formula],
+        goals: &[Formula],
+    ) -> Result<Option<Instance>, LogicError> {
+        if idx == domains.len() {
+            // all variables assigned; evaluate
+            for atom in context.iter() {
+                if !eval_formula(&atom.to_formula(), inst)? {
+                    return Ok(None);
+                }
+            }
+            for a in assumptions {
+                if !eval_formula(a, inst)? {
+                    return Ok(None);
+                }
+            }
+            if eval_any(goals, inst)? {
+                return Ok(None);
+            }
+            return Ok(Some(inst.clone()));
+        }
+        let (name, dom) = &domains[idx];
+        for v in dom {
+            let next = inst.with(name.clone(), v.clone());
+            if let Some(cex) = rec(domains, idx + 1, &next, context, assumptions, goals)? {
+                return Ok(Some(cex));
+            }
+        }
+        Ok(None)
+    }
+
+    match rec(&domains, 0, &Instance::new(), context, assumptions, goals)? {
+        Some(cex) => Ok(CheckOutcome::Counterexample(cex)),
+        None => Ok(CheckOutcome::Valid),
+    }
+}
+
+/// Convenience: `assumptions |= conclusion` over the bounded universe.
+pub fn entails_bounded(
+    assumptions: &[Formula],
+    conclusion: &Formula,
+    env: &TypeEnv,
+    cfg: &BoundedCheck,
+) -> Result<CheckOutcome, LogicError> {
+    check_sequent_bounded(&InContext::new(), assumptions, std::slice::from_ref(conclusion), env, cfg)
+}
+
+/// Convenience: is the single formula valid over the bounded universe?
+pub fn valid_bounded(
+    formula: &Formula,
+    env: &TypeEnv,
+    cfg: &BoundedCheck,
+) -> Result<CheckOutcome, LogicError> {
+    entails_bounded(&[], formula, env, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::macros;
+    use crate::term::Term;
+    use nrs_value::{NameGen, Type};
+
+    fn cfg() -> BoundedCheck {
+        BoundedCheck { universe: 2, max_models: 500_000 }
+    }
+
+    #[test]
+    fn tautologies_and_contradictions() {
+        let env = TypeEnv::from_pairs([(Name::new("x"), Type::Ur), (Name::new("y"), Type::Ur)]);
+        // x = x is valid
+        assert!(valid_bounded(&Formula::eq_ur("x", "x"), &env, &cfg()).unwrap().is_valid());
+        // x = y is not
+        match valid_bounded(&Formula::eq_ur("x", "y"), &env, &cfg()).unwrap() {
+            CheckOutcome::Counterexample(inst) => {
+                assert_ne!(inst.get(&Name::new("x")).unwrap(), inst.get(&Name::new("y")).unwrap());
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+        // excluded middle for Ur-equality
+        let lem = Formula::or(Formula::eq_ur("x", "y"), Formula::neq_ur("x", "y"));
+        assert!(valid_bounded(&lem, &env, &cfg()).unwrap().is_valid());
+    }
+
+    #[test]
+    fn entailment_with_assumptions() {
+        let env = TypeEnv::from_pairs([
+            (Name::new("x"), Type::Ur),
+            (Name::new("y"), Type::Ur),
+            (Name::new("z"), Type::Ur),
+        ]);
+        // transitivity of Ur-equality
+        let out = entails_bounded(
+            &[Formula::eq_ur("x", "y"), Formula::eq_ur("y", "z")],
+            &Formula::eq_ur("x", "z"),
+            &env,
+            &cfg(),
+        )
+        .unwrap();
+        assert!(out.is_valid());
+        // but symmetry of inequality does not give equality
+        let bad = entails_bounded(&[Formula::neq_ur("x", "y")], &Formula::eq_ur("x", "z"), &env, &cfg()).unwrap();
+        assert!(!bad.is_valid());
+    }
+
+    #[test]
+    fn membership_vs_membership_hat_distinction_collapses_on_nested_relations() {
+        // Over genuine nested relations (extensional), x ∈ y and x ∈̂ y agree.
+        // The paper's example of non-interchangeability concerns non-extensional
+        // models, which the bounded checker (by design) never builds.
+        let env = TypeEnv::from_pairs([
+            (Name::new("x"), Type::Ur),
+            (Name::new("y"), Type::set(Type::Ur)),
+        ]);
+        let mut gen = NameGen::new();
+        let hat = macros::member_hat(&Type::Ur, &Term::var("x"), &Term::var("y"), &mut gen);
+        let prim = Formula::mem("x", "y");
+        let both_ways = Formula::and(
+            macros::implies(hat.clone(), prim.clone()),
+            macros::implies(prim, hat),
+        );
+        assert!(valid_bounded(&both_ways, &env, &cfg()).unwrap().is_valid());
+    }
+
+    #[test]
+    fn sequent_with_context_atoms() {
+        let env = TypeEnv::from_pairs([
+            (Name::new("x"), Type::Ur),
+            (Name::new("y"), Type::set(Type::Ur)),
+            (Name::new("y2"), Type::set(Type::Ur)),
+        ]);
+        // x ∈ y, x ∈ y2 ⊢ ∃z ∈ y. z ∈ y2   (the paper's example of a valid
+        // entailment with primitive membership)
+        let ctx = InContext::from_atoms([
+            crate::MemAtom::new("x", "y"),
+            crate::MemAtom::new("x", "y2"),
+        ]);
+        let goal = Formula::exists("z", "y", Formula::mem("z", "y2"));
+        let out = check_sequent_bounded(&ctx, &[], &[goal], &env, &cfg()).unwrap();
+        assert!(out.is_valid());
+    }
+
+    #[test]
+    fn key_constraint_implies_functional_lookup() {
+        // With the key constraint, two B-rows with equal keys have equivalent payloads.
+        let row_ty = Type::prod(Type::Ur, Type::set(Type::Ur));
+        let env = TypeEnv::from_pairs([(Name::new("B"), Type::set(row_ty.clone()))]);
+        let mut gen = NameGen::new();
+        let key = macros::key_constraint(&Name::new("B"), &row_ty, &mut gen);
+        // ∀p ∈ B ∀q ∈ B. π1(p) = π1(q) → π2(p) ⊆ π2(q)
+        let conclusion = Formula::forall(
+            "p",
+            "B",
+            Formula::forall(
+                "q",
+                "B",
+                macros::implies(
+                    Formula::eq_ur(Term::proj1(Term::var("p")), Term::proj1(Term::var("q"))),
+                    macros::subset(
+                        &Type::Ur,
+                        &Term::proj2(Term::var("p")),
+                        &Term::proj2(Term::var("q")),
+                        &mut gen,
+                    ),
+                ),
+            ),
+        );
+        let out = entails_bounded(&[key], &conclusion, &env, &cfg()).unwrap();
+        assert!(out.is_valid());
+    }
+
+    #[test]
+    fn too_large_spaces_are_reported_not_explored() {
+        let big_ty = Type::set(Type::set(Type::prod(Type::Ur, Type::Ur)));
+        let env = TypeEnv::from_pairs([(Name::new("X"), big_ty.clone()), (Name::new("Y"), big_ty)]);
+        let out = valid_bounded(
+            &Formula::eq_ur("a", "a"),
+            &TypeEnv::from_pairs([(Name::new("a"), Type::Ur)]),
+            &BoundedCheck { universe: 2, max_models: 1_000 },
+        )
+        .unwrap();
+        assert!(out.is_valid());
+        let mut gen = NameGen::new();
+        let eq = macros::equiv(&Type::set(Type::set(Type::prod(Type::Ur, Type::Ur))), &Term::var("X"), &Term::var("Y"), &mut gen);
+        let out = valid_bounded(&eq, &env, &BoundedCheck { universe: 3, max_models: 1_000 }).unwrap();
+        assert_eq!(out, CheckOutcome::TooLarge);
+    }
+
+    #[test]
+    fn unbound_variables_are_reported() {
+        let env = TypeEnv::new();
+        let err = valid_bounded(&Formula::eq_ur("x", "x"), &env, &cfg());
+        assert!(matches!(err, Err(LogicError::UnboundVariable(_))));
+    }
+}

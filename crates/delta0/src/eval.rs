@@ -1,0 +1,191 @@
+//! Evaluation of Δ0 terms and formulas over nested relational instances.
+//!
+//! This is the `|=_nested` semantics of the paper: variables denote nested
+//! relational values, bounded quantifiers range over actual set members, and
+//! the primitive membership of extended formulas is genuine set membership
+//! (which on extensional structures coincides with `∈̂`).
+
+use crate::formula::Formula;
+use crate::term::Term;
+use crate::LogicError;
+use nrs_value::{Instance, Value};
+
+/// Evaluate a term in an environment binding its free variables to values.
+pub fn eval_term(term: &Term, env: &Instance) -> Result<Value, LogicError> {
+    match term {
+        Term::Var(n) => {
+            env.try_get(n).cloned().ok_or_else(|| LogicError::UnboundVariable(n.clone()))
+        }
+        Term::Unit => Ok(Value::Unit),
+        Term::Pair(a, b) => Ok(Value::pair(eval_term(a, env)?, eval_term(b, env)?)),
+        Term::Proj1(t) => {
+            let v = eval_term(t, env)?;
+            v.proj1().cloned().map_err(|_| LogicError::Stuck(format!("p1 applied to {v}")))
+        }
+        Term::Proj2(t) => {
+            let v = eval_term(t, env)?;
+            v.proj2().cloned().map_err(|_| LogicError::Stuck(format!("p2 applied to {v}")))
+        }
+    }
+}
+
+/// Evaluate a (possibly extended) Δ0 formula in an environment.
+pub fn eval_formula(formula: &Formula, env: &Instance) -> Result<bool, LogicError> {
+    match formula {
+        Formula::True => Ok(true),
+        Formula::False => Ok(false),
+        Formula::EqUr(t, u) => Ok(eval_term(t, env)? == eval_term(u, env)?),
+        Formula::NeqUr(t, u) => Ok(eval_term(t, env)? != eval_term(u, env)?),
+        Formula::Mem(t, u) => {
+            let elem = eval_term(t, env)?;
+            let set = eval_term(u, env)?;
+            set.contains(&elem).map_err(|_| LogicError::Stuck(format!("membership in {set}")))
+        }
+        Formula::NotMem(t, u) => {
+            let elem = eval_term(t, env)?;
+            let set = eval_term(u, env)?;
+            Ok(!set
+                .contains(&elem)
+                .map_err(|_| LogicError::Stuck(format!("membership in {set}")))?)
+        }
+        Formula::And(a, b) => Ok(eval_formula(a, env)? && eval_formula(b, env)?),
+        Formula::Or(a, b) => Ok(eval_formula(a, env)? || eval_formula(b, env)?),
+        Formula::Forall { var, bound, body } => {
+            let set = eval_term(bound, env)?;
+            let members = set
+                .as_set()
+                .map_err(|_| LogicError::Stuck(format!("quantifier bound {set} is not a set")))?;
+            for m in members {
+                let inner = env.with(var.clone(), m.clone());
+                if !eval_formula(body, &inner)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::Exists { var, bound, body } => {
+            let set = eval_term(bound, env)?;
+            let members = set
+                .as_set()
+                .map_err(|_| LogicError::Stuck(format!("quantifier bound {set} is not a set")))?;
+            for m in members {
+                let inner = env.with(var.clone(), m.clone());
+                if eval_formula(body, &inner)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+    }
+}
+
+/// Evaluate a whole list of formulas as a conjunction.
+pub fn eval_all(formulas: &[Formula], env: &Instance) -> Result<bool, LogicError> {
+    for f in formulas {
+        if !eval_formula(f, env)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Evaluate a whole list of formulas as a disjunction (empty list = false).
+pub fn eval_any(formulas: &[Formula], env: &Instance) -> Result<bool, LogicError> {
+    for f in formulas {
+        if eval_formula(f, env)? {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrs_value::Name;
+
+    fn env(pairs: Vec<(&str, Value)>) -> Instance {
+        Instance::from_bindings(pairs.into_iter().map(|(n, v)| (Name::new(n), v)))
+    }
+
+    #[test]
+    fn terms_evaluate_structurally() {
+        let e = env(vec![("x", Value::pair(Value::atom(1), Value::atom(2)))]);
+        assert_eq!(eval_term(&Term::proj1(Term::var("x")), &e).unwrap(), Value::atom(1));
+        assert_eq!(eval_term(&Term::proj2(Term::var("x")), &e).unwrap(), Value::atom(2));
+        assert_eq!(eval_term(&Term::Unit, &e).unwrap(), Value::Unit);
+        assert_eq!(
+            eval_term(&Term::pair(Term::Unit, Term::var("x")), &e).unwrap(),
+            Value::pair(Value::Unit, Value::pair(Value::atom(1), Value::atom(2)))
+        );
+        assert!(matches!(
+            eval_term(&Term::var("missing"), &e),
+            Err(LogicError::UnboundVariable(_))
+        ));
+        assert!(matches!(eval_term(&Term::proj1(Term::Unit), &e), Err(LogicError::Stuck(_))));
+    }
+
+    #[test]
+    fn equalities_and_memberships() {
+        let e = env(vec![
+            ("x", Value::atom(1)),
+            ("y", Value::atom(1)),
+            ("z", Value::atom(2)),
+            ("s", Value::set([Value::atom(1), Value::atom(3)])),
+        ]);
+        assert!(eval_formula(&Formula::eq_ur("x", "y"), &e).unwrap());
+        assert!(!eval_formula(&Formula::eq_ur("x", "z"), &e).unwrap());
+        assert!(eval_formula(&Formula::neq_ur("x", "z"), &e).unwrap());
+        assert!(eval_formula(&Formula::mem("x", "s"), &e).unwrap());
+        assert!(eval_formula(&Formula::not_mem("z", "s"), &e).unwrap());
+        assert!(!eval_formula(&Formula::mem("z", "s"), &e).unwrap());
+        // membership in a non-set is a runtime (typing) error
+        assert!(eval_formula(&Formula::mem("x", "y"), &e).is_err());
+    }
+
+    #[test]
+    fn bounded_quantifiers_range_over_members() {
+        // ∀v ∈ V. π1(v) = k
+        let f = Formula::forall("v", "V", Formula::eq_ur(Term::proj1(Term::var("v")), Term::var("k")));
+        let v_good = Value::set([
+            Value::pair(Value::atom(7), Value::atom(1)),
+            Value::pair(Value::atom(7), Value::atom(2)),
+        ]);
+        let v_bad = Value::set([
+            Value::pair(Value::atom(7), Value::atom(1)),
+            Value::pair(Value::atom(8), Value::atom(2)),
+        ]);
+        assert!(eval_formula(&f, &env(vec![("V", v_good.clone()), ("k", Value::atom(7))])).unwrap());
+        assert!(!eval_formula(&f, &env(vec![("V", v_bad), ("k", Value::atom(7))])).unwrap());
+        // vacuous universal over empty set
+        assert!(eval_formula(&f, &env(vec![("V", Value::empty_set()), ("k", Value::atom(7))])).unwrap());
+        // existential dual
+        let g = f.negate();
+        assert!(!eval_formula(&g, &env(vec![("V", v_good), ("k", Value::atom(7))])).unwrap());
+    }
+
+    #[test]
+    fn quantifier_variable_shadows_outer_binding() {
+        // x bound both outside (to 5) and by the quantifier
+        let f = Formula::exists("x", "S", Formula::eq_ur("x", "target"));
+        let e = env(vec![
+            ("x", Value::atom(5)),
+            ("S", Value::set([Value::atom(1)])),
+            ("target", Value::atom(1)),
+        ]);
+        assert!(eval_formula(&f, &e).unwrap());
+    }
+
+    #[test]
+    fn eval_all_and_any() {
+        let e = env(vec![("x", Value::atom(1)), ("y", Value::atom(2))]);
+        let eq = Formula::eq_ur("x", "x");
+        let neq = Formula::eq_ur("x", "y");
+        assert!(eval_all(&[eq.clone(), eq.clone()], &e).unwrap());
+        assert!(!eval_all(&[eq.clone(), neq.clone()], &e).unwrap());
+        assert!(eval_any(&[neq.clone(), eq.clone()], &e).unwrap());
+        assert!(!eval_any(&[neq.clone()], &e).unwrap());
+        assert!(eval_all(&[], &e).unwrap());
+        assert!(!eval_any(&[], &e).unwrap());
+    }
+}

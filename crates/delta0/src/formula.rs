@@ -1,0 +1,550 @@
+//! Δ0 formulas and the extended membership literals.
+//!
+//! The grammar (paper §3):
+//!
+//! ```text
+//! φ, ψ ::= t =𝔘 u | t ≠𝔘 u | ⊤ | ⊥ | φ ∨ ψ | φ ∧ ψ | ∀x ∈ t φ | ∃x ∈ t φ
+//! ```
+//!
+//! There is **no primitive negation** and no equality at higher sorts; both
+//! are macros (see [`crate::macros`]).  *Extended* Δ0 formulas additionally
+//! allow membership literals `t ∈ u` / `t ∉ u`; in proofs these only ever
+//! appear inside ∈-contexts, and [`Formula::is_delta0`] distinguishes the two
+//! classes.
+
+use crate::term::Term;
+use nrs_value::Name;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A (possibly extended) Δ0 formula.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Formula {
+    /// Equality of Ur-elements `t =𝔘 u`.
+    EqUr(Term, Term),
+    /// Inequality of Ur-elements `t ≠𝔘 u`.
+    NeqUr(Term, Term),
+    /// Truth.
+    True,
+    /// Falsity.
+    False,
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Bounded universal quantification `∀ var ∈ bound . body`.
+    Forall {
+        /// The bound variable.
+        var: Name,
+        /// The set-typed term the quantifier ranges over.
+        bound: Term,
+        /// The body.
+        body: Box<Formula>,
+    },
+    /// Bounded existential quantification `∃ var ∈ bound . body`.
+    Exists {
+        /// The bound variable.
+        var: Name,
+        /// The set-typed term the quantifier ranges over.
+        bound: Term,
+        /// The body.
+        body: Box<Formula>,
+    },
+    /// Extended membership literal `t ∈ u` (not Δ0).
+    Mem(Term, Term),
+    /// Extended non-membership literal `t ∉ u` (not Δ0).
+    NotMem(Term, Term),
+}
+
+/// The focusing classification of a formula (paper §4).
+///
+/// Atomic formulas are both existential-leading and alternative-leading; the
+/// only other EL formulas are existentials, all other shapes are AL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Polarity {
+    /// Atomic: both EL and AL.
+    Atomic,
+    /// Existential-leading (a bounded existential).
+    ExistentialLeading,
+    /// Alternative-leading (∧, ∨, ⊤, ⊥, ∀).
+    AlternativeLeading,
+}
+
+impl Formula {
+    /// `t =𝔘 u`.
+    pub fn eq_ur(t: impl Into<Term>, u: impl Into<Term>) -> Formula {
+        Formula::EqUr(t.into(), u.into())
+    }
+
+    /// `t ≠𝔘 u`.
+    pub fn neq_ur(t: impl Into<Term>, u: impl Into<Term>) -> Formula {
+        Formula::NeqUr(t.into(), u.into())
+    }
+
+    /// Conjunction.
+    pub fn and(a: Formula, b: Formula) -> Formula {
+        Formula::And(Box::new(a), Box::new(b))
+    }
+
+    /// Disjunction.
+    pub fn or(a: Formula, b: Formula) -> Formula {
+        Formula::Or(Box::new(a), Box::new(b))
+    }
+
+    /// `∀ var ∈ bound . body`.
+    pub fn forall(var: impl Into<Name>, bound: impl Into<Term>, body: Formula) -> Formula {
+        Formula::Forall { var: var.into(), bound: bound.into(), body: Box::new(body) }
+    }
+
+    /// `∃ var ∈ bound . body`.
+    pub fn exists(var: impl Into<Name>, bound: impl Into<Term>, body: Formula) -> Formula {
+        Formula::Exists { var: var.into(), bound: bound.into(), body: Box::new(body) }
+    }
+
+    /// Extended membership `t ∈ u`.
+    pub fn mem(t: impl Into<Term>, u: impl Into<Term>) -> Formula {
+        Formula::Mem(t.into(), u.into())
+    }
+
+    /// Extended non-membership `t ∉ u`.
+    pub fn not_mem(t: impl Into<Term>, u: impl Into<Term>) -> Formula {
+        Formula::NotMem(t.into(), u.into())
+    }
+
+    /// Is this a proper Δ0 formula (no primitive membership literals)?
+    pub fn is_delta0(&self) -> bool {
+        match self {
+            Formula::Mem(_, _) | Formula::NotMem(_, _) => false,
+            Formula::EqUr(_, _) | Formula::NeqUr(_, _) | Formula::True | Formula::False => true,
+            Formula::And(a, b) | Formula::Or(a, b) => a.is_delta0() && b.is_delta0(),
+            Formula::Forall { body, .. } | Formula::Exists { body, .. } => body.is_delta0(),
+        }
+    }
+
+    /// Is this formula atomic (an (in)equality, membership literal, ⊤ or ⊥)?
+    pub fn is_atomic(&self) -> bool {
+        matches!(
+            self,
+            Formula::EqUr(_, _)
+                | Formula::NeqUr(_, _)
+                | Formula::Mem(_, _)
+                | Formula::NotMem(_, _)
+                | Formula::True
+                | Formula::False
+        )
+    }
+
+    /// Is this formula a literal in the sense of the ≠ rule (an (in)equality
+    /// or membership literal, excluding ⊤/⊥)?
+    pub fn is_literal(&self) -> bool {
+        matches!(
+            self,
+            Formula::EqUr(_, _) | Formula::NeqUr(_, _) | Formula::Mem(_, _) | Formula::NotMem(_, _)
+        )
+    }
+
+    /// The focusing polarity (EL / AL / both) of the formula.
+    pub fn polarity(&self) -> Polarity {
+        match self {
+            Formula::EqUr(_, _) | Formula::NeqUr(_, _) | Formula::Mem(_, _) | Formula::NotMem(_, _) => {
+                Polarity::Atomic
+            }
+            // The paper classifies ⊥ as AL-only, but gives no right-hand rule
+            // for it, so a ⊥ left over on the right-hand side (e.g. from the
+            // negation of a non-emptiness constraint) would block the focused
+            // ∃ rule forever.  Treating ⊥ as atomic (both EL and AL) keeps the
+            // calculus sound and the generalized rules admissible while making
+            // such sequents provable; this is the one deliberate deviation
+            // from Figure 3.
+            Formula::False => Polarity::Atomic,
+            Formula::Exists { .. } => Polarity::ExistentialLeading,
+            Formula::True
+            | Formula::And(_, _)
+            | Formula::Or(_, _)
+            | Formula::Forall { .. } => Polarity::AlternativeLeading,
+        }
+    }
+
+    /// Existential-leading: atomic or an existential.
+    pub fn is_el(&self) -> bool {
+        !matches!(self.polarity(), Polarity::AlternativeLeading)
+    }
+
+    /// Alternative-leading: atomic or any non-existential connective.
+    pub fn is_al(&self) -> bool {
+        !matches!(self.polarity(), Polarity::ExistentialLeading)
+    }
+
+    /// Negation, defined as a macro by dualizing every connective (paper §3).
+    pub fn negate(&self) -> Formula {
+        match self {
+            Formula::EqUr(t, u) => Formula::NeqUr(t.clone(), u.clone()),
+            Formula::NeqUr(t, u) => Formula::EqUr(t.clone(), u.clone()),
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::And(a, b) => Formula::or(a.negate(), b.negate()),
+            Formula::Or(a, b) => Formula::and(a.negate(), b.negate()),
+            Formula::Forall { var, bound, body } => {
+                Formula::exists(var.clone(), bound.clone(), body.negate())
+            }
+            Formula::Exists { var, bound, body } => {
+                Formula::forall(var.clone(), bound.clone(), body.negate())
+            }
+            Formula::Mem(t, u) => Formula::NotMem(t.clone(), u.clone()),
+            Formula::NotMem(t, u) => Formula::Mem(t.clone(), u.clone()),
+        }
+    }
+
+    /// Free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<Name> {
+        let mut out = BTreeSet::new();
+        self.collect_free_vars(&mut BTreeSet::new(), &mut out);
+        out
+    }
+
+    fn collect_free_vars(&self, bound: &mut BTreeSet<Name>, out: &mut BTreeSet<Name>) {
+        match self {
+            Formula::EqUr(t, u) | Formula::NeqUr(t, u) | Formula::Mem(t, u) | Formula::NotMem(t, u) => {
+                for v in t.free_vars().union(&u.free_vars()) {
+                    if !bound.contains(v) {
+                        out.insert(v.clone());
+                    }
+                }
+            }
+            Formula::True | Formula::False => {}
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.collect_free_vars(bound, out);
+                b.collect_free_vars(bound, out);
+            }
+            Formula::Forall { var, bound: b, body } | Formula::Exists { var, bound: b, body } => {
+                for v in b.free_vars() {
+                    if !bound.contains(&v) {
+                        out.insert(v);
+                    }
+                }
+                let newly = bound.insert(var.clone());
+                body.collect_free_vars(bound, out);
+                if newly {
+                    bound.remove(var);
+                }
+            }
+        }
+    }
+
+    /// Capture-avoiding substitution of a term for a free variable.
+    pub fn subst_var(&self, var: &Name, replacement: &Term) -> Formula {
+        match self {
+            Formula::EqUr(t, u) => {
+                Formula::EqUr(t.subst_var(var, replacement), u.subst_var(var, replacement))
+            }
+            Formula::NeqUr(t, u) => {
+                Formula::NeqUr(t.subst_var(var, replacement), u.subst_var(var, replacement))
+            }
+            Formula::Mem(t, u) => {
+                Formula::Mem(t.subst_var(var, replacement), u.subst_var(var, replacement))
+            }
+            Formula::NotMem(t, u) => {
+                Formula::NotMem(t.subst_var(var, replacement), u.subst_var(var, replacement))
+            }
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::And(a, b) => {
+                Formula::and(a.subst_var(var, replacement), b.subst_var(var, replacement))
+            }
+            Formula::Or(a, b) => {
+                Formula::or(a.subst_var(var, replacement), b.subst_var(var, replacement))
+            }
+            Formula::Forall { var: bv, bound, body } => {
+                let (bv, body) = Self::subst_under_binder(bv, bound, body, var, replacement);
+                Formula::Forall { var: bv, bound: bound.subst_var(var, replacement), body }
+            }
+            Formula::Exists { var: bv, bound, body } => {
+                let (bv, body) = Self::subst_under_binder(bv, bound, body, var, replacement);
+                Formula::Exists { var: bv, bound: bound.subst_var(var, replacement), body }
+            }
+        }
+    }
+
+    fn subst_under_binder(
+        bv: &Name,
+        bound: &Term,
+        body: &Formula,
+        var: &Name,
+        replacement: &Term,
+    ) -> (Name, Box<Formula>) {
+        if bv == var {
+            // the substituted variable is shadowed inside the body
+            return (bv.clone(), Box::new(body.clone()));
+        }
+        if replacement.mentions(bv) && body.free_vars().contains(var) {
+            // rename the binder to avoid capturing a variable of the replacement
+            let mut avoid: BTreeSet<Name> = replacement.free_vars();
+            avoid.extend(body.free_vars());
+            avoid.extend(bound.free_vars());
+            avoid.insert(var.clone());
+            let fresh = Self::fresh_variant(bv, &avoid);
+            let renamed = body.subst_var(bv, &Term::Var(fresh.clone()));
+            (fresh, Box::new(renamed.subst_var(var, replacement)))
+        } else {
+            (bv.clone(), Box::new(body.subst_var(var, replacement)))
+        }
+    }
+
+    fn fresh_variant(base: &Name, avoid: &BTreeSet<Name>) -> Name {
+        let mut candidate = Name::new(format!("{}'", base.0));
+        while avoid.contains(&candidate) {
+            candidate = Name::new(format!("{}'", candidate.0));
+        }
+        candidate
+    }
+
+    /// Replace every syntactic occurrence of a whole sub-term by another term
+    /// (used by congruence-style proof rules).  Bound variables are *not*
+    /// protected: callers must ensure the target and replacement are free for
+    /// the formula, which holds for the proof-rule usages (the target never
+    /// contains bound variables of the formula).
+    pub fn replace_term(&self, target: &Term, replacement: &Term) -> Formula {
+        match self {
+            Formula::EqUr(t, u) => Formula::EqUr(
+                t.replace_term(target, replacement),
+                u.replace_term(target, replacement),
+            ),
+            Formula::NeqUr(t, u) => Formula::NeqUr(
+                t.replace_term(target, replacement),
+                u.replace_term(target, replacement),
+            ),
+            Formula::Mem(t, u) => Formula::Mem(
+                t.replace_term(target, replacement),
+                u.replace_term(target, replacement),
+            ),
+            Formula::NotMem(t, u) => Formula::NotMem(
+                t.replace_term(target, replacement),
+                u.replace_term(target, replacement),
+            ),
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::And(a, b) => Formula::and(
+                a.replace_term(target, replacement),
+                b.replace_term(target, replacement),
+            ),
+            Formula::Or(a, b) => Formula::or(
+                a.replace_term(target, replacement),
+                b.replace_term(target, replacement),
+            ),
+            Formula::Forall { var, bound, body } => Formula::Forall {
+                var: var.clone(),
+                bound: bound.replace_term(target, replacement),
+                body: Box::new(body.replace_term(target, replacement)),
+            },
+            Formula::Exists { var, bound, body } => Formula::Exists {
+                var: var.clone(),
+                bound: bound.replace_term(target, replacement),
+                body: Box::new(body.replace_term(target, replacement)),
+            },
+        }
+    }
+
+    /// β-normalize all terms occurring in the formula.
+    pub fn beta_normalize(&self) -> Formula {
+        match self {
+            Formula::EqUr(t, u) => Formula::EqUr(t.beta_normalize(), u.beta_normalize()),
+            Formula::NeqUr(t, u) => Formula::NeqUr(t.beta_normalize(), u.beta_normalize()),
+            Formula::Mem(t, u) => Formula::Mem(t.beta_normalize(), u.beta_normalize()),
+            Formula::NotMem(t, u) => Formula::NotMem(t.beta_normalize(), u.beta_normalize()),
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::And(a, b) => Formula::and(a.beta_normalize(), b.beta_normalize()),
+            Formula::Or(a, b) => Formula::or(a.beta_normalize(), b.beta_normalize()),
+            Formula::Forall { var, bound, body } => Formula::Forall {
+                var: var.clone(),
+                bound: bound.beta_normalize(),
+                body: Box::new(body.beta_normalize()),
+            },
+            Formula::Exists { var, bound, body } => Formula::Exists {
+                var: var.clone(),
+                bound: bound.beta_normalize(),
+                body: Box::new(body.beta_normalize()),
+            },
+        }
+    }
+
+    /// Structural size of the formula (number of connectives, atoms and term nodes).
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::EqUr(t, u)
+            | Formula::NeqUr(t, u)
+            | Formula::Mem(t, u)
+            | Formula::NotMem(t, u) => 1 + t.size() + u.size(),
+            Formula::True | Formula::False => 1,
+            Formula::And(a, b) | Formula::Or(a, b) => 1 + a.size() + b.size(),
+            Formula::Forall { bound, body, .. } | Formula::Exists { bound, body, .. } => {
+                1 + bound.size() + body.size()
+            }
+        }
+    }
+
+    /// The top-level conjuncts of a formula (flattening nested `And`s).
+    pub fn conjuncts(&self) -> Vec<&Formula> {
+        let mut out = Vec::new();
+        fn go<'a>(f: &'a Formula, out: &mut Vec<&'a Formula>) {
+            match f {
+                Formula::And(a, b) => {
+                    go(a, out);
+                    go(b, out);
+                }
+                other => out.push(other),
+            }
+        }
+        go(self, &mut out);
+        out
+    }
+
+    /// The top-level disjuncts of a formula (flattening nested `Or`s).
+    pub fn disjuncts(&self) -> Vec<&Formula> {
+        let mut out = Vec::new();
+        fn go<'a>(f: &'a Formula, out: &mut Vec<&'a Formula>) {
+            match f {
+                Formula::Or(a, b) => {
+                    go(a, out);
+                    go(b, out);
+                }
+                other => out.push(other),
+            }
+        }
+        go(self, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::EqUr(t, u) => write!(f, "{t} = {u}"),
+            Formula::NeqUr(t, u) => write!(f, "{t} != {u}"),
+            Formula::True => write!(f, "T"),
+            Formula::False => write!(f, "F"),
+            Formula::And(a, b) => write!(f, "({a} & {b})"),
+            Formula::Or(a, b) => write!(f, "({a} | {b})"),
+            Formula::Forall { var, bound, body } => write!(f, "(all {var} in {bound}. {body})"),
+            Formula::Exists { var, bound, body } => write!(f, "(ex {var} in {bound}. {body})"),
+            Formula::Mem(t, u) => write!(f, "{t} in {u}"),
+            Formula::NotMem(t, u) => write!(f, "{t} notin {u}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Formula {
+        // ∀v ∈ V ∃b ∈ B. π1(v) = π1(b)
+        Formula::forall(
+            "v",
+            "V",
+            Formula::exists(
+                "b",
+                "B",
+                Formula::eq_ur(Term::proj1(Term::var("v")), Term::proj1(Term::var("b"))),
+            ),
+        )
+    }
+
+    #[test]
+    fn delta0_and_polarity_classification() {
+        let f = sample();
+        assert!(f.is_delta0());
+        assert!(f.is_al());
+        assert!(!f.is_el());
+        let m = Formula::mem("x", "y");
+        assert!(!m.is_delta0());
+        assert!(m.is_atomic());
+        assert!(m.is_el() && m.is_al());
+        let e = Formula::exists("x", "y", Formula::True);
+        assert_eq!(e.polarity(), Polarity::ExistentialLeading);
+        assert!(e.is_el() && !e.is_al());
+        assert!(Formula::True.is_al());
+        assert!(Formula::eq_ur("x", "y").is_literal());
+        assert!(!Formula::True.is_literal());
+    }
+
+    #[test]
+    fn negation_dualizes_and_is_involutive() {
+        let f = sample();
+        let n = f.negate();
+        assert_eq!(
+            n,
+            Formula::exists(
+                "v",
+                "V",
+                Formula::forall(
+                    "b",
+                    "B",
+                    Formula::neq_ur(Term::proj1(Term::var("v")), Term::proj1(Term::var("b"))),
+                )
+            )
+        );
+        assert_eq!(n.negate(), f);
+        assert_eq!(Formula::mem("x", "y").negate(), Formula::not_mem("x", "y"));
+        assert_eq!(Formula::True.negate(), Formula::False);
+    }
+
+    #[test]
+    fn free_vars_exclude_bound_occurrences() {
+        let f = sample();
+        let fv: Vec<String> = f.free_vars().into_iter().map(|n| n.0).collect();
+        assert_eq!(fv, vec!["B".to_string(), "V".to_string()]);
+        // a free occurrence of a name that is bound elsewhere still shows up
+        let g = Formula::and(Formula::eq_ur("v", "v"), sample());
+        assert!(g.free_vars().contains(&Name::new("v")));
+    }
+
+    #[test]
+    fn substitution_is_capture_avoiding() {
+        // (∃ v ∈ S . v = x)[v / x]  must not capture: the bound v gets renamed.
+        let f = Formula::exists("v", "S", Formula::eq_ur(Term::var("v"), Term::var("x")));
+        let s = f.subst_var(&Name::new("x"), &Term::var("v"));
+        match s {
+            Formula::Exists { var, body, .. } => {
+                assert_ne!(var, Name::new("v"));
+                assert_eq!(*body, Formula::eq_ur(Term::var(var.clone()), Term::var("v")));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+        // substituting the bound variable itself only affects the bound term
+        let g = Formula::exists("v", Term::var("x"), Formula::eq_ur("v", "v"));
+        let s = g.subst_var(&Name::new("v"), &Term::var("w"));
+        assert_eq!(s, g, "bound occurrences are shadowed");
+        // normal substitution in bodies and bounds
+        let h = Formula::exists("z", Term::var("x"), Formula::eq_ur("z", "x"));
+        let s = h.subst_var(&Name::new("x"), &Term::var("y"));
+        assert_eq!(s, Formula::exists("z", Term::var("y"), Formula::eq_ur("z", "y")));
+    }
+
+    #[test]
+    fn replace_term_and_beta_normalize() {
+        let f = Formula::eq_ur(Term::proj1(Term::pair(Term::var("a"), Term::var("b"))), Term::var("c"));
+        assert_eq!(f.beta_normalize(), Formula::eq_ur("a", "c"));
+        let g = f.replace_term(&Term::var("c"), &Term::var("d"));
+        assert!(matches!(g, Formula::EqUr(_, ref u) if *u == Term::var("d")));
+    }
+
+    #[test]
+    fn conjuncts_and_disjuncts_flatten() {
+        let f = Formula::and(Formula::and(Formula::True, Formula::False), Formula::eq_ur("x", "y"));
+        assert_eq!(f.conjuncts().len(), 3);
+        let g = Formula::or(Formula::True, Formula::or(Formula::False, Formula::True));
+        assert_eq!(g.disjuncts().len(), 3);
+        assert_eq!(Formula::True.conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn size_and_display() {
+        let f = sample();
+        assert!(f.size() > 5);
+        let printed = f.to_string();
+        assert!(printed.contains("all v in V"));
+        assert!(printed.contains("ex b in B"));
+    }
+}

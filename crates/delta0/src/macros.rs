@@ -1,0 +1,356 @@
+//! The macro layer over Δ0 formulas (paper §3 and §5).
+//!
+//! Δ0 has no primitive negation, no equality at higher sorts and no membership
+//! predicate; all of these are *definable* while staying within Δ0:
+//!
+//! * `¬φ` — dualize every connective ([`Formula::negate`]);
+//! * `t ≡_T u` — equality up to extensionality, by induction on `T`;
+//! * `t ⊆_T u`, `t ∈̂_T u` — inclusion and membership up to extensionality;
+//! * `φ → ψ`, `φ ↔ ψ` — implication and bi-implication;
+//! * `Q x ∈^p t . φ` — bounded quantification along a subtype occurrence `p`
+//!   (paper §5), used pervasively by the synthesis algorithm.
+//!
+//! All macros that need auxiliary bound variables take a [`NameGen`] so the
+//! generated names never clash with user variables.
+
+use crate::formula::Formula;
+use crate::term::Term;
+use nrs_value::{Name, NameGen, SubtypePath, SubtypeStep, Type};
+
+/// `φ → ψ`, defined as `¬φ ∨ ψ`.
+pub fn implies(a: Formula, b: Formula) -> Formula {
+    Formula::or(a.negate(), b)
+}
+
+/// `φ ↔ ψ`, defined as `(φ → ψ) ∧ (ψ → φ)`.
+///
+/// The conjunct order matters to the focused parameter-collection extraction
+/// (it pattern-matches the two implications); keep it `(λ → ρ) ∧ (ρ → λ)`.
+pub fn iff(a: Formula, b: Formula) -> Formula {
+    Formula::and(implies(a.clone(), b.clone()), implies(b, a))
+}
+
+/// n-ary conjunction; the empty conjunction is `⊤`.
+pub fn and_all(fs: impl IntoIterator<Item = Formula>) -> Formula {
+    let mut it = fs.into_iter();
+    match it.next() {
+        None => Formula::True,
+        Some(first) => it.fold(first, Formula::and),
+    }
+}
+
+/// n-ary disjunction; the empty disjunction is `⊥`.
+pub fn or_all(fs: impl IntoIterator<Item = Formula>) -> Formula {
+    let mut it = fs.into_iter();
+    match it.next() {
+        None => Formula::False,
+        Some(first) => it.fold(first, Formula::or),
+    }
+}
+
+/// Equality up to extensionality `t ≡_T u` (paper §3), by induction on `T`:
+///
+/// * `≡_Unit` is `⊤`;
+/// * `≡_𝔘` is `=_𝔘`;
+/// * `≡_{T1×T2}` is component-wise;
+/// * `≡_{Set(T)}` is mutual inclusion.
+pub fn equiv(ty: &Type, t: &Term, u: &Term, gen: &mut NameGen) -> Formula {
+    match ty {
+        Type::Unit => Formula::True,
+        Type::Ur => Formula::EqUr(t.beta_normalize(), u.beta_normalize()),
+        Type::Prod(a, b) => Formula::and(
+            equiv(a, &Term::proj1(t.clone()).beta_normalize(), &Term::proj1(u.clone()).beta_normalize(), gen),
+            equiv(b, &Term::proj2(t.clone()).beta_normalize(), &Term::proj2(u.clone()).beta_normalize(), gen),
+        ),
+        Type::Set(elem) => Formula::and(subset(elem, t, u, gen), subset(elem, u, t, gen)),
+    }
+}
+
+/// Inclusion `t ⊆ u` where both sides have type `Set(elem_ty)`:
+/// `∀z ∈ t . z ∈̂ u`.
+pub fn subset(elem_ty: &Type, t: &Term, u: &Term, gen: &mut NameGen) -> Formula {
+    let z = gen.fresh("z");
+    Formula::forall(z.clone(), t.beta_normalize(), member_hat(elem_ty, &Term::Var(z), u, gen))
+}
+
+/// Membership up to extensionality `t ∈̂ u` where `t : elem_ty` and
+/// `u : Set(elem_ty)`: `∃z' ∈ u . t ≡ z'`.
+pub fn member_hat(elem_ty: &Type, t: &Term, u: &Term, gen: &mut NameGen) -> Formula {
+    let z = gen.fresh("z");
+    Formula::exists(z.clone(), u.beta_normalize(), equiv(elem_ty, t, &Term::Var(z), gen))
+}
+
+/// Which quantifier a path-bounded quantification should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quant {
+    /// Existential.
+    Exists,
+    /// Universal.
+    Forall,
+}
+
+/// Bounded quantification along a subtype occurrence: `Q x ∈^p t . φ`
+/// (paper §5).
+///
+/// * `Q x ∈^m t . φ`   is `Q x ∈ t . φ`;
+/// * `Q x ∈^{m·p} t . φ` is `Q y ∈ t . Q x ∈^p y . φ` with `y` fresh;
+/// * `Q x ∈^{i·p} t . φ` is `Q x ∈^p π_i(t) . φ`;
+/// * as a convenient uniform extension, the **empty** path denotes direct
+///   substitution: `Q x ∈^ε t . φ` is `φ[t/x]`.  This is the reading used by
+///   the "empty path" variation of Lemma 6 in the proof of Theorem 2.
+pub fn quantify_path(
+    q: Quant,
+    var: &Name,
+    path: &SubtypePath,
+    term: &Term,
+    body: Formula,
+    gen: &mut NameGen,
+) -> Formula {
+    match path.0.split_first() {
+        None => body.subst_var(var, term),
+        Some((SubtypeStep::Member, rest)) => {
+            if rest.is_empty() {
+                match q {
+                    Quant::Exists => Formula::exists(var.clone(), term.clone(), body),
+                    Quant::Forall => Formula::forall(var.clone(), term.clone(), body),
+                }
+            } else {
+                let y = gen.fresh("y");
+                let inner =
+                    quantify_path(q, var, &SubtypePath(rest.to_vec()), &Term::Var(y.clone()), body, gen);
+                match q {
+                    Quant::Exists => Formula::exists(y, term.clone(), inner),
+                    Quant::Forall => Formula::forall(y, term.clone(), inner),
+                }
+            }
+        }
+        Some((SubtypeStep::First, rest)) => {
+            quantify_path(q, var, &SubtypePath(rest.to_vec()), &Term::proj1(term.clone()), body, gen)
+        }
+        Some((SubtypeStep::Second, rest)) => {
+            quantify_path(q, var, &SubtypePath(rest.to_vec()), &Term::proj2(term.clone()), body, gen)
+        }
+    }
+}
+
+/// `∃ x ∈^p t . φ`.
+pub fn exists_path(
+    var: &Name,
+    path: &SubtypePath,
+    term: &Term,
+    body: Formula,
+    gen: &mut NameGen,
+) -> Formula {
+    quantify_path(Quant::Exists, var, path, term, body, gen)
+}
+
+/// `∀ x ∈^p t . φ`.
+pub fn forall_path(
+    var: &Name,
+    path: &SubtypePath,
+    term: &Term,
+    body: Formula,
+    gen: &mut NameGen,
+) -> Formula {
+    quantify_path(Quant::Forall, var, path, term, body, gen)
+}
+
+/// Integrity constraint: the first component of `set_var : Set(elem_ty)`
+/// (which must be a product type) is a key:
+/// `∀b ∈ S ∀b' ∈ S . π1(b) = π1(b') → b ≡ b'`.
+///
+/// This is the first conjunct of `Σ_lossless` in Example 4.1.
+pub fn key_constraint(set_var: &Name, elem_ty: &Type, gen: &mut NameGen) -> Formula {
+    let b = gen.fresh("b");
+    let b2 = gen.fresh("b");
+    let key_eq = Formula::eq_ur(
+        Term::proj1(Term::Var(b.clone())),
+        Term::proj1(Term::Var(b2.clone())),
+    );
+    let body = implies(key_eq, equiv(elem_ty, &Term::Var(b.clone()), &Term::Var(b2.clone()), gen));
+    Formula::forall(
+        b,
+        Term::Var(set_var.clone()),
+        Formula::forall(b2, Term::Var(set_var.clone()), body),
+    )
+}
+
+/// Integrity constraint: the second component of every row of `set_var` is a
+/// non-empty set: `∀b ∈ S ∃e ∈ π2(b) . ⊤`.
+///
+/// This is the second conjunct of `Σ_lossless` in Example 4.1.
+pub fn second_nonempty(set_var: &Name, gen: &mut NameGen) -> Formula {
+    let b = gen.fresh("b");
+    let e = gen.fresh("e");
+    Formula::forall(
+        b.clone(),
+        Term::Var(set_var.clone()),
+        Formula::exists(e, Term::proj2(Term::Var(b)), Formula::True),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_formula;
+    use nrs_value::{Instance, Value};
+
+    fn env(pairs: Vec<(&str, Value)>) -> Instance {
+        Instance::from_bindings(pairs.into_iter().map(|(n, v)| (Name::new(n), v)))
+    }
+
+    #[test]
+    fn implies_and_iff_shapes() {
+        let a = Formula::eq_ur("x", "y");
+        let b = Formula::eq_ur("y", "z");
+        assert_eq!(implies(a.clone(), b.clone()), Formula::or(a.negate(), b.clone()));
+        let i = iff(a.clone(), b.clone());
+        assert_eq!(i.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn and_all_or_all_units() {
+        assert_eq!(and_all([]), Formula::True);
+        assert_eq!(or_all([]), Formula::False);
+        assert_eq!(and_all([Formula::True]), Formula::True);
+        let two = and_all([Formula::True, Formula::False]);
+        assert_eq!(two, Formula::and(Formula::True, Formula::False));
+    }
+
+    #[test]
+    fn equiv_at_ur_and_unit() {
+        let mut gen = NameGen::new();
+        assert_eq!(equiv(&Type::Unit, &Term::var("a"), &Term::var("b"), &mut gen), Formula::True);
+        assert_eq!(
+            equiv(&Type::Ur, &Term::var("a"), &Term::var("b"), &mut gen),
+            Formula::eq_ur("a", "b")
+        );
+    }
+
+    #[test]
+    fn equiv_at_set_type_is_extensional_equality_semantically() {
+        let mut gen = NameGen::new();
+        let ty = Type::set(Type::Ur);
+        let f = equiv(&ty, &Term::var("s"), &Term::var("t"), &mut gen);
+        let s = Value::set([Value::atom(1), Value::atom(2)]);
+        let t_same = Value::set([Value::atom(2), Value::atom(1)]);
+        let t_diff = Value::set([Value::atom(2)]);
+        assert!(eval_formula(&f, &env(vec![("s", s.clone()), ("t", t_same)])).unwrap());
+        assert!(!eval_formula(&f, &env(vec![("s", s), ("t", t_diff)])).unwrap());
+    }
+
+    #[test]
+    fn equiv_at_nested_type_semantically() {
+        let mut gen = NameGen::new();
+        let ty = Type::set(Type::prod(Type::Ur, Type::set(Type::Ur)));
+        let f = equiv(&ty, &Term::var("s"), &Term::var("t"), &mut gen);
+        let row = |k: u64, vs: Vec<u64>| {
+            Value::pair(Value::atom(k), Value::set(vs.into_iter().map(Value::atom)))
+        };
+        let s = Value::set([row(1, vec![5, 6]), row(2, vec![])]);
+        let same = Value::set([row(2, vec![]), row(1, vec![6, 5])]);
+        let diff = Value::set([row(1, vec![5]), row(2, vec![])]);
+        assert!(eval_formula(&f, &env(vec![("s", s.clone()), ("t", same)])).unwrap());
+        assert!(!eval_formula(&f, &env(vec![("s", s), ("t", diff)])).unwrap());
+    }
+
+    #[test]
+    fn member_hat_and_subset_semantics() {
+        let mut gen = NameGen::new();
+        let f = member_hat(&Type::Ur, &Term::var("x"), &Term::var("s"), &mut gen);
+        let e = env(vec![("x", Value::atom(1)), ("s", Value::set([Value::atom(1), Value::atom(2)]))]);
+        assert!(eval_formula(&f, &e).unwrap());
+        let e2 = env(vec![("x", Value::atom(3)), ("s", Value::set([Value::atom(1)]))]);
+        assert!(!eval_formula(&f, &e2).unwrap());
+
+        let sub = subset(&Type::Ur, &Term::var("a"), &Term::var("b"), &mut gen);
+        let e3 = env(vec![
+            ("a", Value::set([Value::atom(1)])),
+            ("b", Value::set([Value::atom(1), Value::atom(2)])),
+        ]);
+        assert!(eval_formula(&sub, &e3).unwrap());
+        let e4 = env(vec![
+            ("a", Value::set([Value::atom(1), Value::atom(3)])),
+            ("b", Value::set([Value::atom(1), Value::atom(2)])),
+        ]);
+        assert!(!eval_formula(&sub, &e4).unwrap());
+    }
+
+    #[test]
+    fn path_quantification_expands_as_in_the_paper() {
+        let mut gen = NameGen::new();
+        let body = Formula::eq_ur("x", "x");
+        // path "m": plain bounded quantifier
+        let p_m = SubtypePath(vec![SubtypeStep::Member]);
+        let f = exists_path(&Name::new("x"), &p_m, &Term::var("S"), body.clone(), &mut gen);
+        assert_eq!(f, Formula::exists("x", "S", body.clone()));
+        // path "2m": quantify over members of π2(S)
+        let p_2m = SubtypePath(vec![SubtypeStep::Second, SubtypeStep::Member]);
+        let f = forall_path(&Name::new("x"), &p_2m, &Term::var("S"), body.clone(), &mut gen);
+        assert_eq!(f, Formula::forall("x", Term::proj2(Term::var("S")), body.clone()));
+        // path "mm": members of members, introduces a fresh intermediate variable
+        let p_mm = SubtypePath(vec![SubtypeStep::Member, SubtypeStep::Member]);
+        let f = exists_path(&Name::new("x"), &p_mm, &Term::var("S"), body.clone(), &mut gen);
+        match f {
+            Formula::Exists { var: y, bound, body: inner } => {
+                assert_eq!(bound, Term::var("S"));
+                assert_eq!(*inner, Formula::exists("x", Term::Var(y), body.clone()));
+            }
+            other => panic!("unexpected: {other}"),
+        }
+        // empty path: substitution
+        let f = exists_path(&Name::new("x"), &SubtypePath::empty(), &Term::var("S"), Formula::eq_ur("x", "y"), &mut gen);
+        assert_eq!(f, Formula::eq_ur("S", "y"));
+    }
+
+    #[test]
+    fn path_quantification_semantics_members_of_members() {
+        let mut gen = NameGen::new();
+        // ∃x ∈^mm S . x = a   over S = {{1},{2,3}}
+        let p_mm = SubtypePath(vec![SubtypeStep::Member, SubtypeStep::Member]);
+        let f = exists_path(
+            &Name::new("x"),
+            &p_mm,
+            &Term::var("S"),
+            Formula::eq_ur("x", "a"),
+            &mut gen,
+        );
+        let s = Value::set([
+            Value::set([Value::atom(1)]),
+            Value::set([Value::atom(2), Value::atom(3)]),
+        ]);
+        assert!(eval_formula(&f, &env(vec![("S", s.clone()), ("a", Value::atom(3))])).unwrap());
+        assert!(!eval_formula(&f, &env(vec![("S", s), ("a", Value::atom(9))])).unwrap());
+    }
+
+    #[test]
+    fn lossless_constraints_hold_on_generated_instances() {
+        let mut gen = NameGen::new();
+        let elem_ty = Type::prod(Type::Ur, Type::set(Type::Ur));
+        let key = key_constraint(&Name::new("B"), &elem_ty, &mut gen);
+        let nonempty = second_nonempty(&Name::new("B"), &mut gen);
+        let inst = nrs_value::generate::keyed_nested_instance(5, 3, 11);
+        assert!(eval_formula(&key, &inst).unwrap());
+        assert!(eval_formula(&nonempty, &inst).unwrap());
+        // violate the key constraint
+        let b_bad = Value::set([
+            Value::pair(Value::atom(1), Value::set([Value::atom(5)])),
+            Value::pair(Value::atom(1), Value::set([Value::atom(6)])),
+        ]);
+        let bad = Instance::from_bindings([(Name::new("B"), b_bad)]);
+        assert!(!eval_formula(&key, &bad).unwrap());
+        // violate non-emptiness
+        let b_empty = Value::set([Value::pair(Value::atom(1), Value::empty_set())]);
+        let bad2 = Instance::from_bindings([(Name::new("B"), b_empty)]);
+        assert!(!eval_formula(&nonempty, &bad2).unwrap());
+    }
+
+    #[test]
+    fn macros_stay_within_delta0() {
+        let mut gen = NameGen::new();
+        let ty = Type::set(Type::prod(Type::Ur, Type::set(Type::Ur)));
+        assert!(equiv(&ty, &Term::var("s"), &Term::var("t"), &mut gen).is_delta0());
+        assert!(key_constraint(&Name::new("B"), &Type::prod(Type::Ur, Type::Ur), &mut gen).is_delta0());
+        assert!(member_hat(&ty, &Term::var("x"), &Term::var("s"), &mut gen).is_delta0());
+    }
+}

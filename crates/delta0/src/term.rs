@@ -1,0 +1,254 @@
+//! Δ0 terms: variables, the unit value, tupling and projections.
+
+use nrs_value::Name;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A Δ0 term (paper §3): `t, u ::= x | () | ⟨t, u⟩ | π1(t) | π2(t)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// A variable.
+    Var(Name),
+    /// The unit value `()`.
+    Unit,
+    /// A pair `⟨t, u⟩`.
+    Pair(Box<Term>, Box<Term>),
+    /// First projection.
+    Proj1(Box<Term>),
+    /// Second projection.
+    Proj2(Box<Term>),
+}
+
+impl Term {
+    /// A variable term.
+    pub fn var(name: impl Into<Name>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// A pair term.
+    pub fn pair(a: Term, b: Term) -> Term {
+        Term::Pair(Box::new(a), Box::new(b))
+    }
+
+    /// First projection.
+    pub fn proj1(t: Term) -> Term {
+        Term::Proj1(Box::new(t))
+    }
+
+    /// Second projection.
+    pub fn proj2(t: Term) -> Term {
+        Term::Proj2(Box::new(t))
+    }
+
+    /// A right-nested tuple term.
+    pub fn tuple(parts: Vec<Term>) -> Term {
+        let mut it = parts.into_iter().rev();
+        let last = it.next().expect("Term::tuple requires at least one component");
+        it.fold(last, |acc, t| Term::pair(t, acc))
+    }
+
+    /// The i-th component (0-based) of a right-nested `arity`-tuple term.
+    pub fn tuple_proj(t: Term, index: usize, arity: usize) -> Term {
+        assert!(index < arity && arity >= 1);
+        if arity == 1 {
+            return t;
+        }
+        if index == 0 {
+            Term::proj1(t)
+        } else {
+            Term::tuple_proj(Term::proj2(t), index - 1, arity - 1)
+        }
+    }
+
+    /// Is this term a bare variable?  Returns its name if so.
+    pub fn as_var(&self) -> Option<&Name> {
+        match self {
+            Term::Var(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Free variables of the term.
+    pub fn free_vars(&self) -> BTreeSet<Name> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<Name>) {
+        match self {
+            Term::Var(n) => {
+                out.insert(n.clone());
+            }
+            Term::Unit => {}
+            Term::Pair(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Term::Proj1(t) | Term::Proj2(t) => t.collect_vars(out),
+        }
+    }
+
+    /// Does the variable occur in this term?
+    pub fn mentions(&self, var: &Name) -> bool {
+        match self {
+            Term::Var(n) => n == var,
+            Term::Unit => false,
+            Term::Pair(a, b) => a.mentions(var) || b.mentions(var),
+            Term::Proj1(t) | Term::Proj2(t) => t.mentions(var),
+        }
+    }
+
+    /// Capture-free substitution of a term for a variable (terms have no
+    /// binders, so this is plain substitution).
+    pub fn subst_var(&self, var: &Name, replacement: &Term) -> Term {
+        match self {
+            Term::Var(n) if n == var => replacement.clone(),
+            Term::Var(_) | Term::Unit => self.clone(),
+            Term::Pair(a, b) => {
+                Term::pair(a.subst_var(var, replacement), b.subst_var(var, replacement))
+            }
+            Term::Proj1(t) => Term::proj1(t.subst_var(var, replacement)),
+            Term::Proj2(t) => Term::proj2(t.subst_var(var, replacement)),
+        }
+    }
+
+    /// Replace every syntactic occurrence of `target` (a whole sub-term) by
+    /// `replacement`.  Used by the ×β / ×η proof rules and by the congruence
+    /// transformations, which substitute terms for terms.
+    pub fn replace_term(&self, target: &Term, replacement: &Term) -> Term {
+        if self == target {
+            return replacement.clone();
+        }
+        match self {
+            Term::Var(_) | Term::Unit => self.clone(),
+            Term::Pair(a, b) => Term::pair(
+                a.replace_term(target, replacement),
+                b.replace_term(target, replacement),
+            ),
+            Term::Proj1(t) => Term::proj1(t.replace_term(target, replacement)),
+            Term::Proj2(t) => Term::proj2(t.replace_term(target, replacement)),
+        }
+    }
+
+    /// β-normalize projections applied to explicit pairs: `π_i(⟨t1, t2⟩) → t_i`.
+    pub fn beta_normalize(&self) -> Term {
+        match self {
+            Term::Var(_) | Term::Unit => self.clone(),
+            Term::Pair(a, b) => Term::pair(a.beta_normalize(), b.beta_normalize()),
+            Term::Proj1(t) => match t.beta_normalize() {
+                Term::Pair(a, _) => *a,
+                other => Term::proj1(other),
+            },
+            Term::Proj2(t) => match t.beta_normalize() {
+                Term::Pair(_, b) => *b,
+                other => Term::proj2(other),
+            },
+        }
+    }
+
+    /// Structural size of the term.
+    pub fn size(&self) -> usize {
+        match self {
+            Term::Var(_) | Term::Unit => 1,
+            Term::Pair(a, b) => 1 + a.size() + b.size(),
+            Term::Proj1(t) | Term::Proj2(t) => 1 + t.size(),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(n) => write!(f, "{n}"),
+            Term::Unit => write!(f, "()"),
+            Term::Pair(a, b) => write!(f, "<{a}, {b}>"),
+            Term::Proj1(t) => write!(f, "p1({t})"),
+            Term::Proj2(t) => write!(f, "p2({t})"),
+        }
+    }
+}
+
+impl From<Name> for Term {
+    fn from(n: Name) -> Self {
+        Term::Var(n)
+    }
+}
+
+impl From<&str> for Term {
+    fn from(s: &str) -> Self {
+        Term::var(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_display() {
+        let t = Term::pair(Term::proj1(Term::var("b")), Term::var("c"));
+        assert_eq!(t.to_string(), "<p1(b), c>");
+        assert_eq!(Term::Unit.to_string(), "()");
+        let v: Term = "x".into();
+        assert_eq!(v, Term::var("x"));
+    }
+
+    #[test]
+    fn free_vars_and_mentions() {
+        let t = Term::pair(Term::proj1(Term::var("b")), Term::var("c"));
+        let fv: Vec<String> = t.free_vars().into_iter().map(|n| n.0).collect();
+        assert_eq!(fv, vec!["b".to_string(), "c".to_string()]);
+        assert!(t.mentions(&Name::new("b")));
+        assert!(!t.mentions(&Name::new("z")));
+    }
+
+    #[test]
+    fn substitution_replaces_variables() {
+        let t = Term::pair(Term::var("x"), Term::proj2(Term::var("x")));
+        let s = t.subst_var(&Name::new("x"), &Term::var("y"));
+        assert_eq!(s, Term::pair(Term::var("y"), Term::proj2(Term::var("y"))));
+        // substituting an absent variable is the identity
+        assert_eq!(t.subst_var(&Name::new("z"), &Term::Unit), t);
+    }
+
+    #[test]
+    fn replace_term_substitutes_whole_subterms() {
+        let t = Term::proj1(Term::pair(Term::var("x"), Term::var("y")));
+        let r = t.replace_term(&Term::var("x"), &Term::Unit);
+        assert_eq!(r, Term::proj1(Term::pair(Term::Unit, Term::var("y"))));
+        // replacing the whole term
+        let whole = t.replace_term(&t, &Term::var("z"));
+        assert_eq!(whole, Term::var("z"));
+    }
+
+    #[test]
+    fn beta_normalization() {
+        let t = Term::proj1(Term::pair(Term::var("x"), Term::var("y")));
+        assert_eq!(t.beta_normalize(), Term::var("x"));
+        let u = Term::proj2(Term::pair(Term::var("x"), Term::proj2(Term::pair(Term::Unit, Term::var("y")))));
+        assert_eq!(u.beta_normalize(), Term::var("y"));
+        // nothing to do on a plain projection of a variable
+        let v = Term::proj1(Term::var("x"));
+        assert_eq!(v.beta_normalize(), v);
+    }
+
+    #[test]
+    fn tuples_and_tuple_projection() {
+        let t = Term::tuple(vec![Term::var("a"), Term::var("b"), Term::var("c")]);
+        assert_eq!(t, Term::pair(Term::var("a"), Term::pair(Term::var("b"), Term::var("c"))));
+        let p0 = Term::tuple_proj(t.clone(), 0, 3).beta_normalize();
+        let p1 = Term::tuple_proj(t.clone(), 1, 3).beta_normalize();
+        let p2 = Term::tuple_proj(t.clone(), 2, 3).beta_normalize();
+        assert_eq!(p0, Term::var("a"));
+        assert_eq!(p1, Term::var("b"));
+        assert_eq!(p2, Term::var("c"));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(Term::var("x").size(), 1);
+        assert_eq!(Term::pair(Term::var("x"), Term::proj1(Term::var("y"))).size(), 4);
+    }
+}

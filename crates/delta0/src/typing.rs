@@ -1,0 +1,227 @@
+//! Typing of Δ0 terms and formulas against a schema.
+//!
+//! The paper assumes all formulas and terms are well-typed "in the obvious
+//! way"; this module makes that check explicit, because the synthesis
+//! algorithm needs to know types (e.g. to build `≡_T` macros and to drive the
+//! type-directed recursion of Theorem 10).
+
+use crate::formula::Formula;
+use crate::term::Term;
+use crate::LogicError;
+use nrs_value::{Name, Schema, Type};
+use std::collections::BTreeMap;
+
+/// A typing environment: variable names to types, with shadowing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TypeEnv {
+    bindings: BTreeMap<Name, Type>,
+}
+
+impl TypeEnv {
+    /// The empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build an environment from a schema's declarations.
+    pub fn from_schema(schema: &Schema) -> Self {
+        TypeEnv { bindings: schema.iter().map(|(n, t)| (n.clone(), t.clone())).collect() }
+    }
+
+    /// Build from explicit pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Name, Type)>) -> Self {
+        TypeEnv { bindings: pairs.into_iter().collect() }
+    }
+
+    /// Look up a variable.
+    pub fn get(&self, name: &Name) -> Option<&Type> {
+        self.bindings.get(name)
+    }
+
+    /// Bind (or shadow) a variable.
+    pub fn with(&self, name: Name, ty: Type) -> TypeEnv {
+        let mut out = self.clone();
+        out.bindings.insert(name, ty);
+        out
+    }
+
+    /// Bind in place.
+    pub fn insert(&mut self, name: Name, ty: Type) {
+        self.bindings.insert(name, ty);
+    }
+
+    /// Iterate bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (&Name, &Type)> {
+        self.bindings.iter()
+    }
+
+    /// Convert back into a schema (used when handing environments to other
+    /// layers); shadowed names keep their innermost type.
+    pub fn to_schema(&self) -> Schema {
+        let mut s = Schema::new();
+        for (n, t) in &self.bindings {
+            // names are unique in the map, so this cannot fail
+            s.declare(n.clone(), t.clone()).expect("unique names");
+        }
+        s
+    }
+}
+
+/// Infer the type of a term in an environment.
+pub fn type_of_term(term: &Term, env: &TypeEnv) -> Result<Type, LogicError> {
+    match term {
+        Term::Var(n) => env.get(n).cloned().ok_or_else(|| LogicError::UnboundVariable(n.clone())),
+        Term::Unit => Ok(Type::Unit),
+        Term::Pair(a, b) => Ok(Type::prod(type_of_term(a, env)?, type_of_term(b, env)?)),
+        Term::Proj1(t) => match type_of_term(t, env)? {
+            Type::Prod(a, _) => Ok(*a),
+            other => Err(LogicError::IllTyped(format!("p1 applied to a term of type {other}"))),
+        },
+        Term::Proj2(t) => match type_of_term(t, env)? {
+            Type::Prod(_, b) => Ok(*b),
+            other => Err(LogicError::IllTyped(format!("p2 applied to a term of type {other}"))),
+        },
+    }
+}
+
+/// Check that a formula is well-typed in an environment.
+pub fn check_formula(formula: &Formula, env: &TypeEnv) -> Result<(), LogicError> {
+    match formula {
+        Formula::True | Formula::False => Ok(()),
+        Formula::EqUr(t, u) | Formula::NeqUr(t, u) => {
+            let tt = type_of_term(t, env)?;
+            let tu = type_of_term(u, env)?;
+            if tt == Type::Ur && tu == Type::Ur {
+                Ok(())
+            } else {
+                Err(LogicError::IllTyped(format!(
+                    "Ur-equality between terms of types {tt} and {tu}"
+                )))
+            }
+        }
+        Formula::Mem(t, u) | Formula::NotMem(t, u) => {
+            let tt = type_of_term(t, env)?;
+            let tu = type_of_term(u, env)?;
+            match tu {
+                Type::Set(inner) if *inner == tt => Ok(()),
+                other => Err(LogicError::IllTyped(format!(
+                    "membership of a {tt} in a {other}"
+                ))),
+            }
+        }
+        Formula::And(a, b) | Formula::Or(a, b) => {
+            check_formula(a, env)?;
+            check_formula(b, env)
+        }
+        Formula::Forall { var, bound, body } | Formula::Exists { var, bound, body } => {
+            let bound_ty = type_of_term(bound, env)?;
+            match bound_ty {
+                Type::Set(elem) => check_formula(body, &env.with(var.clone(), *elem)),
+                other => Err(LogicError::IllTyped(format!(
+                    "quantifier bound has non-set type {other}"
+                ))),
+            }
+        }
+    }
+}
+
+/// Convenience: check a formula directly against a schema.
+pub fn check_formula_in_schema(formula: &Formula, schema: &Schema) -> Result<(), LogicError> {
+    check_formula(formula, &TypeEnv::from_schema(schema))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::macros;
+    use nrs_value::NameGen;
+
+    fn flatten_env() -> TypeEnv {
+        TypeEnv::from_pairs([
+            (Name::new("B"), Type::set(Type::prod(Type::Ur, Type::set(Type::Ur)))),
+            (Name::new("V"), Type::relation(2)),
+        ])
+    }
+
+    #[test]
+    fn term_typing() {
+        let env = flatten_env().with(Name::new("b"), Type::prod(Type::Ur, Type::set(Type::Ur)));
+        assert_eq!(type_of_term(&Term::var("B"), &env).unwrap(), Type::set(Type::prod(Type::Ur, Type::set(Type::Ur))));
+        assert_eq!(type_of_term(&Term::proj1(Term::var("b")), &env).unwrap(), Type::Ur);
+        assert_eq!(type_of_term(&Term::proj2(Term::var("b")), &env).unwrap(), Type::set(Type::Ur));
+        assert_eq!(type_of_term(&Term::Unit, &env).unwrap(), Type::Unit);
+        assert_eq!(
+            type_of_term(&Term::pair(Term::Unit, Term::var("b")), &env).unwrap(),
+            Type::prod(Type::Unit, Type::prod(Type::Ur, Type::set(Type::Ur)))
+        );
+        assert!(type_of_term(&Term::proj1(Term::var("B")), &env).is_err());
+        assert!(type_of_term(&Term::var("missing"), &env).is_err());
+    }
+
+    #[test]
+    fn formula_typing_accepts_paper_example_conjuncts() {
+        // C1(B, V) from Example 4.1
+        let mut gen = NameGen::new();
+        let c1 = Formula::forall(
+            "v",
+            "V",
+            Formula::exists(
+                "b",
+                "B",
+                Formula::and(
+                    Formula::eq_ur(Term::proj1(Term::var("v")), Term::proj1(Term::var("b"))),
+                    macros::member_hat(
+                        &Type::Ur,
+                        &Term::proj2(Term::var("v")),
+                        &Term::proj2(Term::var("b")),
+                        &mut gen,
+                    ),
+                ),
+            ),
+        );
+        assert!(check_formula(&c1, &flatten_env()).is_ok());
+    }
+
+    #[test]
+    fn formula_typing_rejects_ill_typed_equalities_and_memberships() {
+        let env = flatten_env();
+        // B = V is not an Ur-equality
+        assert!(check_formula(&Formula::eq_ur("B", "V"), &env).is_err());
+        // quantifying over a non-set
+        let f = Formula::exists("x", Term::proj1(Term::var("B")), Formula::True);
+        assert!(check_formula(&f, &env).is_err());
+        // membership at the wrong element type
+        let m = Formula::mem("V", "B");
+        assert!(check_formula(&m, &env).is_err());
+        // well-typed membership
+        let env2 = env.with(Name::new("row"), Type::prod(Type::Ur, Type::set(Type::Ur)));
+        assert!(check_formula(&Formula::mem("row", "B"), &env2).is_ok());
+    }
+
+    #[test]
+    fn quantifier_binds_member_type() {
+        let env = flatten_env();
+        // ∀b ∈ B . ∃e ∈ π2(b) . e = e   is well-typed
+        let f = Formula::forall(
+            "b",
+            "B",
+            Formula::exists("e", Term::proj2(Term::var("b")), Formula::eq_ur("e", "e")),
+        );
+        assert!(check_formula(&f, &env).is_ok());
+        // but comparing e (Ur) against b (pair) is not
+        let g = Formula::forall(
+            "b",
+            "B",
+            Formula::exists("e", Term::proj2(Term::var("b")), Formula::eq_ur("e", "b")),
+        );
+        assert!(check_formula(&g, &env).is_err());
+    }
+
+    #[test]
+    fn type_env_schema_roundtrip() {
+        let env = flatten_env();
+        let schema = env.to_schema();
+        assert_eq!(TypeEnv::from_schema(&schema), env);
+        assert_eq!(env.iter().count(), 2);
+    }
+}

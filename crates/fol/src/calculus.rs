@@ -1,0 +1,413 @@
+//! The one-sided sequent calculus for first-order logic with equality
+//! (paper Figure 4), proof objects and the FO-focusing side condition.
+
+use crate::formula::{FoFormula, Var};
+use crate::FoError;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A one-sided sequent: a finite set of formulas read disjunctively.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FoSequent {
+    formulas: Vec<FoFormula>,
+}
+
+impl FoSequent {
+    /// Build a sequent (set semantics, sorted for determinism).
+    pub fn new(formulas: impl IntoIterator<Item = FoFormula>) -> Self {
+        let mut s = FoSequent::default();
+        for f in formulas {
+            s.insert(f);
+        }
+        s
+    }
+
+    /// The formulas, sorted.
+    pub fn formulas(&self) -> &[FoFormula] {
+        &self.formulas
+    }
+
+    /// Insert a formula.
+    pub fn insert(&mut self, f: FoFormula) {
+        if let Err(pos) = self.formulas.binary_search(&f) {
+            self.formulas.insert(pos, f);
+        }
+    }
+
+    /// Copy with an extra formula.
+    pub fn with(&self, f: FoFormula) -> FoSequent {
+        let mut s = self.clone();
+        s.insert(f);
+        s
+    }
+
+    /// Copy without a formula.
+    pub fn without(&self, f: &FoFormula) -> FoSequent {
+        let mut s = self.clone();
+        s.formulas.retain(|g| g != f);
+        s
+    }
+
+    /// Membership test.
+    pub fn contains(&self, f: &FoFormula) -> bool {
+        self.formulas.binary_search(f).is_ok()
+    }
+
+    /// Free variables of the sequent.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        self.formulas.iter().flat_map(|f| f.free_vars()).collect()
+    }
+
+    /// Total size.
+    pub fn size(&self) -> usize {
+        self.formulas.iter().map(FoFormula::size).sum()
+    }
+}
+
+impl fmt::Display for FoSequent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "|- ")?;
+        for (i, g) in self.formulas.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{g}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A rule of the one-sided calculus (Figure 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FoRule {
+    /// `Ax`: the conclusion contains a literal and its complement.
+    Ax {
+        /// The positive member of the complementary pair.
+        literal: FoFormula,
+    },
+    /// `⊤` axiom.
+    Top,
+    /// `∧`: two premises.
+    And {
+        /// The principal conjunction.
+        conj: FoFormula,
+    },
+    /// `∨`: one premise with both disjuncts.
+    Or {
+        /// The principal disjunction.
+        disj: FoFormula,
+    },
+    /// `∀`: one premise with a fresh eigenvariable.
+    Forall {
+        /// The principal universal formula.
+        quant: FoFormula,
+        /// The fresh eigenvariable.
+        witness: Var,
+    },
+    /// `∃`: one premise instantiated at a variable (the existential is kept).
+    Exists {
+        /// The principal existential formula.
+        quant: FoFormula,
+        /// The chosen witness variable.
+        witness: Var,
+    },
+    /// `Ref`: the premise additionally contains `t ≠ t`.
+    Ref {
+        /// The reflexivity variable.
+        var: Var,
+    },
+    /// `Repl`: from `t ≠ u` and a negative literal containing `t`, the premise
+    /// may additionally use the literal with occurrences of `t` replaced by `u`.
+    Repl {
+        /// The inequality `t ≠ u`.
+        ineq: FoFormula,
+        /// The literal `φ[t/x]` present in the conclusion.
+        literal: FoFormula,
+        /// The rewritten literal `φ[u/x]` added to the premise.
+        rewritten: FoFormula,
+    },
+}
+
+impl FoRule {
+    /// Rule name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FoRule::Ax { .. } => "Ax",
+            FoRule::Top => "⊤",
+            FoRule::And { .. } => "∧",
+            FoRule::Or { .. } => "∨",
+            FoRule::Forall { .. } => "∀",
+            FoRule::Exists { .. } => "∃",
+            FoRule::Ref { .. } => "Ref",
+            FoRule::Repl { .. } => "Repl",
+        }
+    }
+
+    /// The premises required when applying this rule to `conclusion`.
+    pub fn premises(&self, conclusion: &FoSequent) -> Result<Vec<FoSequent>, FoError> {
+        match self {
+            FoRule::Ax { literal } => {
+                if literal.is_literal()
+                    && conclusion.contains(literal)
+                    && conclusion.contains(&literal.negate())
+                {
+                    Ok(vec![])
+                } else {
+                    Err(FoError::RuleNotApplicable(format!(
+                        "Ax: complementary pair for {literal} not present"
+                    )))
+                }
+            }
+            FoRule::Top => {
+                if conclusion.contains(&FoFormula::True) {
+                    Ok(vec![])
+                } else {
+                    Err(FoError::RuleNotApplicable("⊤ not present".into()))
+                }
+            }
+            FoRule::And { conj } => match conj {
+                FoFormula::And(a, b) if conclusion.contains(conj) => {
+                    let base = conclusion.without(conj);
+                    Ok(vec![base.with((**a).clone()), base.with((**b).clone())])
+                }
+                _ => Err(FoError::RuleNotApplicable(format!("∧: {conj} not a present conjunction"))),
+            },
+            FoRule::Or { disj } => match disj {
+                FoFormula::Or(a, b) if conclusion.contains(disj) => {
+                    let base = conclusion.without(disj);
+                    Ok(vec![base.with((**a).clone()).with((**b).clone())])
+                }
+                _ => Err(FoError::RuleNotApplicable(format!("∨: {disj} not a present disjunction"))),
+            },
+            FoRule::Forall { quant, witness } => match quant {
+                FoFormula::Forall(x, body) if conclusion.contains(quant) => {
+                    if conclusion.free_vars().contains(witness) {
+                        return Err(FoError::RuleNotApplicable(format!(
+                            "∀: eigenvariable {witness} is not fresh"
+                        )));
+                    }
+                    Ok(vec![conclusion.without(quant).with(body.subst(x, witness))])
+                }
+                _ => Err(FoError::RuleNotApplicable(format!("∀: {quant} not a present universal"))),
+            },
+            FoRule::Exists { quant, witness } => match quant {
+                FoFormula::Exists(x, body) if conclusion.contains(quant) => {
+                    Ok(vec![conclusion.with(body.subst(x, witness))])
+                }
+                _ => {
+                    Err(FoError::RuleNotApplicable(format!("∃: {quant} not a present existential")))
+                }
+            },
+            FoRule::Ref { var } => {
+                Ok(vec![conclusion.with(FoFormula::Neq(var.clone(), var.clone()))])
+            }
+            FoRule::Repl { ineq, literal, rewritten } => {
+                let (t, u) = match ineq {
+                    FoFormula::Neq(t, u) => (t.clone(), u.clone()),
+                    other => {
+                        return Err(FoError::RuleNotApplicable(format!(
+                            "Repl: {other} is not an inequality"
+                        )))
+                    }
+                };
+                if !conclusion.contains(ineq) || !conclusion.contains(literal) {
+                    return Err(FoError::RuleNotApplicable("Repl: principals not present".into()));
+                }
+                if !literal.is_literal() || !rewritten.is_literal() {
+                    return Err(FoError::RuleNotApplicable("Repl: principals must be literals".into()));
+                }
+                // check the rewrite replaces occurrences of t by u
+                let full = rename_everywhere(literal, &t, &u);
+                if rewritten != &full && rewritten != literal {
+                    // allow partial replacements by checking back-substitution
+                    let back = rename_everywhere(rewritten, &u, &t);
+                    if back != *literal && rename_everywhere(&back, &t, &u) != full {
+                        return Err(FoError::RuleNotApplicable(format!(
+                            "Repl: {rewritten} is not {literal} with {t} replaced by {u}"
+                        )));
+                    }
+                }
+                Ok(vec![conclusion.with(rewritten.clone())])
+            }
+        }
+    }
+}
+
+fn rename_everywhere(f: &FoFormula, from: &str, to: &str) -> FoFormula {
+    // variables only (no binders over free replacement targets in literals)
+    f.subst(from, to)
+}
+
+/// A proof tree in the one-sided calculus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoProof {
+    /// The conclusion.
+    pub conclusion: FoSequent,
+    /// The rule applied at the root.
+    pub rule: FoRule,
+    /// Sub-proofs, in rule order.
+    pub premises: Vec<FoProof>,
+}
+
+impl FoProof {
+    /// Build a node, validating the rule application and premise shapes.
+    pub fn by(conclusion: FoSequent, rule: FoRule, premises: Vec<FoProof>) -> Result<FoProof, FoError> {
+        let expected = rule.premises(&conclusion)?;
+        if expected.len() != premises.len() {
+            return Err(FoError::PremiseMismatch(format!(
+                "{} expects {} premises, got {}",
+                rule.name(),
+                expected.len(),
+                premises.len()
+            )));
+        }
+        for (want, have) in expected.iter().zip(premises.iter()) {
+            if want != &have.conclusion {
+                return Err(FoError::PremiseMismatch(format!(
+                    "{}: expected `{want}`, found `{}`",
+                    rule.name(),
+                    have.conclusion
+                )));
+            }
+        }
+        Ok(FoProof { conclusion, rule, premises })
+    }
+
+    /// Number of nodes.
+    pub fn size(&self) -> usize {
+        1 + self.premises.iter().map(FoProof::size).sum::<usize>()
+    }
+
+    /// All nodes, pre-order.
+    pub fn nodes(&self) -> Vec<&FoProof> {
+        let mut out = vec![self];
+        for p in &self.premises {
+            out.extend(p.nodes());
+        }
+        out
+    }
+}
+
+/// Check a whole proof tree.
+pub fn check_fo_proof(proof: &FoProof) -> Result<(), FoError> {
+    let expected = proof.rule.premises(&proof.conclusion)?;
+    if expected.len() != proof.premises.len() {
+        return Err(FoError::PremiseMismatch(proof.rule.name().into()));
+    }
+    for (want, have) in expected.iter().zip(proof.premises.iter()) {
+        if want != &have.conclusion {
+            return Err(FoError::PremiseMismatch(format!("expected {want}, found {}", have.conclusion)));
+        }
+        check_fo_proof(have)?;
+    }
+    Ok(())
+}
+
+/// Is the proof **FO-focused** (Appendix H)?  No application of `Ax`, `⊤`,
+/// `∃`, `Ref` or `Repl` may contain in its conclusion a formula whose
+/// top-level connective is ∨, ∧ or ∀.
+pub fn is_fo_focused(proof: &FoProof) -> bool {
+    proof.nodes().iter().all(|node| match node.rule {
+        FoRule::Ax { .. } | FoRule::Top | FoRule::Exists { .. } | FoRule::Ref { .. } | FoRule::Repl { .. } => {
+            node.conclusion.formulas().iter().all(|f| {
+                !matches!(f, FoFormula::And(_, _) | FoFormula::Or(_, _) | FoFormula::Forall(_, _))
+            })
+        }
+        _ => true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axioms_and_connectives() {
+        let p = FoFormula::atom("P", vec!["x"]);
+        let seq = FoSequent::new([p.clone(), p.negate(), FoFormula::atom("Q", vec!["y"])]);
+        let ax = FoProof::by(seq, FoRule::Ax { literal: p.clone() }, vec![]).unwrap();
+        assert!(check_fo_proof(&ax).is_ok());
+        assert!(is_fo_focused(&ax));
+
+        let conj = FoFormula::and(p.clone(), FoFormula::True);
+        let root = FoSequent::new([conj.clone(), p.negate()]);
+        let rule = FoRule::And { conj: conj.clone() };
+        let prems = rule.premises(&root).unwrap();
+        let left = FoProof::by(prems[0].clone(), FoRule::Ax { literal: p.clone() }, vec![]).unwrap();
+        let right = FoProof::by(prems[1].clone(), FoRule::Top, vec![]).unwrap();
+        let proof = FoProof::by(root, rule, vec![left, right]).unwrap();
+        assert!(check_fo_proof(&proof).is_ok());
+        assert_eq!(proof.size(), 3);
+        // the axiom's conclusion contains a conjunction? no: premises dropped it,
+        // so the proof is focused
+        assert!(is_fo_focused(&proof));
+    }
+
+    #[test]
+    fn quantifier_rules() {
+        // ⊢ ∃x. (¬P(x) ∨ P(x))   — instantiate at any variable, say c
+        let body = FoFormula::or(FoFormula::neg_atom("P", vec!["x"]), FoFormula::atom("P", vec!["x"]));
+        let goal = FoFormula::exists("x", body.clone());
+        let root = FoSequent::new([goal.clone()]);
+        let ex = FoRule::Exists { quant: goal.clone(), witness: "c".into() };
+        let after_ex = ex.premises(&root).unwrap().remove(0);
+        let disj = body.subst("x", "c");
+        let or = FoRule::Or { disj: disj.clone() };
+        let after_or = or.premises(&after_ex).unwrap().remove(0);
+        let ax = FoProof::by(
+            after_or,
+            FoRule::Ax { literal: FoFormula::atom("P", vec!["c"]) },
+            vec![],
+        )
+        .unwrap();
+        let p_or = FoProof::by(after_ex, or, vec![ax]).unwrap();
+        let proof = FoProof::by(root, ex, vec![p_or]).unwrap();
+        assert!(check_fo_proof(&proof).is_ok());
+        // NOT focused: the ∃ rule's conclusion contains a disjunction? the
+        // conclusion of the ∃ node is the root, whose only formula is the
+        // existential — so it *is* focused.
+        assert!(is_fo_focused(&proof));
+    }
+
+    #[test]
+    fn equality_rules() {
+        // ⊢ x = x   via Ref then Ax on the complementary pair
+        let goal = FoFormula::Eq("x".into(), "x".into());
+        let root = FoSequent::new([goal.clone()]);
+        let refl = FoRule::Ref { var: "x".into() };
+        let prem = refl.premises(&root).unwrap().remove(0);
+        let ax = FoProof::by(prem, FoRule::Ax { literal: goal.clone() }, vec![]).unwrap();
+        let proof = FoProof::by(root, refl, vec![ax]).unwrap();
+        assert!(check_fo_proof(&proof).is_ok());
+
+        // Repl: from x ≠ y and ¬P(x), the premise may use ¬P(y)
+        let seq = FoSequent::new([
+            FoFormula::Neq("x".into(), "y".into()),
+            FoFormula::neg_atom("P", vec!["x"]),
+            FoFormula::atom("P", vec!["y"]),
+        ]);
+        let repl = FoRule::Repl {
+            ineq: FoFormula::Neq("x".into(), "y".into()),
+            literal: FoFormula::neg_atom("P", vec!["x"]),
+            rewritten: FoFormula::neg_atom("P", vec!["y"]),
+        };
+        let prem = repl.premises(&seq).unwrap().remove(0);
+        let ax = FoProof::by(prem, FoRule::Ax { literal: FoFormula::atom("P", vec!["y"]) }, vec![]).unwrap();
+        let proof = FoProof::by(seq, repl, vec![ax]).unwrap();
+        assert!(check_fo_proof(&proof).is_ok());
+    }
+
+    #[test]
+    fn tampered_proofs_are_rejected() {
+        let p = FoFormula::atom("P", vec!["x"]);
+        let seq = FoSequent::new([p.clone()]);
+        assert!(FoProof::by(seq.clone(), FoRule::Ax { literal: p.clone() }, vec![]).is_err());
+        assert!(FoRule::Top.premises(&seq).is_err());
+        let not_fresh = FoRule::Forall {
+            quant: FoFormula::forall("z", FoFormula::atom("P", vec!["z"])),
+            witness: "x".into(),
+        };
+        let seq2 = FoSequent::new([FoFormula::forall("z", FoFormula::atom("P", vec!["z"])), p]);
+        assert!(not_fresh.premises(&seq2).is_err());
+    }
+}

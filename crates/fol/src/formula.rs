@@ -1,0 +1,275 @@
+//! First-order formulas in negation normal form (Appendix H):
+//!
+//! ```text
+//! φ, ψ ::= P(x̄) | ¬P(x̄) | x = y | x ≠ y | ⊤ | ⊥ | φ ∧ ψ | φ ∨ ψ | ∀x φ | ∃x φ
+//! ```
+//!
+//! There are no function symbols; individual constants are modelled by free
+//! variables, exactly as in the paper.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A variable name.
+pub type Var = String;
+/// A predicate name.
+pub type Pred = String;
+
+/// A first-order formula in negation normal form.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FoFormula {
+    /// A positive literal `P(x̄)`.
+    Atom(Pred, Vec<Var>),
+    /// A negative literal `¬P(x̄)`.
+    NegAtom(Pred, Vec<Var>),
+    /// `x = y`.
+    Eq(Var, Var),
+    /// `x ≠ y`.
+    Neq(Var, Var),
+    /// Truth.
+    True,
+    /// Falsity.
+    False,
+    /// Conjunction.
+    And(Box<FoFormula>, Box<FoFormula>),
+    /// Disjunction.
+    Or(Box<FoFormula>, Box<FoFormula>),
+    /// Universal quantification.
+    Forall(Var, Box<FoFormula>),
+    /// Existential quantification.
+    Exists(Var, Box<FoFormula>),
+}
+
+impl FoFormula {
+    /// A positive atom.
+    pub fn atom(p: impl Into<Pred>, args: Vec<&str>) -> FoFormula {
+        FoFormula::Atom(p.into(), args.into_iter().map(String::from).collect())
+    }
+
+    /// A negated atom.
+    pub fn neg_atom(p: impl Into<Pred>, args: Vec<&str>) -> FoFormula {
+        FoFormula::NegAtom(p.into(), args.into_iter().map(String::from).collect())
+    }
+
+    /// Conjunction.
+    pub fn and(a: FoFormula, b: FoFormula) -> FoFormula {
+        FoFormula::And(Box::new(a), Box::new(b))
+    }
+
+    /// Disjunction.
+    pub fn or(a: FoFormula, b: FoFormula) -> FoFormula {
+        FoFormula::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Universal quantification.
+    pub fn forall(x: impl Into<Var>, body: FoFormula) -> FoFormula {
+        FoFormula::Forall(x.into(), Box::new(body))
+    }
+
+    /// Existential quantification.
+    pub fn exists(x: impl Into<Var>, body: FoFormula) -> FoFormula {
+        FoFormula::Exists(x.into(), Box::new(body))
+    }
+
+    /// `φ → ψ` as `¬φ ∨ ψ`.
+    pub fn implies(a: FoFormula, b: FoFormula) -> FoFormula {
+        FoFormula::or(a.negate(), b)
+    }
+
+    /// Negation by dualization (NNF is preserved).
+    pub fn negate(&self) -> FoFormula {
+        match self {
+            FoFormula::Atom(p, a) => FoFormula::NegAtom(p.clone(), a.clone()),
+            FoFormula::NegAtom(p, a) => FoFormula::Atom(p.clone(), a.clone()),
+            FoFormula::Eq(x, y) => FoFormula::Neq(x.clone(), y.clone()),
+            FoFormula::Neq(x, y) => FoFormula::Eq(x.clone(), y.clone()),
+            FoFormula::True => FoFormula::False,
+            FoFormula::False => FoFormula::True,
+            FoFormula::And(a, b) => FoFormula::or(a.negate(), b.negate()),
+            FoFormula::Or(a, b) => FoFormula::and(a.negate(), b.negate()),
+            FoFormula::Forall(x, body) => FoFormula::exists(x.clone(), body.negate()),
+            FoFormula::Exists(x, body) => FoFormula::forall(x.clone(), body.negate()),
+        }
+    }
+
+    /// Is this a literal (atom, negated atom or (in)equality)?
+    pub fn is_literal(&self) -> bool {
+        matches!(
+            self,
+            FoFormula::Atom(_, _)
+                | FoFormula::NegAtom(_, _)
+                | FoFormula::Eq(_, _)
+                | FoFormula::Neq(_, _)
+        )
+    }
+
+    /// Free variables.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_free(&mut BTreeSet::new(), &mut out);
+        out
+    }
+
+    fn collect_free(&self, bound: &mut BTreeSet<Var>, out: &mut BTreeSet<Var>) {
+        match self {
+            FoFormula::Atom(_, args) | FoFormula::NegAtom(_, args) => {
+                for a in args {
+                    if !bound.contains(a) {
+                        out.insert(a.clone());
+                    }
+                }
+            }
+            FoFormula::Eq(x, y) | FoFormula::Neq(x, y) => {
+                for a in [x, y] {
+                    if !bound.contains(a) {
+                        out.insert(a.clone());
+                    }
+                }
+            }
+            FoFormula::True | FoFormula::False => {}
+            FoFormula::And(a, b) | FoFormula::Or(a, b) => {
+                a.collect_free(bound, out);
+                b.collect_free(bound, out);
+            }
+            FoFormula::Forall(x, body) | FoFormula::Exists(x, body) => {
+                let newly = bound.insert(x.clone());
+                body.collect_free(bound, out);
+                if newly {
+                    bound.remove(x);
+                }
+            }
+        }
+    }
+
+    /// Predicates occurring in the formula.
+    pub fn predicates(&self) -> BTreeSet<Pred> {
+        let mut out = BTreeSet::new();
+        match self {
+            FoFormula::Atom(p, _) | FoFormula::NegAtom(p, _) => {
+                out.insert(p.clone());
+            }
+            FoFormula::Eq(_, _) | FoFormula::Neq(_, _) | FoFormula::True | FoFormula::False => {}
+            FoFormula::And(a, b) | FoFormula::Or(a, b) => {
+                out.extend(a.predicates());
+                out.extend(b.predicates());
+            }
+            FoFormula::Forall(_, body) | FoFormula::Exists(_, body) => out.extend(body.predicates()),
+        }
+        out
+    }
+
+    /// Capture-avoiding substitution of a variable for a variable.
+    pub fn subst(&self, from: &str, to: &str) -> FoFormula {
+        let sub = |v: &Var| if v == from { to.to_string() } else { v.clone() };
+        match self {
+            FoFormula::Atom(p, a) => FoFormula::Atom(p.clone(), a.iter().map(sub).collect()),
+            FoFormula::NegAtom(p, a) => FoFormula::NegAtom(p.clone(), a.iter().map(sub).collect()),
+            FoFormula::Eq(x, y) => FoFormula::Eq(sub(x), sub(y)),
+            FoFormula::Neq(x, y) => FoFormula::Neq(sub(x), sub(y)),
+            FoFormula::True => FoFormula::True,
+            FoFormula::False => FoFormula::False,
+            FoFormula::And(a, b) => FoFormula::and(a.subst(from, to), b.subst(from, to)),
+            FoFormula::Or(a, b) => FoFormula::or(a.subst(from, to), b.subst(from, to)),
+            FoFormula::Forall(x, body) if x == from => self.clone_with_body(x, body),
+            FoFormula::Exists(x, body) if x == from => self.clone_with_body(x, body),
+            FoFormula::Forall(x, body) => {
+                if x == to {
+                    let fresh = format!("{x}'");
+                    let renamed = body.subst(x, &fresh);
+                    FoFormula::forall(fresh, renamed.subst(from, to))
+                } else {
+                    FoFormula::forall(x.clone(), body.subst(from, to))
+                }
+            }
+            FoFormula::Exists(x, body) => {
+                if x == to {
+                    let fresh = format!("{x}'");
+                    let renamed = body.subst(x, &fresh);
+                    FoFormula::exists(fresh, renamed.subst(from, to))
+                } else {
+                    FoFormula::exists(x.clone(), body.subst(from, to))
+                }
+            }
+        }
+    }
+
+    fn clone_with_body(&self, _x: &Var, _body: &FoFormula) -> FoFormula {
+        self.clone()
+    }
+
+    /// Structural size.
+    pub fn size(&self) -> usize {
+        match self {
+            FoFormula::Atom(_, a) | FoFormula::NegAtom(_, a) => 1 + a.len(),
+            FoFormula::Eq(_, _) | FoFormula::Neq(_, _) | FoFormula::True | FoFormula::False => 1,
+            FoFormula::And(a, b) | FoFormula::Or(a, b) => 1 + a.size() + b.size(),
+            FoFormula::Forall(_, body) | FoFormula::Exists(_, body) => 1 + body.size(),
+        }
+    }
+}
+
+impl fmt::Display for FoFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FoFormula::Atom(p, a) => write!(f, "{p}({})", a.join(",")),
+            FoFormula::NegAtom(p, a) => write!(f, "~{p}({})", a.join(",")),
+            FoFormula::Eq(x, y) => write!(f, "{x} = {y}"),
+            FoFormula::Neq(x, y) => write!(f, "{x} != {y}"),
+            FoFormula::True => write!(f, "T"),
+            FoFormula::False => write!(f, "F"),
+            FoFormula::And(a, b) => write!(f, "({a} & {b})"),
+            FoFormula::Or(a, b) => write!(f, "({a} | {b})"),
+            FoFormula::Forall(x, body) => write!(f, "(all {x}. {body})"),
+            FoFormula::Exists(x, body) => write!(f, "(ex {x}. {body})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negation_is_involutive_and_dualizes() {
+        let f = FoFormula::forall("x", FoFormula::implies(FoFormula::atom("R", vec!["x", "c"]), FoFormula::atom("S", vec!["x"])));
+        assert_eq!(f.negate().negate(), f);
+        assert!(matches!(f.negate(), FoFormula::Exists(_, _)));
+        assert_eq!(FoFormula::Eq("x".into(), "y".into()).negate(), FoFormula::Neq("x".into(), "y".into()));
+    }
+
+    #[test]
+    fn free_vars_and_predicates() {
+        let f = FoFormula::forall(
+            "x",
+            FoFormula::and(FoFormula::atom("R", vec!["x", "c"]), FoFormula::Eq("x".into(), "d".into())),
+        );
+        let fv: Vec<String> = f.free_vars().into_iter().collect();
+        assert_eq!(fv, vec!["c".to_string(), "d".to_string()]);
+        assert!(f.predicates().contains("R"));
+        assert_eq!(f.predicates().len(), 1);
+        assert!(f.size() > 3);
+    }
+
+    #[test]
+    fn substitution_avoids_capture() {
+        // (∃x. R(x, y))[y := x] must rename the binder
+        let f = FoFormula::exists("x", FoFormula::atom("R", vec!["x", "y"]));
+        let s = f.subst("y", "x");
+        match s {
+            FoFormula::Exists(v, body) => {
+                assert_ne!(v, "x");
+                assert_eq!(*body, FoFormula::Atom("R".into(), vec![v, "x".to_string()]));
+            }
+            other => panic!("unexpected {other}"),
+        }
+        // substituting a bound variable is a no-op
+        let g = FoFormula::exists("x", FoFormula::atom("R", vec!["x"]));
+        assert_eq!(g.subst("x", "z"), g);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let f = FoFormula::or(FoFormula::neg_atom("V", vec!["x"]), FoFormula::True);
+        assert_eq!(f.to_string(), "(~V(x) | T)");
+    }
+}

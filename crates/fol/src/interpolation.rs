@@ -1,0 +1,245 @@
+//! Maehara interpolation for the first-order calculus (the classical result
+//! the paper's Theorem 4 parallels, and the basis of the "definability up to
+//! parameters and disjunction" argument of Appendix H, Theorem 21).
+//!
+//! Given a proof of `⊢ Δ_L, Δ_R` and the partition into left and right parts,
+//! [`fo_interpolate`] computes a formula `θ` with `⊨ Δ_L ∨ θ`, `⊨ Δ_R ∨ ¬θ`,
+//! whose predicates and free variables occur on both sides.  Free variables of
+//! one side only are generalized away with a quantifier whose polarity depends
+//! on the side — the same repair that Theorem 21 performs when it turns
+//! right-parameters into common parameters.
+
+use crate::calculus::{FoProof, FoRule, FoSequent};
+use crate::formula::{FoFormula, Var};
+use crate::FoError;
+use std::collections::BTreeSet;
+
+/// A left/right partition of a sequent's formulas (left is listed; the rest is
+/// right).
+#[derive(Debug, Clone, Default)]
+pub struct FoPartition {
+    /// Formulas belonging to the left part.
+    pub left: BTreeSet<FoFormula>,
+}
+
+impl FoPartition {
+    /// Build a partition from the left formulas.
+    pub fn with_left(left: impl IntoIterator<Item = FoFormula>) -> Self {
+        FoPartition { left: left.into_iter().collect() }
+    }
+
+    fn is_left(&self, f: &FoFormula) -> bool {
+        self.left.contains(f)
+    }
+
+    fn vars_of_side(&self, seq: &FoSequent, left: bool) -> BTreeSet<Var> {
+        seq.formulas()
+            .iter()
+            .filter(|f| self.is_left(f) == left)
+            .flat_map(|f| f.free_vars())
+            .collect()
+    }
+
+    fn common_vars(&self, seq: &FoSequent) -> BTreeSet<Var> {
+        let l = self.vars_of_side(seq, true);
+        let r = self.vars_of_side(seq, false);
+        l.intersection(&r).cloned().collect()
+    }
+
+    /// Partition for a premise: surviving formulas keep their side, new
+    /// formulas inherit the side of the principal formula.
+    fn premise(&self, conclusion: &FoSequent, rule: &FoRule, premise: &FoSequent) -> FoPartition {
+        let principal_left = match rule {
+            FoRule::And { conj } => self.is_left(conj),
+            FoRule::Or { disj } => self.is_left(disj),
+            FoRule::Forall { quant, .. } | FoRule::Exists { quant, .. } => self.is_left(quant),
+            FoRule::Repl { literal, .. } => self.is_left(literal),
+            FoRule::Ref { .. } | FoRule::Ax { .. } | FoRule::Top => false,
+        };
+        let mut out = FoPartition::default();
+        for f in premise.formulas() {
+            if conclusion.contains(f) {
+                if self.is_left(f) {
+                    out.left.insert(f.clone());
+                }
+            } else if principal_left {
+                out.left.insert(f.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Compute a Craig interpolant for the root sequent of `proof` under the
+/// partition.
+pub fn fo_interpolate(proof: &FoProof, partition: &FoPartition) -> Result<FoFormula, FoError> {
+    extract(proof, partition)
+}
+
+fn extract(proof: &FoProof, partition: &FoPartition) -> Result<FoFormula, FoError> {
+    let seq = &proof.conclusion;
+    let premises =
+        proof.rule.premises(seq).map_err(|e| FoError::Interpolation(e.to_string()))?;
+    match &proof.rule {
+        FoRule::Top => Ok(side_constant(partition.is_left(&FoFormula::True))),
+        FoRule::Ax { literal } => {
+            let pos_left = partition.is_left(literal);
+            let neg_left = partition.is_left(&literal.negate());
+            Ok(match (pos_left, neg_left) {
+                // both occurrences on the same side: that side closes alone
+                (true, true) => FoFormula::False,
+                (false, false) => FoFormula::True,
+                // split across the sides: the literal itself is the interpolant
+                (true, false) => literal.negate(),
+                (false, true) => literal.clone(),
+            })
+        }
+        FoRule::And { conj } => {
+            let p0 = partition.premise(seq, &proof.rule, &premises[0]);
+            let p1 = partition.premise(seq, &proof.rule, &premises[1]);
+            let t0 = extract(&proof.premises[0], &p0)?;
+            let t1 = extract(&proof.premises[1], &p1)?;
+            Ok(if partition.is_left(conj) {
+                simplify_or(t0, t1)
+            } else {
+                simplify_and(t0, t1)
+            })
+        }
+        FoRule::Or { .. } | FoRule::Forall { .. } | FoRule::Ref { .. } => {
+            let p0 = partition.premise(seq, &proof.rule, &premises[0]);
+            extract(&proof.premises[0], &p0)
+        }
+        FoRule::Repl { ineq, literal, .. } => {
+            let p0 = partition.premise(seq, &proof.rule, &premises[0]);
+            let inner = extract(&proof.premises[0], &p0)?;
+            let (t, u) = match ineq {
+                FoFormula::Neq(t, u) => (t.clone(), u.clone()),
+                _ => unreachable!("checked by premises()"),
+            };
+            if partition.is_left(ineq) == partition.is_left(literal) {
+                return Ok(inner);
+            }
+            let common = partition.common_vars(seq);
+            if common.contains(&u) {
+                Ok(if partition.is_left(literal) {
+                    simplify_or(inner, FoFormula::Neq(t, u))
+                } else {
+                    simplify_and(inner, FoFormula::Eq(t, u))
+                })
+            } else {
+                Ok(inner.subst(&u, &t))
+            }
+        }
+        FoRule::Exists { quant, witness } => {
+            let p0 = partition.premise(seq, &proof.rule, &premises[0]);
+            let inner = extract(&proof.premises[0], &p0)?;
+            let common = partition.common_vars(seq);
+            if common.contains(witness) || !inner.free_vars().contains(witness) {
+                return Ok(inner);
+            }
+            // generalize the witness away: ∀ if the existential is on the left,
+            // ∃ if it is on the right (the Lemma 11 analogue for plain FO).
+            Ok(if partition.is_left(quant) {
+                FoFormula::forall(witness.clone(), inner)
+            } else {
+                FoFormula::exists(witness.clone(), inner)
+            })
+        }
+    }
+}
+
+fn side_constant(left: bool) -> FoFormula {
+    if left {
+        FoFormula::False
+    } else {
+        FoFormula::True
+    }
+}
+
+fn simplify_and(a: FoFormula, b: FoFormula) -> FoFormula {
+    match (&a, &b) {
+        (FoFormula::True, _) => b,
+        (_, FoFormula::True) => a,
+        (FoFormula::False, _) | (_, FoFormula::False) => FoFormula::False,
+        _ if a == b => a,
+        _ => FoFormula::and(a, b),
+    }
+}
+
+fn simplify_or(a: FoFormula, b: FoFormula) -> FoFormula {
+    match (&a, &b) {
+        (FoFormula::False, _) => b,
+        (_, FoFormula::False) => a,
+        (FoFormula::True, _) | (_, FoFormula::True) => FoFormula::True,
+        _ if a == b => a,
+        _ => FoFormula::or(a, b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prover::{fo_prove, FoProverConfig};
+
+    fn interpolate_entailment(
+        left_assumptions: &[FoFormula],
+        right_assumptions: &[FoFormula],
+        goal: &FoFormula,
+    ) -> FoFormula {
+        let assumptions: Vec<FoFormula> =
+            left_assumptions.iter().chain(right_assumptions.iter()).cloned().collect();
+        let proof = fo_prove(&assumptions, std::slice::from_ref(goal), &FoProverConfig::default())
+            .expect("provable");
+        let partition =
+            FoPartition::with_left(left_assumptions.iter().map(FoFormula::negate));
+        fo_interpolate(&proof, &partition).expect("interpolant")
+    }
+
+    #[test]
+    fn propositional_interpolants_use_shared_predicates_only() {
+        // Left: R(c) → S(c); Right: S(c) → T(c); goal: R(c) → T(c)
+        let l = FoFormula::implies(FoFormula::atom("R", vec!["c"]), FoFormula::atom("S", vec!["c"]));
+        let r = FoFormula::implies(FoFormula::atom("S", vec!["c"]), FoFormula::atom("T", vec!["c"]));
+        let goal =
+            FoFormula::implies(FoFormula::atom("R", vec!["c"]), FoFormula::atom("T", vec!["c"]));
+        let theta = interpolate_entailment(&[l], &[r, goal.negate()], &goal);
+        // shared predicate: only S (plus the goal side shares R, T with…)
+        assert!(theta.predicates().is_subset(&["R", "S", "T"].iter().map(|s| s.to_string()).collect()));
+        // θ must not mention predicates absent from the left side
+        for p in theta.predicates() {
+            assert_ne!(p, "T", "interpolant may not mention a right-only predicate");
+        }
+    }
+
+    #[test]
+    fn quantified_interpolation_generalizes_witnesses() {
+        // Left: ∀x (R(x) → S(x)) and R(c); Right: ∀x (S(x) → T(x)); goal ∃y T(y)
+        let l1 = FoFormula::forall(
+            "x",
+            FoFormula::implies(FoFormula::atom("R", vec!["x"]), FoFormula::atom("S", vec!["x"])),
+        );
+        let l2 = FoFormula::atom("R", vec!["c"]);
+        let r = FoFormula::forall(
+            "x",
+            FoFormula::implies(FoFormula::atom("S", vec!["x"]), FoFormula::atom("T", vec!["x"])),
+        );
+        let goal = FoFormula::exists("y", FoFormula::atom("T", vec!["y"]));
+        let theta = interpolate_entailment(&[l1, l2], &[r], &goal);
+        for p in theta.predicates() {
+            assert!(p == "S" || p == "R", "unexpected predicate {p} in {theta}");
+        }
+        assert!(!theta.predicates().contains("T"));
+    }
+
+    #[test]
+    fn equality_crossing_the_partition() {
+        // Left: x = y; Right: P(x); goal P(y)
+        let theta = interpolate_entailment(
+            &[FoFormula::Eq("x".into(), "y".into())],
+            &[FoFormula::atom("P", vec!["x"])],
+            &FoFormula::atom("P", vec!["y"]),
+        );
+        // the interpolant may mention x, y (common via the goal / assumptions)
+        assert!(theta.free_vars().is_subset(&["x".to_string(), "y".to_string()].into_iter().collect()));
+    }
+}

@@ -1,0 +1,50 @@
+//! # nrs-fol
+//!
+//! The first-order companion toolkit of the paper's Appendix H/I: classical
+//! first-order logic with equality (no function symbols), its one-sided
+//! sequent calculus (Figure 4), FO-focused proofs and the unfocused→focused
+//! conversion (Theorem 22), Maehara interpolation, and definability *up to
+//! parameters and disjunction* — the first-order intuition behind the NRC
+//! Parameter Collection theorem (Theorem 21).
+//!
+//! The flat-relational setting is also the baseline of the Segoufin–Vianu
+//! theorem that the paper generalizes: a relational query determined by
+//! relational views is rewritable over the views.  The benchmark harness uses
+//! this crate to compare the flat pipeline with the nested one (experiment
+//! E7) and to measure the focusing conversion blow-up (experiment E3).
+
+pub mod calculus;
+pub mod formula;
+pub mod interpolation;
+pub mod prover;
+
+pub use calculus::{check_fo_proof, is_fo_focused, FoProof, FoRule, FoSequent};
+pub use formula::FoFormula;
+pub use interpolation::{fo_interpolate, FoPartition};
+pub use prover::{fo_prove, FoProverConfig};
+
+/// Errors of the first-order toolkit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FoError {
+    /// A rule application did not match its conclusion.
+    RuleNotApplicable(String),
+    /// A sub-proof proves the wrong premise.
+    PremiseMismatch(String),
+    /// Proof search exhausted its budget.
+    SearchFailed(String),
+    /// Interpolation could not eliminate a non-shared symbol.
+    Interpolation(String),
+}
+
+impl std::fmt::Display for FoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FoError::RuleNotApplicable(m) => write!(f, "FO rule not applicable: {m}"),
+            FoError::PremiseMismatch(m) => write!(f, "FO premise mismatch: {m}"),
+            FoError::SearchFailed(m) => write!(f, "FO proof search failed: {m}"),
+            FoError::Interpolation(m) => write!(f, "FO interpolation failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FoError {}

@@ -1,0 +1,252 @@
+//! A bounded proof-search engine for the first-order calculus, used by the
+//! flat-relational baseline experiments and by the interpolation tests.
+//!
+//! The strategy mirrors the Δ0 engine of `nrs-prover`: invertible rules are
+//! applied eagerly, existential instantiations (over the variables visible in
+//! the sequent) and `Repl` rewrites are saturated under a budget, and the
+//! whole search is iterated over an increasing instantiation allowance.
+
+use crate::calculus::{FoProof, FoRule, FoSequent};
+use crate::formula::FoFormula;
+use crate::FoError;
+use std::collections::{BTreeSet, HashMap};
+
+/// Budgets for the first-order search.
+#[derive(Debug, Clone)]
+pub struct FoProverConfig {
+    /// Maximum number of ∃-instantiations along a branch.
+    pub max_instantiations: usize,
+    /// Maximum number of Repl rewrites along a branch.
+    pub max_rewrites: usize,
+    /// Global cap on visited states.
+    pub max_states: usize,
+}
+
+impl Default for FoProverConfig {
+    fn default() -> Self {
+        FoProverConfig { max_instantiations: 12, max_rewrites: 24, max_states: 200_000 }
+    }
+}
+
+struct St {
+    cfg: FoProverConfig,
+    visited: usize,
+    fresh: usize,
+    failed: HashMap<FoSequent, usize>,
+}
+
+/// Prove the disjunction of `goals` from `assumptions` (two-sided reading:
+/// the assumptions are negated onto the right).
+pub fn fo_prove(
+    assumptions: &[FoFormula],
+    goals: &[FoFormula],
+    cfg: &FoProverConfig,
+) -> Result<FoProof, FoError> {
+    let seq = FoSequent::new(
+        assumptions.iter().map(FoFormula::negate).chain(goals.iter().cloned()),
+    );
+    fo_prove_sequent(&seq, cfg)
+}
+
+/// Prove a one-sided sequent.
+pub fn fo_prove_sequent(seq: &FoSequent, cfg: &FoProverConfig) -> Result<FoProof, FoError> {
+    let mut st = St { cfg: cfg.clone(), visited: 0, fresh: 0, failed: HashMap::new() };
+    for budget in 0..=cfg.max_instantiations {
+        if let Some(p) = attempt(seq, budget, 0, &mut st) {
+            return Ok(p);
+        }
+        if st.visited >= cfg.max_states {
+            break;
+        }
+    }
+    Err(FoError::SearchFailed(format!(
+        "no FO proof within budgets (visited {} states)",
+        st.visited
+    )))
+}
+
+fn find_axiom(seq: &FoSequent) -> Option<FoRule> {
+    for f in seq.formulas() {
+        if matches!(f, FoFormula::True) {
+            return Some(FoRule::Top);
+        }
+        if f.is_literal() && seq.contains(&f.negate()) {
+            return Some(FoRule::Ax { literal: f.clone() });
+        }
+        if let FoFormula::Eq(x, y) = f {
+            if x == y {
+                // close via Ref + Ax
+                return Some(FoRule::Ref { var: x.clone() });
+            }
+        }
+    }
+    None
+}
+
+fn attempt(seq: &FoSequent, budget: usize, rewrites: usize, st: &mut St) -> Option<FoProof> {
+    st.visited += 1;
+    if st.visited >= st.cfg.max_states {
+        return None;
+    }
+    if let Some(rule) = find_axiom(seq) {
+        match &rule {
+            FoRule::Ref { .. } => {
+                let prem = rule.premises(seq).ok()?.remove(0);
+                let sub = attempt(&prem, budget, rewrites, st)?;
+                return FoProof::by(seq.clone(), rule, vec![sub]).ok();
+            }
+            _ => return FoProof::by(seq.clone(), rule, vec![]).ok(),
+        }
+    }
+    // invertible decomposition
+    if let Some(f) = seq
+        .formulas()
+        .iter()
+        .find(|f| matches!(f, FoFormula::And(_, _) | FoFormula::Or(_, _) | FoFormula::Forall(_, _)))
+        .cloned()
+    {
+        let rule = match &f {
+            FoFormula::And(_, _) => FoRule::And { conj: f.clone() },
+            FoFormula::Or(_, _) => FoRule::Or { disj: f.clone() },
+            FoFormula::Forall(_, _) => {
+                st.fresh += 1;
+                FoRule::Forall { quant: f.clone(), witness: format!("w#{}", st.fresh) }
+            }
+            _ => unreachable!(),
+        };
+        let prems = rule.premises(seq).ok()?;
+        let mut subs = Vec::new();
+        for p in &prems {
+            subs.push(attempt(p, budget, rewrites, st)?);
+        }
+        return FoProof::by(seq.clone(), rule, subs).ok();
+    }
+    if let Some(&known) = st.failed.get(seq) {
+        if budget <= known {
+            return None;
+        }
+    }
+    // Repl rewrites (saturating, cheap)
+    if rewrites < st.cfg.max_rewrites {
+        for ineq in seq.formulas() {
+            let (t, u) = match ineq {
+                FoFormula::Neq(t, u) if t != u => (t.clone(), u.clone()),
+                _ => continue,
+            };
+            for lit in seq.formulas() {
+                if !lit.is_literal() || lit == ineq {
+                    continue;
+                }
+                let rewritten = lit.subst(&t, &u);
+                if &rewritten == lit || seq.contains(&rewritten) {
+                    continue;
+                }
+                let rule = FoRule::Repl {
+                    ineq: ineq.clone(),
+                    literal: lit.clone(),
+                    rewritten: rewritten.clone(),
+                };
+                if let Ok(prems) = rule.premises(seq) {
+                    if let Some(sub) = attempt(&prems[0], budget, rewrites + 1, st) {
+                        return FoProof::by(seq.clone(), rule, vec![sub]).ok();
+                    }
+                }
+                // saturating move: no alternative orders explored
+                return None;
+            }
+        }
+    }
+    // existential instantiations (the only true choice points)
+    if budget > 0 {
+        let vars: BTreeSet<String> = seq.free_vars();
+        for quant in seq.formulas() {
+            let FoFormula::Exists(x, body) = quant else { continue };
+            for v in &vars {
+                let inst = body.subst(x, v);
+                if seq.contains(&inst) {
+                    continue;
+                }
+                let rule = FoRule::Exists { quant: quant.clone(), witness: v.clone() };
+                if let Ok(prems) = rule.premises(seq) {
+                    if let Some(sub) = attempt(&prems[0], budget - 1, rewrites, st) {
+                        return FoProof::by(seq.clone(), rule, vec![sub]).ok();
+                    }
+                }
+            }
+        }
+    }
+    let e = st.failed.entry(seq.clone()).or_insert(0);
+    *e = (*e).max(budget);
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calculus::check_fo_proof;
+
+    #[test]
+    fn propositional_and_equality_reasoning() {
+        let p = FoFormula::atom("P", vec!["c"]);
+        // ⊢ P(c) ∨ ¬P(c)
+        let proof =
+            fo_prove(&[], &[FoFormula::or(p.clone(), p.negate())], &FoProverConfig::default()).unwrap();
+        assert!(check_fo_proof(&proof).is_ok());
+        // x = y, P(x) ⊢ P(y)
+        let proof = fo_prove(
+            &[FoFormula::Eq("x".into(), "y".into()), FoFormula::atom("P", vec!["x"])],
+            &[FoFormula::atom("P", vec!["y"])],
+            &FoProverConfig::default(),
+        )
+        .unwrap();
+        assert!(check_fo_proof(&proof).is_ok());
+        // unprovable: ⊢ P(c)
+        assert!(fo_prove(&[], &[p], &FoProverConfig::default()).is_err());
+    }
+
+    #[test]
+    fn quantified_reasoning() {
+        // ∀x (R(x) → S(x)), R(c) ⊢ S(c)
+        let all = FoFormula::forall(
+            "x",
+            FoFormula::implies(FoFormula::atom("R", vec!["x"]), FoFormula::atom("S", vec!["x"])),
+        );
+        let proof = fo_prove(
+            &[all.clone(), FoFormula::atom("R", vec!["c"])],
+            &[FoFormula::atom("S", vec!["c"])],
+            &FoProverConfig::default(),
+        )
+        .unwrap();
+        assert!(check_fo_proof(&proof).is_ok());
+        // ∀x (R(x) → S(x)), ∀x (S(x) → T(x)), R(c) ⊢ ∃y T(y)
+        let all2 = FoFormula::forall(
+            "x",
+            FoFormula::implies(FoFormula::atom("S", vec!["x"]), FoFormula::atom("T", vec!["x"])),
+        );
+        let goal = FoFormula::exists("y", FoFormula::atom("T", vec!["y"]));
+        let proof = fo_prove(
+            &[all, all2, FoFormula::atom("R", vec!["c"])],
+            &[goal],
+            &FoProverConfig::default(),
+        )
+        .unwrap();
+        assert!(check_fo_proof(&proof).is_ok());
+    }
+
+    #[test]
+    fn view_determinacy_in_the_flat_case() {
+        // Segoufin–Vianu style toy: view V(x) ↔ R(x), so R is trivially
+        // determined by V; the entailment used for the rewriting is
+        //   V ≡ R  ∧  V' ≡ R   ⊢   R(c) → V(c)   (and back)
+        let v_def = FoFormula::forall(
+            "x",
+            FoFormula::and(
+                FoFormula::implies(FoFormula::atom("V", vec!["x"]), FoFormula::atom("R", vec!["x"])),
+                FoFormula::implies(FoFormula::atom("R", vec!["x"]), FoFormula::atom("V", vec!["x"])),
+            ),
+        );
+        let goal = FoFormula::implies(FoFormula::atom("R", vec!["c"]), FoFormula::atom("V", vec!["c"]));
+        let proof = fo_prove(&[v_def], &[goal], &FoProverConfig::default()).unwrap();
+        assert!(check_fo_proof(&proof).is_ok());
+    }
+}

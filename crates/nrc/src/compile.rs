@@ -1,0 +1,279 @@
+//! Compilation of Δ0 formulas into Boolean NRC expressions.
+//!
+//! This realizes the paper's observation that *"NRC is closed under Δ0
+//! comprehension"*: every Δ0 formula φ (including the extended membership
+//! literals, whose types are read off a typing environment) compiles to an
+//! NRC expression of type `Bool` that evaluates to `true` exactly on the
+//! environments satisfying φ.  The synthesized definitions of Theorem 2 use
+//! this to turn interpolants into filters `{x ∈ E | κ(x)}`.
+
+use crate::expr::Expr;
+use crate::macros;
+use crate::NrcError;
+use nrs_delta0::typing::{type_of_term, TypeEnv};
+use nrs_delta0::{Formula, Term};
+use nrs_value::{NameGen, Type};
+
+/// Compile a Δ0 term into the corresponding NRC expression.
+pub fn compile_term(term: &Term) -> Expr {
+    match term {
+        Term::Var(n) => Expr::Var(n.clone()),
+        Term::Unit => Expr::Unit,
+        Term::Pair(a, b) => Expr::pair(compile_term(a), compile_term(b)),
+        Term::Proj1(t) => Expr::proj1(compile_term(t)),
+        Term::Proj2(t) => Expr::proj2(compile_term(t)),
+    }
+}
+
+/// Compile a (possibly extended) Δ0 formula into a Boolean NRC expression.
+///
+/// The typing environment must cover the free variables of the formula; it is
+/// needed to expand memberships and to type quantifier bounds.
+pub fn compile_formula(
+    formula: &Formula,
+    env: &TypeEnv,
+    gen: &mut NameGen,
+) -> Result<Expr, NrcError> {
+    Ok(match formula {
+        Formula::True => macros::tt(),
+        Formula::False => macros::ff(),
+        Formula::EqUr(t, u) => macros::eq_ur(compile_term(t), compile_term(u)),
+        Formula::NeqUr(t, u) => macros::not(macros::eq_ur(compile_term(t), compile_term(u))),
+        Formula::And(a, b) => {
+            let ea = compile_formula(a, env, gen)?;
+            let eb = compile_formula(b, env, gen)?;
+            macros::and(ea, eb, gen)
+        }
+        Formula::Or(a, b) => {
+            let ea = compile_formula(a, env, gen)?;
+            let eb = compile_formula(b, env, gen)?;
+            macros::or(ea, eb)
+        }
+        Formula::Forall { var, bound, body } => {
+            let elem_ty = bound_elem_type(bound, env)?;
+            let inner_env = env.with(var.clone(), elem_ty);
+            let body_e = compile_formula(body, &inner_env, gen)?;
+            macros::forall_in(var.clone(), compile_term(bound), body_e)
+        }
+        Formula::Exists { var, bound, body } => {
+            let elem_ty = bound_elem_type(bound, env)?;
+            let inner_env = env.with(var.clone(), elem_ty);
+            let body_e = compile_formula(body, &inner_env, gen)?;
+            macros::exists_in(var.clone(), compile_term(bound), body_e)
+        }
+        Formula::Mem(t, u) => {
+            let elem_ty = bound_elem_type(u, env)?;
+            macros::member(&elem_ty, compile_term(t), compile_term(u), gen)
+        }
+        Formula::NotMem(t, u) => {
+            let elem_ty = bound_elem_type(u, env)?;
+            macros::not(macros::member(&elem_ty, compile_term(t), compile_term(u), gen))
+        }
+    })
+}
+
+/// Δ0-comprehension `{ var ∈ over | φ }` as an NRC expression (paper §3).
+///
+/// `over` is an arbitrary set-typed NRC expression; `over_elem_ty` is its
+/// element type (needed to type `var` when compiling φ).
+pub fn comprehension(
+    var: impl Into<nrs_value::Name>,
+    over: Expr,
+    over_elem_ty: &Type,
+    filter: &Formula,
+    env: &TypeEnv,
+    gen: &mut NameGen,
+) -> Result<Expr, NrcError> {
+    let var = var.into();
+    let inner_env = env.with(var.clone(), over_elem_ty.clone());
+    let cond = compile_formula(filter, &inner_env, gen)?;
+    Ok(Expr::big_union(
+        var.clone(),
+        over,
+        macros::guard(cond, Expr::singleton(Expr::Var(var)), gen),
+    ))
+}
+
+fn bound_elem_type(bound: &Term, env: &TypeEnv) -> Result<Type, NrcError> {
+    match type_of_term(bound, env)? {
+        Type::Set(elem) => Ok(*elem),
+        other => Err(NrcError::IllTyped(format!(
+            "term {bound} used as a set but has type {other}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use nrs_delta0::eval::eval_formula;
+    use nrs_delta0::macros as d0;
+    use nrs_value::generate::{keyed_nested_instance, GenConfig};
+    use nrs_value::{Instance, Name, Value};
+
+    fn flatten_env() -> TypeEnv {
+        TypeEnv::from_pairs([
+            (Name::new("B"), Type::set(Type::prod(Type::Ur, Type::set(Type::Ur)))),
+            (Name::new("V"), Type::relation(2)),
+        ])
+    }
+
+    /// The C1 conjunct of Example 4.1.
+    fn c1() -> Formula {
+        let mut gen = NameGen::new();
+        Formula::forall(
+            "v",
+            "V",
+            Formula::exists(
+                "b",
+                "B",
+                Formula::and(
+                    Formula::eq_ur(Term::proj1(Term::var("v")), Term::proj1(Term::var("b"))),
+                    d0::member_hat(
+                        &Type::Ur,
+                        &Term::proj2(Term::var("v")),
+                        &Term::proj2(Term::var("b")),
+                        &mut gen,
+                    ),
+                ),
+            ),
+        )
+    }
+
+    /// The C2 conjunct of Example 4.1.
+    fn c2() -> Formula {
+        Formula::forall(
+            "b",
+            "B",
+            Formula::forall(
+                "e",
+                Term::proj2(Term::var("b")),
+                Formula::exists(
+                    "v",
+                    "V",
+                    Formula::and(
+                        Formula::eq_ur(Term::proj1(Term::var("v")), Term::proj1(Term::var("b"))),
+                        Formula::eq_ur(Term::proj2(Term::var("v")), Term::var("e")),
+                    ),
+                ),
+            ),
+        )
+    }
+
+    #[test]
+    fn compiled_formulas_agree_with_delta0_semantics_on_view_instances() {
+        let env = flatten_env();
+        for seed in 0..4 {
+            let inst = keyed_nested_instance(4, 3, seed);
+            for f in [c1(), c2()] {
+                let mut gen = NameGen::new();
+                let compiled = compile_formula(&f, &env, &mut gen).unwrap();
+                let nrc_result = eval(&compiled, &inst).unwrap().as_bool().unwrap();
+                let d0_result = eval_formula(&f, &inst).unwrap();
+                assert_eq!(nrc_result, d0_result);
+                assert!(d0_result, "the generated instances satisfy the view spec");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_formulas_agree_on_instances_violating_the_spec() {
+        let env = flatten_env();
+        // V contains a pair with no justification in B
+        let inst = Instance::from_bindings([
+            (Name::new("B"), Value::set([Value::pair(Value::atom(1), Value::set([Value::atom(2)]))])),
+            (
+                Name::new("V"),
+                Value::set([
+                    Value::pair(Value::atom(1), Value::atom(2)),
+                    Value::pair(Value::atom(9), Value::atom(9)),
+                ]),
+            ),
+        ]);
+        let mut gen = NameGen::new();
+        let compiled = compile_formula(&c1(), &env, &mut gen).unwrap();
+        assert!(!eval(&compiled, &inst).unwrap().as_bool().unwrap());
+        assert!(!eval_formula(&c1(), &inst).unwrap());
+        // C2 still holds on this instance
+        let compiled2 = compile_formula(&c2(), &env, &mut gen).unwrap();
+        assert!(eval(&compiled2, &inst).unwrap().as_bool().unwrap());
+    }
+
+    #[test]
+    fn membership_literals_compile() {
+        let env = TypeEnv::from_pairs([
+            (Name::new("x"), Type::Ur),
+            (Name::new("s"), Type::set(Type::Ur)),
+        ]);
+        let mut gen = NameGen::new();
+        let f = Formula::mem("x", "s");
+        let e = compile_formula(&f, &env, &mut gen).unwrap();
+        let inst = Instance::from_bindings([
+            (Name::new("x"), Value::atom(1)),
+            (Name::new("s"), Value::set([Value::atom(1), Value::atom(2)])),
+        ]);
+        assert!(eval(&e, &inst).unwrap().as_bool().unwrap());
+        let g = Formula::not_mem("x", "s");
+        let e2 = compile_formula(&g, &env, &mut gen).unwrap();
+        assert!(!eval(&e2, &inst).unwrap().as_bool().unwrap());
+        // ill-typed membership is rejected at compile time
+        let bad = Formula::mem("s", "x");
+        assert!(compile_formula(&bad, &env, &mut gen).is_err());
+    }
+
+    #[test]
+    fn comprehension_selects_matching_rows() {
+        // {v ∈ V | π1(v) = π2(v)}
+        let env = flatten_env();
+        let mut gen = NameGen::new();
+        let filter = Formula::eq_ur(Term::proj1(Term::var("v")), Term::proj2(Term::var("v")));
+        let comp = comprehension(
+            "v",
+            Expr::var("V"),
+            &Type::prod(Type::Ur, Type::Ur),
+            &filter,
+            &env,
+            &mut gen,
+        )
+        .unwrap();
+        let inst = Instance::from_bindings([(
+            Name::new("V"),
+            Value::set([
+                Value::pair(Value::atom(1), Value::atom(1)),
+                Value::pair(Value::atom(1), Value::atom(2)),
+                Value::pair(Value::atom(3), Value::atom(3)),
+            ]),
+        )]);
+        assert_eq!(
+            eval(&comp, &inst).unwrap(),
+            Value::set([
+                Value::pair(Value::atom(1), Value::atom(1)),
+                Value::pair(Value::atom(3), Value::atom(3)),
+            ])
+        );
+    }
+
+    #[test]
+    fn random_equivalence_between_compiled_and_direct_evaluation() {
+        // a small stress test over random instances of the flatten schema
+        let env = flatten_env();
+        let schema_ty = Type::set(Type::prod(Type::Ur, Type::set(Type::Ur)));
+        let rel_ty = Type::relation(2);
+        for seed in 0..10u64 {
+            let cfg = GenConfig { universe: 4, max_set_size: 3, seed };
+            let b = nrs_value::generate::random_value(&schema_ty, &cfg);
+            let v = nrs_value::generate::random_value(&rel_ty, &GenConfig { seed: seed + 100, ..cfg });
+            let inst = Instance::from_bindings([(Name::new("B"), b), (Name::new("V"), v)]);
+            for f in [c1(), c2()] {
+                let mut gen = NameGen::new();
+                let compiled = compile_formula(&f, &env, &mut gen).unwrap();
+                assert_eq!(
+                    eval(&compiled, &inst).unwrap().as_bool().unwrap(),
+                    eval_formula(&f, &inst).unwrap(),
+                    "seed {seed}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Evaluation of NRC expressions over nested relational instances.
+
+use crate::expr::Expr;
+use crate::NrcError;
+use nrs_value::{Instance, Value};
+use std::collections::BTreeSet;
+
+/// Evaluate an expression in an environment binding its free variables.
+///
+/// Evaluation follows the standard NRC semantics (paper §3 / [Wong 94]):
+/// `⋃{E | x ∈ E'}` evaluates `E'` to a set, evaluates `E` once per member
+/// with `x` bound to it, and unions the results; `get_T` returns the unique
+/// member of a singleton and a default value of type `T` otherwise.
+pub fn eval(expr: &Expr, env: &Instance) -> Result<Value, NrcError> {
+    match expr {
+        Expr::Var(n) => {
+            env.try_get(n).cloned().ok_or_else(|| NrcError::UnboundVariable(n.clone()))
+        }
+        Expr::Unit => Ok(Value::Unit),
+        Expr::Pair(a, b) => Ok(Value::pair(eval(a, env)?, eval(b, env)?)),
+        Expr::Proj1(e) => {
+            let v = eval(e, env)?;
+            v.proj1().cloned().map_err(|_| NrcError::Stuck(format!("p1 of {v}")))
+        }
+        Expr::Proj2(e) => {
+            let v = eval(e, env)?;
+            v.proj2().cloned().map_err(|_| NrcError::Stuck(format!("p2 of {v}")))
+        }
+        Expr::Singleton(e) => Ok(Value::set([eval(e, env)?])),
+        Expr::Get { ty, arg } => {
+            let v = eval(arg, env)?;
+            let set = v.as_set().map_err(|_| NrcError::Stuck(format!("get of non-set {v}")))?;
+            if set.len() == 1 {
+                Ok(set.iter().next().cloned().expect("nonempty"))
+            } else {
+                Ok(Value::default_of(ty))
+            }
+        }
+        Expr::BigUnion { var, over, body } => {
+            let over_v = eval(over, env)?;
+            let members = over_v
+                .as_set()
+                .map_err(|_| NrcError::Stuck(format!("binding union over non-set {over_v}")))?;
+            let mut out: BTreeSet<Value> = BTreeSet::new();
+            for m in members {
+                let inner_env = env.with(var.clone(), m.clone());
+                let body_v = eval(body, &inner_env)?;
+                let body_set = body_v
+                    .as_set()
+                    .map_err(|_| NrcError::Stuck(format!("binding union body produced non-set {body_v}")))?;
+                out.extend(body_set.iter().cloned());
+            }
+            Ok(Value::Set(out))
+        }
+        Expr::Empty(_) => Ok(Value::empty_set()),
+        Expr::Union(a, b) => {
+            let va = eval(a, env)?;
+            let vb = eval(b, env)?;
+            va.union(&vb).map_err(|e| NrcError::Stuck(e.to_string()))
+        }
+        Expr::Diff(a, b) => {
+            let va = eval(a, env)?;
+            let vb = eval(b, env)?;
+            va.difference(&vb).map_err(|e| NrcError::Stuck(e.to_string()))
+        }
+    }
+}
+
+/// Evaluate a closed query over an instance and check the result against an
+/// expected type (a convenience wrapper used by examples and benches).
+pub fn eval_typed(
+    expr: &Expr,
+    env: &Instance,
+    expected: &nrs_value::Type,
+) -> Result<Value, NrcError> {
+    let v = eval(expr, env)?;
+    if v.has_type(expected) {
+        Ok(v)
+    } else {
+        Err(NrcError::IllTyped(format!("result {v} does not have expected type {expected}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrs_value::generate::{flatten, keyed_nested_instance};
+    use nrs_value::{Name, Type};
+
+    fn flatten_expr() -> Expr {
+        Expr::big_union(
+            "b",
+            Expr::var("B"),
+            Expr::big_union(
+                "c",
+                Expr::proj2(Expr::var("b")),
+                Expr::singleton(Expr::pair(Expr::proj1(Expr::var("b")), Expr::var("c"))),
+            ),
+        )
+    }
+
+    #[test]
+    fn flatten_query_agrees_with_direct_flattening() {
+        for seed in 0..5 {
+            let inst = keyed_nested_instance(6, 3, seed);
+            let b = inst.get(&Name::new("B")).unwrap();
+            let result = eval(&flatten_expr(), &inst).unwrap();
+            assert_eq!(result, flatten(b));
+            assert_eq!(&result, inst.get(&Name::new("V")).unwrap());
+        }
+    }
+
+    #[test]
+    fn selection_query_from_example_1_1() {
+        // {b ∈ B | π1(b) ∈ π2(b)} expressed with raw NRC:
+        // ⋃{ ⋃{ {b} | c ∈ π2(b), guarded by c = π1(b) } | b ∈ B }
+        // Using the conditional encoding: ⋃{ (if c = π1(b) then {b} else ∅) | … }
+        // here we build it directly with a second big-union over the witnesses.
+        let q = Expr::big_union(
+            "b",
+            Expr::var("B"),
+            Expr::big_union(
+                "c",
+                Expr::proj2(Expr::var("b")),
+                // {b} if c = π1(b) else ∅, encoded via ⋃ over the boolean
+                Expr::big_union(
+                    "w",
+                    crate::macros::eq_ur(Expr::var("c"), Expr::proj1(Expr::var("b"))),
+                    Expr::singleton(Expr::var("b")),
+                ),
+            ),
+        );
+        let row = |k: u64, vs: Vec<u64>| {
+            Value::pair(Value::atom(k), Value::set(vs.into_iter().map(Value::atom)))
+        };
+        let b = Value::set([row(1, vec![1, 5]), row(2, vec![5]), row(3, vec![3])]);
+        let inst = Instance::from_bindings([(Name::new("B"), b)]);
+        let out = eval(&q, &inst).unwrap();
+        assert_eq!(out, Value::set([row(1, vec![1, 5]), row(3, vec![3])]));
+    }
+
+    #[test]
+    fn get_returns_unique_element_or_default() {
+        let inst = Instance::from_bindings([
+            (Name::new("s1"), Value::set([Value::atom(7)])),
+            (Name::new("s2"), Value::set([Value::atom(7), Value::atom(8)])),
+            (Name::new("s0"), Value::empty_set()),
+        ]);
+        assert_eq!(eval(&Expr::get(Type::Ur, Expr::var("s1")), &inst).unwrap(), Value::atom(7));
+        assert_eq!(
+            eval(&Expr::get(Type::Ur, Expr::var("s2")), &inst).unwrap(),
+            Value::default_of(&Type::Ur)
+        );
+        assert_eq!(
+            eval(&Expr::get(Type::Ur, Expr::var("s0")), &inst).unwrap(),
+            Value::default_of(&Type::Ur)
+        );
+    }
+
+    #[test]
+    fn set_operations_and_empties() {
+        let inst = Instance::from_bindings([
+            (Name::new("a"), Value::set([Value::atom(1), Value::atom(2)])),
+            (Name::new("b"), Value::set([Value::atom(2), Value::atom(3)])),
+        ]);
+        assert_eq!(
+            eval(&Expr::union(Expr::var("a"), Expr::var("b")), &inst).unwrap(),
+            Value::set([Value::atom(1), Value::atom(2), Value::atom(3)])
+        );
+        assert_eq!(
+            eval(&Expr::diff(Expr::var("a"), Expr::var("b")), &inst).unwrap(),
+            Value::set([Value::atom(1)])
+        );
+        assert_eq!(eval(&Expr::empty(Type::Ur), &inst).unwrap(), Value::empty_set());
+        assert_eq!(
+            eval(&Expr::union(Expr::var("a"), Expr::empty(Type::Ur)), &inst).unwrap(),
+            Value::set([Value::atom(1), Value::atom(2)])
+        );
+    }
+
+    #[test]
+    fn evaluation_errors_on_ill_typed_input() {
+        let inst = Instance::from_bindings([(Name::new("x"), Value::atom(1))]);
+        assert!(matches!(eval(&Expr::var("missing"), &inst), Err(NrcError::UnboundVariable(_))));
+        assert!(matches!(eval(&Expr::proj1(Expr::var("x")), &inst), Err(NrcError::Stuck(_))));
+        assert!(matches!(
+            eval(&Expr::big_union("y", Expr::var("x"), Expr::singleton(Expr::var("y"))), &inst),
+            Err(NrcError::Stuck(_))
+        ));
+        assert!(matches!(
+            eval(&Expr::union(Expr::var("x"), Expr::var("x")), &inst),
+            Err(NrcError::Stuck(_))
+        ));
+    }
+
+    #[test]
+    fn eval_typed_checks_result_type() {
+        let inst = keyed_nested_instance(3, 2, 1);
+        assert!(eval_typed(&flatten_expr(), &inst, &Type::relation(2)).is_ok());
+        assert!(eval_typed(&flatten_expr(), &inst, &Type::relation(3)).is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! The NRC expression syntax (paper Figure 1, plus `get_T`).
+
+use nrs_value::{Name, Type};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A Nested Relational Calculus expression.
+///
+/// ```text
+/// E ::= x | () | ⟨E, E'⟩ | π1(E) | π2(E)
+///     | {E} | get_T(E) | ⋃{ E | x ∈ E' }
+///     | ∅_T | E ∪ E' | E \ E'
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// A (typed) variable.
+    Var(Name),
+    /// The empty tuple.
+    Unit,
+    /// Pairing.
+    Pair(Box<Expr>, Box<Expr>),
+    /// First projection.
+    Proj1(Box<Expr>),
+    /// Second projection.
+    Proj2(Box<Expr>),
+    /// Singleton set `{E}`.
+    Singleton(Box<Expr>),
+    /// `get_T(E)`: extract the unique element of a singleton, or a default
+    /// value of type `T` otherwise (paper §3).
+    Get {
+        /// The element type `T`.
+        ty: Type,
+        /// The set-typed argument.
+        arg: Box<Expr>,
+    },
+    /// Binding union `⋃{ body | var ∈ over }`.
+    BigUnion {
+        /// The bound variable.
+        var: Name,
+        /// The set iterated over.
+        over: Box<Expr>,
+        /// The set-typed body, evaluated once per element.
+        body: Box<Expr>,
+    },
+    /// The empty set `∅` of element type `T`.
+    Empty(Type),
+    /// Set union.
+    Union(Box<Expr>, Box<Expr>),
+    /// Set difference.
+    Diff(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// A variable.
+    pub fn var(name: impl Into<Name>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Pairing.
+    pub fn pair(a: Expr, b: Expr) -> Expr {
+        Expr::Pair(Box::new(a), Box::new(b))
+    }
+
+    /// First projection.
+    pub fn proj1(e: Expr) -> Expr {
+        Expr::Proj1(Box::new(e))
+    }
+
+    /// Second projection.
+    pub fn proj2(e: Expr) -> Expr {
+        Expr::Proj2(Box::new(e))
+    }
+
+    /// Singleton.
+    pub fn singleton(e: Expr) -> Expr {
+        Expr::Singleton(Box::new(e))
+    }
+
+    /// `get_T`.
+    pub fn get(ty: Type, e: Expr) -> Expr {
+        Expr::Get { ty, arg: Box::new(e) }
+    }
+
+    /// Binding union `⋃{ body | var ∈ over }`.
+    pub fn big_union(var: impl Into<Name>, over: Expr, body: Expr) -> Expr {
+        Expr::BigUnion { var: var.into(), over: Box::new(over), body: Box::new(body) }
+    }
+
+    /// The empty set with element type `ty`.
+    pub fn empty(ty: Type) -> Expr {
+        Expr::Empty(ty)
+    }
+
+    /// Union.
+    pub fn union(a: Expr, b: Expr) -> Expr {
+        Expr::Union(Box::new(a), Box::new(b))
+    }
+
+    /// Difference.
+    pub fn diff(a: Expr, b: Expr) -> Expr {
+        Expr::Diff(Box::new(a), Box::new(b))
+    }
+
+    /// A right-nested tuple expression.
+    pub fn tuple(parts: Vec<Expr>) -> Expr {
+        let mut it = parts.into_iter().rev();
+        let last = it.next().expect("Expr::tuple requires at least one component");
+        it.fold(last, |acc, e| Expr::pair(e, acc))
+    }
+
+    /// Free variables of the expression.
+    pub fn free_vars(&self) -> BTreeSet<Name> {
+        let mut out = BTreeSet::new();
+        self.collect_free_vars(&mut BTreeSet::new(), &mut out);
+        out
+    }
+
+    fn collect_free_vars(&self, bound: &mut BTreeSet<Name>, out: &mut BTreeSet<Name>) {
+        match self {
+            Expr::Var(n) => {
+                if !bound.contains(n) {
+                    out.insert(n.clone());
+                }
+            }
+            Expr::Unit | Expr::Empty(_) => {}
+            Expr::Pair(a, b) | Expr::Union(a, b) | Expr::Diff(a, b) => {
+                a.collect_free_vars(bound, out);
+                b.collect_free_vars(bound, out);
+            }
+            Expr::Proj1(e) | Expr::Proj2(e) | Expr::Singleton(e) => e.collect_free_vars(bound, out),
+            Expr::Get { arg, .. } => arg.collect_free_vars(bound, out),
+            Expr::BigUnion { var, over, body } => {
+                over.collect_free_vars(bound, out);
+                let newly = bound.insert(var.clone());
+                body.collect_free_vars(bound, out);
+                if newly {
+                    bound.remove(var);
+                }
+            }
+        }
+    }
+
+    /// Capture-avoiding substitution of an expression for a free variable.
+    /// This is the "composition" closure property of NRC (paper §3).
+    pub fn subst(&self, var: &Name, replacement: &Expr) -> Expr {
+        match self {
+            Expr::Var(n) => {
+                if n == var {
+                    replacement.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            Expr::Unit | Expr::Empty(_) => self.clone(),
+            Expr::Pair(a, b) => Expr::pair(a.subst(var, replacement), b.subst(var, replacement)),
+            Expr::Union(a, b) => Expr::union(a.subst(var, replacement), b.subst(var, replacement)),
+            Expr::Diff(a, b) => Expr::diff(a.subst(var, replacement), b.subst(var, replacement)),
+            Expr::Proj1(e) => Expr::proj1(e.subst(var, replacement)),
+            Expr::Proj2(e) => Expr::proj2(e.subst(var, replacement)),
+            Expr::Singleton(e) => Expr::singleton(e.subst(var, replacement)),
+            Expr::Get { ty, arg } => Expr::get(ty.clone(), arg.subst(var, replacement)),
+            Expr::BigUnion { var: bv, over, body } => {
+                let over2 = over.subst(var, replacement);
+                if bv == var {
+                    // bound occurrence shadows the substitution inside the body
+                    Expr::BigUnion { var: bv.clone(), over: Box::new(over2), body: body.clone() }
+                } else if replacement.free_vars().contains(bv) && body.free_vars().contains(var) {
+                    // rename the binder to avoid capture
+                    let mut avoid = replacement.free_vars();
+                    avoid.extend(body.free_vars());
+                    avoid.insert(var.clone());
+                    let fresh = Self::fresh_variant(bv, &avoid);
+                    let renamed = body.subst(bv, &Expr::Var(fresh.clone()));
+                    Expr::BigUnion {
+                        var: fresh,
+                        over: Box::new(over2),
+                        body: Box::new(renamed.subst(var, replacement)),
+                    }
+                } else {
+                    Expr::BigUnion {
+                        var: bv.clone(),
+                        over: Box::new(over2),
+                        body: Box::new(body.subst(var, replacement)),
+                    }
+                }
+            }
+        }
+    }
+
+    fn fresh_variant(base: &Name, avoid: &BTreeSet<Name>) -> Name {
+        let mut candidate = Name::new(format!("{}'", base.0));
+        while avoid.contains(&candidate) {
+            candidate = Name::new(format!("{}'", candidate.0));
+        }
+        candidate
+    }
+
+    /// Apply several substitutions (sequentially, left to right).
+    pub fn subst_all(&self, bindings: &[(Name, Expr)]) -> Expr {
+        bindings.iter().fold(self.clone(), |acc, (n, e)| acc.subst(n, e))
+    }
+
+    /// Structural size (number of AST nodes), the cost measure quoted by the
+    /// PTIME claims and reported by the benchmark harness.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Var(_) | Expr::Unit | Expr::Empty(_) => 1,
+            Expr::Pair(a, b) | Expr::Union(a, b) | Expr::Diff(a, b) => 1 + a.size() + b.size(),
+            Expr::Proj1(e) | Expr::Proj2(e) | Expr::Singleton(e) => 1 + e.size(),
+            Expr::Get { arg, .. } => 1 + arg.size(),
+            Expr::BigUnion { over, body, .. } => 1 + over.size() + body.size(),
+        }
+    }
+
+    /// Depth of the expression tree.
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Var(_) | Expr::Unit | Expr::Empty(_) => 1,
+            Expr::Pair(a, b) | Expr::Union(a, b) | Expr::Diff(a, b) => 1 + a.depth().max(b.depth()),
+            Expr::Proj1(e) | Expr::Proj2(e) | Expr::Singleton(e) => 1 + e.depth(),
+            Expr::Get { arg, .. } => 1 + arg.depth(),
+            Expr::BigUnion { over, body, .. } => 1 + over.depth().max(body.depth()),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(n) => write!(f, "{n}"),
+            Expr::Unit => write!(f, "()"),
+            Expr::Pair(a, b) => write!(f, "<{a}, {b}>"),
+            Expr::Proj1(e) => write!(f, "p1({e})"),
+            Expr::Proj2(e) => write!(f, "p2({e})"),
+            Expr::Singleton(e) => write!(f, "{{{e}}}"),
+            Expr::Get { ty, arg } => write!(f, "get[{ty}]({arg})"),
+            Expr::BigUnion { var, over, body } => write!(f, "U{{{body} | {var} in {over}}}"),
+            Expr::Empty(ty) => write!(f, "empty[{ty}]"),
+            Expr::Union(a, b) => write!(f, "({a} u {b})"),
+            Expr::Diff(a, b) => write!(f, "({a} \\ {b})"),
+        }
+    }
+}
+
+impl From<&str> for Expr {
+    fn from(s: &str) -> Self {
+        Expr::var(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The flattening of Example 1.1:
+    /// `⋃{ ⋃{ {⟨π1(b), c⟩} | c ∈ π2(b) } | b ∈ B }`.
+    fn flatten_expr() -> Expr {
+        Expr::big_union(
+            "b",
+            Expr::var("B"),
+            Expr::big_union(
+                "c",
+                Expr::proj2(Expr::var("b")),
+                Expr::singleton(Expr::pair(Expr::proj1(Expr::var("b")), Expr::var("c"))),
+            ),
+        )
+    }
+
+    #[test]
+    fn free_vars_respect_binding() {
+        let e = flatten_expr();
+        let fv: Vec<String> = e.free_vars().into_iter().map(|n| n.0).collect();
+        assert_eq!(fv, vec!["B".to_string()]);
+        // a stray use of the bound name outside the binder is free
+        let e2 = Expr::union(e, Expr::var("b"));
+        assert!(e2.free_vars().contains(&Name::new("b")));
+    }
+
+    #[test]
+    fn substitution_composes_queries() {
+        // substituting B := (B1 ∪ B2) into the flatten query
+        let composed = flatten_expr().subst(&Name::new("B"), &Expr::union(Expr::var("B1"), Expr::var("B2")));
+        let fv: Vec<String> = composed.free_vars().into_iter().map(|n| n.0).collect();
+        assert_eq!(fv, vec!["B1".to_string(), "B2".to_string()]);
+    }
+
+    #[test]
+    fn substitution_is_capture_avoiding() {
+        // ⋃{ {x} | b ∈ S }  with x := b   must rename the binder
+        let e = Expr::big_union("b", Expr::var("S"), Expr::singleton(Expr::var("x")));
+        let s = e.subst(&Name::new("x"), &Expr::var("b"));
+        match s {
+            Expr::BigUnion { var, body, .. } => {
+                assert_ne!(var, Name::new("b"));
+                assert_eq!(*body, Expr::singleton(Expr::var("b")));
+            }
+            other => panic!("unexpected shape {other}"),
+        }
+        // substituting for the bound variable only touches `over`
+        let e2 = Expr::big_union("b", Expr::var("b"), Expr::singleton(Expr::var("b")));
+        let s2 = e2.subst(&Name::new("b"), &Expr::var("Q"));
+        match s2 {
+            Expr::BigUnion { var, over, body } => {
+                assert_eq!(var, Name::new("b"));
+                assert_eq!(*over, Expr::var("Q"));
+                assert_eq!(*body, Expr::singleton(Expr::var("b")));
+            }
+            other => panic!("unexpected shape {other}"),
+        }
+    }
+
+    #[test]
+    fn subst_all_applies_in_order() {
+        let e = Expr::pair(Expr::var("x"), Expr::var("y"));
+        let out = e.subst_all(&[
+            (Name::new("x"), Expr::var("y")),
+            (Name::new("y"), Expr::Unit),
+        ]);
+        // x -> y happens first, then all y (including the new one) -> ()
+        assert_eq!(out, Expr::pair(Expr::Unit, Expr::Unit));
+    }
+
+    #[test]
+    fn size_depth_display() {
+        let e = flatten_expr();
+        assert!(e.size() >= 9);
+        assert!(e.depth() >= 4);
+        let shown = e.to_string();
+        assert!(shown.contains("b in B"));
+        assert!(shown.contains("p1(b)"));
+        assert_eq!(Expr::empty(Type::Ur).to_string(), "empty[U]");
+        assert_eq!(Expr::get(Type::Ur, Expr::var("s")).to_string(), "get[U](s)");
+    }
+
+    #[test]
+    fn tuple_builder() {
+        let t = Expr::tuple(vec![Expr::var("a"), Expr::var("b"), Expr::var("c")]);
+        assert_eq!(t, Expr::pair(Expr::var("a"), Expr::pair(Expr::var("b"), Expr::var("c"))));
+    }
+}

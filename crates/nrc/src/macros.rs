@@ -1,0 +1,329 @@
+//! The NRC macro layer (paper §3).
+//!
+//! On top of the core syntax the paper freely uses richer operations; all of
+//! them are definable, and this module spells the definitions out:
+//!
+//! * Booleans: `Bool = Set(Unit)`, `true = {()}`, `false = ∅`, with `¬`, `∧`,
+//!   `∨` and emptiness tests;
+//! * equality `=_T` and membership `∈_T` at **every** type, by induction on
+//!   the type;
+//! * conditionals, filters and Δ0-comprehensions `{z ∈ E | φ}` (see
+//!   [`crate::compile`] for the φ compilation);
+//! * cartesian products, maps, intersections;
+//! * `atoms_of`: the set of all Ur-elements hereditarily below a value — the
+//!   "transitive closure" collection used by the base case of Theorem 10.
+//!
+//! Macros that introduce binders over caller-supplied sub-expressions take a
+//! [`NameGen`] so no capture can occur.
+
+use crate::expr::Expr;
+use nrs_value::{NameGen, Type};
+
+/// The Boolean type `Set(Unit)`.
+pub fn bool_ty() -> Type {
+    Type::bool()
+}
+
+/// `true = {()}`.
+pub fn tt() -> Expr {
+    Expr::singleton(Expr::Unit)
+}
+
+/// `false = ∅_Unit`.
+pub fn ff() -> Expr {
+    Expr::empty(Type::Unit)
+}
+
+/// Boolean negation: `{()} \ b`.
+pub fn not(b: Expr) -> Expr {
+    Expr::diff(tt(), b)
+}
+
+/// Boolean conjunction: `⋃{ b2 | _ ∈ b1 }`.
+pub fn and(b1: Expr, b2: Expr, gen: &mut NameGen) -> Expr {
+    let w = gen.fresh("w");
+    Expr::big_union(w, b1, b2)
+}
+
+/// Boolean disjunction: `b1 ∪ b2`.
+pub fn or(b1: Expr, b2: Expr) -> Expr {
+    Expr::union(b1, b2)
+}
+
+/// Non-emptiness test: `⋃{ {()} | _ ∈ s } : Bool`.
+pub fn nonempty(s: Expr, gen: &mut NameGen) -> Expr {
+    let w = gen.fresh("w");
+    Expr::big_union(w, s, tt())
+}
+
+/// Emptiness test.
+pub fn is_empty(s: Expr, gen: &mut NameGen) -> Expr {
+    not(nonempty(s, gen))
+}
+
+/// Equality of Ur-elements as a Boolean expression:
+/// `({a} \ {b}) ∪ ({b} \ {a})` is empty iff `a = b`.
+pub fn eq_ur(a: Expr, b: Expr) -> Expr {
+    let sym_diff = Expr::union(
+        Expr::diff(Expr::singleton(a.clone()), Expr::singleton(b.clone())),
+        Expr::diff(Expr::singleton(b), Expr::singleton(a)),
+    );
+    // is_empty without needing a NameGen: the binder's body is closed.
+    not(Expr::big_union("w%eq", sym_diff, tt()))
+}
+
+/// Existential quantification over the members of a set expression:
+/// `⋃{ body | var ∈ over } : Bool` where `body : Bool`.
+pub fn exists_in(var: impl Into<nrs_value::Name>, over: Expr, body: Expr) -> Expr {
+    Expr::big_union(var, over, body)
+}
+
+/// Universal quantification over the members of a set expression.
+pub fn forall_in(var: impl Into<nrs_value::Name>, over: Expr, body: Expr) -> Expr {
+    not(exists_in(var, over, not(body)))
+}
+
+/// Equality at an arbitrary type, by induction on the type (paper §3: "for
+/// every type T there is an NRC expression =_T").
+pub fn eq_at(ty: &Type, a: Expr, b: Expr, gen: &mut NameGen) -> Expr {
+    match ty {
+        Type::Unit => tt(),
+        Type::Ur => eq_ur(a, b),
+        Type::Prod(t1, t2) => and(
+            eq_at(t1, Expr::proj1(a.clone()), Expr::proj1(b.clone()), gen),
+            eq_at(t2, Expr::proj2(a), Expr::proj2(b), gen),
+            gen,
+        ),
+        Type::Set(elem) => {
+            and(subset(elem, a.clone(), b.clone(), gen), subset(elem, b, a, gen), gen)
+        }
+    }
+}
+
+/// Inclusion of sets with element type `elem_ty`.
+pub fn subset(elem_ty: &Type, a: Expr, b: Expr, gen: &mut NameGen) -> Expr {
+    let x = gen.fresh("x");
+    forall_in(x.clone(), a, member(elem_ty, Expr::Var(x), b, gen))
+}
+
+/// Membership `e ∈_T set` at element type `elem_ty` (paper §3).
+pub fn member(elem_ty: &Type, e: Expr, set: Expr, gen: &mut NameGen) -> Expr {
+    let x = gen.fresh("x");
+    exists_in(x.clone(), set, eq_at(elem_ty, Expr::Var(x), e, gen))
+}
+
+/// Guard a set expression by a Boolean: `⋃{ then | _ ∈ cond }`, i.e. `then`
+/// when `cond` is true and `∅` otherwise.
+pub fn guard(cond: Expr, then: Expr, gen: &mut NameGen) -> Expr {
+    let w = gen.fresh("w");
+    Expr::big_union(w, cond, then)
+}
+
+/// Conditional between set-typed branches.
+pub fn if_then_else(cond: Expr, then: Expr, els: Expr, gen: &mut NameGen) -> Expr {
+    Expr::union(guard(cond.clone(), then, gen), guard(not(cond), els, gen))
+}
+
+/// Map a body over a set: `{ body | var ∈ over } = ⋃{ {body} | var ∈ over }`.
+pub fn map(var: impl Into<nrs_value::Name>, over: Expr, body: Expr) -> Expr {
+    Expr::big_union(var, over, Expr::singleton(body))
+}
+
+/// Binary cartesian product of two set expressions.
+pub fn product(a: Expr, b: Expr, gen: &mut NameGen) -> Expr {
+    let x = gen.fresh("x");
+    let y = gen.fresh("y");
+    Expr::big_union(
+        x.clone(),
+        a,
+        Expr::big_union(y.clone(), b, Expr::singleton(Expr::pair(Expr::Var(x), Expr::Var(y)))),
+    )
+}
+
+/// Set intersection: `a ∩ b = a \ (a \ b)`.
+pub fn intersection(a: Expr, b: Expr) -> Expr {
+    Expr::diff(a.clone(), Expr::diff(a, b))
+}
+
+/// The set of all Ur-elements occurring hereditarily in a value of type `ty`
+/// (its "transitive closure" of atoms), as an NRC expression of type `Set(𝔘)`.
+///
+/// This is the expression the base case of Theorem 10 relies on: every
+/// Ur-element of an implicitly-defined object is an atom of the inputs.
+pub fn atoms_of(ty: &Type, e: Expr, gen: &mut NameGen) -> Expr {
+    match ty {
+        Type::Unit => Expr::empty(Type::Ur),
+        Type::Ur => Expr::singleton(e),
+        Type::Prod(a, b) => Expr::union(
+            atoms_of(a, Expr::proj1(e.clone()), gen),
+            atoms_of(b, Expr::proj2(e), gen),
+        ),
+        Type::Set(elem) => {
+            let x = gen.fresh("x");
+            Expr::big_union(x.clone(), e, atoms_of(elem, Expr::Var(x), gen))
+        }
+    }
+}
+
+/// The union of all atoms below each of the named inputs (with their types),
+/// i.e. the active domain of the inputs as an NRC expression.
+pub fn atoms_of_inputs(inputs: &[(nrs_value::Name, Type)], gen: &mut NameGen) -> Expr {
+    let mut acc = Expr::empty(Type::Ur);
+    for (name, ty) in inputs {
+        acc = Expr::union(acc, atoms_of(ty, Expr::Var(name.clone()), gen));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use nrs_value::{Instance, Name, Value};
+
+    fn env(pairs: Vec<(&str, Value)>) -> Instance {
+        Instance::from_bindings(pairs.into_iter().map(|(n, v)| (Name::new(n), v)))
+    }
+
+    fn as_bool(e: &Expr, inst: &Instance) -> bool {
+        eval(e, inst).unwrap().as_bool().unwrap()
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let mut g = NameGen::new();
+        let i = Instance::new();
+        assert!(as_bool(&tt(), &i));
+        assert!(!as_bool(&ff(), &i));
+        assert!(!as_bool(&not(tt()), &i));
+        assert!(as_bool(&not(ff()), &i));
+        assert!(as_bool(&and(tt(), tt(), &mut g), &i));
+        assert!(!as_bool(&and(tt(), ff(), &mut g), &i));
+        assert!(!as_bool(&and(ff(), tt(), &mut g), &i));
+        assert!(as_bool(&or(ff(), tt()), &i));
+        assert!(!as_bool(&or(ff(), ff()), &i));
+    }
+
+    #[test]
+    fn equality_at_ur_and_nested_types() {
+        let mut g = NameGen::new();
+        let i = env(vec![
+            ("a", Value::atom(1)),
+            ("b", Value::atom(1)),
+            ("c", Value::atom(2)),
+            ("s", Value::set([Value::atom(1), Value::atom(2)])),
+            ("t", Value::set([Value::atom(2), Value::atom(1)])),
+            ("u", Value::set([Value::atom(2)])),
+        ]);
+        assert!(as_bool(&eq_ur(Expr::var("a"), Expr::var("b")), &i));
+        assert!(!as_bool(&eq_ur(Expr::var("a"), Expr::var("c")), &i));
+        let set_ty = Type::set(Type::Ur);
+        assert!(as_bool(&eq_at(&set_ty, Expr::var("s"), Expr::var("t"), &mut g), &i));
+        assert!(!as_bool(&eq_at(&set_ty, Expr::var("s"), Expr::var("u"), &mut g), &i));
+        let pair_ty = Type::prod(Type::Ur, Type::set(Type::Ur));
+        let i2 = env(vec![
+            ("p", Value::pair(Value::atom(1), Value::set([Value::atom(3)]))),
+            ("q", Value::pair(Value::atom(1), Value::set([Value::atom(3)]))),
+            ("r", Value::pair(Value::atom(1), Value::set([Value::atom(4)]))),
+        ]);
+        assert!(as_bool(&eq_at(&pair_ty, Expr::var("p"), Expr::var("q"), &mut g), &i2));
+        assert!(!as_bool(&eq_at(&pair_ty, Expr::var("p"), Expr::var("r"), &mut g), &i2));
+        assert!(as_bool(&eq_at(&Type::Unit, Expr::Unit, Expr::Unit, &mut g), &i2));
+    }
+
+    #[test]
+    fn membership_and_subset() {
+        let mut g = NameGen::new();
+        let i = env(vec![
+            ("x", Value::atom(1)),
+            ("y", Value::atom(9)),
+            ("s", Value::set([Value::atom(1), Value::atom(2)])),
+            ("t", Value::set([Value::atom(1), Value::atom(2), Value::atom(3)])),
+        ]);
+        assert!(as_bool(&member(&Type::Ur, Expr::var("x"), Expr::var("s"), &mut g), &i));
+        assert!(!as_bool(&member(&Type::Ur, Expr::var("y"), Expr::var("s"), &mut g), &i));
+        assert!(as_bool(&subset(&Type::Ur, Expr::var("s"), Expr::var("t"), &mut g), &i));
+        assert!(!as_bool(&subset(&Type::Ur, Expr::var("t"), Expr::var("s"), &mut g), &i));
+    }
+
+    #[test]
+    fn quantifier_macros() {
+        let mut g = NameGen::new();
+        let i = env(vec![("s", Value::set([Value::atom(1), Value::atom(2)])), ("k", Value::atom(2))]);
+        // ∃x ∈ s . x = k
+        let ex = exists_in("x", Expr::var("s"), eq_ur(Expr::var("x"), Expr::var("k")));
+        assert!(as_bool(&ex, &i));
+        // ∀x ∈ s . x = k
+        let all = forall_in("x", Expr::var("s"), eq_ur(Expr::var("x"), Expr::var("k")));
+        assert!(!as_bool(&all, &i));
+        // ∀ over the empty set is true
+        let i2 = env(vec![("s", Value::empty_set()), ("k", Value::atom(2))]);
+        let all2 = forall_in("x", Expr::var("s"), eq_ur(Expr::var("x"), Expr::var("k")));
+        assert!(as_bool(&all2, &i2));
+        let _ = &mut g;
+    }
+
+    #[test]
+    fn conditionals_and_guards() {
+        let mut g = NameGen::new();
+        let i = env(vec![
+            ("s", Value::set([Value::atom(1)])),
+            ("t", Value::set([Value::atom(2)])),
+        ]);
+        let pick_s = if_then_else(tt(), Expr::var("s"), Expr::var("t"), &mut g);
+        let pick_t = if_then_else(ff(), Expr::var("s"), Expr::var("t"), &mut g);
+        assert_eq!(eval(&pick_s, &i).unwrap(), Value::set([Value::atom(1)]));
+        assert_eq!(eval(&pick_t, &i).unwrap(), Value::set([Value::atom(2)]));
+        assert_eq!(eval(&guard(ff(), Expr::var("s"), &mut g), &i).unwrap(), Value::empty_set());
+    }
+
+    #[test]
+    fn product_map_and_intersection() {
+        let mut g = NameGen::new();
+        let i = env(vec![
+            ("a", Value::set([Value::atom(1), Value::atom(2)])),
+            ("b", Value::set([Value::atom(5)])),
+        ]);
+        let prod = product(Expr::var("a"), Expr::var("b"), &mut g);
+        assert_eq!(
+            eval(&prod, &i).unwrap(),
+            Value::set([
+                Value::pair(Value::atom(1), Value::atom(5)),
+                Value::pair(Value::atom(2), Value::atom(5)),
+            ])
+        );
+        let mapped = map("x", Expr::var("a"), Expr::pair(Expr::var("x"), Expr::var("x")));
+        assert_eq!(
+            eval(&mapped, &i).unwrap(),
+            Value::set([
+                Value::pair(Value::atom(1), Value::atom(1)),
+                Value::pair(Value::atom(2), Value::atom(2)),
+            ])
+        );
+        let inter = intersection(Expr::var("a"), Expr::var("b"));
+        assert_eq!(eval(&inter, &i).unwrap(), Value::empty_set());
+        let inter2 = intersection(Expr::var("a"), Expr::var("a"));
+        assert_eq!(eval(&inter2, &i).unwrap(), Value::set([Value::atom(1), Value::atom(2)]));
+    }
+
+    #[test]
+    fn atoms_of_collects_the_active_domain() {
+        let mut g = NameGen::new();
+        let ty = Type::set(Type::prod(Type::Ur, Type::set(Type::Ur)));
+        let v = Value::set([
+            Value::pair(Value::atom(4), Value::set([Value::atom(6), Value::atom(9)])),
+            Value::pair(Value::atom(7), Value::empty_set()),
+        ]);
+        let i = env(vec![("B", v.clone())]);
+        let e = atoms_of(&ty, Expr::var("B"), &mut g);
+        let expected: Value = Value::Set(v.atoms().into_iter().map(Value::Atom).collect());
+        assert_eq!(eval(&e, &i).unwrap(), expected);
+        // atoms over several inputs
+        let e2 = atoms_of_inputs(&[(Name::new("B"), ty), (Name::new("x"), Type::Ur)], &mut g);
+        let i2 = env(vec![("B", v), ("x", Value::atom(100))]);
+        let out = eval(&e2, &i2).unwrap();
+        assert!(out.contains(&Value::atom(100)).unwrap());
+        assert!(out.contains(&Value::atom(4)).unwrap());
+        assert_eq!(out.as_set().unwrap().len(), 5);
+    }
+}

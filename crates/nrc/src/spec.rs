@@ -1,0 +1,527 @@
+//! Input/output specifications of view and query definitions as Δ0 formulas
+//! (paper §3 "Connections between NRC queries using Δ0 formulas", Appendix B).
+//!
+//! The determinacy pipeline of Corollary 3 needs, for each view `V = E(B̄)`
+//! and for the query `Q = E_Q(B̄)`, a Δ0 formula `Σ_E(B̄, o)` that holds of
+//! nested relations exactly when `o = E(B̄)`.  The paper notes this can be
+//! done in PTIME for *composition-free* NRC.  We support the composition-free
+//! fragment in **generator normal form** ([`GenExpr`]): unions and differences
+//! of comprehensions
+//!
+//! ```text
+//!   { head | x1 ∈ P1, x2 ∈ P2(x1), …, xk ∈ Pk(x1..xk-1), φ }
+//! ```
+//!
+//! where each generator bound `Pi` is a Δ0 *term* over the inputs and earlier
+//! generators (this is precisely the composition-free restriction), the filter
+//! `φ` is a Δ0 formula and the head is a term.  This covers selections,
+//! projections, joins, flattenings and pairings — including every view and
+//! query appearing in the paper's examples — while queries outside the
+//! fragment can still be *executed* (they are ordinary [`Expr`]s), they just
+//! cannot be converted to specifications automatically.
+//!
+//! For a [`GenExpr`] `E` and an output name `o`, [`GenExpr::io_spec`] produces
+//!
+//! ```text
+//!   (∀z ∈ o . "z ∈̂ E")  ∧  ("E ⊆ o")
+//! ```
+//!
+//! where both directions are Δ0, so the specification pins `o` to `E(B̄)` up
+//! to extensionality.
+
+use crate::compile::compile_term;
+use crate::expr::Expr;
+use crate::macros;
+use crate::NrcError;
+use nrs_delta0::macros as d0;
+use nrs_delta0::typing::{type_of_term, TypeEnv};
+use nrs_delta0::{Formula, Term};
+use nrs_value::{Name, NameGen, Type};
+use serde::{Deserialize, Serialize};
+
+/// One generator `var ∈ over` of a comprehension; `over` must be a term over
+/// the inputs and the previously bound generators.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Generator {
+    /// The bound variable.
+    pub var: Name,
+    /// The set-typed term the variable ranges over.
+    pub over: Term,
+}
+
+impl Generator {
+    /// Build a generator.
+    pub fn new(var: impl Into<Name>, over: impl Into<Term>) -> Self {
+        Generator { var: var.into(), over: over.into() }
+    }
+}
+
+/// A composition-free view/query definition in generator normal form.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GenExpr {
+    /// `{ head | generators, filter }`.
+    Comprehension {
+        /// The generators, outermost first.
+        generators: Vec<Generator>,
+        /// A Δ0 filter over the inputs and generator variables.
+        filter: Formula,
+        /// The head term over the inputs and generator variables.
+        head: Term,
+    },
+    /// Union of two definitions of the same element type.
+    Union(Box<GenExpr>, Box<GenExpr>),
+    /// Difference of two definitions of the same element type.
+    Diff(Box<GenExpr>, Box<GenExpr>),
+}
+
+impl GenExpr {
+    /// A comprehension.
+    pub fn comprehension(
+        generators: Vec<Generator>,
+        filter: Formula,
+        head: impl Into<Term>,
+    ) -> GenExpr {
+        GenExpr::Comprehension { generators, filter, head: head.into() }
+    }
+
+    /// A comprehension without a filter.
+    pub fn collect(generators: Vec<Generator>, head: impl Into<Term>) -> GenExpr {
+        GenExpr::comprehension(generators, Formula::True, head)
+    }
+
+    /// Union.
+    pub fn union(a: GenExpr, b: GenExpr) -> GenExpr {
+        GenExpr::Union(Box::new(a), Box::new(b))
+    }
+
+    /// Difference.
+    pub fn diff(a: GenExpr, b: GenExpr) -> GenExpr {
+        GenExpr::Diff(Box::new(a), Box::new(b))
+    }
+
+    /// The element type of the defined set, relative to a typing environment
+    /// for the inputs.
+    pub fn elem_type(&self, env: &TypeEnv) -> Result<Type, NrcError> {
+        match self {
+            GenExpr::Comprehension { generators, head, .. } => {
+                let env = extend_with_generators(generators, env)?;
+                Ok(type_of_term(head, &env)?)
+            }
+            GenExpr::Union(a, b) | GenExpr::Diff(a, b) => {
+                let ta = a.elem_type(env)?;
+                let tb = b.elem_type(env)?;
+                if ta != tb {
+                    return Err(NrcError::IllTyped(format!(
+                        "set operation between element types {ta} and {tb}"
+                    )));
+                }
+                Ok(ta)
+            }
+        }
+    }
+
+    /// Convert to an executable NRC expression.
+    pub fn to_nrc(&self, env: &TypeEnv, gen: &mut NameGen) -> Result<Expr, NrcError> {
+        match self {
+            GenExpr::Comprehension { generators, filter, head } => {
+                let full_env = extend_with_generators(generators, env)?;
+                let cond = crate::compile::compile_formula(filter, &full_env, gen)?;
+                let mut body = macros::guard(cond, Expr::singleton(compile_term(head)), gen);
+                for g in generators.iter().rev() {
+                    body = Expr::big_union(g.var.clone(), compile_term(&g.over), body);
+                }
+                Ok(body)
+            }
+            GenExpr::Union(a, b) => Ok(Expr::union(a.to_nrc(env, gen)?, b.to_nrc(env, gen)?)),
+            GenExpr::Diff(a, b) => Ok(Expr::diff(a.to_nrc(env, gen)?, b.to_nrc(env, gen)?)),
+        }
+    }
+
+    /// A Δ0 formula over the inputs and the free variables of `elem`
+    /// expressing `elem ∈̂ E` (membership of a candidate element in the
+    /// defined set), with the generators renamed apart from everything else.
+    pub fn membership_spec(
+        &self,
+        elem: &Term,
+        env: &TypeEnv,
+        gen: &mut NameGen,
+    ) -> Result<Formula, NrcError> {
+        match self {
+            GenExpr::Comprehension { generators, filter, head } => {
+                let elem_ty = self.elem_type(env)?;
+                // rename generators apart
+                let (renamed, subst) = rename_generators(generators, gen);
+                let filter = apply_renaming(filter, &subst);
+                let head = subst.iter().fold(head.clone(), |h, (old, new)| {
+                    h.subst_var(old, &Term::Var(new.clone()))
+                });
+                let mut body =
+                    Formula::and(filter, d0::equiv(&elem_ty, elem, &head, gen));
+                for g in renamed.iter().rev() {
+                    body = Formula::exists(g.var.clone(), g.over.clone(), body);
+                }
+                Ok(body)
+            }
+            GenExpr::Union(a, b) => Ok(Formula::or(
+                a.membership_spec(elem, env, gen)?,
+                b.membership_spec(elem, env, gen)?,
+            )),
+            GenExpr::Diff(a, b) => Ok(Formula::and(
+                a.membership_spec(elem, env, gen)?,
+                b.membership_spec(elem, env, gen)?.negate(),
+            )),
+        }
+    }
+
+    /// A Δ0 formula expressing `E ⊆ output`: every element produced by the
+    /// definition belongs (up to extensionality) to the set named `output`.
+    pub fn containment_spec(
+        &self,
+        output: &Name,
+        env: &TypeEnv,
+        gen: &mut NameGen,
+    ) -> Result<Formula, NrcError> {
+        match self {
+            GenExpr::Comprehension { generators, filter, head } => {
+                let elem_ty = self.elem_type(env)?;
+                let (renamed, subst) = rename_generators(generators, gen);
+                let filter = apply_renaming(filter, &subst);
+                let head = subst.iter().fold(head.clone(), |h, (old, new)| {
+                    h.subst_var(old, &Term::Var(new.clone()))
+                });
+                let membership =
+                    d0::member_hat(&elem_ty, &head, &Term::Var(output.clone()), gen);
+                let mut body = d0::implies(filter, membership);
+                for g in renamed.iter().rev() {
+                    body = Formula::forall(g.var.clone(), g.over.clone(), body);
+                }
+                Ok(body)
+            }
+            GenExpr::Union(a, b) => Ok(Formula::and(
+                a.containment_spec(output, env, gen)?,
+                b.containment_spec(output, env, gen)?,
+            )),
+            GenExpr::Diff(a, b) => {
+                // elements of A that are not elements of B must be in the output
+                let GenExpr::Comprehension { .. } = a.as_ref() else {
+                    return Err(NrcError::UnsupportedForSpec(
+                        "difference whose left side is not a comprehension".into(),
+                    ));
+                };
+                let (generators, filter, head) = match a.as_ref() {
+                    GenExpr::Comprehension { generators, filter, head } => {
+                        (generators, filter, head)
+                    }
+                    _ => unreachable!(),
+                };
+                let elem_ty = a.elem_type(env)?;
+                let (renamed, subst) = rename_generators(generators, gen);
+                let filter = apply_renaming(filter, &subst);
+                let head = subst.iter().fold(head.clone(), |h, (old, new)| {
+                    h.subst_var(old, &Term::Var(new.clone()))
+                });
+                let excluded = b.membership_spec(&head, env, gen)?;
+                let membership =
+                    d0::member_hat(&elem_ty, &head, &Term::Var(output.clone()), gen);
+                let mut body = d0::implies(Formula::and(filter, excluded.negate()), membership);
+                for g in renamed.iter().rev() {
+                    body = Formula::forall(g.var.clone(), g.over.clone(), body);
+                }
+                Ok(body)
+            }
+        }
+    }
+
+    /// The full input/output specification `Σ_E(inputs, output)`:
+    /// `(∀z ∈ output . z ∈̂ E) ∧ (E ⊆ output)`.
+    pub fn io_spec(&self, output: &Name, env: &TypeEnv, gen: &mut NameGen) -> Result<Formula, NrcError> {
+        let z = gen.fresh("z");
+        let soundness = Formula::forall(
+            z.clone(),
+            Term::Var(output.clone()),
+            self.membership_spec(&Term::Var(z), env, gen)?,
+        );
+        let completeness = self.containment_spec(output, env, gen)?;
+        Ok(Formula::and(soundness, completeness))
+    }
+}
+
+fn extend_with_generators(generators: &[Generator], env: &TypeEnv) -> Result<TypeEnv, NrcError> {
+    let mut env = env.clone();
+    for g in generators {
+        let over_ty = type_of_term(&g.over, &env)?;
+        match over_ty {
+            Type::Set(elem) => env.insert(g.var.clone(), *elem),
+            other => {
+                return Err(NrcError::IllTyped(format!(
+                    "generator {} ranges over a term of non-set type {other}",
+                    g.var
+                )))
+            }
+        }
+    }
+    Ok(env)
+}
+
+fn rename_generators(
+    generators: &[Generator],
+    gen: &mut NameGen,
+) -> (Vec<Generator>, Vec<(Name, Name)>) {
+    let mut subst: Vec<(Name, Name)> = Vec::new();
+    let mut out = Vec::new();
+    for g in generators {
+        let fresh = gen.fresh(g.var.as_str());
+        // bounds may mention earlier generator variables
+        let over = subst
+            .iter()
+            .fold(g.over.clone(), |t, (old, new)| t.subst_var(old, &Term::Var(new.clone())));
+        subst.push((g.var.clone(), fresh.clone()));
+        out.push(Generator { var: fresh, over });
+    }
+    (out, subst)
+}
+
+fn apply_renaming(f: &Formula, subst: &[(Name, Name)]) -> Formula {
+    subst.iter().fold(f.clone(), |acc, (old, new)| acc.subst_var(old, &Term::Var(new.clone())))
+}
+
+/// A named view (or query) definition: the output name together with its
+/// composition-free definition over the base schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViewDef {
+    /// The name of the defined object (e.g. `V`).
+    pub name: Name,
+    /// Its definition over the base inputs.
+    pub def: GenExpr,
+}
+
+impl ViewDef {
+    /// Build a view definition.
+    pub fn new(name: impl Into<Name>, def: GenExpr) -> Self {
+        ViewDef { name: name.into(), def }
+    }
+
+    /// The view's output type relative to the base typing environment.
+    pub fn output_type(&self, env: &TypeEnv) -> Result<Type, NrcError> {
+        Ok(Type::set(self.def.elem_type(env)?))
+    }
+
+    /// The view's Δ0 input/output specification.
+    pub fn io_spec(&self, env: &TypeEnv, gen: &mut NameGen) -> Result<Formula, NrcError> {
+        self.def.io_spec(&self.name, env, gen)
+    }
+
+    /// The view as an executable NRC expression.
+    pub fn to_nrc(&self, env: &TypeEnv, gen: &mut NameGen) -> Result<Expr, NrcError> {
+        self.def.to_nrc(env, gen)
+    }
+}
+
+/// The flattening view of Examples 1.1 / 4.1:
+/// `V = {⟨π1(b), c⟩ | b ∈ B, c ∈ π2(b)}`.
+pub fn flatten_view(base: impl Into<Name>, view: impl Into<Name>) -> ViewDef {
+    let base = base.into();
+    ViewDef::new(
+        view,
+        GenExpr::collect(
+            vec![
+                Generator::new("gb", Term::Var(base)),
+                Generator::new("gc", Term::proj2(Term::var("gb"))),
+            ],
+            Term::pair(Term::proj1(Term::var("gb")), Term::var("gc")),
+        ),
+    )
+}
+
+/// The identity "query" on a named input (used when asking whether views
+/// determine the base data itself, as in Example 4.1).
+pub fn identity_query(base: impl Into<Name>, output: impl Into<Name>) -> ViewDef {
+    let base = base.into();
+    ViewDef::new(
+        output,
+        GenExpr::collect(vec![Generator::new("gq", Term::Var(base))], Term::var("gq")),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use nrs_delta0::entail::{check_sequent_bounded, BoundedCheck};
+    use nrs_delta0::eval::eval_formula;
+    use nrs_delta0::InContext;
+    use nrs_value::generate::keyed_nested_instance;
+    use nrs_value::{Instance, Value};
+
+    fn base_env() -> TypeEnv {
+        TypeEnv::from_pairs([(Name::new("B"), Type::set(Type::prod(Type::Ur, Type::set(Type::Ur))))])
+    }
+
+    fn full_env() -> TypeEnv {
+        base_env().with(Name::new("V"), Type::relation(2))
+    }
+
+    #[test]
+    fn flatten_view_executes_correctly() {
+        let view = flatten_view("B", "V");
+        let mut gen = NameGen::new();
+        let expr = view.to_nrc(&base_env(), &mut gen).unwrap();
+        for seed in 0..4 {
+            let inst = keyed_nested_instance(5, 3, seed);
+            let out = eval(&expr, &inst).unwrap();
+            assert_eq!(&out, inst.get(&Name::new("V")).unwrap());
+        }
+        assert_eq!(view.output_type(&base_env()).unwrap(), Type::relation(2));
+    }
+
+    #[test]
+    fn io_spec_holds_exactly_on_the_graph_of_the_view() {
+        let view = flatten_view("B", "V");
+        let mut gen = NameGen::new();
+        let spec = view.io_spec(&base_env(), &mut gen).unwrap();
+        assert!(spec.is_delta0());
+        // holds on correct (B, V) pairs
+        for seed in 0..4 {
+            let inst = keyed_nested_instance(4, 3, seed);
+            assert!(eval_formula(&spec, &inst).unwrap());
+        }
+        // fails when V has an extra tuple
+        let inst = keyed_nested_instance(3, 2, 9);
+        let mut v_extra = inst.get(&Name::new("V")).unwrap().as_set().unwrap().clone();
+        v_extra.insert(Value::pair(Value::atom(900), Value::atom(901)));
+        let bad = inst.with("V", Value::Set(v_extra));
+        assert!(!eval_formula(&spec, &bad).unwrap());
+        // fails when V is missing a tuple
+        let mut v_missing = inst.get(&Name::new("V")).unwrap().as_set().unwrap().clone();
+        let first = v_missing.iter().next().cloned().unwrap();
+        v_missing.remove(&first);
+        let bad2 = inst.with("V", Value::Set(v_missing));
+        assert!(!eval_formula(&spec, &bad2).unwrap());
+    }
+
+    #[test]
+    fn io_spec_pins_output_up_to_extensionality_on_small_universe() {
+        // bounded validity: spec(B, V) ∧ spec(B, V') entails V ≡ V'
+        let view = flatten_view("B", "V");
+        let view2 = flatten_view("B", "V2");
+        let mut gen = NameGen::new();
+        let s1 = view.io_spec(&base_env(), &mut gen).unwrap();
+        let s2 = view2.io_spec(&base_env(), &mut gen).unwrap();
+        let conclusion = d0::equiv(
+            &Type::relation(2),
+            &Term::var("V"),
+            &Term::var("V2"),
+            &mut gen,
+        );
+        let env = full_env().with(Name::new("V2"), Type::relation(2));
+        let out = check_sequent_bounded(
+            &InContext::new(),
+            &[s1, s2],
+            &[conclusion],
+            &env,
+            &BoundedCheck { universe: 2, max_models: 2_000_000 },
+        )
+        .unwrap();
+        assert!(out.is_valid(), "{out:?}");
+    }
+
+    #[test]
+    fn selection_query_spec_from_example_1_1() {
+        // Q = {b ∈ B | π1(b) ∈̂ π2(b)}
+        let mut gen = NameGen::new();
+        let q = ViewDef::new(
+            "Q",
+            GenExpr::comprehension(
+                vec![Generator::new("gb", Term::var("B"))],
+                d0::member_hat(
+                    &Type::Ur,
+                    &Term::proj1(Term::var("gb")),
+                    &Term::proj2(Term::var("gb")),
+                    &mut gen,
+                ),
+                Term::var("gb"),
+            ),
+        );
+        let expr = q.to_nrc(&base_env(), &mut gen).unwrap();
+        let row = |k: u64, vs: Vec<u64>| {
+            Value::pair(Value::atom(k), Value::set(vs.into_iter().map(Value::atom)))
+        };
+        let b = Value::set([row(1, vec![1, 5]), row(2, vec![5])]);
+        let inst = Instance::from_bindings([(Name::new("B"), b.clone())]);
+        let out = eval(&expr, &inst).unwrap();
+        assert_eq!(out, Value::set([row(1, vec![1, 5])]));
+        // its io-spec holds of the true output and fails on a wrong one
+        let spec = q.io_spec(&base_env(), &mut gen).unwrap();
+        let good = inst.with("Q", out);
+        assert!(eval_formula(&spec, &good).unwrap());
+        let bad = inst.with("Q", Value::set([row(2, vec![5])]));
+        assert!(!eval_formula(&spec, &bad).unwrap());
+    }
+
+    #[test]
+    fn union_and_diff_specs() {
+        // E = ({p1(v) | v ∈ V}) \ ({p2(v) | v ∈ V}) : keys that are never values
+        let proj1 = GenExpr::collect(
+            vec![Generator::new("v", Term::var("V"))],
+            Term::proj1(Term::var("v")),
+        );
+        let proj2 = GenExpr::collect(
+            vec![Generator::new("v", Term::var("V"))],
+            Term::proj2(Term::var("v")),
+        );
+        let diff = GenExpr::diff(proj1.clone(), proj2.clone());
+        let uni = GenExpr::union(proj1, proj2);
+        let env = TypeEnv::from_pairs([(Name::new("V"), Type::relation(2))]);
+        let mut gen = NameGen::new();
+        assert_eq!(diff.elem_type(&env).unwrap(), Type::Ur);
+        let v = Value::set([
+            Value::pair(Value::atom(1), Value::atom(2)),
+            Value::pair(Value::atom(2), Value::atom(3)),
+        ]);
+        let inst = Instance::from_bindings([(Name::new("V"), v)]);
+        let diff_expr = diff.to_nrc(&env, &mut gen).unwrap();
+        assert_eq!(eval(&diff_expr, &inst).unwrap(), Value::set([Value::atom(1)]));
+        let uni_expr = uni.to_nrc(&env, &mut gen).unwrap();
+        assert_eq!(
+            eval(&uni_expr, &inst).unwrap(),
+            Value::set([Value::atom(1), Value::atom(2), Value::atom(3)])
+        );
+        // io-specs hold on the true outputs
+        let d_spec = diff.io_spec(&Name::new("D"), &env, &mut gen).unwrap();
+        let u_spec = uni.io_spec(&Name::new("U"), &env, &mut gen).unwrap();
+        let good = inst
+            .with("D", eval(&diff_expr, &inst).unwrap())
+            .with("U", eval(&uni_expr, &inst).unwrap());
+        assert!(eval_formula(&d_spec, &good).unwrap());
+        assert!(eval_formula(&u_spec, &good).unwrap());
+        // and fail when outputs are swapped
+        let bad = inst
+            .with("U", eval(&diff_expr, &inst).unwrap())
+            .with("D", eval(&uni_expr, &inst).unwrap());
+        assert!(!eval_formula(&d_spec, &bad).unwrap() || !eval_formula(&u_spec, &bad).unwrap());
+    }
+
+    #[test]
+    fn generators_over_non_sets_are_rejected() {
+        let bad = GenExpr::collect(
+            vec![Generator::new("x", Term::proj1(Term::var("row")))],
+            Term::var("x"),
+        );
+        let env = TypeEnv::from_pairs([(Name::new("row"), Type::prod(Type::Ur, Type::Ur))]);
+        let mut gen = NameGen::new();
+        assert!(bad.elem_type(&env).is_err());
+        assert!(bad.io_spec(&Name::new("O"), &env, &mut gen).is_err());
+    }
+
+    #[test]
+    fn identity_query_spec() {
+        let q = identity_query("B", "Q");
+        let mut gen = NameGen::new();
+        let spec = q.io_spec(&base_env(), &mut gen).unwrap();
+        let inst = keyed_nested_instance(3, 2, 5);
+        let good = inst.with("Q", inst.get(&Name::new("B")).unwrap().clone());
+        assert!(eval_formula(&spec, &good).unwrap());
+        let bad = inst.with("Q", Value::empty_set());
+        assert!(!eval_formula(&spec, &bad).unwrap());
+    }
+}

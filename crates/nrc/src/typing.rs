@@ -1,0 +1,166 @@
+//! Typing of NRC expressions.
+//!
+//! Every expression has a unique type relative to a typing environment for its
+//! free variables; the rules are the standard ones from the paper (omitted
+//! there "for space", spelled out here).
+
+use crate::expr::Expr;
+use crate::NrcError;
+use nrs_delta0::typing::TypeEnv;
+use nrs_value::Type;
+
+/// Infer the type of an expression in a typing environment.
+pub fn type_of(expr: &Expr, env: &TypeEnv) -> Result<Type, NrcError> {
+    match expr {
+        Expr::Var(n) => env.get(n).cloned().ok_or_else(|| NrcError::UnboundVariable(n.clone())),
+        Expr::Unit => Ok(Type::Unit),
+        Expr::Pair(a, b) => Ok(Type::prod(type_of(a, env)?, type_of(b, env)?)),
+        Expr::Proj1(e) => match type_of(e, env)? {
+            Type::Prod(a, _) => Ok(*a),
+            other => Err(NrcError::IllTyped(format!("p1 applied to type {other}"))),
+        },
+        Expr::Proj2(e) => match type_of(e, env)? {
+            Type::Prod(_, b) => Ok(*b),
+            other => Err(NrcError::IllTyped(format!("p2 applied to type {other}"))),
+        },
+        Expr::Singleton(e) => Ok(Type::set(type_of(e, env)?)),
+        Expr::Get { ty, arg } => {
+            let arg_ty = type_of(arg, env)?;
+            if arg_ty == Type::set(ty.clone()) {
+                Ok(ty.clone())
+            } else {
+                Err(NrcError::IllTyped(format!(
+                    "get[{ty}] applied to an argument of type {arg_ty}"
+                )))
+            }
+        }
+        Expr::BigUnion { var, over, body } => {
+            let over_ty = type_of(over, env)?;
+            let elem = match over_ty {
+                Type::Set(elem) => *elem,
+                other => {
+                    return Err(NrcError::IllTyped(format!(
+                        "binding union over a non-set of type {other}"
+                    )))
+                }
+            };
+            let body_ty = type_of(body, &env.with(var.clone(), elem))?;
+            match body_ty {
+                Type::Set(_) => Ok(body_ty),
+                other => Err(NrcError::IllTyped(format!(
+                    "binding union body must have set type, found {other}"
+                ))),
+            }
+        }
+        Expr::Empty(ty) => Ok(Type::set(ty.clone())),
+        Expr::Union(a, b) | Expr::Diff(a, b) => {
+            let ta = type_of(a, env)?;
+            let tb = type_of(b, env)?;
+            if ta != tb {
+                return Err(NrcError::IllTyped(format!(
+                    "set operation between different types {ta} and {tb}"
+                )));
+            }
+            if !ta.is_set() {
+                return Err(NrcError::IllTyped(format!("set operation on non-set type {ta}")));
+            }
+            Ok(ta)
+        }
+    }
+}
+
+/// Check an expression against an expected type.
+pub fn check(expr: &Expr, expected: &Type, env: &TypeEnv) -> Result<(), NrcError> {
+    let actual = type_of(expr, env)?;
+    if &actual == expected {
+        Ok(())
+    } else {
+        Err(NrcError::IllTyped(format!("expected type {expected}, inferred {actual}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrs_value::Name;
+
+    fn env() -> TypeEnv {
+        TypeEnv::from_pairs([
+            (Name::new("B"), Type::set(Type::prod(Type::Ur, Type::set(Type::Ur)))),
+            (Name::new("V"), Type::relation(2)),
+            (Name::new("x"), Type::Ur),
+        ])
+    }
+
+    fn flatten_expr() -> Expr {
+        Expr::big_union(
+            "b",
+            Expr::var("B"),
+            Expr::big_union(
+                "c",
+                Expr::proj2(Expr::var("b")),
+                Expr::singleton(Expr::pair(Expr::proj1(Expr::var("b")), Expr::var("c"))),
+            ),
+        )
+    }
+
+    #[test]
+    fn flatten_has_relation_type() {
+        assert_eq!(type_of(&flatten_expr(), &env()).unwrap(), Type::relation(2));
+        assert!(check(&flatten_expr(), &Type::relation(2), &env()).is_ok());
+        assert!(check(&flatten_expr(), &Type::relation(3), &env()).is_err());
+    }
+
+    #[test]
+    fn primitive_constructs() {
+        let e = env();
+        assert_eq!(type_of(&Expr::Unit, &e).unwrap(), Type::Unit);
+        assert_eq!(type_of(&Expr::var("x"), &e).unwrap(), Type::Ur);
+        assert_eq!(
+            type_of(&Expr::pair(Expr::Unit, Expr::var("x")), &e).unwrap(),
+            Type::prod(Type::Unit, Type::Ur)
+        );
+        assert_eq!(type_of(&Expr::singleton(Expr::var("x")), &e).unwrap(), Type::set(Type::Ur));
+        assert_eq!(type_of(&Expr::empty(Type::Ur), &e).unwrap(), Type::set(Type::Ur));
+        assert_eq!(
+            type_of(&Expr::get(Type::Ur, Expr::singleton(Expr::var("x"))), &e).unwrap(),
+            Type::Ur
+        );
+        assert_eq!(
+            type_of(&Expr::proj1(Expr::pair(Expr::var("x"), Expr::Unit)), &e).unwrap(),
+            Type::Ur
+        );
+        assert_eq!(
+            type_of(&Expr::union(Expr::var("V"), Expr::empty(Type::prod(Type::Ur, Type::Ur))), &e).unwrap(),
+            Type::relation(2)
+        );
+    }
+
+    #[test]
+    fn ill_typed_expressions_are_rejected() {
+        let e = env();
+        // projection of a non-pair
+        assert!(type_of(&Expr::proj1(Expr::var("x")), &e).is_err());
+        // union of sets at different types
+        assert!(type_of(&Expr::union(Expr::var("B"), Expr::var("V")), &e).is_err());
+        // union of non-sets
+        assert!(type_of(&Expr::union(Expr::var("x"), Expr::var("x")), &e).is_err());
+        // big union whose body is not a set
+        let bad = Expr::big_union("v", Expr::var("V"), Expr::proj1(Expr::var("v")));
+        assert!(type_of(&bad, &e).is_err());
+        // big union over a non-set
+        let bad2 = Expr::big_union("v", Expr::var("x"), Expr::singleton(Expr::var("v")));
+        assert!(type_of(&bad2, &e).is_err());
+        // get at the wrong type
+        assert!(type_of(&Expr::get(Type::Unit, Expr::var("V")), &e).is_err());
+        // unbound variable
+        assert!(matches!(type_of(&Expr::var("nope"), &e), Err(NrcError::UnboundVariable(_))));
+    }
+
+    #[test]
+    fn binder_shadows_environment() {
+        // `x` is Ur in the environment but rebound to a pair inside the union
+        let e = Expr::big_union("x", Expr::var("V"), Expr::singleton(Expr::proj1(Expr::var("x"))));
+        assert_eq!(type_of(&e, &env()).unwrap(), Type::set(Type::Ur));
+    }
+}

@@ -1,0 +1,208 @@
+//! One-sided sequents `Θ ⊢ Δ` of the focused calculus.
+
+use nrs_delta0::{Formula, InContext, MemAtom, Term};
+use nrs_value::Name;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A one-sided sequent: an ∈-context `Θ` and a finite set `Δ` of Δ0 formulas
+/// read disjunctively.
+///
+/// `Δ` is kept sorted and de-duplicated, so sequents compare as the finite
+/// sets the paper works with and all algorithms see a deterministic order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Sequent {
+    /// The ∈-context `Θ`.
+    pub ctx: InContext,
+    /// The right-hand side `Δ`.
+    rhs: Vec<Formula>,
+}
+
+impl Sequent {
+    /// Build a sequent, normalizing the right-hand side.
+    pub fn new(ctx: InContext, rhs: impl IntoIterator<Item = Formula>) -> Self {
+        let mut s = Sequent { ctx, rhs: Vec::new() };
+        for f in rhs {
+            s.insert(f);
+        }
+        s
+    }
+
+    /// A sequent with an empty context.
+    pub fn goals(rhs: impl IntoIterator<Item = Formula>) -> Self {
+        Sequent::new(InContext::new(), rhs)
+    }
+
+    /// Encode a two-sided sequent `Θ; Γ ⊢ Δ` of the higher-level system as the
+    /// one-sided `Θ ⊢ ¬Γ, Δ`.
+    pub fn two_sided(
+        ctx: InContext,
+        gamma: impl IntoIterator<Item = Formula>,
+        delta: impl IntoIterator<Item = Formula>,
+    ) -> Self {
+        let mut rhs: Vec<Formula> = gamma.into_iter().map(|f| f.negate()).collect();
+        rhs.extend(delta);
+        Sequent::new(ctx, rhs)
+    }
+
+    /// The right-hand side, sorted and de-duplicated.
+    pub fn rhs(&self) -> &[Formula] {
+        &self.rhs
+    }
+
+    /// Insert a formula into the right-hand side (set semantics).
+    pub fn insert(&mut self, f: Formula) {
+        if let Err(pos) = self.rhs.binary_search(&f) {
+            self.rhs.insert(pos, f);
+        }
+    }
+
+    /// A copy with one more right-hand-side formula.
+    pub fn with_formula(&self, f: Formula) -> Sequent {
+        let mut out = self.clone();
+        out.insert(f);
+        out
+    }
+
+    /// A copy with several more right-hand-side formulas.
+    pub fn with_formulas(&self, fs: impl IntoIterator<Item = Formula>) -> Sequent {
+        let mut out = self.clone();
+        for f in fs {
+            out.insert(f);
+        }
+        out
+    }
+
+    /// A copy with a formula removed (no-op if absent).
+    pub fn without_formula(&self, f: &Formula) -> Sequent {
+        let mut out = self.clone();
+        out.rhs.retain(|g| g != f);
+        out
+    }
+
+    /// A copy with an extra ∈-context atom.
+    pub fn with_atom(&self, atom: MemAtom) -> Sequent {
+        Sequent { ctx: self.ctx.with(atom), rhs: self.rhs.clone() }
+    }
+
+    /// Does the right-hand side contain this formula?
+    pub fn contains(&self, f: &Formula) -> bool {
+        self.rhs.binary_search(f).is_ok()
+    }
+
+    /// Are all right-hand-side formulas existential-leading?  (Side condition
+    /// of the ∃, ≠, ×η and ×β rules.)
+    pub fn rhs_all_el(&self) -> bool {
+        self.rhs.iter().all(|f| f.is_el())
+    }
+
+    /// Free variables of the whole sequent.
+    pub fn free_vars(&self) -> BTreeSet<Name> {
+        let mut out = self.ctx.free_vars();
+        for f in &self.rhs {
+            out.extend(f.free_vars());
+        }
+        out
+    }
+
+    /// Substitute a term for a variable throughout the sequent.
+    pub fn subst_var(&self, var: &Name, replacement: &Term) -> Sequent {
+        Sequent::new(
+            self.ctx.subst_var(var, replacement),
+            self.rhs.iter().map(|f| f.subst_var(var, replacement)),
+        )
+    }
+
+    /// Replace a whole sub-term throughout the sequent (used by ×η / ×β and
+    /// congruence reasoning).
+    pub fn replace_term(&self, target: &Term, replacement: &Term) -> Sequent {
+        Sequent::new(
+            self.ctx.replace_term(target, replacement),
+            self.rhs.iter().map(|f| f.replace_term(target, replacement)),
+        )
+    }
+
+    /// Total number of formula/term nodes; the size measure used by the
+    /// complexity claims and the benchmark harness.
+    pub fn size(&self) -> usize {
+        let ctx: usize = self.ctx.iter().map(|a| a.elem.size() + a.set.size()).sum();
+        let rhs: usize = self.rhs.iter().map(Formula::size).sum();
+        ctx + rhs
+    }
+}
+
+impl fmt::Display for Sequent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} |- ", self.ctx)?;
+        for (i, g) in self.rhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{g}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrs_delta0::MemAtom;
+
+    #[test]
+    fn rhs_is_a_set() {
+        let s = Sequent::goals([Formula::True, Formula::True, Formula::eq_ur("x", "y")]);
+        assert_eq!(s.rhs().len(), 2);
+        assert!(s.contains(&Formula::True));
+        let s2 = s.with_formula(Formula::True);
+        assert_eq!(s2, s);
+        let s3 = s.without_formula(&Formula::True);
+        assert_eq!(s3.rhs().len(), 1);
+        assert!(!s3.contains(&Formula::True));
+    }
+
+    #[test]
+    fn two_sided_encoding_negates_gamma() {
+        let gamma = [Formula::forall("x", "S", Formula::eq_ur("x", "x"))];
+        let delta = [Formula::eq_ur("a", "b")];
+        let s = Sequent::two_sided(InContext::new(), gamma.clone(), delta.clone());
+        assert!(s.contains(&gamma[0].negate()));
+        assert!(s.contains(&delta[0]));
+        assert_eq!(s.rhs().len(), 2);
+    }
+
+    #[test]
+    fn el_side_condition() {
+        let el_only = Sequent::goals([
+            Formula::eq_ur("x", "y"),
+            Formula::exists("z", "S", Formula::True),
+        ]);
+        assert!(el_only.rhs_all_el());
+        let with_al = el_only.with_formula(Formula::forall("z", "S", Formula::True));
+        assert!(!with_al.rhs_all_el());
+    }
+
+    #[test]
+    fn substitution_and_replacement() {
+        let s = Sequent::new(
+            InContext::from_atoms([MemAtom::new("x", "S")]),
+            [Formula::eq_ur(Term::proj1(Term::var("x")), Term::var("y"))],
+        );
+        let t = s.subst_var(&Name::new("x"), &Term::var("w"));
+        assert!(t.ctx.contains(&MemAtom::new("w", "S")));
+        assert!(t.contains(&Formula::eq_ur(Term::proj1(Term::var("w")), Term::var("y"))));
+        let r = s.replace_term(&Term::proj1(Term::var("x")), &Term::var("k"));
+        assert!(r.contains(&Formula::eq_ur(Term::var("k"), Term::var("y"))));
+        assert!(s.free_vars().contains(&Name::new("S")));
+        assert!(s.size() > 3);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = Sequent::new(
+            InContext::from_atoms([MemAtom::new("x", "S")]),
+            [Formula::eq_ur("x", "y")],
+        );
+        assert_eq!(s.to_string(), "x in S |- x = y");
+    }
+}

@@ -1,0 +1,31 @@
+//! # nrs-prover
+//!
+//! Bounded proof search for the focused Δ0 calculus.
+//!
+//! The paper deliberately leaves automation open ("a crucial limitation of our
+//! work is that we do not yet know how to find the proofs", §7).  This crate
+//! provides a pragmatic search engine so that the synthesis pipeline and the
+//! examples run end-to-end without hand-written proof witnesses:
+//!
+//! * **Invertible phase** — ⊤/`t = t` axioms are detected, and ∧, ∨, ∀ are
+//!   decomposed eagerly (these rules are invertible, so no backtracking is
+//!   needed over them).
+//! * **Saturation phase** — "safe" ∃ instantiations (whose result contains no
+//!   conjunction, hence never forces a case split) and ≠-congruence rewrites
+//!   are added exhaustively, bounded per round.
+//! * **Choice phase** — "risky" ∃ instantiations (those introducing
+//!   conjunctions, e.g. instantiating a goal `∃z' ∈ o' . z ≡ z'` at a
+//!   candidate witness) are explored with backtracking under an iterative
+//!   deepening budget.
+//!
+//! Failed sub-goals are memoized.  The engine is complete only up to its
+//! budgets — exactly the compromise the paper anticipates — but it proves the
+//! determinacy goals of the paper's examples and of the benchmark families;
+//! anything beyond its reach can still be supplied as an explicit [`Proof`]
+//! witness built with `nrs-proof`.
+
+pub mod search;
+
+pub use search::{prove, prove_sequent, ProverConfig, ProverStats};
+
+pub use nrs_proof::{Proof, ProofError, Sequent};

@@ -1,0 +1,91 @@
+//! Ur-elements ("atoms"): the opaque scalar values of the data model.
+//!
+//! The paper leaves the set of Ur-elements abstract (it only needs equality).
+//! We represent them as `u64` identifiers with an optional human-readable
+//! rendering used by examples (e.g. order ids, part names).  Only equality and
+//! ordering are ever consulted by the algorithms.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An Ur-element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Atom(pub u64);
+
+impl Atom {
+    /// Construct an atom from a raw identifier.
+    pub fn new(id: u64) -> Self {
+        Atom(id)
+    }
+
+    /// The raw identifier.
+    pub fn id(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl From<u64> for Atom {
+    fn from(v: u64) -> Self {
+        Atom(v)
+    }
+}
+
+/// A simple pool handing out consecutive fresh atoms; used by the workload
+/// generators to build instances with controlled sharing of data values.
+#[derive(Debug, Default, Clone)]
+pub struct AtomPool {
+    next: u64,
+}
+
+impl AtomPool {
+    /// A pool starting from zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A pool starting from the given id.
+    pub fn starting_at(next: u64) -> Self {
+        AtomPool { next }
+    }
+
+    /// Hand out the next fresh atom.
+    pub fn fresh(&mut self) -> Atom {
+        let a = Atom(self.next);
+        self.next += 1;
+        a
+    }
+
+    /// Hand out `n` fresh atoms.
+    pub fn fresh_many(&mut self, n: usize) -> Vec<Atom> {
+        (0..n).map(|_| self.fresh()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoms_compare_by_id() {
+        assert!(Atom::new(1) < Atom::new(2));
+        assert_eq!(Atom::from(5).id(), 5);
+        assert_eq!(Atom::new(3).to_string(), "a3");
+    }
+
+    #[test]
+    fn pool_hands_out_distinct_atoms() {
+        let mut p = AtomPool::new();
+        let xs = p.fresh_many(10);
+        let mut uniq = xs.clone();
+        uniq.dedup();
+        assert_eq!(xs.len(), uniq.len());
+        let mut p2 = AtomPool::starting_at(100);
+        assert_eq!(p2.fresh(), Atom(100));
+    }
+}

@@ -1,0 +1,66 @@
+//! Error types for the value layer.
+
+use crate::{Name, Type};
+use std::fmt;
+
+/// Errors raised when constructing, typing, or accessing nested values and
+/// instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueError {
+    /// A value did not have the expected type.
+    TypeMismatch {
+        /// What the context expected.
+        expected: Type,
+        /// A description of what was found.
+        found: String,
+    },
+    /// An operation expected a set value.
+    NotASet(String),
+    /// An operation expected a pair value.
+    NotAPair(String),
+    /// An operation expected an atom.
+    NotAnAtom(String),
+    /// `get` was applied to a set that is not a singleton; the default element
+    /// for the requested type could not be constructed (only happens for `Ur`,
+    /// which has no canonical default in an empty active domain).
+    NoDefault(Type),
+    /// A named object was missing from an instance.
+    UnknownName(Name),
+    /// A named object was declared twice in a schema.
+    DuplicateName(Name),
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            ValueError::NotASet(v) => write!(f, "expected a set value, found {v}"),
+            ValueError::NotAPair(v) => write!(f, "expected a pair value, found {v}"),
+            ValueError::NotAnAtom(v) => write!(f, "expected an atom, found {v}"),
+            ValueError::NoDefault(t) => {
+                write!(f, "no default element available for type {t} (get on a non-singleton)")
+            }
+            ValueError::UnknownName(n) => write!(f, "unknown object name: {n}"),
+            ValueError::DuplicateName(n) => write!(f, "duplicate object name: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ValueError::TypeMismatch { expected: Type::Ur, found: "()".into() };
+        assert!(e.to_string().contains("expected U"));
+        let e = ValueError::UnknownName(Name::new("V"));
+        assert!(e.to_string().contains("V"));
+        let e = ValueError::NoDefault(Type::Ur);
+        assert!(e.to_string().contains("get"));
+    }
+}

@@ -1,0 +1,334 @@
+//! Schemas and instances.
+//!
+//! A [`Schema`] declares named objects with nested relational types (paper
+//! Example 3.1).  An [`Instance`] binds each declared name to a value of the
+//! right type.  Instances double as variable environments for Δ0 and NRC
+//! evaluation further up the stack.
+
+use crate::error::ValueError;
+use crate::types::Type;
+use crate::value::Value;
+use crate::{Atom, Name};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A nested relational schema: an ordered map from object names to types.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    decls: BTreeMap<Name, Type>,
+}
+
+impl Schema {
+    /// The empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a schema from declarations, rejecting duplicates.
+    pub fn from_decls(decls: impl IntoIterator<Item = (Name, Type)>) -> Result<Self, ValueError> {
+        let mut s = Schema::new();
+        for (n, t) in decls {
+            s.declare(n, t)?;
+        }
+        Ok(s)
+    }
+
+    /// Declare an object; errors if the name is already declared.
+    pub fn declare(&mut self, name: impl Into<Name>, ty: Type) -> Result<(), ValueError> {
+        let name = name.into();
+        if self.decls.contains_key(&name) {
+            return Err(ValueError::DuplicateName(name));
+        }
+        self.decls.insert(name, ty);
+        Ok(())
+    }
+
+    /// Look up the type of a declared object.
+    pub fn type_of(&self, name: &Name) -> Result<&Type, ValueError> {
+        self.decls.get(name).ok_or_else(|| ValueError::UnknownName(name.clone()))
+    }
+
+    /// Does the schema declare this name?
+    pub fn contains(&self, name: &Name) -> bool {
+        self.decls.contains_key(name)
+    }
+
+    /// Iterate declarations in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Name, &Type)> {
+        self.decls.iter()
+    }
+
+    /// Declared names, in order.
+    pub fn names(&self) -> Vec<Name> {
+        self.decls.keys().cloned().collect()
+    }
+
+    /// Number of declarations.
+    pub fn len(&self) -> usize {
+        self.decls.len()
+    }
+
+    /// Is the schema empty?
+    pub fn is_empty(&self) -> bool {
+        self.decls.is_empty()
+    }
+
+    /// Restrict the schema to the given names (silently dropping unknown ones).
+    pub fn restrict(&self, names: &[Name]) -> Schema {
+        Schema {
+            decls: self
+                .decls
+                .iter()
+                .filter(|(n, _)| names.contains(n))
+                .map(|(n, t)| (n.clone(), t.clone()))
+                .collect(),
+        }
+    }
+
+    /// Union of two schemas; errors on conflicting declarations.
+    pub fn merge(&self, other: &Schema) -> Result<Schema, ValueError> {
+        let mut out = self.clone();
+        for (n, t) in other.iter() {
+            match out.decls.get(n) {
+                Some(existing) if existing == t => {}
+                Some(_) => return Err(ValueError::DuplicateName(n.clone())),
+                None => {
+                    out.decls.insert(n.clone(), t.clone());
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (n, t)) in self.decls.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{n} : {t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A binding of names to values; also used as an evaluation environment.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Instance {
+    bindings: BTreeMap<Name, Value>,
+}
+
+impl Instance {
+    /// The empty instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build an instance from bindings (later bindings overwrite earlier ones).
+    pub fn from_bindings(bindings: impl IntoIterator<Item = (Name, Value)>) -> Self {
+        Instance { bindings: bindings.into_iter().collect() }
+    }
+
+    /// Bind (or rebind) a name.
+    pub fn bind(&mut self, name: impl Into<Name>, value: Value) -> &mut Self {
+        self.bindings.insert(name.into(), value);
+        self
+    }
+
+    /// Functional update: a copy of this instance with one extra binding.
+    pub fn with(&self, name: impl Into<Name>, value: Value) -> Instance {
+        let mut out = self.clone();
+        out.bind(name, value);
+        out
+    }
+
+    /// Look up a binding.
+    pub fn get(&self, name: &Name) -> Result<&Value, ValueError> {
+        self.bindings.get(name).ok_or_else(|| ValueError::UnknownName(name.clone()))
+    }
+
+    /// Look up a binding, returning `None` when absent.
+    pub fn try_get(&self, name: &Name) -> Option<&Value> {
+        self.bindings.get(name)
+    }
+
+    /// Is this name bound?
+    pub fn contains(&self, name: &Name) -> bool {
+        self.bindings.contains_key(name)
+    }
+
+    /// Iterate bindings in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Name, &Value)> {
+        self.bindings.iter()
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Is the instance empty?
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Check the instance against a schema: every declared object must be
+    /// bound to a value of its declared type.  Extra bindings are allowed
+    /// (they play the role of auxiliary objects in specifications).
+    pub fn conforms_to(&self, schema: &Schema) -> Result<(), ValueError> {
+        for (name, ty) in schema.iter() {
+            let v = self.get(name)?;
+            if !v.has_type(ty) {
+                return Err(ValueError::TypeMismatch { expected: ty.clone(), found: v.to_string() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Restriction of the instance to the given names.
+    pub fn restrict(&self, names: &[Name]) -> Instance {
+        Instance {
+            bindings: self
+                .bindings
+                .iter()
+                .filter(|(n, _)| names.contains(n))
+                .map(|(n, v)| (n.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Do two instances agree on the given names (all present and equal)?
+    pub fn agree_on(&self, other: &Instance, names: &[Name]) -> bool {
+        names.iter().all(|n| match (self.try_get(n), other.try_get(n)) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        })
+    }
+
+    /// The active domain of the instance: all atoms occurring in any binding.
+    pub fn active_domain(&self) -> Vec<Atom> {
+        let mut set = std::collections::BTreeSet::new();
+        for (_, v) in self.iter() {
+            set.extend(v.atoms());
+        }
+        set.into_iter().collect()
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (n, v)) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{n} = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_schema() -> Schema {
+        Schema::from_decls([
+            (Name::new("R"), Type::relation(2)),
+            (Name::new("S"), Type::set(Type::prod(Type::Ur, Type::set(Type::Ur)))),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_declares_and_looks_up() {
+        let s = example_schema();
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&Name::new("R")));
+        assert_eq!(s.type_of(&Name::new("R")).unwrap(), &Type::relation(2));
+        assert!(s.type_of(&Name::new("T")).is_err());
+        assert_eq!(s.names(), vec![Name::new("R"), Name::new("S")]);
+    }
+
+    #[test]
+    fn schema_rejects_duplicates() {
+        let mut s = example_schema();
+        assert!(matches!(s.declare("R", Type::Ur), Err(ValueError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn schema_merge_and_restrict() {
+        let s = example_schema();
+        let mut other = Schema::new();
+        other.declare("Q", Type::bool()).unwrap();
+        let merged = s.merge(&other).unwrap();
+        assert_eq!(merged.len(), 3);
+        // conflicting type is an error
+        let mut conflict = Schema::new();
+        conflict.declare("R", Type::Ur).unwrap();
+        assert!(s.merge(&conflict).is_err());
+        // identical re-declaration is fine
+        assert_eq!(s.merge(&s).unwrap().len(), 2);
+        let restricted = merged.restrict(&[Name::new("Q")]);
+        assert_eq!(restricted.names(), vec![Name::new("Q")]);
+    }
+
+    #[test]
+    fn instance_conformance_from_paper_example() {
+        // Example from §3: R = {<4,6>, <7,3>}, S = {<4, {6,9}>}
+        let schema = example_schema();
+        let inst = Instance::from_bindings([
+            (
+                Name::new("R"),
+                Value::set([
+                    Value::pair(Value::atom(4), Value::atom(6)),
+                    Value::pair(Value::atom(7), Value::atom(3)),
+                ]),
+            ),
+            (
+                Name::new("S"),
+                Value::set([Value::pair(Value::atom(4), Value::set([Value::atom(6), Value::atom(9)]))]),
+            ),
+        ]);
+        assert!(inst.conforms_to(&schema).is_ok());
+        let mut bad = inst.clone();
+        bad.bind("R", Value::atom(1));
+        assert!(bad.conforms_to(&schema).is_err());
+        // missing binding
+        let partial = inst.restrict(&[Name::new("R")]);
+        assert!(partial.conforms_to(&schema).is_err());
+    }
+
+    #[test]
+    fn instance_agreement_and_active_domain() {
+        let i1 = Instance::from_bindings([
+            (Name::new("V"), Value::set([Value::atom(1)])),
+            (Name::new("O"), Value::atom(9)),
+        ]);
+        let i2 = i1.with("O", Value::atom(10));
+        assert!(i1.agree_on(&i2, &[Name::new("V")]));
+        assert!(!i1.agree_on(&i2, &[Name::new("V"), Name::new("O")]));
+        assert!(!i1.agree_on(&Instance::new(), &[Name::new("V")]));
+        let dom: Vec<u64> = i1.active_domain().into_iter().map(|a| a.id()).collect();
+        assert_eq!(dom, vec![1, 9]);
+    }
+
+    #[test]
+    fn with_is_functional_update() {
+        let base = Instance::new();
+        let ext = base.with("x", Value::Unit);
+        assert!(base.is_empty());
+        assert_eq!(ext.get(&Name::new("x")).unwrap(), &Value::Unit);
+        assert_eq!(ext.len(), 1);
+        assert!(ext.try_get(&Name::new("y")).is_none());
+    }
+
+    #[test]
+    fn display_shows_bindings() {
+        let i = Instance::from_bindings([(Name::new("x"), Value::atom(1))]);
+        assert_eq!(i.to_string(), "x = a1");
+        let s = Schema::from_decls([(Name::new("x"), Type::Ur)]).unwrap();
+        assert_eq!(s.to_string(), "x : U");
+    }
+}

@@ -1,0 +1,426 @@
+//! Nested relational values.
+//!
+//! A [`Value`] is an element of the interpretation of some [`Type`]: the unit
+//! value, an atom, a pair, or a finite set.  Sets are stored as `BTreeSet`s so
+//! that the representation is canonical: extensional equality coincides with
+//! structural (`Eq`) equality, and iteration order is deterministic.
+
+use crate::error::ValueError;
+use crate::types::Type;
+use crate::Atom;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A nested relational value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// The unique inhabitant of `Unit`.
+    Unit,
+    /// An Ur-element.
+    Atom(Atom),
+    /// A pair.
+    Pair(Box<Value>, Box<Value>),
+    /// A finite set.
+    Set(BTreeSet<Value>),
+}
+
+impl Value {
+    /// An atom value from a raw id.
+    pub fn atom(id: u64) -> Value {
+        Value::Atom(Atom::new(id))
+    }
+
+    /// A pair value.
+    pub fn pair(a: Value, b: Value) -> Value {
+        Value::Pair(Box::new(a), Box::new(b))
+    }
+
+    /// A set value from any iterator of elements (duplicates collapse).
+    pub fn set(items: impl IntoIterator<Item = Value>) -> Value {
+        Value::Set(items.into_iter().collect())
+    }
+
+    /// The empty set.
+    pub fn empty_set() -> Value {
+        Value::Set(BTreeSet::new())
+    }
+
+    /// A right-nested tuple `⟨v1, ⟨v2, …⟩⟩`; the 1-ary tuple is the value itself.
+    pub fn tuple(parts: Vec<Value>) -> Value {
+        let mut it = parts.into_iter().rev();
+        let last = it.next().expect("Value::tuple requires at least one component");
+        it.fold(last, |acc, v| Value::pair(v, acc))
+    }
+
+    /// The encoding of `true`: `{()} : Set(Unit)`.
+    pub fn bool_true() -> Value {
+        Value::set([Value::Unit])
+    }
+
+    /// The encoding of `false`: `∅ : Set(Unit)`.
+    pub fn bool_false() -> Value {
+        Value::empty_set()
+    }
+
+    /// Encode a Rust boolean.
+    pub fn from_bool(b: bool) -> Value {
+        if b {
+            Value::bool_true()
+        } else {
+            Value::bool_false()
+        }
+    }
+
+    /// Decode a `Set(Unit)` value as a boolean (any nonempty set counts as true).
+    pub fn as_bool(&self) -> Result<bool, ValueError> {
+        match self {
+            Value::Set(s) => Ok(!s.is_empty()),
+            other => Err(ValueError::NotASet(other.to_string())),
+        }
+    }
+
+    /// View as a set.
+    pub fn as_set(&self) -> Result<&BTreeSet<Value>, ValueError> {
+        match self {
+            Value::Set(s) => Ok(s),
+            other => Err(ValueError::NotASet(other.to_string())),
+        }
+    }
+
+    /// Consume as a set.
+    pub fn into_set(self) -> Result<BTreeSet<Value>, ValueError> {
+        match self {
+            Value::Set(s) => Ok(s),
+            other => Err(ValueError::NotASet(other.to_string())),
+        }
+    }
+
+    /// View as a pair.
+    pub fn as_pair(&self) -> Result<(&Value, &Value), ValueError> {
+        match self {
+            Value::Pair(a, b) => Ok((a, b)),
+            other => Err(ValueError::NotAPair(other.to_string())),
+        }
+    }
+
+    /// View as an atom.
+    pub fn as_atom(&self) -> Result<Atom, ValueError> {
+        match self {
+            Value::Atom(a) => Ok(*a),
+            other => Err(ValueError::NotAnAtom(other.to_string())),
+        }
+    }
+
+    /// First projection (error if not a pair).
+    pub fn proj1(&self) -> Result<&Value, ValueError> {
+        Ok(self.as_pair()?.0)
+    }
+
+    /// Second projection (error if not a pair).
+    pub fn proj2(&self) -> Result<&Value, ValueError> {
+        Ok(self.as_pair()?.1)
+    }
+
+    /// Does this value inhabit the given type?
+    pub fn has_type(&self, ty: &Type) -> bool {
+        match (self, ty) {
+            (Value::Unit, Type::Unit) => true,
+            (Value::Atom(_), Type::Ur) => true,
+            (Value::Pair(a, b), Type::Prod(ta, tb)) => a.has_type(ta) && b.has_type(tb),
+            (Value::Set(s), Type::Set(te)) => s.iter().all(|v| v.has_type(te)),
+            _ => false,
+        }
+    }
+
+    /// Infer *a* type for this value.  Empty sets are ambiguous; they default
+    /// to `Set(Ur)` unless a surrounding context refines them, so prefer
+    /// [`Value::has_type`] when a type is known.
+    pub fn infer_type(&self) -> Type {
+        match self {
+            Value::Unit => Type::Unit,
+            Value::Atom(_) => Type::Ur,
+            Value::Pair(a, b) => Type::prod(a.infer_type(), b.infer_type()),
+            Value::Set(s) => match s.iter().next() {
+                Some(v) => Type::set(v.infer_type()),
+                None => Type::set(Type::Ur),
+            },
+        }
+    }
+
+    /// The canonical "default" value of a type, used to give `get` a total
+    /// semantics on non-singletons, as in the paper ("some default object of
+    /// the appropriate type").  For `Ur` we use atom 0.
+    pub fn default_of(ty: &Type) -> Value {
+        match ty {
+            Type::Unit => Value::Unit,
+            Type::Ur => Value::atom(0),
+            Type::Prod(a, b) => Value::pair(Value::default_of(a), Value::default_of(b)),
+            Type::Set(_) => Value::empty_set(),
+        }
+    }
+
+    /// Structural size (number of constructors), a convenient cost measure for
+    /// benches and proptest shrinking diagnostics.
+    pub fn size(&self) -> usize {
+        match self {
+            Value::Unit | Value::Atom(_) => 1,
+            Value::Pair(a, b) => 1 + a.size() + b.size(),
+            Value::Set(s) => 1 + s.iter().map(Value::size).sum::<usize>(),
+        }
+    }
+
+    /// All atoms occurring hereditarily inside this value (its "active
+    /// domain"), in sorted order.  This is the transitive-closure collection
+    /// that the base case of Theorem 10 relies on.
+    pub fn atoms(&self) -> BTreeSet<Atom> {
+        let mut out = BTreeSet::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms(&self, out: &mut BTreeSet<Atom>) {
+        match self {
+            Value::Unit => {}
+            Value::Atom(a) => {
+                out.insert(*a);
+            }
+            Value::Pair(a, b) => {
+                a.collect_atoms(out);
+                b.collect_atoms(out);
+            }
+            Value::Set(s) => {
+                for v in s {
+                    v.collect_atoms(out);
+                }
+            }
+        }
+    }
+
+    /// Membership test for set values.
+    pub fn contains(&self, elem: &Value) -> Result<bool, ValueError> {
+        Ok(self.as_set()?.contains(elem))
+    }
+
+    /// Set union (errors if either value is not a set).
+    pub fn union(&self, other: &Value) -> Result<Value, ValueError> {
+        let mut s = self.as_set()?.clone();
+        s.extend(other.as_set()?.iter().cloned());
+        Ok(Value::Set(s))
+    }
+
+    /// Set difference (errors if either value is not a set).
+    pub fn difference(&self, other: &Value) -> Result<Value, ValueError> {
+        let rhs = other.as_set()?;
+        let s = self.as_set()?.iter().filter(|v| !rhs.contains(*v)).cloned().collect();
+        Ok(Value::Set(s))
+    }
+
+    /// Set intersection (errors if either value is not a set).
+    pub fn intersection(&self, other: &Value) -> Result<Value, ValueError> {
+        let rhs = other.as_set()?;
+        let s = self.as_set()?.iter().filter(|v| rhs.contains(*v)).cloned().collect();
+        Ok(Value::Set(s))
+    }
+
+    /// The number of values [`Value::enumerate`] would produce for this type
+    /// over a universe of `universe` atoms (saturating at `u128::MAX`).
+    /// Callers use this to refuse enumerations that would blow up.
+    pub fn enumeration_size(ty: &Type, universe: usize) -> u128 {
+        match ty {
+            Type::Unit => 1,
+            Type::Ur => universe as u128,
+            Type::Prod(a, b) => Value::enumeration_size(a, universe)
+                .saturating_mul(Value::enumeration_size(b, universe)),
+            Type::Set(elem) => {
+                let n = Value::enumeration_size(elem, universe);
+                if n >= 120 {
+                    u128::MAX
+                } else {
+                    1u128 << (n as u32)
+                }
+            }
+        }
+    }
+
+    /// Enumerate **all** values of the given type whose atoms are drawn from
+    /// `universe`.  This is exponential (power sets!) and intended only for the
+    /// small-universe bounded entailment checks used in tests; callers should
+    /// keep `universe` and the type's set height tiny.
+    pub fn enumerate(ty: &Type, universe: &[Atom]) -> Vec<Value> {
+        match ty {
+            Type::Unit => vec![Value::Unit],
+            Type::Ur => universe.iter().map(|a| Value::Atom(*a)).collect(),
+            Type::Prod(a, b) => {
+                let va = Value::enumerate(a, universe);
+                let vb = Value::enumerate(b, universe);
+                let mut out = Vec::with_capacity(va.len() * vb.len());
+                for x in &va {
+                    for y in &vb {
+                        out.push(Value::pair(x.clone(), y.clone()));
+                    }
+                }
+                out
+            }
+            Type::Set(elem) => {
+                let base = Value::enumerate(elem, universe);
+                // all subsets of `base`
+                let n = base.len();
+                assert!(n < 20, "Value::enumerate would build 2^{n} sets; universe too large");
+                let mut out = Vec::with_capacity(1 << n);
+                for mask in 0u32..(1u32 << n) {
+                    let mut s = BTreeSet::new();
+                    for (i, v) in base.iter().enumerate() {
+                        if mask & (1 << i) != 0 {
+                            s.insert(v.clone());
+                        }
+                    }
+                    out.push(Value::Set(s));
+                }
+                out
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Atom(a) => write!(f, "{a}"),
+            Value::Pair(a, b) => write!(f, "<{a}, {b}>"),
+            Value::Set(s) => {
+                write!(f, "{{")?;
+                for (i, v) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_values_are_extensional() {
+        let a = Value::set([Value::atom(1), Value::atom(2), Value::atom(1)]);
+        let b = Value::set([Value::atom(2), Value::atom(1)]);
+        assert_eq!(a, b);
+        assert_eq!(a.as_set().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn typing_checks_structure() {
+        let ty = Type::set(Type::prod(Type::Ur, Type::set(Type::Ur)));
+        let good = Value::set([Value::pair(Value::atom(4), Value::set([Value::atom(6)]))]);
+        let bad = Value::set([Value::pair(Value::atom(4), Value::atom(6))]);
+        assert!(good.has_type(&ty));
+        assert!(!bad.has_type(&ty));
+        // empty set inhabits any set type
+        assert!(Value::empty_set().has_type(&ty));
+        assert!(Value::empty_set().has_type(&Type::set(Type::Unit)));
+    }
+
+    #[test]
+    fn booleans_encode_as_set_unit() {
+        assert!(Value::bool_true().as_bool().unwrap());
+        assert!(!Value::bool_false().as_bool().unwrap());
+        assert!(Value::from_bool(true).has_type(&Type::bool()));
+        assert!(Value::atom(3).as_bool().is_err());
+    }
+
+    #[test]
+    fn projections_and_accessors() {
+        let p = Value::pair(Value::atom(1), Value::Unit);
+        assert_eq!(p.proj1().unwrap(), &Value::atom(1));
+        assert_eq!(p.proj2().unwrap(), &Value::Unit);
+        assert!(Value::Unit.proj1().is_err());
+        assert_eq!(p.as_pair().unwrap().0, &Value::atom(1));
+        assert_eq!(Value::atom(7).as_atom().unwrap(), Atom::new(7));
+        assert!(Value::Unit.as_atom().is_err());
+    }
+
+    #[test]
+    fn tuple_builder_matches_type_tuple() {
+        let v = Value::tuple(vec![Value::atom(1), Value::atom(2), Value::atom(3)]);
+        let t = Type::tuple(vec![Type::Ur, Type::Ur, Type::Ur]);
+        assert!(v.has_type(&t));
+        assert_eq!(v, Value::pair(Value::atom(1), Value::pair(Value::atom(2), Value::atom(3))));
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = Value::set([Value::atom(1), Value::atom(2)]);
+        let b = Value::set([Value::atom(2), Value::atom(3)]);
+        assert_eq!(a.union(&b).unwrap().as_set().unwrap().len(), 3);
+        assert_eq!(a.difference(&b).unwrap(), Value::set([Value::atom(1)]));
+        assert_eq!(a.intersection(&b).unwrap(), Value::set([Value::atom(2)]));
+        assert!(a.contains(&Value::atom(1)).unwrap());
+        assert!(!a.contains(&Value::atom(3)).unwrap());
+        assert!(Value::Unit.union(&a).is_err());
+    }
+
+    #[test]
+    fn atoms_collects_active_domain() {
+        let v = Value::set([
+            Value::pair(Value::atom(4), Value::set([Value::atom(6), Value::atom(9)])),
+            Value::pair(Value::atom(7), Value::empty_set()),
+        ]);
+        let atoms: Vec<u64> = v.atoms().into_iter().map(|a| a.id()).collect();
+        assert_eq!(atoms, vec![4, 6, 7, 9]);
+    }
+
+    #[test]
+    fn default_values_have_their_type() {
+        for ty in [
+            Type::Unit,
+            Type::Ur,
+            Type::prod(Type::Ur, Type::bool()),
+            Type::set(Type::prod(Type::Ur, Type::Ur)),
+        ] {
+            assert!(Value::default_of(&ty).has_type(&ty));
+        }
+    }
+
+    #[test]
+    fn enumerate_small_types() {
+        let atoms = [Atom::new(0), Atom::new(1)];
+        assert_eq!(Value::enumerate(&Type::Unit, &atoms).len(), 1);
+        assert_eq!(Value::enumerate(&Type::Ur, &atoms).len(), 2);
+        assert_eq!(Value::enumerate(&Type::prod(Type::Ur, Type::Ur), &atoms).len(), 4);
+        // Set(U) over 2 atoms: 4 subsets
+        assert_eq!(Value::enumerate(&Type::set(Type::Ur), &atoms).len(), 4);
+        // Bool has exactly two elements regardless of the universe
+        assert_eq!(Value::enumerate(&Type::bool(), &atoms).len(), 2);
+        for v in Value::enumerate(&Type::set(Type::Ur), &atoms) {
+            assert!(v.has_type(&Type::set(Type::Ur)));
+        }
+    }
+
+    #[test]
+    fn size_counts_constructors() {
+        assert_eq!(Value::Unit.size(), 1);
+        assert_eq!(Value::pair(Value::atom(1), Value::atom(2)).size(), 3);
+        assert_eq!(Value::set([Value::atom(1), Value::atom(2)]).size(), 3);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let v = Value::set([Value::pair(Value::atom(2), Value::atom(1)), Value::Unit]);
+        assert_eq!(v.to_string(), "{(), <a2, a1>}");
+    }
+
+    #[test]
+    fn infer_type_agrees_with_has_type_on_nonempty() {
+        let v = Value::set([Value::pair(Value::atom(1), Value::set([Value::atom(2)]))]);
+        let ty = v.infer_type();
+        assert!(v.has_type(&ty));
+        assert_eq!(ty, Type::set(Type::prod(Type::Ur, Type::set(Type::Ur))));
+    }
+}

@@ -1,0 +1,17 @@
+//! # nested-synth
+//!
+//! Umbrella crate for the *Synthesizing Nested Relational Queries from
+//! Implicit Specifications* reproduction.  It re-exports every sub-crate so
+//! the examples, integration tests and downstream users can depend on a single
+//! crate.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use nrs_delta0 as delta0;
+pub use nrs_fol as fol;
+pub use nrs_interp as interp;
+pub use nrs_nrc as nrc;
+pub use nrs_proof as proof;
+pub use nrs_prover as prover;
+pub use nrs_synthesis as synthesis;
+pub use nrs_value as value;
