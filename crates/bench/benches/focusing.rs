@@ -13,17 +13,31 @@ use std::time::Duration;
 
 fn bench_focusing(c: &mut Criterion) {
     let mut group = c.benchmark_group("E3_focused_proof_growth");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [1usize, 2, 4, 6] {
         let (assumptions, goal) = fo_implication_chain(n);
-        let proof = fo_prove(&assumptions, &[goal.clone()], &FoProverConfig::default()).expect("provable");
+        let proof = fo_prove(
+            &assumptions,
+            std::slice::from_ref(&goal),
+            &FoProverConfig::default(),
+        )
+        .expect("provable");
         println!(
             "E3 row: chain_length={n} proof_size={} fo_focused={}",
             proof.size(),
             is_fo_focused(&proof)
         );
         group.bench_with_input(BenchmarkId::new("prove_chain", n), &n, |b, _| {
-            b.iter(|| fo_prove(&assumptions, &[goal.clone()], &FoProverConfig::default()).unwrap())
+            b.iter(|| {
+                fo_prove(
+                    &assumptions,
+                    std::slice::from_ref(&goal),
+                    &FoProverConfig::default(),
+                )
+                .unwrap()
+            })
         });
     }
     group.finish();

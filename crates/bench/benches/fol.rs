@@ -9,12 +9,21 @@ use std::time::Duration;
 
 fn bench_fol(c: &mut Criterion) {
     let mut group = c.benchmark_group("E7_fo_baseline");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for n in [2usize, 4, 8] {
         let (assumptions, goal) = fo_implication_chain(n);
-        let proof = fo_prove(&assumptions, &[goal.clone()], &FoProverConfig::default()).expect("provable");
+        let proof = fo_prove(
+            &assumptions,
+            std::slice::from_ref(&goal),
+            &FoProverConfig::default(),
+        )
+        .expect("provable");
         let partition = FoPartition::with_left(
-            assumptions[..assumptions.len() / 2].iter().map(FoFormula::negate),
+            assumptions[..assumptions.len() / 2]
+                .iter()
+                .map(FoFormula::negate),
         );
         let theta = fo_interpolate(&proof, &partition).expect("interpolant");
         println!(
@@ -24,8 +33,12 @@ fn bench_fol(c: &mut Criterion) {
         );
         group.bench_with_input(BenchmarkId::new("prove_and_interpolate", n), &n, |b, _| {
             b.iter(|| {
-                let proof =
-                    fo_prove(&assumptions, &[goal.clone()], &FoProverConfig::default()).unwrap();
+                let proof = fo_prove(
+                    &assumptions,
+                    std::slice::from_ref(&goal),
+                    &FoProverConfig::default(),
+                )
+                .unwrap();
                 fo_interpolate(&proof, &partition).unwrap()
             })
         });

@@ -12,7 +12,9 @@ use std::time::Duration;
 
 fn bench_interpolation(c: &mut Criterion) {
     let mut group = c.benchmark_group("E1_interpolation_linear_time");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for n in [4usize, 8, 16, 32] {
         let (seq, left) = equality_chain(n);
         let (proof, _) = prove_sequent(&seq, &ProverConfig::default()).expect("chain provable");

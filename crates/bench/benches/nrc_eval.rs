@@ -24,14 +24,19 @@ fn bench_nrc_eval(c: &mut Criterion) {
             Expr::var("OrderItems"),
             macros::guard(
                 macros::eq_ur(Expr::proj1(Expr::var("a")), Expr::proj1(Expr::var("b"))),
-                Expr::singleton(Expr::pair(Expr::proj2(Expr::var("a")), Expr::proj2(Expr::var("b")))),
+                Expr::singleton(Expr::pair(
+                    Expr::proj2(Expr::var("a")),
+                    Expr::proj2(Expr::var("b")),
+                )),
                 &mut gen,
             ),
         ),
     );
 
     let mut group = c.benchmark_group("E6_nrc_evaluation");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for groups in [50usize, 200, 800] {
         let nested = keyed_nested_instance(groups, 6, 7);
         group.bench_with_input(BenchmarkId::new("flatten", groups), &groups, |b, _| {
@@ -40,9 +45,11 @@ fn bench_nrc_eval(c: &mut Criterion) {
     }
     for orders in [50usize, 200] {
         let wh = warehouse_instance(orders, 4, 11);
-        group.bench_with_input(BenchmarkId::new("key_self_join", orders), &orders, |b, _| {
-            b.iter(|| eval(&join, &wh).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("key_self_join", orders),
+            &orders,
+            |b, _| b.iter(|| eval(&join, &wh).unwrap()),
+        );
     }
     group.finish();
 }

@@ -10,7 +10,9 @@ use std::time::Duration;
 
 fn bench_prover(c: &mut Criterion) {
     let mut group = c.benchmark_group("E4_proof_search");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for n in [1usize, 2, 3, 4] {
         let seq = subset_chain(n);
         let (proof, stats) = prove_sequent(&seq, &ProverConfig::default()).expect("provable");

@@ -15,14 +15,29 @@ use std::time::Duration;
 
 fn bench_rewriting(c: &mut Criterion) {
     let problem = partition_problem();
-    let rewriting = problem.derive_rewriting(&SynthesisConfig::default()).expect("rewriting");
+    let rewriting = problem
+        .derive_rewriting(&SynthesisConfig::default())
+        .expect("rewriting");
     let env = TypeEnv::from_pairs(problem.base.iter().cloned());
     let mut gen = NameGen::new();
     let query_expr = problem.query.to_nrc(&env, &mut gen).unwrap();
 
     let mut group = c.benchmark_group("E5_rewriting_vs_recomputation");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
-    for size in [100usize, 1_000, 5_000] {
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    // Measured reality check on the sizes: at |S|=1000 the synthesized
+    // rewriting evaluates in ~51 s per run (vs ~38 ms for direct
+    // recomputation) — the collected-superset filter is the quadratic side
+    // here, so larger sizes are intractable for a bench loop.  Full mode
+    // stops at 1000 (one slow point is enough to expose the gap); the
+    // fast/smoke mode stops where setup stays in seconds.
+    let sizes: &[usize] = if std::env::var_os("NRS_BENCH_FAST").is_some() {
+        &[100, 500]
+    } else {
+        &[100, 1_000]
+    };
+    for &size in sizes {
         let base = partition_instance(size, 42);
         let views = materialize_views(&problem, &base).unwrap();
         let from_views = rewriting.answer_from_views(&views).unwrap();
@@ -35,9 +50,11 @@ fn bench_rewriting(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("from_views", size), &size, |b, _| {
             b.iter(|| rewriting.answer_from_views(&views).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("recompute_from_base", size), &size, |b, _| {
-            b.iter(|| eval(&query_expr, &base).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("recompute_from_base", size),
+            &size,
+            |b, _| b.iter(|| eval(&query_expr, &base).unwrap()),
+        );
     }
     group.finish();
 }

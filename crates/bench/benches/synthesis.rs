@@ -12,7 +12,9 @@ use std::time::Duration;
 
 fn bench_synthesis(c: &mut Criterion) {
     let mut group = c.benchmark_group("E2_synthesis_polynomial");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for copies in [0usize, 1, 2] {
         let mut problem = partition_problem();
         // duplicate the (always true) key-style constraint to inflate the spec
@@ -24,15 +26,25 @@ fn bench_synthesis(c: &mut Criterion) {
             );
             problem.constraints.push(extra);
         }
-        let result = problem.derive_rewriting(&SynthesisConfig::default()).expect("rewriting");
+        let result = problem
+            .derive_rewriting(&SynthesisConfig::default())
+            .expect("rewriting");
         println!(
             "E2 row: extra_constraints={copies} proof_sizes={:?} rewriting_size={}",
             result.definition.report.proof_sizes,
             result.expr().size()
         );
-        group.bench_with_input(BenchmarkId::new("derive_rewriting", copies), &copies, |b, _| {
-            b.iter(|| problem.derive_rewriting(&SynthesisConfig::default()).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("derive_rewriting", copies),
+            &copies,
+            |b, _| {
+                b.iter(|| {
+                    problem
+                        .derive_rewriting(&SynthesisConfig::default())
+                        .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -40,12 +40,8 @@ pub fn subset_chain(n: usize) -> Sequent {
             )
         })
         .collect();
-    let goal = nrs_delta0::macros::subset(
-        &ur,
-        &Term::var("A0"),
-        &Term::var(format!("A{n}")),
-        &mut gen,
-    );
+    let goal =
+        nrs_delta0::macros::subset(&ur, &Term::var("A0"), &Term::var(format!("A{n}")), &mut gen);
     Sequent::two_sided(InContext::new(), assumptions, [goal])
 }
 
@@ -58,12 +54,12 @@ pub fn fo_implication_chain(n: usize) -> (Vec<nrs_fol::FoFormula>, nrs_fol::FoFo
         assumptions.push(FoFormula::forall(
             "x",
             FoFormula::implies(
-                FoFormula::Atom(format!("P{i}"), vec!["x".into()]),
-                FoFormula::Atom(format!("P{}", i + 1), vec!["x".into()]),
+                FoFormula::Atom(format!("P{i}").into(), vec!["x".into()]),
+                FoFormula::Atom(format!("P{}", i + 1).into(), vec!["x".into()]),
             ),
         ));
     }
-    let goal = FoFormula::Atom(format!("P{n}"), vec!["c".into()]);
+    let goal = FoFormula::Atom(format!("P{n}").into(), vec!["c".into()]);
     (assumptions, goal)
 }
 

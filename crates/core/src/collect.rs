@@ -64,7 +64,10 @@ pub fn collect_parameters(
     gen: &mut NameGen,
 ) -> Result<CollectOutput, SynthesisError> {
     let out = extract(proof, &input.partition, &input.goal, input, gen)?;
-    Ok(CollectOutput { expr: out.expr, theta: out.theta.beta_normalize() })
+    Ok(CollectOutput {
+        expr: out.expr,
+        theta: out.theta.beta_normalize(),
+    })
 }
 
 struct Extraction {
@@ -102,7 +105,10 @@ fn extract(
                 Side::Left => simplify_or(e0.theta, e1.theta),
                 Side::Right => simplify_and(e0.theta, e1.theta),
             };
-            Ok(Extraction { expr: union_exprs(e0.expr, e1.expr), theta })
+            Ok(Extraction {
+                expr: union_exprs(e0.expr, e1.expr),
+                theta,
+            })
         }
         Rule::Or { .. } | Rule::Forall { .. } | Rule::ProdBeta { .. } => {
             let premises = premises_of(proof)?;
@@ -113,8 +119,8 @@ fn extract(
             let premises = premises_of(proof)?;
             let p0 = partition.premise_partition(seq, &proof.rule, &premises[0]);
             let inner = extract(&proof.premises[0], &p0, goal, input, gen)?;
-            let p1 = Term::proj1(Term::Var(var.clone()));
-            let p2 = Term::proj2(Term::Var(var.clone()));
+            let p1 = Term::proj1(Term::Var(*var));
+            let p2 = Term::proj2(Term::Var(*var));
             Ok(Extraction {
                 expr: inner
                     .expr
@@ -122,8 +128,8 @@ fn extract(
                     .subst(snd, &compile::compile_term(&p2)),
                 theta: inner
                     .theta
-                    .replace_term(&Term::Var(fst.clone()), &p1)
-                    .replace_term(&Term::Var(snd.clone()), &p2),
+                    .replace_term(&Term::Var(*fst), &p1)
+                    .replace_term(&Term::Var(*snd), &p2),
             })
         }
         Rule::Neq { ineq, atom, .. } => {
@@ -150,14 +156,20 @@ fn extract(
                     Side::Right => simplify_and(inner.theta, Formula::EqUr(t, u)),
                     Side::Left => simplify_or(inner.theta, Formula::NeqUr(t, u)),
                 };
-                Ok(Extraction { expr: inner.expr, theta })
+                Ok(Extraction {
+                    expr: inner.expr,
+                    theta,
+                })
             } else {
                 // fold the non-common term back into the common one
                 let expr = match u.as_var() {
                     Some(v) => inner.expr.subst(v, &compile::compile_term(&t)),
                     None => inner.expr,
                 };
-                Ok(Extraction { expr, theta: inner.theta.replace_term(&u, &t) })
+                Ok(Extraction {
+                    expr,
+                    theta: inner.theta.replace_term(&u, &t),
+                })
             }
         }
         Rule::Exists { quant, spec } => {
@@ -207,9 +219,9 @@ fn main_case(
             forall_node.rule.name()
         )));
     };
-    let x = witness.clone();
+    let x = *witness;
     let body = match spec {
-        Formula::Forall { var, body, .. } => body.subst_var(var, &Term::Var(x.clone())),
+        Formula::Forall { var, body, .. } => body.subst_var(var, &Term::Var(x)),
         other => {
             return Err(SynthesisError::Extraction(format!(
                 "goal specialization {other} is not a universal formula"
@@ -223,7 +235,11 @@ fn main_case(
         )));
     };
     let forall_premises = premises_of(forall_node)?;
-    let p_inner = p_forall.premise_partition(&forall_node.conclusion, &forall_node.rule, &forall_premises[0]);
+    let p_inner = p_forall.premise_partition(
+        &forall_node.conclusion,
+        &forall_node.rule,
+        &forall_premises[0],
+    );
     let (and_node, p_and) = descend_to_principal(&forall_node.premises[0], &p_inner, &body)?;
     let Rule::And { .. } = &and_node.rule else {
         return Err(SynthesisError::Extraction(format!(
@@ -256,7 +272,8 @@ fn main_case(
             )));
         };
         let or_premises = premises_of(or_node)?;
-        let mut p_next = p_or.premise_partition(&or_node.conclusion, &or_node.rule, &or_premises[0]);
+        let mut p_next =
+            p_or.premise_partition(&or_node.conclusion, &or_node.rule, &or_premises[0]);
         p_next.assign_formula(lambda_part.clone(), Side::Left);
         p_next.assign_formula(rho_part.clone(), Side::Right);
         extract(&or_node.premises[0], &p_next, goal, input, gen)
@@ -264,31 +281,44 @@ fn main_case(
 
     let (lam_a, rho_a) = split_implication(imp1)?; // (¬λ(x) , ρ(x,w))
     let (rho_b, lam_b) = split_implication(imp2)?; // (¬ρ(x,w) , λ(x))
-    let branch_a = extract_branch(&and_node.premises[0], &and_premises[0], imp1, &lam_a, &rho_a, gen)?;
-    let branch_b = extract_branch(&and_node.premises[1], &and_premises[1], imp2, &lam_b, &rho_b, gen)?;
+    let branch_a = extract_branch(
+        &and_node.premises[0],
+        &and_premises[0],
+        imp1,
+        &lam_a,
+        &rho_a,
+        gen,
+    )?;
+    let branch_b = extract_branch(
+        &and_node.premises[1],
+        &and_premises[1],
+        imp2,
+        &lam_b,
+        &rho_b,
+        gen,
+    )?;
     // paper naming: (θ1, E1) from the branch containing λ(x) positively (B),
     //               (θ2, E2) from the branch containing ¬λ(x) (A).
     let (theta1, e1) = (branch_b.theta, branch_b.expr);
     let (theta2, e2) = (branch_a.theta, branch_a.expr);
 
     // θ := ∃x ∈ c . θ1 ∧ θ2
-    let theta = Formula::exists(
-        x.clone(),
-        Term::Var(input.c.clone()),
-        simplify_and(theta1, theta2.clone()),
-    );
+    let theta = Formula::exists(x, Term::Var(input.c), simplify_and(theta1, theta2.clone()));
     // E := { {x ∈ c | θ2} } ∪ ⋃ { E1 ∪ E2 | x ∈ c }
     let candidate = compile::comprehension(
-        x.clone(),
-        Expr::Var(input.c.clone()),
+        x,
+        Expr::Var(input.c),
         &input.elem_ty,
         &theta2,
         &input.env,
         gen,
     )
     .map_err(|e| SynthesisError::Extraction(e.to_string()))?;
-    let family = Expr::big_union(x, Expr::Var(input.c.clone()), union_exprs(e1, e2));
-    Ok(Extraction { expr: union_exprs(Expr::singleton(candidate), family), theta })
+    let family = Expr::big_union(x, Expr::Var(input.c), union_exprs(e1, e2));
+    Ok(Extraction {
+        expr: union_exprs(Expr::singleton(candidate), family),
+        theta,
+    })
 }
 
 /// The ∃ rule applied to a formula other than the goal (Lemma 11 and its
@@ -310,9 +340,16 @@ fn side_case(
     let mut expr = inner.expr;
     for _ in 0..64 {
         let mut offending: BTreeSet<Name> = BTreeSet::new();
-        offending.extend(theta.free_vars().into_iter().filter(|v| !common.contains(v)));
         offending.extend(
-            expr.free_vars().into_iter().filter(|v| !common.contains(v) && v != &input.c),
+            theta
+                .free_vars()
+                .into_iter()
+                .filter(|v| !common.contains(v)),
+        );
+        offending.extend(
+            expr.free_vars()
+                .into_iter()
+                .filter(|v| !common.contains(v) && v != &input.c),
         );
         let Some(var) = offending.into_iter().next() else {
             return Ok(Extraction { expr, theta });
@@ -321,7 +358,7 @@ fn side_case(
             .conclusion
             .ctx
             .iter()
-            .find(|a| a.elem == Term::Var(var.clone()))
+            .find(|a| a.elem == Term::Var(var))
             .cloned()
             .ok_or_else(|| {
                 SynthesisError::Extraction(format!(
@@ -329,19 +366,23 @@ fn side_case(
                 ))
             })?;
         theta = match quant_side {
-            Side::Left => Formula::forall(var.clone(), atom.set.clone(), theta),
-            Side::Right => Formula::exists(var.clone(), atom.set.clone(), theta),
+            Side::Left => Formula::forall(var, atom.set.clone(), theta),
+            Side::Right => Formula::exists(var, atom.set.clone(), theta),
         };
-        expr = Expr::big_union(var.clone(), compile::compile_term(&atom.set), expr);
+        expr = Expr::big_union(var, compile::compile_term(&atom.set), expr);
     }
-    Err(SynthesisError::Extraction("too many rounds of variable repair".into()))
+    Err(SynthesisError::Extraction(
+        "too many rounds of variable repair".into(),
+    ))
 }
 
 /// Split `¬A ∨ B` into `(¬A, B)`.
 fn split_implication(f: &Formula) -> Result<(Formula, Formula), SynthesisError> {
     match f {
         Formula::Or(a, b) => Ok(((**a).clone(), (**b).clone())),
-        other => Err(SynthesisError::Extraction(format!("expected an implication, found {other}"))),
+        other => Err(SynthesisError::Extraction(format!(
+            "expected an implication, found {other}"
+        ))),
     }
 }
 
@@ -377,7 +418,9 @@ fn descend_to_principal<'a>(
         part = part.premise_partition(&node.conclusion, &node.rule, &premises[0]);
         node = &node.premises[0];
     }
-    Err(SynthesisError::Extraction("proof too deep while searching for a principal formula".into()))
+    Err(SynthesisError::Extraction(
+        "proof too deep while searching for a principal formula".into(),
+    ))
 }
 
 fn premises_of(proof: &Proof) -> Result<Vec<Sequent>, SynthesisError> {
@@ -440,16 +483,13 @@ mod tests {
         let mut gen = NameGen::new();
         let ur = Type::Ur;
         let set_ur = Type::set(Type::Ur);
-        let in_d = |z: &str, g: &mut NameGen| d0::member_hat(&ur, &Term::var(z), &Term::var("D"), g);
+        let in_d =
+            |z: &str, g: &mut NameGen| d0::member_hat(&ur, &Term::var(z), &Term::var("D"), g);
         let right = d0::member_hat(&set_ur, &Term::var("D"), &Term::var("O2"), &mut gen);
         // G, built with the same λ / ρ shapes the synthesis pipeline uses
         let lam = in_d("zz", &mut gen);
         let rho = d0::member_hat(&ur, &Term::var("zz"), &Term::var("yy"), &mut gen);
-        let goal = Formula::exists(
-            "yy",
-            "O2",
-            Formula::forall("zz", "c", d0::iff(lam, rho)),
-        );
+        let goal = Formula::exists("yy", "O2", Formula::forall("zz", "c", d0::iff(lam, rho)));
         let env = TypeEnv::from_pairs([
             (Name::new("D"), set_ur.clone()),
             (Name::new("c"), set_ur.clone()),
@@ -486,18 +526,28 @@ mod tests {
             );
         }
         for v in out.theta.free_vars() {
-            assert!(["c", "D"].contains(&v.as_str()), "θ mentions non-common variable {v}");
+            assert!(
+                ["c", "D"].contains(&v.as_str()),
+                "θ mentions non-common variable {v}"
+            );
         }
 
         // semantic check on random instances satisfying the assumptions:
         // Λ = c ∩ D must be an element of the evaluated family.
-        let cfg = GenConfig { universe: 6, max_set_size: 4, seed: 3 };
+        let cfg = GenConfig {
+            universe: 6,
+            max_set_size: 4,
+            seed: 3,
+        };
         for seed in 0..8u64 {
             let c_val =
                 nrs_value::generate::random_value(&Type::set(Type::Ur), &GenConfig { seed, ..cfg });
             let d_val = nrs_value::generate::random_value(
                 &Type::set(Type::Ur),
-                &GenConfig { seed: seed + 50, ..cfg },
+                &GenConfig {
+                    seed: seed + 50,
+                    ..cfg
+                },
             );
             // choose O2 to contain D (so the right assumption holds)
             let o2_val = Value::set([d_val.clone(), Value::empty_set()]);

@@ -31,9 +31,9 @@ impl ImplicitSpec {
     pub fn env(&self) -> TypeEnv {
         let mut env = TypeEnv::new();
         for (n, t) in self.inputs.iter().chain(self.auxiliaries.iter()) {
-            env.insert(n.clone(), t.clone());
+            env.insert(*n, t.clone());
         }
-        env.insert(self.output.0.clone(), self.output.1.clone());
+        env.insert(self.output.0, self.output.1.clone());
         env
     }
 
@@ -41,11 +41,13 @@ impl ImplicitSpec {
     /// auxiliaries are replaced by fresh primed variables.
     pub fn primed(&self) -> (Formula, Name, Vec<(Name, Type)>) {
         let primed_out = Name::new(format!("{}__prime", self.output.0));
-        let mut formula = self.formula.subst_var(&self.output.0, &Term::Var(primed_out.clone()));
+        let mut formula = self
+            .formula
+            .subst_var(&self.output.0, &Term::Var(primed_out));
         let mut primed_aux = Vec::new();
         for (a, t) in &self.auxiliaries {
             let pa = Name::new(format!("{a}__prime"));
-            formula = formula.subst_var(a, &Term::Var(pa.clone()));
+            formula = formula.subst_var(a, &Term::Var(pa));
             primed_aux.push((pa, t.clone()));
         }
         (formula, primed_out, primed_aux)
@@ -53,19 +55,13 @@ impl ImplicitSpec {
 }
 
 /// Configuration of the synthesis pipeline.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SynthesisConfig {
     /// Budgets for the proof-search engine used on every sub-goal.
     pub prover: ProverConfig,
     /// Whether to establish the top-level determinacy entailment first (a
     /// sanity check that also reproduces the paper's input assumption).
     pub check_determinacy: bool,
-}
-
-impl Default for SynthesisConfig {
-    fn default() -> Self {
-        SynthesisConfig { prover: ProverConfig::default(), check_determinacy: false }
-    }
 }
 
 /// Errors of the synthesis pipeline.
@@ -187,16 +183,16 @@ pub fn synthesize(
     );
     let (phi_primed, primed_out, primed_aux) = spec.primed();
     let mut env = spec.env();
-    env.insert(primed_out.clone(), spec.output.1.clone());
+    env.insert(primed_out, spec.output.1.clone());
     for (n, t) in &primed_aux {
-        env.insert(n.clone(), t.clone());
+        env.insert(*n, t.clone());
     }
 
     if cfg.check_determinacy {
         let goal = d0::equiv(
             &spec.output.1,
-            &Term::Var(spec.output.0.clone()),
-            &Term::Var(primed_out.clone()),
+            &Term::Var(spec.output.0),
+            &Term::Var(primed_out),
             &mut gen,
         );
         let seq = Sequent::two_sided(
@@ -204,8 +200,15 @@ pub fn synthesize(
             [spec.formula.clone(), phi_primed.clone()],
             [goal],
         );
-        prove_goal(&seq, &cfg.prover, "the determinacy of the output", &mut report)?;
-        report.notes.push("determinacy established by proof search".into());
+        prove_goal(
+            &seq,
+            &cfg.prover,
+            "the determinacy of the output",
+            &mut report,
+        )?;
+        report
+            .notes
+            .push("determinacy established by proof search".into());
     }
 
     let ctx = Ctx {
@@ -223,7 +226,11 @@ pub fn synthesize(
         &mut gen,
         &mut report,
     )?;
-    Ok(SynthesizedDefinition { expr, spec: spec.clone(), report })
+    Ok(SynthesizedDefinition {
+        expr,
+        spec: spec.clone(),
+        report,
+    })
 }
 
 /// Immutable data threaded through the type-directed recursion.
@@ -248,7 +255,10 @@ fn prove_goal(
             report.proof_sizes.push(proof.size());
             Ok(proof)
         }
-        Err(error) => Err(SynthesisError::ProofNotFound { purpose: purpose.to_string(), error }),
+        Err(error) => Err(SynthesisError::ProofNotFound {
+            purpose: purpose.to_string(),
+            error,
+        }),
     }
 }
 
@@ -263,46 +273,54 @@ fn synth_output(
 ) -> Result<Expr, SynthesisError> {
     match out_ty {
         Type::Unit => {
-            report.notes.push("output has type Unit: the definition is ()".into());
+            report
+                .notes
+                .push("output has type Unit: the definition is ()".into());
             Ok(Expr::Unit)
         }
         Type::Ur => {
             // κ(ī, o) via interpolation of  φ ⊢ φ' → o = o'
-            let goal = Formula::eq_ur(Term::Var(output.clone()), Term::Var(ctx.primed_out.clone()));
+            let goal = Formula::eq_ur(Term::Var(*output), Term::Var(ctx.primed_out));
             let seq = Sequent::two_sided(
                 InContext::new(),
                 [ctx.phi.clone(), ctx.phi_primed.clone()],
                 [goal.clone()],
             );
-            let proof = prove_goal(&seq, &ctx.cfg.prover, "the Ur-output interpolation goal", report)?;
+            let proof = prove_goal(
+                &seq,
+                &ctx.cfg.prover,
+                "the Ur-output interpolation goal",
+                report,
+            )?;
             let partition = Partition::with_left([], [ctx.phi.negate()]);
             let kappa = interpolate(&proof, &partition)?;
             report.notes.push(format!("Ur-output interpolant: {kappa}"));
             // E := get_𝔘({ o ∈ atoms(ī) | κ })
             let atoms = nrc_macros::atoms_of_inputs(&ctx.inputs, gen);
-            let filtered =
-                compile::comprehension(output.clone(), atoms, &Type::Ur, &kappa, env, gen)?;
+            let filtered = compile::comprehension(*output, atoms, &Type::Ur, &kappa, env, gen)?;
             Ok(Expr::get(Type::Ur, filtered))
         }
         Type::Prod(t1, t2) => {
             // φ̃(ī, ā, o1, o2) := φ(ī, ā, ⟨o1, o2⟩), then synthesize each component
             let o1 = gen.fresh(&format!("{output}_1"));
             let o2 = gen.fresh(&format!("{output}_2"));
-            let pair = Term::pair(Term::Var(o1.clone()), Term::Var(o2.clone()));
+            let pair = Term::pair(Term::Var(o1), Term::Var(o2));
             let phi1 = ctx.phi.subst_var(output, &pair).beta_normalize();
             let spec1 = ImplicitSpec {
                 formula: phi1.clone(),
                 inputs: ctx.inputs.clone(),
                 auxiliaries: collect_aux(&phi1, &ctx.inputs, &o1, env, &o2, (**t2).clone()),
-                output: (o1.clone(), (**t1).clone()),
+                output: (o1, (**t1).clone()),
             };
             let spec2 = ImplicitSpec {
                 formula: phi1.clone(),
                 inputs: ctx.inputs.clone(),
                 auxiliaries: collect_aux(&phi1, &ctx.inputs, &o2, env, &o1, (**t1).clone()),
-                output: (o2.clone(), (**t2).clone()),
+                output: (o2, (**t2).clone()),
             };
-            report.notes.push("product output: synthesizing the two components".into());
+            report
+                .notes
+                .push("product output: synthesizing the two components".into());
             let d1 = synthesize(&spec1, &ctx.cfg)?;
             let d2 = synthesize(&spec2, &ctx.cfg)?;
             merge_report(report, d1.report);
@@ -312,13 +330,13 @@ fn synth_output(
         Type::Set(elem_ty) => {
             // Theorem 10: a superset expression for the members of the output…
             let r = gen.fresh("r");
-            let ctx_atoms = vec![MemAtom::new(Term::Var(r.clone()), Term::Var(output.clone()))];
+            let ctx_atoms = vec![MemAtom::new(Term::Var(r), Term::Var(*output))];
             let mut env_r = env.clone();
-            env_r.insert(r.clone(), (**elem_ty).clone());
+            env_r.insert(r, (**elem_ty).clone());
             let superset = collect_answers(
                 ctx,
                 &ctx_atoms,
-                &Term::Var(r.clone()),
+                &Term::Var(r),
                 elem_ty,
                 1,
                 &env_r,
@@ -326,34 +344,34 @@ fn synth_output(
                 report,
             )?;
             // …and the interpolant κ(ī, r) that filters it down to exactly o.
-            let goal = Formula::exists(
-                gen.fresh("rp"),
-                Term::Var(ctx.primed_out.clone()),
-                Formula::True,
-            );
+            let goal = Formula::exists(gen.fresh("rp"), Term::Var(ctx.primed_out), Formula::True);
             // build ∃ r' ∈ o' . r ≡ r' properly (fresh bound variable)
             let rp = match &goal {
-                Formula::Exists { var, .. } => var.clone(),
+                Formula::Exists { var, .. } => *var,
                 _ => unreachable!(),
             };
             let goal = Formula::exists(
-                rp.clone(),
-                Term::Var(ctx.primed_out.clone()),
-                d0::equiv(elem_ty, &Term::Var(r.clone()), &Term::Var(rp), gen),
+                rp,
+                Term::Var(ctx.primed_out),
+                d0::equiv(elem_ty, &Term::Var(r), &Term::Var(rp), gen),
             );
             let seq = Sequent::two_sided(
                 InContext::from_atoms(ctx_atoms.clone()),
                 [ctx.phi.clone(), ctx.phi_primed.clone()],
                 [goal.clone()],
             );
-            let proof =
-                prove_goal(&seq, &ctx.cfg.prover, "the membership interpolation goal", report)?;
-            let partition =
-                Partition::with_left(ctx_atoms.iter().cloned(), [ctx.phi.negate()]);
+            let proof = prove_goal(
+                &seq,
+                &ctx.cfg.prover,
+                "the membership interpolation goal",
+                report,
+            )?;
+            let partition = Partition::with_left(ctx_atoms.iter().cloned(), [ctx.phi.negate()]);
             let kappa = interpolate(&proof, &partition)?;
-            report.notes.push(format!("membership interpolant: {kappa}"));
-            let filtered =
-                compile::comprehension(r.clone(), superset, elem_ty, &kappa, &env_r, gen)?;
+            report
+                .notes
+                .push(format!("membership interpolant: {kappa}"));
+            let filtered = compile::comprehension(r, superset, elem_ty, &kappa, &env_r, gen)?;
             Ok(filtered)
         }
     }
@@ -435,28 +453,32 @@ fn collect_answers(
             // (a) superset of the members, one level down (the Lemma 6 step)
             let z = gen.fresh("z");
             let mut deeper_atoms = ctx_atoms.to_vec();
-            deeper_atoms.push(MemAtom::new(Term::Var(z.clone()), subject.clone()));
+            deeper_atoms.push(MemAtom::new(Term::Var(z), subject.clone()));
             let mut env_z = env.clone();
-            env_z.insert(z.clone(), (**inner).clone());
-            let member_superset =
-                collect_answers(ctx, &deeper_atoms, &Term::Var(z), inner, depth + 1, &env_z, gen, report)?;
+            env_z.insert(z, (**inner).clone());
+            let member_superset = collect_answers(
+                ctx,
+                &deeper_atoms,
+                &Term::Var(z),
+                inner,
+                depth + 1,
+                &env_z,
+                gen,
+                report,
+            )?;
 
             // (b) the parameter-collection goal (the Lemma 7 step):
             //     ∃y ∈^p o' . ∀w ∈ a . (w ∈̂ subject ↔ w ∈̂ y)
             let a = gen.fresh("a");
             let mut env_a = env.clone();
-            env_a.insert(a.clone(), subject_ty.clone());
+            env_a.insert(a, subject_ty.clone());
             let w = gen.fresh("w");
             let y = gen.fresh("y");
-            let lam = d0::member_hat(inner, &Term::Var(w.clone()), subject, gen);
-            let rho = d0::member_hat(inner, &Term::Var(w.clone()), &Term::Var(y.clone()), gen);
-            let body = Formula::forall(
-                w.clone(),
-                Term::Var(a.clone()),
-                d0::iff(lam.clone(), rho.clone()),
-            );
+            let lam = d0::member_hat(inner, &Term::Var(w), subject, gen);
+            let rho = d0::member_hat(inner, &Term::Var(w), &Term::Var(y), gen);
+            let body = Formula::forall(w, Term::Var(a), d0::iff(lam.clone(), rho.clone()));
             let path = nrs_value::SubtypePath(vec![nrs_value::SubtypeStep::Member; depth]);
-            let goal = d0::exists_path(&y, &path, &Term::Var(ctx.primed_out.clone()), body, gen);
+            let goal = d0::exists_path(&y, &path, &Term::Var(ctx.primed_out), body, gen);
             let seq = Sequent::two_sided(
                 InContext::from_atoms(ctx_atoms.iter().cloned()),
                 [ctx.phi.clone(), ctx.phi_primed.clone()],
@@ -468,19 +490,19 @@ fn collect_answers(
                 &format!("the parameter-collection goal at nesting depth {depth}"),
                 report,
             )?;
-            let partition =
-                Partition::with_left(ctx_atoms.iter().cloned(), [ctx.phi.negate()]);
+            let partition = Partition::with_left(ctx_atoms.iter().cloned(), [ctx.phi.negate()]);
             let input = CollectInput {
                 goal,
-                c: a.clone(),
+                c: a,
                 elem_ty: (**inner).clone(),
                 partition,
                 env: env_a.clone(),
             };
             let collected = collect_parameters(&proof, &input, gen)?;
-            report
-                .notes
-                .push(format!("parameter collection at depth {depth}: θ = {}", collected.theta));
+            report.notes.push(format!(
+                "parameter collection at depth {depth}: θ = {}",
+                collected.theta
+            ));
             // (c) instantiate the common parameter a with the member superset
             Ok(collected.expr.subst(&a, &member_superset))
         }
@@ -497,20 +519,30 @@ mod tests {
     fn union_split_spec() -> ImplicitSpec {
         let mut gen = NameGen::new();
         let ur = Type::Ur;
-        let in_f = |x: &str, g: &mut NameGen| {
-            d0::member_hat(&ur, &Term::var(x), &Term::var("F"), g)
-        };
+        let in_f =
+            |x: &str, g: &mut NameGen| d0::member_hat(&ur, &Term::var(x), &Term::var("F"), g);
         let view = |vname: &str, positive: bool, gen: &mut NameGen| {
-            let filt = if positive { in_f("x", gen) } else { in_f("x", gen).negate() };
+            let filt = if positive {
+                in_f("x", gen)
+            } else {
+                in_f("x", gen).negate()
+            };
             let sound = Formula::forall(
                 "zv",
                 Term::var(vname),
-                Formula::exists("x", "S", Formula::and(filt.clone(), Formula::eq_ur("zv", "x"))),
+                Formula::exists(
+                    "x",
+                    "S",
+                    Formula::and(filt.clone(), Formula::eq_ur("zv", "x")),
+                ),
             );
             let complete = Formula::forall(
                 "x",
                 "S",
-                d0::implies(filt, d0::member_hat(&ur, &Term::var("x"), &Term::var(vname), gen)),
+                d0::implies(
+                    filt,
+                    d0::member_hat(&ur, &Term::var("x"), &Term::var(vname), gen),
+                ),
             );
             Formula::and(sound, complete)
         };
@@ -527,11 +559,18 @@ mod tests {
     }
 
     fn union_split_instance(seed: u64) -> Instance {
-        let cfg = GenConfig { universe: 8, max_set_size: 5, seed };
+        let cfg = GenConfig {
+            universe: 8,
+            max_set_size: 5,
+            seed,
+        };
         let s = nrs_value::generate::random_value(&Type::set(Type::Ur), &cfg);
         let f = nrs_value::generate::random_value(
             &Type::set(Type::Ur),
-            &GenConfig { seed: seed + 77, ..cfg },
+            &GenConfig {
+                seed: seed + 77,
+                ..cfg
+            },
         );
         let v1 = s.intersection(&f).unwrap();
         let v2 = s.difference(&f).unwrap();
@@ -546,17 +585,27 @@ mod tests {
     #[test]
     fn union_split_synthesis_is_correct_on_instances() {
         let spec = union_split_spec();
-        let cfg = SynthesisConfig { check_determinacy: true, ..Default::default() };
+        let cfg = SynthesisConfig {
+            check_determinacy: true,
+            ..Default::default()
+        };
         let def = synthesize(&spec, &cfg).expect("synthesis succeeds");
         assert!(def.report.goals_proved >= 2);
         // the definition uses only the view names
         for v in def.expr.free_vars() {
-            assert!(["V1", "V2"].contains(&v.as_str()), "unexpected free variable {v}");
+            assert!(
+                ["V1", "V2"].contains(&v.as_str()),
+                "unexpected free variable {v}"
+            );
         }
         for seed in 0..10 {
             let inst = union_split_instance(seed);
             let verdict = def.check_against(&inst).unwrap();
-            assert_eq!(verdict, Some(true), "seed {seed}: synthesized definition disagrees");
+            assert_eq!(
+                verdict,
+                Some(true),
+                "seed {seed}: synthesized definition disagrees"
+            );
         }
     }
 

@@ -54,32 +54,46 @@ impl RewritingProblem {
         let mut conjuncts = Vec::new();
         let mut inputs = Vec::new();
         for view in &self.views {
-            let io = view.io_spec(&env, gen).map_err(|e| SynthesisError::Ill(e.to_string()))?;
+            let io = view
+                .io_spec(&env, gen)
+                .map_err(|e| SynthesisError::Ill(e.to_string()))?;
             conjuncts.push(io);
-            let ty = view.output_type(&env).map_err(|e| SynthesisError::Ill(e.to_string()))?;
-            inputs.push((view.name.clone(), ty));
+            let ty = view
+                .output_type(&env)
+                .map_err(|e| SynthesisError::Ill(e.to_string()))?;
+            inputs.push((view.name, ty));
         }
-        let q_io =
-            self.query.io_spec(&env, gen).map_err(|e| SynthesisError::Ill(e.to_string()))?;
+        let q_io = self
+            .query
+            .io_spec(&env, gen)
+            .map_err(|e| SynthesisError::Ill(e.to_string()))?;
         conjuncts.push(q_io);
         conjuncts.extend(self.constraints.iter().cloned());
-        let out_ty =
-            self.query.output_type(&env).map_err(|e| SynthesisError::Ill(e.to_string()))?;
+        let out_ty = self
+            .query
+            .output_type(&env)
+            .map_err(|e| SynthesisError::Ill(e.to_string()))?;
         Ok(ImplicitSpec {
             formula: d0::and_all(conjuncts),
             inputs,
             auxiliaries: self.base.clone(),
-            output: (self.query.name.clone(), out_ty),
+            output: (self.query.name, out_ty),
         })
     }
 
     /// Run the full Corollary 3 pipeline: build the specification, prove the
     /// goals, and synthesize the rewriting.
-    pub fn derive_rewriting(&self, cfg: &SynthesisConfig) -> Result<RewritingResult, SynthesisError> {
+    pub fn derive_rewriting(
+        &self,
+        cfg: &SynthesisConfig,
+    ) -> Result<RewritingResult, SynthesisError> {
         let mut gen = NameGen::new();
         let spec = self.specification(&mut gen)?;
         let definition = synthesize(&spec, cfg)?;
-        Ok(RewritingResult { definition, problem: self.clone() })
+        Ok(RewritingResult {
+            definition,
+            problem: self.clone(),
+        })
     }
 
     /// Evaluate every view (and the query) on a base instance, returning an
@@ -89,10 +103,12 @@ impl RewritingProblem {
         let mut gen = NameGen::new();
         let mut out = base.clone();
         for view in self.views.iter().chain(std::iter::once(&self.query)) {
-            let expr =
-                view.to_nrc(&env, &mut gen).map_err(|e| SynthesisError::Ill(e.to_string()))?;
-            let value = nrc_eval::eval(&expr, base).map_err(|e| SynthesisError::Ill(e.to_string()))?;
-            out.bind(view.name.clone(), value);
+            let expr = view
+                .to_nrc(&env, &mut gen)
+                .map_err(|e| SynthesisError::Ill(e.to_string()))?;
+            let value =
+                nrc_eval::eval(&expr, base).map_err(|e| SynthesisError::Ill(e.to_string()))?;
+            out.bind(view.name, value);
         }
         Ok(out)
     }
@@ -108,9 +124,11 @@ pub fn materialize_views(
     let mut gen = NameGen::new();
     let mut out = Instance::new();
     for view in &problem.views {
-        let expr = view.to_nrc(&env, &mut gen).map_err(|e| SynthesisError::Ill(e.to_string()))?;
+        let expr = view
+            .to_nrc(&env, &mut gen)
+            .map_err(|e| SynthesisError::Ill(e.to_string()))?;
         let value = nrc_eval::eval(&expr, base).map_err(|e| SynthesisError::Ill(e.to_string()))?;
-        out.bind(view.name.clone(), value);
+        out.bind(view.name, value);
     }
     Ok(out)
 }
@@ -138,7 +156,8 @@ impl RewritingResult {
             .query
             .to_nrc(&env, &mut gen)
             .map_err(|e| SynthesisError::Ill(e.to_string()))?;
-        let direct = nrc_eval::eval(&q_expr, base).map_err(|e| SynthesisError::Ill(e.to_string()))?;
+        let direct =
+            nrc_eval::eval(&q_expr, base).map_err(|e| SynthesisError::Ill(e.to_string()))?;
         Ok(from_views == direct)
     }
 }
@@ -173,7 +192,10 @@ pub fn partition_problem() -> RewritingProblem {
         GenExpr::collect(vec![Generator::new("gq", Term::var("S"))], Term::var("gq")),
     );
     RewritingProblem {
-        base: vec![(Name::new("S"), Type::set(Type::Ur)), (Name::new("F"), Type::set(Type::Ur))],
+        base: vec![
+            (Name::new("S"), Type::set(Type::Ur)),
+            (Name::new("F"), Type::set(Type::Ur)),
+        ],
         views: vec![v1, v2],
         constraints: vec![],
         query,
@@ -194,14 +216,20 @@ pub fn lossless_join_problem() -> RewritingProblem {
         "V1",
         GenExpr::collect(
             vec![Generator::new("r", Term::var("R"))],
-            Term::pair(Term::proj1(Term::var("r")), Term::proj1(Term::proj2(Term::var("r")))),
+            Term::pair(
+                Term::proj1(Term::var("r")),
+                Term::proj1(Term::proj2(Term::var("r"))),
+            ),
         ),
     );
     let v2 = ViewDef::new(
         "V2",
         GenExpr::collect(
             vec![Generator::new("r", Term::var("R"))],
-            Term::pair(Term::proj1(Term::var("r")), Term::proj2(Term::proj2(Term::var("r")))),
+            Term::pair(
+                Term::proj1(Term::var("r")),
+                Term::proj2(Term::proj2(Term::var("r"))),
+            ),
         ),
     );
     let query = ViewDef::new(
@@ -238,11 +266,16 @@ pub fn partition_instance(size: usize, seed: u64) -> Instance {
     use rand::{Rng, SeedableRng};
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let universe = (size as u64 * 2).max(4);
-    let s: std::collections::BTreeSet<Value> =
-        (0..size).map(|_| Value::atom(rng.gen_range(0..universe))).collect();
-    let f: std::collections::BTreeSet<Value> =
-        (0..size).map(|_| Value::atom(rng.gen_range(0..universe))).collect();
-    Instance::from_bindings([(Name::new("S"), Value::Set(s)), (Name::new("F"), Value::Set(f))])
+    let s: std::collections::BTreeSet<Value> = (0..size)
+        .map(|_| Value::atom(rng.gen_range(0..universe)))
+        .collect();
+    let f: std::collections::BTreeSet<Value> = (0..size)
+        .map(|_| Value::atom(rng.gen_range(0..universe)))
+        .collect();
+    Instance::from_bindings([
+        (Name::new("S"), Value::Set(s)),
+        (Name::new("F"), Value::Set(f)),
+    ])
 }
 
 #[cfg(test)]
@@ -253,7 +286,10 @@ mod tests {
     #[test]
     fn partition_views_determine_and_rewrite_the_query() {
         let problem = partition_problem();
-        let cfg = SynthesisConfig { check_determinacy: true, ..Default::default() };
+        let cfg = SynthesisConfig {
+            check_determinacy: true,
+            ..Default::default()
+        };
         let result = problem.derive_rewriting(&cfg).expect("rewriting exists");
         // the rewriting only mentions the views
         for v in result.expr().free_vars() {
@@ -289,7 +325,10 @@ mod tests {
     fn lossless_join_rewriting_is_correct() {
         let problem = lossless_join_problem();
         let cfg = SynthesisConfig {
-            prover: ProverConfig { max_states: 4_000_000, ..ProverConfig::default() },
+            prover: ProverConfig {
+                max_states: 4_000_000,
+                ..ProverConfig::default()
+            },
             check_determinacy: false,
         };
         let result = problem.derive_rewriting(&cfg).expect("rewriting exists");

@@ -20,7 +20,10 @@ pub struct MemAtom {
 impl MemAtom {
     /// Build a membership atom.
     pub fn new(elem: impl Into<Term>, set: impl Into<Term>) -> Self {
-        MemAtom { elem: elem.into(), set: set.into() }
+        MemAtom {
+            elem: elem.into(),
+            set: set.into(),
+        }
     }
 
     /// Is this a *variable* membership atom (both sides bare variables)?
@@ -155,12 +158,18 @@ impl InContext {
 
     /// Replace a whole sub-term in every atom.
     pub fn replace_term(&self, target: &Term, replacement: &Term) -> InContext {
-        InContext::from_atoms(self.atoms.iter().map(|a| a.replace_term(target, replacement)))
+        InContext::from_atoms(
+            self.atoms
+                .iter()
+                .map(|a| a.replace_term(target, replacement)),
+        )
     }
 
     /// Does the context mention the variable at all?
     pub fn mentions(&self, var: &Name) -> bool {
-        self.atoms.iter().any(|a| a.elem.mentions(var) || a.set.mentions(var))
+        self.atoms
+            .iter()
+            .any(|a| a.elem.mentions(var) || a.set.mentions(var))
     }
 
     /// Split the context into the part whose free variables are all contained
@@ -233,7 +242,10 @@ mod tests {
         let s = ctx.subst_var(&Name::new("x"), &Term::var("w"));
         assert!(s.contains(&MemAtom::new("w", "S")));
         assert!(s.contains(&MemAtom::new("y", "w")));
-        let u = ctx.union(&InContext::from_atoms([MemAtom::new("x", "S"), MemAtom::new("q", "R")]));
+        let u = ctx.union(&InContext::from_atoms([
+            MemAtom::new("x", "S"),
+            MemAtom::new("q", "R"),
+        ]));
         assert_eq!(u.len(), 3);
         assert!(ctx.mentions(&Name::new("y")));
         assert!(!ctx.mentions(&Name::new("q")));
@@ -244,8 +256,7 @@ mod tests {
         let ctx = InContext::from_atoms([MemAtom::new("x", "S"), MemAtom::new("y", "R")]);
         let fv = ctx.free_vars();
         assert_eq!(fv.len(), 4);
-        let left_vars: BTreeSet<Name> =
-            ["x", "S"].into_iter().map(Name::new).collect();
+        let left_vars: BTreeSet<Name> = ["x", "S"].into_iter().map(Name::new).collect();
         let (l, r) = ctx.split_by_vars(&left_vars);
         assert_eq!(l.len(), 1);
         assert_eq!(r.len(), 1);

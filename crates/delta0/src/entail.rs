@@ -29,7 +29,10 @@ pub struct BoundedCheck {
 
 impl Default for BoundedCheck {
     fn default() -> Self {
-        BoundedCheck { universe: 2, max_models: 2_000_000 }
+        BoundedCheck {
+            universe: 2,
+            max_models: 2_000_000,
+        }
     }
 }
 
@@ -76,13 +79,13 @@ pub fn check_sequent_bounded(
     let mut domains: Vec<(Name, Vec<Value>)> = Vec::new();
     let mut total: u128 = 1;
     for v in &vars {
-        let ty = env.get(v).ok_or_else(|| LogicError::UnboundVariable(v.clone()))?;
+        let ty = env.get(v).ok_or(LogicError::UnboundVariable(*v))?;
         let dom_size = Value::enumeration_size(ty, universe.len());
         total = total.saturating_mul(dom_size);
         if total > cfg.max_models as u128 {
             return Ok(CheckOutcome::TooLarge);
         }
-        domains.push((v.clone(), Value::enumerate(ty, &universe)));
+        domains.push((*v, Value::enumerate(ty, &universe)));
     }
 
     // Depth-first enumeration of assignments.
@@ -113,7 +116,7 @@ pub fn check_sequent_bounded(
         }
         let (name, dom) = &domains[idx];
         for v in dom {
-            let next = inst.with(name.clone(), v.clone());
+            let next = inst.with(*name, v.clone());
             if let Some(cex) = rec(domains, idx + 1, &next, context, assumptions, goals)? {
                 return Ok(Some(cex));
             }
@@ -134,7 +137,13 @@ pub fn entails_bounded(
     env: &TypeEnv,
     cfg: &BoundedCheck,
 ) -> Result<CheckOutcome, LogicError> {
-    check_sequent_bounded(&InContext::new(), assumptions, std::slice::from_ref(conclusion), env, cfg)
+    check_sequent_bounded(
+        &InContext::new(),
+        assumptions,
+        std::slice::from_ref(conclusion),
+        env,
+        cfg,
+    )
 }
 
 /// Convenience: is the single formula valid over the bounded universe?
@@ -154,18 +163,26 @@ mod tests {
     use nrs_value::{NameGen, Type};
 
     fn cfg() -> BoundedCheck {
-        BoundedCheck { universe: 2, max_models: 500_000 }
+        BoundedCheck {
+            universe: 2,
+            max_models: 500_000,
+        }
     }
 
     #[test]
     fn tautologies_and_contradictions() {
         let env = TypeEnv::from_pairs([(Name::new("x"), Type::Ur), (Name::new("y"), Type::Ur)]);
         // x = x is valid
-        assert!(valid_bounded(&Formula::eq_ur("x", "x"), &env, &cfg()).unwrap().is_valid());
+        assert!(valid_bounded(&Formula::eq_ur("x", "x"), &env, &cfg())
+            .unwrap()
+            .is_valid());
         // x = y is not
         match valid_bounded(&Formula::eq_ur("x", "y"), &env, &cfg()).unwrap() {
             CheckOutcome::Counterexample(inst) => {
-                assert_ne!(inst.get(&Name::new("x")).unwrap(), inst.get(&Name::new("y")).unwrap());
+                assert_ne!(
+                    inst.get(&Name::new("x")).unwrap(),
+                    inst.get(&Name::new("y")).unwrap()
+                );
             }
             other => panic!("expected counterexample, got {other:?}"),
         }
@@ -191,7 +208,13 @@ mod tests {
         .unwrap();
         assert!(out.is_valid());
         // but symmetry of inequality does not give equality
-        let bad = entails_bounded(&[Formula::neq_ur("x", "y")], &Formula::eq_ur("x", "z"), &env, &cfg()).unwrap();
+        let bad = entails_bounded(
+            &[Formula::neq_ur("x", "y")],
+            &Formula::eq_ur("x", "z"),
+            &env,
+            &cfg(),
+        )
+        .unwrap();
         assert!(!bad.is_valid());
     }
 
@@ -268,13 +291,29 @@ mod tests {
         let out = valid_bounded(
             &Formula::eq_ur("a", "a"),
             &TypeEnv::from_pairs([(Name::new("a"), Type::Ur)]),
-            &BoundedCheck { universe: 2, max_models: 1_000 },
+            &BoundedCheck {
+                universe: 2,
+                max_models: 1_000,
+            },
         )
         .unwrap();
         assert!(out.is_valid());
         let mut gen = NameGen::new();
-        let eq = macros::equiv(&Type::set(Type::set(Type::prod(Type::Ur, Type::Ur))), &Term::var("X"), &Term::var("Y"), &mut gen);
-        let out = valid_bounded(&eq, &env, &BoundedCheck { universe: 3, max_models: 1_000 }).unwrap();
+        let eq = macros::equiv(
+            &Type::set(Type::set(Type::prod(Type::Ur, Type::Ur))),
+            &Term::var("X"),
+            &Term::var("Y"),
+            &mut gen,
+        );
+        let out = valid_bounded(
+            &eq,
+            &env,
+            &BoundedCheck {
+                universe: 3,
+                max_models: 1_000,
+            },
+        )
+        .unwrap();
         assert_eq!(out, CheckOutcome::TooLarge);
     }
 

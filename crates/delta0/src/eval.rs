@@ -13,18 +13,23 @@ use nrs_value::{Instance, Value};
 /// Evaluate a term in an environment binding its free variables to values.
 pub fn eval_term(term: &Term, env: &Instance) -> Result<Value, LogicError> {
     match term {
-        Term::Var(n) => {
-            env.try_get(n).cloned().ok_or_else(|| LogicError::UnboundVariable(n.clone()))
-        }
+        Term::Var(n) => env
+            .try_get(n)
+            .cloned()
+            .ok_or(LogicError::UnboundVariable(*n)),
         Term::Unit => Ok(Value::Unit),
         Term::Pair(a, b) => Ok(Value::pair(eval_term(a, env)?, eval_term(b, env)?)),
         Term::Proj1(t) => {
             let v = eval_term(t, env)?;
-            v.proj1().cloned().map_err(|_| LogicError::Stuck(format!("p1 applied to {v}")))
+            v.proj1()
+                .cloned()
+                .map_err(|_| LogicError::Stuck(format!("p1 applied to {v}")))
         }
         Term::Proj2(t) => {
             let v = eval_term(t, env)?;
-            v.proj2().cloned().map_err(|_| LogicError::Stuck(format!("p2 applied to {v}")))
+            v.proj2()
+                .cloned()
+                .map_err(|_| LogicError::Stuck(format!("p2 applied to {v}")))
         }
     }
 }
@@ -39,7 +44,8 @@ pub fn eval_formula(formula: &Formula, env: &Instance) -> Result<bool, LogicErro
         Formula::Mem(t, u) => {
             let elem = eval_term(t, env)?;
             let set = eval_term(u, env)?;
-            set.contains(&elem).map_err(|_| LogicError::Stuck(format!("membership in {set}")))
+            set.contains(&elem)
+                .map_err(|_| LogicError::Stuck(format!("membership in {set}")))
         }
         Formula::NotMem(t, u) => {
             let elem = eval_term(t, env)?;
@@ -56,7 +62,7 @@ pub fn eval_formula(formula: &Formula, env: &Instance) -> Result<bool, LogicErro
                 .as_set()
                 .map_err(|_| LogicError::Stuck(format!("quantifier bound {set} is not a set")))?;
             for m in members {
-                let inner = env.with(var.clone(), m.clone());
+                let inner = env.with(*var, m.clone());
                 if !eval_formula(body, &inner)? {
                     return Ok(false);
                 }
@@ -69,7 +75,7 @@ pub fn eval_formula(formula: &Formula, env: &Instance) -> Result<bool, LogicErro
                 .as_set()
                 .map_err(|_| LogicError::Stuck(format!("quantifier bound {set} is not a set")))?;
             for m in members {
-                let inner = env.with(var.clone(), m.clone());
+                let inner = env.with(*var, m.clone());
                 if eval_formula(body, &inner)? {
                     return Ok(true);
                 }
@@ -111,8 +117,14 @@ mod tests {
     #[test]
     fn terms_evaluate_structurally() {
         let e = env(vec![("x", Value::pair(Value::atom(1), Value::atom(2)))]);
-        assert_eq!(eval_term(&Term::proj1(Term::var("x")), &e).unwrap(), Value::atom(1));
-        assert_eq!(eval_term(&Term::proj2(Term::var("x")), &e).unwrap(), Value::atom(2));
+        assert_eq!(
+            eval_term(&Term::proj1(Term::var("x")), &e).unwrap(),
+            Value::atom(1)
+        );
+        assert_eq!(
+            eval_term(&Term::proj2(Term::var("x")), &e).unwrap(),
+            Value::atom(2)
+        );
         assert_eq!(eval_term(&Term::Unit, &e).unwrap(), Value::Unit);
         assert_eq!(
             eval_term(&Term::pair(Term::Unit, Term::var("x")), &e).unwrap(),
@@ -122,7 +134,10 @@ mod tests {
             eval_term(&Term::var("missing"), &e),
             Err(LogicError::UnboundVariable(_))
         ));
-        assert!(matches!(eval_term(&Term::proj1(Term::Unit), &e), Err(LogicError::Stuck(_))));
+        assert!(matches!(
+            eval_term(&Term::proj1(Term::Unit), &e),
+            Err(LogicError::Stuck(_))
+        ));
     }
 
     #[test]
@@ -146,7 +161,11 @@ mod tests {
     #[test]
     fn bounded_quantifiers_range_over_members() {
         // ∀v ∈ V. π1(v) = k
-        let f = Formula::forall("v", "V", Formula::eq_ur(Term::proj1(Term::var("v")), Term::var("k")));
+        let f = Formula::forall(
+            "v",
+            "V",
+            Formula::eq_ur(Term::proj1(Term::var("v")), Term::var("k")),
+        );
         let v_good = Value::set([
             Value::pair(Value::atom(7), Value::atom(1)),
             Value::pair(Value::atom(7), Value::atom(2)),
@@ -155,10 +174,16 @@ mod tests {
             Value::pair(Value::atom(7), Value::atom(1)),
             Value::pair(Value::atom(8), Value::atom(2)),
         ]);
-        assert!(eval_formula(&f, &env(vec![("V", v_good.clone()), ("k", Value::atom(7))])).unwrap());
+        assert!(
+            eval_formula(&f, &env(vec![("V", v_good.clone()), ("k", Value::atom(7))])).unwrap()
+        );
         assert!(!eval_formula(&f, &env(vec![("V", v_bad), ("k", Value::atom(7))])).unwrap());
         // vacuous universal over empty set
-        assert!(eval_formula(&f, &env(vec![("V", Value::empty_set()), ("k", Value::atom(7))])).unwrap());
+        assert!(eval_formula(
+            &f,
+            &env(vec![("V", Value::empty_set()), ("k", Value::atom(7))])
+        )
+        .unwrap());
         // existential dual
         let g = f.negate();
         assert!(!eval_formula(&g, &env(vec![("V", v_good), ("k", Value::atom(7))])).unwrap());
@@ -184,7 +209,7 @@ mod tests {
         assert!(eval_all(&[eq.clone(), eq.clone()], &e).unwrap());
         assert!(!eval_all(&[eq.clone(), neq.clone()], &e).unwrap());
         assert!(eval_any(&[neq.clone(), eq.clone()], &e).unwrap());
-        assert!(!eval_any(&[neq.clone()], &e).unwrap());
+        assert!(!eval_any(std::slice::from_ref(&neq), &e).unwrap());
         assert!(eval_all(&[], &e).unwrap());
         assert!(!eval_any(&[], &e).unwrap());
     }

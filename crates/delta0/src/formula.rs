@@ -94,12 +94,20 @@ impl Formula {
 
     /// `∀ var ∈ bound . body`.
     pub fn forall(var: impl Into<Name>, bound: impl Into<Term>, body: Formula) -> Formula {
-        Formula::Forall { var: var.into(), bound: bound.into(), body: Box::new(body) }
+        Formula::Forall {
+            var: var.into(),
+            bound: bound.into(),
+            body: Box::new(body),
+        }
     }
 
     /// `∃ var ∈ bound . body`.
     pub fn exists(var: impl Into<Name>, bound: impl Into<Term>, body: Formula) -> Formula {
-        Formula::Exists { var: var.into(), bound: bound.into(), body: Box::new(body) }
+        Formula::Exists {
+            var: var.into(),
+            bound: bound.into(),
+            body: Box::new(body),
+        }
     }
 
     /// Extended membership `t ∈ u`.
@@ -147,9 +155,10 @@ impl Formula {
     /// The focusing polarity (EL / AL / both) of the formula.
     pub fn polarity(&self) -> Polarity {
         match self {
-            Formula::EqUr(_, _) | Formula::NeqUr(_, _) | Formula::Mem(_, _) | Formula::NotMem(_, _) => {
-                Polarity::Atomic
-            }
+            Formula::EqUr(_, _)
+            | Formula::NeqUr(_, _)
+            | Formula::Mem(_, _)
+            | Formula::NotMem(_, _) => Polarity::Atomic,
             // The paper classifies ⊥ as AL-only, but gives no right-hand rule
             // for it, so a ⊥ left over on the right-hand side (e.g. from the
             // negation of a non-emptiness constraint) would block the focused
@@ -159,10 +168,9 @@ impl Formula {
             // from Figure 3.
             Formula::False => Polarity::Atomic,
             Formula::Exists { .. } => Polarity::ExistentialLeading,
-            Formula::True
-            | Formula::And(_, _)
-            | Formula::Or(_, _)
-            | Formula::Forall { .. } => Polarity::AlternativeLeading,
+            Formula::True | Formula::And(_, _) | Formula::Or(_, _) | Formula::Forall { .. } => {
+                Polarity::AlternativeLeading
+            }
         }
     }
 
@@ -186,10 +194,10 @@ impl Formula {
             Formula::And(a, b) => Formula::or(a.negate(), b.negate()),
             Formula::Or(a, b) => Formula::and(a.negate(), b.negate()),
             Formula::Forall { var, bound, body } => {
-                Formula::exists(var.clone(), bound.clone(), body.negate())
+                Formula::exists(*var, bound.clone(), body.negate())
             }
             Formula::Exists { var, bound, body } => {
-                Formula::forall(var.clone(), bound.clone(), body.negate())
+                Formula::forall(*var, bound.clone(), body.negate())
             }
             Formula::Mem(t, u) => Formula::NotMem(t.clone(), u.clone()),
             Formula::NotMem(t, u) => Formula::Mem(t.clone(), u.clone()),
@@ -205,10 +213,13 @@ impl Formula {
 
     fn collect_free_vars(&self, bound: &mut BTreeSet<Name>, out: &mut BTreeSet<Name>) {
         match self {
-            Formula::EqUr(t, u) | Formula::NeqUr(t, u) | Formula::Mem(t, u) | Formula::NotMem(t, u) => {
+            Formula::EqUr(t, u)
+            | Formula::NeqUr(t, u)
+            | Formula::Mem(t, u)
+            | Formula::NotMem(t, u) => {
                 for v in t.free_vars().union(&u.free_vars()) {
                     if !bound.contains(v) {
-                        out.insert(v.clone());
+                        out.insert(*v);
                     }
                 }
             }
@@ -217,13 +228,22 @@ impl Formula {
                 a.collect_free_vars(bound, out);
                 b.collect_free_vars(bound, out);
             }
-            Formula::Forall { var, bound: b, body } | Formula::Exists { var, bound: b, body } => {
+            Formula::Forall {
+                var,
+                bound: b,
+                body,
+            }
+            | Formula::Exists {
+                var,
+                bound: b,
+                body,
+            } => {
                 for v in b.free_vars() {
                     if !bound.contains(&v) {
                         out.insert(v);
                     }
                 }
-                let newly = bound.insert(var.clone());
+                let newly = bound.insert(*var);
                 body.collect_free_vars(bound, out);
                 if newly {
                     bound.remove(var);
@@ -255,13 +275,29 @@ impl Formula {
             Formula::Or(a, b) => {
                 Formula::or(a.subst_var(var, replacement), b.subst_var(var, replacement))
             }
-            Formula::Forall { var: bv, bound, body } => {
+            Formula::Forall {
+                var: bv,
+                bound,
+                body,
+            } => {
                 let (bv, body) = Self::subst_under_binder(bv, bound, body, var, replacement);
-                Formula::Forall { var: bv, bound: bound.subst_var(var, replacement), body }
+                Formula::Forall {
+                    var: bv,
+                    bound: bound.subst_var(var, replacement),
+                    body,
+                }
             }
-            Formula::Exists { var: bv, bound, body } => {
+            Formula::Exists {
+                var: bv,
+                bound,
+                body,
+            } => {
                 let (bv, body) = Self::subst_under_binder(bv, bound, body, var, replacement);
-                Formula::Exists { var: bv, bound: bound.subst_var(var, replacement), body }
+                Formula::Exists {
+                    var: bv,
+                    bound: bound.subst_var(var, replacement),
+                    body,
+                }
             }
         }
     }
@@ -275,26 +311,26 @@ impl Formula {
     ) -> (Name, Box<Formula>) {
         if bv == var {
             // the substituted variable is shadowed inside the body
-            return (bv.clone(), Box::new(body.clone()));
+            return (*bv, Box::new(body.clone()));
         }
         if replacement.mentions(bv) && body.free_vars().contains(var) {
             // rename the binder to avoid capturing a variable of the replacement
             let mut avoid: BTreeSet<Name> = replacement.free_vars();
             avoid.extend(body.free_vars());
             avoid.extend(bound.free_vars());
-            avoid.insert(var.clone());
+            avoid.insert(*var);
             let fresh = Self::fresh_variant(bv, &avoid);
-            let renamed = body.subst_var(bv, &Term::Var(fresh.clone()));
+            let renamed = body.subst_var(bv, &Term::Var(fresh));
             (fresh, Box::new(renamed.subst_var(var, replacement)))
         } else {
-            (bv.clone(), Box::new(body.subst_var(var, replacement)))
+            (*bv, Box::new(body.subst_var(var, replacement)))
         }
     }
 
     fn fresh_variant(base: &Name, avoid: &BTreeSet<Name>) -> Name {
-        let mut candidate = Name::new(format!("{}'", base.0));
+        let mut candidate = Name::new(format!("{}'", base.as_str()));
         while avoid.contains(&candidate) {
-            candidate = Name::new(format!("{}'", candidate.0));
+            candidate = Name::new(format!("{}'", candidate.as_str()));
         }
         candidate
     }
@@ -333,12 +369,12 @@ impl Formula {
                 b.replace_term(target, replacement),
             ),
             Formula::Forall { var, bound, body } => Formula::Forall {
-                var: var.clone(),
+                var: *var,
                 bound: bound.replace_term(target, replacement),
                 body: Box::new(body.replace_term(target, replacement)),
             },
             Formula::Exists { var, bound, body } => Formula::Exists {
-                var: var.clone(),
+                var: *var,
                 bound: bound.replace_term(target, replacement),
                 body: Box::new(body.replace_term(target, replacement)),
             },
@@ -357,12 +393,12 @@ impl Formula {
             Formula::And(a, b) => Formula::and(a.beta_normalize(), b.beta_normalize()),
             Formula::Or(a, b) => Formula::or(a.beta_normalize(), b.beta_normalize()),
             Formula::Forall { var, bound, body } => Formula::Forall {
-                var: var.clone(),
+                var: *var,
                 bound: bound.beta_normalize(),
                 body: Box::new(body.beta_normalize()),
             },
             Formula::Exists { var, bound, body } => Formula::Exists {
-                var: var.clone(),
+                var: *var,
                 bound: bound.beta_normalize(),
                 body: Box::new(body.beta_normalize()),
             },
@@ -493,7 +529,11 @@ mod tests {
     #[test]
     fn free_vars_exclude_bound_occurrences() {
         let f = sample();
-        let fv: Vec<String> = f.free_vars().into_iter().map(|n| n.0).collect();
+        let fv: Vec<String> = f
+            .free_vars()
+            .into_iter()
+            .map(|n| n.as_str().to_owned())
+            .collect();
         assert_eq!(fv, vec!["B".to_string(), "V".to_string()]);
         // a free occurrence of a name that is bound elsewhere still shows up
         let g = Formula::and(Formula::eq_ur("v", "v"), sample());
@@ -508,7 +548,7 @@ mod tests {
         match s {
             Formula::Exists { var, body, .. } => {
                 assert_ne!(var, Name::new("v"));
-                assert_eq!(*body, Formula::eq_ur(Term::var(var.clone()), Term::var("v")));
+                assert_eq!(*body, Formula::eq_ur(Term::var(var), Term::var("v")));
             }
             other => panic!("unexpected shape: {other:?}"),
         }
@@ -519,12 +559,18 @@ mod tests {
         // normal substitution in bodies and bounds
         let h = Formula::exists("z", Term::var("x"), Formula::eq_ur("z", "x"));
         let s = h.subst_var(&Name::new("x"), &Term::var("y"));
-        assert_eq!(s, Formula::exists("z", Term::var("y"), Formula::eq_ur("z", "y")));
+        assert_eq!(
+            s,
+            Formula::exists("z", Term::var("y"), Formula::eq_ur("z", "y"))
+        );
     }
 
     #[test]
     fn replace_term_and_beta_normalize() {
-        let f = Formula::eq_ur(Term::proj1(Term::pair(Term::var("a"), Term::var("b"))), Term::var("c"));
+        let f = Formula::eq_ur(
+            Term::proj1(Term::pair(Term::var("a"), Term::var("b"))),
+            Term::var("c"),
+        );
         assert_eq!(f.beta_normalize(), Formula::eq_ur("a", "c"));
         let g = f.replace_term(&Term::var("c"), &Term::var("d"));
         assert!(matches!(g, Formula::EqUr(_, ref u) if *u == Term::var("d")));
@@ -532,7 +578,10 @@ mod tests {
 
     #[test]
     fn conjuncts_and_disjuncts_flatten() {
-        let f = Formula::and(Formula::and(Formula::True, Formula::False), Formula::eq_ur("x", "y"));
+        let f = Formula::and(
+            Formula::and(Formula::True, Formula::False),
+            Formula::eq_ur("x", "y"),
+        );
         assert_eq!(f.conjuncts().len(), 3);
         let g = Formula::or(Formula::True, Formula::or(Formula::False, Formula::True));
         assert_eq!(g.disjuncts().len(), 3);

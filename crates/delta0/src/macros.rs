@@ -59,8 +59,18 @@ pub fn equiv(ty: &Type, t: &Term, u: &Term, gen: &mut NameGen) -> Formula {
         Type::Unit => Formula::True,
         Type::Ur => Formula::EqUr(t.beta_normalize(), u.beta_normalize()),
         Type::Prod(a, b) => Formula::and(
-            equiv(a, &Term::proj1(t.clone()).beta_normalize(), &Term::proj1(u.clone()).beta_normalize(), gen),
-            equiv(b, &Term::proj2(t.clone()).beta_normalize(), &Term::proj2(u.clone()).beta_normalize(), gen),
+            equiv(
+                a,
+                &Term::proj1(t.clone()).beta_normalize(),
+                &Term::proj1(u.clone()).beta_normalize(),
+                gen,
+            ),
+            equiv(
+                b,
+                &Term::proj2(t.clone()).beta_normalize(),
+                &Term::proj2(u.clone()).beta_normalize(),
+                gen,
+            ),
         ),
         Type::Set(elem) => Formula::and(subset(elem, t, u, gen), subset(elem, u, t, gen)),
     }
@@ -70,14 +80,18 @@ pub fn equiv(ty: &Type, t: &Term, u: &Term, gen: &mut NameGen) -> Formula {
 /// `∀z ∈ t . z ∈̂ u`.
 pub fn subset(elem_ty: &Type, t: &Term, u: &Term, gen: &mut NameGen) -> Formula {
     let z = gen.fresh("z");
-    Formula::forall(z.clone(), t.beta_normalize(), member_hat(elem_ty, &Term::Var(z), u, gen))
+    Formula::forall(
+        z,
+        t.beta_normalize(),
+        member_hat(elem_ty, &Term::Var(z), u, gen),
+    )
 }
 
 /// Membership up to extensionality `t ∈̂ u` where `t : elem_ty` and
 /// `u : Set(elem_ty)`: `∃z' ∈ u . t ≡ z'`.
 pub fn member_hat(elem_ty: &Type, t: &Term, u: &Term, gen: &mut NameGen) -> Formula {
     let z = gen.fresh("z");
-    Formula::exists(z.clone(), u.beta_normalize(), equiv(elem_ty, t, &Term::Var(z), gen))
+    Formula::exists(z, u.beta_normalize(), equiv(elem_ty, t, &Term::Var(z), gen))
 }
 
 /// Which quantifier a path-bounded quantification should use.
@@ -111,25 +125,41 @@ pub fn quantify_path(
         Some((SubtypeStep::Member, rest)) => {
             if rest.is_empty() {
                 match q {
-                    Quant::Exists => Formula::exists(var.clone(), term.clone(), body),
-                    Quant::Forall => Formula::forall(var.clone(), term.clone(), body),
+                    Quant::Exists => Formula::exists(*var, term.clone(), body),
+                    Quant::Forall => Formula::forall(*var, term.clone(), body),
                 }
             } else {
                 let y = gen.fresh("y");
-                let inner =
-                    quantify_path(q, var, &SubtypePath(rest.to_vec()), &Term::Var(y.clone()), body, gen);
+                let inner = quantify_path(
+                    q,
+                    var,
+                    &SubtypePath(rest.to_vec()),
+                    &Term::Var(y),
+                    body,
+                    gen,
+                );
                 match q {
                     Quant::Exists => Formula::exists(y, term.clone(), inner),
                     Quant::Forall => Formula::forall(y, term.clone(), inner),
                 }
             }
         }
-        Some((SubtypeStep::First, rest)) => {
-            quantify_path(q, var, &SubtypePath(rest.to_vec()), &Term::proj1(term.clone()), body, gen)
-        }
-        Some((SubtypeStep::Second, rest)) => {
-            quantify_path(q, var, &SubtypePath(rest.to_vec()), &Term::proj2(term.clone()), body, gen)
-        }
+        Some((SubtypeStep::First, rest)) => quantify_path(
+            q,
+            var,
+            &SubtypePath(rest.to_vec()),
+            &Term::proj1(term.clone()),
+            body,
+            gen,
+        ),
+        Some((SubtypeStep::Second, rest)) => quantify_path(
+            q,
+            var,
+            &SubtypePath(rest.to_vec()),
+            &Term::proj2(term.clone()),
+            body,
+            gen,
+        ),
     }
 }
 
@@ -163,15 +193,12 @@ pub fn forall_path(
 pub fn key_constraint(set_var: &Name, elem_ty: &Type, gen: &mut NameGen) -> Formula {
     let b = gen.fresh("b");
     let b2 = gen.fresh("b");
-    let key_eq = Formula::eq_ur(
-        Term::proj1(Term::Var(b.clone())),
-        Term::proj1(Term::Var(b2.clone())),
-    );
-    let body = implies(key_eq, equiv(elem_ty, &Term::Var(b.clone()), &Term::Var(b2.clone()), gen));
+    let key_eq = Formula::eq_ur(Term::proj1(Term::Var(b)), Term::proj1(Term::Var(b2)));
+    let body = implies(key_eq, equiv(elem_ty, &Term::Var(b), &Term::Var(b2), gen));
     Formula::forall(
         b,
-        Term::Var(set_var.clone()),
-        Formula::forall(b2, Term::Var(set_var.clone()), body),
+        Term::Var(*set_var),
+        Formula::forall(b2, Term::Var(*set_var), body),
     )
 }
 
@@ -183,8 +210,8 @@ pub fn second_nonempty(set_var: &Name, gen: &mut NameGen) -> Formula {
     let b = gen.fresh("b");
     let e = gen.fresh("e");
     Formula::forall(
-        b.clone(),
-        Term::Var(set_var.clone()),
+        b,
+        Term::Var(*set_var),
         Formula::exists(e, Term::proj2(Term::Var(b)), Formula::True),
     )
 }
@@ -203,7 +230,10 @@ mod tests {
     fn implies_and_iff_shapes() {
         let a = Formula::eq_ur("x", "y");
         let b = Formula::eq_ur("y", "z");
-        assert_eq!(implies(a.clone(), b.clone()), Formula::or(a.negate(), b.clone()));
+        assert_eq!(
+            implies(a.clone(), b.clone()),
+            Formula::or(a.negate(), b.clone())
+        );
         let i = iff(a.clone(), b.clone());
         assert_eq!(i.conjuncts().len(), 2);
     }
@@ -220,7 +250,10 @@ mod tests {
     #[test]
     fn equiv_at_ur_and_unit() {
         let mut gen = NameGen::new();
-        assert_eq!(equiv(&Type::Unit, &Term::var("a"), &Term::var("b"), &mut gen), Formula::True);
+        assert_eq!(
+            equiv(&Type::Unit, &Term::var("a"), &Term::var("b"), &mut gen),
+            Formula::True
+        );
         assert_eq!(
             equiv(&Type::Ur, &Term::var("a"), &Term::var("b"), &mut gen),
             Formula::eq_ur("a", "b")
@@ -258,9 +291,15 @@ mod tests {
     fn member_hat_and_subset_semantics() {
         let mut gen = NameGen::new();
         let f = member_hat(&Type::Ur, &Term::var("x"), &Term::var("s"), &mut gen);
-        let e = env(vec![("x", Value::atom(1)), ("s", Value::set([Value::atom(1), Value::atom(2)]))]);
+        let e = env(vec![
+            ("x", Value::atom(1)),
+            ("s", Value::set([Value::atom(1), Value::atom(2)])),
+        ]);
         assert!(eval_formula(&f, &e).unwrap());
-        let e2 = env(vec![("x", Value::atom(3)), ("s", Value::set([Value::atom(1)]))]);
+        let e2 = env(vec![
+            ("x", Value::atom(3)),
+            ("s", Value::set([Value::atom(1)])),
+        ]);
         assert!(!eval_formula(&f, &e2).unwrap());
 
         let sub = subset(&Type::Ur, &Term::var("a"), &Term::var("b"), &mut gen);
@@ -282,24 +321,55 @@ mod tests {
         let body = Formula::eq_ur("x", "x");
         // path "m": plain bounded quantifier
         let p_m = SubtypePath(vec![SubtypeStep::Member]);
-        let f = exists_path(&Name::new("x"), &p_m, &Term::var("S"), body.clone(), &mut gen);
+        let f = exists_path(
+            &Name::new("x"),
+            &p_m,
+            &Term::var("S"),
+            body.clone(),
+            &mut gen,
+        );
         assert_eq!(f, Formula::exists("x", "S", body.clone()));
         // path "2m": quantify over members of π2(S)
         let p_2m = SubtypePath(vec![SubtypeStep::Second, SubtypeStep::Member]);
-        let f = forall_path(&Name::new("x"), &p_2m, &Term::var("S"), body.clone(), &mut gen);
-        assert_eq!(f, Formula::forall("x", Term::proj2(Term::var("S")), body.clone()));
+        let f = forall_path(
+            &Name::new("x"),
+            &p_2m,
+            &Term::var("S"),
+            body.clone(),
+            &mut gen,
+        );
+        assert_eq!(
+            f,
+            Formula::forall("x", Term::proj2(Term::var("S")), body.clone())
+        );
         // path "mm": members of members, introduces a fresh intermediate variable
         let p_mm = SubtypePath(vec![SubtypeStep::Member, SubtypeStep::Member]);
-        let f = exists_path(&Name::new("x"), &p_mm, &Term::var("S"), body.clone(), &mut gen);
+        let f = exists_path(
+            &Name::new("x"),
+            &p_mm,
+            &Term::var("S"),
+            body.clone(),
+            &mut gen,
+        );
         match f {
-            Formula::Exists { var: y, bound, body: inner } => {
+            Formula::Exists {
+                var: y,
+                bound,
+                body: inner,
+            } => {
                 assert_eq!(bound, Term::var("S"));
                 assert_eq!(*inner, Formula::exists("x", Term::Var(y), body.clone()));
             }
             other => panic!("unexpected: {other}"),
         }
         // empty path: substitution
-        let f = exists_path(&Name::new("x"), &SubtypePath::empty(), &Term::var("S"), Formula::eq_ur("x", "y"), &mut gen);
+        let f = exists_path(
+            &Name::new("x"),
+            &SubtypePath::empty(),
+            &Term::var("S"),
+            Formula::eq_ur("x", "y"),
+            &mut gen,
+        );
         assert_eq!(f, Formula::eq_ur("S", "y"));
     }
 
@@ -350,7 +420,9 @@ mod tests {
         let mut gen = NameGen::new();
         let ty = Type::set(Type::prod(Type::Ur, Type::set(Type::Ur)));
         assert!(equiv(&ty, &Term::var("s"), &Term::var("t"), &mut gen).is_delta0());
-        assert!(key_constraint(&Name::new("B"), &Type::prod(Type::Ur, Type::Ur), &mut gen).is_delta0());
+        assert!(
+            key_constraint(&Name::new("B"), &Type::prod(Type::Ur, Type::Ur), &mut gen).is_delta0()
+        );
         assert!(member_hat(&ty, &Term::var("x"), &Term::var("s"), &mut gen).is_delta0());
     }
 }

@@ -73,7 +73,10 @@ pub fn max_specializations(
         if !extended {
             // maximal: either not an existential, or no context atom matches its bound
             if seen.insert(current.clone()) {
-                out.push(MaxSpecialization { used, result: current });
+                out.push(MaxSpecialization {
+                    used,
+                    result: current,
+                });
             }
         }
     }
@@ -86,7 +89,9 @@ pub fn is_max_specialization(formula: &Formula, ctx: &InContext, candidate: &For
     // The number of distinct maximal specializations is bounded by
     // |ctx|^(depth of the existential block); proof checking only needs to
     // confirm membership, so a generous limit suffices for realistic proofs.
-    max_specializations(formula, ctx, 100_000).iter().any(|m| &m.result == candidate)
+    max_specializations(formula, ctx, 100_000)
+        .iter()
+        .any(|m| &m.result == candidate)
 }
 
 /// All formulas reachable from `formula` by **one or more** specialization
@@ -118,7 +123,9 @@ pub fn all_specializations(formula: &Formula, ctx: &InContext, limit: usize) -> 
 /// Is `candidate` reachable from `formula` by one or more specialization
 /// steps (the side condition of the generalized ∃ rule, Lemma 15)?
 pub fn is_specialization(formula: &Formula, ctx: &InContext, candidate: &Formula) -> bool {
-    all_specializations(formula, ctx, 100_000).iter().any(|f| f == candidate)
+    all_specializations(formula, ctx, 100_000)
+        .iter()
+        .any(|f| f == candidate)
 }
 
 #[cfg(test)]
@@ -144,12 +151,19 @@ mod tests {
     #[test]
     fn sequence_specialization_follows_order() {
         // ∃a ∈ S ∃b ∈ a . b = c
-        let f = ex("a", "S", Formula::exists("b", Term::var("a"), Formula::eq_ur("b", "c")));
+        let f = ex(
+            "a",
+            "S",
+            Formula::exists("b", Term::var("a"), Formula::eq_ur("b", "c")),
+        );
         let atoms = vec![MemAtom::new("x", "S"), MemAtom::new("y", "x")];
         let spec = specialize_seq(&f, &atoms).unwrap();
         assert_eq!(spec, Formula::eq_ur("y", "c"));
         // wrong order fails: y ∈ x is not applicable first
-        assert_eq!(specialize_seq(&f, &[MemAtom::new("y", "x"), MemAtom::new("x", "S")]), None);
+        assert_eq!(
+            specialize_seq(&f, &[MemAtom::new("y", "x"), MemAtom::new("x", "S")]),
+            None
+        );
     }
 
     #[test]
@@ -169,12 +183,19 @@ mod tests {
     #[test]
     fn blocks_are_instantiated_all_at_once() {
         // ∃a ∈ S ∃b ∈ T . a = b
-        let f = ex("a", "S", Formula::exists("b", "T", Formula::eq_ur("a", "b")));
+        let f = ex(
+            "a",
+            "S",
+            Formula::exists("b", "T", Formula::eq_ur("a", "b")),
+        );
         let ctx = InContext::from_atoms([MemAtom::new("x", "S"), MemAtom::new("y", "T")]);
         let specs = max_specializations(&f, &ctx, 10);
         assert_eq!(specs.len(), 1);
         assert_eq!(specs[0].result, Formula::eq_ur("x", "y"));
-        assert_eq!(specs[0].used, vec![MemAtom::new("x", "S"), MemAtom::new("y", "T")]);
+        assert_eq!(
+            specs[0].used,
+            vec![MemAtom::new("x", "S"), MemAtom::new("y", "T")]
+        );
     }
 
     #[test]
@@ -185,7 +206,10 @@ mod tests {
         let ctx = InContext::from_atoms([MemAtom::new("x", "S")]);
         let specs = max_specializations(&f, &ctx, 10);
         assert_eq!(specs.len(), 1);
-        assert_eq!(specs[0].result, Formula::exists("b", "Missing", Formula::True));
+        assert_eq!(
+            specs[0].result,
+            Formula::exists("b", "Missing", Formula::True)
+        );
     }
 
     #[test]
@@ -200,7 +224,9 @@ mod tests {
     #[test]
     fn limit_caps_the_enumeration() {
         let f = ex("w", "S", Formula::eq_ur("w", "c"));
-        let ctx = InContext::from_atoms((0..20).map(|i| MemAtom::new(Term::var(format!("x{i}")), Term::var("S"))));
+        let ctx = InContext::from_atoms(
+            (0..20).map(|i| MemAtom::new(Term::var(format!("x{i}")), Term::var("S"))),
+        );
         let specs = max_specializations(&f, &ctx, 5);
         assert_eq!(specs.len(), 5);
     }

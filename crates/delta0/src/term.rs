@@ -44,7 +44,9 @@ impl Term {
     /// A right-nested tuple term.
     pub fn tuple(parts: Vec<Term>) -> Term {
         let mut it = parts.into_iter().rev();
-        let last = it.next().expect("Term::tuple requires at least one component");
+        let last = it
+            .next()
+            .expect("Term::tuple requires at least one component");
         it.fold(last, |acc, t| Term::pair(t, acc))
     }
 
@@ -79,7 +81,7 @@ impl Term {
     fn collect_vars(&self, out: &mut BTreeSet<Name>) {
         match self {
             Term::Var(n) => {
-                out.insert(n.clone());
+                out.insert(*n);
             }
             Term::Unit => {}
             Term::Pair(a, b) => {
@@ -198,7 +200,11 @@ mod tests {
     #[test]
     fn free_vars_and_mentions() {
         let t = Term::pair(Term::proj1(Term::var("b")), Term::var("c"));
-        let fv: Vec<String> = t.free_vars().into_iter().map(|n| n.0).collect();
+        let fv: Vec<String> = t
+            .free_vars()
+            .into_iter()
+            .map(|n| n.as_str().to_owned())
+            .collect();
         assert_eq!(fv, vec!["b".to_string(), "c".to_string()]);
         assert!(t.mentions(&Name::new("b")));
         assert!(!t.mentions(&Name::new("z")));
@@ -227,7 +233,10 @@ mod tests {
     fn beta_normalization() {
         let t = Term::proj1(Term::pair(Term::var("x"), Term::var("y")));
         assert_eq!(t.beta_normalize(), Term::var("x"));
-        let u = Term::proj2(Term::pair(Term::var("x"), Term::proj2(Term::pair(Term::Unit, Term::var("y")))));
+        let u = Term::proj2(Term::pair(
+            Term::var("x"),
+            Term::proj2(Term::pair(Term::Unit, Term::var("y"))),
+        ));
         assert_eq!(u.beta_normalize(), Term::var("y"));
         // nothing to do on a plain projection of a variable
         let v = Term::proj1(Term::var("x"));
@@ -237,7 +246,10 @@ mod tests {
     #[test]
     fn tuples_and_tuple_projection() {
         let t = Term::tuple(vec![Term::var("a"), Term::var("b"), Term::var("c")]);
-        assert_eq!(t, Term::pair(Term::var("a"), Term::pair(Term::var("b"), Term::var("c"))));
+        assert_eq!(
+            t,
+            Term::pair(Term::var("a"), Term::pair(Term::var("b"), Term::var("c")))
+        );
         let p0 = Term::tuple_proj(t.clone(), 0, 3).beta_normalize();
         let p1 = Term::tuple_proj(t.clone(), 1, 3).beta_normalize();
         let p2 = Term::tuple_proj(t.clone(), 2, 3).beta_normalize();
@@ -249,6 +261,9 @@ mod tests {
     #[test]
     fn size_counts_nodes() {
         assert_eq!(Term::var("x").size(), 1);
-        assert_eq!(Term::pair(Term::var("x"), Term::proj1(Term::var("y"))).size(), 4);
+        assert_eq!(
+            Term::pair(Term::var("x"), Term::proj1(Term::var("y"))).size(),
+            4
+        );
     }
 }

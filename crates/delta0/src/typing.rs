@@ -25,12 +25,16 @@ impl TypeEnv {
 
     /// Build an environment from a schema's declarations.
     pub fn from_schema(schema: &Schema) -> Self {
-        TypeEnv { bindings: schema.iter().map(|(n, t)| (n.clone(), t.clone())).collect() }
+        TypeEnv {
+            bindings: schema.iter().map(|(n, t)| (*n, t.clone())).collect(),
+        }
     }
 
     /// Build from explicit pairs.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (Name, Type)>) -> Self {
-        TypeEnv { bindings: pairs.into_iter().collect() }
+        TypeEnv {
+            bindings: pairs.into_iter().collect(),
+        }
     }
 
     /// Look up a variable.
@@ -61,7 +65,7 @@ impl TypeEnv {
         let mut s = Schema::new();
         for (n, t) in &self.bindings {
             // names are unique in the map, so this cannot fail
-            s.declare(n.clone(), t.clone()).expect("unique names");
+            s.declare(*n, t.clone()).expect("unique names");
         }
         s
     }
@@ -70,16 +74,20 @@ impl TypeEnv {
 /// Infer the type of a term in an environment.
 pub fn type_of_term(term: &Term, env: &TypeEnv) -> Result<Type, LogicError> {
     match term {
-        Term::Var(n) => env.get(n).cloned().ok_or_else(|| LogicError::UnboundVariable(n.clone())),
+        Term::Var(n) => env.get(n).cloned().ok_or(LogicError::UnboundVariable(*n)),
         Term::Unit => Ok(Type::Unit),
         Term::Pair(a, b) => Ok(Type::prod(type_of_term(a, env)?, type_of_term(b, env)?)),
         Term::Proj1(t) => match type_of_term(t, env)? {
             Type::Prod(a, _) => Ok(*a),
-            other => Err(LogicError::IllTyped(format!("p1 applied to a term of type {other}"))),
+            other => Err(LogicError::IllTyped(format!(
+                "p1 applied to a term of type {other}"
+            ))),
         },
         Term::Proj2(t) => match type_of_term(t, env)? {
             Type::Prod(_, b) => Ok(*b),
-            other => Err(LogicError::IllTyped(format!("p2 applied to a term of type {other}"))),
+            other => Err(LogicError::IllTyped(format!(
+                "p2 applied to a term of type {other}"
+            ))),
         },
     }
 }
@@ -116,7 +124,7 @@ pub fn check_formula(formula: &Formula, env: &TypeEnv) -> Result<(), LogicError>
         Formula::Forall { var, bound, body } | Formula::Exists { var, bound, body } => {
             let bound_ty = type_of_term(bound, env)?;
             match bound_ty {
-                Type::Set(elem) => check_formula(body, &env.with(var.clone(), *elem)),
+                Type::Set(elem) => check_formula(body, &env.with(*var, *elem)),
                 other => Err(LogicError::IllTyped(format!(
                     "quantifier bound has non-set type {other}"
                 ))),
@@ -138,7 +146,10 @@ mod tests {
 
     fn flatten_env() -> TypeEnv {
         TypeEnv::from_pairs([
-            (Name::new("B"), Type::set(Type::prod(Type::Ur, Type::set(Type::Ur)))),
+            (
+                Name::new("B"),
+                Type::set(Type::prod(Type::Ur, Type::set(Type::Ur))),
+            ),
             (Name::new("V"), Type::relation(2)),
         ])
     }
@@ -146,9 +157,18 @@ mod tests {
     #[test]
     fn term_typing() {
         let env = flatten_env().with(Name::new("b"), Type::prod(Type::Ur, Type::set(Type::Ur)));
-        assert_eq!(type_of_term(&Term::var("B"), &env).unwrap(), Type::set(Type::prod(Type::Ur, Type::set(Type::Ur))));
-        assert_eq!(type_of_term(&Term::proj1(Term::var("b")), &env).unwrap(), Type::Ur);
-        assert_eq!(type_of_term(&Term::proj2(Term::var("b")), &env).unwrap(), Type::set(Type::Ur));
+        assert_eq!(
+            type_of_term(&Term::var("B"), &env).unwrap(),
+            Type::set(Type::prod(Type::Ur, Type::set(Type::Ur)))
+        );
+        assert_eq!(
+            type_of_term(&Term::proj1(Term::var("b")), &env).unwrap(),
+            Type::Ur
+        );
+        assert_eq!(
+            type_of_term(&Term::proj2(Term::var("b")), &env).unwrap(),
+            Type::set(Type::Ur)
+        );
         assert_eq!(type_of_term(&Term::Unit, &env).unwrap(), Type::Unit);
         assert_eq!(
             type_of_term(&Term::pair(Term::Unit, Term::var("b")), &env).unwrap(),

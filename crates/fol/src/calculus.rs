@@ -170,14 +170,18 @@ impl FoRule {
                     let base = conclusion.without(conj);
                     Ok(vec![base.with((**a).clone()), base.with((**b).clone())])
                 }
-                _ => Err(FoError::RuleNotApplicable(format!("∧: {conj} not a present conjunction"))),
+                _ => Err(FoError::RuleNotApplicable(format!(
+                    "∧: {conj} not a present conjunction"
+                ))),
             },
             FoRule::Or { disj } => match disj {
                 FoFormula::Or(a, b) if conclusion.contains(disj) => {
                     let base = conclusion.without(disj);
                     Ok(vec![base.with((**a).clone()).with((**b).clone())])
                 }
-                _ => Err(FoError::RuleNotApplicable(format!("∨: {disj} not a present disjunction"))),
+                _ => Err(FoError::RuleNotApplicable(format!(
+                    "∨: {disj} not a present disjunction"
+                ))),
             },
             FoRule::Forall { quant, witness } => match quant {
                 FoFormula::Forall(x, body) if conclusion.contains(quant) => {
@@ -188,22 +192,26 @@ impl FoRule {
                     }
                     Ok(vec![conclusion.without(quant).with(body.subst(x, witness))])
                 }
-                _ => Err(FoError::RuleNotApplicable(format!("∀: {quant} not a present universal"))),
+                _ => Err(FoError::RuleNotApplicable(format!(
+                    "∀: {quant} not a present universal"
+                ))),
             },
             FoRule::Exists { quant, witness } => match quant {
                 FoFormula::Exists(x, body) if conclusion.contains(quant) => {
                     Ok(vec![conclusion.with(body.subst(x, witness))])
                 }
-                _ => {
-                    Err(FoError::RuleNotApplicable(format!("∃: {quant} not a present existential")))
-                }
+                _ => Err(FoError::RuleNotApplicable(format!(
+                    "∃: {quant} not a present existential"
+                ))),
             },
-            FoRule::Ref { var } => {
-                Ok(vec![conclusion.with(FoFormula::Neq(var.clone(), var.clone()))])
-            }
-            FoRule::Repl { ineq, literal, rewritten } => {
+            FoRule::Ref { var } => Ok(vec![conclusion.with(FoFormula::Neq(*var, *var))]),
+            FoRule::Repl {
+                ineq,
+                literal,
+                rewritten,
+            } => {
                 let (t, u) = match ineq {
-                    FoFormula::Neq(t, u) => (t.clone(), u.clone()),
+                    FoFormula::Neq(t, u) => (*t, *u),
                     other => {
                         return Err(FoError::RuleNotApplicable(format!(
                             "Repl: {other} is not an inequality"
@@ -211,10 +219,14 @@ impl FoRule {
                     }
                 };
                 if !conclusion.contains(ineq) || !conclusion.contains(literal) {
-                    return Err(FoError::RuleNotApplicable("Repl: principals not present".into()));
+                    return Err(FoError::RuleNotApplicable(
+                        "Repl: principals not present".into(),
+                    ));
                 }
                 if !literal.is_literal() || !rewritten.is_literal() {
-                    return Err(FoError::RuleNotApplicable("Repl: principals must be literals".into()));
+                    return Err(FoError::RuleNotApplicable(
+                        "Repl: principals must be literals".into(),
+                    ));
                 }
                 // check the rewrite replaces occurrences of t by u
                 let full = rename_everywhere(literal, &t, &u);
@@ -233,7 +245,7 @@ impl FoRule {
     }
 }
 
-fn rename_everywhere(f: &FoFormula, from: &str, to: &str) -> FoFormula {
+fn rename_everywhere(f: &FoFormula, from: &Var, to: &Var) -> FoFormula {
     // variables only (no binders over free replacement targets in literals)
     f.subst(from, to)
 }
@@ -251,7 +263,11 @@ pub struct FoProof {
 
 impl FoProof {
     /// Build a node, validating the rule application and premise shapes.
-    pub fn by(conclusion: FoSequent, rule: FoRule, premises: Vec<FoProof>) -> Result<FoProof, FoError> {
+    pub fn by(
+        conclusion: FoSequent,
+        rule: FoRule,
+        premises: Vec<FoProof>,
+    ) -> Result<FoProof, FoError> {
         let expected = rule.premises(&conclusion)?;
         if expected.len() != premises.len() {
             return Err(FoError::PremiseMismatch(format!(
@@ -270,7 +286,11 @@ impl FoProof {
                 )));
             }
         }
-        Ok(FoProof { conclusion, rule, premises })
+        Ok(FoProof {
+            conclusion,
+            rule,
+            premises,
+        })
     }
 
     /// Number of nodes.
@@ -296,7 +316,10 @@ pub fn check_fo_proof(proof: &FoProof) -> Result<(), FoError> {
     }
     for (want, have) in expected.iter().zip(proof.premises.iter()) {
         if want != &have.conclusion {
-            return Err(FoError::PremiseMismatch(format!("expected {want}, found {}", have.conclusion)));
+            return Err(FoError::PremiseMismatch(format!(
+                "expected {want}, found {}",
+                have.conclusion
+            )));
         }
         check_fo_proof(have)?;
     }
@@ -308,11 +331,16 @@ pub fn check_fo_proof(proof: &FoProof) -> Result<(), FoError> {
 /// top-level connective is ∨, ∧ or ∀.
 pub fn is_fo_focused(proof: &FoProof) -> bool {
     proof.nodes().iter().all(|node| match node.rule {
-        FoRule::Ax { .. } | FoRule::Top | FoRule::Exists { .. } | FoRule::Ref { .. } | FoRule::Repl { .. } => {
-            node.conclusion.formulas().iter().all(|f| {
-                !matches!(f, FoFormula::And(_, _) | FoFormula::Or(_, _) | FoFormula::Forall(_, _))
-            })
-        }
+        FoRule::Ax { .. }
+        | FoRule::Top
+        | FoRule::Exists { .. }
+        | FoRule::Ref { .. }
+        | FoRule::Repl { .. } => node.conclusion.formulas().iter().all(|f| {
+            !matches!(
+                f,
+                FoFormula::And(_, _) | FoFormula::Or(_, _) | FoFormula::Forall(_, _)
+            )
+        }),
         _ => true,
     })
 }
@@ -333,7 +361,8 @@ mod tests {
         let root = FoSequent::new([conj.clone(), p.negate()]);
         let rule = FoRule::And { conj: conj.clone() };
         let prems = rule.premises(&root).unwrap();
-        let left = FoProof::by(prems[0].clone(), FoRule::Ax { literal: p.clone() }, vec![]).unwrap();
+        let left =
+            FoProof::by(prems[0].clone(), FoRule::Ax { literal: p.clone() }, vec![]).unwrap();
         let right = FoProof::by(prems[1].clone(), FoRule::Top, vec![]).unwrap();
         let proof = FoProof::by(root, rule, vec![left, right]).unwrap();
         assert!(check_fo_proof(&proof).is_ok());
@@ -346,17 +375,25 @@ mod tests {
     #[test]
     fn quantifier_rules() {
         // ⊢ ∃x. (¬P(x) ∨ P(x))   — instantiate at any variable, say c
-        let body = FoFormula::or(FoFormula::neg_atom("P", vec!["x"]), FoFormula::atom("P", vec!["x"]));
+        let body = FoFormula::or(
+            FoFormula::neg_atom("P", vec!["x"]),
+            FoFormula::atom("P", vec!["x"]),
+        );
         let goal = FoFormula::exists("x", body.clone());
         let root = FoSequent::new([goal.clone()]);
-        let ex = FoRule::Exists { quant: goal.clone(), witness: "c".into() };
+        let ex = FoRule::Exists {
+            quant: goal.clone(),
+            witness: "c".into(),
+        };
         let after_ex = ex.premises(&root).unwrap().remove(0);
-        let disj = body.subst("x", "c");
+        let disj = body.subst(&"x".into(), &"c".into());
         let or = FoRule::Or { disj: disj.clone() };
         let after_or = or.premises(&after_ex).unwrap().remove(0);
         let ax = FoProof::by(
             after_or,
-            FoRule::Ax { literal: FoFormula::atom("P", vec!["c"]) },
+            FoRule::Ax {
+                literal: FoFormula::atom("P", vec!["c"]),
+            },
             vec![],
         )
         .unwrap();
@@ -376,7 +413,14 @@ mod tests {
         let root = FoSequent::new([goal.clone()]);
         let refl = FoRule::Ref { var: "x".into() };
         let prem = refl.premises(&root).unwrap().remove(0);
-        let ax = FoProof::by(prem, FoRule::Ax { literal: goal.clone() }, vec![]).unwrap();
+        let ax = FoProof::by(
+            prem,
+            FoRule::Ax {
+                literal: goal.clone(),
+            },
+            vec![],
+        )
+        .unwrap();
         let proof = FoProof::by(root, refl, vec![ax]).unwrap();
         assert!(check_fo_proof(&proof).is_ok());
 
@@ -392,7 +436,14 @@ mod tests {
             rewritten: FoFormula::neg_atom("P", vec!["y"]),
         };
         let prem = repl.premises(&seq).unwrap().remove(0);
-        let ax = FoProof::by(prem, FoRule::Ax { literal: FoFormula::atom("P", vec!["y"]) }, vec![]).unwrap();
+        let ax = FoProof::by(
+            prem,
+            FoRule::Ax {
+                literal: FoFormula::atom("P", vec!["y"]),
+            },
+            vec![],
+        )
+        .unwrap();
         let proof = FoProof::by(seq, repl, vec![ax]).unwrap();
         assert!(check_fo_proof(&proof).is_ok());
     }

@@ -7,13 +7,15 @@
 //! There are no function symbols; individual constants are modelled by free
 //! variables, exactly as in the paper.
 
+use nrs_value::Name;
 use std::collections::BTreeSet;
 use std::fmt;
 
-/// A variable name.
-pub type Var = String;
-/// A predicate name.
-pub type Pred = String;
+/// A variable name — an interned [`Name`], so copies on the prover's hot
+/// path are word copies rather than `String` clones.
+pub type Var = Name;
+/// A predicate name (interned, like [`Var`]).
+pub type Pred = Name;
 
 /// A first-order formula in negation normal form.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -43,12 +45,12 @@ pub enum FoFormula {
 impl FoFormula {
     /// A positive atom.
     pub fn atom(p: impl Into<Pred>, args: Vec<&str>) -> FoFormula {
-        FoFormula::Atom(p.into(), args.into_iter().map(String::from).collect())
+        FoFormula::Atom(p.into(), args.into_iter().map(Name::from).collect())
     }
 
     /// A negated atom.
     pub fn neg_atom(p: impl Into<Pred>, args: Vec<&str>) -> FoFormula {
-        FoFormula::NegAtom(p.into(), args.into_iter().map(String::from).collect())
+        FoFormula::NegAtom(p.into(), args.into_iter().map(Name::from).collect())
     }
 
     /// Conjunction.
@@ -79,16 +81,16 @@ impl FoFormula {
     /// Negation by dualization (NNF is preserved).
     pub fn negate(&self) -> FoFormula {
         match self {
-            FoFormula::Atom(p, a) => FoFormula::NegAtom(p.clone(), a.clone()),
-            FoFormula::NegAtom(p, a) => FoFormula::Atom(p.clone(), a.clone()),
-            FoFormula::Eq(x, y) => FoFormula::Neq(x.clone(), y.clone()),
-            FoFormula::Neq(x, y) => FoFormula::Eq(x.clone(), y.clone()),
+            FoFormula::Atom(p, a) => FoFormula::NegAtom(*p, a.clone()),
+            FoFormula::NegAtom(p, a) => FoFormula::Atom(*p, a.clone()),
+            FoFormula::Eq(x, y) => FoFormula::Neq(*x, *y),
+            FoFormula::Neq(x, y) => FoFormula::Eq(*x, *y),
             FoFormula::True => FoFormula::False,
             FoFormula::False => FoFormula::True,
             FoFormula::And(a, b) => FoFormula::or(a.negate(), b.negate()),
             FoFormula::Or(a, b) => FoFormula::and(a.negate(), b.negate()),
-            FoFormula::Forall(x, body) => FoFormula::exists(x.clone(), body.negate()),
-            FoFormula::Exists(x, body) => FoFormula::forall(x.clone(), body.negate()),
+            FoFormula::Forall(x, body) => FoFormula::exists(*x, body.negate()),
+            FoFormula::Exists(x, body) => FoFormula::forall(*x, body.negate()),
         }
     }
 
@@ -115,14 +117,14 @@ impl FoFormula {
             FoFormula::Atom(_, args) | FoFormula::NegAtom(_, args) => {
                 for a in args {
                     if !bound.contains(a) {
-                        out.insert(a.clone());
+                        out.insert(*a);
                     }
                 }
             }
             FoFormula::Eq(x, y) | FoFormula::Neq(x, y) => {
                 for a in [x, y] {
                     if !bound.contains(a) {
-                        out.insert(a.clone());
+                        out.insert(*a);
                     }
                 }
             }
@@ -132,7 +134,7 @@ impl FoFormula {
                 b.collect_free(bound, out);
             }
             FoFormula::Forall(x, body) | FoFormula::Exists(x, body) => {
-                let newly = bound.insert(x.clone());
+                let newly = bound.insert(*x);
                 body.collect_free(bound, out);
                 if newly {
                     bound.remove(x);
@@ -146,24 +148,26 @@ impl FoFormula {
         let mut out = BTreeSet::new();
         match self {
             FoFormula::Atom(p, _) | FoFormula::NegAtom(p, _) => {
-                out.insert(p.clone());
+                out.insert(*p);
             }
             FoFormula::Eq(_, _) | FoFormula::Neq(_, _) | FoFormula::True | FoFormula::False => {}
             FoFormula::And(a, b) | FoFormula::Or(a, b) => {
                 out.extend(a.predicates());
                 out.extend(b.predicates());
             }
-            FoFormula::Forall(_, body) | FoFormula::Exists(_, body) => out.extend(body.predicates()),
+            FoFormula::Forall(_, body) | FoFormula::Exists(_, body) => {
+                out.extend(body.predicates())
+            }
         }
         out
     }
 
     /// Capture-avoiding substitution of a variable for a variable.
-    pub fn subst(&self, from: &str, to: &str) -> FoFormula {
-        let sub = |v: &Var| if v == from { to.to_string() } else { v.clone() };
+    pub fn subst(&self, from: &Var, to: &Var) -> FoFormula {
+        let sub = |v: &Var| if v == from { *to } else { *v };
         match self {
-            FoFormula::Atom(p, a) => FoFormula::Atom(p.clone(), a.iter().map(sub).collect()),
-            FoFormula::NegAtom(p, a) => FoFormula::NegAtom(p.clone(), a.iter().map(sub).collect()),
+            FoFormula::Atom(p, a) => FoFormula::Atom(*p, a.iter().map(sub).collect()),
+            FoFormula::NegAtom(p, a) => FoFormula::NegAtom(*p, a.iter().map(sub).collect()),
             FoFormula::Eq(x, y) => FoFormula::Eq(sub(x), sub(y)),
             FoFormula::Neq(x, y) => FoFormula::Neq(sub(x), sub(y)),
             FoFormula::True => FoFormula::True,
@@ -174,20 +178,20 @@ impl FoFormula {
             FoFormula::Exists(x, body) if x == from => self.clone_with_body(x, body),
             FoFormula::Forall(x, body) => {
                 if x == to {
-                    let fresh = format!("{x}'");
+                    let fresh = Name::new(format!("{x}'"));
                     let renamed = body.subst(x, &fresh);
                     FoFormula::forall(fresh, renamed.subst(from, to))
                 } else {
-                    FoFormula::forall(x.clone(), body.subst(from, to))
+                    FoFormula::forall(*x, body.subst(from, to))
                 }
             }
             FoFormula::Exists(x, body) => {
                 if x == to {
-                    let fresh = format!("{x}'");
+                    let fresh = Name::new(format!("{x}'"));
                     let renamed = body.subst(x, &fresh);
                     FoFormula::exists(fresh, renamed.subst(from, to))
                 } else {
-                    FoFormula::exists(x.clone(), body.subst(from, to))
+                    FoFormula::exists(*x, body.subst(from, to))
                 }
             }
         }
@@ -208,11 +212,15 @@ impl FoFormula {
     }
 }
 
+fn join_names(names: &[Name]) -> String {
+    names.iter().map(Name::as_str).collect::<Vec<_>>().join(",")
+}
+
 impl fmt::Display for FoFormula {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FoFormula::Atom(p, a) => write!(f, "{p}({})", a.join(",")),
-            FoFormula::NegAtom(p, a) => write!(f, "~{p}({})", a.join(",")),
+            FoFormula::Atom(p, a) => write!(f, "{p}({})", join_names(a)),
+            FoFormula::NegAtom(p, a) => write!(f, "~{p}({})", join_names(a)),
             FoFormula::Eq(x, y) => write!(f, "{x} = {y}"),
             FoFormula::Neq(x, y) => write!(f, "{x} != {y}"),
             FoFormula::True => write!(f, "T"),
@@ -231,21 +239,33 @@ mod tests {
 
     #[test]
     fn negation_is_involutive_and_dualizes() {
-        let f = FoFormula::forall("x", FoFormula::implies(FoFormula::atom("R", vec!["x", "c"]), FoFormula::atom("S", vec!["x"])));
+        let f = FoFormula::forall(
+            "x",
+            FoFormula::implies(
+                FoFormula::atom("R", vec!["x", "c"]),
+                FoFormula::atom("S", vec!["x"]),
+            ),
+        );
         assert_eq!(f.negate().negate(), f);
         assert!(matches!(f.negate(), FoFormula::Exists(_, _)));
-        assert_eq!(FoFormula::Eq("x".into(), "y".into()).negate(), FoFormula::Neq("x".into(), "y".into()));
+        assert_eq!(
+            FoFormula::Eq("x".into(), "y".into()).negate(),
+            FoFormula::Neq("x".into(), "y".into())
+        );
     }
 
     #[test]
     fn free_vars_and_predicates() {
         let f = FoFormula::forall(
             "x",
-            FoFormula::and(FoFormula::atom("R", vec!["x", "c"]), FoFormula::Eq("x".into(), "d".into())),
+            FoFormula::and(
+                FoFormula::atom("R", vec!["x", "c"]),
+                FoFormula::Eq("x".into(), "d".into()),
+            ),
         );
-        let fv: Vec<String> = f.free_vars().into_iter().collect();
-        assert_eq!(fv, vec!["c".to_string(), "d".to_string()]);
-        assert!(f.predicates().contains("R"));
+        let fv: Vec<&str> = f.free_vars().iter().map(Name::as_str).collect();
+        assert_eq!(fv, vec!["c", "d"]);
+        assert!(f.predicates().contains(&Name::new("R")));
         assert_eq!(f.predicates().len(), 1);
         assert!(f.size() > 3);
     }
@@ -254,17 +274,17 @@ mod tests {
     fn substitution_avoids_capture() {
         // (∃x. R(x, y))[y := x] must rename the binder
         let f = FoFormula::exists("x", FoFormula::atom("R", vec!["x", "y"]));
-        let s = f.subst("y", "x");
+        let s = f.subst(&Name::new("y"), &Name::new("x"));
         match s {
             FoFormula::Exists(v, body) => {
                 assert_ne!(v, "x");
-                assert_eq!(*body, FoFormula::Atom("R".into(), vec![v, "x".to_string()]));
+                assert_eq!(*body, FoFormula::Atom("R".into(), vec![v, Name::new("x")]));
             }
             other => panic!("unexpected {other}"),
         }
         // substituting a bound variable is a no-op
         let g = FoFormula::exists("x", FoFormula::atom("R", vec!["x"]));
-        assert_eq!(g.subst("x", "z"), g);
+        assert_eq!(g.subst(&Name::new("x"), &Name::new("z")), g);
     }
 
     #[test]

@@ -25,7 +25,9 @@ pub struct FoPartition {
 impl FoPartition {
     /// Build a partition from the left formulas.
     pub fn with_left(left: impl IntoIterator<Item = FoFormula>) -> Self {
-        FoPartition { left: left.into_iter().collect() }
+        FoPartition {
+            left: left.into_iter().collect(),
+        }
     }
 
     fn is_left(&self, f: &FoFormula) -> bool {
@@ -78,8 +80,10 @@ pub fn fo_interpolate(proof: &FoProof, partition: &FoPartition) -> Result<FoForm
 
 fn extract(proof: &FoProof, partition: &FoPartition) -> Result<FoFormula, FoError> {
     let seq = &proof.conclusion;
-    let premises =
-        proof.rule.premises(seq).map_err(|e| FoError::Interpolation(e.to_string()))?;
+    let premises = proof
+        .rule
+        .premises(seq)
+        .map_err(|e| FoError::Interpolation(e.to_string()))?;
     match &proof.rule {
         FoRule::Top => Ok(side_constant(partition.is_left(&FoFormula::True))),
         FoRule::Ax { literal } => {
@@ -113,7 +117,7 @@ fn extract(proof: &FoProof, partition: &FoPartition) -> Result<FoFormula, FoErro
             let p0 = partition.premise(seq, &proof.rule, &premises[0]);
             let inner = extract(&proof.premises[0], &p0)?;
             let (t, u) = match ineq {
-                FoFormula::Neq(t, u) => (t.clone(), u.clone()),
+                FoFormula::Neq(t, u) => (*t, *u),
                 _ => unreachable!("checked by premises()"),
             };
             if partition.is_left(ineq) == partition.is_left(literal) {
@@ -140,9 +144,9 @@ fn extract(proof: &FoProof, partition: &FoPartition) -> Result<FoFormula, FoErro
             // generalize the witness away: ∀ if the existential is on the left,
             // ∃ if it is on the right (the Lemma 11 analogue for plain FO).
             Ok(if partition.is_left(quant) {
-                FoFormula::forall(witness.clone(), inner)
+                FoFormula::forall(*witness, inner)
             } else {
-                FoFormula::exists(witness.clone(), inner)
+                FoFormula::exists(*witness, inner)
             })
         }
     }
@@ -186,25 +190,41 @@ mod tests {
         right_assumptions: &[FoFormula],
         goal: &FoFormula,
     ) -> FoFormula {
-        let assumptions: Vec<FoFormula> =
-            left_assumptions.iter().chain(right_assumptions.iter()).cloned().collect();
-        let proof = fo_prove(&assumptions, std::slice::from_ref(goal), &FoProverConfig::default())
-            .expect("provable");
-        let partition =
-            FoPartition::with_left(left_assumptions.iter().map(FoFormula::negate));
+        let assumptions: Vec<FoFormula> = left_assumptions
+            .iter()
+            .chain(right_assumptions.iter())
+            .cloned()
+            .collect();
+        let proof = fo_prove(
+            &assumptions,
+            std::slice::from_ref(goal),
+            &FoProverConfig::default(),
+        )
+        .expect("provable");
+        let partition = FoPartition::with_left(left_assumptions.iter().map(FoFormula::negate));
         fo_interpolate(&proof, &partition).expect("interpolant")
     }
 
     #[test]
     fn propositional_interpolants_use_shared_predicates_only() {
         // Left: R(c) → S(c); Right: S(c) → T(c); goal: R(c) → T(c)
-        let l = FoFormula::implies(FoFormula::atom("R", vec!["c"]), FoFormula::atom("S", vec!["c"]));
-        let r = FoFormula::implies(FoFormula::atom("S", vec!["c"]), FoFormula::atom("T", vec!["c"]));
-        let goal =
-            FoFormula::implies(FoFormula::atom("R", vec!["c"]), FoFormula::atom("T", vec!["c"]));
+        let l = FoFormula::implies(
+            FoFormula::atom("R", vec!["c"]),
+            FoFormula::atom("S", vec!["c"]),
+        );
+        let r = FoFormula::implies(
+            FoFormula::atom("S", vec!["c"]),
+            FoFormula::atom("T", vec!["c"]),
+        );
+        let goal = FoFormula::implies(
+            FoFormula::atom("R", vec!["c"]),
+            FoFormula::atom("T", vec!["c"]),
+        );
         let theta = interpolate_entailment(&[l], &[r, goal.negate()], &goal);
         // shared predicate: only S (plus the goal side shares R, T with…)
-        assert!(theta.predicates().is_subset(&["R", "S", "T"].iter().map(|s| s.to_string()).collect()));
+        assert!(theta
+            .predicates()
+            .is_subset(&["R", "S", "T"].iter().map(|s| Var::from(*s)).collect()));
         // θ must not mention predicates absent from the left side
         for p in theta.predicates() {
             assert_ne!(p, "T", "interpolant may not mention a right-only predicate");
@@ -216,19 +236,25 @@ mod tests {
         // Left: ∀x (R(x) → S(x)) and R(c); Right: ∀x (S(x) → T(x)); goal ∃y T(y)
         let l1 = FoFormula::forall(
             "x",
-            FoFormula::implies(FoFormula::atom("R", vec!["x"]), FoFormula::atom("S", vec!["x"])),
+            FoFormula::implies(
+                FoFormula::atom("R", vec!["x"]),
+                FoFormula::atom("S", vec!["x"]),
+            ),
         );
         let l2 = FoFormula::atom("R", vec!["c"]);
         let r = FoFormula::forall(
             "x",
-            FoFormula::implies(FoFormula::atom("S", vec!["x"]), FoFormula::atom("T", vec!["x"])),
+            FoFormula::implies(
+                FoFormula::atom("S", vec!["x"]),
+                FoFormula::atom("T", vec!["x"]),
+            ),
         );
         let goal = FoFormula::exists("y", FoFormula::atom("T", vec!["y"]));
         let theta = interpolate_entailment(&[l1, l2], &[r], &goal);
         for p in theta.predicates() {
             assert!(p == "S" || p == "R", "unexpected predicate {p} in {theta}");
         }
-        assert!(!theta.predicates().contains("T"));
+        assert!(!theta.predicates().contains(&Var::from("T")));
     }
 
     #[test]
@@ -240,6 +266,8 @@ mod tests {
             &FoFormula::atom("P", vec!["y"]),
         );
         // the interpolant may mention x, y (common via the goal / assumptions)
-        assert!(theta.free_vars().is_subset(&["x".to_string(), "y".to_string()].into_iter().collect()));
+        assert!(theta
+            .free_vars()
+            .is_subset(&["x".into(), "y".into()].into_iter().collect()));
     }
 }

@@ -7,7 +7,7 @@
 //! whole search is iterated over an increasing instantiation allowance.
 
 use crate::calculus::{FoProof, FoRule, FoSequent};
-use crate::formula::FoFormula;
+use crate::formula::{FoFormula, Var};
 use crate::FoError;
 use std::collections::{BTreeSet, HashMap};
 
@@ -24,7 +24,11 @@ pub struct FoProverConfig {
 
 impl Default for FoProverConfig {
     fn default() -> Self {
-        FoProverConfig { max_instantiations: 12, max_rewrites: 24, max_states: 200_000 }
+        FoProverConfig {
+            max_instantiations: 12,
+            max_rewrites: 24,
+            max_states: 200_000,
+        }
     }
 }
 
@@ -43,14 +47,22 @@ pub fn fo_prove(
     cfg: &FoProverConfig,
 ) -> Result<FoProof, FoError> {
     let seq = FoSequent::new(
-        assumptions.iter().map(FoFormula::negate).chain(goals.iter().cloned()),
+        assumptions
+            .iter()
+            .map(FoFormula::negate)
+            .chain(goals.iter().cloned()),
     );
     fo_prove_sequent(&seq, cfg)
 }
 
 /// Prove a one-sided sequent.
 pub fn fo_prove_sequent(seq: &FoSequent, cfg: &FoProverConfig) -> Result<FoProof, FoError> {
-    let mut st = St { cfg: cfg.clone(), visited: 0, fresh: 0, failed: HashMap::new() };
+    let mut st = St {
+        cfg: cfg.clone(),
+        visited: 0,
+        fresh: 0,
+        failed: HashMap::new(),
+    };
     for budget in 0..=cfg.max_instantiations {
         if let Some(p) = attempt(seq, budget, 0, &mut st) {
             return Ok(p);
@@ -76,7 +88,7 @@ fn find_axiom(seq: &FoSequent) -> Option<FoRule> {
         if let FoFormula::Eq(x, y) = f {
             if x == y {
                 // close via Ref + Ax
-                return Some(FoRule::Ref { var: x.clone() });
+                return Some(FoRule::Ref { var: *x });
             }
         }
     }
@@ -102,7 +114,12 @@ fn attempt(seq: &FoSequent, budget: usize, rewrites: usize, st: &mut St) -> Opti
     if let Some(f) = seq
         .formulas()
         .iter()
-        .find(|f| matches!(f, FoFormula::And(_, _) | FoFormula::Or(_, _) | FoFormula::Forall(_, _)))
+        .find(|f| {
+            matches!(
+                f,
+                FoFormula::And(_, _) | FoFormula::Or(_, _) | FoFormula::Forall(_, _)
+            )
+        })
         .cloned()
     {
         let rule = match &f {
@@ -110,7 +127,10 @@ fn attempt(seq: &FoSequent, budget: usize, rewrites: usize, st: &mut St) -> Opti
             FoFormula::Or(_, _) => FoRule::Or { disj: f.clone() },
             FoFormula::Forall(_, _) => {
                 st.fresh += 1;
-                FoRule::Forall { quant: f.clone(), witness: format!("w#{}", st.fresh) }
+                FoRule::Forall {
+                    quant: f.clone(),
+                    witness: Var::new(format!("w#{}", st.fresh)),
+                }
             }
             _ => unreachable!(),
         };
@@ -130,7 +150,7 @@ fn attempt(seq: &FoSequent, budget: usize, rewrites: usize, st: &mut St) -> Opti
     if rewrites < st.cfg.max_rewrites {
         for ineq in seq.formulas() {
             let (t, u) = match ineq {
-                FoFormula::Neq(t, u) if t != u => (t.clone(), u.clone()),
+                FoFormula::Neq(t, u) if t != u => (*t, *u),
                 _ => continue,
             };
             for lit in seq.formulas() {
@@ -158,15 +178,20 @@ fn attempt(seq: &FoSequent, budget: usize, rewrites: usize, st: &mut St) -> Opti
     }
     // existential instantiations (the only true choice points)
     if budget > 0 {
-        let vars: BTreeSet<String> = seq.free_vars();
+        let vars: BTreeSet<Var> = seq.free_vars();
         for quant in seq.formulas() {
-            let FoFormula::Exists(x, body) = quant else { continue };
+            let FoFormula::Exists(x, body) = quant else {
+                continue;
+            };
             for v in &vars {
                 let inst = body.subst(x, v);
                 if seq.contains(&inst) {
                     continue;
                 }
-                let rule = FoRule::Exists { quant: quant.clone(), witness: v.clone() };
+                let rule = FoRule::Exists {
+                    quant: quant.clone(),
+                    witness: *v,
+                };
                 if let Ok(prems) = rule.premises(seq) {
                     if let Some(sub) = attempt(&prems[0], budget - 1, rewrites, st) {
                         return FoProof::by(seq.clone(), rule, vec![sub]).ok();
@@ -189,12 +214,19 @@ mod tests {
     fn propositional_and_equality_reasoning() {
         let p = FoFormula::atom("P", vec!["c"]);
         // ⊢ P(c) ∨ ¬P(c)
-        let proof =
-            fo_prove(&[], &[FoFormula::or(p.clone(), p.negate())], &FoProverConfig::default()).unwrap();
+        let proof = fo_prove(
+            &[],
+            &[FoFormula::or(p.clone(), p.negate())],
+            &FoProverConfig::default(),
+        )
+        .unwrap();
         assert!(check_fo_proof(&proof).is_ok());
         // x = y, P(x) ⊢ P(y)
         let proof = fo_prove(
-            &[FoFormula::Eq("x".into(), "y".into()), FoFormula::atom("P", vec!["x"])],
+            &[
+                FoFormula::Eq("x".into(), "y".into()),
+                FoFormula::atom("P", vec!["x"]),
+            ],
             &[FoFormula::atom("P", vec!["y"])],
             &FoProverConfig::default(),
         )
@@ -209,7 +241,10 @@ mod tests {
         // ∀x (R(x) → S(x)), R(c) ⊢ S(c)
         let all = FoFormula::forall(
             "x",
-            FoFormula::implies(FoFormula::atom("R", vec!["x"]), FoFormula::atom("S", vec!["x"])),
+            FoFormula::implies(
+                FoFormula::atom("R", vec!["x"]),
+                FoFormula::atom("S", vec!["x"]),
+            ),
         );
         let proof = fo_prove(
             &[all.clone(), FoFormula::atom("R", vec!["c"])],
@@ -221,7 +256,10 @@ mod tests {
         // ∀x (R(x) → S(x)), ∀x (S(x) → T(x)), R(c) ⊢ ∃y T(y)
         let all2 = FoFormula::forall(
             "x",
-            FoFormula::implies(FoFormula::atom("S", vec!["x"]), FoFormula::atom("T", vec!["x"])),
+            FoFormula::implies(
+                FoFormula::atom("S", vec!["x"]),
+                FoFormula::atom("T", vec!["x"]),
+            ),
         );
         let goal = FoFormula::exists("y", FoFormula::atom("T", vec!["y"]));
         let proof = fo_prove(
@@ -241,11 +279,20 @@ mod tests {
         let v_def = FoFormula::forall(
             "x",
             FoFormula::and(
-                FoFormula::implies(FoFormula::atom("V", vec!["x"]), FoFormula::atom("R", vec!["x"])),
-                FoFormula::implies(FoFormula::atom("R", vec!["x"]), FoFormula::atom("V", vec!["x"])),
+                FoFormula::implies(
+                    FoFormula::atom("V", vec!["x"]),
+                    FoFormula::atom("R", vec!["x"]),
+                ),
+                FoFormula::implies(
+                    FoFormula::atom("R", vec!["x"]),
+                    FoFormula::atom("V", vec!["x"]),
+                ),
             ),
         );
-        let goal = FoFormula::implies(FoFormula::atom("R", vec!["c"]), FoFormula::atom("V", vec!["c"]));
+        let goal = FoFormula::implies(
+            FoFormula::atom("R", vec!["c"]),
+            FoFormula::atom("V", vec!["c"]),
+        );
         let proof = fo_prove(&[v_def], &[goal], &FoProverConfig::default()).unwrap();
         assert!(check_fo_proof(&proof).is_ok());
     }

@@ -136,23 +136,37 @@ impl Partition {
     /// The variables common to the two parts of `seq` — the vocabulary an
     /// interpolant is allowed to use.
     pub fn common_vars(&self, seq: &Sequent) -> BTreeSet<Name> {
-        self.left_vars(seq).intersection(&self.right_vars(seq)).cloned().collect()
+        self.left_vars(seq)
+            .intersection(&self.right_vars(seq))
+            .cloned()
+            .collect()
     }
 
     /// The left formulas of `seq`, in order.
     pub fn left_of<'a>(&self, seq: &'a Sequent) -> Vec<&'a Formula> {
-        seq.rhs().iter().filter(|f| self.formula_side(f) == Side::Left).collect()
+        seq.rhs()
+            .iter()
+            .filter(|f| self.formula_side(f) == Side::Left)
+            .collect()
     }
 
     /// The right formulas of `seq`, in order.
     pub fn right_of<'a>(&self, seq: &'a Sequent) -> Vec<&'a Formula> {
-        seq.rhs().iter().filter(|f| self.formula_side(f) == Side::Right).collect()
+        seq.rhs()
+            .iter()
+            .filter(|f| self.formula_side(f) == Side::Right)
+            .collect()
     }
 
     /// Derive the partition for the `idx`-th premise of a rule applied to
     /// `conclusion` under this partition: existing items keep their side, new
     /// items inherit the side of the rule's principal formula.
-    pub fn premise_partition(&self, conclusion: &Sequent, rule: &Rule, premise: &Sequent) -> Partition {
+    pub fn premise_partition(
+        &self,
+        conclusion: &Sequent,
+        rule: &Rule,
+        premise: &Sequent,
+    ) -> Partition {
         let principal_side = match rule {
             Rule::EqRefl { .. } | Rule::Top => None,
             Rule::Neq { atom, .. } => Some(self.formula_side(atom)),
@@ -169,8 +183,8 @@ impl Partition {
         match rule {
             Rule::ProdEta { var, fst, snd } => {
                 let pair = nrs_delta0::Term::pair(
-                    nrs_delta0::Term::Var(fst.clone()),
-                    nrs_delta0::Term::Var(snd.clone()),
+                    nrs_delta0::Term::Var(*fst),
+                    nrs_delta0::Term::Var(*snd),
                 );
                 for a in conclusion.ctx.iter() {
                     out.assign_atom(a.subst_var(var, &pair), self.atom_side(a));
@@ -181,16 +195,15 @@ impl Partition {
             }
             Rule::ProdBeta { fst, snd, first } => {
                 let pair = nrs_delta0::Term::pair(
-                    nrs_delta0::Term::Var(fst.clone()),
-                    nrs_delta0::Term::Var(snd.clone()),
+                    nrs_delta0::Term::Var(*fst),
+                    nrs_delta0::Term::Var(*snd),
                 );
                 let redex = if *first {
                     nrs_delta0::Term::proj1(pair)
                 } else {
                     nrs_delta0::Term::proj2(pair)
                 };
-                let reduct =
-                    nrs_delta0::Term::Var(if *first { fst.clone() } else { snd.clone() });
+                let reduct = nrs_delta0::Term::Var(if *first { *fst } else { *snd });
                 for a in conclusion.ctx.iter() {
                     out.assign_atom(a.replace_term(&redex, &reduct), self.atom_side(a));
                 }
@@ -246,7 +259,11 @@ mod tests {
         assert_eq!(p.formula_side(&f_l), Side::Left);
         assert_eq!(p.formula_side(&f_r), Side::Right);
         assert_eq!(Side::Left.flip(), Side::Right);
-        let common: Vec<String> = p.common_vars(&seq).into_iter().map(|n| n.0).collect();
+        let common: Vec<String> = p
+            .common_vars(&seq)
+            .into_iter()
+            .map(|n| n.as_str().to_owned())
+            .collect();
         assert_eq!(common, vec!["c".to_string()]);
         assert_eq!(p.left_of(&seq).len(), 1);
         assert_eq!(p.right_of(&seq).len(), 1);
@@ -269,7 +286,10 @@ mod tests {
         let quant = Formula::forall("z", "S", Formula::eq_ur("z", "z"));
         let seq2 = Sequent::goals([quant.clone(), conj.clone()]);
         let p2 = Partition::with_left([], [conj.clone()]);
-        let rule2 = Rule::Forall { quant: quant.clone(), witness: Name::new("w#1") };
+        let rule2 = Rule::Forall {
+            quant: quant.clone(),
+            witness: Name::new("w#1"),
+        };
         let prem2 = rule2.premises(&seq2).unwrap().remove(0);
         let pp = p2.premise_partition(&seq2, &rule2, &prem2);
         assert_eq!(pp.atom_side(&MemAtom::new("w#1", "S")), Side::Right);

@@ -21,9 +21,14 @@ impl std::fmt::Display for InterpolationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             InterpolationError::UnboundedVariable(m) => {
-                write!(f, "interpolation: cannot eliminate non-common variable: {m}")
+                write!(
+                    f,
+                    "interpolation: cannot eliminate non-common variable: {m}"
+                )
             }
-            InterpolationError::MalformedProof(m) => write!(f, "interpolation: malformed proof: {m}"),
+            InterpolationError::MalformedProof(m) => {
+                write!(f, "interpolation: malformed proof: {m}")
+            }
         }
     }
 }
@@ -81,10 +86,14 @@ fn extract(proof: &Proof, partition: &Partition) -> Result<Formula, Interpolatio
             let inner = extract(&proof.premises[0], &p0)?;
             // rewrite the fresh components back to projections of the original
             Ok(inner
-                .replace_term(&Term::Var(fst.clone()), &Term::proj1(Term::Var(var.clone())))
-                .replace_term(&Term::Var(snd.clone()), &Term::proj2(Term::Var(var.clone()))))
+                .replace_term(&Term::Var(*fst), &Term::proj1(Term::Var(*var)))
+                .replace_term(&Term::Var(*snd), &Term::proj2(Term::Var(*var))))
         }
-        Rule::Neq { ineq, atom, rewritten: _ } => {
+        Rule::Neq {
+            ineq,
+            atom,
+            rewritten: _,
+        } => {
             let premises = rule_premises(proof)?;
             let p0 = partition.premise_partition(seq, &proof.rule, &premises[0]);
             let inner = extract(&proof.premises[0], &p0)?;
@@ -151,8 +160,11 @@ fn repair_variables(
     let common = partition.common_vars(seq);
     // iterate: wrapping may expose bound terms whose variables need treatment too
     for _ in 0..64 {
-        let offending: BTreeSet<_> =
-            theta.free_vars().into_iter().filter(|v| !common.contains(v)).collect();
+        let offending: BTreeSet<_> = theta
+            .free_vars()
+            .into_iter()
+            .filter(|v| !common.contains(v))
+            .collect();
         let Some(var) = offending.into_iter().next() else {
             return Ok(theta);
         };
@@ -160,12 +172,12 @@ fn repair_variables(
         let atom = seq
             .ctx
             .iter()
-            .find(|a| a.elem == Term::Var(var.clone()))
+            .find(|a| a.elem == Term::Var(var))
             .cloned()
             .ok_or_else(|| InterpolationError::UnboundedVariable(format!("{var}")))?;
         theta = match quant_side {
-            Side::Left => Formula::forall(var.clone(), atom.set.clone(), theta),
-            Side::Right => Formula::exists(var.clone(), atom.set.clone(), theta),
+            Side::Left => Formula::forall(var, atom.set.clone(), theta),
+            Side::Right => Formula::exists(var, atom.set.clone(), theta),
         };
     }
     Err(InterpolationError::UnboundedVariable(
@@ -204,31 +216,38 @@ mod tests {
     use nrs_value::{Name, NameGen, Type};
 
     /// Check the two interpolation invariants semantically over a small universe.
-    fn check_interpolant(
-        seq: &Sequent,
-        partition: &Partition,
-        theta: &Formula,
-        env: &TypeEnv,
-    ) {
+    fn check_interpolant(seq: &Sequent, partition: &Partition, theta: &Formula, env: &TypeEnv) {
         // variable condition
         let common = partition.common_vars(seq);
         for v in theta.free_vars() {
-            assert!(common.contains(&v), "interpolant variable {v} is not common");
+            assert!(
+                common.contains(&v),
+                "interpolant variable {v} is not common"
+            );
         }
-        let cfg = BoundedCheck { universe: 2, max_models: 2_000_000 };
+        let cfg = BoundedCheck {
+            universe: 2,
+            max_models: 2_000_000,
+        };
         // left: Θ_L ⊨ Δ_L ∨ θ
-        let left_ctx: InContext =
-            seq.ctx.iter().filter(|a| partition.atom_side(a) == Side::Left).cloned().collect();
-        let mut left_goals: Vec<Formula> =
-            partition.left_of(seq).into_iter().cloned().collect();
+        let left_ctx: InContext = seq
+            .ctx
+            .iter()
+            .filter(|a| partition.atom_side(a) == Side::Left)
+            .cloned()
+            .collect();
+        let mut left_goals: Vec<Formula> = partition.left_of(seq).into_iter().cloned().collect();
         left_goals.push(theta.clone());
         let out = check_sequent_bounded(&left_ctx, &[], &left_goals, env, &cfg).unwrap();
         assert_eq!(out, CheckOutcome::Valid, "left invariant fails");
         // right: Θ_R ⊨ Δ_R ∨ ¬θ
-        let right_ctx: InContext =
-            seq.ctx.iter().filter(|a| partition.atom_side(a) == Side::Right).cloned().collect();
-        let mut right_goals: Vec<Formula> =
-            partition.right_of(seq).into_iter().cloned().collect();
+        let right_ctx: InContext = seq
+            .ctx
+            .iter()
+            .filter(|a| partition.atom_side(a) == Side::Right)
+            .cloned()
+            .collect();
+        let mut right_goals: Vec<Formula> = partition.right_of(seq).into_iter().cloned().collect();
         right_goals.push(theta.negate());
         let out = check_sequent_bounded(&right_ctx, &[], &right_goals, env, &cfg).unwrap();
         assert_eq!(out, CheckOutcome::Valid, "right invariant fails");
@@ -276,11 +295,7 @@ mod tests {
         let sv = d0::subset(&Type::Ur, &Term::var("S"), &Term::var("V"), &mut gen);
         let vw = d0::subset(&Type::Ur, &Term::var("V"), &Term::var("W"), &mut gen);
         let sw = d0::subset(&Type::Ur, &Term::var("S"), &Term::var("W"), &mut gen);
-        let seq = Sequent::two_sided(
-            InContext::new(),
-            [sv.clone(), vw.clone()],
-            [sw.clone()],
-        );
+        let seq = Sequent::two_sided(InContext::new(), [sv.clone(), vw.clone()], [sw.clone()]);
         let (proof, _) = prove_sequent(&seq, &ProverConfig::default()).unwrap();
         // left part: the first assumption (negated in the one-sided encoding)
         let partition = Partition::with_left([], [sv.negate()]);
@@ -352,12 +367,13 @@ mod tests {
             let seq = Sequent::two_sided(InContext::new(), assumptions.clone(), [goal]);
             let (proof, _) = prove_sequent(&seq, &ProverConfig::default()).unwrap();
             // split the chain in the middle
-            let partition = Partition::with_left(
-                [],
-                assumptions[..n / 2].iter().map(|f| f.negate()),
-            );
+            let partition =
+                Partition::with_left([], assumptions[..n / 2].iter().map(|f| f.negate()));
             let theta = interpolate(&proof, &partition).unwrap();
-            assert!(theta.size() <= 4 * proof.size(), "interpolant disproportionately large");
+            assert!(
+                theta.size() <= 4 * proof.size(),
+                "interpolant disproportionately large"
+            );
             let _ = &mut gen;
         }
     }

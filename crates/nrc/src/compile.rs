@@ -17,7 +17,7 @@ use nrs_value::{NameGen, Type};
 /// Compile a Δ0 term into the corresponding NRC expression.
 pub fn compile_term(term: &Term) -> Expr {
     match term {
-        Term::Var(n) => Expr::Var(n.clone()),
+        Term::Var(n) => Expr::Var(*n),
         Term::Unit => Expr::Unit,
         Term::Pair(a, b) => Expr::pair(compile_term(a), compile_term(b)),
         Term::Proj1(t) => Expr::proj1(compile_term(t)),
@@ -51,15 +51,15 @@ pub fn compile_formula(
         }
         Formula::Forall { var, bound, body } => {
             let elem_ty = bound_elem_type(bound, env)?;
-            let inner_env = env.with(var.clone(), elem_ty);
+            let inner_env = env.with(*var, elem_ty);
             let body_e = compile_formula(body, &inner_env, gen)?;
-            macros::forall_in(var.clone(), compile_term(bound), body_e)
+            macros::forall_in(*var, compile_term(bound), body_e)
         }
         Formula::Exists { var, bound, body } => {
             let elem_ty = bound_elem_type(bound, env)?;
-            let inner_env = env.with(var.clone(), elem_ty);
+            let inner_env = env.with(*var, elem_ty);
             let body_e = compile_formula(body, &inner_env, gen)?;
-            macros::exists_in(var.clone(), compile_term(bound), body_e)
+            macros::exists_in(*var, compile_term(bound), body_e)
         }
         Formula::Mem(t, u) => {
             let elem_ty = bound_elem_type(u, env)?;
@@ -67,7 +67,12 @@ pub fn compile_formula(
         }
         Formula::NotMem(t, u) => {
             let elem_ty = bound_elem_type(u, env)?;
-            macros::not(macros::member(&elem_ty, compile_term(t), compile_term(u), gen))
+            macros::not(macros::member(
+                &elem_ty,
+                compile_term(t),
+                compile_term(u),
+                gen,
+            ))
         }
     })
 }
@@ -85,10 +90,10 @@ pub fn comprehension(
     gen: &mut NameGen,
 ) -> Result<Expr, NrcError> {
     let var = var.into();
-    let inner_env = env.with(var.clone(), over_elem_ty.clone());
+    let inner_env = env.with(var, over_elem_ty.clone());
     let cond = compile_formula(filter, &inner_env, gen)?;
     Ok(Expr::big_union(
-        var.clone(),
+        var,
         over,
         macros::guard(cond, Expr::singleton(Expr::Var(var)), gen),
     ))
@@ -114,7 +119,10 @@ mod tests {
 
     fn flatten_env() -> TypeEnv {
         TypeEnv::from_pairs([
-            (Name::new("B"), Type::set(Type::prod(Type::Ur, Type::set(Type::Ur)))),
+            (
+                Name::new("B"),
+                Type::set(Type::prod(Type::Ur, Type::set(Type::Ur))),
+            ),
             (Name::new("V"), Type::relation(2)),
         ])
     }
@@ -182,7 +190,10 @@ mod tests {
         let env = flatten_env();
         // V contains a pair with no justification in B
         let inst = Instance::from_bindings([
-            (Name::new("B"), Value::set([Value::pair(Value::atom(1), Value::set([Value::atom(2)]))])),
+            (
+                Name::new("B"),
+                Value::set([Value::pair(Value::atom(1), Value::set([Value::atom(2)]))]),
+            ),
             (
                 Name::new("V"),
                 Value::set([
@@ -261,9 +272,19 @@ mod tests {
         let schema_ty = Type::set(Type::prod(Type::Ur, Type::set(Type::Ur)));
         let rel_ty = Type::relation(2);
         for seed in 0..10u64 {
-            let cfg = GenConfig { universe: 4, max_set_size: 3, seed };
+            let cfg = GenConfig {
+                universe: 4,
+                max_set_size: 3,
+                seed,
+            };
             let b = nrs_value::generate::random_value(&schema_ty, &cfg);
-            let v = nrs_value::generate::random_value(&rel_ty, &GenConfig { seed: seed + 100, ..cfg });
+            let v = nrs_value::generate::random_value(
+                &rel_ty,
+                &GenConfig {
+                    seed: seed + 100,
+                    ..cfg
+                },
+            );
             let inst = Instance::from_bindings([(Name::new("B"), b), (Name::new("V"), v)]);
             for f in [c1(), c2()] {
                 let mut gen = NameGen::new();

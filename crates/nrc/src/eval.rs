@@ -13,23 +13,27 @@ use std::collections::BTreeSet;
 /// member of a singleton and a default value of type `T` otherwise.
 pub fn eval(expr: &Expr, env: &Instance) -> Result<Value, NrcError> {
     match expr {
-        Expr::Var(n) => {
-            env.try_get(n).cloned().ok_or_else(|| NrcError::UnboundVariable(n.clone()))
-        }
+        Expr::Var(n) => env.try_get(n).cloned().ok_or(NrcError::UnboundVariable(*n)),
         Expr::Unit => Ok(Value::Unit),
         Expr::Pair(a, b) => Ok(Value::pair(eval(a, env)?, eval(b, env)?)),
         Expr::Proj1(e) => {
             let v = eval(e, env)?;
-            v.proj1().cloned().map_err(|_| NrcError::Stuck(format!("p1 of {v}")))
+            v.proj1()
+                .cloned()
+                .map_err(|_| NrcError::Stuck(format!("p1 of {v}")))
         }
         Expr::Proj2(e) => {
             let v = eval(e, env)?;
-            v.proj2().cloned().map_err(|_| NrcError::Stuck(format!("p2 of {v}")))
+            v.proj2()
+                .cloned()
+                .map_err(|_| NrcError::Stuck(format!("p2 of {v}")))
         }
         Expr::Singleton(e) => Ok(Value::set([eval(e, env)?])),
         Expr::Get { ty, arg } => {
             let v = eval(arg, env)?;
-            let set = v.as_set().map_err(|_| NrcError::Stuck(format!("get of non-set {v}")))?;
+            let set = v
+                .as_set()
+                .map_err(|_| NrcError::Stuck(format!("get of non-set {v}")))?;
             if set.len() == 1 {
                 Ok(set.iter().next().cloned().expect("nonempty"))
             } else {
@@ -43,11 +47,11 @@ pub fn eval(expr: &Expr, env: &Instance) -> Result<Value, NrcError> {
                 .map_err(|_| NrcError::Stuck(format!("binding union over non-set {over_v}")))?;
             let mut out: BTreeSet<Value> = BTreeSet::new();
             for m in members {
-                let inner_env = env.with(var.clone(), m.clone());
+                let inner_env = env.with(*var, m.clone());
                 let body_v = eval(body, &inner_env)?;
-                let body_set = body_v
-                    .as_set()
-                    .map_err(|_| NrcError::Stuck(format!("binding union body produced non-set {body_v}")))?;
+                let body_set = body_v.as_set().map_err(|_| {
+                    NrcError::Stuck(format!("binding union body produced non-set {body_v}"))
+                })?;
                 out.extend(body_set.iter().cloned());
             }
             Ok(Value::Set(out))
@@ -61,7 +65,8 @@ pub fn eval(expr: &Expr, env: &Instance) -> Result<Value, NrcError> {
         Expr::Diff(a, b) => {
             let va = eval(a, env)?;
             let vb = eval(b, env)?;
-            va.difference(&vb).map_err(|e| NrcError::Stuck(e.to_string()))
+            va.difference(&vb)
+                .map_err(|e| NrcError::Stuck(e.to_string()))
         }
     }
 }
@@ -77,7 +82,9 @@ pub fn eval_typed(
     if v.has_type(expected) {
         Ok(v)
     } else {
-        Err(NrcError::IllTyped(format!("result {v} does not have expected type {expected}")))
+        Err(NrcError::IllTyped(format!(
+            "result {v} does not have expected type {expected}"
+        )))
     }
 }
 
@@ -143,10 +150,16 @@ mod tests {
     fn get_returns_unique_element_or_default() {
         let inst = Instance::from_bindings([
             (Name::new("s1"), Value::set([Value::atom(7)])),
-            (Name::new("s2"), Value::set([Value::atom(7), Value::atom(8)])),
+            (
+                Name::new("s2"),
+                Value::set([Value::atom(7), Value::atom(8)]),
+            ),
             (Name::new("s0"), Value::empty_set()),
         ]);
-        assert_eq!(eval(&Expr::get(Type::Ur, Expr::var("s1")), &inst).unwrap(), Value::atom(7));
+        assert_eq!(
+            eval(&Expr::get(Type::Ur, Expr::var("s1")), &inst).unwrap(),
+            Value::atom(7)
+        );
         assert_eq!(
             eval(&Expr::get(Type::Ur, Expr::var("s2")), &inst).unwrap(),
             Value::default_of(&Type::Ur)
@@ -171,7 +184,10 @@ mod tests {
             eval(&Expr::diff(Expr::var("a"), Expr::var("b")), &inst).unwrap(),
             Value::set([Value::atom(1)])
         );
-        assert_eq!(eval(&Expr::empty(Type::Ur), &inst).unwrap(), Value::empty_set());
+        assert_eq!(
+            eval(&Expr::empty(Type::Ur), &inst).unwrap(),
+            Value::empty_set()
+        );
         assert_eq!(
             eval(&Expr::union(Expr::var("a"), Expr::empty(Type::Ur)), &inst).unwrap(),
             Value::set([Value::atom(1), Value::atom(2)])
@@ -181,10 +197,19 @@ mod tests {
     #[test]
     fn evaluation_errors_on_ill_typed_input() {
         let inst = Instance::from_bindings([(Name::new("x"), Value::atom(1))]);
-        assert!(matches!(eval(&Expr::var("missing"), &inst), Err(NrcError::UnboundVariable(_))));
-        assert!(matches!(eval(&Expr::proj1(Expr::var("x")), &inst), Err(NrcError::Stuck(_))));
         assert!(matches!(
-            eval(&Expr::big_union("y", Expr::var("x"), Expr::singleton(Expr::var("y"))), &inst),
+            eval(&Expr::var("missing"), &inst),
+            Err(NrcError::UnboundVariable(_))
+        ));
+        assert!(matches!(
+            eval(&Expr::proj1(Expr::var("x")), &inst),
+            Err(NrcError::Stuck(_))
+        ));
+        assert!(matches!(
+            eval(
+                &Expr::big_union("y", Expr::var("x"), Expr::singleton(Expr::var("y"))),
+                &inst
+            ),
             Err(NrcError::Stuck(_))
         ));
         assert!(matches!(

@@ -79,12 +79,19 @@ impl Expr {
 
     /// `get_T`.
     pub fn get(ty: Type, e: Expr) -> Expr {
-        Expr::Get { ty, arg: Box::new(e) }
+        Expr::Get {
+            ty,
+            arg: Box::new(e),
+        }
     }
 
     /// Binding union `⋃{ body | var ∈ over }`.
     pub fn big_union(var: impl Into<Name>, over: Expr, body: Expr) -> Expr {
-        Expr::BigUnion { var: var.into(), over: Box::new(over), body: Box::new(body) }
+        Expr::BigUnion {
+            var: var.into(),
+            over: Box::new(over),
+            body: Box::new(body),
+        }
     }
 
     /// The empty set with element type `ty`.
@@ -105,7 +112,9 @@ impl Expr {
     /// A right-nested tuple expression.
     pub fn tuple(parts: Vec<Expr>) -> Expr {
         let mut it = parts.into_iter().rev();
-        let last = it.next().expect("Expr::tuple requires at least one component");
+        let last = it
+            .next()
+            .expect("Expr::tuple requires at least one component");
         it.fold(last, |acc, e| Expr::pair(e, acc))
     }
 
@@ -120,7 +129,7 @@ impl Expr {
         match self {
             Expr::Var(n) => {
                 if !bound.contains(n) {
-                    out.insert(n.clone());
+                    out.insert(*n);
                 }
             }
             Expr::Unit | Expr::Empty(_) => {}
@@ -132,7 +141,7 @@ impl Expr {
             Expr::Get { arg, .. } => arg.collect_free_vars(bound, out),
             Expr::BigUnion { var, over, body } => {
                 over.collect_free_vars(bound, out);
-                let newly = bound.insert(var.clone());
+                let newly = bound.insert(*var);
                 body.collect_free_vars(bound, out);
                 if newly {
                     bound.remove(var);
@@ -160,18 +169,26 @@ impl Expr {
             Expr::Proj2(e) => Expr::proj2(e.subst(var, replacement)),
             Expr::Singleton(e) => Expr::singleton(e.subst(var, replacement)),
             Expr::Get { ty, arg } => Expr::get(ty.clone(), arg.subst(var, replacement)),
-            Expr::BigUnion { var: bv, over, body } => {
+            Expr::BigUnion {
+                var: bv,
+                over,
+                body,
+            } => {
                 let over2 = over.subst(var, replacement);
                 if bv == var {
                     // bound occurrence shadows the substitution inside the body
-                    Expr::BigUnion { var: bv.clone(), over: Box::new(over2), body: body.clone() }
+                    Expr::BigUnion {
+                        var: *bv,
+                        over: Box::new(over2),
+                        body: body.clone(),
+                    }
                 } else if replacement.free_vars().contains(bv) && body.free_vars().contains(var) {
                     // rename the binder to avoid capture
                     let mut avoid = replacement.free_vars();
                     avoid.extend(body.free_vars());
-                    avoid.insert(var.clone());
+                    avoid.insert(*var);
                     let fresh = Self::fresh_variant(bv, &avoid);
-                    let renamed = body.subst(bv, &Expr::Var(fresh.clone()));
+                    let renamed = body.subst(bv, &Expr::Var(fresh));
                     Expr::BigUnion {
                         var: fresh,
                         over: Box::new(over2),
@@ -179,7 +196,7 @@ impl Expr {
                     }
                 } else {
                     Expr::BigUnion {
-                        var: bv.clone(),
+                        var: *bv,
                         over: Box::new(over2),
                         body: Box::new(body.subst(var, replacement)),
                     }
@@ -189,16 +206,18 @@ impl Expr {
     }
 
     fn fresh_variant(base: &Name, avoid: &BTreeSet<Name>) -> Name {
-        let mut candidate = Name::new(format!("{}'", base.0));
+        let mut candidate = Name::new(format!("{}'", base.as_str()));
         while avoid.contains(&candidate) {
-            candidate = Name::new(format!("{}'", candidate.0));
+            candidate = Name::new(format!("{}'", candidate.as_str()));
         }
         candidate
     }
 
     /// Apply several substitutions (sequentially, left to right).
     pub fn subst_all(&self, bindings: &[(Name, Expr)]) -> Expr {
-        bindings.iter().fold(self.clone(), |acc, (n, e)| acc.subst(n, e))
+        bindings
+            .iter()
+            .fold(self.clone(), |acc, (n, e)| acc.subst(n, e))
     }
 
     /// Structural size (number of AST nodes), the cost measure quoted by the
@@ -270,7 +289,11 @@ mod tests {
     #[test]
     fn free_vars_respect_binding() {
         let e = flatten_expr();
-        let fv: Vec<String> = e.free_vars().into_iter().map(|n| n.0).collect();
+        let fv: Vec<String> = e
+            .free_vars()
+            .into_iter()
+            .map(|n| n.as_str().to_owned())
+            .collect();
         assert_eq!(fv, vec!["B".to_string()]);
         // a stray use of the bound name outside the binder is free
         let e2 = Expr::union(e, Expr::var("b"));
@@ -280,8 +303,15 @@ mod tests {
     #[test]
     fn substitution_composes_queries() {
         // substituting B := (B1 ∪ B2) into the flatten query
-        let composed = flatten_expr().subst(&Name::new("B"), &Expr::union(Expr::var("B1"), Expr::var("B2")));
-        let fv: Vec<String> = composed.free_vars().into_iter().map(|n| n.0).collect();
+        let composed = flatten_expr().subst(
+            &Name::new("B"),
+            &Expr::union(Expr::var("B1"), Expr::var("B2")),
+        );
+        let fv: Vec<String> = composed
+            .free_vars()
+            .into_iter()
+            .map(|n| n.as_str().to_owned())
+            .collect();
         assert_eq!(fv, vec!["B1".to_string(), "B2".to_string()]);
     }
 
@@ -336,6 +366,9 @@ mod tests {
     #[test]
     fn tuple_builder() {
         let t = Expr::tuple(vec![Expr::var("a"), Expr::var("b"), Expr::var("c")]);
-        assert_eq!(t, Expr::pair(Expr::var("a"), Expr::pair(Expr::var("b"), Expr::var("c"))));
+        assert_eq!(
+            t,
+            Expr::pair(Expr::var("a"), Expr::pair(Expr::var("b"), Expr::var("c")))
+        );
     }
 }

@@ -94,22 +94,24 @@ pub fn eq_at(ty: &Type, a: Expr, b: Expr, gen: &mut NameGen) -> Expr {
             eq_at(t2, Expr::proj2(a), Expr::proj2(b), gen),
             gen,
         ),
-        Type::Set(elem) => {
-            and(subset(elem, a.clone(), b.clone(), gen), subset(elem, b, a, gen), gen)
-        }
+        Type::Set(elem) => and(
+            subset(elem, a.clone(), b.clone(), gen),
+            subset(elem, b, a, gen),
+            gen,
+        ),
     }
 }
 
 /// Inclusion of sets with element type `elem_ty`.
 pub fn subset(elem_ty: &Type, a: Expr, b: Expr, gen: &mut NameGen) -> Expr {
     let x = gen.fresh("x");
-    forall_in(x.clone(), a, member(elem_ty, Expr::Var(x), b, gen))
+    forall_in(x, a, member(elem_ty, Expr::Var(x), b, gen))
 }
 
 /// Membership `e ∈_T set` at element type `elem_ty` (paper §3).
 pub fn member(elem_ty: &Type, e: Expr, set: Expr, gen: &mut NameGen) -> Expr {
     let x = gen.fresh("x");
-    exists_in(x.clone(), set, eq_at(elem_ty, Expr::Var(x), e, gen))
+    exists_in(x, set, eq_at(elem_ty, Expr::Var(x), e, gen))
 }
 
 /// Guard a set expression by a Boolean: `⋃{ then | _ ∈ cond }`, i.e. `then`
@@ -134,9 +136,13 @@ pub fn product(a: Expr, b: Expr, gen: &mut NameGen) -> Expr {
     let x = gen.fresh("x");
     let y = gen.fresh("y");
     Expr::big_union(
-        x.clone(),
+        x,
         a,
-        Expr::big_union(y.clone(), b, Expr::singleton(Expr::pair(Expr::Var(x), Expr::Var(y)))),
+        Expr::big_union(
+            y,
+            b,
+            Expr::singleton(Expr::pair(Expr::Var(x), Expr::Var(y))),
+        ),
     )
 }
 
@@ -160,7 +166,7 @@ pub fn atoms_of(ty: &Type, e: Expr, gen: &mut NameGen) -> Expr {
         ),
         Type::Set(elem) => {
             let x = gen.fresh("x");
-            Expr::big_union(x.clone(), e, atoms_of(elem, Expr::Var(x), gen))
+            Expr::big_union(x, e, atoms_of(elem, Expr::Var(x), gen))
         }
     }
 }
@@ -170,7 +176,7 @@ pub fn atoms_of(ty: &Type, e: Expr, gen: &mut NameGen) -> Expr {
 pub fn atoms_of_inputs(inputs: &[(nrs_value::Name, Type)], gen: &mut NameGen) -> Expr {
     let mut acc = Expr::empty(Type::Ur);
     for (name, ty) in inputs {
-        acc = Expr::union(acc, atoms_of(ty, Expr::Var(name.clone()), gen));
+        acc = Expr::union(acc, atoms_of(ty, Expr::Var(*name), gen));
     }
     acc
 }
@@ -218,17 +224,41 @@ mod tests {
         assert!(as_bool(&eq_ur(Expr::var("a"), Expr::var("b")), &i));
         assert!(!as_bool(&eq_ur(Expr::var("a"), Expr::var("c")), &i));
         let set_ty = Type::set(Type::Ur);
-        assert!(as_bool(&eq_at(&set_ty, Expr::var("s"), Expr::var("t"), &mut g), &i));
-        assert!(!as_bool(&eq_at(&set_ty, Expr::var("s"), Expr::var("u"), &mut g), &i));
+        assert!(as_bool(
+            &eq_at(&set_ty, Expr::var("s"), Expr::var("t"), &mut g),
+            &i
+        ));
+        assert!(!as_bool(
+            &eq_at(&set_ty, Expr::var("s"), Expr::var("u"), &mut g),
+            &i
+        ));
         let pair_ty = Type::prod(Type::Ur, Type::set(Type::Ur));
         let i2 = env(vec![
-            ("p", Value::pair(Value::atom(1), Value::set([Value::atom(3)]))),
-            ("q", Value::pair(Value::atom(1), Value::set([Value::atom(3)]))),
-            ("r", Value::pair(Value::atom(1), Value::set([Value::atom(4)]))),
+            (
+                "p",
+                Value::pair(Value::atom(1), Value::set([Value::atom(3)])),
+            ),
+            (
+                "q",
+                Value::pair(Value::atom(1), Value::set([Value::atom(3)])),
+            ),
+            (
+                "r",
+                Value::pair(Value::atom(1), Value::set([Value::atom(4)])),
+            ),
         ]);
-        assert!(as_bool(&eq_at(&pair_ty, Expr::var("p"), Expr::var("q"), &mut g), &i2));
-        assert!(!as_bool(&eq_at(&pair_ty, Expr::var("p"), Expr::var("r"), &mut g), &i2));
-        assert!(as_bool(&eq_at(&Type::Unit, Expr::Unit, Expr::Unit, &mut g), &i2));
+        assert!(as_bool(
+            &eq_at(&pair_ty, Expr::var("p"), Expr::var("q"), &mut g),
+            &i2
+        ));
+        assert!(!as_bool(
+            &eq_at(&pair_ty, Expr::var("p"), Expr::var("r"), &mut g),
+            &i2
+        ));
+        assert!(as_bool(
+            &eq_at(&Type::Unit, Expr::Unit, Expr::Unit, &mut g),
+            &i2
+        ));
     }
 
     #[test]
@@ -238,18 +268,36 @@ mod tests {
             ("x", Value::atom(1)),
             ("y", Value::atom(9)),
             ("s", Value::set([Value::atom(1), Value::atom(2)])),
-            ("t", Value::set([Value::atom(1), Value::atom(2), Value::atom(3)])),
+            (
+                "t",
+                Value::set([Value::atom(1), Value::atom(2), Value::atom(3)]),
+            ),
         ]);
-        assert!(as_bool(&member(&Type::Ur, Expr::var("x"), Expr::var("s"), &mut g), &i));
-        assert!(!as_bool(&member(&Type::Ur, Expr::var("y"), Expr::var("s"), &mut g), &i));
-        assert!(as_bool(&subset(&Type::Ur, Expr::var("s"), Expr::var("t"), &mut g), &i));
-        assert!(!as_bool(&subset(&Type::Ur, Expr::var("t"), Expr::var("s"), &mut g), &i));
+        assert!(as_bool(
+            &member(&Type::Ur, Expr::var("x"), Expr::var("s"), &mut g),
+            &i
+        ));
+        assert!(!as_bool(
+            &member(&Type::Ur, Expr::var("y"), Expr::var("s"), &mut g),
+            &i
+        ));
+        assert!(as_bool(
+            &subset(&Type::Ur, Expr::var("s"), Expr::var("t"), &mut g),
+            &i
+        ));
+        assert!(!as_bool(
+            &subset(&Type::Ur, Expr::var("t"), Expr::var("s"), &mut g),
+            &i
+        ));
     }
 
     #[test]
     fn quantifier_macros() {
         let mut g = NameGen::new();
-        let i = env(vec![("s", Value::set([Value::atom(1), Value::atom(2)])), ("k", Value::atom(2))]);
+        let i = env(vec![
+            ("s", Value::set([Value::atom(1), Value::atom(2)])),
+            ("k", Value::atom(2)),
+        ]);
         // ∃x ∈ s . x = k
         let ex = exists_in("x", Expr::var("s"), eq_ur(Expr::var("x"), Expr::var("k")));
         assert!(as_bool(&ex, &i));
@@ -274,7 +322,10 @@ mod tests {
         let pick_t = if_then_else(ff(), Expr::var("s"), Expr::var("t"), &mut g);
         assert_eq!(eval(&pick_s, &i).unwrap(), Value::set([Value::atom(1)]));
         assert_eq!(eval(&pick_t, &i).unwrap(), Value::set([Value::atom(2)]));
-        assert_eq!(eval(&guard(ff(), Expr::var("s"), &mut g), &i).unwrap(), Value::empty_set());
+        assert_eq!(
+            eval(&guard(ff(), Expr::var("s"), &mut g), &i).unwrap(),
+            Value::empty_set()
+        );
     }
 
     #[test]
@@ -292,7 +343,11 @@ mod tests {
                 Value::pair(Value::atom(2), Value::atom(5)),
             ])
         );
-        let mapped = map("x", Expr::var("a"), Expr::pair(Expr::var("x"), Expr::var("x")));
+        let mapped = map(
+            "x",
+            Expr::var("a"),
+            Expr::pair(Expr::var("x"), Expr::var("x")),
+        );
         assert_eq!(
             eval(&mapped, &i).unwrap(),
             Value::set([
@@ -303,7 +358,10 @@ mod tests {
         let inter = intersection(Expr::var("a"), Expr::var("b"));
         assert_eq!(eval(&inter, &i).unwrap(), Value::empty_set());
         let inter2 = intersection(Expr::var("a"), Expr::var("a"));
-        assert_eq!(eval(&inter2, &i).unwrap(), Value::set([Value::atom(1), Value::atom(2)]));
+        assert_eq!(
+            eval(&inter2, &i).unwrap(),
+            Value::set([Value::atom(1), Value::atom(2)])
+        );
     }
 
     #[test]

@@ -52,7 +52,10 @@ pub struct Generator {
 impl Generator {
     /// Build a generator.
     pub fn new(var: impl Into<Name>, over: impl Into<Term>) -> Self {
-        Generator { var: var.into(), over: over.into() }
+        Generator {
+            var: var.into(),
+            over: over.into(),
+        }
     }
 }
 
@@ -81,7 +84,11 @@ impl GenExpr {
         filter: Formula,
         head: impl Into<Term>,
     ) -> GenExpr {
-        GenExpr::Comprehension { generators, filter, head: head.into() }
+        GenExpr::Comprehension {
+            generators,
+            filter,
+            head: head.into(),
+        }
     }
 
     /// A comprehension without a filter.
@@ -103,7 +110,9 @@ impl GenExpr {
     /// for the inputs.
     pub fn elem_type(&self, env: &TypeEnv) -> Result<Type, NrcError> {
         match self {
-            GenExpr::Comprehension { generators, head, .. } => {
+            GenExpr::Comprehension {
+                generators, head, ..
+            } => {
                 let env = extend_with_generators(generators, env)?;
                 Ok(type_of_term(head, &env)?)
             }
@@ -123,12 +132,16 @@ impl GenExpr {
     /// Convert to an executable NRC expression.
     pub fn to_nrc(&self, env: &TypeEnv, gen: &mut NameGen) -> Result<Expr, NrcError> {
         match self {
-            GenExpr::Comprehension { generators, filter, head } => {
+            GenExpr::Comprehension {
+                generators,
+                filter,
+                head,
+            } => {
                 let full_env = extend_with_generators(generators, env)?;
                 let cond = crate::compile::compile_formula(filter, &full_env, gen)?;
                 let mut body = macros::guard(cond, Expr::singleton(compile_term(head)), gen);
                 for g in generators.iter().rev() {
-                    body = Expr::big_union(g.var.clone(), compile_term(&g.over), body);
+                    body = Expr::big_union(g.var, compile_term(&g.over), body);
                 }
                 Ok(body)
             }
@@ -147,18 +160,21 @@ impl GenExpr {
         gen: &mut NameGen,
     ) -> Result<Formula, NrcError> {
         match self {
-            GenExpr::Comprehension { generators, filter, head } => {
+            GenExpr::Comprehension {
+                generators,
+                filter,
+                head,
+            } => {
                 let elem_ty = self.elem_type(env)?;
                 // rename generators apart
                 let (renamed, subst) = rename_generators(generators, gen);
                 let filter = apply_renaming(filter, &subst);
                 let head = subst.iter().fold(head.clone(), |h, (old, new)| {
-                    h.subst_var(old, &Term::Var(new.clone()))
+                    h.subst_var(old, &Term::Var(*new))
                 });
-                let mut body =
-                    Formula::and(filter, d0::equiv(&elem_ty, elem, &head, gen));
+                let mut body = Formula::and(filter, d0::equiv(&elem_ty, elem, &head, gen));
                 for g in renamed.iter().rev() {
-                    body = Formula::exists(g.var.clone(), g.over.clone(), body);
+                    body = Formula::exists(g.var, g.over.clone(), body);
                 }
                 Ok(body)
             }
@@ -182,18 +198,21 @@ impl GenExpr {
         gen: &mut NameGen,
     ) -> Result<Formula, NrcError> {
         match self {
-            GenExpr::Comprehension { generators, filter, head } => {
+            GenExpr::Comprehension {
+                generators,
+                filter,
+                head,
+            } => {
                 let elem_ty = self.elem_type(env)?;
                 let (renamed, subst) = rename_generators(generators, gen);
                 let filter = apply_renaming(filter, &subst);
                 let head = subst.iter().fold(head.clone(), |h, (old, new)| {
-                    h.subst_var(old, &Term::Var(new.clone()))
+                    h.subst_var(old, &Term::Var(*new))
                 });
-                let membership =
-                    d0::member_hat(&elem_ty, &head, &Term::Var(output.clone()), gen);
+                let membership = d0::member_hat(&elem_ty, &head, &Term::Var(*output), gen);
                 let mut body = d0::implies(filter, membership);
                 for g in renamed.iter().rev() {
-                    body = Formula::forall(g.var.clone(), g.over.clone(), body);
+                    body = Formula::forall(g.var, g.over.clone(), body);
                 }
                 Ok(body)
             }
@@ -209,23 +228,24 @@ impl GenExpr {
                     ));
                 };
                 let (generators, filter, head) = match a.as_ref() {
-                    GenExpr::Comprehension { generators, filter, head } => {
-                        (generators, filter, head)
-                    }
+                    GenExpr::Comprehension {
+                        generators,
+                        filter,
+                        head,
+                    } => (generators, filter, head),
                     _ => unreachable!(),
                 };
                 let elem_ty = a.elem_type(env)?;
                 let (renamed, subst) = rename_generators(generators, gen);
                 let filter = apply_renaming(filter, &subst);
                 let head = subst.iter().fold(head.clone(), |h, (old, new)| {
-                    h.subst_var(old, &Term::Var(new.clone()))
+                    h.subst_var(old, &Term::Var(*new))
                 });
                 let excluded = b.membership_spec(&head, env, gen)?;
-                let membership =
-                    d0::member_hat(&elem_ty, &head, &Term::Var(output.clone()), gen);
+                let membership = d0::member_hat(&elem_ty, &head, &Term::Var(*output), gen);
                 let mut body = d0::implies(Formula::and(filter, excluded.negate()), membership);
                 for g in renamed.iter().rev() {
-                    body = Formula::forall(g.var.clone(), g.over.clone(), body);
+                    body = Formula::forall(g.var, g.over.clone(), body);
                 }
                 Ok(body)
             }
@@ -234,11 +254,16 @@ impl GenExpr {
 
     /// The full input/output specification `Σ_E(inputs, output)`:
     /// `(∀z ∈ output . z ∈̂ E) ∧ (E ⊆ output)`.
-    pub fn io_spec(&self, output: &Name, env: &TypeEnv, gen: &mut NameGen) -> Result<Formula, NrcError> {
+    pub fn io_spec(
+        &self,
+        output: &Name,
+        env: &TypeEnv,
+        gen: &mut NameGen,
+    ) -> Result<Formula, NrcError> {
         let z = gen.fresh("z");
         let soundness = Formula::forall(
-            z.clone(),
-            Term::Var(output.clone()),
+            z,
+            Term::Var(*output),
             self.membership_spec(&Term::Var(z), env, gen)?,
         );
         let completeness = self.containment_spec(output, env, gen)?;
@@ -251,7 +276,7 @@ fn extend_with_generators(generators: &[Generator], env: &TypeEnv) -> Result<Typ
     for g in generators {
         let over_ty = type_of_term(&g.over, &env)?;
         match over_ty {
-            Type::Set(elem) => env.insert(g.var.clone(), *elem),
+            Type::Set(elem) => env.insert(g.var, *elem),
             other => {
                 return Err(NrcError::IllTyped(format!(
                     "generator {} ranges over a term of non-set type {other}",
@@ -272,17 +297,19 @@ fn rename_generators(
     for g in generators {
         let fresh = gen.fresh(g.var.as_str());
         // bounds may mention earlier generator variables
-        let over = subst
-            .iter()
-            .fold(g.over.clone(), |t, (old, new)| t.subst_var(old, &Term::Var(new.clone())));
-        subst.push((g.var.clone(), fresh.clone()));
+        let over = subst.iter().fold(g.over.clone(), |t, (old, new)| {
+            t.subst_var(old, &Term::Var(*new))
+        });
+        subst.push((g.var, fresh));
         out.push(Generator { var: fresh, over });
     }
     (out, subst)
 }
 
 fn apply_renaming(f: &Formula, subst: &[(Name, Name)]) -> Formula {
-    subst.iter().fold(f.clone(), |acc, (old, new)| acc.subst_var(old, &Term::Var(new.clone())))
+    subst.iter().fold(f.clone(), |acc, (old, new)| {
+        acc.subst_var(old, &Term::Var(*new))
+    })
 }
 
 /// A named view (or query) definition: the output name together with its
@@ -298,7 +325,10 @@ pub struct ViewDef {
 impl ViewDef {
     /// Build a view definition.
     pub fn new(name: impl Into<Name>, def: GenExpr) -> Self {
-        ViewDef { name: name.into(), def }
+        ViewDef {
+            name: name.into(),
+            def,
+        }
     }
 
     /// The view's output type relative to the base typing environment.
@@ -354,7 +384,10 @@ mod tests {
     use nrs_value::{Instance, Value};
 
     fn base_env() -> TypeEnv {
-        TypeEnv::from_pairs([(Name::new("B"), Type::set(Type::prod(Type::Ur, Type::set(Type::Ur))))])
+        TypeEnv::from_pairs([(
+            Name::new("B"),
+            Type::set(Type::prod(Type::Ur, Type::set(Type::Ur))),
+        )])
     }
 
     fn full_env() -> TypeEnv {
@@ -419,7 +452,10 @@ mod tests {
             &[s1, s2],
             &[conclusion],
             &env,
-            &BoundedCheck { universe: 2, max_models: 2_000_000 },
+            &BoundedCheck {
+                universe: 2,
+                max_models: 2_000_000,
+            },
         )
         .unwrap();
         assert!(out.is_valid(), "{out:?}");
@@ -480,7 +516,10 @@ mod tests {
         ]);
         let inst = Instance::from_bindings([(Name::new("V"), v)]);
         let diff_expr = diff.to_nrc(&env, &mut gen).unwrap();
-        assert_eq!(eval(&diff_expr, &inst).unwrap(), Value::set([Value::atom(1)]));
+        assert_eq!(
+            eval(&diff_expr, &inst).unwrap(),
+            Value::set([Value::atom(1)])
+        );
         let uni_expr = uni.to_nrc(&env, &mut gen).unwrap();
         assert_eq!(
             eval(&uni_expr, &inst).unwrap(),

@@ -12,7 +12,7 @@ use nrs_value::Type;
 /// Infer the type of an expression in a typing environment.
 pub fn type_of(expr: &Expr, env: &TypeEnv) -> Result<Type, NrcError> {
     match expr {
-        Expr::Var(n) => env.get(n).cloned().ok_or_else(|| NrcError::UnboundVariable(n.clone())),
+        Expr::Var(n) => env.get(n).cloned().ok_or(NrcError::UnboundVariable(*n)),
         Expr::Unit => Ok(Type::Unit),
         Expr::Pair(a, b) => Ok(Type::prod(type_of(a, env)?, type_of(b, env)?)),
         Expr::Proj1(e) => match type_of(e, env)? {
@@ -44,7 +44,7 @@ pub fn type_of(expr: &Expr, env: &TypeEnv) -> Result<Type, NrcError> {
                     )))
                 }
             };
-            let body_ty = type_of(body, &env.with(var.clone(), elem))?;
+            let body_ty = type_of(body, &env.with(*var, elem))?;
             match body_ty {
                 Type::Set(_) => Ok(body_ty),
                 other => Err(NrcError::IllTyped(format!(
@@ -62,7 +62,9 @@ pub fn type_of(expr: &Expr, env: &TypeEnv) -> Result<Type, NrcError> {
                 )));
             }
             if !ta.is_set() {
-                return Err(NrcError::IllTyped(format!("set operation on non-set type {ta}")));
+                return Err(NrcError::IllTyped(format!(
+                    "set operation on non-set type {ta}"
+                )));
             }
             Ok(ta)
         }
@@ -75,7 +77,9 @@ pub fn check(expr: &Expr, expected: &Type, env: &TypeEnv) -> Result<(), NrcError
     if &actual == expected {
         Ok(())
     } else {
-        Err(NrcError::IllTyped(format!("expected type {expected}, inferred {actual}")))
+        Err(NrcError::IllTyped(format!(
+            "expected type {expected}, inferred {actual}"
+        )))
     }
 }
 
@@ -86,7 +90,10 @@ mod tests {
 
     fn env() -> TypeEnv {
         TypeEnv::from_pairs([
-            (Name::new("B"), Type::set(Type::prod(Type::Ur, Type::set(Type::Ur)))),
+            (
+                Name::new("B"),
+                Type::set(Type::prod(Type::Ur, Type::set(Type::Ur))),
+            ),
             (Name::new("V"), Type::relation(2)),
             (Name::new("x"), Type::Ur),
         ])
@@ -120,8 +127,14 @@ mod tests {
             type_of(&Expr::pair(Expr::Unit, Expr::var("x")), &e).unwrap(),
             Type::prod(Type::Unit, Type::Ur)
         );
-        assert_eq!(type_of(&Expr::singleton(Expr::var("x")), &e).unwrap(), Type::set(Type::Ur));
-        assert_eq!(type_of(&Expr::empty(Type::Ur), &e).unwrap(), Type::set(Type::Ur));
+        assert_eq!(
+            type_of(&Expr::singleton(Expr::var("x")), &e).unwrap(),
+            Type::set(Type::Ur)
+        );
+        assert_eq!(
+            type_of(&Expr::empty(Type::Ur), &e).unwrap(),
+            Type::set(Type::Ur)
+        );
         assert_eq!(
             type_of(&Expr::get(Type::Ur, Expr::singleton(Expr::var("x"))), &e).unwrap(),
             Type::Ur
@@ -131,7 +144,11 @@ mod tests {
             Type::Ur
         );
         assert_eq!(
-            type_of(&Expr::union(Expr::var("V"), Expr::empty(Type::prod(Type::Ur, Type::Ur))), &e).unwrap(),
+            type_of(
+                &Expr::union(Expr::var("V"), Expr::empty(Type::prod(Type::Ur, Type::Ur))),
+                &e
+            )
+            .unwrap(),
             Type::relation(2)
         );
     }
@@ -154,13 +171,20 @@ mod tests {
         // get at the wrong type
         assert!(type_of(&Expr::get(Type::Unit, Expr::var("V")), &e).is_err());
         // unbound variable
-        assert!(matches!(type_of(&Expr::var("nope"), &e), Err(NrcError::UnboundVariable(_))));
+        assert!(matches!(
+            type_of(&Expr::var("nope"), &e),
+            Err(NrcError::UnboundVariable(_))
+        ));
     }
 
     #[test]
     fn binder_shadows_environment() {
         // `x` is Ur in the environment but rebound to a pair inside the union
-        let e = Expr::big_union("x", Expr::var("V"), Expr::singleton(Expr::proj1(Expr::var("x"))));
+        let e = Expr::big_union(
+            "x",
+            Expr::var("V"),
+            Expr::singleton(Expr::proj1(Expr::var("x"))),
+        );
         assert_eq!(type_of(&e, &env()).unwrap(), Type::set(Type::Ur));
     }
 }

@@ -37,11 +37,22 @@ impl fmt::Display for ProofError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProofError::RuleNotApplicable(m) => write!(f, "rule not applicable: {m}"),
-            ProofError::PremiseCount { rule, expected, found } => {
+            ProofError::PremiseCount {
+                rule,
+                expected,
+                found,
+            } => {
                 write!(f, "rule {rule} requires {expected} premises, found {found}")
             }
-            ProofError::PremiseMismatch { rule, expected, found } => {
-                write!(f, "rule {rule} premise mismatch: expected `{expected}`, found `{found}`")
+            ProofError::PremiseMismatch {
+                rule,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "rule {rule} premise mismatch: expected `{expected}`, found `{found}`"
+                )
             }
             ProofError::TransformFailed(m) => write!(f, "proof transformation failed: {m}"),
             ProofError::SearchFailed(m) => write!(f, "proof search failed: {m}"),
@@ -117,7 +128,11 @@ mod tests {
     fn error_display_is_informative() {
         let e = ProofError::SearchFailed("budget exhausted".into());
         assert!(e.to_string().contains("budget"));
-        let e = ProofError::PremiseCount { rule: "∧", expected: 2, found: 1 };
+        let e = ProofError::PremiseCount {
+            rule: "∧",
+            expected: 2,
+            found: 1,
+        };
         assert!(e.to_string().contains("requires 2"));
     }
 }

@@ -119,10 +119,16 @@ impl Rule {
                 if conclusion.contains(&Formula::True) {
                     Ok(vec![])
                 } else {
-                    Err(ProofError::RuleNotApplicable("⊤ axiom: conclusion does not contain ⊤".into()))
+                    Err(ProofError::RuleNotApplicable(
+                        "⊤ axiom: conclusion does not contain ⊤".into(),
+                    ))
                 }
             }
-            Rule::Neq { ineq, atom, rewritten } => {
+            Rule::Neq {
+                ineq,
+                atom,
+                rewritten,
+            } => {
                 let (t, u) = match ineq {
                     Formula::NeqUr(t, u) => (t, u),
                     other => {
@@ -173,7 +179,9 @@ impl Rule {
             Rule::Or { disj } => match disj {
                 Formula::Or(a, b) if conclusion.contains(disj) => {
                     let base = conclusion.without_formula(disj);
-                    Ok(vec![base.with_formula((**a).clone()).with_formula((**b).clone())])
+                    Ok(vec![base
+                        .with_formula((**a).clone())
+                        .with_formula((**b).clone())])
                 }
                 _ => Err(ProofError::RuleNotApplicable(format!(
                     "∨ rule: {disj} is not a disjunction in the conclusion"
@@ -186,12 +194,12 @@ impl Rule {
                             "∀ rule: eigenvariable {witness} is not fresh"
                         )));
                     }
-                    let instantiated = body.subst_var(var, &Term::Var(witness.clone()));
+                    let instantiated = body.subst_var(var, &Term::Var(*witness));
                     Ok(vec![conclusion
                         .without_formula(quant)
                         .with_formula(instantiated)
                         .with_atom(nrs_delta0::MemAtom::new(
-                            Term::Var(witness.clone()),
+                            Term::Var(*witness),
                             bound.clone(),
                         ))])
                 }
@@ -232,7 +240,7 @@ impl Rule {
                         "×η rule: replacement variables must be fresh".into(),
                     ));
                 }
-                let pair = Term::pair(Term::Var(fst.clone()), Term::Var(snd.clone()));
+                let pair = Term::pair(Term::Var(*fst), Term::Var(*snd));
                 Ok(vec![conclusion.subst_var(var, &pair)])
             }
             Rule::ProdBeta { fst, snd, first } => {
@@ -241,9 +249,13 @@ impl Rule {
                         "×β rule: right-hand side must be existential-leading".into(),
                     ));
                 }
-                let pair = Term::pair(Term::Var(fst.clone()), Term::Var(snd.clone()));
-                let redex = if *first { Term::proj1(pair) } else { Term::proj2(pair) };
-                let reduct = Term::Var(if *first { fst.clone() } else { snd.clone() });
+                let pair = Term::pair(Term::Var(*fst), Term::Var(*snd));
+                let redex = if *first {
+                    Term::proj1(pair)
+                } else {
+                    Term::proj2(pair)
+                };
+                let reduct = Term::Var(if *first { *fst } else { *snd });
                 Ok(vec![conclusion.replace_term(&redex, &reduct)])
             }
         }
@@ -318,7 +330,11 @@ impl Proof {
                 });
             }
         }
-        Ok(Proof { conclusion, rule, premises })
+        Ok(Proof {
+            conclusion,
+            rule,
+            premises,
+        })
     }
 
     /// Axiom node for `t = t`.
@@ -354,7 +370,14 @@ impl Proof {
 impl fmt::Display for Proof {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fn go(p: &Proof, indent: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            writeln!(f, "{:indent$}[{}] {}", "", p.rule.name(), p.conclusion, indent = indent)?;
+            writeln!(
+                f,
+                "{:indent$}[{}] {}",
+                "",
+                p.rule.name(),
+                p.conclusion,
+                indent = indent
+            )?;
             for q in &p.premises {
                 go(q, indent + 2, f)?;
             }
@@ -409,12 +432,18 @@ mod tests {
 
         let all = Formula::forall("z", "S", Formula::eq_ur("z", "z"));
         let s2 = Sequent::goals([all.clone()]);
-        let rule = Rule::Forall { quant: all.clone(), witness: Name::new("w0") };
+        let rule = Rule::Forall {
+            quant: all.clone(),
+            witness: Name::new("w0"),
+        };
         let prems = rule.premises(&s2).unwrap();
         assert!(prems[0].ctx.contains(&MemAtom::new("w0", "S")));
         assert!(prems[0].contains(&Formula::eq_ur("w0", "w0")));
         // non-fresh eigenvariable rejected
-        let bad = Rule::Forall { quant: all, witness: Name::new("S") };
+        let bad = Rule::Forall {
+            quant: all,
+            witness: Name::new("S"),
+        };
         assert!(bad.premises(&s2).is_err());
     }
 
@@ -423,12 +452,18 @@ mod tests {
         let ex = Formula::exists("z", "S", Formula::eq_ur("z", "c"));
         let ctx = InContext::from_atoms([MemAtom::new("m", "S")]);
         let s = Sequent::new(ctx, [ex.clone(), Formula::eq_ur("a", "b")]);
-        let good = Rule::Exists { quant: ex.clone(), spec: Formula::eq_ur("m", "c") };
+        let good = Rule::Exists {
+            quant: ex.clone(),
+            spec: Formula::eq_ur("m", "c"),
+        };
         let prems = good.premises(&s).unwrap();
         assert!(prems[0].contains(&Formula::eq_ur("m", "c")));
         assert!(prems[0].contains(&ex), "the existential is retained");
         // a non-specialization is rejected
-        let bad = Rule::Exists { quant: ex.clone(), spec: Formula::eq_ur("q", "c") };
+        let bad = Rule::Exists {
+            quant: ex.clone(),
+            spec: Formula::eq_ur("q", "c"),
+        };
         assert!(bad.premises(&s).is_err());
         // an AL formula in the context blocks the rule
         let s_with_al = s.with_formula(Formula::forall("y", "S", Formula::True));
@@ -465,22 +500,38 @@ mod tests {
 
     #[test]
     fn prod_rules_substitute_terms() {
-        let goal = Formula::exists(
-            "z",
-            Term::proj2(Term::var("p")),
-            Formula::eq_ur("z", "z"),
-        );
+        let goal = Formula::exists("z", Term::proj2(Term::var("p")), Formula::eq_ur("z", "z"));
         let s = Sequent::goals([goal.clone()]);
-        let eta = Rule::ProdEta { var: Name::new("p"), fst: Name::new("p1"), snd: Name::new("p2") };
+        let eta = Rule::ProdEta {
+            var: Name::new("p"),
+            fst: Name::new("p1"),
+            snd: Name::new("p2"),
+        };
         let prems = eta.premises(&s).unwrap();
         let expected_bound = Term::proj2(Term::pair(Term::var("p1"), Term::var("p2")));
-        assert!(prems[0].contains(&Formula::exists("z", expected_bound.clone(), Formula::eq_ur("z", "z"))));
+        assert!(prems[0].contains(&Formula::exists(
+            "z",
+            expected_bound.clone(),
+            Formula::eq_ur("z", "z")
+        )));
         // now contract the redex with ×β
-        let beta = Rule::ProdBeta { fst: Name::new("p1"), snd: Name::new("p2"), first: false };
+        let beta = Rule::ProdBeta {
+            fst: Name::new("p1"),
+            snd: Name::new("p2"),
+            first: false,
+        };
         let prems2 = beta.premises(&prems[0]).unwrap();
-        assert!(prems2[0].contains(&Formula::exists("z", Term::var("p2"), Formula::eq_ur("z", "z"))));
+        assert!(prems2[0].contains(&Formula::exists(
+            "z",
+            Term::var("p2"),
+            Formula::eq_ur("z", "z")
+        )));
         // freshness is enforced for ×η
-        let stale = Rule::ProdEta { var: Name::new("p"), fst: Name::new("p"), snd: Name::new("q") };
+        let stale = Rule::ProdEta {
+            var: Name::new("p"),
+            fst: Name::new("p"),
+            snd: Name::new("q"),
+        };
         assert!(stale.premises(&s).is_err());
     }
 

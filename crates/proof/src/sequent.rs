@@ -21,7 +21,10 @@ pub struct Sequent {
 impl Sequent {
     /// Build a sequent, normalizing the right-hand side.
     pub fn new(ctx: InContext, rhs: impl IntoIterator<Item = Formula>) -> Self {
-        let mut s = Sequent { ctx, rhs: Vec::new() };
+        let mut s = Sequent {
+            ctx,
+            rhs: Vec::new(),
+        };
         for f in rhs {
             s.insert(f);
         }
@@ -82,7 +85,10 @@ impl Sequent {
 
     /// A copy with an extra ∈-context atom.
     pub fn with_atom(&self, atom: MemAtom) -> Sequent {
-        Sequent { ctx: self.ctx.with(atom), rhs: self.rhs.clone() }
+        Sequent {
+            ctx: self.ctx.with(atom),
+            rhs: self.rhs.clone(),
+        }
     }
 
     /// Does the right-hand side contain this formula?

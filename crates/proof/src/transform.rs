@@ -42,7 +42,9 @@ pub fn rename_free_var(proof: &Proof, old: &Name, new: &Name) -> Result<Proof, P
                     "rename: {old} or {new} is used as an eigenvariable"
                 )))
             }
-            Rule::ProdEta { fst, snd, .. } if fst == old || snd == old || fst == new || snd == new => {
+            Rule::ProdEta { fst, snd, .. }
+                if fst == old || snd == old || fst == new || snd == new =>
+            {
                 return Err(ProofError::TransformFailed(format!(
                     "rename: {old} or {new} is used as a ×η component variable"
                 )))
@@ -54,33 +56,44 @@ pub fn rename_free_var(proof: &Proof, old: &Name, new: &Name) -> Result<Proof, P
 }
 
 fn rename_unchecked(proof: &Proof, old: &Name, new: &Name) -> Result<Proof, ProofError> {
-    let repl = Term::Var(new.clone());
+    let repl = Term::Var(*new);
     let conclusion = proof.conclusion.subst_var(old, &repl);
     let rule = match &proof.rule {
-        Rule::EqRefl { term } => Rule::EqRefl { term: term.subst_var(old, &repl) },
+        Rule::EqRefl { term } => Rule::EqRefl {
+            term: term.subst_var(old, &repl),
+        },
         Rule::Top => Rule::Top,
-        Rule::Neq { ineq, atom, rewritten } => Rule::Neq {
+        Rule::Neq {
+            ineq,
+            atom,
+            rewritten,
+        } => Rule::Neq {
             ineq: ineq.subst_var(old, &repl),
             atom: atom.subst_var(old, &repl),
             rewritten: rewritten.subst_var(old, &repl),
         },
-        Rule::And { conj } => Rule::And { conj: conj.subst_var(old, &repl) },
-        Rule::Or { disj } => Rule::Or { disj: disj.subst_var(old, &repl) },
-        Rule::Forall { quant, witness } => {
-            Rule::Forall { quant: quant.subst_var(old, &repl), witness: witness.clone() }
-        }
+        Rule::And { conj } => Rule::And {
+            conj: conj.subst_var(old, &repl),
+        },
+        Rule::Or { disj } => Rule::Or {
+            disj: disj.subst_var(old, &repl),
+        },
+        Rule::Forall { quant, witness } => Rule::Forall {
+            quant: quant.subst_var(old, &repl),
+            witness: *witness,
+        },
         Rule::Exists { quant, spec } => Rule::Exists {
             quant: quant.subst_var(old, &repl),
             spec: spec.subst_var(old, &repl),
         },
         Rule::ProdEta { var, fst, snd } => Rule::ProdEta {
-            var: if var == old { new.clone() } else { var.clone() },
-            fst: fst.clone(),
-            snd: snd.clone(),
+            var: if var == old { *new } else { *var },
+            fst: *fst,
+            snd: *snd,
         },
         Rule::ProdBeta { fst, snd, first } => Rule::ProdBeta {
-            fst: if fst == old { new.clone() } else { fst.clone() },
-            snd: if snd == old { new.clone() } else { snd.clone() },
+            fst: if fst == old { *new } else { *fst },
+            snd: if snd == old { *new } else { *snd },
             first: *first,
         },
     };
@@ -128,12 +141,12 @@ fn weaken_rec(
     let mut proof = proof.clone();
     loop {
         let clashing = match &proof.rule {
-            Rule::Forall { witness, .. } if extra_vars.contains(witness) => Some(witness.clone()),
+            Rule::Forall { witness, .. } if extra_vars.contains(witness) => Some(*witness),
             Rule::ProdEta { fst, snd, .. } => {
                 if extra_vars.contains(fst) {
-                    Some(fst.clone())
+                    Some(*fst)
                 } else if extra_vars.contains(snd) {
-                    Some(snd.clone())
+                    Some(*snd)
                 } else {
                     None
                 }
@@ -151,13 +164,14 @@ fn weaken_rec(
                     .map(|p| rename_unchecked(p, &old, &fresh))
                     .collect::<Result<Vec<_>, _>>()?;
                 let rule = match &proof.rule {
-                    Rule::Forall { quant, .. } => {
-                        Rule::Forall { quant: quant.clone(), witness: fresh.clone() }
-                    }
+                    Rule::Forall { quant, .. } => Rule::Forall {
+                        quant: quant.clone(),
+                        witness: fresh,
+                    },
                     Rule::ProdEta { var, fst, snd } => Rule::ProdEta {
-                        var: var.clone(),
-                        fst: if *fst == old { fresh.clone() } else { fst.clone() },
-                        snd: if *snd == old { fresh.clone() } else { snd.clone() },
+                        var: *var,
+                        fst: if *fst == old { fresh } else { *fst },
+                        snd: if *snd == old { fresh } else { *snd },
                     },
                     other => other.clone(),
                 };
@@ -188,7 +202,9 @@ pub fn invert_and(proof: &Proof, conj: &Formula, keep_first: bool) -> Result<Pro
     let (a, b) = match conj {
         Formula::And(a, b) => ((**a).clone(), (**b).clone()),
         other => {
-            return Err(ProofError::TransformFailed(format!("invert_and: {other} is not a conjunction")))
+            return Err(ProofError::TransformFailed(format!(
+                "invert_and: {other} is not a conjunction"
+            )))
         }
     };
     let selected = if keep_first { a } else { b };
@@ -210,7 +226,10 @@ fn invert_and_rec(
             return Ok(proof.premises[idx].clone());
         }
     }
-    let conclusion = proof.conclusion.without_formula(conj).with_formula(selected.clone());
+    let conclusion = proof
+        .conclusion
+        .without_formula(conj)
+        .with_formula(selected.clone());
     let premises = proof
         .premises
         .iter()
@@ -237,8 +256,8 @@ pub fn invert_forall(proof: &Proof, quant: &Formula, fresh: &Name) -> Result<Pro
             )));
         }
     }
-    let instantiated = body.subst_var(var, &Term::Var(fresh.clone()));
-    let atom = MemAtom::new(Term::Var(fresh.clone()), bound.clone());
+    let instantiated = body.subst_var(var, &Term::Var(*fresh));
+    let atom = MemAtom::new(Term::Var(*fresh), bound.clone());
     invert_forall_rec(proof, quant, &instantiated, &atom, fresh)
 }
 
@@ -252,7 +271,11 @@ fn invert_forall_rec(
     if !proof.conclusion.contains(quant) {
         return Ok(proof.clone());
     }
-    if let Rule::Forall { quant: principal, witness } = &proof.rule {
+    if let Rule::Forall {
+        quant: principal,
+        witness,
+    } = &proof.rule
+    {
         if principal == quant {
             // the sub-proof proves the premise with eigenvariable `witness`;
             // rename it to the requested fresh variable
@@ -294,7 +317,10 @@ mod tests {
     fn forall_proof(extra: Formula) -> (Proof, Formula) {
         let quant = Formula::forall("z", "S", Formula::eq_ur("z", "z"));
         let root = Sequent::goals([quant.clone(), extra]);
-        let rule = Rule::Forall { quant: quant.clone(), witness: Name::new("w#0") };
+        let rule = Rule::Forall {
+            quant: quant.clone(),
+            witness: Name::new("w#0"),
+        };
         let prem = rule.premises(&root).unwrap().remove(0);
         let leaf = Proof::eq_refl(prem, Term::var("w#0")).unwrap();
         (Proof::by(root, rule, vec![leaf]).unwrap(), quant)
@@ -305,7 +331,9 @@ mod tests {
         let p = sample_proof();
         let renamed = rename_free_var(&p, &Name::new("x"), &Name::new("q")).unwrap();
         assert!(check_proof(&renamed).is_ok());
-        assert!(renamed.conclusion.contains(&Formula::and(Formula::eq_ur("q", "q"), Formula::True)));
+        assert!(renamed
+            .conclusion
+            .contains(&Formula::and(Formula::eq_ur("q", "q"), Formula::True)));
         // renaming onto an existing name is rejected
         assert!(rename_free_var(&p, &Name::new("x"), &Name::new("a")).is_err());
     }
@@ -316,7 +344,13 @@ mod tests {
         let mut gen = NameGen::new();
         let atom = MemAtom::new("m", "S");
         let extra = Formula::eq_ur("u", "v");
-        let weakened = weaken(&p, &[atom.clone()], &[extra.clone()], &mut gen).unwrap();
+        let weakened = weaken(
+            &p,
+            std::slice::from_ref(&atom),
+            std::slice::from_ref(&extra),
+            &mut gen,
+        )
+        .unwrap();
         assert!(check_proof(&weakened).is_ok());
         for node in weakened.nodes() {
             assert!(node.conclusion.ctx.contains(&atom));
@@ -333,7 +367,7 @@ mod tests {
         let mut gen = NameGen::new();
         // weaken by a formula mentioning the eigenvariable w#0
         let extra = Formula::eq_ur("w#0", "w#0");
-        let weakened = weaken(&p, &[], &[extra.clone()], &mut gen).unwrap();
+        let weakened = weaken(&p, &[], std::slice::from_ref(&extra), &mut gen).unwrap();
         assert!(check_proof(&weakened).is_ok());
         assert!(weakened.conclusion.contains(&extra));
     }
@@ -383,8 +417,13 @@ mod tests {
         let (p, quant) = forall_proof(Formula::eq_ur("a", "b"));
         let inverted = invert_forall(&p, &quant, &Name::new("fresh#9")).unwrap();
         assert!(check_proof(&inverted).is_ok());
-        assert!(inverted.conclusion.ctx.contains(&MemAtom::new("fresh#9", "S")));
-        assert!(inverted.conclusion.contains(&Formula::eq_ur("fresh#9", "fresh#9")));
+        assert!(inverted
+            .conclusion
+            .ctx
+            .contains(&MemAtom::new("fresh#9", "S")));
+        assert!(inverted
+            .conclusion
+            .contains(&Formula::eq_ur("fresh#9", "fresh#9")));
         assert!(!inverted.conclusion.contains(&quant));
         // requesting a non-fresh variable fails
         assert!(invert_forall(&p, &quant, &Name::new("a")).is_err());

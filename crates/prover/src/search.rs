@@ -38,7 +38,13 @@ impl Default for ProverConfig {
 impl ProverConfig {
     /// A configuration with small budgets, for quick validity checks in tests.
     pub fn quick() -> Self {
-        ProverConfig { max_risky: 3, max_formulas: 90, max_rewrites: 24, spec_limit: 32, max_states: 40_000 }
+        ProverConfig {
+            max_risky: 3,
+            max_formulas: 90,
+            max_rewrites: 24,
+            spec_limit: 32,
+            max_states: 40_000,
+        }
     }
 
     /// A configuration with generous budgets for the harder example goals.
@@ -78,7 +84,10 @@ struct State {
 /// The search recursion can get deep (one stack frame per saturation step),
 /// so the search runs on a dedicated thread with a large stack; callers see an
 /// ordinary synchronous function.
-pub fn prove_sequent(sequent: &Sequent, cfg: &ProverConfig) -> Result<(Proof, ProverStats), ProofError> {
+pub fn prove_sequent(
+    sequent: &Sequent,
+    cfg: &ProverConfig,
+) -> Result<(Proof, ProverStats), ProofError> {
     let sequent = sequent.clone();
     let cfg = cfg.clone();
     let handle = std::thread::Builder::new()
@@ -106,8 +115,11 @@ fn prove_sequent_inner(
         st.aborted = false;
         let used = BTreeSet::new();
         if let Some(proof) = attempt(sequent, level, 0, &used, &mut st) {
-            let stats =
-                ProverStats { visited: st.visited, risky_level: level, proof_size: proof.size() };
+            let stats = ProverStats {
+                visited: st.visited,
+                risky_level: level,
+                proof_size: proof.size(),
+            };
             return Ok((proof, stats));
         }
         if st.visited >= cfg.max_states {
@@ -128,7 +140,11 @@ pub fn prove(
     goals: &[Formula],
     cfg: &ProverConfig,
 ) -> Result<(Proof, ProverStats), ProofError> {
-    let seq = Sequent::two_sided(ctx.clone(), assumptions.iter().cloned(), goals.iter().cloned());
+    let seq = Sequent::two_sided(
+        ctx.clone(),
+        assumptions.iter().cloned(),
+        goals.iter().cloned(),
+    );
     prove_sequent(&seq, cfg)
 }
 
@@ -174,7 +190,12 @@ fn find_axiom(seq: &Sequent) -> Option<Rule> {
 fn find_invertible(seq: &Sequent) -> Option<Formula> {
     seq.rhs()
         .iter()
-        .find(|f| matches!(f, Formula::And(_, _) | Formula::Or(_, _) | Formula::Forall { .. }))
+        .find(|f| {
+            matches!(
+                f,
+                Formula::And(_, _) | Formula::Or(_, _) | Formula::Forall { .. }
+            )
+        })
         .cloned()
 }
 
@@ -189,7 +210,10 @@ fn attempt(
         return None;
     }
     if std::env::var_os("NRS_PROVER_TRACE").is_some() {
-        eprintln!("[{} / r{} w{}] {}", st.visited, risky_budget, rewrites_used, seq);
+        eprintln!(
+            "[{} / r{} w{}] {}",
+            st.visited, risky_budget, rewrites_used, seq
+        );
     }
     st.visited += 1;
     if st.visited >= st.cfg.max_states {
@@ -207,9 +231,10 @@ fn attempt(
         let rule = match &f {
             Formula::And(_, _) => Rule::And { conj: f.clone() },
             Formula::Or(_, _) => Rule::Or { disj: f.clone() },
-            Formula::Forall { .. } => {
-                Rule::Forall { quant: f.clone(), witness: st.gen.fresh("ev") }
-            }
+            Formula::Forall { .. } => Rule::Forall {
+                quant: f.clone(),
+                witness: st.gen.fresh("ev"),
+            },
             _ => unreachable!(),
         };
         let premises = rule.premises(seq).ok()?;
@@ -284,7 +309,10 @@ fn attempt(
                 if ms.used.is_empty() || seq.contains(&ms.result) || used.contains(&ms.result) {
                     continue;
                 }
-                let rule = Rule::Exists { quant: quant.clone(), spec: ms.result.clone() };
+                let rule = Rule::Exists {
+                    quant: quant.clone(),
+                    spec: ms.result.clone(),
+                };
                 if contains_and(&ms.result) {
                     risky.push(rule);
                 } else {
@@ -301,7 +329,9 @@ fn attempt(
     // can otherwise starve the finishing moves.
     let cost = |r: &Rule| -> usize {
         match r {
-            Rule::Neq { rewritten, atom, .. } => {
+            Rule::Neq {
+                rewritten, atom, ..
+            } => {
                 if matches!(rewritten, Formula::EqUr(a, b) if a == b) {
                     0
                 } else if matches!(atom, Formula::EqUr(_, _)) {
@@ -326,7 +356,9 @@ fn attempt(
     //    at a time; the recursive call will pick up the remaining moves).
     for rule in safe {
         let rewrites = rewrites_used + usize::from(matches!(rule, Rule::Neq { .. }));
-        let Ok(premises) = rule.premises(seq) else { continue };
+        let Ok(premises) = rule.premises(seq) else {
+            continue;
+        };
         let extended_used = extend_used(used, &rule);
         if let Some(sub) = attempt(&premises[0], risky_budget, rewrites, &extended_used, st) {
             return Proof::by(seq.clone(), rule, vec![sub]).ok();
@@ -347,9 +379,17 @@ fn attempt(
             if st.aborted {
                 return None;
             }
-            let Ok(premises) = rule.premises(seq) else { continue };
+            let Ok(premises) = rule.premises(seq) else {
+                continue;
+            };
             let extended_used = extend_used(used, &rule);
-            if let Some(sub) = attempt(&premises[0], risky_budget - 1, rewrites_used, &extended_used, st) {
+            if let Some(sub) = attempt(
+                &premises[0],
+                risky_budget - 1,
+                rewrites_used,
+                &extended_used,
+                st,
+            ) {
                 return Proof::by(seq.clone(), rule, vec![sub]).ok();
             }
         }
@@ -394,10 +434,20 @@ mod tests {
     #[test]
     fn rejects_invalid_goals() {
         // ⊢ x = y is not valid
-        let out = prove(&InContext::new(), &[], &[Formula::eq_ur("x", "y")], &ProverConfig::quick());
+        let out = prove(
+            &InContext::new(),
+            &[],
+            &[Formula::eq_ur("x", "y")],
+            &ProverConfig::quick(),
+        );
         assert!(out.is_err());
         // ⊢ ⊥ is not valid
-        let out = prove(&InContext::new(), &[], &[Formula::False], &ProverConfig::quick());
+        let out = prove(
+            &InContext::new(),
+            &[],
+            &[Formula::False],
+            &ProverConfig::quick(),
+        );
         assert!(out.is_err());
     }
 
@@ -468,12 +518,16 @@ mod tests {
         // expressed without ∪ as  ∀x ∈ S. x ∈̂ V1 ∨ x ∈̂ V2.
         let mut gen = NameGen::new();
         let ur = Type::Ur;
-        let in_f = |x: &str, g: &mut NameGen| d0::member_hat(&ur, &Term::var(x), &Term::var("F"), g);
+        let in_f =
+            |x: &str, g: &mut NameGen| d0::member_hat(&ur, &Term::var(x), &Term::var("F"), g);
         // soundness+completeness specs for V1 and V2 (only the directions needed)
         let v1_complete = Formula::forall(
             "x",
             "S",
-            d0::implies(in_f("x", &mut gen), d0::member_hat(&ur, &Term::var("x"), &Term::var("V1"), &mut gen)),
+            d0::implies(
+                in_f("x", &mut gen),
+                d0::member_hat(&ur, &Term::var("x"), &Term::var("V1"), &mut gen),
+            ),
         );
         let v2_complete = Formula::forall(
             "x",
@@ -491,9 +545,13 @@ mod tests {
                 d0::member_hat(&ur, &Term::var("x"), &Term::var("V2"), &mut gen),
             ),
         );
-        let (proof, _) =
-            prove(&InContext::new(), &[v1_complete.clone(), v2_complete.clone()], &[goal.clone()], &cfg())
-                .unwrap();
+        let (proof, _) = prove(
+            &InContext::new(),
+            &[v1_complete.clone(), v2_complete.clone()],
+            std::slice::from_ref(&goal),
+            &cfg(),
+        )
+        .unwrap();
         assert!(check_proof(&proof).is_ok());
         // cross-check the sequent semantically on a small universe
         let env = TypeEnv::from_pairs([
@@ -507,7 +565,10 @@ mod tests {
             &[v1_complete, v2_complete],
             &[goal],
             &env,
-            &BoundedCheck { universe: 2, max_models: 2_000_000 },
+            &BoundedCheck {
+                universe: 2,
+                max_models: 2_000_000,
+            },
         )
         .unwrap();
         assert!(out.is_valid());

@@ -40,7 +40,10 @@ impl fmt::Display for ValueError {
             ValueError::NotAPair(v) => write!(f, "expected a pair value, found {v}"),
             ValueError::NotAnAtom(v) => write!(f, "expected an atom, found {v}"),
             ValueError::NoDefault(t) => {
-                write!(f, "no default element available for type {t} (get on a non-singleton)")
+                write!(
+                    f,
+                    "no default element available for type {t} (get on a non-singleton)"
+                )
             }
             ValueError::UnknownName(n) => write!(f, "unknown object name: {n}"),
             ValueError::DuplicateName(n) => write!(f, "duplicate object name: {n}"),
@@ -56,7 +59,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = ValueError::TypeMismatch { expected: Type::Ur, found: "()".into() };
+        let e = ValueError::TypeMismatch {
+            expected: Type::Ur,
+            found: "()".into(),
+        };
         assert!(e.to_string().contains("expected U"));
         let e = ValueError::UnknownName(Name::new("V"));
         assert!(e.to_string().contains("V"));

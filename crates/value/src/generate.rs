@@ -35,7 +35,11 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { universe: 16, max_set_size: 4, seed: 0xC0FFEE }
+        GenConfig {
+            universe: 16,
+            max_set_size: 4,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
@@ -51,9 +55,10 @@ pub fn random_value_with(ty: &Type, cfg: &GenConfig, rng: &mut StdRng) -> Value 
     match ty {
         Type::Unit => Value::Unit,
         Type::Ur => Value::atom(rng.gen_range(0..cfg.universe)),
-        Type::Prod(a, b) => {
-            Value::pair(random_value_with(a, cfg, rng), random_value_with(b, cfg, rng))
-        }
+        Type::Prod(a, b) => Value::pair(
+            random_value_with(a, cfg, rng),
+            random_value_with(b, cfg, rng),
+        ),
         Type::Set(elem) => {
             let n = rng.gen_range(0..=cfg.max_set_size);
             let mut s = BTreeSet::new();
@@ -68,7 +73,10 @@ pub fn random_value_with(ty: &Type, cfg: &GenConfig, rng: &mut StdRng) -> Value 
 /// The schema of the flatten family: `B : Set(𝔘 × Set(𝔘))`, `V : Set(𝔘 × 𝔘)`.
 pub fn keyed_nested_schema() -> crate::Schema {
     crate::Schema::from_decls([
-        (Name::new("B"), Type::set(Type::prod(Type::Ur, Type::set(Type::Ur)))),
+        (
+            Name::new("B"),
+            Type::set(Type::prod(Type::Ur, Type::set(Type::Ur))),
+        ),
         (Name::new("V"), Type::relation(2)),
     ])
     .expect("fixed schema")
@@ -82,7 +90,10 @@ pub fn keyed_nested_schema() -> crate::Schema {
 ///
 /// Returns an [`Instance`] binding `B` and `V`.
 pub fn keyed_nested_instance(groups: usize, max_group: usize, seed: u64) -> Instance {
-    assert!(max_group >= 1, "groups must be non-empty for the lossless constraint");
+    assert!(
+        max_group >= 1,
+        "groups must be non-empty for the lossless constraint"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut pool = AtomPool::new();
     let keys = pool.fresh_many(groups);
@@ -90,8 +101,9 @@ pub fn keyed_nested_instance(groups: usize, max_group: usize, seed: u64) -> Inst
     let mut v_rows = BTreeSet::new();
     for key in keys {
         let n = rng.gen_range(1..=max_group);
-        let members: BTreeSet<Value> =
-            (0..n).map(|_| Value::Atom(pool.fresh())).collect::<BTreeSet<_>>();
+        let members: BTreeSet<Value> = (0..n)
+            .map(|_| Value::Atom(pool.fresh()))
+            .collect::<BTreeSet<_>>();
         for m in &members {
             v_rows.insert(Value::pair(Value::Atom(key), m.clone()));
         }
@@ -129,7 +141,10 @@ pub fn flatten(b: &Value) -> Value {
 pub fn warehouse_schema() -> crate::Schema {
     let line = Type::prod(Type::Ur, Type::Ur);
     crate::Schema::from_decls([
-        (Name::new("Orders"), Type::set(Type::prod(Type::Ur, Type::set(line.clone())))),
+        (
+            Name::new("Orders"),
+            Type::set(Type::prod(Type::Ur, Type::set(line.clone()))),
+        ),
         (Name::new("OrderItems"), Type::relation(2)),
         (Name::new("ItemQty"), Type::set(Type::prod(Type::Ur, line))),
     ])
@@ -175,7 +190,9 @@ pub fn random_relation(arity: usize, rows: usize, universe: u64, seed: u64) -> V
     let mut out = BTreeSet::new();
     for _ in 0..rows {
         let tuple = Value::tuple(
-            (0..arity).map(|_| Value::atom(rng.gen_range(0..universe))).collect::<Vec<_>>(),
+            (0..arity)
+                .map(|_| Value::atom(rng.gen_range(0..universe)))
+                .collect::<Vec<_>>(),
         );
         out.insert(tuple);
     }
@@ -207,7 +224,12 @@ mod tests {
         let b = inst.get(&Name::new("B")).unwrap();
         let v = inst.get(&Name::new("V")).unwrap();
         // key constraint: first components are pairwise distinct
-        let keys: Vec<_> = b.as_set().unwrap().iter().map(|r| r.proj1().unwrap().clone()).collect();
+        let keys: Vec<_> = b
+            .as_set()
+            .unwrap()
+            .iter()
+            .map(|r| r.proj1().unwrap().clone())
+            .collect();
         let uniq: BTreeSet<_> = keys.iter().cloned().collect();
         assert_eq!(keys.len(), uniq.len());
         // non-emptiness of groups

@@ -46,7 +46,7 @@ impl Schema {
 
     /// Look up the type of a declared object.
     pub fn type_of(&self, name: &Name) -> Result<&Type, ValueError> {
-        self.decls.get(name).ok_or_else(|| ValueError::UnknownName(name.clone()))
+        self.decls.get(name).ok_or(ValueError::UnknownName(*name))
     }
 
     /// Does the schema declare this name?
@@ -81,7 +81,7 @@ impl Schema {
                 .decls
                 .iter()
                 .filter(|(n, _)| names.contains(n))
-                .map(|(n, t)| (n.clone(), t.clone()))
+                .map(|(n, t)| (*n, t.clone()))
                 .collect(),
         }
     }
@@ -92,9 +92,9 @@ impl Schema {
         for (n, t) in other.iter() {
             match out.decls.get(n) {
                 Some(existing) if existing == t => {}
-                Some(_) => return Err(ValueError::DuplicateName(n.clone())),
+                Some(_) => return Err(ValueError::DuplicateName(*n)),
                 None => {
-                    out.decls.insert(n.clone(), t.clone());
+                    out.decls.insert(*n, t.clone());
                 }
             }
         }
@@ -128,7 +128,9 @@ impl Instance {
 
     /// Build an instance from bindings (later bindings overwrite earlier ones).
     pub fn from_bindings(bindings: impl IntoIterator<Item = (Name, Value)>) -> Self {
-        Instance { bindings: bindings.into_iter().collect() }
+        Instance {
+            bindings: bindings.into_iter().collect(),
+        }
     }
 
     /// Bind (or rebind) a name.
@@ -146,7 +148,9 @@ impl Instance {
 
     /// Look up a binding.
     pub fn get(&self, name: &Name) -> Result<&Value, ValueError> {
-        self.bindings.get(name).ok_or_else(|| ValueError::UnknownName(name.clone()))
+        self.bindings
+            .get(name)
+            .ok_or(ValueError::UnknownName(*name))
     }
 
     /// Look up a binding, returning `None` when absent.
@@ -181,7 +185,10 @@ impl Instance {
         for (name, ty) in schema.iter() {
             let v = self.get(name)?;
             if !v.has_type(ty) {
-                return Err(ValueError::TypeMismatch { expected: ty.clone(), found: v.to_string() });
+                return Err(ValueError::TypeMismatch {
+                    expected: ty.clone(),
+                    found: v.to_string(),
+                });
             }
         }
         Ok(())
@@ -194,17 +201,19 @@ impl Instance {
                 .bindings
                 .iter()
                 .filter(|(n, _)| names.contains(n))
-                .map(|(n, v)| (n.clone(), v.clone()))
+                .map(|(n, v)| (*n, v.clone()))
                 .collect(),
         }
     }
 
     /// Do two instances agree on the given names (all present and equal)?
     pub fn agree_on(&self, other: &Instance, names: &[Name]) -> bool {
-        names.iter().all(|n| match (self.try_get(n), other.try_get(n)) {
-            (Some(a), Some(b)) => a == b,
-            _ => false,
-        })
+        names
+            .iter()
+            .all(|n| match (self.try_get(n), other.try_get(n)) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            })
     }
 
     /// The active domain of the instance: all atoms occurring in any binding.
@@ -236,7 +245,10 @@ mod tests {
     fn example_schema() -> Schema {
         Schema::from_decls([
             (Name::new("R"), Type::relation(2)),
-            (Name::new("S"), Type::set(Type::prod(Type::Ur, Type::set(Type::Ur)))),
+            (
+                Name::new("S"),
+                Type::set(Type::prod(Type::Ur, Type::set(Type::Ur))),
+            ),
         ])
         .unwrap()
     }
@@ -254,7 +266,10 @@ mod tests {
     #[test]
     fn schema_rejects_duplicates() {
         let mut s = example_schema();
-        assert!(matches!(s.declare("R", Type::Ur), Err(ValueError::DuplicateName(_))));
+        assert!(matches!(
+            s.declare("R", Type::Ur),
+            Err(ValueError::DuplicateName(_))
+        ));
     }
 
     #[test]
@@ -288,7 +303,10 @@ mod tests {
             ),
             (
                 Name::new("S"),
-                Value::set([Value::pair(Value::atom(4), Value::set([Value::atom(6), Value::atom(9)]))]),
+                Value::set([Value::pair(
+                    Value::atom(4),
+                    Value::set([Value::atom(6), Value::atom(9)]),
+                )]),
             ),
         ]);
         assert!(inst.conforms_to(&schema).is_ok());

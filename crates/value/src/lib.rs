@@ -33,89 +33,16 @@ pub mod atoms;
 pub mod error;
 pub mod generate;
 pub mod instance;
+pub mod name;
 pub mod types;
 pub mod value;
 
 pub use atoms::Atom;
 pub use error::ValueError;
 pub use instance::{Instance, Schema};
+pub use name::{Name, NameGen};
 pub use types::{SubtypePath, SubtypeStep, Type};
 pub use value::Value;
-
-/// Interned variable / object names used across the workspace.
-///
-/// Names are plain `String`s wrapped for clarity; cloning is cheap enough for
-/// the sizes of formulas and expressions this library manipulates, and using a
-/// transparent newtype keeps ordering deterministic (lexicographic), which in
-/// turn keeps synthesized artefacts reproducible.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
-pub struct Name(pub String);
-
-impl Name {
-    /// Create a name from anything string-like.
-    pub fn new(s: impl Into<String>) -> Self {
-        Name(s.into())
-    }
-
-    /// View the underlying string.
-    pub fn as_str(&self) -> &str {
-        &self.0
-    }
-}
-
-impl std::fmt::Display for Name {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
-    }
-}
-
-impl From<&str> for Name {
-    fn from(s: &str) -> Self {
-        Name::new(s)
-    }
-}
-
-impl From<String> for Name {
-    fn from(s: String) -> Self {
-        Name(s)
-    }
-}
-
-/// A generator of fresh names, shared by the proof transformations and the
-/// synthesis pipeline to maintain variable hygiene.
-#[derive(Debug, Default, Clone)]
-pub struct NameGen {
-    counter: u64,
-}
-
-impl NameGen {
-    /// A fresh generator starting at zero.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// A generator that will never clash with the given names, assuming all
-    /// generated names use the reserved `#` separator (user-facing APIs reject
-    /// `#` in names).
-    pub fn avoiding<'a>(names: impl IntoIterator<Item = &'a Name>) -> Self {
-        let mut max = 0;
-        for n in names {
-            if let Some(rest) = n.0.rsplit('#').next() {
-                if let Ok(k) = rest.parse::<u64>() {
-                    max = max.max(k + 1);
-                }
-            }
-        }
-        NameGen { counter: max }
-    }
-
-    /// Produce a fresh name with the given human-readable prefix.
-    pub fn fresh(&mut self, prefix: &str) -> Name {
-        let n = Name(format!("{prefix}#{}", self.counter));
-        self.counter += 1;
-        n
-    }
-}
 
 #[cfg(test)]
 mod tests {
@@ -142,7 +69,7 @@ mod tests {
 
     #[test]
     fn namegen_avoiding_skips_existing_suffixes() {
-        let existing = vec![Name::new("x#7"), Name::new("plain")];
+        let existing = [Name::new("x#7"), Name::new("plain")];
         let mut g = NameGen::avoiding(existing.iter());
         let f = g.fresh("x");
         assert_eq!(f.as_str(), "x#8");

@@ -49,7 +49,9 @@ impl Value {
     /// A right-nested tuple `⟨v1, ⟨v2, …⟩⟩`; the 1-ary tuple is the value itself.
     pub fn tuple(parts: Vec<Value>) -> Value {
         let mut it = parts.into_iter().rev();
-        let last = it.next().expect("Value::tuple requires at least one component");
+        let last = it
+            .next()
+            .expect("Value::tuple requires at least one component");
         it.fold(last, |acc, v| Value::pair(v, acc))
     }
 
@@ -212,14 +214,24 @@ impl Value {
     /// Set difference (errors if either value is not a set).
     pub fn difference(&self, other: &Value) -> Result<Value, ValueError> {
         let rhs = other.as_set()?;
-        let s = self.as_set()?.iter().filter(|v| !rhs.contains(*v)).cloned().collect();
+        let s = self
+            .as_set()?
+            .iter()
+            .filter(|v| !rhs.contains(*v))
+            .cloned()
+            .collect();
         Ok(Value::Set(s))
     }
 
     /// Set intersection (errors if either value is not a set).
     pub fn intersection(&self, other: &Value) -> Result<Value, ValueError> {
         let rhs = other.as_set()?;
-        let s = self.as_set()?.iter().filter(|v| rhs.contains(*v)).cloned().collect();
+        let s = self
+            .as_set()?
+            .iter()
+            .filter(|v| rhs.contains(*v))
+            .cloned()
+            .collect();
         Ok(Value::Set(s))
     }
 
@@ -266,7 +278,10 @@ impl Value {
                 let base = Value::enumerate(elem, universe);
                 // all subsets of `base`
                 let n = base.len();
-                assert!(n < 20, "Value::enumerate would build 2^{n} sets; universe too large");
+                assert!(
+                    n < 20,
+                    "Value::enumerate would build 2^{n} sets; universe too large"
+                );
                 let mut out = Vec::with_capacity(1 << n);
                 for mask in 0u32..(1u32 << n) {
                     let mut s = BTreeSet::new();
@@ -351,7 +366,10 @@ mod tests {
         let v = Value::tuple(vec![Value::atom(1), Value::atom(2), Value::atom(3)]);
         let t = Type::tuple(vec![Type::Ur, Type::Ur, Type::Ur]);
         assert!(v.has_type(&t));
-        assert_eq!(v, Value::pair(Value::atom(1), Value::pair(Value::atom(2), Value::atom(3))));
+        assert_eq!(
+            v,
+            Value::pair(Value::atom(1), Value::pair(Value::atom(2), Value::atom(3)))
+        );
     }
 
     #[test]
@@ -393,7 +411,10 @@ mod tests {
         let atoms = [Atom::new(0), Atom::new(1)];
         assert_eq!(Value::enumerate(&Type::Unit, &atoms).len(), 1);
         assert_eq!(Value::enumerate(&Type::Ur, &atoms).len(), 2);
-        assert_eq!(Value::enumerate(&Type::prod(Type::Ur, Type::Ur), &atoms).len(), 4);
+        assert_eq!(
+            Value::enumerate(&Type::prod(Type::Ur, Type::Ur), &atoms).len(),
+            4
+        );
         // Set(U) over 2 atoms: 4 subsets
         assert_eq!(Value::enumerate(&Type::set(Type::Ur), &atoms).len(), 4);
         // Bool has exactly two elements regardless of the universe

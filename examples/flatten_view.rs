@@ -16,8 +16,8 @@ use nested_synth::delta0::entail::{check_sequent_bounded, BoundedCheck};
 use nested_synth::delta0::macros as d0;
 use nested_synth::delta0::typing::TypeEnv;
 use nested_synth::delta0::{InContext, Term};
+use nested_synth::nrc::eval as nrc_eval;
 use nested_synth::nrc::spec::flatten_view;
-use nested_synth::nrc::{eval as nrc_eval};
 use nested_synth::prover::{prove, ProverConfig};
 use nested_synth::value::generate::keyed_nested_instance;
 use nested_synth::value::{Name, NameGen, Type};
@@ -42,7 +42,10 @@ fn main() {
     // Evaluate the view on generated instances and sanity-check the spec.
     let inst = keyed_nested_instance(4, 3, 7);
     let v = nrc_eval::eval(&view_expr, &inst).unwrap();
-    println!("a lossless instance B:\n  {}", inst.get(&Name::new("B")).unwrap());
+    println!(
+        "a lossless instance B:\n  {}",
+        inst.get(&Name::new("B")).unwrap()
+    );
     println!("its flattening V = {v}\n");
     assert_eq!(&v, inst.get(&Name::new("V")).unwrap());
     assert!(nested_synth::delta0::eval::eval_formula(&view_spec, &inst).unwrap());
@@ -51,18 +54,25 @@ fn main() {
     // small bounded universe (every pair of instances agreeing on V and
     // satisfying the specification agrees on B).
     let phi = d0::and_all([view_spec.clone(), key.clone(), nonempty.clone()]);
-    let phi2 = phi
-        .subst_var(&Name::new("B"), &Term::var("B2"));
-    let goal = d0::equiv(&Type::set(row_ty.clone()), &Term::var("B"), &Term::var("B2"), &mut gen);
+    let phi2 = phi.subst_var(&Name::new("B"), &Term::var("B2"));
+    let goal = d0::equiv(
+        &Type::set(row_ty.clone()),
+        &Term::var("B"),
+        &Term::var("B2"),
+        &mut gen,
+    );
     let env = base_env
         .with(Name::new("B2"), Type::set(row_ty.clone()))
         .with(Name::new("V"), Type::relation(2));
     let outcome = check_sequent_bounded(
         &InContext::new(),
         &[phi.clone(), phi2.clone()],
-        &[goal.clone()],
+        std::slice::from_ref(&goal),
         &env,
-        &BoundedCheck { universe: 2, max_models: 2_000_000 },
+        &BoundedCheck {
+            universe: 2,
+            max_models: 2_000_000,
+        },
     )
     .unwrap();
     println!("bounded semantic determinacy check (universe of 2 atoms): {outcome:?}\n");
@@ -74,7 +84,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(50_000);
-    let cfg = ProverConfig { max_states, ..ProverConfig::default() };
+    let cfg = ProverConfig {
+        max_states,
+        ..ProverConfig::default()
+    };
     println!("searching for a determinacy proof witness (max {max_states} states)…");
     match prove(&InContext::new(), &[phi, phi2], &[goal], &cfg) {
         Ok((proof, stats)) => println!(

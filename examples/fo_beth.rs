@@ -10,6 +10,7 @@
 
 use nested_synth::fol::{fo_interpolate, fo_prove, FoPartition, FoProverConfig};
 use nested_synth::fol::{is_fo_focused, FoFormula};
+use nested_synth::value::Name;
 
 fn main() {
     // Left theory: every item in the Orders view satisfies the Audited predicate.
@@ -17,11 +18,17 @@ fn main() {
     // Consequence: every item in Orders is Billable.
     let left = FoFormula::forall(
         "x",
-        FoFormula::implies(FoFormula::atom("Orders", vec!["x"]), FoFormula::atom("Audited", vec!["x"])),
+        FoFormula::implies(
+            FoFormula::atom("Orders", vec!["x"]),
+            FoFormula::atom("Audited", vec!["x"]),
+        ),
     );
     let right = FoFormula::forall(
         "x",
-        FoFormula::implies(FoFormula::atom("Audited", vec!["x"]), FoFormula::atom("Billable", vec!["x"])),
+        FoFormula::implies(
+            FoFormula::atom("Audited", vec!["x"]),
+            FoFormula::atom("Billable", vec!["x"]),
+        ),
     );
     let goal = FoFormula::implies(
         FoFormula::atom("Orders", vec!["c"]),
@@ -33,17 +40,24 @@ fn main() {
 
     let proof = fo_prove(
         &[left.clone(), right.clone()],
-        &[goal.clone()],
+        std::slice::from_ref(&goal),
         &FoProverConfig::default(),
     )
     .expect("the chain is valid");
-    println!("found a proof with {} nodes (FO-focused: {})", proof.size(), is_fo_focused(&proof));
+    println!(
+        "found a proof with {} nodes (FO-focused: {})",
+        proof.size(),
+        is_fo_focused(&proof)
+    );
 
     let partition = FoPartition::with_left([left.negate()]);
     let theta = fo_interpolate(&proof, &partition).expect("interpolation succeeds");
     println!("Craig interpolant between the two theories:\n  {theta}");
     println!("predicates used: {:?}", theta.predicates());
-    assert!(!theta.predicates().contains("Billable"));
-    assert!(!theta.predicates().contains("Orders") || theta.predicates().contains("Audited"));
+    assert!(!theta.predicates().contains(&Name::new("Billable")));
+    assert!(
+        !theta.predicates().contains(&Name::new("Orders"))
+            || theta.predicates().contains(&Name::new("Audited"))
+    );
     println!("\nthe interpolant stays within the shared vocabulary ✔");
 }

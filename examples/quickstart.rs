@@ -20,16 +20,27 @@ fn main() {
     let ur = Type::Ur;
     let in_f = |x: &str, g: &mut NameGen| d0::member_hat(&ur, &Term::var(x), &Term::var("F"), g);
     let view = |vname: &str, positive: bool, gen: &mut NameGen| {
-        let filt = if positive { in_f("x", gen) } else { in_f("x", gen).negate() };
+        let filt = if positive {
+            in_f("x", gen)
+        } else {
+            in_f("x", gen).negate()
+        };
         let sound = Formula::forall(
             "z",
             Term::var(vname),
-            Formula::exists("x", "S", Formula::and(filt.clone(), Formula::eq_ur("z", "x"))),
+            Formula::exists(
+                "x",
+                "S",
+                Formula::and(filt.clone(), Formula::eq_ur("z", "x")),
+            ),
         );
         let complete = Formula::forall(
             "x",
             "S",
-            d0::implies(filt, d0::member_hat(&ur, &Term::var("x"), &Term::var(vname), gen)),
+            d0::implies(
+                filt,
+                d0::member_hat(&ur, &Term::var("x"), &Term::var(vname), gen),
+            ),
         );
         Formula::and(sound, complete)
     };
@@ -45,16 +56,27 @@ fn main() {
     println!("specification φ:\n  {}\n", spec.formula);
 
     // 2. Synthesize (this also finds the proof witnesses it needs).
-    let cfg = SynthesisConfig { check_determinacy: true, ..Default::default() };
+    let cfg = SynthesisConfig {
+        check_determinacy: true,
+        ..Default::default()
+    };
     let def = synthesize(&spec, &cfg).expect("the views determine S");
-    println!("synthesized definition of S over {{V1, V2}}:\n  {}\n", def.expr);
+    println!(
+        "synthesized definition of S over {{V1, V2}}:\n  {}\n",
+        def.expr
+    );
     println!(
         "proof search: {} goals, {} states visited, proof sizes {:?}\n",
         def.report.goals_proved, def.report.states_visited, def.report.proof_sizes
     );
 
     // 3. Evaluate the definition on a concrete instance and verify it.
-    let s = Value::set([Value::atom(1), Value::atom(2), Value::atom(3), Value::atom(5)]);
+    let s = Value::set([
+        Value::atom(1),
+        Value::atom(2),
+        Value::atom(3),
+        Value::atom(5),
+    ]);
     let f = Value::set([Value::atom(2), Value::atom(5), Value::atom(9)]);
     let v1 = s.intersection(&f).unwrap();
     let v2 = s.difference(&f).unwrap();

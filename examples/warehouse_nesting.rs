@@ -27,9 +27,14 @@ fn main() {
     }
     println!("query: {} = base set S\n", problem.query.name);
 
-    let cfg = SynthesisConfig { check_determinacy: true, ..Default::default() };
+    let cfg = SynthesisConfig {
+        check_determinacy: true,
+        ..Default::default()
+    };
     let t0 = Instant::now();
-    let rewriting = problem.derive_rewriting(&cfg).expect("views determine the query");
+    let rewriting = problem
+        .derive_rewriting(&cfg)
+        .expect("views determine the query");
     println!(
         "synthesized rewriting over the views (in {:?}):\n  {}\n",
         t0.elapsed(),
@@ -58,7 +63,11 @@ fn main() {
         let t0 = Instant::now();
         match join.derive_rewriting(&cfg) {
             Ok(result) => {
-                println!("rewriting found in {:?}:\n  {}", t0.elapsed(), result.expr());
+                println!(
+                    "rewriting found in {:?}:\n  {}",
+                    t0.elapsed(),
+                    result.expr()
+                );
                 let base = lossless_join_instance(4, 9);
                 println!(
                     "verified on a 4-row instance: {}",

@@ -5,7 +5,7 @@
 //! the examples, integration tests and downstream users can depend on a single
 //! crate.
 //!
-//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+//! See `README.md` for a tour, the crate map and the pipeline diagram.
 
 pub use nrs_delta0 as delta0;
 pub use nrs_fol as fol;

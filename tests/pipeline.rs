@@ -7,8 +7,8 @@ use nested_synth::delta0::typing::TypeEnv;
 use nested_synth::delta0::{Formula, InContext, Term};
 use nested_synth::interp::{interpolate, Partition};
 use nested_synth::nrc::spec::flatten_view;
-use nested_synth::prover::{prove, prove_sequent, ProverConfig};
 use nested_synth::proof::{check_proof, Sequent};
+use nested_synth::prover::{prove, prove_sequent, ProverConfig};
 use nested_synth::synthesis::views::{materialize_views, partition_instance, partition_problem};
 use nested_synth::synthesis::SynthesisConfig;
 use nested_synth::value::generate::keyed_nested_instance;
@@ -19,7 +19,10 @@ use proptest::prelude::*;
 fn corollary3_pipeline_end_to_end() {
     // spec → determinacy proof → synthesis → verified rewriting over the views
     let problem = partition_problem();
-    let cfg = SynthesisConfig { check_determinacy: true, ..Default::default() };
+    let cfg = SynthesisConfig {
+        check_determinacy: true,
+        ..Default::default()
+    };
     let rewriting = problem.derive_rewriting(&cfg).expect("rewriting exists");
     assert!(rewriting.definition.report.goals_proved >= 2);
     for seed in 0..6 {
@@ -39,15 +42,24 @@ fn proofs_produced_by_the_prover_always_check() {
     let mut gen = NameGen::new();
     let goals = vec![
         Formula::or(Formula::eq_ur("x", "y"), Formula::neq_ur("x", "y")),
-        Formula::forall("z", "S", d0::member_hat(&Type::Ur, &Term::var("z"), &Term::var("S"), &mut gen)),
+        Formula::forall(
+            "z",
+            "S",
+            d0::member_hat(&Type::Ur, &Term::var("z"), &Term::var("S"), &mut gen),
+        ),
         d0::implies(
             d0::subset(&Type::Ur, &Term::var("A"), &Term::var("B"), &mut gen),
             d0::subset(&Type::Ur, &Term::var("A"), &Term::var("B"), &mut gen),
         ),
     ];
     for goal in goals {
-        let (proof, _) = prove(&InContext::new(), &[], &[goal.clone()], &ProverConfig::default())
-            .unwrap_or_else(|e| panic!("failed to prove {goal}: {e}"));
+        let (proof, _) = prove(
+            &InContext::new(),
+            &[],
+            std::slice::from_ref(&goal),
+            &ProverConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("failed to prove {goal}: {e}"));
         check_proof(&proof).expect("prover output must check");
     }
 }
@@ -81,8 +93,16 @@ fn interpolants_respect_variable_sharing_on_view_specs() {
     let partition = Partition::with_left([], [spec1.negate()]);
     let theta = interpolate(&proof, &partition).expect("interpolant");
     for v in theta.free_vars() {
-        assert_ne!(v.as_str(), "B", "interpolant must not mention the left-only base copy");
-        assert_ne!(v.as_str(), "B2", "interpolant must not mention the right-only base copy");
+        assert_ne!(
+            v.as_str(),
+            "B",
+            "interpolant must not mention the left-only base copy"
+        );
+        assert_ne!(
+            v.as_str(),
+            "B2",
+            "interpolant must not mention the right-only base copy"
+        );
     }
 }
 

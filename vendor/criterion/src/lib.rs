@@ -1,0 +1,293 @@
+//! # criterion (offline stand-in)
+//!
+//! A use-site compatible subset of the `criterion` benchmarking crate for
+//! offline builds: `criterion_group!` / `criterion_main!`, benchmark groups
+//! with `sample_size` / `measurement_time`, `bench_function` /
+//! `bench_with_input`, [`BenchmarkId`] and [`black_box`].
+//!
+//! Instead of criterion's statistical pipeline, each benchmark runs a short
+//! warm-up followed by `sample_size` timed samples (each sample iterates the
+//! closure enough times to cost ≳1 ms) within the `measurement_time` budget,
+//! and reports mean / min / max ns-per-iteration.  Every benchmark also emits
+//! one line of the form
+//!
+//! ```text
+//! BENCH_JSON {"group":"E4_proof_search","bench":"subset_chain/2","mean_ns":…}
+//! ```
+//!
+//! which `scripts/bench.sh` collects into the repository's JSON baseline.
+//! Set `NRS_BENCH_FAST=1` to cap every budget at a few samples (used to smoke
+//! the harness in CI without burning minutes).
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level handle passed to every `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+            default_measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+            _parent: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark (its own single-entry group).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// Identifies one benchmark within a group: a function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("prove", 8)` renders as `prove/8`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id from a bare parameter (mirrors criterion's `from_parameter`).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { full: s }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { full: s.to_owned() }
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmark a closure that receives a reference to `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), |b| f(b));
+        self
+    }
+
+    /// Flush the group (kept for interface parity; reporting is per-bench).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let fast = std::env::var_os("NRS_BENCH_FAST").is_some();
+        let sample_size = if fast { 2 } else { self.sample_size };
+        let budget = if fast {
+            Duration::from_millis(200)
+        } else {
+            self.measurement_time
+        };
+
+        let mut bencher = Bencher {
+            samples_ns: Vec::new(),
+            sample_size,
+            budget,
+        };
+        f(&mut bencher);
+        let samples = &bencher.samples_ns;
+        if samples.is_empty() {
+            eprintln!(
+                "warning: benchmark {}/{} never called iter()",
+                self.name, id.full
+            );
+            return;
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{:<40} time: [{:>12} {:>12} {:>12}]  ({} samples)",
+            format!("{}/{}", self.name, id.full),
+            format_ns(min),
+            format_ns(mean),
+            format_ns(max),
+            samples.len(),
+        );
+        println!(
+            "BENCH_JSON {{\"group\":{:?},\"bench\":{:?},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{}}}",
+            self.name,
+            id.full,
+            mean,
+            min,
+            max,
+            samples.len(),
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code to
+/// measure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Measure `f`, discarding its output via [`black_box`].
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: find how many iterations cost ≳1 ms so that
+        // timer granularity doesn't dominate a sample.
+        let calibration_start = Instant::now();
+        black_box(f());
+        let once = calibration_start.elapsed().max(Duration::from_nanos(50));
+        let iters_per_sample =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
+
+        let deadline = Instant::now() + self.budget;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    /// Like `iter`, but with per-iteration setup excluded from timing is not
+    /// supported; the routine is timed as a whole (parity shim).
+    pub fn iter_with_large_drop<O, F: FnMut() -> O>(&mut self, f: F) {
+        self.iter(f);
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles bench functions under one
+/// runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: the bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records_samples() {
+        std::env::set_var("NRS_BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit_test_group");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50));
+        group.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &n| {
+            b.iter(|| n * n)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).full, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(9).full, "9");
+    }
+}

@@ -1,0 +1,347 @@
+//! JSON encoding of [`Content`](crate::Content) trees — the offline
+//! equivalent of `serde_json::{to_string, from_str}`.
+//!
+//! Maps whose keys all serialize to strings are emitted as JSON objects (the
+//! common case: structs, `BTreeMap<Name, _>`), anything else as an array of
+//! `[key, value]` pairs.  The parser is a small recursive-descent JSON reader
+//! supporting exactly what the writer emits plus arbitrary whitespace.
+
+use crate::{Content, Deserialize, Error, Serialize};
+
+/// Serialize a value to a JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    write_content(&value.serialize(), &mut out);
+    out
+}
+
+/// Deserialize a value from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let content = parse(s)?;
+    T::deserialize(&content)
+}
+
+/// Parse a JSON string into a raw [`Content`] tree.
+pub fn parse(s: &str) -> Result<Content, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!("trailing input at byte {}", p.pos)));
+    }
+    Ok(value)
+}
+
+fn write_content(c: &Content, out: &mut String) {
+    match c {
+        Content::Unit => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(n) => out.push_str(&n.to_string()),
+        Content::I64(n) => out.push_str(&n.to_string()),
+        Content::Str(s) => write_string(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_content(item, out);
+            }
+            out.push(']');
+        }
+        Content::Map(pairs) => {
+            if pairs.iter().all(|(k, _)| matches!(k, Content::Str(_))) {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_content(k, out);
+                    out.push(':');
+                    write_content(v, out);
+                }
+                out.push('}');
+            } else {
+                // Non-string keys: arrays of [key, value] pairs.
+                out.push('[');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('[');
+                    write_content(k, out);
+                    out.push(',');
+                    write_content(v, out);
+                    out.push(']');
+                }
+                out.push(']');
+            }
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::custom("unexpected end of input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Content, Error> {
+        match self.peek()? {
+            b'n' => self.keyword("null", Content::Unit),
+            b't' => self.keyword("true", Content::Bool(true)),
+            b'f' => self.keyword("false", Content::Bool(false)),
+            b'"' => Ok(Content::Str(self.string()?)),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(Error::custom(format!(
+                "unexpected character {:?} at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Content) -> Result<Content, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::custom(format!(
+                "invalid keyword at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        let negative = self.bytes[self.pos] == b'-';
+        if negative {
+            self.pos += 1;
+        }
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if negative {
+            text.parse::<i64>().map(Content::I64)
+        } else {
+            text.parse::<u64>().map(Content::U64)
+        }
+        .map_err(|e| Error::custom(format!("bad number {text:?}: {e}")))
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            // Bulk-copy up to the next quote or backslash: neither byte can
+            // occur inside a multi-byte UTF-8 sequence, so scanning bytes is
+            // safe, and the input came from a `&str`, so each chunk is valid
+            // UTF-8 (validated once per chunk, keeping parsing linear).
+            let rest = &self.bytes[self.pos..];
+            let stop = rest
+                .iter()
+                .position(|&b| b == b'"' || b == b'\\')
+                .ok_or_else(|| Error::custom("unterminated string"))?;
+            out.push_str(
+                std::str::from_utf8(&rest[..stop]).map_err(|_| Error::custom("invalid utf-8"))?,
+            );
+            self.pos += stop;
+            if self.bytes[self.pos] == b'"' {
+                self.pos += 1;
+                return Ok(out);
+            }
+            // Backslash escape.
+            self.pos += 1;
+            match self.bytes.get(self.pos).copied() {
+                Some(b'"') => out.push('"'),
+                Some(b'\\') => out.push('\\'),
+                Some(b'/') => out.push('/'),
+                Some(b'n') => out.push('\n'),
+                Some(b'r') => out.push('\r'),
+                Some(b't') => out.push('\t'),
+                Some(b'u') => {
+                    let hex = self
+                        .bytes
+                        .get(self.pos + 1..self.pos + 5)
+                        .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                    let hex =
+                        std::str::from_utf8(hex).map_err(|_| Error::custom("bad \\u escape"))?;
+                    let code = u32::from_str_radix(hex, 16)
+                        .map_err(|_| Error::custom("bad \\u escape"))?;
+                    out.push(
+                        char::from_u32(code).ok_or_else(|| Error::custom("invalid codepoint"))?,
+                    );
+                    self.pos += 4;
+                }
+                other => {
+                    return Err(Error::custom(format!("bad escape {other:?}")));
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+        } else {
+            loop {
+                items.push(self.value()?);
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b']' => {
+                        self.pos += 1;
+                        break;
+                    }
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected ',' or ']', found {:?}",
+                            other as char
+                        )))
+                    }
+                }
+            }
+        }
+        // An array of 2-element arrays could be a map with non-string keys,
+        // but we cannot distinguish it from a genuine sequence of pairs here;
+        // `Deserialize` impls for maps accept both shapes.
+        Ok(Content::Seq(items))
+    }
+
+    fn object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+        } else {
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.expect(b':')?;
+                let value = self.value()?;
+                pairs.push((Content::Str(key), value));
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b'}' => {
+                        self.pos += 1;
+                        break;
+                    }
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected ',' or '}}', found {:?}",
+                            other as char
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(Content::Map(pairs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(to_string(&42u64), "42");
+        assert_eq!(from_str::<u64>("42"), Ok(42));
+        assert_eq!(to_string(&-5i64), "-5");
+        assert_eq!(from_str::<i64>(" -5 "), Ok(-5));
+        assert_eq!(to_string(&true), "true");
+        assert_eq!(from_str::<bool>("false"), Ok(false));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let s = "a\"b\\c\nd\tüñ".to_owned();
+        let json = to_string(&s);
+        assert_eq!(from_str::<String>(&json), Ok(s));
+    }
+
+    #[test]
+    fn nested_containers() {
+        let m: BTreeMap<String, Vec<u64>> =
+            [("xs".to_owned(), vec![1, 2]), ("ys".to_owned(), vec![])]
+                .into_iter()
+                .collect();
+        let json = to_string(&m);
+        assert_eq!(json, r#"{"xs":[1,2],"ys":[]}"#);
+        assert_eq!(from_str::<BTreeMap<String, Vec<u64>>>(&json), Ok(m));
+    }
+
+    #[test]
+    fn long_strings_parse_in_linear_time() {
+        // ~1 MB string with escapes sprinkled in; quadratic parsing would
+        // take minutes here, linear parsing is instant.
+        let big: String = "aé\\\"x".repeat(200_000);
+        let json = to_string(&big);
+        let start = std::time::Instant::now();
+        assert_eq!(from_str::<String>(&json), Ok(big));
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "string parsing is superlinear: took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(from_str::<u64>("42 junk").is_err());
+        assert!(from_str::<Vec<u64>>("[1,").is_err());
+    }
+}

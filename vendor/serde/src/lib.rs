@@ -1,0 +1,377 @@
+//! # serde (offline stand-in)
+//!
+//! This workspace builds in fully offline environments, so it cannot pull the
+//! real `serde` from crates.io.  This crate is a *use-site compatible*
+//! replacement: code written as
+//!
+//! ```ignore
+//! use serde::{Deserialize, Serialize};
+//!
+//! #[derive(Serialize, Deserialize)]
+//! struct Foo { a: u64, b: Vec<String> }
+//! ```
+//!
+//! compiles and works unchanged.  What differs is the machinery underneath:
+//! instead of the visitor-based zero-copy data model of real serde, this crate
+//! serializes through a single self-describing tree, [`Content`], and ships a
+//! JSON front-end in [`json`].  The derive macros (re-exported from
+//! `serde_derive`) generate impls against that simplified model and follow the
+//! real serde conventions for shapes:
+//!
+//! * named-field structs → maps keyed by field name;
+//! * 1-field tuple structs (newtypes) → the inner value, transparently;
+//! * n-field tuple structs → sequences;
+//! * unit enum variants → the variant name as a string;
+//! * data-carrying enum variants → externally tagged: `{ "Variant": payload }`.
+//!
+//! Because the wire shapes match serde_json's defaults for the same derives,
+//! swapping the real `serde`/`serde_json` back in (when a registry is
+//! available) only requires replacing custom `impl Serialize`/`Deserialize`
+//! blocks — derived types keep their encodings.
+//!
+//! Only the surface the workspace actually uses is provided; this is not a
+//! general-purpose serde replacement.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The self-describing serialization tree — the entire data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// `()`, unit structs and `None`.
+    Unit,
+    /// Booleans.
+    Bool(bool),
+    /// All unsigned integers.
+    U64(u64),
+    /// All signed integers (only used when the value is negative or the
+    /// source type is signed).
+    I64(i64),
+    /// Strings.
+    Str(String),
+    /// Sequences: `Vec`, `BTreeSet`, tuples, tuple structs.
+    Seq(Vec<Content>),
+    /// Maps: structs (string keys) and `BTreeMap`s (arbitrary keys).
+    /// Represented as a pair list so non-string keys survive.
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// Look up a string-keyed entry in a [`Content::Map`] — the accessor the
+    /// derived `Deserialize` impls use for named fields.
+    pub fn get_field(&self, name: &str) -> Option<&Content> {
+        match self {
+            Content::Map(pairs) => pairs
+                .iter()
+                .find(|(k, _)| matches!(k, Content::Str(s) if s == name))
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Build an error from anything displayable.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be serialized into a [`Content`] tree.
+pub trait Serialize {
+    /// Produce the self-describing tree for `self`.
+    fn serialize(&self) -> Content;
+}
+
+/// Types that can be reconstructed from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild a value from the tree, or explain why the shape is wrong.
+    fn deserialize(content: &Content) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, Error> {
+                match content {
+                    Content::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t)))),
+                    Content::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t)))),
+                    other => Err(Error::custom(format!(
+                        "expected {}, found {other:?}", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, Error> {
+                match content {
+                    Content::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t)))),
+                    Content::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t)))),
+                    other => Err(Error::custom(format!(
+                        "expected {}, found {other:?}", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self) -> Content {
+        Content::Unit
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Unit => Ok(()),
+            other => Err(Error::custom(format!("expected unit, found {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        T::deserialize(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            None => Content::Unit,
+            Some(v) => v.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Unit => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::custom(format!("expected sequence, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::custom(format!("expected sequence, found {other:?}"))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.serialize(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Map(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((K::deserialize(k)?, V::deserialize(v)?)))
+                .collect(),
+            // The JSON layer lowers maps with non-string keys to sequences of
+            // [key, value] pairs; accept that shape on the way back in.
+            Content::Seq(items) => items
+                .iter()
+                .map(|item| match item {
+                    Content::Seq(kv) if kv.len() == 2 => {
+                        Ok((K::deserialize(&kv[0])?, V::deserialize(&kv[1])?))
+                    }
+                    other => Err(Error::custom(format!(
+                        "expected [key, value] pair, found {other:?}"
+                    ))),
+                })
+                .collect(),
+            other => Err(Error::custom(format!("expected map, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(content: &Content) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match content {
+                    Content::Seq(items) if items.len() == LEN => {
+                        Ok(($($name::deserialize(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::custom(format!(
+                        "expected {LEN}-tuple, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::deserialize(&7u64.serialize()), Ok(7));
+        assert_eq!(i64::deserialize(&(-3i64).serialize()), Ok(-3));
+        assert_eq!(
+            String::deserialize(&"hi".to_owned().serialize()),
+            Ok("hi".to_owned())
+        );
+        assert_eq!(bool::deserialize(&true.serialize()), Ok(true));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::deserialize(&v.serialize()), Ok(v));
+        let m: BTreeMap<String, u64> = [("a".to_owned(), 1)].into_iter().collect();
+        assert_eq!(BTreeMap::deserialize(&m.serialize()), Ok(m));
+        let pair = (1u64, "x".to_owned());
+        assert_eq!(<(u64, String)>::deserialize(&pair.serialize()), Ok(pair));
+    }
+
+    #[test]
+    fn shape_mismatch_reports_error() {
+        assert!(u64::deserialize(&Content::Str("no".into())).is_err());
+        assert!(Vec::<u64>::deserialize(&Content::Bool(true)).is_err());
+    }
+}

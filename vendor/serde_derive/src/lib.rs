@@ -1,0 +1,425 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are unavailable in
+//! this offline workspace, so these derives parse the item declaration
+//! directly from the raw token stream and emit the impl as a formatted string.
+//! Supported shapes are exactly what the workspace uses: non-generic structs
+//! (unit, tuple, named) and non-generic enums with unit / tuple / named-field
+//! variants.  Generics, `where` clauses and `#[serde(...)]` attributes are
+//! rejected with a compile error rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (offline data-model variant).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive `serde::Deserialize` (offline data-model variant).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("serde_derive generated invalid Rust; this is a bug"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A tiny item model
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Unit,
+    /// Tuple fields; only the count matters (types are recovered by inference).
+    Tuple(usize),
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "offline serde_derive does not support generic type `{name}`"
+        ));
+    }
+
+    if kind == "struct" {
+        let fields = match tokens.get(i) {
+            None | Some(TokenTree::Punct(_)) => Fields::Unit, // `struct X;`
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            other => return Err(format!("unexpected struct body {other:?}")),
+        };
+        Ok(Item {
+            name,
+            shape: Shape::Struct(fields),
+        })
+    } else {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => return Err(format!("expected enum body, found {other:?}")),
+        };
+        Ok(Item {
+            name,
+            shape: Shape::Enum(parse_variants(body)?),
+        })
+    }
+}
+
+/// Advance past `#[...]` attributes (incl. doc comments) and visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Split a token sequence on commas that sit outside any `<...>` nesting.
+/// (Commas inside `(..)`/`[..]`/`{..}` are already hidden inside groups.)
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        parts.last_mut().unwrap().push(tt);
+    }
+    if parts.last().map(Vec::is_empty).unwrap_or(false) {
+        parts.pop(); // trailing comma
+    }
+    parts
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|field| {
+            let mut i = 0;
+            skip_attrs_and_vis(&field, &mut i);
+            match field.get(i) {
+                Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+                other => Err(format!("expected field name, found {other:?}")),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level_commas(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|variant| {
+            let mut i = 0;
+            skip_attrs_and_vis(&variant, &mut i);
+            let name = match variant.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => return Err(format!("expected variant name, found {other:?}")),
+            };
+            i += 1;
+            let fields = match variant.get(i) {
+                None => Fields::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                other => return Err(format!("unexpected tokens in variant: {other:?}")),
+            };
+            Ok(Variant { name, fields })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Serialize
+// ---------------------------------------------------------------------------
+
+const CONTENT: &str = "::serde::Content";
+
+fn str_content(s: &str) -> String {
+    format!("{CONTENT}::Str(::std::string::String::from({s:?}))")
+}
+
+/// `Content` expression for a payload given expressions for each field ref.
+fn seq_of(refs: &[String]) -> String {
+    format!(
+        "{CONTENT}::Seq(::std::vec![{}])",
+        refs.iter()
+            .map(|r| format!("::serde::Serialize::serialize({r})"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+}
+
+fn map_of_named(names: &[String], prefix: &str) -> String {
+    format!(
+        "{CONTENT}::Map(::std::vec![{}])",
+        names
+            .iter()
+            .map(|n| {
+                format!(
+                    "({}, ::serde::Serialize::serialize({prefix}{n}))",
+                    str_content(n)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Unit) => format!("{CONTENT}::Unit"),
+        // Newtype structs are transparent, matching serde_json's default.
+        Shape::Struct(Fields::Tuple(1)) => "::serde::Serialize::serialize(&self.0)".to_owned(),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let refs: Vec<String> = (0..*n).map(|i| format!("&self.{i}")).collect();
+            seq_of(&refs)
+        }
+        Shape::Struct(Fields::Named(names)) => map_of_named(names, "&self."),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let tag = str_content(&v.name);
+                    match &v.fields {
+                        Fields::Unit => {
+                            format!("{name}::{v} => {tag},", v = v.name)
+                        }
+                        Fields::Tuple(1) => format!(
+                            "{name}::{v}(f0) => {CONTENT}::Map(::std::vec![({tag}, \
+                             ::serde::Serialize::serialize(f0))]),",
+                            v = v.name
+                        ),
+                        Fields::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|i| format!("f{i}")).collect();
+                            let payload = seq_of(&binders);
+                            format!(
+                                "{name}::{v}({bs}) => {CONTENT}::Map(::std::vec![({tag}, {payload})]),",
+                                v = v.name,
+                                bs = binders.join(", ")
+                            )
+                        }
+                        Fields::Named(names_) => {
+                            let payload = map_of_named(names_, "");
+                            format!(
+                                "{name}::{v} {{ {bs} }} => {CONTENT}::Map(::std::vec![({tag}, {payload})]),",
+                                v = v.name,
+                                bs = names_.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+           fn serialize(&self) -> {CONTENT} {{ {body} }} \
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Deserialize
+// ---------------------------------------------------------------------------
+
+fn err(msg: &str) -> String {
+    format!("::serde::Error::custom(::std::format!({msg:?}, __other = __content))")
+}
+
+/// Constructor call for named fields pulled out of a map expression `$src`.
+fn named_ctor(path: &str, names: &[String], src: &str) -> String {
+    let fields: Vec<String> = names
+        .iter()
+        .map(|n| {
+            format!(
+                "{n}: ::serde::Deserialize::deserialize({src}.get_field({n:?})\
+                 .ok_or_else(|| ::serde::Error::custom(\
+                 ::std::concat!(\"missing field `\", {n:?}, \"`\")))?)?"
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", fields.join(", "))
+}
+
+/// Constructor call for `n` tuple fields from a slice expression `$items`.
+fn tuple_ctor(path: &str, n: usize, items: &str) -> String {
+    let fields: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::deserialize(&{items}[{i}])?"))
+        .collect();
+    format!("{path}({})", fields.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Unit) => format!(
+            "match __content {{ {CONTENT}::Unit => ::std::result::Result::Ok({name}), \
+             _ => ::std::result::Result::Err({e}) }}",
+            e = err("expected unit for {__other:?}")
+        ),
+        Shape::Struct(Fields::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__content)?))"
+        ),
+        Shape::Struct(Fields::Tuple(n)) => format!(
+            "match __content {{ \
+               {CONTENT}::Seq(__items) if __items.len() == {n} => \
+                 ::std::result::Result::Ok({ctor}), \
+               _ => ::std::result::Result::Err({e}) \
+             }}",
+            ctor = tuple_ctor(name, *n, "__items"),
+            e = err("expected sequence, found {__other:?}")
+        ),
+        Shape::Struct(Fields::Named(names)) => format!(
+            "::std::result::Result::Ok({})",
+            named_ctor(name, names, "__content")
+        ),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!(
+                        "{tag:?} => ::std::result::Result::Ok({name}::{tag}),",
+                        tag = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let path = format!("{name}::{}", v.name);
+                    let arm = match &v.fields {
+                        Fields::Unit => return None,
+                        Fields::Tuple(1) => format!(
+                            "::std::result::Result::Ok({path}(\
+                             ::serde::Deserialize::deserialize(__payload)?))"
+                        ),
+                        Fields::Tuple(n) => format!(
+                            "match __payload {{ \
+                               {CONTENT}::Seq(__items) if __items.len() == {n} => \
+                                 ::std::result::Result::Ok({ctor}), \
+                               _ => ::std::result::Result::Err({e}) \
+                             }}",
+                            ctor = tuple_ctor(&path, *n, "__items"),
+                            e = err("bad payload for variant, found {__other:?}")
+                        ),
+                        Fields::Named(names_) => format!(
+                            "::std::result::Result::Ok({})",
+                            named_ctor(&path, names_, "__payload")
+                        ),
+                    };
+                    Some(format!("{tag:?} => {arm},", tag = v.name))
+                })
+                .collect();
+            format!(
+                "match __content {{ \
+                   {CONTENT}::Str(__s) => match __s.as_str() {{ \
+                     {unit_arms} \
+                     _ => ::std::result::Result::Err({e_unit}) \
+                   }}, \
+                   {CONTENT}::Map(__pairs) if __pairs.len() == 1 => {{ \
+                     let (__tag, __payload) = &__pairs[0]; \
+                     match __tag {{ \
+                       {CONTENT}::Str(__s) => match __s.as_str() {{ \
+                         {data_arms} \
+                         _ => ::std::result::Result::Err({e_tag}) \
+                       }}, \
+                       _ => ::std::result::Result::Err({e_key}) \
+                     }} \
+                   }}, \
+                   _ => ::std::result::Result::Err({e_shape}) \
+                 }}",
+                unit_arms = unit_arms.join(" "),
+                data_arms = data_arms.join(" "),
+                e_unit = err("unknown unit variant in {__other:?}"),
+                e_tag = err("unknown variant tag in {__other:?}"),
+                e_key = err("variant tag must be a string, found {__other:?}"),
+                e_shape = err("expected enum encoding, found {__other:?}"),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+           fn deserialize(__content: &{CONTENT}) \
+               -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}
