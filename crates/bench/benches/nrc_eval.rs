@@ -1,11 +1,15 @@
 //! E6 — the NRC evaluation substrate: flatten / select / join throughput on
 //! generated nested instances of growing size.
+//!
+//! Since PR 2 the product path is the plan-based evaluator
+//! (`CompiledQuery`): the key self-join runs as a hash join instead of a
+//! quadratic nested loop, which is what let the PR-1 size cap
+//! (`key_self_join/200`) be lifted back to 800.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nrs_delta0::typing::TypeEnv;
-use nrs_nrc::eval::eval;
 use nrs_nrc::spec::flatten_view;
-use nrs_nrc::{macros, Expr};
+use nrs_nrc::{macros, CompiledQuery, Expr};
 use nrs_value::generate::{keyed_nested_instance, warehouse_instance};
 use nrs_value::{Name, NameGen, Type};
 use std::time::Duration;
@@ -32,6 +36,8 @@ fn bench_nrc_eval(c: &mut Criterion) {
             ),
         ),
     );
+    let flatten_q = CompiledQuery::compile(&flatten);
+    let join_q = CompiledQuery::compile(&join);
 
     let mut group = c.benchmark_group("E6_nrc_evaluation");
     group
@@ -40,15 +46,15 @@ fn bench_nrc_eval(c: &mut Criterion) {
     for groups in [50usize, 200, 800] {
         let nested = keyed_nested_instance(groups, 6, 7);
         group.bench_with_input(BenchmarkId::new("flatten", groups), &groups, |b, _| {
-            b.iter(|| eval(&flatten, &nested).unwrap())
+            b.iter(|| flatten_q.execute(&nested).unwrap())
         });
     }
-    for orders in [50usize, 200] {
+    for orders in [50usize, 200, 800] {
         let wh = warehouse_instance(orders, 4, 11);
         group.bench_with_input(
             BenchmarkId::new("key_self_join", orders),
             &orders,
-            |b, _| b.iter(|| eval(&join, &wh).unwrap()),
+            |b, _| b.iter(|| join_q.execute(&wh).unwrap()),
         );
     }
     group.finish();

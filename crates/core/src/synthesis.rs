@@ -134,17 +134,62 @@ pub struct SynthesisReport {
 /// inputs, together with provenance.
 #[derive(Debug, Clone)]
 pub struct SynthesizedDefinition {
-    /// The synthesized NRC expression; its free variables are input names.
-    pub expr: Expr,
+    /// The synthesized NRC expression (already algebraically simplified);
+    /// its free variables are input names.  Private so it cannot drift from
+    /// the lazily compiled plan below — read it via
+    /// [`SynthesizedDefinition::expr`].
+    expr: Expr,
     /// The specification it was synthesized from.
     pub spec: ImplicitSpec,
     /// Provenance and statistics.
     pub report: SynthesisReport,
+    /// Lazily compiled physical plan, shared by every evaluation.
+    compiled: std::sync::OnceLock<nrs_nrc::CompiledQuery>,
 }
 
 impl SynthesizedDefinition {
-    /// Evaluate the definition on an instance binding the input objects.
+    /// Package a raw synthesized expression: run it through the algebraic
+    /// simplifier (recording the size win in the report) and set up the lazy
+    /// plan cache.
+    pub fn new(expr: Expr, spec: ImplicitSpec, mut report: SynthesisReport) -> Self {
+        let raw_size = expr.size();
+        let expr = nrs_nrc::opt::simplify(&expr);
+        if expr.size() < raw_size {
+            report.notes.push(format!(
+                "algebraic simplification: {raw_size} -> {} AST nodes",
+                expr.size()
+            ));
+        }
+        SynthesizedDefinition {
+            expr,
+            spec,
+            report,
+            compiled: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The synthesized NRC expression; its free variables are input names.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// The compiled physical plan of the definition (compiled on first use).
+    pub fn compiled(&self) -> &nrs_nrc::CompiledQuery {
+        self.compiled
+            .get_or_init(|| nrs_nrc::CompiledQuery::compile(&self.expr))
+    }
+
+    /// Evaluate the definition on an instance binding the input objects,
+    /// through the optimizing plan pipeline.
     pub fn evaluate(&self, instance: &Instance) -> Result<Value, SynthesisError> {
+        self.compiled()
+            .execute(instance)
+            .map_err(SynthesisError::from)
+    }
+
+    /// Evaluate with the naive NRC evaluator — the oracle the optimized
+    /// pipeline is checked against.
+    pub fn evaluate_naive(&self, instance: &Instance) -> Result<Value, SynthesisError> {
         nrc_eval::eval(&self.expr, instance).map_err(SynthesisError::from)
     }
 
@@ -226,11 +271,7 @@ pub fn synthesize(
         &mut gen,
         &mut report,
     )?;
-    Ok(SynthesizedDefinition {
-        expr,
-        spec: spec.clone(),
-        report,
-    })
+    Ok(SynthesizedDefinition::new(expr, spec.clone(), report))
 }
 
 /// Immutable data threaded through the type-directed recursion.

@@ -99,17 +99,19 @@ impl RewritingProblem {
     /// Evaluate every view (and the query) on a base instance, returning an
     /// instance binding the base objects, the view names and the query name.
     pub fn materialize(&self, base: &Instance) -> Result<Instance, SynthesisError> {
+        let mut out = base.clone();
+        for (name, value) in materialize_views(self, base)?.iter() {
+            out.bind(*name, value.clone());
+        }
         let env = self.base_env();
         let mut gen = NameGen::new();
-        let mut out = base.clone();
-        for view in self.views.iter().chain(std::iter::once(&self.query)) {
-            let expr = view
-                .to_nrc(&env, &mut gen)
-                .map_err(|e| SynthesisError::Ill(e.to_string()))?;
-            let value =
-                nrc_eval::eval(&expr, base).map_err(|e| SynthesisError::Ill(e.to_string()))?;
-            out.bind(view.name, value);
-        }
+        let expr = self
+            .query
+            .to_nrc(&env, &mut gen)
+            .map_err(|e| SynthesisError::Ill(e.to_string()))?;
+        let value =
+            nrs_nrc::eval_optimized(&expr, base).map_err(|e| SynthesisError::Ill(e.to_string()))?;
+        out.bind(self.query.name, value);
         Ok(out)
     }
 }
@@ -127,7 +129,8 @@ pub fn materialize_views(
         let expr = view
             .to_nrc(&env, &mut gen)
             .map_err(|e| SynthesisError::Ill(e.to_string()))?;
-        let value = nrc_eval::eval(&expr, base).map_err(|e| SynthesisError::Ill(e.to_string()))?;
+        let value =
+            nrs_nrc::eval_optimized(&expr, base).map_err(|e| SynthesisError::Ill(e.to_string()))?;
         out.bind(view.name, value);
     }
     Ok(out)
@@ -136,7 +139,7 @@ pub fn materialize_views(
 impl RewritingResult {
     /// The rewriting expression over the view names.
     pub fn expr(&self) -> &Expr {
-        &self.definition.expr
+        self.definition.expr()
     }
 
     /// Answer the query from materialized views only.
@@ -145,7 +148,10 @@ impl RewritingResult {
     }
 
     /// End-to-end check on a base instance: materialize the views, evaluate
-    /// the rewriting on them, and compare with the directly evaluated query.
+    /// the rewriting on them (through the optimizing plan pipeline), and
+    /// compare with the query evaluated directly on the base by the *naive*
+    /// evaluator — so every verification doubles as an optimized-vs-oracle
+    /// equivalence check.
     pub fn verify_on_base(&self, base: &Instance) -> Result<bool, SynthesisError> {
         let env = self.problem.base_env();
         let mut gen = NameGen::new();
@@ -258,7 +264,7 @@ pub fn lossless_join_instance(rows: usize, seed: u64) -> Instance {
             Value::pair(Value::atom(a), Value::atom(b)),
         ));
     }
-    Instance::from_bindings([(Name::new("R"), Value::Set(set))])
+    Instance::from_bindings([(Name::new("R"), Value::from_set(set))])
 }
 
 /// A base instance for [`partition_problem`].
@@ -273,8 +279,8 @@ pub fn partition_instance(size: usize, seed: u64) -> Instance {
         .map(|_| Value::atom(rng.gen_range(0..universe)))
         .collect();
     Instance::from_bindings([
-        (Name::new("S"), Value::Set(s)),
-        (Name::new("F"), Value::Set(f)),
+        (Name::new("S"), Value::from_set(s)),
+        (Name::new("F"), Value::from_set(f)),
     ])
 }
 

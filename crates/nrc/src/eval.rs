@@ -1,4 +1,10 @@
-//! Evaluation of NRC expressions over nested relational instances.
+//! Naive evaluation of NRC expressions over nested relational instances.
+//!
+//! This is the direct recursive interpreter of the paper's semantics.  It is
+//! deliberately kept simple: it serves as the **oracle** that the optimizing
+//! pipeline ([`crate::opt`] + [`crate::plan`]) is property-tested against.
+//! Production evaluation of synthesized expressions should go through
+//! [`crate::CompiledQuery`] / [`crate::eval_optimized`].
 
 use crate::expr::Expr;
 use crate::NrcError;
@@ -47,6 +53,9 @@ pub fn eval(expr: &Expr, env: &Instance) -> Result<Value, NrcError> {
                 .map_err(|_| NrcError::Stuck(format!("binding union over non-set {over_v}")))?;
             let mut out: BTreeSet<Value> = BTreeSet::new();
             for m in members {
+                // Cheap since the data-model rework: `m.clone()` bumps an
+                // `Arc` and `Instance::with` path-copies O(log |env|) treap
+                // nodes — no deep copies per iteration.
                 let inner_env = env.with(*var, m.clone());
                 let body_v = eval(body, &inner_env)?;
                 let body_set = body_v.as_set().map_err(|_| {
@@ -54,7 +63,7 @@ pub fn eval(expr: &Expr, env: &Instance) -> Result<Value, NrcError> {
                 })?;
                 out.extend(body_set.iter().cloned());
             }
-            Ok(Value::Set(out))
+            Ok(Value::from_set(out))
         }
         Expr::Empty(_) => Ok(Value::empty_set()),
         Expr::Union(a, b) => {

@@ -7,7 +7,13 @@
 //! The crate provides:
 //!
 //! * the core syntax ([`Expr`]) and its typing ([`typing`]) and evaluation
-//!   ([`eval`]) semantics;
+//!   ([`eval`]) semantics — the naive recursive evaluator, kept as the
+//!   oracle for the optimizing pipeline;
+//! * the optimizing evaluation pipeline: algebraic simplification ([`opt`])
+//!   and plan-based execution ([`plan`]) with hash joins, indexed membership
+//!   probes, short-circuiting guards and loop-invariant sharing — the
+//!   production path for evaluating synthesized rewritings
+//!   ([`CompiledQuery`], [`eval_optimized`]);
 //! * the macro layer the paper uses freely ([`macros`]): Booleans, equality
 //!   and membership at every type, conditionals, Δ0-comprehension, maps,
 //!   cartesian products, and the "collect all atoms below a value" expression
@@ -22,10 +28,13 @@ pub mod compile;
 pub mod eval;
 pub mod expr;
 pub mod macros;
+pub mod opt;
+pub mod plan;
 pub mod spec;
 pub mod typing;
 
 pub use expr::Expr;
+pub use plan::{eval_optimized, CompiledQuery, Plan};
 pub use spec::{GenExpr, Generator, ViewDef};
 
 pub use nrs_delta0::{Formula, Term};

@@ -374,7 +374,7 @@ mod tests {
         ]);
         let i = env(vec![("B", v.clone())]);
         let e = atoms_of(&ty, Expr::var("B"), &mut g);
-        let expected: Value = Value::Set(v.atoms().into_iter().map(Value::Atom).collect());
+        let expected: Value = Value::set(v.atoms().into_iter().map(Value::Atom));
         assert_eq!(eval(&e, &i).unwrap(), expected);
         // atoms over several inputs
         let e2 = atoms_of_inputs(&[(Name::new("B"), ty), (Name::new("x"), Type::Ur)], &mut g);

@@ -1,0 +1,238 @@
+//! Algebraic simplification of NRC expressions.
+//!
+//! The synthesis pipeline (Theorems 2/10) emits correct but clumsy
+//! expressions: unions with syntactically empty sides, comprehensions over
+//! singletons (the Boolean/guard encodings produce many), `get` of a
+//! singleton, projections of literal pairs.  "Generating collection
+//! transformations from proofs" (Benedikt & Pradic 2020) observes that these
+//! extracted queries admit standard algebraic optimization; this module
+//! implements the value-preserving subset used before plan lowering:
+//!
+//! * unit laws: `∅ ∪ E → E`, `E \ ∅ → E`, `∅ \ E → ∅`, `E ∪ E → E`;
+//! * projection/β laws: `πi⟨E1, E2⟩ → Ei`, `get({E}) → E`;
+//! * singleton-generator fusion: `⋃{E | x ∈ {E'}} → E[x := E']` (guarded
+//!   against size blow-up when `x` occurs several times);
+//! * identity maps: `⋃{ {x} | x ∈ E } → E`;
+//! * empty bodies: `⋃{ ∅_T | x ∈ E } → ∅_T`.
+//!
+//! All rules preserve the NRC semantics on well-typed inputs ([Wong 94]
+//! equalities); the proptest harness in `tests/opt_equivalence.rs` checks the
+//! simplified (and planned) evaluation against the naive evaluator, which
+//! stays available as an oracle.
+
+use crate::expr::Expr;
+use nrs_value::Name;
+
+/// Maximum number of fixpoint passes; each pass is a full bottom-up rewrite,
+/// and the rule set strictly shrinks expression size except for substitution
+/// (which is blow-up guarded), so this is a safety margin, not a tuning knob.
+const MAX_PASSES: usize = 8;
+
+/// Simplify an expression to a (bounded) fixpoint of the rewrite rules.
+pub fn simplify(expr: &Expr) -> Expr {
+    let mut cur = expr.clone();
+    for _ in 0..MAX_PASSES {
+        let next = simplify_pass(&cur);
+        if next == cur {
+            break;
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// One bottom-up rewrite pass.
+fn simplify_pass(e: &Expr) -> Expr {
+    let rebuilt = match e {
+        Expr::Var(_) | Expr::Unit | Expr::Empty(_) => e.clone(),
+        Expr::Pair(a, b) => Expr::pair(simplify_pass(a), simplify_pass(b)),
+        Expr::Proj1(x) => Expr::proj1(simplify_pass(x)),
+        Expr::Proj2(x) => Expr::proj2(simplify_pass(x)),
+        Expr::Singleton(x) => Expr::singleton(simplify_pass(x)),
+        Expr::Get { ty, arg } => Expr::get(ty.clone(), simplify_pass(arg)),
+        Expr::Union(a, b) => Expr::union(simplify_pass(a), simplify_pass(b)),
+        Expr::Diff(a, b) => Expr::diff(simplify_pass(a), simplify_pass(b)),
+        Expr::BigUnion { var, over, body } => {
+            Expr::big_union(*var, simplify_pass(over), simplify_pass(body))
+        }
+    };
+    rewrite(rebuilt)
+}
+
+/// Apply the root-level rewrite rules to an already-simplified node.
+fn rewrite(e: Expr) -> Expr {
+    match e {
+        Expr::Proj1(inner) => match *inner {
+            Expr::Pair(a, _) => *a,
+            other => Expr::proj1(other),
+        },
+        Expr::Proj2(inner) => match *inner {
+            Expr::Pair(_, b) => *b,
+            other => Expr::proj2(other),
+        },
+        Expr::Get { ty, arg } => match *arg {
+            Expr::Singleton(inner) => *inner,
+            other => Expr::get(ty, other),
+        },
+        Expr::Union(a, b) => match (*a, *b) {
+            (Expr::Empty(_), rhs) => rhs,
+            (lhs, Expr::Empty(_)) => lhs,
+            (lhs, rhs) if lhs == rhs => lhs,
+            (lhs, rhs) => Expr::union(lhs, rhs),
+        },
+        Expr::Diff(a, b) => match (*a, *b) {
+            (lhs, Expr::Empty(_)) => lhs,
+            (Expr::Empty(t), _) => Expr::Empty(t),
+            (lhs, rhs) => Expr::diff(lhs, rhs),
+        },
+        Expr::BigUnion { var, over, body } => rewrite_big_union(var, *over, *body),
+        other => other,
+    }
+}
+
+fn rewrite_big_union(var: Name, over: Expr, body: Expr) -> Expr {
+    // ⋃{ ∅_T | x ∈ E } → ∅_T (the union of empties is empty, whatever E is).
+    if let Expr::Empty(t) = &body {
+        return Expr::Empty(t.clone());
+    }
+    // Identity map: ⋃{ {x} | x ∈ E } → E.
+    if let Expr::Singleton(inner) = &body {
+        if **inner == Expr::Var(var) {
+            return over;
+        }
+    }
+    // Singleton-generator fusion: ⋃{ E | x ∈ {E'} } → E[x := E'], guarded so
+    // a large E' is only inlined when x occurs at most once.
+    if let Expr::Singleton(elem) = &over {
+        let occurrences = count_free(&body, &var);
+        if occurrences == 0 {
+            return body;
+        }
+        if occurrences == 1 || elem.size() <= 4 {
+            return body.subst(&var, elem);
+        }
+    }
+    Expr::big_union(var, over, body)
+}
+
+/// Number of free occurrences of `var` in `e` (respecting shadowing).
+fn count_free(e: &Expr, var: &Name) -> usize {
+    match e {
+        Expr::Var(n) => usize::from(n == var),
+        Expr::Unit | Expr::Empty(_) => 0,
+        Expr::Pair(a, b) | Expr::Union(a, b) | Expr::Diff(a, b) => {
+            count_free(a, var) + count_free(b, var)
+        }
+        Expr::Proj1(x) | Expr::Proj2(x) | Expr::Singleton(x) => count_free(x, var),
+        Expr::Get { arg, .. } => count_free(arg, var),
+        Expr::BigUnion {
+            var: bv,
+            over,
+            body,
+        } => {
+            let over_n = count_free(over, var);
+            if bv == var {
+                over_n
+            } else {
+                over_n + count_free(body, var)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use crate::macros;
+    use nrs_value::{Instance, Name, NameGen, Type, Value};
+
+    #[test]
+    fn unit_laws_fire() {
+        let e = Expr::union(Expr::empty(Type::Ur), Expr::var("S"));
+        assert_eq!(simplify(&e), Expr::var("S"));
+        let e = Expr::diff(Expr::var("S"), Expr::empty(Type::Ur));
+        assert_eq!(simplify(&e), Expr::var("S"));
+        let e = Expr::diff(Expr::empty(Type::Ur), Expr::var("S"));
+        assert_eq!(simplify(&e), Expr::empty(Type::Ur));
+        let e = Expr::union(Expr::var("S"), Expr::var("S"));
+        assert_eq!(simplify(&e), Expr::var("S"));
+    }
+
+    #[test]
+    fn projection_and_get_laws_fire() {
+        let e = Expr::proj1(Expr::pair(Expr::var("a"), Expr::var("b")));
+        assert_eq!(simplify(&e), Expr::var("a"));
+        let e = Expr::proj2(Expr::pair(Expr::var("a"), Expr::var("b")));
+        assert_eq!(simplify(&e), Expr::var("b"));
+        let e = Expr::get(Type::Ur, Expr::singleton(Expr::var("a")));
+        assert_eq!(simplify(&e), Expr::var("a"));
+    }
+
+    #[test]
+    fn comprehension_laws_fire() {
+        // identity map
+        let e = Expr::big_union("x", Expr::var("S"), Expr::singleton(Expr::var("x")));
+        assert_eq!(simplify(&e), Expr::var("S"));
+        // empty body
+        let e = Expr::big_union("x", Expr::var("S"), Expr::empty(Type::Ur));
+        assert_eq!(simplify(&e), Expr::empty(Type::Ur));
+        // singleton generator fusion
+        let e = Expr::big_union(
+            "x",
+            Expr::singleton(Expr::var("a")),
+            Expr::singleton(Expr::pair(Expr::var("x"), Expr::var("x"))),
+        );
+        assert_eq!(
+            simplify(&e),
+            Expr::singleton(Expr::pair(Expr::var("a"), Expr::var("a")))
+        );
+        // guard over true collapses entirely
+        let mut gen = NameGen::new();
+        let e = macros::guard(macros::tt(), Expr::var("S"), &mut gen);
+        assert_eq!(simplify(&e), Expr::var("S"));
+    }
+
+    #[test]
+    fn fusion_respects_the_blow_up_guard() {
+        // a big generator element used twice must NOT be inlined
+        let big = Expr::pair(
+            Expr::pair(Expr::var("a"), Expr::var("b")),
+            Expr::pair(Expr::var("c"), Expr::var("d")),
+        );
+        let e = Expr::big_union(
+            "x",
+            Expr::singleton(big.clone()),
+            Expr::singleton(Expr::pair(Expr::var("x"), Expr::var("x"))),
+        );
+        let s = simplify(&e);
+        assert!(matches!(s, Expr::BigUnion { .. }), "kept the binder: {s}");
+    }
+
+    #[test]
+    fn simplified_expressions_evaluate_identically() {
+        let mut gen = NameGen::new();
+        let exprs = vec![
+            Expr::union(
+                Expr::empty(Type::Ur),
+                Expr::union(Expr::var("a"), Expr::var("b")),
+            ),
+            macros::if_then_else(macros::tt(), Expr::var("a"), Expr::var("b"), &mut gen),
+            macros::if_then_else(macros::ff(), Expr::var("a"), Expr::var("b"), &mut gen),
+            Expr::big_union(
+                "x",
+                Expr::var("a"),
+                Expr::singleton(Expr::pair(Expr::var("x"), Expr::var("x"))),
+            ),
+        ];
+        let inst = Instance::from_bindings([
+            (Name::new("a"), Value::set([Value::atom(1), Value::atom(2)])),
+            (Name::new("b"), Value::set([Value::atom(3)])),
+        ]);
+        for e in exprs {
+            let s = simplify(&e);
+            assert_eq!(eval(&e, &inst).unwrap(), eval(&s, &inst).unwrap(), "{e}");
+            assert!(s.size() <= e.size(), "simplify grew {e} into {s}");
+        }
+    }
+}

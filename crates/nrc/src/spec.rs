@@ -422,13 +422,13 @@ mod tests {
         let inst = keyed_nested_instance(3, 2, 9);
         let mut v_extra = inst.get(&Name::new("V")).unwrap().as_set().unwrap().clone();
         v_extra.insert(Value::pair(Value::atom(900), Value::atom(901)));
-        let bad = inst.with("V", Value::Set(v_extra));
+        let bad = inst.with("V", Value::from_set(v_extra));
         assert!(!eval_formula(&spec, &bad).unwrap());
         // fails when V is missing a tuple
         let mut v_missing = inst.get(&Name::new("V")).unwrap().as_set().unwrap().clone();
         let first = v_missing.iter().next().cloned().unwrap();
         v_missing.remove(&first);
-        let bad2 = inst.with("V", Value::Set(v_missing));
+        let bad2 = inst.with("V", Value::from_set(v_missing));
         assert!(!eval_formula(&spec, &bad2).unwrap());
     }
 

@@ -1,0 +1,220 @@
+//! Property-based equivalence: the optimizing pipeline (simplify → plan →
+//! execute) must agree with the naive evaluator — the oracle — on every
+//! expression family the workspace evaluates, over randomly generated
+//! instances.
+//!
+//! The synthesized-rewriting families (E2/E5 scenarios) are covered by
+//! `crates/core/tests/synthesized_equivalence.rs`; this harness covers the
+//! hand-written and macro-generated families plus the Δ0 compilation output.
+
+use nrs_delta0::macros as d0;
+use nrs_delta0::typing::TypeEnv;
+use nrs_delta0::{Formula, Term};
+use nrs_nrc::eval::eval;
+use nrs_nrc::{compile, eval_optimized, macros, CompiledQuery, Expr};
+use nrs_value::generate::{random_value, GenConfig};
+use nrs_value::{Instance, Name, NameGen, Type, Value};
+use proptest::prelude::*;
+
+/// Assert naive ≡ optimized on one expression/instance pair.
+fn assert_agrees(expr: &Expr, inst: &Instance) -> Result<(), proptest::TestCaseError> {
+    let naive = eval(expr, inst);
+    let optimized = eval_optimized(expr, inst);
+    match (naive, optimized) {
+        (Ok(a), Ok(b)) => {
+            prop_assert!(
+                a == b,
+                "naive and planned evaluation disagree on {expr}: {a} vs {b}"
+            );
+        }
+        (Err(_), Err(_)) => {}
+        (a, b) => {
+            return Err(proptest::TestCaseError(format!(
+            "one pipeline failed where the other succeeded on {expr}: naive={a:?} optimized={b:?}"
+        )))
+        }
+    }
+    Ok(())
+}
+
+/// The flatten / selection / join family over the keyed-nested schema.
+fn structural_exprs() -> Vec<Expr> {
+    let mut gen = NameGen::new();
+    let flatten = Expr::big_union(
+        "b",
+        Expr::var("B"),
+        Expr::big_union(
+            "c",
+            Expr::proj2(Expr::var("b")),
+            Expr::singleton(Expr::pair(Expr::proj1(Expr::var("b")), Expr::var("c"))),
+        ),
+    );
+    let select = Expr::big_union(
+        "b",
+        Expr::var("B"),
+        Expr::big_union(
+            "c",
+            Expr::proj2(Expr::var("b")),
+            Expr::big_union(
+                "w",
+                macros::eq_ur(Expr::var("c"), Expr::proj1(Expr::var("b"))),
+                Expr::singleton(Expr::var("b")),
+            ),
+        ),
+    );
+    let join = Expr::big_union(
+        "a",
+        Expr::var("V"),
+        Expr::big_union(
+            "b",
+            Expr::var("V"),
+            macros::guard(
+                macros::eq_ur(Expr::proj1(Expr::var("a")), Expr::proj1(Expr::var("b"))),
+                Expr::singleton(Expr::pair(
+                    Expr::proj2(Expr::var("a")),
+                    Expr::proj2(Expr::var("b")),
+                )),
+                &mut gen,
+            ),
+        ),
+    );
+    let membership = Expr::big_union(
+        "v",
+        Expr::var("V"),
+        macros::guard(
+            macros::member(
+                &Type::Ur,
+                Expr::proj1(Expr::var("v")),
+                Expr::big_union(
+                    "b",
+                    Expr::var("B"),
+                    Expr::singleton(Expr::proj1(Expr::var("b"))),
+                ),
+                &mut gen,
+            ),
+            Expr::singleton(Expr::var("v")),
+            &mut gen,
+        ),
+    );
+    vec![flatten, select, join, membership]
+}
+
+/// The Δ0 view-specification conjuncts of Example 4.1, compiled to NRC.
+fn compiled_formula_exprs() -> Vec<Expr> {
+    let env = TypeEnv::from_pairs([
+        (
+            Name::new("B"),
+            Type::set(Type::prod(Type::Ur, Type::set(Type::Ur))),
+        ),
+        (Name::new("V"), Type::relation(2)),
+    ]);
+    let mut gen = NameGen::new();
+    let c1 = Formula::forall(
+        "v",
+        "V",
+        Formula::exists(
+            "b",
+            "B",
+            Formula::and(
+                Formula::eq_ur(Term::proj1(Term::var("v")), Term::proj1(Term::var("b"))),
+                d0::member_hat(
+                    &Type::Ur,
+                    &Term::proj2(Term::var("v")),
+                    &Term::proj2(Term::var("b")),
+                    &mut gen,
+                ),
+            ),
+        ),
+    );
+    let c2 = Formula::forall(
+        "b",
+        "B",
+        Formula::forall(
+            "e",
+            Term::proj2(Term::var("b")),
+            Formula::exists(
+                "v",
+                "V",
+                Formula::and(
+                    Formula::eq_ur(Term::proj1(Term::var("v")), Term::proj1(Term::var("b"))),
+                    Formula::eq_ur(Term::proj2(Term::var("v")), Term::var("e")),
+                ),
+            ),
+        ),
+    );
+    [c1, c2]
+        .iter()
+        .map(|f| compile::compile_formula(f, &env, &mut gen).unwrap())
+        .collect()
+}
+
+fn random_instance(seed: u64, universe: u64, max_set: usize) -> Instance {
+    let b_ty = Type::set(Type::prod(Type::Ur, Type::set(Type::Ur)));
+    let v_ty = Type::relation(2);
+    let cfg = GenConfig {
+        universe,
+        max_set_size: max_set,
+        seed,
+    };
+    let b = random_value(&b_ty, &cfg);
+    let v = random_value(
+        &v_ty,
+        &GenConfig {
+            seed: seed ^ 0x9e37_79b9,
+            ..cfg
+        },
+    );
+    Instance::from_bindings([(Name::new("B"), b), (Name::new("V"), v)])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Structural queries agree on random keyed-nested instances.
+    #[test]
+    fn prop_structural_queries_agree(seed in 0u64..10_000, universe in 2u64..8, max_set in 1usize..5) {
+        let inst = random_instance(seed, universe, max_set);
+        for e in structural_exprs() {
+            assert_agrees(&e, &inst)?;
+        }
+    }
+
+    /// Compiled Δ0 formulas (Booleans) agree on random instances.
+    #[test]
+    fn prop_compiled_formulas_agree(seed in 0u64..10_000, universe in 2u64..6) {
+        let inst = random_instance(seed, universe, 3);
+        for e in compiled_formula_exprs() {
+            assert_agrees(&e, &inst)?;
+        }
+    }
+
+    /// Boolean macro compositions agree (these exercise Guard/EqUr folding).
+    #[test]
+    fn prop_boolean_macros_agree(seed in 0u64..10_000, k in 0u64..6) {
+        let mut gen = NameGen::new();
+        let inst = random_instance(seed, 4, 3)
+            .with("k", Value::atom(k))
+            .with("S", Value::set((0..k).map(Value::atom)));
+        let member = macros::member(&Type::Ur, Expr::var("k"), Expr::var("S"), &mut gen);
+        let exprs = vec![
+            macros::if_then_else(member.clone(), Expr::var("S"), Expr::empty(Type::Ur), &mut gen),
+            macros::and(member.clone(), macros::not(member.clone()), &mut gen),
+            macros::or(member.clone(), macros::eq_ur(Expr::var("k"), Expr::var("k"))),
+            macros::is_empty(Expr::var("S"), &mut gen),
+            macros::subset(&Type::Ur, Expr::var("S"), Expr::var("S"), &mut gen),
+        ];
+        for e in exprs {
+            assert_agrees(&e, &inst)?;
+        }
+    }
+
+    /// Compiling twice is deterministic, and plans never grow past the
+    /// expression (sanity on the lowering, not a semantics property).
+    #[test]
+    fn prop_compilation_is_deterministic(idx in 0usize..4) {
+        let e = &structural_exprs()[idx];
+        let q1 = CompiledQuery::compile(e);
+        let q2 = CompiledQuery::compile(e);
+        prop_assert_eq!(q1.plan(), q2.plan());
+    }
+}

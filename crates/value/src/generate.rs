@@ -65,7 +65,7 @@ pub fn random_value_with(ty: &Type, cfg: &GenConfig, rng: &mut StdRng) -> Value 
             for _ in 0..n {
                 s.insert(random_value_with(elem, cfg, rng));
             }
-            Value::Set(s)
+            Value::from_set(s)
         }
     }
 }
@@ -107,11 +107,11 @@ pub fn keyed_nested_instance(groups: usize, max_group: usize, seed: u64) -> Inst
         for m in &members {
             v_rows.insert(Value::pair(Value::Atom(key), m.clone()));
         }
-        b_rows.insert(Value::pair(Value::Atom(key), Value::Set(members)));
+        b_rows.insert(Value::pair(Value::Atom(key), Value::from_set(members)));
     }
     Instance::from_bindings([
-        (Name::new("B"), Value::Set(b_rows)),
-        (Name::new("V"), Value::Set(v_rows)),
+        (Name::new("B"), Value::from_set(b_rows)),
+        (Name::new("V"), Value::from_set(v_rows)),
     ])
 }
 
@@ -130,7 +130,7 @@ pub fn flatten(b: &Value) -> Value {
             }
         }
     }
-    Value::Set(out)
+    Value::from_set(out)
 }
 
 /// The schema of the warehouse scenario.
@@ -174,12 +174,12 @@ pub fn warehouse_instance(orders: usize, max_items: usize, seed: u64) -> Instanc
             order_items.insert(Value::pair(Value::Atom(oid), Value::Atom(item)));
             item_qty.insert(Value::pair(Value::Atom(oid), line));
         }
-        orders_rows.insert(Value::pair(Value::Atom(oid), Value::Set(lines)));
+        orders_rows.insert(Value::pair(Value::Atom(oid), Value::from_set(lines)));
     }
     Instance::from_bindings([
-        (Name::new("Orders"), Value::Set(orders_rows)),
-        (Name::new("OrderItems"), Value::Set(order_items)),
-        (Name::new("ItemQty"), Value::Set(item_qty)),
+        (Name::new("Orders"), Value::from_set(orders_rows)),
+        (Name::new("OrderItems"), Value::from_set(order_items)),
+        (Name::new("ItemQty"), Value::from_set(item_qty)),
     ])
 }
 
@@ -196,7 +196,7 @@ pub fn random_relation(arity: usize, rows: usize, universe: u64, seed: u64) -> V
         );
         out.insert(tuple);
     }
-    Value::Set(out)
+    Value::from_set(out)
 }
 
 #[cfg(test)]

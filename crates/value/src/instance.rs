@@ -4,14 +4,28 @@
 //! Example 3.1).  An [`Instance`] binds each declared name to a value of the
 //! right type.  Instances double as variable environments for Δ0 and NRC
 //! evaluation further up the stack.
+//!
+//! # Persistence
+//!
+//! `Instance` is a **persistent** (immutable, structurally shared) treap keyed
+//! by [`Name`]: [`Instance::with`] produces an extended environment in
+//! O(log n) by path copying, sharing every untouched subtree with the
+//! original.  The evaluators extend environments once per set member on their
+//! hottest loops; with the previous `BTreeMap` representation each extension
+//! deep-copied every binding.  Node priorities are a pure function of the
+//! name's string, so the tree shape (and hence iteration order — in-order,
+//! i.e. lexicographic by name) is deterministic and insertion-order
+//! independent.
 
 use crate::error::ValueError;
 use crate::types::Type;
 use crate::value::Value;
 use crate::{Atom, Name};
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A nested relational schema: an ordered map from object names to types.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -114,10 +128,136 @@ impl fmt::Display for Schema {
     }
 }
 
+/// One node of the persistent treap behind [`Instance`].
+#[derive(Debug)]
+struct MapNode {
+    key: Name,
+    value: Value,
+    /// Heap priority — a pure function of the key string (see [`priority`]),
+    /// so the treap shape is canonical for a given key set.
+    prio: u64,
+    /// Size of the subtree rooted here.
+    len: usize,
+    left: Link,
+    right: Link,
+}
+
+type Link = Option<Arc<MapNode>>;
+
+/// Deterministic node priority: FNV-1a over the name's string.  Stable across
+/// processes (unlike the interner id), so the tree shape never depends on
+/// execution order.
+fn priority(name: &Name) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_str().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn link_len(link: &Link) -> usize {
+    link.as_ref().map_or(0, |n| n.len)
+}
+
+fn mk_node(key: Name, prio: u64, value: Value, left: Link, right: Link) -> Arc<MapNode> {
+    let len = 1 + link_len(&left) + link_len(&right);
+    Arc::new(MapNode {
+        key,
+        value,
+        prio,
+        len,
+        left,
+        right,
+    })
+}
+
+/// Persistent insert-or-replace by path copying, with treap rotations to keep
+/// the expected depth logarithmic.
+fn treap_insert(link: &Link, key: Name, prio: u64, value: Value) -> Arc<MapNode> {
+    let Some(n) = link else {
+        return mk_node(key, prio, value, None, None);
+    };
+    match key.cmp(&n.key) {
+        Ordering::Equal => mk_node(key, n.prio, value, n.left.clone(), n.right.clone()),
+        Ordering::Less => {
+            let nl = treap_insert(&n.left, key, prio, value);
+            if nl.prio > n.prio {
+                // rotate right: the new left child moves above `n`
+                let lowered = mk_node(
+                    n.key,
+                    n.prio,
+                    n.value.clone(),
+                    nl.right.clone(),
+                    n.right.clone(),
+                );
+                mk_node(
+                    nl.key,
+                    nl.prio,
+                    nl.value.clone(),
+                    nl.left.clone(),
+                    Some(lowered),
+                )
+            } else {
+                mk_node(n.key, n.prio, n.value.clone(), Some(nl), n.right.clone())
+            }
+        }
+        Ordering::Greater => {
+            let nr = treap_insert(&n.right, key, prio, value);
+            if nr.prio > n.prio {
+                // rotate left: the new right child moves above `n`
+                let lowered = mk_node(
+                    n.key,
+                    n.prio,
+                    n.value.clone(),
+                    n.left.clone(),
+                    nr.left.clone(),
+                );
+                mk_node(
+                    nr.key,
+                    nr.prio,
+                    nr.value.clone(),
+                    Some(lowered),
+                    nr.right.clone(),
+                )
+            } else {
+                mk_node(n.key, n.prio, n.value.clone(), n.left.clone(), Some(nr))
+            }
+        }
+    }
+}
+
+/// In-order (= lexicographic by name) iterator over treap bindings.
+pub struct InstanceIter<'a> {
+    stack: Vec<&'a MapNode>,
+}
+
+impl<'a> InstanceIter<'a> {
+    fn descend(&mut self, mut link: &'a Link) {
+        while let Some(n) = link {
+            self.stack.push(n);
+            link = &n.left;
+        }
+    }
+}
+
+impl<'a> Iterator for InstanceIter<'a> {
+    type Item = (&'a Name, &'a Value);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.stack.pop()?;
+        self.descend(&n.right);
+        Some((&n.key, &n.value))
+    }
+}
+
 /// A binding of names to values; also used as an evaluation environment.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+///
+/// Persistent: [`Instance::with`] extends in O(log n) with full structural
+/// sharing (see the module docs).
+#[derive(Clone, Default)]
 pub struct Instance {
-    bindings: BTreeMap<Name, Value>,
+    root: Link,
 }
 
 impl Instance {
@@ -128,54 +268,68 @@ impl Instance {
 
     /// Build an instance from bindings (later bindings overwrite earlier ones).
     pub fn from_bindings(bindings: impl IntoIterator<Item = (Name, Value)>) -> Self {
-        Instance {
-            bindings: bindings.into_iter().collect(),
+        let mut out = Instance::new();
+        for (n, v) in bindings {
+            out.bind(n, v);
         }
+        out
     }
 
     /// Bind (or rebind) a name.
     pub fn bind(&mut self, name: impl Into<Name>, value: Value) -> &mut Self {
-        self.bindings.insert(name.into(), value);
+        let name = name.into();
+        self.root = Some(treap_insert(&self.root, name, priority(&name), value));
         self
     }
 
-    /// Functional update: a copy of this instance with one extra binding.
+    /// Functional update: an extension of this instance with one extra
+    /// binding.  O(log n) — the result shares every untouched subtree with
+    /// `self` instead of copying the environment.
     pub fn with(&self, name: impl Into<Name>, value: Value) -> Instance {
-        let mut out = self.clone();
-        out.bind(name, value);
-        out
+        let name = name.into();
+        Instance {
+            root: Some(treap_insert(&self.root, name, priority(&name), value)),
+        }
     }
 
     /// Look up a binding.
     pub fn get(&self, name: &Name) -> Result<&Value, ValueError> {
-        self.bindings
-            .get(name)
-            .ok_or(ValueError::UnknownName(*name))
+        self.try_get(name).ok_or(ValueError::UnknownName(*name))
     }
 
     /// Look up a binding, returning `None` when absent.
     pub fn try_get(&self, name: &Name) -> Option<&Value> {
-        self.bindings.get(name)
+        let mut link = &self.root;
+        while let Some(n) = link {
+            match name.cmp(&n.key) {
+                Ordering::Equal => return Some(&n.value),
+                Ordering::Less => link = &n.left,
+                Ordering::Greater => link = &n.right,
+            }
+        }
+        None
     }
 
     /// Is this name bound?
     pub fn contains(&self, name: &Name) -> bool {
-        self.bindings.contains_key(name)
+        self.try_get(name).is_some()
     }
 
     /// Iterate bindings in name order.
-    pub fn iter(&self) -> impl Iterator<Item = (&Name, &Value)> {
-        self.bindings.iter()
+    pub fn iter(&self) -> InstanceIter<'_> {
+        let mut it = InstanceIter { stack: Vec::new() };
+        it.descend(&self.root);
+        it
     }
 
     /// Number of bindings.
     pub fn len(&self) -> usize {
-        self.bindings.len()
+        link_len(&self.root)
     }
 
     /// Is the instance empty?
     pub fn is_empty(&self) -> bool {
-        self.bindings.is_empty()
+        self.root.is_none()
     }
 
     /// Check the instance against a schema: every declared object must be
@@ -196,14 +350,11 @@ impl Instance {
 
     /// Restriction of the instance to the given names.
     pub fn restrict(&self, names: &[Name]) -> Instance {
-        Instance {
-            bindings: self
-                .bindings
-                .iter()
+        Instance::from_bindings(
+            self.iter()
                 .filter(|(n, _)| names.contains(n))
-                .map(|(n, v)| (*n, v.clone()))
-                .collect(),
-        }
+                .map(|(n, v)| (*n, v.clone())),
+        )
     }
 
     /// Do two instances agree on the given names (all present and equal)?
@@ -228,13 +379,55 @@ impl Instance {
 
 impl fmt::Display for Instance {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (i, (n, v)) in self.bindings.iter().enumerate() {
+        for (i, (n, v)) in self.iter().enumerate() {
             if i > 0 {
                 writeln!(f)?;
             }
             write!(f, "{n} = {v}")?;
         }
         Ok(())
+    }
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        // Extensional: same bindings, regardless of sharing history.  (The
+        // canonical treap shape would make a structural compare sound too,
+        // but the iterator compare is obviously right and just as fast.)
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Instance {}
+
+impl Serialize for Instance {
+    fn serialize(&self) -> serde::Content {
+        // Mirror the wire shape of the previous derived impl on
+        // `struct Instance { bindings: BTreeMap<Name, Value> }`.
+        let pairs = self
+            .iter()
+            .map(|(n, v)| (n.serialize(), v.serialize()))
+            .collect();
+        serde::Content::Map(vec![(
+            serde::Content::Str("bindings".to_owned()),
+            serde::Content::Map(pairs),
+        )])
+    }
+}
+
+impl Deserialize for Instance {
+    fn deserialize(content: &serde::Content) -> Result<Self, serde::Error> {
+        let bindings = content
+            .get_field("bindings")
+            .ok_or_else(|| serde::Error::custom("missing field `bindings`"))?;
+        let map = BTreeMap::<Name, Value>::deserialize(bindings)?;
+        Ok(Instance::from_bindings(map))
     }
 }
 
@@ -348,5 +541,61 @@ mod tests {
         assert_eq!(i.to_string(), "x = a1");
         let s = Schema::from_decls([(Name::new("x"), Type::Ur)]).unwrap();
         assert_eq!(s.to_string(), "x : U");
+    }
+
+    #[test]
+    fn treap_iterates_in_name_order_regardless_of_insertion_order() {
+        let names: Vec<String> = (0..200).map(|i| format!("n{i:03}")).collect();
+        let mut shuffled = names.clone();
+        // deterministic pseudo-shuffle
+        for i in 0..shuffled.len() {
+            let j = (i * 7919 + 13) % shuffled.len();
+            shuffled.swap(i, j);
+        }
+        let fwd = Instance::from_bindings(
+            names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (Name::new(n), Value::atom(i as u64))),
+        );
+        let shuf = Instance::from_bindings(shuffled.iter().map(|n| {
+            (
+                Name::new(n),
+                Value::atom(names.iter().position(|m| m == n).unwrap() as u64),
+            )
+        }));
+        assert_eq!(
+            fwd, shuf,
+            "extensional equality is insertion-order independent"
+        );
+        let iterated: Vec<&'static str> = fwd.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = iterated.clone();
+        sorted.sort_unstable();
+        assert_eq!(iterated, sorted, "iteration is lexicographic");
+        assert_eq!(fwd.len(), 200);
+    }
+
+    #[test]
+    fn with_shares_structure_and_rebinding_replaces() {
+        let mut base = Instance::new();
+        for i in 0..64u64 {
+            base.bind(format!("v{i}"), Value::atom(i));
+        }
+        // a chain of functional extensions leaves every predecessor intact
+        let e1 = base.with("w", Value::atom(100));
+        let e2 = e1.with("w", Value::atom(101));
+        assert_eq!(base.len(), 64);
+        assert!(!base.contains(&Name::new("w")));
+        assert_eq!(e1.get(&Name::new("w")).unwrap(), &Value::atom(100));
+        assert_eq!(e2.get(&Name::new("w")).unwrap(), &Value::atom(101));
+        assert_eq!(e1.len(), 65);
+        assert_eq!(e2.len(), 65);
+        // untouched bindings are still reachable through every version
+        for i in 0..64u64 {
+            assert_eq!(
+                e2.get(&Name::new(format!("v{i}"))).unwrap(),
+                &Value::atom(i)
+            );
+        }
     }
 }

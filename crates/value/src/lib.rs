@@ -42,7 +42,7 @@ pub use error::ValueError;
 pub use instance::{Instance, Schema};
 pub use name::{Name, NameGen};
 pub use types::{SubtypePath, SubtypeStep, Type};
-pub use value::Value;
+pub use value::{SetValue, Value};
 
 #[cfg(test)]
 mod tests {

@@ -4,6 +4,18 @@
 //! value, an atom, a pair, or a finite set.  Sets are stored as `BTreeSet`s so
 //! that the representation is canonical: extensional equality coincides with
 //! structural (`Eq`) equality, and iteration order is deterministic.
+//!
+//! # Sharing
+//!
+//! Pairs and sets are **structurally shared**: `Pair` holds `Arc<Value>`
+//! children and `Set` holds a [`SetValue`] — an `Arc`-wrapped `BTreeSet` with
+//! a lazily cached structural hash.  `Value::clone` is therefore O(1)
+//! (reference-count bumps), which is what lets the NRC evaluators rebind the
+//! same large sets in environment frames millions of times without deep
+//! copies.  Equality, ordering, iteration order and the serialized form are
+//! unchanged from the previous deep representation: `SetValue` compares and
+//! orders through the underlying `BTreeSet` (with pointer-equality and
+//! cached-hash fast paths), so extensional canonicity is preserved.
 
 use crate::error::ValueError;
 use crate::types::Type;
@@ -11,6 +23,150 @@ use crate::Atom;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
+
+/// The shared payload of a set value: the canonical `BTreeSet` plus a cached
+/// structural hash, computed at most once per node.
+#[derive(Debug)]
+struct SetNode {
+    elems: BTreeSet<Value>,
+    hash: OnceLock<u64>,
+}
+
+/// An `Arc`-shared, hash-cached set of values.
+///
+/// Dereferences to the underlying `BTreeSet<Value>`, so member access reads
+/// exactly like the plain representation.  Cloning is O(1); two clones share
+/// the same node (and the same cached hash).
+#[derive(Clone)]
+pub struct SetValue(Arc<SetNode>);
+
+impl SetValue {
+    /// The empty set (no allocation is shared between empties; they are tiny).
+    pub fn empty() -> SetValue {
+        BTreeSet::new().into()
+    }
+
+    /// The underlying canonical set.
+    pub fn elems(&self) -> &BTreeSet<Value> {
+        &self.0.elems
+    }
+
+    /// The cached structural hash of the set (computed on first use).
+    ///
+    /// A pure function of the member set, so `a == b` implies
+    /// `a.hash64() == b.hash64()`; the converse is (overwhelmingly likely but)
+    /// not guaranteed, so the hash is only ever used as a fast *negative*.
+    pub fn hash64(&self) -> u64 {
+        *self.0.hash.get_or_init(|| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            self.0.elems.len().hash(&mut h);
+            for e in &self.0.elems {
+                e.hash(&mut h);
+            }
+            h.finish()
+        })
+    }
+
+    /// Do two handles point at the very same node?
+    pub fn ptr_eq(&self, other: &SetValue) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// Recover the owned `BTreeSet`, cloning only if the node is shared.
+    pub fn into_elems(self) -> BTreeSet<Value> {
+        match Arc::try_unwrap(self.0) {
+            Ok(node) => node.elems,
+            Err(shared) => shared.elems.clone(),
+        }
+    }
+}
+
+impl From<BTreeSet<Value>> for SetValue {
+    fn from(elems: BTreeSet<Value>) -> Self {
+        SetValue(Arc::new(SetNode {
+            elems,
+            hash: OnceLock::new(),
+        }))
+    }
+}
+
+impl FromIterator<Value> for SetValue {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        iter.into_iter().collect::<BTreeSet<Value>>().into()
+    }
+}
+
+impl std::ops::Deref for SetValue {
+    type Target = BTreeSet<Value>;
+    fn deref(&self) -> &BTreeSet<Value> {
+        &self.0.elems
+    }
+}
+
+impl PartialEq for SetValue {
+    fn eq(&self, other: &Self) -> bool {
+        if self.ptr_eq(other) {
+            return true;
+        }
+        if self.0.elems.len() != other.0.elems.len() {
+            return false;
+        }
+        // Cached hashes are a cheap negative once both sides are warm.
+        if let (Some(a), Some(b)) = (self.0.hash.get(), other.0.hash.get()) {
+            if a != b {
+                return false;
+            }
+        }
+        self.0.elems == other.0.elems
+    }
+}
+
+impl Eq for SetValue {}
+
+impl PartialOrd for SetValue {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SetValue {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.ptr_eq(other) {
+            std::cmp::Ordering::Equal
+        } else {
+            // Lexicographic on the canonical member sequence — identical to
+            // the ordering of the previous plain-`BTreeSet` representation,
+            // which Display stability and serialized artefacts rely on.
+            self.0.elems.cmp(&other.0.elems)
+        }
+    }
+}
+
+impl Hash for SetValue {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash64());
+    }
+}
+
+impl fmt::Debug for SetValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.elems.fmt(f)
+    }
+}
+
+impl Serialize for SetValue {
+    fn serialize(&self) -> serde::Content {
+        self.0.elems.serialize()
+    }
+}
+
+impl Deserialize for SetValue {
+    fn deserialize(content: &serde::Content) -> Result<Self, serde::Error> {
+        BTreeSet::<Value>::deserialize(content).map(SetValue::from)
+    }
+}
 
 /// A nested relational value.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -19,10 +175,10 @@ pub enum Value {
     Unit,
     /// An Ur-element.
     Atom(Atom),
-    /// A pair.
-    Pair(Box<Value>, Box<Value>),
-    /// A finite set.
-    Set(BTreeSet<Value>),
+    /// A pair (children are shared, see the module docs).
+    Pair(Arc<Value>, Arc<Value>),
+    /// A finite set (shared and hash-cached, see [`SetValue`]).
+    Set(SetValue),
 }
 
 impl Value {
@@ -33,7 +189,7 @@ impl Value {
 
     /// A pair value.
     pub fn pair(a: Value, b: Value) -> Value {
-        Value::Pair(Box::new(a), Box::new(b))
+        Value::Pair(Arc::new(a), Arc::new(b))
     }
 
     /// A set value from any iterator of elements (duplicates collapse).
@@ -41,9 +197,14 @@ impl Value {
         Value::Set(items.into_iter().collect())
     }
 
+    /// A set value from an already canonical `BTreeSet`.
+    pub fn from_set(items: BTreeSet<Value>) -> Value {
+        Value::Set(items.into())
+    }
+
     /// The empty set.
     pub fn empty_set() -> Value {
-        Value::Set(BTreeSet::new())
+        Value::Set(SetValue::empty())
     }
 
     /// A right-nested tuple `⟨v1, ⟨v2, …⟩⟩`; the 1-ary tuple is the value itself.
@@ -85,6 +246,14 @@ impl Value {
     /// View as a set.
     pub fn as_set(&self) -> Result<&BTreeSet<Value>, ValueError> {
         match self {
+            Value::Set(s) => Ok(s.elems()),
+            other => Err(ValueError::NotASet(other.to_string())),
+        }
+    }
+
+    /// View the shared set handle (clones are O(1)).
+    pub fn as_set_value(&self) -> Result<&SetValue, ValueError> {
+        match self {
             Value::Set(s) => Ok(s),
             other => Err(ValueError::NotASet(other.to_string())),
         }
@@ -93,7 +262,7 @@ impl Value {
     /// Consume as a set.
     pub fn into_set(self) -> Result<BTreeSet<Value>, ValueError> {
         match self {
-            Value::Set(s) => Ok(s),
+            Value::Set(s) => Ok(s.into_elems()),
             other => Err(ValueError::NotASet(other.to_string())),
         }
     }
@@ -192,7 +361,7 @@ impl Value {
                 b.collect_atoms(out);
             }
             Value::Set(s) => {
-                for v in s {
+                for v in s.iter() {
                     v.collect_atoms(out);
                 }
             }
@@ -206,9 +375,17 @@ impl Value {
 
     /// Set union (errors if either value is not a set).
     pub fn union(&self, other: &Value) -> Result<Value, ValueError> {
-        let mut s = self.as_set()?.clone();
-        s.extend(other.as_set()?.iter().cloned());
-        Ok(Value::Set(s))
+        let (lhs, rhs) = (self.as_set_value()?, other.as_set_value()?);
+        // Share instead of copying when one side contributes nothing.
+        if rhs.is_empty() || lhs.ptr_eq(rhs) {
+            return Ok(Value::Set(lhs.clone()));
+        }
+        if lhs.is_empty() {
+            return Ok(Value::Set(rhs.clone()));
+        }
+        let mut s = lhs.elems().clone();
+        s.extend(rhs.iter().cloned());
+        Ok(Value::from_set(s))
     }
 
     /// Set difference (errors if either value is not a set).
@@ -220,7 +397,7 @@ impl Value {
             .filter(|v| !rhs.contains(*v))
             .cloned()
             .collect();
-        Ok(Value::Set(s))
+        Ok(Value::from_set(s))
     }
 
     /// Set intersection (errors if either value is not a set).
@@ -232,7 +409,7 @@ impl Value {
             .filter(|v| rhs.contains(*v))
             .cloned()
             .collect();
-        Ok(Value::Set(s))
+        Ok(Value::from_set(s))
     }
 
     /// The number of values [`Value::enumerate`] would produce for this type
@@ -290,7 +467,7 @@ impl Value {
                             s.insert(v.clone());
                         }
                     }
-                    out.push(Value::Set(s));
+                    out.push(Value::from_set(s));
                 }
                 out
             }

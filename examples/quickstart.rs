@@ -63,7 +63,7 @@ fn main() {
     let def = synthesize(&spec, &cfg).expect("the views determine S");
     println!(
         "synthesized definition of S over {{V1, V2}}:\n  {}\n",
-        def.expr
+        def.expr()
     );
     println!(
         "proof search: {} goals, {} states visited, proof sizes {:?}\n",

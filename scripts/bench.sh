@@ -6,7 +6,8 @@
 # Usage:
 #   scripts/bench.sh                 # full run, writes bench-results/BENCH_<date>.json
 #   scripts/bench.sh out.json        # full run, explicit output path
-#   NRS_BENCH_FAST=1 scripts/bench.sh   # smoke run (seconds, noisy numbers)
+#   scripts/bench.sh --fast [out]    # smoke run (seconds, noisy numbers)
+#   NRS_BENCH_FAST=1 scripts/bench.sh   # same smoke run, via the env knob
 #
 # Each element of the "benches" array is one benchmark:
 #   {"group":"E4_proof_search","bench":"subset_chain/2",
@@ -17,9 +18,16 @@ cd "$(dirname "$0")/.."
 
 case "${1:-}" in
 -h | --help)
-    sed -n '2,13p' "$0" | sed 's/^# \{0,1\}//'
+    sed -n '2,14p' "$0" | sed 's/^# \{0,1\}//'
     exit 0
     ;;
+--fast)
+    export NRS_BENCH_FAST=1
+    shift
+    ;;
+esac
+
+case "${1:-}" in
 -*)
     echo "unknown option: $1 (try --help)" >&2
     exit 2

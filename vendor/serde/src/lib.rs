@@ -231,6 +231,31 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+// Shared pointers serialize transparently, like real serde's `rc` feature.
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        T::deserialize(content).map(std::sync::Arc::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::rc::Rc<T> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        T::deserialize(content).map(std::rc::Rc::new)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn serialize(&self) -> Content {
         match self {
