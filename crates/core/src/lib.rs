@@ -44,7 +44,7 @@ pub mod views;
 
 pub use collect::{collect_parameters, CollectInput, CollectOutput};
 pub use synthesis::{
-    synthesize, ImplicitSpec, SynthesisConfig, SynthesisError, SynthesisReport,
+    synthesize, synthesize_with, ImplicitSpec, SynthesisConfig, SynthesisError, SynthesisReport,
     SynthesizedDefinition,
 };
 pub use views::{materialize_views, RewritingProblem, RewritingResult};

@@ -8,7 +8,7 @@ use nrs_interp::partition::Partition;
 use nrs_interp::{interpolate, InterpolationError};
 use nrs_nrc::{compile, eval as nrc_eval, macros as nrc_macros, Expr, NrcError};
 use nrs_proof::{ProofError, Sequent};
-use nrs_prover::{prove_sequent, ProverConfig};
+use nrs_prover::{prove_sequent, ProverConfig, ProverSession};
 use nrs_value::{Instance, Name, NameGen, Type, Value};
 
 /// An implicit Δ0 specification `φ(ī, ā, o)` of an output object in terms of
@@ -55,13 +55,32 @@ impl ImplicitSpec {
 }
 
 /// Configuration of the synthesis pipeline.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SynthesisConfig {
     /// Budgets for the proof-search engine used on every sub-goal.
     pub prover: ProverConfig,
     /// Whether to establish the top-level determinacy entailment first (a
     /// sanity check that also reproduces the paper's input assumption).
     pub check_determinacy: bool,
+    /// Synthesize the two components of a product output on separate threads
+    /// (they are independent sub-goals sharing the prover session).
+    pub parallel_goals: bool,
+    /// Prove every goal of the run through one shared [`ProverSession`]
+    /// (cross-goal failure-memo reuse; the default).  Disable to prove each
+    /// goal with a cold prover — the oracle the session-cached mode is tested
+    /// against.
+    pub share_prover_session: bool,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig {
+            prover: ProverConfig::default(),
+            check_determinacy: false,
+            parallel_goals: false,
+            share_prover_session: true,
+        }
+    }
 }
 
 /// Errors of the synthesis pipeline.
@@ -214,9 +233,25 @@ impl SynthesizedDefinition {
 
 /// Synthesize an explicit NRC definition from an implicit Δ0 specification
 /// (Theorem 2).
+///
+/// All proof goals of the run — the determinacy check, the per-depth
+/// parameter-collection goals, the interpolation goals, and every goal of the
+/// recursive product/set cases — share one [`ProverSession`], so the failure
+/// memo built while proving one goal prunes the searches of the others.
 pub fn synthesize(
     spec: &ImplicitSpec,
     cfg: &SynthesisConfig,
+) -> Result<SynthesizedDefinition, SynthesisError> {
+    let session = ProverSession::new(cfg.prover.clone());
+    synthesize_with(spec, cfg, &session)
+}
+
+/// [`synthesize`] against a caller-provided prover session (reused across the
+/// recursive cases, and reusable across several related synthesis runs).
+pub fn synthesize_with(
+    spec: &ImplicitSpec,
+    cfg: &SynthesisConfig,
+    session: &ProverSession,
 ) -> Result<SynthesizedDefinition, SynthesisError> {
     let mut report = SynthesisReport::default();
     let mut gen = NameGen::avoiding(
@@ -247,7 +282,8 @@ pub fn synthesize(
         );
         prove_goal(
             &seq,
-            &cfg.prover,
+            session,
+            cfg,
             "the determinacy of the output",
             &mut report,
         )?;
@@ -262,6 +298,7 @@ pub fn synthesize(
         primed_out,
         inputs: spec.inputs.clone(),
         cfg: cfg.clone(),
+        session: session.clone(),
     };
     let expr = synth_output(
         &ctx,
@@ -281,19 +318,40 @@ struct Ctx {
     primed_out: Name,
     inputs: Vec<(Name, Type)>,
     cfg: SynthesisConfig,
+    session: ProverSession,
 }
 
 fn prove_goal(
     seq: &Sequent,
-    prover: &ProverConfig,
+    session: &ProverSession,
+    cfg: &SynthesisConfig,
     purpose: &str,
     report: &mut SynthesisReport,
 ) -> Result<nrs_proof::Proof, SynthesisError> {
-    match prove_sequent(seq, prover) {
+    // Both modes prove under the *session's* budgets, so flipping
+    // `share_prover_session` changes only the memo caching — never the
+    // search envelope (callers of `synthesize_with` may pass a session
+    // configured differently from `cfg.prover`).
+    let outcome = if cfg.share_prover_session {
+        session.prove_sequent(seq)
+    } else {
+        prove_sequent(seq, session.config())
+    };
+    match outcome {
         Ok((proof, stats)) => {
             report.goals_proved += 1;
             report.states_visited += stats.visited;
             report.proof_sizes.push(proof.size());
+            report.notes.push(format!(
+                "prover[{purpose}]: {} states visited (risky level {}), memo {} hit / {} miss, \
+                 interner {} hit / {} miss",
+                stats.visited,
+                stats.risky_level,
+                stats.memo_hits,
+                stats.memo_misses,
+                stats.interner_hits,
+                stats.interner_misses,
+            ));
             Ok(proof)
         }
         Err(error) => Err(SynthesisError::ProofNotFound {
@@ -329,7 +387,8 @@ fn synth_output(
             );
             let proof = prove_goal(
                 &seq,
-                &ctx.cfg.prover,
+                &ctx.session,
+                &ctx.cfg,
                 "the Ur-output interpolation goal",
                 report,
             )?;
@@ -362,8 +421,26 @@ fn synth_output(
             report
                 .notes
                 .push("product output: synthesizing the two components".into());
-            let d1 = synthesize(&spec1, &ctx.cfg)?;
-            let d2 = synthesize(&spec2, &ctx.cfg)?;
+            // The components are independent sub-goals over the same session;
+            // when configured, they run on separate (scoped) threads.
+            let (d1, d2) = if ctx.cfg.parallel_goals {
+                std::thread::scope(|scope| {
+                    let handle = scope.spawn(|| synthesize_with(&spec1, &ctx.cfg, &ctx.session));
+                    let d2 = synthesize_with(&spec2, &ctx.cfg, &ctx.session);
+                    let d1 = handle.join().unwrap_or_else(|_| {
+                        Err(SynthesisError::Ill(
+                            "component synthesis thread panicked".into(),
+                        ))
+                    });
+                    (d1, d2)
+                })
+            } else {
+                (
+                    synthesize_with(&spec1, &ctx.cfg, &ctx.session),
+                    synthesize_with(&spec2, &ctx.cfg, &ctx.session),
+                )
+            };
+            let (d1, d2) = (d1?, d2?);
             merge_report(report, d1.report);
             merge_report(report, d2.report);
             Ok(Expr::pair(d1.expr, d2.expr))
@@ -403,7 +480,8 @@ fn synth_output(
             );
             let proof = prove_goal(
                 &seq,
-                &ctx.cfg.prover,
+                &ctx.session,
+                &ctx.cfg,
                 "the membership interpolation goal",
                 report,
             )?;
@@ -527,7 +605,8 @@ fn collect_answers(
             );
             let proof = prove_goal(
                 &seq,
-                &ctx.cfg.prover,
+                &ctx.session,
+                &ctx.cfg,
                 &format!("the parameter-collection goal at nesting depth {depth}"),
                 report,
             )?;

@@ -336,6 +336,7 @@ mod tests {
                 ..ProverConfig::default()
             },
             check_determinacy: false,
+            ..Default::default()
         };
         let result = problem.derive_rewriting(&cfg).expect("rewriting exists");
         for seed in 0..3 {

@@ -1,0 +1,97 @@
+//! Cross-goal prover-session reuse on the E2 (partition rewriting) spec:
+//!
+//! * re-proving a goal through a warm session strictly reduces
+//!   `ProverStats.visited` (the failure memo prunes the deepening levels and
+//!   the refuted subtrees wholesale);
+//! * synthesis through one shared session visits no more states than
+//!   per-goal cold synthesis, and both produce correct rewritings.
+
+use nrs_delta0::macros as d0;
+use nrs_delta0::{InContext, Term};
+use nrs_proof::{check_proof, Sequent};
+use nrs_prover::{ProverConfig, ProverSession};
+use nrs_synthesis::views::{partition_instance, partition_problem};
+use nrs_synthesis::SynthesisConfig;
+use nrs_value::NameGen;
+
+/// The determinacy sequent of the E2 partition spec: `φ ∧ φ' ⊢ Q ≡ Q'`.
+fn e2_determinacy_sequent() -> Sequent {
+    let problem = partition_problem();
+    let mut gen = NameGen::new();
+    let spec = problem.specification(&mut gen).expect("well-formed spec");
+    let (phi_primed, primed_out, _) = spec.primed();
+    let goal = d0::equiv(
+        &spec.output.1,
+        &Term::Var(spec.output.0),
+        &Term::Var(primed_out),
+        &mut gen,
+    );
+    Sequent::two_sided(InContext::new(), [spec.formula.clone(), phi_primed], [goal])
+}
+
+#[test]
+fn cross_goal_memo_reuse_strictly_reduces_visited_states() {
+    let seq = e2_determinacy_sequent();
+    let session = ProverSession::new(ProverConfig::default());
+    let (p1, s1) = session.prove_sequent(&seq).expect("determinacy provable");
+    let (p2, s2) = session.prove_sequent(&seq).expect("still provable warm");
+    assert!(check_proof(&p1).is_ok() && check_proof(&p2).is_ok());
+    assert!(s1.risky_level > 0, "determinacy requires risky search");
+    assert!(
+        s2.visited < s1.visited,
+        "warm session must strictly reduce visited states ({} vs {})",
+        s2.visited,
+        s1.visited
+    );
+    assert!(s2.memo_hits > 0, "warm run must hit the shared memo");
+    // the memo survives in the session between the calls
+    assert!(session.memo_len() > 0);
+}
+
+#[test]
+fn shared_session_synthesis_matches_cold_synthesis() {
+    let problem = partition_problem();
+    let shared_cfg = SynthesisConfig {
+        check_determinacy: true,
+        ..Default::default()
+    };
+    let cold_cfg = SynthesisConfig {
+        check_determinacy: true,
+        share_prover_session: false,
+        ..Default::default()
+    };
+    let shared = problem.derive_rewriting(&shared_cfg).expect("shared ok");
+    let cold = problem.derive_rewriting(&cold_cfg).expect("cold ok");
+    assert_eq!(
+        shared.definition.report.goals_proved,
+        cold.definition.report.goals_proved
+    );
+    assert!(
+        shared.definition.report.states_visited <= cold.definition.report.states_visited,
+        "session sharing must not search more ({} vs {})",
+        shared.definition.report.states_visited,
+        cold.definition.report.states_visited
+    );
+    for seed in 0..6 {
+        let base = partition_instance(6, seed);
+        assert!(shared.verify_on_base(&base).unwrap(), "shared, seed {seed}");
+        assert!(cold.verify_on_base(&base).unwrap(), "cold, seed {seed}");
+    }
+}
+
+#[test]
+fn parallel_goal_synthesis_is_correct() {
+    // The partition spec has a Set output (no product split), so this mainly
+    // exercises that the parallel configuration is safe end-to-end.
+    let problem = partition_problem();
+    let cfg = SynthesisConfig {
+        check_determinacy: true,
+        parallel_goals: true,
+        ..Default::default()
+    };
+    let result = problem.derive_rewriting(&cfg).expect("parallel ok");
+    for seed in 0..4 {
+        let base = partition_instance(5, seed);
+        assert!(result.verify_on_base(&base).unwrap(), "seed {seed}");
+    }
+}

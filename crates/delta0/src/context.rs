@@ -71,9 +71,12 @@ impl fmt::Display for MemAtom {
 ///
 /// Contexts behave as sets (duplicates are not stored twice) but preserve
 /// insertion order so that proofs and their transformations stay reproducible.
+/// The atom vector is `Arc`-shared copy-on-write: cloning a context (which
+/// the prover does for every visited sequent) is O(1), and only the rare
+/// extension pays a copy.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct InContext {
-    atoms: Vec<MemAtom>,
+    atoms: std::sync::Arc<Vec<MemAtom>>,
 }
 
 impl InContext {
@@ -96,7 +99,7 @@ impl InContext {
         if self.atoms.contains(&atom) {
             false
         } else {
-            self.atoms.push(atom);
+            std::sync::Arc::make_mut(&mut self.atoms).push(atom);
             true
         }
     }
@@ -145,7 +148,7 @@ impl InContext {
     /// Free variables of all atoms.
     pub fn free_vars(&self) -> BTreeSet<Name> {
         let mut out = BTreeSet::new();
-        for a in &self.atoms {
+        for a in self.atoms.iter() {
             out.extend(a.free_vars());
         }
         out
@@ -178,7 +181,7 @@ impl InContext {
     pub fn split_by_vars(&self, left_vars: &BTreeSet<Name>) -> (InContext, InContext) {
         let mut l = InContext::new();
         let mut r = InContext::new();
-        for a in &self.atoms {
+        for a in self.atoms.iter() {
             if a.free_vars().iter().all(|v| left_vars.contains(v)) {
                 l.insert(a.clone());
             } else {

@@ -11,12 +11,19 @@
 //! allow membership literals `t ∈ u` / `t ∉ u`; in proofs these only ever
 //! appear inside ∈-contexts, and [`Formula::is_delta0`] distinguishes the two
 //! classes.
+//!
+//! Subformulas are hash-consed [`Shared`] nodes (see [`crate::shared`]):
+//! clones are O(1), equality/hashing are O(1), and every node caches its
+//! free-variable set, which substitution uses to return untouched subtrees
+//! shared instead of rebuilding them.
 
+use crate::shared::{empty_name_set, HashConsed, InternTable, Shared};
 use crate::term::Term;
 use nrs_value::Name;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// A (possibly extended) Δ0 formula.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -30,9 +37,9 @@ pub enum Formula {
     /// Falsity.
     False,
     /// Conjunction.
-    And(Box<Formula>, Box<Formula>),
+    And(Shared<Formula>, Shared<Formula>),
     /// Disjunction.
-    Or(Box<Formula>, Box<Formula>),
+    Or(Shared<Formula>, Shared<Formula>),
     /// Bounded universal quantification `∀ var ∈ bound . body`.
     Forall {
         /// The bound variable.
@@ -40,7 +47,7 @@ pub enum Formula {
         /// The set-typed term the quantifier ranges over.
         bound: Term,
         /// The body.
-        body: Box<Formula>,
+        body: Shared<Formula>,
     },
     /// Bounded existential quantification `∃ var ∈ bound . body`.
     Exists {
@@ -49,12 +56,28 @@ pub enum Formula {
         /// The set-typed term the quantifier ranges over.
         bound: Term,
         /// The body.
-        body: Box<Formula>,
+        body: Shared<Formula>,
     },
     /// Extended membership literal `t ∈ u` (not Δ0).
     Mem(Term, Term),
     /// Extended non-membership literal `t ∉ u` (not Δ0).
     NotMem(Term, Term),
+}
+
+static FORMULA_TABLE: OnceLock<InternTable<Formula>> = OnceLock::new();
+
+impl HashConsed for Formula {
+    fn intern_table() -> &'static InternTable<Formula> {
+        FORMULA_TABLE.get_or_init(InternTable::default)
+    }
+
+    fn compute_free_vars(&self) -> Arc<BTreeSet<Name>> {
+        self.free_vars_arc()
+    }
+
+    fn compute_size(&self) -> usize {
+        self.size()
+    }
 }
 
 /// The focusing classification of a formula (paper §4).
@@ -84,12 +107,12 @@ impl Formula {
 
     /// Conjunction.
     pub fn and(a: Formula, b: Formula) -> Formula {
-        Formula::And(Box::new(a), Box::new(b))
+        Formula::And(Shared::new(a), Shared::new(b))
     }
 
     /// Disjunction.
     pub fn or(a: Formula, b: Formula) -> Formula {
-        Formula::Or(Box::new(a), Box::new(b))
+        Formula::Or(Shared::new(a), Shared::new(b))
     }
 
     /// `∀ var ∈ bound . body`.
@@ -97,7 +120,7 @@ impl Formula {
         Formula::Forall {
             var: var.into(),
             bound: bound.into(),
-            body: Box::new(body),
+            body: Shared::new(body),
         }
     }
 
@@ -106,7 +129,7 @@ impl Formula {
         Formula::Exists {
             var: var.into(),
             bound: bound.into(),
-            body: Box::new(body),
+            body: Shared::new(body),
         }
     }
 
@@ -118,6 +141,25 @@ impl Formula {
     /// Extended non-membership `t ∉ u`.
     pub fn not_mem(t: impl Into<Term>, u: impl Into<Term>) -> Formula {
         Formula::NotMem(t.into(), u.into())
+    }
+
+    /// The position of this formula's variant in the derived `Ord` (variants
+    /// compare by declaration order before contents).  A sorted formula
+    /// sequence is therefore grouped by rank — `nrs-proof` uses this to slice
+    /// a sequent's right-hand side into per-kind index ranges.
+    pub fn variant_rank(&self) -> u8 {
+        match self {
+            Formula::EqUr(_, _) => 0,
+            Formula::NeqUr(_, _) => 1,
+            Formula::True => 2,
+            Formula::False => 3,
+            Formula::And(_, _) => 4,
+            Formula::Or(_, _) => 5,
+            Formula::Forall { .. } => 6,
+            Formula::Exists { .. } => 7,
+            Formula::Mem(_, _) => 8,
+            Formula::NotMem(_, _) => 9,
+        }
     }
 
     /// Is this a proper Δ0 formula (no primitive membership literals)?
@@ -204,56 +246,47 @@ impl Formula {
         }
     }
 
-    /// Free variables of the formula.
-    pub fn free_vars(&self) -> BTreeSet<Name> {
-        let mut out = BTreeSet::new();
-        self.collect_free_vars(&mut BTreeSet::new(), &mut out);
-        out
-    }
-
-    fn collect_free_vars(&self, bound: &mut BTreeSet<Name>, out: &mut BTreeSet<Name>) {
+    /// Free variables of the formula, as a shareable set (children cache
+    /// theirs, so only the top level is assembled).
+    pub fn free_vars_arc(&self) -> Arc<BTreeSet<Name>> {
+        use crate::shared::union_name_sets as union;
         match self {
             Formula::EqUr(t, u)
             | Formula::NeqUr(t, u)
             | Formula::Mem(t, u)
-            | Formula::NotMem(t, u) => {
-                for v in t.free_vars().union(&u.free_vars()) {
-                    if !bound.contains(v) {
-                        out.insert(*v);
-                    }
-                }
-            }
-            Formula::True | Formula::False => {}
-            Formula::And(a, b) | Formula::Or(a, b) => {
-                a.collect_free_vars(bound, out);
-                b.collect_free_vars(bound, out);
-            }
-            Formula::Forall {
-                var,
-                bound: b,
-                body,
-            }
-            | Formula::Exists {
-                var,
-                bound: b,
-                body,
-            } => {
-                for v in b.free_vars() {
-                    if !bound.contains(&v) {
-                        out.insert(v);
-                    }
-                }
-                let newly = bound.insert(*var);
-                body.collect_free_vars(bound, out);
-                if newly {
-                    bound.remove(var);
+            | Formula::NotMem(t, u) => union(&t.free_vars_arc(), &u.free_vars_arc()),
+            Formula::True | Formula::False => empty_name_set(),
+            Formula::And(a, b) | Formula::Or(a, b) => union(a.free_vars_set(), b.free_vars_set()),
+            Formula::Forall { var, bound, body } | Formula::Exists { var, bound, body } => {
+                let body_fv = body.free_vars_set();
+                let bound_fv = bound.free_vars_arc();
+                if body_fv.contains(var) {
+                    let mut out: BTreeSet<Name> = (**body_fv).clone();
+                    out.remove(var);
+                    out.extend(bound_fv.iter().copied());
+                    Arc::new(out)
+                } else {
+                    union(&bound_fv, body_fv)
                 }
             }
         }
     }
 
-    /// Capture-avoiding substitution of a term for a free variable.
+    /// Free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<Name> {
+        (*self.free_vars_arc()).clone()
+    }
+
+    /// Capture-avoiding substitution of a term for a free variable.  Subtrees
+    /// that do not mention the variable are returned as-is, shared.
     pub fn subst_var(&self, var: &Name, replacement: &Term) -> Formula {
+        fn child(c: &Shared<Formula>, var: &Name, replacement: &Term) -> Shared<Formula> {
+            if c.free_vars_set().contains(var) {
+                Shared::new(c.value().subst_var(var, replacement))
+            } else {
+                c.clone()
+            }
+        }
         match self {
             Formula::EqUr(t, u) => {
                 Formula::EqUr(t.subst_var(var, replacement), u.subst_var(var, replacement))
@@ -270,17 +303,17 @@ impl Formula {
             Formula::True => Formula::True,
             Formula::False => Formula::False,
             Formula::And(a, b) => {
-                Formula::and(a.subst_var(var, replacement), b.subst_var(var, replacement))
+                Formula::And(child(a, var, replacement), child(b, var, replacement))
             }
             Formula::Or(a, b) => {
-                Formula::or(a.subst_var(var, replacement), b.subst_var(var, replacement))
+                Formula::Or(child(a, var, replacement), child(b, var, replacement))
             }
             Formula::Forall {
                 var: bv,
                 bound,
                 body,
             } => {
-                let (bv, body) = Self::subst_under_binder(bv, bound, body, var, replacement);
+                let (bv, body) = Self::subst_under_binder(bv, body, var, replacement);
                 Formula::Forall {
                     var: bv,
                     bound: bound.subst_var(var, replacement),
@@ -292,7 +325,7 @@ impl Formula {
                 bound,
                 body,
             } => {
-                let (bv, body) = Self::subst_under_binder(bv, bound, body, var, replacement);
+                let (bv, body) = Self::subst_under_binder(bv, body, var, replacement);
                 Formula::Exists {
                     var: bv,
                     bound: bound.subst_var(var, replacement),
@@ -304,26 +337,24 @@ impl Formula {
 
     fn subst_under_binder(
         bv: &Name,
-        bound: &Term,
-        body: &Formula,
+        body: &Shared<Formula>,
         var: &Name,
         replacement: &Term,
-    ) -> (Name, Box<Formula>) {
-        if bv == var {
-            // the substituted variable is shadowed inside the body
-            return (*bv, Box::new(body.clone()));
+    ) -> (Name, Shared<Formula>) {
+        if bv == var || !body.free_vars_set().contains(var) {
+            // the substituted variable is shadowed, or absent from the body
+            return (*bv, body.clone());
         }
-        if replacement.mentions(bv) && body.free_vars().contains(var) {
+        if replacement.mentions(bv) {
             // rename the binder to avoid capturing a variable of the replacement
             let mut avoid: BTreeSet<Name> = replacement.free_vars();
-            avoid.extend(body.free_vars());
-            avoid.extend(bound.free_vars());
+            avoid.extend(body.free_vars_set().iter().copied());
             avoid.insert(*var);
             let fresh = Self::fresh_variant(bv, &avoid);
             let renamed = body.subst_var(bv, &Term::Var(fresh));
-            (fresh, Box::new(renamed.subst_var(var, replacement)))
+            (fresh, Shared::new(renamed.subst_var(var, replacement)))
         } else {
-            (*bv, Box::new(body.subst_var(var, replacement)))
+            (*bv, Shared::new(body.value().subst_var(var, replacement)))
         }
     }
 
@@ -339,8 +370,18 @@ impl Formula {
     /// (used by congruence-style proof rules).  Bound variables are *not*
     /// protected: callers must ensure the target and replacement are free for
     /// the formula, which holds for the proof-rule usages (the target never
-    /// contains bound variables of the formula).
+    /// contains bound variables of the formula).  Unchanged subformulas keep
+    /// their shared nodes, and the term layer skips subtrees that are too
+    /// small (or miss a free variable of the target).
     pub fn replace_term(&self, target: &Term, replacement: &Term) -> Formula {
+        fn child(c: &Shared<Formula>, target: &Term, replacement: &Term) -> Shared<Formula> {
+            let replaced = c.value().replace_term(target, replacement);
+            if &replaced == c.value() {
+                c.clone()
+            } else {
+                Shared::new(replaced)
+            }
+        }
         match self {
             Formula::EqUr(t, u) => Formula::EqUr(
                 t.replace_term(target, replacement),
@@ -360,29 +401,35 @@ impl Formula {
             ),
             Formula::True => Formula::True,
             Formula::False => Formula::False,
-            Formula::And(a, b) => Formula::and(
-                a.replace_term(target, replacement),
-                b.replace_term(target, replacement),
-            ),
-            Formula::Or(a, b) => Formula::or(
-                a.replace_term(target, replacement),
-                b.replace_term(target, replacement),
-            ),
+            Formula::And(a, b) => {
+                Formula::And(child(a, target, replacement), child(b, target, replacement))
+            }
+            Formula::Or(a, b) => {
+                Formula::Or(child(a, target, replacement), child(b, target, replacement))
+            }
             Formula::Forall { var, bound, body } => Formula::Forall {
                 var: *var,
                 bound: bound.replace_term(target, replacement),
-                body: Box::new(body.replace_term(target, replacement)),
+                body: child(body, target, replacement),
             },
             Formula::Exists { var, bound, body } => Formula::Exists {
                 var: *var,
                 bound: bound.replace_term(target, replacement),
-                body: Box::new(body.replace_term(target, replacement)),
+                body: child(body, target, replacement),
             },
         }
     }
 
     /// β-normalize all terms occurring in the formula.
     pub fn beta_normalize(&self) -> Formula {
+        fn child(c: &Shared<Formula>) -> Shared<Formula> {
+            let normal = c.value().beta_normalize();
+            if &normal == c.value() {
+                c.clone()
+            } else {
+                Shared::new(normal)
+            }
+        }
         match self {
             Formula::EqUr(t, u) => Formula::EqUr(t.beta_normalize(), u.beta_normalize()),
             Formula::NeqUr(t, u) => Formula::NeqUr(t.beta_normalize(), u.beta_normalize()),
@@ -390,22 +437,23 @@ impl Formula {
             Formula::NotMem(t, u) => Formula::NotMem(t.beta_normalize(), u.beta_normalize()),
             Formula::True => Formula::True,
             Formula::False => Formula::False,
-            Formula::And(a, b) => Formula::and(a.beta_normalize(), b.beta_normalize()),
-            Formula::Or(a, b) => Formula::or(a.beta_normalize(), b.beta_normalize()),
+            Formula::And(a, b) => Formula::And(child(a), child(b)),
+            Formula::Or(a, b) => Formula::Or(child(a), child(b)),
             Formula::Forall { var, bound, body } => Formula::Forall {
                 var: *var,
                 bound: bound.beta_normalize(),
-                body: Box::new(body.beta_normalize()),
+                body: child(body),
             },
             Formula::Exists { var, bound, body } => Formula::Exists {
                 var: *var,
                 bound: bound.beta_normalize(),
-                body: Box::new(body.beta_normalize()),
+                body: child(body),
             },
         }
     }
 
-    /// Structural size of the formula (number of connectives, atoms and term nodes).
+    /// Structural size of the formula (number of connectives, atoms and term
+    /// nodes).  O(1): children cache their sizes.
     pub fn size(&self) -> usize {
         match self {
             Formula::EqUr(t, u)
@@ -566,6 +614,20 @@ mod tests {
     }
 
     #[test]
+    fn substitution_shares_untouched_subtrees() {
+        let stable = Formula::eq_ur("a", "b");
+        let f = Formula::and(stable.clone(), Formula::eq_ur("x", "c"));
+        let s = f.subst_var(&Name::new("x"), &Term::var("y"));
+        match (&f, &s) {
+            (Formula::And(l1, _), Formula::And(l2, r2)) => {
+                assert!(l1.ptr_eq(l2), "untouched conjunct must be shared");
+                assert_eq!(**r2, Formula::eq_ur("y", "c"));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
     fn replace_term_and_beta_normalize() {
         let f = Formula::eq_ur(
             Term::proj1(Term::pair(Term::var("a"), Term::var("b"))),
@@ -595,5 +657,27 @@ mod tests {
         let printed = f.to_string();
         assert!(printed.contains("all v in V"));
         assert!(printed.contains("ex b in B"));
+    }
+
+    #[test]
+    fn variant_rank_is_consistent_with_ord() {
+        let mut formulas = vec![
+            Formula::not_mem("x", "y"),
+            Formula::exists("z", "S", Formula::True),
+            Formula::True,
+            Formula::eq_ur("a", "b"),
+            Formula::mem("x", "y"),
+            Formula::forall("z", "S", Formula::True),
+            Formula::neq_ur("a", "b"),
+            Formula::False,
+            Formula::or(Formula::True, Formula::False),
+            Formula::and(Formula::True, Formula::False),
+        ];
+        formulas.sort();
+        let ranks: Vec<u8> = formulas.iter().map(Formula::variant_rank).collect();
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        assert_eq!(ranks, sorted, "sorted formulas must be grouped by rank");
+        assert_eq!(ranks, (0..=9).collect::<Vec<u8>>());
     }
 }

@@ -1,9 +1,16 @@
 //! Δ0 terms: variables, the unit value, tupling and projections.
+//!
+//! Subterms are hash-consed [`Shared`] nodes (see [`crate::shared`]): cloning
+//! a term is O(1), equality and hashing are O(1), and the cached per-node
+//! free-variable sets let [`Term::subst_var`] and [`Term::replace_term`]
+//! return entire shared subtrees untouched when the rewrite cannot apply.
 
+use crate::shared::{empty_name_set, HashConsed, InternTable, Shared};
 use nrs_value::Name;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// A Δ0 term (paper §3): `t, u ::= x | () | ⟨t, u⟩ | π1(t) | π2(t)`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -13,11 +20,27 @@ pub enum Term {
     /// The unit value `()`.
     Unit,
     /// A pair `⟨t, u⟩`.
-    Pair(Box<Term>, Box<Term>),
+    Pair(Shared<Term>, Shared<Term>),
     /// First projection.
-    Proj1(Box<Term>),
+    Proj1(Shared<Term>),
     /// Second projection.
-    Proj2(Box<Term>),
+    Proj2(Shared<Term>),
+}
+
+static TERM_TABLE: OnceLock<InternTable<Term>> = OnceLock::new();
+
+impl HashConsed for Term {
+    fn intern_table() -> &'static InternTable<Term> {
+        TERM_TABLE.get_or_init(InternTable::default)
+    }
+
+    fn compute_free_vars(&self) -> Arc<BTreeSet<Name>> {
+        self.free_vars_arc()
+    }
+
+    fn compute_size(&self) -> usize {
+        self.size()
+    }
 }
 
 impl Term {
@@ -28,17 +51,17 @@ impl Term {
 
     /// A pair term.
     pub fn pair(a: Term, b: Term) -> Term {
-        Term::Pair(Box::new(a), Box::new(b))
+        Term::Pair(Shared::new(a), Shared::new(b))
     }
 
     /// First projection.
     pub fn proj1(t: Term) -> Term {
-        Term::Proj1(Box::new(t))
+        Term::Proj1(Shared::new(t))
     }
 
     /// Second projection.
     pub fn proj2(t: Term) -> Term {
-        Term::Proj2(Box::new(t))
+        Term::Proj2(Shared::new(t))
     }
 
     /// A right-nested tuple term.
@@ -71,25 +94,22 @@ impl Term {
         }
     }
 
-    /// Free variables of the term.
-    pub fn free_vars(&self) -> BTreeSet<Name> {
-        let mut out = BTreeSet::new();
-        self.collect_vars(&mut out);
-        out
+    /// Free variables of the term, as a shareable set (the children's sets
+    /// are cached on their nodes, so this only assembles the top level).
+    pub fn free_vars_arc(&self) -> Arc<BTreeSet<Name>> {
+        match self {
+            Term::Var(n) => Arc::new(BTreeSet::from([*n])),
+            Term::Unit => empty_name_set(),
+            Term::Pair(a, b) => {
+                crate::shared::union_name_sets(a.free_vars_set(), b.free_vars_set())
+            }
+            Term::Proj1(t) | Term::Proj2(t) => t.free_vars_set().clone(),
+        }
     }
 
-    fn collect_vars(&self, out: &mut BTreeSet<Name>) {
-        match self {
-            Term::Var(n) => {
-                out.insert(*n);
-            }
-            Term::Unit => {}
-            Term::Pair(a, b) => {
-                a.collect_vars(out);
-                b.collect_vars(out);
-            }
-            Term::Proj1(t) | Term::Proj2(t) => t.collect_vars(out),
-        }
+    /// Free variables of the term.
+    pub fn free_vars(&self) -> BTreeSet<Name> {
+        (*self.free_vars_arc()).clone()
     }
 
     /// Does the variable occur in this term?
@@ -97,40 +117,78 @@ impl Term {
         match self {
             Term::Var(n) => n == var,
             Term::Unit => false,
-            Term::Pair(a, b) => a.mentions(var) || b.mentions(var),
-            Term::Proj1(t) | Term::Proj2(t) => t.mentions(var),
+            Term::Pair(a, b) => a.free_vars_set().contains(var) || b.free_vars_set().contains(var),
+            Term::Proj1(t) | Term::Proj2(t) => t.free_vars_set().contains(var),
         }
     }
 
     /// Capture-free substitution of a term for a variable (terms have no
-    /// binders, so this is plain substitution).
+    /// binders, so this is plain substitution).  Subtrees that do not mention
+    /// the variable are returned as-is, shared.
     pub fn subst_var(&self, var: &Name, replacement: &Term) -> Term {
+        fn child(c: &Shared<Term>, var: &Name, replacement: &Term) -> Shared<Term> {
+            if c.free_vars_set().contains(var) {
+                Shared::new(c.value().subst_var(var, replacement))
+            } else {
+                c.clone()
+            }
+        }
         match self {
             Term::Var(n) if n == var => replacement.clone(),
             Term::Var(_) | Term::Unit => self.clone(),
-            Term::Pair(a, b) => {
-                Term::pair(a.subst_var(var, replacement), b.subst_var(var, replacement))
-            }
-            Term::Proj1(t) => Term::proj1(t.subst_var(var, replacement)),
-            Term::Proj2(t) => Term::proj2(t.subst_var(var, replacement)),
+            Term::Pair(a, b) => Term::Pair(child(a, var, replacement), child(b, var, replacement)),
+            Term::Proj1(t) => Term::Proj1(child(t, var, replacement)),
+            Term::Proj2(t) => Term::Proj2(child(t, var, replacement)),
         }
     }
 
     /// Replace every syntactic occurrence of `target` (a whole sub-term) by
     /// `replacement`.  Used by the ×β / ×η proof rules and by the congruence
-    /// transformations, which substitute terms for terms.
+    /// transformations, which substitute terms for terms.  Subtrees that are
+    /// too small to contain the target, or that miss one of its free
+    /// variables, are returned as-is, shared.
     pub fn replace_term(&self, target: &Term, replacement: &Term) -> Term {
+        let target_fv = target.free_vars_arc();
+        self.replace_term_gated(target, replacement, &target_fv, target.size())
+    }
+
+    fn replace_term_gated(
+        &self,
+        target: &Term,
+        replacement: &Term,
+        target_fv: &BTreeSet<Name>,
+        target_size: usize,
+    ) -> Term {
+        fn child(
+            c: &Shared<Term>,
+            target: &Term,
+            replacement: &Term,
+            target_fv: &BTreeSet<Name>,
+            target_size: usize,
+        ) -> Shared<Term> {
+            if c.size() < target_size || !target_fv.iter().all(|v| c.free_vars_set().contains(v)) {
+                return c.clone();
+            }
+            let replaced =
+                c.value()
+                    .replace_term_gated(target, replacement, target_fv, target_size);
+            if &replaced == c.value() {
+                c.clone()
+            } else {
+                Shared::new(replaced)
+            }
+        }
         if self == target {
             return replacement.clone();
         }
         match self {
             Term::Var(_) | Term::Unit => self.clone(),
-            Term::Pair(a, b) => Term::pair(
-                a.replace_term(target, replacement),
-                b.replace_term(target, replacement),
+            Term::Pair(a, b) => Term::Pair(
+                child(a, target, replacement, target_fv, target_size),
+                child(b, target, replacement, target_fv, target_size),
             ),
-            Term::Proj1(t) => Term::proj1(t.replace_term(target, replacement)),
-            Term::Proj2(t) => Term::proj2(t.replace_term(target, replacement)),
+            Term::Proj1(t) => Term::Proj1(child(t, target, replacement, target_fv, target_size)),
+            Term::Proj2(t) => Term::Proj2(child(t, target, replacement, target_fv, target_size)),
         }
     }
 
@@ -140,17 +198,17 @@ impl Term {
             Term::Var(_) | Term::Unit => self.clone(),
             Term::Pair(a, b) => Term::pair(a.beta_normalize(), b.beta_normalize()),
             Term::Proj1(t) => match t.beta_normalize() {
-                Term::Pair(a, _) => *a,
+                Term::Pair(a, _) => (*a).clone(),
                 other => Term::proj1(other),
             },
             Term::Proj2(t) => match t.beta_normalize() {
-                Term::Pair(_, b) => *b,
+                Term::Pair(_, b) => (*b).clone(),
                 other => Term::proj2(other),
             },
         }
     }
 
-    /// Structural size of the term.
+    /// Structural size of the term (O(1): children cache their sizes).
     pub fn size(&self) -> usize {
         match self {
             Term::Var(_) | Term::Unit => 1,
@@ -220,6 +278,20 @@ mod tests {
     }
 
     #[test]
+    fn substitution_shares_untouched_subtrees() {
+        let left = Term::proj1(Term::var("a"));
+        let t = Term::pair(left.clone(), Term::var("x"));
+        let s = t.subst_var(&Name::new("x"), &Term::Unit);
+        match (&t, &s) {
+            (Term::Pair(l1, _), Term::Pair(l2, r2)) => {
+                assert!(l1.ptr_eq(l2), "untouched subtree must be shared");
+                assert_eq!(**r2, Term::Unit);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
     fn replace_term_substitutes_whole_subterms() {
         let t = Term::proj1(Term::pair(Term::var("x"), Term::var("y")));
         let r = t.replace_term(&Term::var("x"), &Term::Unit);
@@ -227,6 +299,10 @@ mod tests {
         // replacing the whole term
         let whole = t.replace_term(&t, &Term::var("z"));
         assert_eq!(whole, Term::var("z"));
+        // a ground target still replaces (the free-variable gate is vacuous)
+        let u = Term::pair(Term::Unit, Term::var("w"));
+        let r2 = u.replace_term(&Term::Unit, &Term::var("q"));
+        assert_eq!(r2, Term::pair(Term::var("q"), Term::var("w")));
     }
 
     #[test]

@@ -13,7 +13,17 @@
 //! * singleton-generator fusion: `⋃{E | x ∈ {E'}} → E[x := E']` (guarded
 //!   against size blow-up when `x` occurs several times);
 //! * identity maps: `⋃{ {x} | x ∈ E } → E`;
-//! * empty bodies: `⋃{ ∅_T | x ∈ E } → ∅_T`.
+//! * empty bodies: `⋃{ ∅_T | x ∈ E } → ∅_T`;
+//! * static emptiness: operands that are *provably* empty without any typing
+//!   context (`E \ E`, unions of such, comprehensions over or of such) are
+//!   dropped from unions and differences.  The ≠-congruence-heavy proofs the
+//!   prover finds emit reflexivity scaffolding like
+//!   `{()} \ ⋃{{()} | w ∈ ({e} \ {e})}` around every guard, which this
+//!   analysis folds away without needing to synthesize a typed `∅` node;
+//! * guard self-absorption: `⋃{ E | x ∈ E } → E` when `x` is not free in
+//!   `E` (the union of |E| copies of `E` is `E`, and both sides are empty
+//!   together) — collapsing the chains of identical unit-set guards that
+//!   iterated congruence steps produce.
 //!
 //! All rules preserve the NRC semantics on well-typed inputs ([Wong 94]
 //! equalities); the proptest harness in `tests/opt_equivalence.rs` checks the
@@ -78,11 +88,14 @@ fn rewrite(e: Expr) -> Expr {
             (Expr::Empty(_), rhs) => rhs,
             (lhs, Expr::Empty(_)) => lhs,
             (lhs, rhs) if lhs == rhs => lhs,
+            (lhs, rhs) if is_statically_empty(&lhs) => rhs,
+            (lhs, rhs) if is_statically_empty(&rhs) => lhs,
             (lhs, rhs) => Expr::union(lhs, rhs),
         },
         Expr::Diff(a, b) => match (*a, *b) {
             (lhs, Expr::Empty(_)) => lhs,
             (Expr::Empty(t), _) => Expr::Empty(t),
+            (lhs, rhs) if is_statically_empty(&rhs) => lhs,
             (lhs, rhs) => Expr::diff(lhs, rhs),
         },
         Expr::BigUnion { var, over, body } => rewrite_big_union(var, *over, *body),
@@ -101,6 +114,27 @@ fn rewrite_big_union(var: Name, over: Expr, body: Expr) -> Expr {
             return over;
         }
     }
+    // Guard self-absorption: ⋃{ E | x ∈ E } → E when x is not free in E
+    // (each iteration contributes E itself, and ∅ maps to ∅).
+    if body == over && count_free(&body, &var) == 0 {
+        return over;
+    }
+    // Idempotent nonemptiness: ⋃{{()} | x ∈ ⋃{{()} | y ∈ E}} → ⋃{{()} | x ∈ E}
+    // (both sides are {()} iff E is nonempty).
+    if let (
+        Expr::Singleton(u),
+        Expr::BigUnion {
+            over: inner_over,
+            body: inner_body,
+            ..
+        },
+    ) = (&body, &over)
+    {
+        let unit_body = matches!(&**inner_body, Expr::Singleton(iu) if **iu == Expr::Unit);
+        if **u == Expr::Unit && unit_body {
+            return Expr::big_union(var, (**inner_over).clone(), body);
+        }
+    }
     // Singleton-generator fusion: ⋃{ E | x ∈ {E'} } → E[x := E'], guarded so
     // a large E' is only inlined when x occurs at most once.
     if let Expr::Singleton(elem) = &over {
@@ -113,6 +147,20 @@ fn rewrite_big_union(var: Name, over: Expr, body: Expr) -> Expr {
         }
     }
     Expr::big_union(var, over, body)
+}
+
+/// Is the expression *provably* empty from its syntax alone (no typing
+/// context)?  Conservative: `false` never implies non-emptiness.  Used to
+/// drop operands from unions and differences — positions where no typed `∅`
+/// node needs to be synthesized.
+fn is_statically_empty(e: &Expr) -> bool {
+    match e {
+        Expr::Empty(_) => true,
+        Expr::Diff(a, b) => a == b || is_statically_empty(a),
+        Expr::Union(a, b) => is_statically_empty(a) && is_statically_empty(b),
+        Expr::BigUnion { over, body, .. } => is_statically_empty(over) || is_statically_empty(body),
+        _ => false,
+    }
 }
 
 /// Number of free occurrences of `var` in `e` (respecting shadowing).
@@ -191,6 +239,45 @@ mod tests {
         let mut gen = NameGen::new();
         let e = macros::guard(macros::tt(), Expr::var("S"), &mut gen);
         assert_eq!(simplify(&e), Expr::var("S"));
+    }
+
+    #[test]
+    fn static_emptiness_folds_reflexivity_scaffolding() {
+        // {()} \ U{{()} | w in ({e} \ {e})}  →  {()}
+        let self_diff = Expr::diff(
+            Expr::singleton(Expr::var("e")),
+            Expr::singleton(Expr::var("e")),
+        );
+        let inner = Expr::big_union("w", self_diff, Expr::singleton(Expr::Unit));
+        let e = Expr::diff(Expr::singleton(Expr::Unit), inner);
+        assert_eq!(simplify(&e), Expr::singleton(Expr::Unit));
+        // a statically empty union operand is dropped
+        let e2 = Expr::union(Expr::var("S"), Expr::diff(Expr::var("x"), Expr::var("x")));
+        assert_eq!(simplify(&e2), Expr::var("S"));
+    }
+
+    #[test]
+    fn guard_self_absorption_collapses_chains() {
+        // guard G = {()} \ U{{()} | w in ({a} \ {b})}  (dynamic, not foldable)
+        let neq = Expr::diff(
+            Expr::singleton(Expr::var("a")),
+            Expr::singleton(Expr::var("b")),
+        );
+        let guard = Expr::diff(
+            Expr::singleton(Expr::Unit),
+            Expr::big_union("w", neq, Expr::singleton(Expr::Unit)),
+        );
+        // U{G | w1 in U{G | w2 in G}}  →  G
+        let chained = Expr::big_union(
+            "w1",
+            Expr::big_union("w2", guard.clone(), guard.clone()),
+            guard.clone(),
+        );
+        assert_eq!(simplify(&chained), simplify(&guard));
+        // but a body that mentions the binder is kept
+        let uses_binder = Expr::big_union("x", Expr::var("S"), Expr::var("S"));
+        // body == over with x not free: collapses to S
+        assert_eq!(simplify(&uses_binder), Expr::var("S"));
     }
 
     #[test]

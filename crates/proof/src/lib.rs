@@ -24,7 +24,7 @@ pub mod transform;
 
 pub use check::{check_proof, ProofError};
 pub use proof::{Proof, Rule};
-pub use sequent::Sequent;
+pub use sequent::{formula_hash_mixed, Sequent};
 
 pub use nrs_delta0::{Formula, InContext, MemAtom, Term};
 pub use nrs_value::{Name, NameGen, Type};

@@ -2,28 +2,76 @@
 
 use nrs_delta0::{Formula, InContext, MemAtom, Term};
 use nrs_value::Name;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// A one-sided sequent: an ∈-context `Θ` and a finite set `Δ` of Δ0 formulas
 /// read disjunctively.
 ///
 /// `Δ` is kept sorted and de-duplicated, so sequents compare as the finite
 /// sets the paper works with and all algorithms see a deterministic order.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+///
+/// Three things make sequents cheap enough to serve as memo keys in the proof
+/// search (where ~10⁵–10⁶ of them are cloned, hashed and compared per run):
+///
+/// * the right-hand side is an **`Arc`-shared copy-on-write vector** of
+///   shared formulas, so cloning a sequent is O(1) and only the copy that
+///   actually inserts or removes pays for the vector;
+/// * both sides maintain **cached hashes** (an order-independent incremental
+///   mix for the right-hand side, a recomputed-on-extension hash for the
+///   context), so hashing a sequent never walks the formulas; and
+/// * because the derived `Ord` on [`Formula`] compares the variant first, the
+///   sorted right-hand side is **grouped by formula kind** — the accessors
+///   [`Sequent::equalities`], [`Sequent::inequalities`],
+///   [`Sequent::existentials`] and [`Sequent::first_invertible`] expose those
+///   groups as subslices located by binary search, replacing the prover's
+///   full-side scans.
+///
+/// The `ctx` field is public for read access; it must not be mutated in
+/// place (every producer goes through [`Sequent::with_atom`] or
+/// [`Sequent::new`], which keep the cached context hash in sync).
+#[derive(Debug, Clone, Default)]
 pub struct Sequent {
-    /// The ∈-context `Θ`.
+    /// The ∈-context `Θ`.  Read-only by convention — see the type docs.
     pub ctx: InContext,
+    /// Cached hash of `ctx`, kept in sync by the constructors.
+    ctx_hash: u64,
     /// The right-hand side `Δ`.
-    rhs: Vec<Formula>,
+    rhs: std::sync::Arc<Vec<Formula>>,
+    /// Order-independent combined hash of `rhs`, maintained incrementally.
+    rhs_hash: u64,
+}
+
+/// The per-formula contribution to an XOR-combined (order-independent) set
+/// hash: the formula's (cheap, cached-children) hash diffused through
+/// splitmix64 so that combining contributions doesn't cancel structured
+/// patterns.  Shared with `nrs-prover`, which keys its failure memo on the
+/// same combined hashes.
+pub fn formula_hash_mixed(f: &Formula) -> u64 {
+    let mut h = DefaultHasher::new();
+    f.hash(&mut h);
+    let mut z = h.finish().wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn ctx_hash_of(ctx: &InContext) -> u64 {
+    let mut h = DefaultHasher::new();
+    ctx.hash(&mut h);
+    h.finish()
 }
 
 impl Sequent {
     /// Build a sequent, normalizing the right-hand side.
     pub fn new(ctx: InContext, rhs: impl IntoIterator<Item = Formula>) -> Self {
         let mut s = Sequent {
+            ctx_hash: ctx_hash_of(&ctx),
             ctx,
-            rhs: Vec::new(),
+            rhs: std::sync::Arc::new(Vec::new()),
+            rhs_hash: 0,
         };
         for f in rhs {
             s.insert(f);
@@ -56,7 +104,8 @@ impl Sequent {
     /// Insert a formula into the right-hand side (set semantics).
     pub fn insert(&mut self, f: Formula) {
         if let Err(pos) = self.rhs.binary_search(&f) {
-            self.rhs.insert(pos, f);
+            self.rhs_hash ^= formula_hash_mixed(&f);
+            std::sync::Arc::make_mut(&mut self.rhs).insert(pos, f);
         }
     }
 
@@ -79,15 +128,21 @@ impl Sequent {
     /// A copy with a formula removed (no-op if absent).
     pub fn without_formula(&self, f: &Formula) -> Sequent {
         let mut out = self.clone();
-        out.rhs.retain(|g| g != f);
+        if let Ok(pos) = out.rhs.binary_search(f) {
+            let removed = std::sync::Arc::make_mut(&mut out.rhs).remove(pos);
+            out.rhs_hash ^= formula_hash_mixed(&removed);
+        }
         out
     }
 
     /// A copy with an extra ∈-context atom.
     pub fn with_atom(&self, atom: MemAtom) -> Sequent {
+        let ctx = self.ctx.with(atom);
         Sequent {
-            ctx: self.ctx.with(atom),
+            ctx_hash: ctx_hash_of(&ctx),
+            ctx,
             rhs: self.rhs.clone(),
+            rhs_hash: self.rhs_hash,
         }
     }
 
@@ -96,17 +151,55 @@ impl Sequent {
         self.rhs.binary_search(f).is_ok()
     }
 
+    /// The subrange of the sorted right-hand side whose variant ranks lie in
+    /// `lo..=hi` (see [`Formula::variant_rank`]).
+    fn rank_range(&self, lo: u8, hi: u8) -> &[Formula] {
+        let start = self.rhs.partition_point(|f| f.variant_rank() < lo);
+        let end = self.rhs.partition_point(|f| f.variant_rank() <= hi);
+        &self.rhs[start..end]
+    }
+
+    /// The `t =𝔘 u` formulas of the right-hand side.
+    pub fn equalities(&self) -> &[Formula] {
+        self.rank_range(0, 0)
+    }
+
+    /// The `t ≠𝔘 u` formulas of the right-hand side.
+    pub fn inequalities(&self) -> &[Formula] {
+        self.rank_range(1, 1)
+    }
+
+    /// The (in)equality literals of the right-hand side (the atoms the ≠
+    /// congruence rule may rewrite), as one contiguous slice.
+    pub fn eq_literals(&self) -> &[Formula] {
+        self.rank_range(0, 1)
+    }
+
+    /// The bounded existentials of the right-hand side.
+    pub fn existentials(&self) -> &[Formula] {
+        self.rank_range(7, 7)
+    }
+
+    /// The first non-atomic alternative-leading formula (∧, ∨ or ∀) of the
+    /// right-hand side, if any — the next principal formula of the prover's
+    /// invertible phase.  Equals the first match of a left-to-right scan of
+    /// the sorted side, located in O(log |Δ|).
+    pub fn first_invertible(&self) -> Option<&Formula> {
+        self.rank_range(4, 6).first()
+    }
+
     /// Are all right-hand-side formulas existential-leading?  (Side condition
-    /// of the ∃, ≠, ×η and ×β rules.)
+    /// of the ∃, ≠, ×η and ×β rules.)  O(log |Δ|): the only AL-only variants
+    /// are ⊤, ∧, ∨ and ∀, which occupy contiguous rank ranges.
     pub fn rhs_all_el(&self) -> bool {
-        self.rhs.iter().all(|f| f.is_el())
+        self.rank_range(2, 2).is_empty() && self.rank_range(4, 6).is_empty()
     }
 
     /// Free variables of the whole sequent.
     pub fn free_vars(&self) -> BTreeSet<Name> {
         let mut out = self.ctx.free_vars();
-        for f in &self.rhs {
-            out.extend(f.free_vars());
+        for f in self.rhs.iter() {
+            out.extend(f.free_vars_arc().iter().copied());
         }
         out
     }
@@ -137,6 +230,38 @@ impl Sequent {
     }
 }
 
+impl PartialEq for Sequent {
+    fn eq(&self, other: &Self) -> bool {
+        self.rhs_hash == other.rhs_hash
+            && self.ctx_hash == other.ctx_hash
+            && (std::sync::Arc::ptr_eq(&self.rhs, &other.rhs) || self.rhs == other.rhs)
+            && self.ctx == other.ctx
+    }
+}
+
+impl Eq for Sequent {}
+
+impl Hash for Sequent {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.ctx_hash);
+        state.write_u64(self.rhs_hash);
+    }
+}
+
+impl PartialOrd for Sequent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Sequent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.ctx
+            .cmp(&other.ctx)
+            .then_with(|| self.rhs.cmp(&other.rhs))
+    }
+}
+
 impl fmt::Display for Sequent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} |- ", self.ctx)?;
@@ -154,6 +279,13 @@ impl fmt::Display for Sequent {
 mod tests {
     use super::*;
     use nrs_delta0::MemAtom;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(s: &Sequent) -> u64 {
+        let mut h = DefaultHasher::new();
+        s.hash(&mut h);
+        h.finish()
+    }
 
     #[test]
     fn rhs_is_a_set() {
@@ -186,6 +318,8 @@ mod tests {
         assert!(el_only.rhs_all_el());
         let with_al = el_only.with_formula(Formula::forall("z", "S", Formula::True));
         assert!(!with_al.rhs_all_el());
+        let with_top = el_only.with_formula(Formula::True);
+        assert!(!with_top.rhs_all_el());
     }
 
     #[test]
@@ -210,5 +344,44 @@ mod tests {
             [Formula::eq_ur("x", "y")],
         );
         assert_eq!(s.to_string(), "x in S |- x = y");
+    }
+
+    #[test]
+    fn incremental_hash_is_order_independent_and_tracks_edits() {
+        let a = Formula::eq_ur("x", "y");
+        let b = Formula::neq_ur("u", "v");
+        let c = Formula::exists("z", "S", Formula::eq_ur("z", "x"));
+        let s1 = Sequent::goals([a.clone(), b.clone(), c.clone()]);
+        let s2 = Sequent::goals([c.clone(), a.clone(), b.clone()]);
+        assert_eq!(s1, s2);
+        assert_eq!(hash_of(&s1), hash_of(&s2));
+        // removing and re-adding restores the hash exactly
+        let s3 = s1.without_formula(&b).with_formula(b.clone());
+        assert_eq!(s1, s3);
+        assert_eq!(hash_of(&s1), hash_of(&s3));
+        // a genuine edit changes equality
+        let s4 = s1.without_formula(&b);
+        assert_ne!(s1, s4);
+    }
+
+    #[test]
+    fn kind_slices_partition_the_sorted_rhs() {
+        let s = Sequent::goals([
+            Formula::exists("z", "S", Formula::True),
+            Formula::neq_ur("a", "b"),
+            Formula::eq_ur("x", "y"),
+            Formula::neq_ur("c", "d"),
+            Formula::forall("w", "S", Formula::True),
+            Formula::and(Formula::True, Formula::False),
+        ]);
+        assert_eq!(s.equalities().len(), 1);
+        assert_eq!(s.inequalities().len(), 2);
+        assert_eq!(s.eq_literals().len(), 3);
+        assert_eq!(s.existentials().len(), 1);
+        // the invertible scan finds the ∧ first, as a left-to-right scan would
+        assert!(matches!(s.first_invertible(), Some(Formula::And(_, _))));
+        let no_invertible = Sequent::goals([Formula::eq_ur("x", "y")]);
+        assert!(no_invertible.first_invertible().is_none());
+        assert!(no_invertible.rhs_all_el());
     }
 }

@@ -18,14 +18,21 @@
 //!   candidate witness) are explored with backtracking under an iterative
 //!   deepening budget.
 //!
-//! Failed sub-goals are memoized.  The engine is complete only up to its
+//! Failed sub-goals are memoized — across goals: a [`ProverSession`] owns the
+//! failure memo and a pool of long-lived big-stack worker threads, so the
+//! many sequents of one synthesis run prune each other's searches and stop
+//! paying a thread spawn per goal.  The engine is complete only up to its
 //! budgets — exactly the compromise the paper anticipates — but it proves the
 //! determinacy goals of the paper's examples and of the benchmark families;
 //! anything beyond its reach can still be supplied as an explicit [`Proof`]
 //! witness built with `nrs-proof`.
+//!
+//! Set `NRS_PROVER_TRACE=1` to stream every visited search state to stderr.
 
 pub mod search;
+pub mod session;
 
 pub use search::{prove, prove_sequent, ProverConfig, ProverStats};
+pub use session::ProverSession;
 
 pub use nrs_proof::{Proof, ProofError, Sequent};

@@ -1,11 +1,40 @@
 //! The search engine: saturation of safe moves + iterative deepening over
 //! risky (case-splitting) instantiations.
+//!
+//! Two structural ideas keep the per-state cost near-constant:
+//!
+//! * **Candidate-move inheritance.**  Within an existential-leading phase the
+//!   right-hand side only ever *grows*, so the candidate ≠-rewrites and ∃
+//!   specializations computed at a state remain valid at every descendant.
+//!   Each state therefore inherits its parent's ranked candidate list and
+//!   extends it with just the pairs involving the newly added formula — an
+//!   indexed join over the sequent's per-kind slices — instead of rescanning
+//!   all O(|Δ|²) pairs.  Filters that depend on growing state (the rewrite
+//!   budget, "already present", "already used") are re-checked at application
+//!   time; both checks are cheap hash/pointer probes on shared formulas.
+//! * **A failure memo shared across goals.**  Failures are keyed by the
+//!   search-relevant state — (sequent, rewrites used, used-spec set) — so a
+//!   hit prunes re-entry at the same or lower risky budget.  The memo lives
+//!   in a [`crate::ProverSession`], so later goals of a synthesis run (and
+//!   later deepening levels) prune subtrees the earlier ones already
+//!   refuted.  One caveat keeps this a *bounded-search* device rather than a
+//!   semantic theorem: equal-cost candidates scan in discovery order, which
+//!   is path-dependent for inherited lists, so two paths reaching the same
+//!   state may saturate in different orders and — exactly at a rewrite/state
+//!   budget boundary — reach different verdicts.  A memo hit can then prune
+//!   an exploration that a cold scan would have ordered more luckily.  This
+//!   stays within the engine's existing incompleteness envelope (budgets
+//!   already make the search incomplete, and every returned proof is checked
+//!   independently); the session-equivalence property test exercises goal
+//!   families whose budgets are far from binding.
 
-use nrs_delta0::specialize::max_specializations;
+use crate::session::ProverSession;
+use nrs_delta0::specialize::{max_specializations, MaxSpecialization};
 use nrs_delta0::{Formula, InContext};
-use nrs_proof::{Proof, ProofError, Rule, Sequent};
+use nrs_proof::{formula_hash_mixed, Proof, ProofError, Rule, Sequent};
 use nrs_value::NameGen;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Budgets controlling the proof search.
 #[derive(Debug, Clone)]
@@ -68,57 +97,301 @@ pub struct ProverStats {
     pub risky_level: usize,
     /// Size (node count) of the returned proof.
     pub proof_size: usize,
+    /// Failure-memo probes that pruned a subtree.
+    pub memo_hits: usize,
+    /// Failure-memo probes that found nothing (or nothing strong enough).
+    pub memo_misses: usize,
+    /// Formula/term interner constructions that reused an existing node
+    /// during this search.
+    pub interner_hits: u64,
+    /// Formula/term interner constructions that allocated a fresh node
+    /// during this search.
+    pub interner_misses: u64,
 }
 
-struct State {
-    cfg: ProverConfig,
-    gen: NameGen,
+/// The memo key: the search-relevant state besides the risky budget.
+/// Failure recorded at risky budget `r` refutes re-entry at any budget ≤ `r`
+/// (fewer rewrites used and fewer used specs can only *enlarge* the move
+/// set) — up to the discovery-order caveat described in the module docs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct MemoKey {
+    seq: Sequent,
+    rewrites_used: usize,
+    used_hash: u64,
+}
+
+/// Sequents known to fail, mapping to the largest risky budget refuted.
+pub(crate) type FailureMemo = HashMap<MemoKey, usize>;
+
+/// The set of specializations introduced along the current branch (they may
+/// later disappear from the right-hand side when the invertible phase
+/// decomposes them, and must not be re-introduced, which would loop forever).
+///
+/// A persistent cons list: extending is an O(1) push sharing the whole tail
+/// with the parent state, and the order-independent combined hash makes the
+/// set usable inside memo keys without materializing it.
+#[derive(Debug, Clone, Default)]
+struct UsedSpecs {
+    head: Option<Arc<UsedNode>>,
+    hash: u64,
+}
+
+#[derive(Debug)]
+struct UsedNode {
+    spec: Formula,
+    prev: Option<Arc<UsedNode>>,
+}
+
+impl UsedSpecs {
+    fn contains(&self, f: &Formula) -> bool {
+        let mut cur = self.head.as_deref();
+        while let Some(node) = cur {
+            if &node.spec == f {
+                return true;
+            }
+            cur = node.prev.as_deref();
+        }
+        false
+    }
+
+    /// A copy with one more spec (specs are never pushed twice: candidate
+    /// generation filters out already-used specs).
+    fn push(&self, spec: Formula) -> UsedSpecs {
+        UsedSpecs {
+            hash: self.hash ^ formula_hash_mixed(&spec),
+            head: Some(Arc::new(UsedNode {
+                spec,
+                prev: self.head.clone(),
+            })),
+        }
+    }
+}
+
+/// A candidate rule with its rank; candidate lists are ordered by
+/// `(cost, seqno)`, where `seqno` is the deterministic generation counter
+/// (so ties preserve discovery order).
+#[derive(Debug, Clone)]
+struct RankedRule {
+    cost: usize,
+    seqno: usize,
+    rule: Rule,
+}
+
+/// An append-only persistent sequence of candidate batches: extending is an
+/// O(1) cons of the new batch, sharing the whole tail with the parent state.
+/// Used for the two high-volume constant-cost candidate classes, where
+/// generation order already equals rank order.
+#[derive(Debug, Clone, Default)]
+struct Chain {
+    head: Option<Arc<ChainNode>>,
+    len: usize,
+}
+
+#[derive(Debug)]
+struct ChainNode {
+    batch: Vec<RankedRule>,
+    prev: Option<Arc<ChainNode>>,
+}
+
+impl Chain {
+    fn push_batch(&mut self, batch: Vec<RankedRule>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.len += batch.len();
+        self.head = Some(Arc::new(ChainNode {
+            batch,
+            prev: self.head.take(),
+        }));
+    }
+
+    /// Iterate oldest-first, skipping the first `skip` items.
+    fn iter_from(&self, skip: usize) -> ChainIter<'_> {
+        let mut nodes = Vec::new();
+        let mut cur = self.head.as_deref();
+        while let Some(node) = cur {
+            nodes.push(node);
+            cur = node.prev.as_deref();
+        }
+        nodes.reverse();
+        let mut it = ChainIter {
+            nodes,
+            node: 0,
+            item: 0,
+        };
+        let mut remaining = skip;
+        while remaining > 0 && it.node < it.nodes.len() {
+            let avail = it.nodes[it.node].batch.len() - it.item;
+            if remaining >= avail {
+                remaining -= avail;
+                it.node += 1;
+                it.item = 0;
+            } else {
+                it.item += remaining;
+                remaining = 0;
+            }
+        }
+        it
+    }
+}
+
+struct ChainIter<'a> {
+    nodes: Vec<&'a ChainNode>,
+    node: usize,
+    item: usize,
+}
+
+impl<'a> Iterator for ChainIter<'a> {
+    type Item = &'a RankedRule;
+    fn next(&mut self) -> Option<&'a RankedRule> {
+        while self.node < self.nodes.len() {
+            let batch = &self.nodes[self.node].batch;
+            if self.item < batch.len() {
+                let out = &batch[self.item];
+                self.item += 1;
+                return Some(out);
+            }
+            self.node += 1;
+            self.item = 0;
+        }
+        None
+    }
+}
+
+/// Per-class counts of leading candidates known to be dead.  Every skip
+/// condition of the scan (`rewritten`/`spec` already present, spec already
+/// used, rewrite budget exhausted) is *monotone along a branch*, so a
+/// candidate skipped at a state stays skippable at every descendant — the
+/// child starts its scan past the prefix the parent already refuted.
+///
+/// Positional counts are only sound for the **append-only** classes (the
+/// chains and the closing vector): extensions there always land after the
+/// counted prefix.  The `specs`/`risky` classes use sorted insertion, where
+/// a cheaper new candidate could slip *inside* a counted prefix, so those
+/// two are always scanned from the start (they stay small).
+#[derive(Debug, Clone, Copy, Default)]
+struct DeadCounts {
+    closing: usize,
+    eqs: usize,
+    noisy: usize,
+}
+
+/// The candidate moves of an existential-leading phase, inherited and
+/// extended down the branch, bucketed by rank class.  The scan order is
+/// closing rewrites (cost 0), then specializations merged with equality
+/// rewrites by `(cost, seqno)`, then the noisy inequality rewrites — the
+/// same ranking the engine used when it kept one flat sorted list.
+#[derive(Debug, Clone, Default)]
+struct Moves {
+    /// Closing rewrites (the premise gains `a = a`); cost 0.
+    closing: Arc<Vec<RankedRule>>,
+    /// Safe ∃ specializations, sorted by `(2 + size, seqno)`.
+    specs: Arc<Vec<RankedRule>>,
+    /// Equality-atom rewrites; constant cost 6, generation-ordered.
+    eqs: Chain,
+    /// Inequality-atom rewrites (equation composition); constant cost 1000,
+    /// generation-ordered.
+    noisy: Chain,
+    /// Risky (conjunction-introducing) ∃ specializations, sorted by
+    /// `(size, seqno)`.
+    risky: Arc<Vec<RankedRule>>,
+    /// Leading candidates this branch has already refuted, per class.
+    dead: DeadCounts,
+}
+
+fn insert_ranked(list: &mut Arc<Vec<RankedRule>>, item: RankedRule) {
+    let pos = list.partition_point(|r| (r.cost, r.seqno) <= (item.cost, item.seqno));
+    Arc::make_mut(list).insert(pos, item);
+}
+
+/// Freshly generated candidates, collected per class before being merged
+/// into a [`Moves`] (so the chain classes get one O(1) batch push).
+#[derive(Debug, Default)]
+struct MoveBatch {
+    closing: Vec<RankedRule>,
+    specs: Vec<RankedRule>,
+    eqs: Vec<RankedRule>,
+    noisy: Vec<RankedRule>,
+    risky: Vec<RankedRule>,
+}
+
+impl MoveBatch {
+    fn merge_into(self, moves: &mut Moves) {
+        if !self.closing.is_empty() {
+            Arc::make_mut(&mut moves.closing).extend(self.closing);
+        }
+        for item in self.specs {
+            insert_ranked(&mut moves.specs, item);
+        }
+        moves.eqs.push_batch(self.eqs);
+        moves.noisy.push_batch(self.noisy);
+        for item in self.risky {
+            insert_ranked(&mut moves.risky, item);
+        }
+    }
+}
+
+struct State<'a> {
+    cfg: &'a ProverConfig,
     visited: usize,
     aborted: bool,
-    /// sequents known to fail with a risky budget ≥ the stored value
-    failed: HashMap<Sequent, usize>,
+    trace: bool,
+    memo: &'a Mutex<FailureMemo>,
+    memo_hits: usize,
+    memo_misses: usize,
+    move_seqno: usize,
+    /// Per-search cache of `max_specializations` results: within one
+    /// existential-leading phase the ∈-context is fixed, and identical
+    /// (quantifier, context) pairs recur across sibling branches.
+    spec_cache: HashMap<(Formula, InContext), Arc<Vec<MaxSpecialization>>>,
 }
 
 /// Prove `Θ ; ⊢ Δ` (one-sided), returning a checked proof object.
 ///
 /// The search recursion can get deep (one stack frame per saturation step),
 /// so the search runs on a dedicated thread with a large stack; callers see an
-/// ordinary synchronous function.
+/// ordinary synchronous function.  This convenience entry point spins up a
+/// throwaway [`ProverSession`]; callers proving several related goals should
+/// create one session and reuse it, which shares the failure memo (and the
+/// worker thread) across the goals.
 pub fn prove_sequent(
     sequent: &Sequent,
     cfg: &ProverConfig,
 ) -> Result<(Proof, ProverStats), ProofError> {
-    let sequent = sequent.clone();
-    let cfg = cfg.clone();
-    let handle = std::thread::Builder::new()
-        .name("nrs-prover-search".into())
-        .stack_size(256 * 1024 * 1024)
-        .spawn(move || prove_sequent_inner(&sequent, &cfg))
-        .map_err(|e| ProofError::SearchFailed(format!("could not spawn search thread: {e}")))?;
-    handle
-        .join()
-        .map_err(|_| ProofError::SearchFailed("proof search thread panicked".into()))?
+    ProverSession::new(cfg.clone()).prove_sequent(sequent)
 }
 
-fn prove_sequent_inner(
+/// The search proper; runs on a session worker thread (big stack).
+pub(crate) fn prove_sequent_inner(
     sequent: &Sequent,
     cfg: &ProverConfig,
+    memo: &Mutex<FailureMemo>,
 ) -> Result<(Proof, ProverStats), ProofError> {
+    let interner_before = nrs_delta0::intern_stats();
     let mut st = State {
-        cfg: cfg.clone(),
-        gen: NameGen::avoiding(sequent.free_vars().iter()),
+        cfg,
         visited: 0,
         aborted: false,
-        failed: HashMap::new(),
+        trace: std::env::var_os("NRS_PROVER_TRACE").is_some(),
+        memo,
+        memo_hits: 0,
+        memo_misses: 0,
+        move_seqno: 0,
+        spec_cache: HashMap::new(),
     };
     for level in 0..=cfg.max_risky {
         st.aborted = false;
-        let used = BTreeSet::new();
-        if let Some(proof) = attempt(sequent, level, 0, &used, &mut st) {
+        let used = UsedSpecs::default();
+        if let Some(proof) = attempt(sequent, level, 0, &used, None, &mut st) {
+            let interner_after = nrs_delta0::intern_stats();
             let stats = ProverStats {
                 visited: st.visited,
                 risky_level: level,
                 proof_size: proof.size(),
+                memo_hits: st.memo_hits,
+                memo_misses: st.memo_misses,
+                interner_hits: interner_after.hits - interner_before.hits,
+                interner_misses: interner_after.misses - interner_before.misses,
             };
             return Ok((proof, stats));
         }
@@ -160,56 +433,394 @@ fn contains_and(f: &Formula) -> bool {
     }
 }
 
-/// Remember that a specialization has been introduced along the current branch
-/// (it may later disappear from the right-hand side when the invertible phase
-/// decomposes it, and must not be re-introduced, which would loop forever).
-fn extend_used(used: &BTreeSet<Formula>, rule: &Rule) -> BTreeSet<Formula> {
+/// Remember that a specialization has been introduced along the current
+/// branch.  Only the ∃ rule extends the set; every other rule shares it.
+fn extend_used(used: &UsedSpecs, rule: &Rule) -> UsedSpecs {
     match rule {
-        Rule::Exists { spec, .. } => {
-            let mut out = used.clone();
-            out.insert(spec.clone());
-            out
-        }
+        Rule::Exists { spec, .. } => used.push(spec.clone()),
         _ => used.clone(),
     }
 }
 
 fn find_axiom(seq: &Sequent) -> Option<Rule> {
-    for f in seq.rhs() {
-        match f {
-            Formula::True => return Some(Rule::Top),
-            Formula::EqUr(t, u) if t == u => return Some(Rule::EqRefl { term: t.clone() }),
-            _ => {}
+    for f in seq.equalities() {
+        if let Formula::EqUr(t, u) = f {
+            if t == u {
+                return Some(Rule::EqRefl { term: t.clone() });
+            }
         }
+    }
+    if seq.contains(&Formula::True) {
+        return Some(Rule::Top);
     }
     None
 }
 
-/// The first alternative-leading non-atomic formula, if any (these are
-/// decomposed eagerly since the corresponding rules are invertible).
-fn find_invertible(seq: &Sequent) -> Option<Formula> {
-    seq.rhs()
-        .iter()
-        .find(|f| {
-            matches!(
-                f,
-                Formula::And(_, _) | Formula::Or(_, _) | Formula::Forall { .. }
+impl<'a> State<'a> {
+    fn specializations(&mut self, quant: &Formula, ctx: &InContext) -> Arc<Vec<MaxSpecialization>> {
+        if let Some(cached) = self.spec_cache.get(&(quant.clone(), ctx.clone())) {
+            return cached.clone();
+        }
+        let specs = Arc::new(max_specializations(quant, ctx, self.cfg.spec_limit));
+        self.spec_cache
+            .insert((quant.clone(), ctx.clone()), specs.clone());
+        specs
+    }
+
+    fn next_seqno(&mut self) -> usize {
+        self.move_seqno += 1;
+        self.move_seqno
+    }
+}
+
+/// The branch-independent part of a ≠-congruence candidate: the rewritten
+/// atom and its rank, or `None` when the pair can never yield a move.
+fn compute_rewrite(
+    atom: &Formula,
+    t: &nrs_delta0::Term,
+    u: &nrs_delta0::Term,
+) -> Option<(Formula, usize)> {
+    let rewritten = atom.replace_term(t, u);
+    if &rewritten == atom || matches!(&rewritten, Formula::NeqUr(a, b) if a == b) {
+        return None;
+    }
+    let cost = if matches!(&rewritten, Formula::EqUr(a, b) if a == b) {
+        0
+    } else if matches!(atom, Formula::EqUr(_, _)) {
+        6
+    } else {
+        1000
+    };
+    Some((rewritten, cost))
+}
+
+/// Generate the ≠-congruence candidates for one (inequality, atom) pair.
+/// Rewriting equality atoms is how positive equational reasoning happens in
+/// the one-sided calculus; rewriting inequality atoms composes equations and
+/// is occasionally needed, but mostly generates noise, so it ranks last.
+/// Closing rewrites (producing `a = a`) rank first.
+fn push_neq_candidates(
+    seq: &Sequent,
+    ineq: &Formula,
+    atom: &Formula,
+    batch: &mut MoveBatch,
+    st: &mut State,
+) {
+    let (t, u) = match ineq {
+        Formula::NeqUr(t, u) if t != u => (t, u),
+        _ => return,
+    };
+    if !matches!(atom, Formula::EqUr(_, _) | Formula::NeqUr(_, _)) {
+        return;
+    }
+    let Some((rewritten, cost)) = compute_rewrite(atom, t, u) else {
+        return;
+    };
+    if seq.contains(&rewritten) {
+        return;
+    }
+    let rule = Rule::Neq {
+        ineq: ineq.clone(),
+        atom: atom.clone(),
+        rewritten,
+    };
+    let item = RankedRule {
+        cost,
+        seqno: st.next_seqno(),
+        rule,
+    };
+    match cost {
+        0 => batch.closing.push(item),
+        6 => batch.eqs.push(item),
+        _ => batch.noisy.push(item),
+    }
+}
+
+/// Generate the ∃ candidates for one existential: its maximal specializations
+/// with respect to the ∈-context.  Safe specializations (no conjunction) rank
+/// by size among the safe moves — large ones spawn fresh universals and can
+/// otherwise starve the finishing moves; conjunction-introducing ones are the
+/// risky backtracking points, smallest (goal-instantiation-like) first.
+fn push_exists_candidates(
+    seq: &Sequent,
+    quant: &Formula,
+    used: &UsedSpecs,
+    batch: &mut MoveBatch,
+    st: &mut State,
+) {
+    let specs = st.specializations(quant, &seq.ctx);
+    for ms in specs.iter() {
+        if ms.used.is_empty() || used.contains(&ms.result) {
+            continue;
+        }
+        // "Already present" may only be used as a *generation-time* filter
+        // for shapes the calculus never removes from the right-hand side:
+        // an ∧/∨/∀ result that currently coincides with a formula in Δ can
+        // become absent again once the invertible phase decomposes that
+        // formula, and an inherited list must not have dropped it for good.
+        // (Application time re-checks presence either way.)
+        let removable = matches!(
+            ms.result,
+            Formula::And(_, _) | Formula::Or(_, _) | Formula::Forall { .. }
+        );
+        if !removable && seq.contains(&ms.result) {
+            continue;
+        }
+        let rule = Rule::Exists {
+            quant: quant.clone(),
+            spec: ms.result.clone(),
+        };
+        let size = ms.result.size();
+        if contains_and(&ms.result) {
+            batch.risky.push(RankedRule {
+                cost: size,
+                seqno: st.next_seqno(),
+                rule,
+            });
+        } else {
+            batch.specs.push(RankedRule {
+                cost: 2 + size,
+                seqno: st.next_seqno(),
+                rule,
+            });
+        }
+    }
+}
+
+/// Full candidate scan, used when (re-)entering an existential-leading phase:
+/// an indexed join of the inequality slice against the literal slices, plus
+/// the specializations of the existential slice.
+fn full_moves(seq: &Sequent, used: &UsedSpecs, st: &mut State) -> Moves {
+    let mut moves = Moves::default();
+    let mut batch = MoveBatch::default();
+    for ineq in seq.inequalities() {
+        for atom in seq.eq_literals() {
+            push_neq_candidates(seq, ineq, atom, &mut batch, st);
+        }
+    }
+    for quant in seq.existentials() {
+        push_exists_candidates(seq, quant, used, &mut batch, st);
+    }
+    batch.merge_into(&mut moves);
+    moves
+}
+
+/// Build the candidate moves a premise inherits: the parent's moves (shared),
+/// the dead-prefix counts the parent's scan established, and the new
+/// candidates arising from the formulas the applied rule added (the
+/// "delta") — an indexed join against the per-kind slices.
+fn child_moves(
+    premise: &Sequent,
+    parent: &Moves,
+    delta: &[Formula],
+    dead: DeadCounts,
+    used: &UsedSpecs,
+    st: &mut State,
+) -> Moves {
+    let mut moves = parent.clone();
+    moves.dead = dead;
+    let mut batch = MoveBatch::default();
+    for f in delta {
+        match f {
+            Formula::EqUr(_, _) => {
+                // a new atom for every known inequality
+                for ineq in premise.inequalities() {
+                    push_neq_candidates(premise, ineq, f, &mut batch, st);
+                }
+            }
+            Formula::NeqUr(_, _) => {
+                // as a new inequality against every literal (including
+                // itself)…
+                for atom in premise.eq_literals() {
+                    push_neq_candidates(premise, f, atom, &mut batch, st);
+                }
+                // …and as a new atom for the other inequalities
+                for ineq in premise.inequalities() {
+                    if ineq != f {
+                        push_neq_candidates(premise, ineq, f, &mut batch, st);
+                    }
+                }
+            }
+            Formula::Exists { .. } => push_exists_candidates(premise, f, used, &mut batch, st),
+            _ => {}
+        }
+    }
+    batch.merge_into(&mut moves);
+    moves
+}
+
+/// Find the highest-ranked applicable safe move: closing rewrites, then
+/// specializations merged with equality rewrites by `(cost, seqno)`, then
+/// the noisy rewrites.  Every candidate examined before the chosen one is
+/// dead (its skip condition is monotone), so the returned [`DeadCounts`]
+/// tell the child where to resume.
+/// Forward candidate moves through one invertible step.  The decomposed
+/// principal (∧/∨/∀) is never a candidate source, and every scan skip is
+/// monotone, so the premise keeps the parent's candidates and dead counts;
+/// only the pieces the step adds contribute new candidates.  A ∀ step also
+/// extends the ∈-context, which can enable new specializations of *every*
+/// existential, so its premise rebuilds the two specialization classes from
+/// the per-kind slice (memoized per (quantifier, context) in the spec cache).
+fn forward_moves(
+    parent: &Moves,
+    principal: &Formula,
+    rule: &Rule,
+    premise_index: usize,
+    premise: &Sequent,
+    used: &UsedSpecs,
+    st: &mut State,
+) -> Moves {
+    match (principal, rule) {
+        (Formula::And(a, b), Rule::And { .. }) => {
+            let component = if premise_index == 0 { a } else { b };
+            child_moves(
+                premise,
+                parent,
+                std::slice::from_ref(component),
+                parent.dead,
+                used,
+                st,
             )
-        })
-        .cloned()
+        }
+        (Formula::Or(a, b), Rule::Or { .. }) => {
+            let delta = [(**a).clone(), (**b).clone()];
+            child_moves(premise, parent, &delta, parent.dead, used, st)
+        }
+        (Formula::Forall { var, body, .. }, Rule::Forall { witness, .. }) => {
+            let mut base = parent.clone();
+            base.specs = Arc::new(Vec::new());
+            base.risky = Arc::new(Vec::new());
+            let mut batch = MoveBatch::default();
+            for quant in premise.existentials() {
+                push_exists_candidates(premise, quant, used, &mut batch, st);
+            }
+            let instantiated = body.subst_var(var, &nrs_delta0::Term::Var(*witness));
+            if matches!(instantiated, Formula::EqUr(_, _) | Formula::NeqUr(_, _)) {
+                batch.merge_into(&mut base);
+                return child_moves(premise, &base, &[instantiated], base.dead, used, st);
+            }
+            batch.merge_into(&mut base);
+            base
+        }
+        _ => unreachable!("invertible phase only decomposes ∧/∨/∀"),
+    }
+}
+
+/// The outcome of the safe-move scan: the chosen rule (if any) with the dead
+/// counts its child inherits (prefix + the chosen rule itself), plus the
+/// dead prefix alone — what risky children may resume from, since the chosen
+/// rule stays applicable on their branches.
+struct SafePick<'m> {
+    chosen: Option<(&'m RankedRule, DeadCounts)>,
+    dead_prefix: DeadCounts,
+}
+
+fn pick_safe_move<'m>(
+    seq: &Sequent,
+    moves: &'m Moves,
+    rewrites_used: usize,
+    used: &UsedSpecs,
+    st: &mut State,
+) -> SafePick<'m> {
+    let mut dead = moves.dead;
+    for r in moves.closing.iter().skip(dead.closing) {
+        if still_applicable(seq, &r.rule, rewrites_used, used, st.cfg) {
+            let mut child = dead;
+            child.closing += 1;
+            return SafePick {
+                chosen: Some((r, child)),
+                dead_prefix: dead,
+            };
+        }
+        dead.closing += 1;
+    }
+    let mut specs = moves.specs.iter().peekable();
+    let mut eqs = moves.eqs.iter_from(dead.eqs).peekable();
+    loop {
+        let take_spec = match (specs.peek(), eqs.peek()) {
+            (Some(sp), Some(eq)) => (sp.cost, sp.seqno) <= (eq.cost, eq.seqno),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        let (r, class) = if take_spec {
+            (*specs.peek().expect("peeked"), 0)
+        } else {
+            (*eqs.peek().expect("peeked"), 1)
+        };
+        if still_applicable(seq, &r.rule, rewrites_used, used, st.cfg) {
+            let mut child = dead;
+            if class == 1 {
+                child.eqs += 1;
+            }
+            return SafePick {
+                chosen: Some((r, child)),
+                dead_prefix: dead,
+            };
+        }
+        if class == 0 {
+            specs.next();
+        } else {
+            eqs.next();
+            dead.eqs += 1;
+        }
+    }
+    for r in moves.noisy.iter_from(dead.noisy) {
+        if still_applicable(seq, &r.rule, rewrites_used, used, st.cfg) {
+            let mut child = dead;
+            child.noisy += 1;
+            return SafePick {
+                chosen: Some((r, child)),
+                dead_prefix: dead,
+            };
+        }
+        dead.noisy += 1;
+    }
+    SafePick {
+        chosen: None,
+        dead_prefix: dead,
+    }
+}
+
+/// Filters that depend on state accumulated since a candidate was generated,
+/// re-checked at application time.  All probes are O(log |Δ|) with O(1)
+/// comparisons on shared formulas.
+fn still_applicable(
+    seq: &Sequent,
+    rule: &Rule,
+    rewrites_used: usize,
+    used: &UsedSpecs,
+    cfg: &ProverConfig,
+) -> bool {
+    match rule {
+        Rule::Neq { rewritten, .. } => rewrites_used < cfg.max_rewrites && !seq.contains(rewritten),
+        Rule::Exists { spec, .. } => !seq.contains(spec) && !used.contains(spec),
+        _ => true,
+    }
+}
+
+/// The formula a safe/risky move adds to its premise (the "delta" its child
+/// state extends the inherited candidates with).
+fn added_formula(rule: &Rule) -> Formula {
+    match rule {
+        Rule::Neq { rewritten, .. } => rewritten.clone(),
+        Rule::Exists { spec, .. } => spec.clone(),
+        other => unreachable!("saturation applies only ≠/∃ rules, got {}", other.name()),
+    }
 }
 
 fn attempt(
     seq: &Sequent,
     risky_budget: usize,
     rewrites_used: usize,
-    used: &BTreeSet<Formula>,
+    used: &UsedSpecs,
+    inherited: Option<Moves>,
     st: &mut State,
 ) -> Option<Proof> {
     if st.aborted {
         return None;
     }
-    if std::env::var_os("NRS_PROVER_TRACE").is_some() {
+    if st.trace {
         eprintln!(
             "[{} / r{} w{}] {}",
             st.visited, risky_budget, rewrites_used, seq
@@ -226,178 +837,148 @@ fn attempt(
         return Proof::by(seq.clone(), rule, vec![]).ok();
     }
 
-    // 2. invertible decomposition
-    if let Some(f) = find_invertible(seq) {
+    // 2. invertible decomposition (∧ / ∨ / ∀ are invertible, so no
+    //    backtracking over them).  Candidate moves flow *through* the phase:
+    //    the principal formula is never a candidate source, so ∧/∨ premises
+    //    inherit everything plus the deltas from their components, and the ∀
+    //    premise inherits the rewrite classes while its specialization
+    //    classes are rebuilt under the extended ∈-context.
+    if let Some(f) = seq.first_invertible() {
+        let f = f.clone();
         let rule = match &f {
             Formula::And(_, _) => Rule::And { conj: f.clone() },
             Formula::Or(_, _) => Rule::Or { disj: f.clone() },
+            // The eigenvariable is a deterministic function of the state
+            // (the smallest fresh `ev#k`), not of the path that reached it:
+            // identical sequents reached along different branches — or while
+            // proving different goals — introduce identical witnesses, so
+            // their subtrees coincide and the failure memo can see it.
             Formula::Forall { .. } => Rule::Forall {
                 quant: f.clone(),
-                witness: st.gen.fresh("ev"),
+                witness: NameGen::avoiding(seq.free_vars().iter()).fresh("ev"),
             },
             _ => unreachable!(),
         };
         let premises = rule.premises(seq).ok()?;
         let mut sub = Vec::with_capacity(premises.len());
-        for p in &premises {
-            sub.push(attempt(p, risky_budget, rewrites_used, used, st)?);
+        for (i, p) in premises.iter().enumerate() {
+            let forwarded = inherited
+                .as_ref()
+                .map(|m| forward_moves(m, &f, &rule, i, p, used, st));
+            sub.push(attempt(
+                p,
+                risky_budget,
+                rewrites_used,
+                used,
+                forwarded,
+                st,
+            )?);
         }
         return Proof::by(seq.clone(), rule, sub).ok();
     }
 
-    // 3. memoized failure?
-    if let Some(&known) = st.failed.get(seq) {
-        if risky_budget <= known {
-            return None;
-        }
-    }
-
-    // 4. collect candidate moves (the right-hand side is now all EL)
-    let mut closing: Vec<Rule> = Vec::new();
-    let mut safe_specs: Vec<Rule> = Vec::new();
-    let mut safe_rewrites: Vec<Rule> = Vec::new();
-    let mut noisy_rewrites: Vec<Rule> = Vec::new();
-    let mut risky: Vec<Rule> = Vec::new();
-    let room = seq.rhs().len() < st.cfg.max_formulas;
-
-    // ≠-congruence rewrites: prioritize ones that immediately close the goal.
-    if room && rewrites_used < st.cfg.max_rewrites {
-        for ineq in seq.rhs() {
-            let (t, u) = match ineq {
-                Formula::NeqUr(t, u) if t != u => (t, u),
-                _ => continue,
-            };
-            for atom in seq.rhs() {
-                // Rewriting equality atoms is how positive equational reasoning
-                // happens in the one-sided calculus; rewriting inequality atoms
-                // composes equations and is occasionally needed, but mostly
-                // generates noise, so it is tried last.
-                if !matches!(atom, Formula::EqUr(_, _) | Formula::NeqUr(_, _)) {
-                    continue;
-                }
-                let rewritten = atom.replace_term(t, u);
-                if &rewritten == atom
-                    || seq.contains(&rewritten)
-                    || matches!(&rewritten, Formula::NeqUr(a, b) if a == b)
-                {
-                    continue;
-                }
-                let rule = Rule::Neq {
-                    ineq: ineq.clone(),
-                    atom: atom.clone(),
-                    rewritten: rewritten.clone(),
-                };
-                let closes = matches!(&rewritten, Formula::EqUr(a, b) if a == b);
-                if closes {
-                    closing.push(rule);
-                } else if matches!(atom, Formula::EqUr(_, _)) {
-                    safe_rewrites.push(rule);
-                } else {
-                    noisy_rewrites.push(rule);
-                }
-            }
-        }
-    }
-
-    // ∃ specializations
-    if room {
-        for quant in seq.rhs() {
-            if !matches!(quant, Formula::Exists { .. }) {
-                continue;
-            }
-            for ms in max_specializations(quant, &seq.ctx, st.cfg.spec_limit) {
-                if ms.used.is_empty() || seq.contains(&ms.result) || used.contains(&ms.result) {
-                    continue;
-                }
-                let rule = Rule::Exists {
-                    quant: quant.clone(),
-                    spec: ms.result.clone(),
-                };
-                if contains_and(&ms.result) {
-                    risky.push(rule);
-                } else {
-                    safe_specs.push(rule);
-                }
-            }
-        }
-    }
-
-    // Rank the safe moves: closing rewrites first, then small (atomic)
-    // specializations, then equality rewrites, then specializations that spawn
-    // fresh universals, and finally the noisy inequality rewrites.  Large
-    // specializations last is essential: they generate new eigenvariables and
-    // can otherwise starve the finishing moves.
-    let cost = |r: &Rule| -> usize {
-        match r {
-            Rule::Neq {
-                rewritten, atom, ..
-            } => {
-                if matches!(rewritten, Formula::EqUr(a, b) if a == b) {
-                    0
-                } else if matches!(atom, Formula::EqUr(_, _)) {
-                    6
-                } else {
-                    1000
-                }
-            }
-            Rule::Exists { spec, .. } => 2 + spec.size(),
-            _ => 500,
-        }
+    // 3. memoized failure?  (a cheap hash probe: the sequent hash is cached)
+    let key = MemoKey {
+        seq: seq.clone(),
+        rewrites_used,
+        used_hash: used.hash,
     };
-    let mut safe: Vec<Rule> = closing
-        .into_iter()
-        .chain(safe_specs)
-        .chain(safe_rewrites)
-        .chain(noisy_rewrites)
-        .collect();
-    safe.sort_by_key(cost);
-
-    // 5. apply the first safe move (saturation proceeds one deterministic step
-    //    at a time; the recursive call will pick up the remaining moves).
-    for rule in safe {
-        let rewrites = rewrites_used + usize::from(matches!(rule, Rule::Neq { .. }));
-        let Ok(premises) = rule.premises(seq) else {
-            continue;
-        };
-        let extended_used = extend_used(used, &rule);
-        if let Some(sub) = attempt(&premises[0], risky_budget, rewrites, &extended_used, st) {
-            return Proof::by(seq.clone(), rule, vec![sub]).ok();
-        }
-        // a safe move never needs alternatives: it only adds information, so if
-        // the extended sequent is unprovable within budget, so is this one.
-        break;
-    }
-
-    // 6. risky moves with backtracking
-    if risky_budget > 0 {
-        // smaller specializations first: they tend to be goal instantiations
-        risky.sort_by_key(|r| match r {
-            Rule::Exists { spec, .. } => spec.size(),
-            _ => usize::MAX,
-        });
-        for rule in risky {
-            if st.aborted {
+    {
+        let memo = st.memo.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(&known) = memo.get(&key) {
+            if risky_budget <= known {
+                st.memo_hits += 1;
                 return None;
             }
-            let Ok(premises) = rule.premises(seq) else {
-                continue;
-            };
-            let extended_used = extend_used(used, &rule);
-            if let Some(sub) = attempt(
-                &premises[0],
-                risky_budget - 1,
-                rewrites_used,
-                &extended_used,
-                st,
-            ) {
-                return Proof::by(seq.clone(), rule, vec![sub]).ok();
+        }
+    }
+    st.memo_misses += 1;
+
+    // 4. candidate moves: inherited (already extended by the parent) when
+    //    possible, recomputed from the per-kind slices otherwise
+    let moves = match inherited {
+        Some(moves) => moves,
+        None => full_moves(seq, used, st),
+    };
+
+    let room = seq.rhs().len() < st.cfg.max_formulas;
+
+    // 5. apply the highest-ranked applicable safe move (saturation proceeds
+    //    one deterministic step at a time; the recursive call picks up the
+    //    remaining moves).
+    if room {
+        let picked = pick_safe_move(seq, &moves, rewrites_used, used, st);
+        let safe_dead_prefix = picked.dead_prefix;
+        if let Some((ranked, child_dead)) = picked.chosen {
+            if let Ok(premises) = ranked.rule.premises(seq) {
+                let rewrites = rewrites_used + usize::from(matches!(ranked.rule, Rule::Neq { .. }));
+                let extended_used = extend_used(used, &ranked.rule);
+                let delta = [added_formula(&ranked.rule)];
+                let inherited =
+                    child_moves(&premises[0], &moves, &delta, child_dead, &extended_used, st);
+                if let Some(sub) = attempt(
+                    &premises[0],
+                    risky_budget,
+                    rewrites,
+                    &extended_used,
+                    Some(inherited),
+                    st,
+                ) {
+                    return Proof::by(seq.clone(), ranked.rule.clone(), vec![sub]).ok();
+                }
+                // a safe move never needs alternatives: it only adds
+                // information, so if the extended sequent is unprovable
+                // within budget, so is this one — fall through to the risky
+                // moves.
+            }
+        }
+
+        // 6. risky moves with backtracking (smallest specializations first:
+        //    they tend to be goal instantiations)
+        if risky_budget > 0 {
+            for ranked in moves.risky.iter() {
+                if st.aborted {
+                    return None;
+                }
+                if !still_applicable(seq, &ranked.rule, rewrites_used, used, st.cfg) {
+                    continue;
+                }
+                let Ok(premises) = ranked.rule.premises(seq) else {
+                    continue;
+                };
+                let extended_used = extend_used(used, &ranked.rule);
+                let delta = [added_formula(&ranked.rule)];
+                // the append-only safe classes resume from the prefix the
+                // safe scan refuted; the sorted classes rescan from 0
+                let inherited = child_moves(
+                    &premises[0],
+                    &moves,
+                    &delta,
+                    safe_dead_prefix,
+                    &extended_used,
+                    st,
+                );
+                if let Some(sub) = attempt(
+                    &premises[0],
+                    risky_budget - 1,
+                    rewrites_used,
+                    &extended_used,
+                    Some(inherited),
+                    st,
+                ) {
+                    return Proof::by(seq.clone(), ranked.rule.clone(), vec![sub]).ok();
+                }
             }
         }
     }
 
-    // 7. record failure
-    let entry = st.failed.entry(seq.clone()).or_insert(0);
-    *entry = (*entry).max(risky_budget);
+    // 7. record failure — but never while aborting, which would poison the
+    //    shared memo with states that merely ran out of the state budget
+    if !st.aborted {
+        let mut memo = st.memo.lock().unwrap_or_else(|p| p.into_inner());
+        let entry = memo.entry(key).or_insert(0);
+        *entry = (*entry).max(risky_budget);
+    }
     None
 }
 
@@ -588,5 +1169,30 @@ mod tests {
         let (_, stats) = prove(&InContext::new(), &[], &[goal], &cfg()).unwrap();
         assert!(stats.visited >= 1);
         assert!(stats.proof_size >= 2);
+        // a quantified goal over structured terms makes the search construct
+        // (hence intern) the instantiated bodies
+        let goal = Formula::forall(
+            "z",
+            "S",
+            Formula::eq_ur(Term::proj1(Term::var("z")), Term::proj1(Term::var("z"))),
+        );
+        let (_, stats) = prove(&InContext::new(), &[], &[goal], &cfg()).unwrap();
+        assert!(stats.interner_hits + stats.interner_misses > 0);
+    }
+
+    #[test]
+    fn used_specs_behave_as_a_persistent_set() {
+        let a = Formula::eq_ur("x", "y");
+        let b = Formula::eq_ur("u", "v");
+        let base = UsedSpecs::default();
+        let one = base.push(a.clone());
+        let two = one.push(b.clone());
+        assert!(!base.contains(&a));
+        assert!(one.contains(&a) && !one.contains(&b));
+        assert!(two.contains(&a) && two.contains(&b));
+        // pushes share the tail; hashes are order-independent
+        let two_rev = base.push(b).push(a);
+        assert_eq!(two.hash, two_rev.hash);
+        assert_ne!(two.hash, one.hash);
     }
 }

@@ -1,0 +1,219 @@
+//! Reusable prover sessions.
+//!
+//! [`ProverSession`] owns everything worth keeping *between* proof-search
+//! calls of one synthesis run:
+//!
+//! * the **failure memo** — sequents refuted while proving one goal prune the
+//!   search for every later goal (and every later deepening level);
+//! * one or more **long-lived worker threads** with the large stack the deep
+//!   saturation recursion needs, so each `prove_sequent` call stops paying a
+//!   256 MiB-stack thread spawn;
+//! * the configuration, fixed at construction — memo entries are only valid
+//!   for the budgets they were recorded under, so a session proves every goal
+//!   with the same [`ProverConfig`].
+//!
+//! Sessions are `Sync`: independent goals may call [`prove_sequent`] from
+//! several threads (e.g. `std::thread::scope` in `nrs-core`), in which case
+//! idle workers are reused and extra workers are spawned on demand, all
+//! sharing the memo behind a mutex.
+//!
+//! [`prove_sequent`]: ProverSession::prove_sequent
+
+use crate::search::{prove_sequent_inner, FailureMemo, ProverConfig, ProverStats};
+use nrs_delta0::{Formula, InContext};
+use nrs_proof::{Proof, ProofError, Sequent};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+
+/// Stack size for search workers: the saturation recursion uses one stack
+/// frame per proof step, which can run deep on the synthesis goals.
+const WORKER_STACK: usize = 256 * 1024 * 1024;
+
+struct Job {
+    seq: Sequent,
+    reply: Sender<Result<(Proof, ProverStats), ProofError>>,
+}
+
+struct SessionInner {
+    cfg: ProverConfig,
+    memo: Mutex<FailureMemo>,
+    idle: Mutex<Vec<Sender<Job>>>,
+}
+
+/// A reusable handle to the proof-search engine.  See the module docs.
+#[derive(Clone)]
+pub struct ProverSession {
+    inner: Arc<SessionInner>,
+}
+
+impl ProverSession {
+    /// Create a session with the given budgets.
+    pub fn new(cfg: ProverConfig) -> ProverSession {
+        ProverSession {
+            inner: Arc::new(SessionInner {
+                cfg,
+                memo: Mutex::new(FailureMemo::new()),
+                idle: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The budgets every goal of this session is proved under.
+    pub fn config(&self) -> &ProverConfig {
+        &self.inner.cfg
+    }
+
+    /// Number of refuted search states currently memoized.
+    pub fn memo_len(&self) -> usize {
+        self.inner
+            .memo
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .len()
+    }
+
+    /// Prove `Θ ; ⊢ Δ` (one-sided), returning a checked proof object.  Runs
+    /// on one of the session's big-stack workers; concurrent calls get
+    /// concurrent workers.
+    pub fn prove_sequent(&self, sequent: &Sequent) -> Result<(Proof, ProverStats), ProofError> {
+        let worker = match self
+            .inner
+            .idle
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop()
+        {
+            Some(w) => w,
+            None => self.spawn_worker()?,
+        };
+        let (reply_tx, reply_rx) = channel();
+        worker
+            .send(Job {
+                seq: sequent.clone(),
+                reply: reply_tx,
+            })
+            .map_err(|_| ProofError::SearchFailed("prover worker exited unexpectedly".into()))?;
+        let out = reply_rx
+            .recv()
+            .map_err(|_| ProofError::SearchFailed("proof search thread panicked".into()))?;
+        // Only a worker that answered goes back in the pool; a panicked one
+        // is simply dropped (its channel closed with it).
+        self.inner
+            .idle
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(worker);
+        out
+    }
+
+    /// Convenience wrapper: prove that `assumptions` entail one of `goals`
+    /// under the membership context `ctx` (a two-sided sequent `Θ; Γ ⊢ Δ`).
+    pub fn prove(
+        &self,
+        ctx: &InContext,
+        assumptions: &[Formula],
+        goals: &[Formula],
+    ) -> Result<(Proof, ProverStats), ProofError> {
+        let seq = Sequent::two_sided(
+            ctx.clone(),
+            assumptions.iter().cloned(),
+            goals.iter().cloned(),
+        );
+        self.prove_sequent(&seq)
+    }
+
+    fn spawn_worker(&self) -> Result<Sender<Job>, ProofError> {
+        let (job_tx, job_rx) = channel::<Job>();
+        // The worker must hold the session state *weakly*: its own job sender
+        // lives in `SessionInner.idle`, so a strong reference here would form
+        // a cycle that kept every worker thread (and the memo) alive after
+        // the last session handle is dropped.  With a weak reference, the
+        // drop of the last handle drops the idle senders, `recv` disconnects,
+        // and the workers exit.
+        let inner = Arc::downgrade(&self.inner);
+        std::thread::Builder::new()
+            .name("nrs-prover-worker".into())
+            .stack_size(WORKER_STACK)
+            .spawn(move || {
+                while let Ok(job) = job_rx.recv() {
+                    // the caller holds a session handle for the duration of
+                    // its call, so an upgrade failure means the session is
+                    // gone and nobody is waiting for replies
+                    let Some(inner) = inner.upgrade() else { break };
+                    let result = prove_sequent_inner(&job.seq, &inner.cfg, &inner.memo);
+                    drop(inner);
+                    // a dropped receiver just means the caller gave up
+                    let _ = job.reply.send(result);
+                }
+            })
+            .map_err(|e| ProofError::SearchFailed(format!("could not spawn search worker: {e}")))?;
+        Ok(job_tx)
+    }
+}
+
+impl std::fmt::Debug for ProverSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProverSession")
+            .field("cfg", &self.inner.cfg)
+            .field("memo_len", &self.memo_len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrs_delta0::MemAtom;
+    use nrs_proof::check_proof;
+
+    #[test]
+    fn session_reuses_workers_and_memo() {
+        let session = ProverSession::new(ProverConfig::quick());
+        let ctx = InContext::from_atoms([MemAtom::new("x", "S")]);
+        let goal = Formula::exists("z", "S", Formula::eq_ur("z", "x"));
+        let (p1, s1) = session
+            .prove(&ctx, &[], std::slice::from_ref(&goal))
+            .unwrap();
+        assert!(check_proof(&p1).is_ok());
+        let (p2, s2) = session.prove(&ctx, &[], &[goal]).unwrap();
+        assert!(check_proof(&p2).is_ok());
+        assert_eq!(s1.visited, s2.visited, "trivial goal has no failures");
+        // an invalid goal populates the memo…
+        let bad = Formula::forall("z", "S", Formula::eq_ur("z", "x"));
+        assert!(session
+            .prove(&ctx, &[], std::slice::from_ref(&bad))
+            .is_err());
+        let memo_after_first = session.memo_len();
+        assert!(memo_after_first > 0);
+        // …and the second failing run is pruned by it
+        assert!(session.prove(&ctx, &[], &[bad]).is_err());
+    }
+
+    #[test]
+    fn concurrent_goals_share_one_session() {
+        let session = ProverSession::new(ProverConfig::quick());
+        let goals: Vec<Formula> = (0..4)
+            .map(|i| {
+                Formula::or(
+                    Formula::eq_ur(format!("x{i}").as_str(), "y"),
+                    Formula::neq_ur(format!("x{i}").as_str(), "y"),
+                )
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = goals
+                .iter()
+                .map(|g| {
+                    let session = &session;
+                    scope.spawn(move || {
+                        session.prove(&InContext::new(), &[], std::slice::from_ref(g))
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (proof, _) = h.join().unwrap().unwrap();
+                assert!(check_proof(&proof).is_ok());
+            }
+        });
+    }
+}

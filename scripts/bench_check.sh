@@ -14,16 +14,20 @@
 # Usage:
 #   scripts/bench_check.sh <fresh.json> [reference.json] [bench] [factor] [calib]
 #
-# Defaults: reference = BENCH_pr2.json, bench = from_views/100, factor = 2.0,
+# `bench` may be a comma-separated list; every listed benchmark must pass the
+# same calibrated tolerance (the gate covers both an evaluation-bound and a
+# prover-bound benchmark in CI).
+#
+# Defaults: reference = BENCH_pr3.json, bench = from_views/100, factor = 2.0,
 # calib = recompute_from_base/100.  Summaries are the one-bench-per-line JSON
 # emitted by scripts/bench.sh.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-fresh="${1:?usage: scripts/bench_check.sh <fresh.json> [reference.json] [bench] [factor] [calib]}"
-reference="${2:-BENCH_pr2.json}"
-bench="${3:-from_views/100}"
+fresh="${1:?usage: scripts/bench_check.sh <fresh.json> [reference.json] [bench[,bench…]] [factor] [calib]}"
+reference="${2:-BENCH_pr3.json}"
+benches="${3:-from_views/100}"
 factor="${4:-2.0}"
 calib="${5:-recompute_from_base/100}"
 
@@ -45,26 +49,31 @@ require() {
     fi
 }
 
-fresh_mean="$(min_of "$fresh" "$bench")"
 fresh_calib="$(min_of "$fresh" "$calib")"
-ref_mean="$(min_of "$reference" "$bench")"
 ref_calib="$(min_of "$reference" "$calib")"
-require "$fresh" "$fresh_mean" "$bench"
 require "$fresh" "$fresh_calib" "$calib"
-require "$reference" "$ref_mean" "$bench"
 require "$reference" "$ref_calib" "$calib"
 
-awk -v fm="$fresh_mean" -v fc="$fresh_calib" \
-    -v rm="$ref_mean" -v rc="$ref_calib" \
-    -v k="$factor" -v b="$bench" -v c="$calib" 'BEGIN {
-    fresh_rel = fm / fc;
-    ref_rel = rm / rc;
-    ratio = fresh_rel / ref_rel;
-    printf "bench_check: %s = %.0f ns (%.2fx of %s) vs reference %.0f ns (%.2fx); calibrated ratio %.2fx, limit %.1fx\n",
-        b, fm, fresh_rel, c, rm, ref_rel, ratio, k;
-    if (ratio > k) {
-        printf "bench_check: REGRESSION - %s is %.2fx slower (machine-calibrated) than the checked-in summary\n",
-            b, ratio > "/dev/stderr";
-        exit 1;
-    }
-}'
+status=0
+for bench in ${benches//,/ }; do
+    fresh_mean="$(min_of "$fresh" "$bench")"
+    ref_mean="$(min_of "$reference" "$bench")"
+    require "$fresh" "$fresh_mean" "$bench"
+    require "$reference" "$ref_mean" "$bench"
+
+    awk -v fm="$fresh_mean" -v fc="$fresh_calib" \
+        -v rm="$ref_mean" -v rc="$ref_calib" \
+        -v k="$factor" -v b="$bench" -v c="$calib" 'BEGIN {
+        fresh_rel = fm / fc;
+        ref_rel = rm / rc;
+        ratio = fresh_rel / ref_rel;
+        printf "bench_check: %s = %.0f ns (%.2fx of %s) vs reference %.0f ns (%.2fx); calibrated ratio %.2fx, limit %.1fx\n",
+            b, fm, fresh_rel, c, rm, ref_rel, ratio, k;
+        if (ratio > k) {
+            printf "bench_check: REGRESSION - %s is %.2fx slower (machine-calibrated) than the checked-in summary\n",
+                b, ratio > "/dev/stderr";
+            exit 1;
+        }
+    }' || status=1
+done
+exit "$status"
