@@ -39,10 +39,13 @@
 //! metadata ([`synthesis::SynthesisReport`]).
 
 pub mod collect;
+pub mod ivm;
 pub mod synthesis;
 pub mod views;
 
 pub use collect::{collect_parameters, CollectInput, CollectOutput};
+pub use ivm::{MaintainedRewriting, MaintainedView};
+pub use nrs_ivm::{DeltaSet, UpdateBatch};
 pub use synthesis::{
     synthesize, synthesize_with, ImplicitSpec, SynthesisConfig, SynthesisError, SynthesisReport,
     SynthesizedDefinition,

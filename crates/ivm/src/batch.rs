@@ -1,0 +1,260 @@
+//! Update batches and set deltas.
+//!
+//! A [`DeltaSet`] is the exact difference between two canonical sets:
+//! disjoint insert and delete sides, with every insert genuinely absent
+//! before and every delete genuinely present.  Exactness is the invariant
+//! the whole maintenance engine leans on — it lets support counts and
+//! membership transitions be updated without consulting the old value.
+//!
+//! An [`UpdateBatch`] is a delta per relation symbol: the external update
+//! language of the maintenance layer ("insert tuple t into S, delete u from
+//! F").  Batches as written by callers may be sloppy (inserting a present
+//! tuple, deleting an absent one); [`UpdateBatch::normalize_against`] reduces
+//! them to exact deltas against a concrete instance before application.
+
+use crate::IvmError;
+use nrs_value::{Instance, Name, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An exact set delta: disjoint inserts and deletes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaSet {
+    /// Elements added (absent before, present after).
+    pub inserts: BTreeSet<Value>,
+    /// Elements removed (present before, absent after).
+    pub deletes: BTreeSet<Value>,
+}
+
+impl DeltaSet {
+    /// The empty delta.
+    pub fn new() -> DeltaSet {
+        DeltaSet::default()
+    }
+
+    /// The exact delta turning `old` into `new`.
+    pub fn diff(old: &BTreeSet<Value>, new: &BTreeSet<Value>) -> DeltaSet {
+        DeltaSet {
+            inserts: new.difference(old).cloned().collect(),
+            deletes: old.difference(new).cloned().collect(),
+        }
+    }
+
+    /// No change at all?
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Total number of touched tuples.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// All touched elements (inserts then deletes).
+    pub fn elems(&self) -> impl Iterator<Item = &Value> {
+        self.inserts.iter().chain(self.deletes.iter())
+    }
+
+    /// `old` membership of `x`, reconstructed from the *new* set and this
+    /// (exact) delta: flipped for touched elements, unchanged otherwise.
+    pub fn was_member(&self, new: &BTreeSet<Value>, x: &Value) -> bool {
+        if self.inserts.contains(x) {
+            false
+        } else if self.deletes.contains(x) {
+            true
+        } else {
+            new.contains(x)
+        }
+    }
+
+    /// Apply the delta to a set (deletes then inserts).
+    pub fn apply_to(&self, set: &BTreeSet<Value>) -> BTreeSet<Value> {
+        let mut out = set.clone();
+        for d in &self.deletes {
+            out.remove(d);
+        }
+        for i in &self.inserts {
+            out.insert(i.clone());
+        }
+        out
+    }
+}
+
+/// A batch of updates: a delta per relation symbol.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateBatch {
+    rels: BTreeMap<Name, DeltaSet>,
+}
+
+impl UpdateBatch {
+    /// The empty batch.
+    pub fn new() -> UpdateBatch {
+        UpdateBatch::default()
+    }
+
+    /// Record an insertion (cancelling any pending delete of the same tuple,
+    /// so the two sides stay disjoint).
+    pub fn insert(&mut self, rel: impl Into<Name>, tuple: Value) -> &mut Self {
+        let d = self.rels.entry(rel.into()).or_default();
+        d.deletes.remove(&tuple);
+        d.inserts.insert(tuple);
+        self
+    }
+
+    /// Record a deletion (cancelling any pending insert of the same tuple).
+    pub fn delete(&mut self, rel: impl Into<Name>, tuple: Value) -> &mut Self {
+        let d = self.rels.entry(rel.into()).or_default();
+        d.inserts.remove(&tuple);
+        d.deletes.insert(tuple);
+        self
+    }
+
+    /// A batch holding one relation's delta.
+    pub fn from_delta(rel: impl Into<Name>, delta: DeltaSet) -> UpdateBatch {
+        let mut b = UpdateBatch::new();
+        if !delta.is_empty() {
+            b.rels.insert(rel.into(), delta);
+        }
+        b
+    }
+
+    /// Merge another relation's delta into the batch (sequential semantics:
+    /// the new delta is applied after whatever the batch already records).
+    pub fn push_delta(&mut self, rel: impl Into<Name>, delta: DeltaSet) -> &mut Self {
+        let rel = rel.into();
+        for i in delta.inserts {
+            self.insert(rel, i);
+        }
+        for d in delta.deletes {
+            self.delete(rel, d);
+        }
+        self
+    }
+
+    /// Does the batch record no updates?
+    pub fn is_empty(&self) -> bool {
+        self.rels.values().all(DeltaSet::is_empty)
+    }
+
+    /// Total number of touched tuples across relations.
+    pub fn len(&self) -> usize {
+        self.rels.values().map(DeltaSet::len).sum()
+    }
+
+    /// The per-relation deltas, in name order.
+    pub fn relations(&self) -> impl Iterator<Item = (&Name, &DeltaSet)> {
+        self.rels.iter()
+    }
+
+    /// Reduce the batch to *exact* deltas against an instance: drop inserts
+    /// of tuples already present and deletes of tuples already absent.
+    /// Unbound relation names are treated as the empty set (the update
+    /// introduces the relation); a non-set binding is an error.
+    pub fn normalize_against(&self, inst: &Instance) -> Result<UpdateBatch, IvmError> {
+        let mut out = UpdateBatch::new();
+        for (name, delta) in &self.rels {
+            let exact = match inst.try_get(name) {
+                None => DeltaSet {
+                    inserts: delta.inserts.clone(),
+                    deletes: BTreeSet::new(),
+                },
+                Some(v) => {
+                    let old = v.as_set().map_err(|_| IvmError::NotASet(*name))?;
+                    DeltaSet {
+                        inserts: delta.inserts.difference(old).cloned().collect(),
+                        deletes: delta
+                            .deletes
+                            .iter()
+                            .filter(|d| old.contains(*d))
+                            .cloned()
+                            .collect(),
+                    }
+                }
+            };
+            if !exact.is_empty() {
+                out.rels.insert(*name, exact);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The instance after this batch: for each touched relation,
+    /// `new = (old ∖ deletes) ∪ inserts` (functional; the input is shared,
+    /// not copied, except along the touched paths).
+    pub fn apply(&self, inst: &Instance) -> Result<Instance, IvmError> {
+        let mut bindings = Vec::with_capacity(self.rels.len());
+        for (name, delta) in &self.rels {
+            let old = match inst.try_get(name) {
+                None => BTreeSet::new(),
+                Some(v) => v.as_set().map_err(|_| IvmError::NotASet(*name))?.clone(),
+            };
+            bindings.push((*name, Value::from_set(delta.apply_to(&old))));
+        }
+        Ok(inst.with_many(bindings))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atoms(ids: impl IntoIterator<Item = u64>) -> BTreeSet<Value> {
+        ids.into_iter().map(Value::atom).collect()
+    }
+
+    #[test]
+    fn insert_and_delete_stay_disjoint() {
+        let mut b = UpdateBatch::new();
+        b.insert("S", Value::atom(1));
+        b.delete("S", Value::atom(1));
+        b.delete("S", Value::atom(2));
+        b.insert("S", Value::atom(2));
+        let d = b.relations().next().unwrap().1;
+        assert_eq!(d.inserts, atoms([2]));
+        assert_eq!(d.deletes, atoms([1]));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn diff_and_apply_roundtrip() {
+        let old = atoms([1, 2, 3]);
+        let new = atoms([2, 3, 4, 5]);
+        let d = DeltaSet::diff(&old, &new);
+        assert_eq!(d.inserts, atoms([4, 5]));
+        assert_eq!(d.deletes, atoms([1]));
+        assert_eq!(d.apply_to(&old), new);
+        assert!(d.was_member(&new, &Value::atom(1)));
+        assert!(!d.was_member(&new, &Value::atom(4)));
+        assert!(d.was_member(&new, &Value::atom(2)));
+    }
+
+    #[test]
+    fn normalization_drops_noop_updates() {
+        let inst = Instance::from_bindings([(Name::new("S"), Value::set(atoms([1, 2])))]);
+        let mut b = UpdateBatch::new();
+        b.insert("S", Value::atom(1)) // already present
+            .insert("S", Value::atom(9))
+            .delete("S", Value::atom(2))
+            .delete("S", Value::atom(7)); // already absent
+        b.insert("T", Value::atom(4)); // unbound relation
+        let n = b.normalize_against(&inst).unwrap();
+        let s = n.relations().find(|(r, _)| r.as_str() == "S").unwrap().1;
+        assert_eq!(s.inserts, atoms([9]));
+        assert_eq!(s.deletes, atoms([2]));
+        let t = n.relations().find(|(r, _)| r.as_str() == "T").unwrap().1;
+        assert_eq!(t.inserts, atoms([4]));
+        assert!(t.deletes.is_empty());
+        // a non-set binding is rejected
+        let bad = Instance::from_bindings([(Name::new("S"), Value::atom(0))]);
+        assert!(b.normalize_against(&bad).is_err());
+    }
+
+    #[test]
+    fn apply_is_functional() {
+        let inst = Instance::from_bindings([(Name::new("S"), Value::set(atoms([1])))]);
+        let mut b = UpdateBatch::new();
+        b.insert("S", Value::atom(2)).delete("S", Value::atom(1));
+        let out = b.apply(&inst).unwrap();
+        assert_eq!(out.get(&Name::new("S")).unwrap(), &Value::set(atoms([2])));
+        assert_eq!(inst.get(&Name::new("S")).unwrap(), &Value::set(atoms([1])));
+    }
+}

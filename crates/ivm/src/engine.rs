@@ -1,0 +1,1288 @@
+//! The delta-propagation engine over the physical-plan IR.
+//!
+//! A [`MaintainedQuery`] instantiates a [`Plan`] as a tree of stateful
+//! operator nodes, each holding whatever cache its delta rule needs:
+//!
+//! * `Union`/`Diff` keep their own materialized output and re-derive
+//!   membership transitions of touched elements from the children's exact
+//!   deltas;
+//! * `ForUnion` keeps a per-member cache of evaluated loop bodies plus
+//!   **multiset support counts** of the output elements, so deletions (a
+//!   member leaving, or a body shrinking) are sound even when several
+//!   members contribute the same tuple;
+//! * `HashJoin` keeps both key indexes and applies the bilinear rule
+//!   `Δ(A ⋈ B) = ΔA ⋈ B ∪ A' ⋈ ΔB`, with the same support counts on the
+//!   produced tuples;
+//! * `Guard` caches its condition's emptiness and flips between `∅` and the
+//!   maintained body wholesale;
+//! * `Let` maintains the bound subplan once and feeds its delta to the
+//!   body's `Var` references through the update context — the maintained
+//!   counterpart of the evaluator's shared values;
+//! * every other operator falls back to recompute-on-dirty: re-execute the
+//!   subplan when a dependency changed and diff the outputs.
+//!
+//! ### Correlated loop bodies
+//!
+//! Loop bodies are evaluated per member, so a delta on a relation the body
+//! mentions can invalidate cached bodies.  At build time each loop analyses
+//! its body: a relation whose only occurrences are membership probes with
+//! the loop binder as the needle (`member(x, R)` under binder `x` — the
+//! shape every synthesized filter takes) is a **probe dependency**, and a
+//! delta on it invalidates exactly the cached members it lists.  Anything
+//! else is a **hard dependency** and falls back to a full refill of that
+//! node.  This is what makes the synthesized rewritings maintainable in
+//! O(|Δ| log n): their bodies only touch other relations through such
+//! probes.
+//!
+//! All node outputs are updated **in place** through
+//! [`SetValue::make_mut`][nrs_value::SetValue::make_mut], so a steady stream
+//! of small batches never pays a full-set copy; sharing a materialized value
+//! outward degrades a single later update to one copy-on-write, exactly like
+//! any persistent structure.
+
+use crate::batch::{DeltaSet, UpdateBatch};
+use crate::IvmError;
+use nrs_nrc::{exec_plan, CompiledQuery, Plan};
+use nrs_value::{Instance, Name, Value};
+use std::collections::{BTreeSet, HashMap};
+
+/// A compiled query kept incrementally up to date under [`UpdateBatch`]es.
+#[derive(Debug)]
+pub struct MaintainedQuery {
+    query: CompiledQuery,
+    root: Node,
+    env: Instance,
+}
+
+impl MaintainedQuery {
+    /// Materialize the query over `env` and set up the operator caches.
+    pub fn new(query: &CompiledQuery, env: &Instance) -> Result<MaintainedQuery, IvmError> {
+        let env = env.clone();
+        let root = build(query.plan(), &env)?;
+        Ok(MaintainedQuery {
+            query: query.clone(),
+            root,
+            env,
+        })
+    }
+
+    /// The maintained output value.
+    pub fn value(&self) -> &Value {
+        self.root.value(&self.env)
+    }
+
+    /// The current input instance (base relations at their post-batch state).
+    pub fn env(&self) -> &Instance {
+        &self.env
+    }
+
+    /// Apply a batch: update the inputs, propagate deltas through the
+    /// operator tree, and return the exact delta of the output.
+    ///
+    /// The output must be set-valued (views are); maintaining a scalar query
+    /// is reported as [`IvmError::NotASet`].
+    pub fn apply(&mut self, batch: &UpdateBatch) -> Result<DeltaSet, IvmError> {
+        let normalized = batch.normalize_against(&self.env)?;
+        if normalized.is_empty() {
+            return Ok(DeltaSet::new());
+        }
+        // Update the environment *in place*: unbinding first drops the
+        // treap's reference so the copy-on-write mutation is O(|Δ| log n)
+        // once the maintained query owns its sets (the first batch after an
+        // external share pays one copy, as any persistent update would).
+        let mut ctx = Ctx::default();
+        for (name, delta) in normalized.relations() {
+            let old = self
+                .env
+                .try_get(name)
+                .cloned()
+                .unwrap_or_else(Value::empty_set);
+            self.env.unbind(name);
+            let Value::Set(mut sv) = old else {
+                return Err(IvmError::NotASet(*name));
+            };
+            apply_delta(&mut sv, delta);
+            self.env.bind(*name, Value::Set(sv));
+            ctx.changes.insert(
+                *name,
+                NameChange {
+                    delta: Some(delta.clone()),
+                    old: None,
+                },
+            );
+        }
+        let env = self.env.clone();
+        let change = self.root.update(&mut ctx, &env)?;
+        match change {
+            Change::None => Ok(DeltaSet::new()),
+            Change::Delta(d) => Ok(d),
+            Change::Replaced { old } => {
+                let new = self.root.value(&self.env);
+                match (old.as_set(), new.as_set()) {
+                    (Ok(o), Ok(n)) => Ok(DeltaSet::diff(o, n)),
+                    _ => Err(IvmError::NotASet(Name::new("<output>"))),
+                }
+            }
+        }
+    }
+
+    /// Re-execute the plan from scratch on the current inputs and compare
+    /// with the maintained value — the engine's internal consistency oracle.
+    pub fn consistency_check(&self) -> Result<bool, IvmError> {
+        let fresh = self.query.execute(&self.env)?;
+        Ok(&fresh == self.value())
+    }
+}
+
+fn apply_delta(sv: &mut nrs_value::SetValue, delta: &DeltaSet) {
+    if delta.is_empty() {
+        return;
+    }
+    let elems = sv.make_mut();
+    for d in &delta.deletes {
+        elems.remove(d);
+    }
+    for i in &delta.inserts {
+        elems.insert(i.clone());
+    }
+}
+
+fn apply_delta_value(v: &mut Value, delta: &DeltaSet, what: &str) -> Result<(), IvmError> {
+    if delta.is_empty() {
+        return Ok(());
+    }
+    match v {
+        Value::Set(sv) => {
+            apply_delta(sv, delta);
+            Ok(())
+        }
+        _ => Err(IvmError::Internal(format!("{what} output is not a set"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Update context
+// ---------------------------------------------------------------------------
+
+/// How one name's binding changed in the current round.
+struct NameChange {
+    /// Exact set delta; `None` when the change is not set-shaped (then `old`
+    /// carries the previous value).
+    delta: Option<DeltaSet>,
+    /// The previous value for non-set changes.
+    old: Option<Value>,
+}
+
+/// The per-round update context: base relations changed by the batch plus
+/// `Let`-bound names changed by their maintained subplans.
+#[derive(Default)]
+struct Ctx {
+    changes: HashMap<Name, NameChange>,
+}
+
+/// What a node reports about its output after an update round.
+enum Change {
+    /// Output identical to the previous round.
+    None,
+    /// Set-valued output changed by exactly this delta.
+    Delta(DeltaSet),
+    /// Output replaced wholesale (possibly non-set); carries the old value.
+    Replaced { old: Value },
+}
+
+impl Change {
+    fn from_delta(d: DeltaSet) -> Change {
+        if d.is_empty() {
+            Change::None
+        } else {
+            Change::Delta(d)
+        }
+    }
+
+    fn is_none(&self) -> bool {
+        matches!(self, Change::None)
+    }
+
+    /// View the change as an exact set delta, diffing old vs. new for
+    /// wholesale replacements.  `None` means "unchanged".
+    fn into_set_delta(self, new: &Value, what: &str) -> Result<Option<DeltaSet>, IvmError> {
+        match self {
+            Change::None => Ok(None),
+            Change::Delta(d) => Ok(Some(d)),
+            Change::Replaced { old } => match (old.as_set(), new.as_set()) {
+                (Ok(o), Ok(n)) => Ok(Some(DeltaSet::diff(o, n))),
+                _ => Err(IvmError::Internal(format!("{what} is not set-valued"))),
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operator nodes
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Node {
+    /// The node's materialized output.  Meaningless for `Var` (read from the
+    /// environment) and `Let` (pass-through to the body).
+    current: Value,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    /// Environment lookup; the batch is the delta source.
+    Var(Name),
+    Union(Box<Node>, Box<Node>),
+    Diff(Box<Node>, Box<Node>),
+    Guard {
+        cond: Box<Node>,
+        body: Box<Node>,
+        nonempty: bool,
+    },
+    ForUnion(Box<ForUnionState>),
+    HashJoin(Box<HashJoinState>),
+    Let {
+        var: Name,
+        value: Box<Node>,
+        body: Box<Node>,
+        /// The extended environment the body lives in (outer env + binding).
+        env_body: Instance,
+    },
+    /// Recompute-on-dirty fallback for every other operator.
+    Opaque {
+        plan: Plan,
+        deps: BTreeSet<Name>,
+    },
+}
+
+#[derive(Debug)]
+struct ForUnionState {
+    var: Name,
+    over: Node,
+    body: Plan,
+    /// Relations the body touches only through `member(var, R)` probes.
+    probe_deps: BTreeSet<Name>,
+    /// Relations the body touches any other way (delta ⇒ full refill).
+    hard_deps: BTreeSet<Name>,
+    /// member → evaluated body (a set value).
+    cache: HashMap<Value, Value>,
+    /// Multiset support: output element → number of members producing it.
+    counts: HashMap<Value, usize>,
+}
+
+#[derive(Debug)]
+struct HashJoinState {
+    lvar: Name,
+    lkey: Plan,
+    rvar: Name,
+    rkey: Plan,
+    body: Plan,
+    left: Node,
+    right: Node,
+    /// key → probe-side members with that key.
+    lindex: HashMap<Value, BTreeSet<Value>>,
+    /// key → build-side members with that key.
+    rindex: HashMap<Value, BTreeSet<Value>>,
+    /// Multiset support of the produced tuples.
+    counts: HashMap<Value, usize>,
+    /// Free names of keys/body beyond the binders (delta ⇒ full refill).
+    hard_deps: BTreeSet<Name>,
+}
+
+/// Support-count mutator recording membership transitions of touched
+/// elements, from which the node's exact output delta falls out.
+struct CountDelta<'a> {
+    counts: &'a mut HashMap<Value, usize>,
+    /// element → was it in the output before this round?
+    touched: HashMap<Value, bool>,
+}
+
+impl<'a> CountDelta<'a> {
+    fn new(counts: &'a mut HashMap<Value, usize>) -> CountDelta<'a> {
+        CountDelta {
+            counts,
+            touched: HashMap::new(),
+        }
+    }
+
+    fn inc(&mut self, v: &Value) {
+        let c = self.counts.entry(v.clone()).or_insert(0);
+        self.touched.entry(v.clone()).or_insert(*c > 0);
+        *c += 1;
+    }
+
+    fn dec(&mut self, v: &Value) -> Result<(), IvmError> {
+        let Some(c) = self.counts.get_mut(v) else {
+            return Err(IvmError::Internal(format!(
+                "support count underflow for {v}"
+            )));
+        };
+        self.touched.entry(v.clone()).or_insert(*c > 0);
+        *c -= 1;
+        if *c == 0 {
+            self.counts.remove(v);
+        }
+        Ok(())
+    }
+
+    fn into_delta(self) -> DeltaSet {
+        let mut delta = DeltaSet::new();
+        for (v, was_in) in self.touched {
+            let is_in = self.counts.get(&v).is_some_and(|c| *c > 0);
+            match (was_in, is_in) {
+                (false, true) => {
+                    delta.inserts.insert(v);
+                }
+                (true, false) => {
+                    delta.deletes.insert(v);
+                }
+                _ => {}
+            }
+        }
+        delta
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Build: instantiate the node tree and materialize the initial state
+// ---------------------------------------------------------------------------
+
+fn build(plan: &Plan, env: &Instance) -> Result<Node, IvmError> {
+    match plan {
+        Plan::Var(n) => Ok(Node {
+            current: Value::Unit, // read through the environment instead
+            kind: Kind::Var(*n),
+        }),
+        Plan::Union(a, b) => {
+            let a = build(a, env)?;
+            let b = build(b, env)?;
+            let mut elems = set_of(a.value(env), "union lhs")?.clone();
+            elems.extend(set_of(b.value(env), "union rhs")?.iter().cloned());
+            Ok(Node {
+                current: Value::from_set(elems),
+                kind: Kind::Union(Box::new(a), Box::new(b)),
+            })
+        }
+        Plan::Diff(a, b) => {
+            let a = build(a, env)?;
+            let b = build(b, env)?;
+            let bset = set_of(b.value(env), "difference rhs")?;
+            let elems = set_of(a.value(env), "difference lhs")?
+                .iter()
+                .filter(|v| !bset.contains(*v))
+                .cloned()
+                .collect();
+            Ok(Node {
+                current: Value::from_set(elems),
+                kind: Kind::Diff(Box::new(a), Box::new(b)),
+            })
+        }
+        Plan::Guard { cond, body } => {
+            let cond = build(cond, env)?;
+            let body = build(body, env)?;
+            let nonempty = !set_of(cond.value(env), "guard condition")?.is_empty();
+            let current = if nonempty {
+                body.value(env).clone()
+            } else {
+                Value::empty_set()
+            };
+            Ok(Node {
+                current,
+                kind: Kind::Guard {
+                    cond: Box::new(cond),
+                    body: Box::new(body),
+                    nonempty,
+                },
+            })
+        }
+        Plan::ForUnion { var, over, body } => {
+            let over = build(over, env)?;
+            let (probe_deps, hard_deps) = analyze_body(body, &[*var]);
+            let mut state = ForUnionState {
+                var: *var,
+                over,
+                body: (**body).clone(),
+                probe_deps,
+                hard_deps,
+                cache: HashMap::new(),
+                counts: HashMap::new(),
+            };
+            let current = state.fill(env)?;
+            Ok(Node {
+                current,
+                kind: Kind::ForUnion(Box::new(state)),
+            })
+        }
+        Plan::HashJoin {
+            left,
+            lvar,
+            lkey,
+            right,
+            rvar,
+            rkey,
+            body,
+        } => {
+            let left = build(left, env)?;
+            let right = build(right, env)?;
+            let mut hard_deps = BTreeSet::new();
+            for (p, bound) in [
+                (&**lkey, vec![*lvar]),
+                (&**rkey, vec![*rvar]),
+                (&**body, vec![*lvar, *rvar]),
+            ] {
+                for n in p.free_vars() {
+                    if !bound.contains(&n) {
+                        hard_deps.insert(n);
+                    }
+                }
+            }
+            let mut state = HashJoinState {
+                lvar: *lvar,
+                lkey: (**lkey).clone(),
+                rvar: *rvar,
+                rkey: (**rkey).clone(),
+                body: (**body).clone(),
+                left,
+                right,
+                lindex: HashMap::new(),
+                rindex: HashMap::new(),
+                counts: HashMap::new(),
+                hard_deps,
+            };
+            let current = state.fill(env)?;
+            Ok(Node {
+                current,
+                kind: Kind::HashJoin(Box::new(state)),
+            })
+        }
+        Plan::Let { var, value, body } => {
+            let value = build(value, env)?;
+            let env_body = env.with(*var, value.value(env).clone());
+            let body = build(body, &env_body)?;
+            Ok(Node {
+                current: Value::Unit, // pass-through to the body
+                kind: Kind::Let {
+                    var: *var,
+                    value: Box::new(value),
+                    body: Box::new(body),
+                    env_body,
+                },
+            })
+        }
+        other => Ok(Node {
+            current: exec_plan(other, env)?,
+            kind: Kind::Opaque {
+                plan: other.clone(),
+                deps: other.free_vars(),
+            },
+        }),
+    }
+}
+
+fn set_of<'a>(v: &'a Value, what: &str) -> Result<&'a BTreeSet<Value>, IvmError> {
+    v.as_set()
+        .map_err(|_| IvmError::Internal(format!("{what} is not a set")))
+}
+
+/// Classify the free names of a loop body (w.r.t. the loop binders): names
+/// occurring only as `member(binder, R)` probe haystacks are probe
+/// dependencies; every other occurrence makes a name a hard dependency.
+fn analyze_body(body: &Plan, binders: &[Name]) -> (BTreeSet<Name>, BTreeSet<Name>) {
+    let mut probe = BTreeSet::new();
+    let mut hard = BTreeSet::new();
+    let mut bound: Vec<Name> = binders.to_vec();
+    walk_body(body, binders, &mut bound, &mut probe, &mut hard);
+    probe.retain(|n| !hard.contains(n));
+    (probe, hard)
+}
+
+fn walk_body(
+    p: &Plan,
+    binders: &[Name],
+    bound: &mut Vec<Name>,
+    probe: &mut BTreeSet<Name>,
+    hard: &mut BTreeSet<Name>,
+) {
+    if let Plan::Member { elem, set } = p {
+        if let (Plan::Var(needle), Plan::Var(hay)) = (&**elem, &**set) {
+            // `member(x, R)` with x a (non-shadowed) loop binder and R free:
+            // a delta on R affects exactly the members it lists.
+            if binders.contains(needle)
+                && bound.iter().filter(|b| *b == needle).count() == 1
+                && !bound.contains(hay)
+            {
+                probe.insert(*hay);
+                return;
+            }
+        }
+    }
+    match p {
+        Plan::Var(n) => {
+            if !bound.contains(n) {
+                hard.insert(*n);
+            }
+        }
+        Plan::Unit | Plan::Empty => {}
+        Plan::Pair(a, b) | Plan::Union(a, b) | Plan::Diff(a, b) | Plan::Eq(a, b) => {
+            walk_body(a, binders, bound, probe, hard);
+            walk_body(b, binders, bound, probe, hard);
+        }
+        Plan::Proj1(x) | Plan::Proj2(x) | Plan::Singleton(x) => {
+            walk_body(x, binders, bound, probe, hard)
+        }
+        Plan::Get { arg, .. } => walk_body(arg, binders, bound, probe, hard),
+        Plan::Guard { cond, body } => {
+            walk_body(cond, binders, bound, probe, hard);
+            walk_body(body, binders, bound, probe, hard);
+        }
+        Plan::Member { elem, set } => {
+            walk_body(elem, binders, bound, probe, hard);
+            walk_body(set, binders, bound, probe, hard);
+        }
+        Plan::ForUnion { var, over, body } => {
+            walk_body(over, binders, bound, probe, hard);
+            bound.push(*var);
+            walk_body(body, binders, bound, probe, hard);
+            bound.pop();
+        }
+        Plan::Let { var, value, body } => {
+            walk_body(value, binders, bound, probe, hard);
+            bound.push(*var);
+            walk_body(body, binders, bound, probe, hard);
+            bound.pop();
+        }
+        Plan::HashJoin {
+            left,
+            lvar,
+            lkey,
+            right,
+            rvar,
+            rkey,
+            body,
+        } => {
+            walk_body(left, binders, bound, probe, hard);
+            walk_body(right, binders, bound, probe, hard);
+            bound.push(*lvar);
+            walk_body(lkey, binders, bound, probe, hard);
+            bound.push(*rvar);
+            walk_body(rkey, binders, bound, probe, hard);
+            walk_body(body, binders, bound, probe, hard);
+            bound.pop();
+            bound.pop();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Update
+// ---------------------------------------------------------------------------
+
+impl Node {
+    /// The node's current output (routing `Var` through the environment and
+    /// `Let` through its extended environment).
+    fn value<'a>(&'a self, env: &'a Instance) -> &'a Value {
+        match &self.kind {
+            Kind::Var(n) => env
+                .try_get(n)
+                .expect("maintained environment binds every free variable"),
+            Kind::Let { body, env_body, .. } => body.value(env_body),
+            _ => &self.current,
+        }
+    }
+
+    fn update(&mut self, ctx: &mut Ctx, env: &Instance) -> Result<Change, IvmError> {
+        match &mut self.kind {
+            Kind::Var(n) => match ctx.changes.get(n) {
+                None => Ok(Change::None),
+                Some(NameChange { delta: Some(d), .. }) => Ok(Change::from_delta(d.clone())),
+                Some(NameChange {
+                    delta: None,
+                    old: Some(old),
+                }) => Ok(Change::Replaced { old: old.clone() }),
+                Some(NameChange {
+                    delta: None,
+                    old: None,
+                }) => Err(IvmError::Internal(
+                    "name change without delta or old value".into(),
+                )),
+            },
+            Kind::Opaque { plan, deps } => {
+                if !deps.iter().any(|n| ctx.changes.contains_key(n)) {
+                    return Ok(Change::None);
+                }
+                let new = exec_plan(plan, env)?;
+                if new == self.current {
+                    return Ok(Change::None);
+                }
+                let old = std::mem::replace(&mut self.current, new);
+                Ok(Change::Replaced { old })
+            }
+            Kind::Union(a, b) => {
+                let ca = a.update(ctx, env)?;
+                let da = ca.into_set_delta(a.value(env), "union lhs")?;
+                let cb = b.update(ctx, env)?;
+                let db = cb.into_set_delta(b.value(env), "union rhs")?;
+                if da.is_none() && db.is_none() {
+                    return Ok(Change::None);
+                }
+                let av = set_of(a.value(env), "union lhs")?;
+                let bv = set_of(b.value(env), "union rhs")?;
+                let mut delta = DeltaSet::new();
+                for x in touched_elems(&da, &db) {
+                    let was = was_in(av, &da, x) || was_in(bv, &db, x);
+                    let is = av.contains(x) || bv.contains(x);
+                    record(&mut delta, x, was, is);
+                }
+                apply_delta_value(&mut self.current, &delta, "union")?;
+                Ok(Change::from_delta(delta))
+            }
+            Kind::Diff(a, b) => {
+                let ca = a.update(ctx, env)?;
+                let da = ca.into_set_delta(a.value(env), "difference lhs")?;
+                let cb = b.update(ctx, env)?;
+                let db = cb.into_set_delta(b.value(env), "difference rhs")?;
+                if da.is_none() && db.is_none() {
+                    return Ok(Change::None);
+                }
+                let av = set_of(a.value(env), "difference lhs")?;
+                let bv = set_of(b.value(env), "difference rhs")?;
+                let mut delta = DeltaSet::new();
+                for x in touched_elems(&da, &db) {
+                    let was = was_in(av, &da, x) && !was_in(bv, &db, x);
+                    let is = av.contains(x) && !bv.contains(x);
+                    record(&mut delta, x, was, is);
+                }
+                apply_delta_value(&mut self.current, &delta, "difference")?;
+                Ok(Change::from_delta(delta))
+            }
+            Kind::Guard {
+                cond,
+                body,
+                nonempty,
+            } => {
+                cond.update(ctx, env)?;
+                let cb = body.update(ctx, env)?;
+                let was_ne = *nonempty;
+                let is_ne = !set_of(cond.value(env), "guard condition")?.is_empty();
+                *nonempty = is_ne;
+                match (was_ne, is_ne) {
+                    (false, false) => Ok(Change::None),
+                    (true, true) => {
+                        let db = cb.into_set_delta(body.value(env), "guard body")?;
+                        match db {
+                            None => Ok(Change::None),
+                            Some(d) => {
+                                self.current = body.value(env).clone();
+                                Ok(Change::from_delta(d))
+                            }
+                        }
+                    }
+                    (false, true) => {
+                        self.current = body.value(env).clone();
+                        let delta = DeltaSet {
+                            inserts: set_of(&self.current, "guard body")?.clone(),
+                            deletes: BTreeSet::new(),
+                        };
+                        Ok(Change::from_delta(delta))
+                    }
+                    (true, false) => {
+                        let old = std::mem::replace(&mut self.current, Value::empty_set());
+                        let delta = DeltaSet {
+                            inserts: BTreeSet::new(),
+                            deletes: set_of(&old, "guard output")?.clone(),
+                        };
+                        Ok(Change::from_delta(delta))
+                    }
+                }
+            }
+            Kind::ForUnion(state) => {
+                let delta = state.update(ctx, env, &mut self.current)?;
+                Ok(Change::from_delta(delta))
+            }
+            Kind::HashJoin(state) => {
+                let delta = state.update(ctx, env, &mut self.current)?;
+                Ok(Change::from_delta(delta))
+            }
+            Kind::Let {
+                var,
+                value,
+                body,
+                env_body,
+            } => {
+                let cv = value.update(ctx, env)?;
+                *env_body = env.with(*var, value.value(env).clone());
+                let saved = if cv.is_none() {
+                    None
+                } else {
+                    let nc = match cv {
+                        Change::Delta(d) => NameChange {
+                            delta: Some(d),
+                            old: None,
+                        },
+                        Change::Replaced { old } => NameChange {
+                            delta: None,
+                            old: Some(old),
+                        },
+                        Change::None => unreachable!(),
+                    };
+                    Some(ctx.changes.insert(*var, nc))
+                };
+                let out = body.update(ctx, env_body);
+                // restore the outer scope's view of the name
+                match saved {
+                    None => {}
+                    Some(None) => {
+                        ctx.changes.remove(var);
+                    }
+                    Some(Some(prev)) => {
+                        ctx.changes.insert(*var, prev);
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// All elements touched by either child delta, deduplicated.
+fn touched_elems<'a>(da: &'a Option<DeltaSet>, db: &'a Option<DeltaSet>) -> BTreeSet<&'a Value> {
+    let mut out = BTreeSet::new();
+    for d in [da, db].into_iter().flatten() {
+        out.extend(d.elems());
+    }
+    out
+}
+
+fn was_in(new: &BTreeSet<Value>, delta: &Option<DeltaSet>, x: &Value) -> bool {
+    match delta {
+        Some(d) => d.was_member(new, x),
+        None => new.contains(x),
+    }
+}
+
+fn record(delta: &mut DeltaSet, x: &Value, was: bool, is: bool) {
+    match (was, is) {
+        (false, true) => {
+            delta.inserts.insert(x.clone());
+        }
+        (true, false) => {
+            delta.deletes.insert(x.clone());
+        }
+        _ => {}
+    }
+}
+
+impl ForUnionState {
+    /// Evaluate from scratch: fill the member cache and support counts and
+    /// return the materialized output.
+    fn fill(&mut self, env: &Instance) -> Result<Value, IvmError> {
+        self.cache.clear();
+        self.counts.clear();
+        let members = set_of(self.over.value(env), "binding union over")?.clone();
+        let mut out: BTreeSet<Value> = BTreeSet::new();
+        for m in members {
+            let body_v = exec_plan(&self.body, &env.with(self.var, m.clone()))?;
+            for e in set_of(&body_v, "binding union body")? {
+                *self.counts.entry(e.clone()).or_insert(0) += 1;
+                out.insert(e.clone());
+            }
+            self.cache.insert(m, body_v);
+        }
+        Ok(Value::from_set(out))
+    }
+
+    fn update(
+        &mut self,
+        ctx: &mut Ctx,
+        env: &Instance,
+        current: &mut Value,
+    ) -> Result<DeltaSet, IvmError> {
+        let co = self.over.update(ctx, env)?;
+        let over_delta = co.into_set_delta(self.over.value(env), "binding union over")?;
+        let hard_dirty = self.hard_deps.iter().any(|n| ctx.changes.contains_key(n));
+        let probe_unknown = self
+            .probe_deps
+            .iter()
+            .any(|n| matches!(ctx.changes.get(n), Some(nc) if nc.delta.is_none()));
+        if hard_dirty || probe_unknown {
+            // A dependency changed in a way the targeted rules don't cover:
+            // rebuild this operator's state and report the exact diff.
+            let old = std::mem::replace(current, Value::empty_set());
+            *current = self.fill(env)?;
+            return Ok(DeltaSet::diff(
+                set_of(&old, "binding union output")?,
+                set_of(current, "binding union output")?,
+            ));
+        }
+        let no_probe_change = !self.probe_deps.iter().any(|n| ctx.changes.contains_key(n));
+        if over_delta.is_none() && no_probe_change {
+            return Ok(DeltaSet::new());
+        }
+        let mut trans = CountDelta::new(&mut self.counts);
+        // 1. members leaving the loop: retire their cached contributions
+        if let Some(d) = &over_delta {
+            for m in &d.deletes {
+                let cached = self.cache.remove(m).ok_or_else(|| {
+                    IvmError::Internal("deleted member missing from body cache".into())
+                })?;
+                for e in set_of(&cached, "cached body")? {
+                    trans.dec(e)?;
+                }
+            }
+        }
+        // 2. members whose cached body a probe delta invalidates: exactly
+        //    the delta's own elements (the probe needle is the member)
+        let mut affected: BTreeSet<Value> = BTreeSet::new();
+        for n in &self.probe_deps {
+            if let Some(NameChange { delta: Some(d), .. }) = ctx.changes.get(n) {
+                for x in d.elems() {
+                    if self.cache.contains_key(x) {
+                        affected.insert(x.clone());
+                    }
+                }
+            }
+        }
+        for m in affected {
+            let new_body = exec_plan(&self.body, &env.with(self.var, m.clone()))?;
+            let old_body = self
+                .cache
+                .get(&m)
+                .ok_or_else(|| IvmError::Internal("affected member missing from cache".into()))?;
+            if new_body == *old_body {
+                continue;
+            }
+            for e in set_of(old_body, "cached body")? {
+                trans.dec(e)?;
+            }
+            for e in set_of(&new_body, "binding union body")? {
+                trans.inc(e);
+            }
+            self.cache.insert(m, new_body);
+        }
+        // 3. members entering the loop: evaluate their bodies fresh
+        if let Some(d) = &over_delta {
+            for m in &d.inserts {
+                let body_v = exec_plan(&self.body, &env.with(self.var, m.clone()))?;
+                for e in set_of(&body_v, "binding union body")? {
+                    trans.inc(e);
+                }
+                self.cache.insert(m.clone(), body_v);
+            }
+        }
+        let delta = trans.into_delta();
+        apply_delta_value(current, &delta, "binding union")?;
+        Ok(delta)
+    }
+}
+
+/// Evaluate a key plan under one binder.
+fn bound_exec1(plan: &Plan, var: Name, m: &Value, env: &Instance) -> Result<Value, IvmError> {
+    Ok(exec_plan(plan, &env.with(var, m.clone()))?)
+}
+
+/// Evaluate a join body under both binders, as a set.
+fn bound_exec2(
+    plan: &Plan,
+    lvar: Name,
+    x: &Value,
+    rvar: Name,
+    y: &Value,
+    env: &Instance,
+) -> Result<BTreeSet<Value>, IvmError> {
+    let v = exec_plan(plan, &env.with(lvar, x.clone()).with(rvar, y.clone()))?;
+    Ok(set_of(&v, "join body")?.clone())
+}
+
+impl HashJoinState {
+    /// Evaluate from scratch: rebuild both key indexes and the support
+    /// counts and return the materialized output.
+    fn fill(&mut self, env: &Instance) -> Result<Value, IvmError> {
+        self.lindex.clear();
+        self.rindex.clear();
+        self.counts.clear();
+        let left = set_of(self.left.value(env), "join probe side")?.clone();
+        let right = set_of(self.right.value(env), "join build side")?.clone();
+        for y in right {
+            let k = bound_exec1(&self.rkey, self.rvar, &y, env)?;
+            self.rindex.entry(k).or_default().insert(y);
+        }
+        let mut out: BTreeSet<Value> = BTreeSet::new();
+        for x in left {
+            let k = bound_exec1(&self.lkey, self.lvar, &x, env)?;
+            if let Some(matches) = self.rindex.get(&k) {
+                for y in matches.clone() {
+                    for e in bound_exec2(&self.body, self.lvar, &x, self.rvar, &y, env)? {
+                        *self.counts.entry(e.clone()).or_insert(0) += 1;
+                        out.insert(e);
+                    }
+                }
+            }
+            self.lindex.entry(k).or_default().insert(x);
+        }
+        Ok(Value::from_set(out))
+    }
+
+    fn update(
+        &mut self,
+        ctx: &mut Ctx,
+        env: &Instance,
+        current: &mut Value,
+    ) -> Result<DeltaSet, IvmError> {
+        let cl = self.left.update(ctx, env)?;
+        let dl = cl.into_set_delta(self.left.value(env), "join probe side")?;
+        let cr = self.right.update(ctx, env)?;
+        let dr = cr.into_set_delta(self.right.value(env), "join build side")?;
+        if self.hard_deps.iter().any(|n| ctx.changes.contains_key(n)) {
+            let old = std::mem::replace(current, Value::empty_set());
+            *current = self.fill(env)?;
+            return Ok(DeltaSet::diff(
+                set_of(&old, "join output")?,
+                set_of(current, "join output")?,
+            ));
+        }
+        if dl.is_none() && dr.is_none() {
+            return Ok(DeltaSet::new());
+        }
+        let mut trans = CountDelta::new(&mut self.counts);
+        // Bilinear rule, part 1: Δleft against the *old* build side.
+        if let Some(d) = &dl {
+            for x in &d.deletes {
+                let k = bound_exec1(&self.lkey, self.lvar, x, env)?;
+                if let Some(members) = self.lindex.get_mut(&k) {
+                    members.remove(x);
+                    if members.is_empty() {
+                        self.lindex.remove(&k);
+                    }
+                }
+                if let Some(matches) = self.rindex.get(&k) {
+                    for y in matches.clone() {
+                        for e in bound_exec2(&self.body, self.lvar, x, self.rvar, &y, env)? {
+                            trans.dec(&e)?;
+                        }
+                    }
+                }
+            }
+            for x in &d.inserts {
+                let k = bound_exec1(&self.lkey, self.lvar, x, env)?;
+                if let Some(matches) = self.rindex.get(&k) {
+                    for y in matches.clone() {
+                        for e in bound_exec2(&self.body, self.lvar, x, self.rvar, &y, env)? {
+                            trans.inc(&e);
+                        }
+                    }
+                }
+                self.lindex.entry(k).or_default().insert(x.clone());
+            }
+        }
+        // Part 2: Δright against the *new* probe side.
+        if let Some(d) = &dr {
+            for y in &d.deletes {
+                let k = bound_exec1(&self.rkey, self.rvar, y, env)?;
+                if let Some(members) = self.rindex.get_mut(&k) {
+                    members.remove(y);
+                    if members.is_empty() {
+                        self.rindex.remove(&k);
+                    }
+                }
+                if let Some(matches) = self.lindex.get(&k) {
+                    for x in matches.clone() {
+                        for e in bound_exec2(&self.body, self.lvar, &x, self.rvar, y, env)? {
+                            trans.dec(&e)?;
+                        }
+                    }
+                }
+            }
+            for y in &d.inserts {
+                let k = bound_exec1(&self.rkey, self.rvar, y, env)?;
+                if let Some(matches) = self.lindex.get(&k) {
+                    for x in matches.clone() {
+                        for e in bound_exec2(&self.body, self.lvar, &x, self.rvar, y, env)? {
+                            trans.inc(&e);
+                        }
+                    }
+                }
+                self.rindex.entry(k).or_default().insert(y.clone());
+            }
+        }
+        let delta = trans.into_delta();
+        apply_delta_value(current, &delta, "join")?;
+        Ok(delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrs_nrc::{macros, Expr};
+    use nrs_value::{NameGen, Type};
+
+    fn inst(pairs: Vec<(&str, Value)>) -> Instance {
+        Instance::from_bindings(pairs.into_iter().map(|(n, v)| (Name::new(n), v)))
+    }
+
+    fn atoms(ids: impl IntoIterator<Item = u64>) -> Value {
+        Value::set(ids.into_iter().map(Value::atom))
+    }
+
+    /// Apply the batch to both the maintained query and a fresh evaluation
+    /// of the same plan, and require identical values plus an exact delta.
+    fn step(mq: &mut MaintainedQuery, batch: &UpdateBatch) -> DeltaSet {
+        let before = mq.value().clone();
+        let delta = mq.apply(batch).expect("maintenance step");
+        assert!(
+            mq.consistency_check().expect("re-evaluation"),
+            "maintained value diverged from recomputation"
+        );
+        let after = mq.value().as_set().expect("set output").clone();
+        assert_eq!(
+            delta,
+            DeltaSet::diff(before.as_set().expect("set output"), &after),
+            "reported delta is not the exact output diff"
+        );
+        delta
+    }
+
+    #[test]
+    fn union_and_diff_track_membership_transitions() {
+        let e = Expr::union(Expr::var("A"), Expr::diff(Expr::var("B"), Expr::var("C")));
+        let q = CompiledQuery::compile(&e);
+        let env = inst(vec![
+            ("A", atoms([1, 2])),
+            ("B", atoms([2, 3, 4])),
+            ("C", atoms([4])),
+        ]);
+        let mut mq = MaintainedQuery::new(&q, &env).unwrap();
+        assert_eq!(mq.value(), &atoms([1, 2, 3]));
+        // delete 4 from C: B \ C gains 4
+        let mut b = UpdateBatch::new();
+        b.delete("C", Value::atom(4));
+        let d = step(&mut mq, &b);
+        assert_eq!(d.inserts, atoms([4]).into_set().unwrap());
+        // delete 2 from A: still present through B \ C
+        let mut b = UpdateBatch::new();
+        b.delete("A", Value::atom(2));
+        let d = step(&mut mq, &b);
+        assert!(d.is_empty());
+        // now delete 2 from B as well: it finally leaves
+        let mut b = UpdateBatch::new();
+        b.delete("B", Value::atom(2));
+        let d = step(&mut mq, &b);
+        assert_eq!(d.deletes, atoms([2]).into_set().unwrap());
+        assert_eq!(mq.value(), &atoms([1, 3, 4]));
+    }
+
+    #[test]
+    fn membership_filter_is_probe_maintained() {
+        // { x ∈ S | x ∈ F } — the synthesized-filter shape.
+        let mut gen = NameGen::new();
+        let member = macros::member(&Type::Ur, Expr::var("x"), Expr::var("F"), &mut gen);
+        let e = Expr::big_union(
+            "x",
+            Expr::var("S"),
+            macros::guard(member, Expr::singleton(Expr::var("x")), &mut gen),
+        );
+        let q = CompiledQuery::compile(&e);
+        let env = inst(vec![("S", atoms([1, 2, 3])), ("F", atoms([2, 3, 9]))]);
+        let mut mq = MaintainedQuery::new(&q, &env).unwrap();
+        assert_eq!(mq.value(), &atoms([2, 3]));
+        // inserting into S evaluates one body
+        let mut b = UpdateBatch::new();
+        b.insert("S", Value::atom(9)).insert("S", Value::atom(5));
+        let d = step(&mut mq, &b);
+        assert_eq!(d.inserts, atoms([9]).into_set().unwrap());
+        // a probe-dependency delta re-evaluates exactly the listed members
+        let mut b = UpdateBatch::new();
+        b.delete("F", Value::atom(2)).insert("F", Value::atom(5));
+        let d = step(&mut mq, &b);
+        assert_eq!(d.inserts, atoms([5]).into_set().unwrap());
+        assert_eq!(d.deletes, atoms([2]).into_set().unwrap());
+        // deleting from S retires the cached contribution
+        let mut b = UpdateBatch::new();
+        b.delete("S", Value::atom(3));
+        let d = step(&mut mq, &b);
+        assert_eq!(d.deletes, atoms([3]).into_set().unwrap());
+        assert_eq!(mq.value(), &atoms([5, 9]));
+    }
+
+    #[test]
+    fn support_counts_make_deletions_sound() {
+        // projection: ⋃{ {π1 b} | b ∈ B } — two rows share a key
+        let e = Expr::big_union(
+            "b",
+            Expr::var("B"),
+            Expr::singleton(Expr::proj1(Expr::var("b"))),
+        );
+        let q = CompiledQuery::compile(&e);
+        let r = |k: u64, v: u64| Value::pair(Value::atom(k), Value::atom(v));
+        let env = inst(vec![("B", Value::set([r(1, 10), r(1, 11), r(2, 12)]))]);
+        let mut mq = MaintainedQuery::new(&q, &env).unwrap();
+        assert_eq!(mq.value(), &atoms([1, 2]));
+        // deleting one of the two key-1 rows must NOT delete key 1
+        let mut b = UpdateBatch::new();
+        b.delete("B", r(1, 10));
+        let d = step(&mut mq, &b);
+        assert!(d.is_empty(), "support count should keep key 1 alive");
+        // deleting the last producer finally removes it
+        let mut b = UpdateBatch::new();
+        b.delete("B", r(1, 11));
+        let d = step(&mut mq, &b);
+        assert_eq!(d.deletes, atoms([1]).into_set().unwrap());
+    }
+
+    #[test]
+    fn hash_join_applies_the_bilinear_rule() {
+        let mut gen = NameGen::new();
+        let join = Expr::big_union(
+            "a",
+            Expr::var("R"),
+            Expr::big_union(
+                "b",
+                Expr::var("T"),
+                macros::guard(
+                    macros::eq_ur(Expr::proj1(Expr::var("a")), Expr::proj1(Expr::var("b"))),
+                    Expr::singleton(Expr::pair(
+                        Expr::proj2(Expr::var("a")),
+                        Expr::proj2(Expr::var("b")),
+                    )),
+                    &mut gen,
+                ),
+            ),
+        );
+        let q = CompiledQuery::compile(&join);
+        assert!(
+            matches!(q.plan(), Plan::HashJoin { .. }),
+            "test expects a join plan, got {}",
+            q.plan()
+        );
+        let r = |k: u64, v: u64| Value::pair(Value::atom(k), Value::atom(v));
+        let env = inst(vec![
+            ("R", Value::set([r(1, 10), r(2, 20)])),
+            ("T", Value::set([r(1, 100), r(3, 300)])),
+        ]);
+        let mut mq = MaintainedQuery::new(&q, &env).unwrap();
+        assert_eq!(mq.value(), &Value::set([r(10, 100)]));
+        // insert a matching right row, delete the matching left row, and
+        // insert a new joining pair — all in one batch
+        let mut b = UpdateBatch::new();
+        b.insert("T", r(1, 101))
+            .delete("R", r(2, 20))
+            .insert("R", r(3, 30));
+        let d = step(&mut mq, &b);
+        assert_eq!(
+            mq.value(),
+            &Value::set([r(10, 100), r(10, 101), r(30, 300)])
+        );
+        assert_eq!(d.inserts.len(), 2);
+        // duplicate-support: two left rows with the same key and payload
+        // producer counted twice
+        let mut b = UpdateBatch::new();
+        b.insert("T", r(3, 300)); // no-op (already there)
+        b.insert("R", r(3, 30)); // no-op
+        let d = step(&mut mq, &b);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn let_bound_shared_values_propagate_their_deltas() {
+        let mut gen = NameGen::new();
+        // { x ∈ S | x ∈ (A ∪ B) }: the union is hoisted into a Let.
+        let member = macros::member(
+            &Type::Ur,
+            Expr::var("x"),
+            Expr::union(Expr::var("A"), Expr::var("B")),
+            &mut gen,
+        );
+        let e = Expr::big_union(
+            "x",
+            Expr::var("S"),
+            macros::guard(member, Expr::singleton(Expr::var("x")), &mut gen),
+        );
+        let q = CompiledQuery::compile(&e);
+        assert!(
+            matches!(q.plan(), Plan::Let { .. }),
+            "test expects a hoisted Let, got {}",
+            q.plan()
+        );
+        let env = inst(vec![
+            ("S", atoms([1, 2, 3])),
+            ("A", atoms([1])),
+            ("B", atoms([5])),
+        ]);
+        let mut mq = MaintainedQuery::new(&q, &env).unwrap();
+        assert_eq!(mq.value(), &atoms([1]));
+        // a delta on B flows through the Let into the probe dependency
+        let mut b = UpdateBatch::new();
+        b.insert("B", Value::atom(3)).delete("A", Value::atom(1));
+        let d = step(&mut mq, &b);
+        assert_eq!(d.inserts, atoms([3]).into_set().unwrap());
+        assert_eq!(d.deletes, atoms([1]).into_set().unwrap());
+        assert_eq!(mq.value(), &atoms([3]));
+    }
+
+    #[test]
+    fn guard_flips_wholesale() {
+        let mut gen = NameGen::new();
+        // if F nonempty then S else ∅ (top-level guard)
+        let e = macros::guard(
+            macros::nonempty(Expr::var("F"), &mut gen),
+            Expr::var("S"),
+            &mut gen,
+        );
+        let q = CompiledQuery::compile(&e);
+        let env = inst(vec![("S", atoms([1, 2])), ("F", atoms([]))]);
+        let mut mq = MaintainedQuery::new(&q, &env).unwrap();
+        assert_eq!(mq.value(), &atoms([]));
+        let mut b = UpdateBatch::new();
+        b.insert("F", Value::atom(7));
+        let d = step(&mut mq, &b);
+        assert_eq!(d.inserts.len(), 2);
+        // body deltas pass through while the guard holds
+        let mut b = UpdateBatch::new();
+        b.insert("S", Value::atom(3));
+        step(&mut mq, &b);
+        assert_eq!(mq.value(), &atoms([1, 2, 3]));
+        // and the guard collapsing empties the output
+        let mut b = UpdateBatch::new();
+        b.delete("F", Value::atom(7));
+        let d = step(&mut mq, &b);
+        assert_eq!(d.deletes.len(), 3);
+    }
+
+    #[test]
+    fn hard_dependencies_fall_back_to_refill() {
+        // body mentions T outside a probe shape: ⋃{ T | x ∈ S } with x used
+        // so it is not a guard: ⋃{ {x} ∪ T | x ∈ S }
+        let e = Expr::big_union(
+            "x",
+            Expr::var("S"),
+            Expr::union(Expr::singleton(Expr::var("x")), Expr::var("T")),
+        );
+        let q = CompiledQuery::compile(&e);
+        let env = inst(vec![("S", atoms([1])), ("T", atoms([8]))]);
+        let mut mq = MaintainedQuery::new(&q, &env).unwrap();
+        assert_eq!(mq.value(), &atoms([1, 8]));
+        let mut b = UpdateBatch::new();
+        b.insert("T", Value::atom(9)).insert("S", Value::atom(2));
+        let d = step(&mut mq, &b);
+        assert_eq!(d.inserts, atoms([2, 9]).into_set().unwrap());
+        let mut b = UpdateBatch::new();
+        b.delete("T", Value::atom(8));
+        step(&mut mq, &b);
+        assert_eq!(mq.value(), &atoms([1, 2, 9]));
+    }
+
+    #[test]
+    fn noop_and_unknown_relations_are_ignored() {
+        let q = CompiledQuery::compile(&Expr::var("S"));
+        let env = inst(vec![("S", atoms([1]))]);
+        let mut mq = MaintainedQuery::new(&q, &env).unwrap();
+        let mut b = UpdateBatch::new();
+        b.insert("S", Value::atom(1)); // already present
+        b.insert("Unrelated", Value::atom(5)); // not an input
+        let d = mq.apply(&b).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(mq.value(), &atoms([1]));
+        assert!(mq.consistency_check().unwrap());
+    }
+}

@@ -1,0 +1,66 @@
+//! # nrs-ivm
+//!
+//! Incremental view maintenance for compiled NRC plans.
+//!
+//! The paper's headline use case is keeping an implicitly-specified derived
+//! dataset up to date from its sources: once synthesis has produced an
+//! explicit NRC definition (a *view*), the view must track the base data as
+//! it changes.  Re-running the compiled plan on every update costs O(n) per
+//! batch no matter how small the change; this crate makes a single-tuple
+//! update cost O(|Δ| · log n) instead.
+//!
+//! The unit of change is an [`UpdateBatch`]: per relation symbol, a set of
+//! inserted and deleted tuples.  A [`MaintainedQuery`] wraps a
+//! [`CompiledQuery`][nrs_nrc::CompiledQuery] together with per-operator
+//! state — membership materializations, per-member loop-body caches, join
+//! key indexes, and **multiset support counts** that make deletions sound
+//! for union, projection-like loops and joins (an output tuple disappears
+//! only when its *last* producer does).  [`MaintainedQuery::apply`]
+//! propagates a batch through the operator tree and returns the exact
+//! [`DeltaSet`] of the output; the materialized value is always available
+//! through [`MaintainedQuery::value`] as the same `Arc`-shared
+//! [`Value`][nrs_value::Value]s the evaluators use.
+//!
+//! The naive evaluator remains the oracle: see
+//! `tests/maintenance_equivalence.rs` for the random-update equivalence
+//! harness, and `nrs-synthesis`'s `MaintainedView` for the synthesized-view
+//! lifecycle built on top of this engine.
+
+pub mod batch;
+pub mod engine;
+
+pub use batch::{DeltaSet, UpdateBatch};
+pub use engine::MaintainedQuery;
+
+use nrs_nrc::NrcError;
+use nrs_value::Name;
+
+/// Errors of the maintenance layer.
+#[derive(Debug, Clone)]
+pub enum IvmError {
+    /// Evaluating a (sub)plan failed.
+    Nrc(NrcError),
+    /// An update targeted a binding that is not a set (or the maintained
+    /// output is not set-valued).
+    NotASet(Name),
+    /// An operator cache violated its invariant — a bug in the delta rules.
+    Internal(String),
+}
+
+impl std::fmt::Display for IvmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IvmError::Nrc(e) => write!(f, "plan evaluation failed: {e}"),
+            IvmError::NotASet(n) => write!(f, "update target {n} is not a set"),
+            IvmError::Internal(m) => write!(f, "maintenance invariant violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IvmError {}
+
+impl From<NrcError> for IvmError {
+    fn from(e: NrcError) -> Self {
+        IvmError::Nrc(e)
+    }
+}

@@ -34,7 +34,7 @@ pub mod spec;
 pub mod typing;
 
 pub use expr::Expr;
-pub use plan::{eval_optimized, CompiledQuery, Plan};
+pub use plan::{eval_optimized, exec_plan, CompiledQuery, Plan};
 pub use spec::{GenExpr, Generator, ViewDef};
 
 pub use nrs_delta0::{Formula, Term};

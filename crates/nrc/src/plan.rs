@@ -76,9 +76,13 @@ pub enum Plan {
         /// The set produced when the condition is non-empty.
         body: Box<Plan>,
     },
-    /// The compiled `eq_𝔘` Boolean: structural equality of canonical values
-    /// (which coincides with extensional NRC equality at every type).
-    EqUr(Box<Plan>, Box<Plan>),
+    /// The compiled equality Boolean at *any* type: the `eq_𝔘` macro, the
+    /// componentwise product conjunction, and the subset-both-ways expansion
+    /// of `eq_{Set(T)}` all lower here.  Executes as structural equality of
+    /// canonical values, which coincides with extensional NRC equality at
+    /// every type — so a set-valued equality guard is a single O(min(m,n))
+    /// comparison instead of the macro's nested quantifier loops.
+    Eq(Box<Plan>, Box<Plan>),
     /// The compiled membership Boolean `⋃{ eq(x, elem) | x ∈ set }`:
     /// an `O(log n)` probe instead of a linear scan.
     Member {
@@ -139,7 +143,7 @@ impl Plan {
                 }
             }
             Plan::Unit | Plan::Empty => {}
-            Plan::Pair(a, b) | Plan::Union(a, b) | Plan::Diff(a, b) | Plan::EqUr(a, b) => {
+            Plan::Pair(a, b) | Plan::Union(a, b) | Plan::Diff(a, b) | Plan::Eq(a, b) => {
                 a.collect_free(bound, out);
                 b.collect_free(bound, out);
             }
@@ -194,7 +198,7 @@ impl Plan {
             Plan::Var(_) | Plan::Unit | Plan::Empty => false,
             Plan::Proj1(x) | Plan::Proj2(x) | Plan::Singleton(x) => x.is_expensive(),
             Plan::Get { arg, .. } => arg.is_expensive(),
-            Plan::Pair(a, b) | Plan::EqUr(a, b) => a.is_expensive() || b.is_expensive(),
+            Plan::Pair(a, b) | Plan::Eq(a, b) => a.is_expensive() || b.is_expensive(),
             Plan::Member { elem, set } => elem.is_expensive() || set.is_expensive(),
             Plan::Guard { cond, body } => cond.is_expensive() || body.is_expensive(),
             Plan::Union(..) | Plan::Diff(..) | Plan::ForUnion { .. } | Plan::HashJoin { .. } => {
@@ -210,7 +214,7 @@ impl Plan {
             Plan::Var(_) | Plan::Unit | Plan::Empty => 1,
             Plan::Proj1(x) | Plan::Proj2(x) | Plan::Singleton(x) => 1 + x.size(),
             Plan::Get { arg, .. } => 1 + arg.size(),
-            Plan::Pair(a, b) | Plan::Union(a, b) | Plan::Diff(a, b) | Plan::EqUr(a, b) => {
+            Plan::Pair(a, b) | Plan::Union(a, b) | Plan::Diff(a, b) | Plan::Eq(a, b) => {
                 1 + a.size() + b.size()
             }
             Plan::Member { elem, set } => 1 + elem.size() + set.size(),
@@ -244,7 +248,7 @@ impl fmt::Display for Plan {
             Plan::Diff(a, b) => write!(f, "({a} \\ {b})"),
             Plan::ForUnion { var, over, body } => write!(f, "for[{var} in {over}]{{{body}}}"),
             Plan::Guard { cond, body } => write!(f, "guard({cond}; {body})"),
-            Plan::EqUr(a, b) => write!(f, "eq({a}, {b})"),
+            Plan::Eq(a, b) => write!(f, "eq({a}, {b})"),
             Plan::Member { elem, set } => write!(f, "member({elem}, {set})"),
             Plan::HashJoin {
                 left,
@@ -302,13 +306,97 @@ fn is_tt(e: &Expr) -> bool {
     matches!(e, Expr::Singleton(u) if matches!(&**u, Expr::Unit))
 }
 
-/// Recognize the compiled membership test `⋃{ eq_𝔘(x, E) | x ∈ S }` (in either
-/// argument order), returning `(needle, haystack)`.
+/// Recognize the compiled `eq_T(a, b)` at **any** type: the Ur macro, the
+/// componentwise conjunction at products, or the subset-both-ways expansion
+/// at set types (`macros::eq_at`).  Since values are canonical, all of them
+/// denote structural equality and lower to [`Plan::Eq`].
+fn match_eq_at(e: &Expr) -> Option<(&Expr, &Expr)> {
+    if let Some(p) = match_eq_ur(e) {
+        return Some(p);
+    }
+    // Both remaining shapes are an `and(l, r)`: a binding union whose binder
+    // is unused in the body.
+    let Expr::BigUnion { var, over, body } = e else {
+        return None;
+    };
+    if body.free_vars().contains(var) {
+        return None;
+    }
+    match_eq_prod(over, body).or_else(|| match_eq_set(over, body))
+}
+
+/// `and(eq_{T1}(π1 a, π1 b), eq_{T2}(π2 a, π2 b))`: componentwise equality at
+/// a product type (either conjunct order / argument order).
+fn match_eq_prod<'a>(lhs: &'a Expr, rhs: &'a Expr) -> Option<(&'a Expr, &'a Expr)> {
+    let (l1, r1) = match_eq_at(lhs)?;
+    let (l2, r2) = match_eq_at(rhs)?;
+    let (Expr::Proj1(a1), Expr::Proj1(b1)) = (l1, r1) else {
+        return None;
+    };
+    let (Expr::Proj2(a2), Expr::Proj2(b2)) = (l2, r2) else {
+        return None;
+    };
+    if (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2) {
+        Some((a1, b1))
+    } else {
+        None
+    }
+}
+
+/// `and(subset(a, b), subset(b, a))`: extensional equality at a set type.
+fn match_eq_set<'a>(lhs: &'a Expr, rhs: &'a Expr) -> Option<(&'a Expr, &'a Expr)> {
+    let (a1, b1) = match_subset(lhs)?;
+    let (b2, a2) = match_subset(rhs)?;
+    (a1 == a2 && b1 == b2).then_some((a1, b1))
+}
+
+/// The `macros::subset` shape
+/// `{()} \ ⋃{ {()} \ ⋃{ eq_T(y, x) | y ∈ b } | x ∈ a }` (i.e. ∀x∈a. x ∈ b),
+/// returning `(a, b)`.
+fn match_subset(e: &Expr) -> Option<(&Expr, &Expr)> {
+    let Expr::Diff(tt1, outer) = e else {
+        return None;
+    };
+    if !is_tt(tt1) {
+        return None;
+    }
+    let Expr::BigUnion {
+        var: x,
+        over: a,
+        body: inner,
+    } = &**outer
+    else {
+        return None;
+    };
+    let Expr::Diff(tt2, mem) = &**inner else {
+        return None;
+    };
+    if !is_tt(tt2) {
+        return None;
+    }
+    let Expr::BigUnion {
+        var: y,
+        over: b,
+        body: eq,
+    } = &**mem
+    else {
+        return None;
+    };
+    if x == y || b.free_vars().contains(x) {
+        return None;
+    }
+    let (l, r) = match_eq_at(eq)?;
+    let (vx, vy) = (Expr::Var(*x), Expr::Var(*y));
+    ((*l == vy && *r == vx) || (*l == vx && *r == vy)).then_some((&**a, &**b))
+}
+
+/// Recognize the compiled membership test `⋃{ eq_T(x, E) | x ∈ S }` at any
+/// element type (in either argument order), returning `(needle, haystack)`.
 fn match_member(e: &Expr) -> Option<(&Expr, &Expr)> {
     let Expr::BigUnion { var, over, body } = e else {
         return None;
     };
-    let (a, b) = match_eq_ur(body)?;
+    let (a, b) = match_eq_at(body)?;
     let needle = if *a == Expr::Var(*var) && !b.free_vars().contains(var) {
         b
     } else if *b == Expr::Var(*var) && !a.free_vars().contains(var) {
@@ -345,7 +433,7 @@ fn match_hash_join(lvar: &Name, left: &Expr, outer_body: &Expr) -> Option<Plan> 
     if jbody.free_vars().contains(w) {
         return None;
     }
-    let (k1, k2) = match_eq_ur(cond)?;
+    let (k1, k2) = match_eq_at(cond)?;
     let (f1, f2) = (k1.free_vars(), k2.free_vars());
     let lkey_rkey =
         if f1.contains(lvar) && !f1.contains(rvar) && f2.contains(rvar) && !f2.contains(lvar) {
@@ -370,8 +458,8 @@ fn match_hash_join(lvar: &Name, left: &Expr, outer_body: &Expr) -> Option<Plan> 
 
 /// Lower an expression to a plan (without invariant hoisting).
 fn lower_expr(e: &Expr) -> Plan {
-    if let Some((a, b)) = match_eq_ur(e) {
-        return Plan::EqUr(lower_expr(a).boxed(), lower_expr(b).boxed());
+    if let Some((a, b)) = match_eq_at(e) {
+        return Plan::Eq(lower_expr(a).boxed(), lower_expr(b).boxed());
     }
     if let Some((elem, set)) = match_member(e) {
         return Plan::Member {
@@ -453,7 +541,7 @@ fn peephole_pass(p: &Plan) -> Plan {
         },
         Plan::Union(a, b) => Plan::Union(peephole_pass(a).boxed(), peephole_pass(b).boxed()),
         Plan::Diff(a, b) => Plan::Diff(peephole_pass(a).boxed(), peephole_pass(b).boxed()),
-        Plan::EqUr(a, b) => Plan::EqUr(peephole_pass(a).boxed(), peephole_pass(b).boxed()),
+        Plan::Eq(a, b) => Plan::Eq(peephole_pass(a).boxed(), peephole_pass(b).boxed()),
         Plan::Guard { cond, body } => Plan::Guard {
             cond: peephole_pass(cond).boxed(),
             body: peephole_pass(body).boxed(),
@@ -508,14 +596,23 @@ fn peephole_rewrite(p: Plan) -> Plan {
             (Plan::Empty, _) => Plan::Empty,
             // E \ E = ∅ for any pure E — `{ev}\{ev}` is synthesis's "false".
             (lhs, rhs) if lhs == rhs => Plan::Empty,
+            // Boolean double negation `{()} \ ({()} \ b) → b` — the macro
+            // layer writes ¬ as subtraction from {()}, and `∀∈`-style
+            // quantifiers stack two of them around the membership cores the
+            // `Member` rule wants to see.
+            (lhs, Plan::Diff(inner_tt, inner))
+                if is_tt_plan(&lhs) && is_tt_plan(&inner_tt) && is_boolean(&inner) =>
+            {
+                *inner
+            }
             (lhs, rhs) => Plan::Diff(lhs.boxed(), rhs.boxed()),
         },
-        Plan::EqUr(a, b) => {
+        Plan::Eq(a, b) => {
             if a == b {
                 // reflexivity: e = e is true (plans are pure)
                 Plan::Singleton(Plan::Unit.boxed())
             } else {
-                Plan::EqUr(a, b)
+                Plan::Eq(a, b)
             }
         }
         Plan::Guard { cond, body } => match (*cond, *body) {
@@ -610,7 +707,7 @@ fn is_tt_plan(p: &Plan) -> bool {
 /// (`{()}` or `∅`)?  Used to peel `guard(b, {()})` wrappers.
 fn is_boolean(p: &Plan) -> bool {
     match p {
-        Plan::EqUr(..) | Plan::Member { .. } | Plan::Empty => true,
+        Plan::Eq(..) | Plan::Member { .. } | Plan::Empty => true,
         Plan::Singleton(u) => matches!(**u, Plan::Unit),
         Plan::Guard { body, .. } => is_boolean(body),
         Plan::Union(a, b) | Plan::Diff(a, b) => is_boolean(a) && is_boolean(b),
@@ -632,7 +729,7 @@ fn peephole_for_union(var: Name, over: Plan, body: Plan) -> Plan {
     }
     // a loop whose body folded down to an equality test IS a membership probe:
     // ⋃{ eq(x, e) | x ∈ S } ≡ e ∈ S  (with x not free in e)
-    if let Plan::EqUr(a, b) = &body {
+    if let Plan::Eq(a, b) = &body {
         let needle = if **a == Plan::Var(var) && !b.free_vars().contains(&var) {
             Some(b.clone())
         } else if **b == Plan::Var(var) && !a.free_vars().contains(&var) {
@@ -735,7 +832,7 @@ fn hoist(plan: Plan, names: &mut HoistNames) -> Plan {
         Plan::Pair(a, b) => Plan::Pair(hoist(*a, names).boxed(), hoist(*b, names).boxed()),
         Plan::Union(a, b) => Plan::Union(hoist(*a, names).boxed(), hoist(*b, names).boxed()),
         Plan::Diff(a, b) => Plan::Diff(hoist(*a, names).boxed(), hoist(*b, names).boxed()),
-        Plan::EqUr(a, b) => Plan::EqUr(hoist(*a, names).boxed(), hoist(*b, names).boxed()),
+        Plan::Eq(a, b) => Plan::Eq(hoist(*a, names).boxed(), hoist(*b, names).boxed()),
         Plan::Proj1(x) => Plan::Proj1(hoist(*x, names).boxed()),
         Plan::Proj2(x) => Plan::Proj2(hoist(*x, names).boxed()),
         Plan::Singleton(x) => Plan::Singleton(hoist(*x, names).boxed()),
@@ -858,7 +955,7 @@ fn extract_rec(
             extract_rec(*a, forbidden, lets, names, false).boxed(),
             extract_rec(*b, forbidden, lets, names, false).boxed(),
         ),
-        Plan::EqUr(a, b) => Plan::EqUr(
+        Plan::Eq(a, b) => Plan::Eq(
             extract_rec(*a, forbidden, lets, names, false).boxed(),
             extract_rec(*b, forbidden, lets, names, false).boxed(),
         ),
@@ -919,6 +1016,19 @@ impl<'a> Frames<'a> {
         self.stack.pop();
         out
     }
+}
+
+/// Execute an already-lowered plan in an environment binding its free
+/// variables.  This is the entry point the incremental view-maintenance
+/// layer (`nrs-ivm`) uses to (re)evaluate subplans — e.g. loop bodies under
+/// per-member extended environments — against the same executor the batch
+/// pipeline uses.
+pub fn exec_plan(plan: &Plan, env: &Instance) -> Result<Value, NrcError> {
+    let mut frames = Frames {
+        base: env,
+        stack: Vec::new(),
+    };
+    exec(plan, &mut frames)
 }
 
 fn set_of(v: &Value, what: &str) -> Result<SetValue, NrcError> {
@@ -990,7 +1100,7 @@ fn exec(plan: &Plan, fr: &mut Frames<'_>) -> Result<Value, NrcError> {
                 Ok(Value::empty_set())
             }
         }
-        Plan::EqUr(a, b) => {
+        Plan::Eq(a, b) => {
             let va = exec(a, fr)?;
             let vb = exec(b, fr)?;
             Ok(Value::from_bool(va == vb))
@@ -1076,11 +1186,7 @@ impl CompiledQuery {
 
     /// Evaluate the plan in an environment binding its free variables.
     pub fn execute(&self, env: &Instance) -> Result<Value, NrcError> {
-        let mut frames = Frames {
-            base: env,
-            stack: Vec::new(),
-        };
-        exec(&self.plan, &mut frames)
+        exec_plan(&self.plan, env)
     }
 }
 
@@ -1113,11 +1219,161 @@ mod tests {
         let q = CompiledQuery::compile(&e);
         assert_eq!(
             q.plan(),
-            &Plan::EqUr(
+            &Plan::Eq(
                 Plan::Var(Name::new("a")).boxed(),
                 Plan::Var(Name::new("b")).boxed()
             )
         );
+    }
+
+    #[test]
+    fn set_valued_equality_is_recognized() {
+        let mut gen = NameGen::new();
+        // eq at Set(U): subset both ways — must become a single Eq node.
+        let e = macros::eq_at(
+            &Type::set(Type::Ur),
+            Expr::var("A"),
+            Expr::var("B"),
+            &mut gen,
+        );
+        let q = CompiledQuery::compile(&e);
+        assert_eq!(
+            q.plan(),
+            &Plan::Eq(
+                Plan::Var(Name::new("A")).boxed(),
+                Plan::Var(Name::new("B")).boxed()
+            )
+        );
+        // ... and at a nested type: Set(U × Set(U)).
+        let nested = Type::set(Type::prod(Type::Ur, Type::set(Type::Ur)));
+        let e2 = macros::eq_at(&nested, Expr::var("A"), Expr::var("B"), &mut gen);
+        let q2 = CompiledQuery::compile(&e2);
+        assert_eq!(
+            q2.plan(),
+            &Plan::Eq(
+                Plan::Var(Name::new("A")).boxed(),
+                Plan::Var(Name::new("B")).boxed()
+            )
+        );
+        let inst = Instance::from_bindings([
+            (Name::new("A"), Value::set([Value::atom(1), Value::atom(2)])),
+            (Name::new("B"), Value::set([Value::atom(2), Value::atom(1)])),
+        ]);
+        check_agrees(&e, &inst);
+        let inst2 = Instance::from_bindings([
+            (Name::new("A"), Value::set([Value::atom(1)])),
+            (Name::new("B"), Value::set([Value::atom(2), Value::atom(1)])),
+        ]);
+        check_agrees(&e, &inst2);
+    }
+
+    #[test]
+    fn product_equality_is_recognized() {
+        let mut gen = NameGen::new();
+        let ty = Type::prod(Type::Ur, Type::Ur);
+        let e = macros::eq_at(&ty, Expr::var("p"), Expr::var("q"), &mut gen);
+        let q = CompiledQuery::compile(&e);
+        assert_eq!(
+            q.plan(),
+            &Plan::Eq(
+                Plan::Var(Name::new("p")).boxed(),
+                Plan::Var(Name::new("q")).boxed()
+            )
+        );
+        let inst = Instance::from_bindings([
+            (Name::new("p"), Value::pair(Value::atom(1), Value::atom(2))),
+            (Name::new("q"), Value::pair(Value::atom(1), Value::atom(2))),
+        ]);
+        check_agrees(&e, &inst);
+    }
+
+    #[test]
+    fn set_membership_at_set_type_is_an_indexed_probe() {
+        let mut gen = NameGen::new();
+        // x ∈ S where S : Set(Set(U)) — the element equality is set-valued.
+        let e = macros::member(
+            &Type::set(Type::Ur),
+            Expr::var("x"),
+            Expr::var("S"),
+            &mut gen,
+        );
+        let q = CompiledQuery::compile(&e);
+        assert!(
+            matches!(q.plan(), Plan::Member { .. }),
+            "expected Member, got {}",
+            q.plan()
+        );
+        let inst = Instance::from_bindings([
+            (Name::new("x"), Value::set([Value::atom(1)])),
+            (
+                Name::new("S"),
+                Value::set([
+                    Value::set([Value::atom(1)]),
+                    Value::set([Value::atom(1), Value::atom(2)]),
+                ]),
+            ),
+        ]);
+        check_agrees(&e, &inst);
+    }
+
+    #[test]
+    fn double_negated_membership_folds_to_a_probe() {
+        let mut gen = NameGen::new();
+        // { x ∈ S | ¬(x ∈ F) } — the not-member guard must not loop over F.
+        let not_member = macros::not(macros::member(
+            &Type::Ur,
+            Expr::var("x"),
+            Expr::var("F"),
+            &mut gen,
+        ));
+        let e = Expr::big_union(
+            "x",
+            Expr::var("S"),
+            macros::guard(not_member, Expr::singleton(Expr::var("x")), &mut gen),
+        );
+        let q = CompiledQuery::compile(&e);
+        fn has_loop_over(p: &Plan, name: Name) -> bool {
+            match p {
+                Plan::ForUnion { over, body, .. } => {
+                    **over == Plan::Var(name)
+                        || has_loop_over(over, name)
+                        || has_loop_over(body, name)
+                }
+                Plan::Pair(a, b) | Plan::Union(a, b) | Plan::Diff(a, b) | Plan::Eq(a, b) => {
+                    has_loop_over(a, name) || has_loop_over(b, name)
+                }
+                Plan::Proj1(x) | Plan::Proj2(x) | Plan::Singleton(x) => has_loop_over(x, name),
+                Plan::Get { arg, .. } => has_loop_over(arg, name),
+                Plan::Guard { cond, body } => {
+                    has_loop_over(cond, name) || has_loop_over(body, name)
+                }
+                Plan::Member { elem, set } => has_loop_over(elem, name) || has_loop_over(set, name),
+                Plan::Let { value, body, .. } => {
+                    has_loop_over(value, name) || has_loop_over(body, name)
+                }
+                Plan::HashJoin {
+                    left, right, body, ..
+                } => {
+                    has_loop_over(left, name)
+                        || has_loop_over(right, name)
+                        || has_loop_over(body, name)
+                }
+                _ => false,
+            }
+        }
+        assert!(
+            !has_loop_over(q.plan(), Name::new("F")),
+            "negated membership still loops over F: {}",
+            q.plan()
+        );
+        let inst = Instance::from_bindings([
+            (
+                Name::new("S"),
+                Value::set([Value::atom(1), Value::atom(2), Value::atom(3)]),
+            ),
+            (Name::new("F"), Value::set([Value::atom(2)])),
+        ]);
+        check_agrees(&e, &inst);
     }
 
     #[test]

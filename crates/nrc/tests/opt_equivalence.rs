@@ -208,6 +208,53 @@ proptest! {
         }
     }
 
+    /// Set-valued equality (`eq_at` at `Set(T)` / nested types) agrees with
+    /// the oracle: the recognizer lowers the subset-both-ways expansion to a
+    /// single `Eq` plan node, and structural equality of canonical values
+    /// must coincide with the macro's extensional quantifier loops.
+    #[test]
+    fn prop_set_valued_equality_agrees(seed in 0u64..10_000, universe in 2u64..6, max_set in 1usize..4) {
+        let mut gen = NameGen::new();
+        let inst = random_instance(seed, universe, max_set);
+        let nested_ty = Type::set(Type::prod(Type::Ur, Type::set(Type::Ur)));
+        let exprs = vec![
+            // B = B (trivially true, but through the full expansion)
+            macros::eq_at(&nested_ty, Expr::var("B"), Expr::var("B"), &mut gen),
+            // π2-projections of B compared as sets
+            macros::eq_at(
+                &Type::set(Type::Ur),
+                Expr::big_union("b", Expr::var("B"), Expr::proj2(Expr::var("b"))),
+                Expr::big_union("v", Expr::var("V"), Expr::singleton(Expr::proj2(Expr::var("v")))),
+                &mut gen,
+            ),
+            // a set-valued guard: { b ∈ B | π2 b = π2-union of B }
+            Expr::big_union(
+                "b",
+                Expr::var("B"),
+                macros::guard(
+                    macros::eq_at(
+                        &Type::set(Type::Ur),
+                        Expr::proj2(Expr::var("b")),
+                        Expr::big_union("c", Expr::var("B"), Expr::proj2(Expr::var("c"))),
+                        &mut gen,
+                    ),
+                    Expr::singleton(Expr::var("b")),
+                    &mut gen,
+                ),
+            ),
+            // membership at a product-with-set element type
+            macros::member(
+                &Type::prod(Type::Ur, Type::set(Type::Ur)),
+                Expr::get(Type::prod(Type::Ur, Type::set(Type::Ur)), Expr::var("B")),
+                Expr::var("B"),
+                &mut gen,
+            ),
+        ];
+        for e in exprs {
+            assert_agrees(&e, &inst)?;
+        }
+    }
+
     /// Compiling twice is deterministic, and plans never grow past the
     /// expression (sanity on the lowering, not a semantics property).
     #[test]

@@ -227,6 +227,65 @@ fn treap_insert(link: &Link, key: Name, prio: u64, value: Value) -> Arc<MapNode>
     }
 }
 
+/// Persistent delete by path copying: remove `key` from the subtree, merging
+/// its children by priority where it is found.  Returns the new subtree and
+/// whether the key was present.
+fn treap_remove(link: &Link, key: &Name) -> (Link, bool) {
+    let Some(n) = link else {
+        return (None, false);
+    };
+    match key.cmp(&n.key) {
+        Ordering::Equal => (treap_merge(&n.left, &n.right), true),
+        Ordering::Less => {
+            let (nl, removed) = treap_remove(&n.left, key);
+            if !removed {
+                return (Some(n.clone()), false);
+            }
+            (
+                Some(mk_node(n.key, n.prio, n.value.clone(), nl, n.right.clone())),
+                true,
+            )
+        }
+        Ordering::Greater => {
+            let (nr, removed) = treap_remove(&n.right, key);
+            if !removed {
+                return (Some(n.clone()), false);
+            }
+            (
+                Some(mk_node(n.key, n.prio, n.value.clone(), n.left.clone(), nr)),
+                true,
+            )
+        }
+    }
+}
+
+/// Merge two treaps where every key of `a` is smaller than every key of `b`,
+/// keeping the heap order on priorities.
+fn treap_merge(a: &Link, b: &Link) -> Link {
+    match (a, b) {
+        (None, other) | (other, None) => other.clone(),
+        (Some(na), Some(nb)) => {
+            if na.prio >= nb.prio {
+                Some(mk_node(
+                    na.key,
+                    na.prio,
+                    na.value.clone(),
+                    na.left.clone(),
+                    treap_merge(&na.right, b),
+                ))
+            } else {
+                Some(mk_node(
+                    nb.key,
+                    nb.prio,
+                    nb.value.clone(),
+                    treap_merge(a, &nb.left),
+                    nb.right.clone(),
+                ))
+            }
+        }
+    }
+}
+
 /// In-order (= lexicographic by name) iterator over treap bindings.
 pub struct InstanceIter<'a> {
     stack: Vec<&'a MapNode>,
@@ -290,6 +349,40 @@ impl Instance {
         Instance {
             root: Some(treap_insert(&self.root, name, priority(&name), value)),
         }
+    }
+
+    /// Functional delete: this instance minus one binding, in O(log n) by
+    /// path copying (the deleted node's children are merged by priority, so
+    /// the canonical shape for the remaining key set is preserved).  Returns
+    /// `self` unchanged (sharing the whole tree) when the name is unbound.
+    pub fn without(&self, name: &Name) -> Instance {
+        let (root, removed) = treap_remove(&self.root, name);
+        if removed {
+            Instance { root }
+        } else {
+            self.clone()
+        }
+    }
+
+    /// Remove a binding in place; returns whether it was present.
+    pub fn unbind(&mut self, name: &Name) -> bool {
+        let (root, removed) = treap_remove(&self.root, name);
+        if removed {
+            self.root = root;
+        }
+        removed
+    }
+
+    /// Functional batch update: extend/overwrite with every given binding.
+    /// O(k log n) path copies for k touched bindings — how
+    /// `UpdateBatch::apply` in the IVM layer produces the post-batch
+    /// instance without disturbing the pre-batch one.
+    pub fn with_many(&self, bindings: impl IntoIterator<Item = (Name, Value)>) -> Instance {
+        let mut out = self.clone();
+        for (n, v) in bindings {
+            out.bind(n, v);
+        }
+        out
     }
 
     /// Look up a binding.
@@ -573,6 +666,59 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(iterated, sorted, "iteration is lexicographic");
         assert_eq!(fwd.len(), 200);
+    }
+
+    #[test]
+    fn without_removes_persistently_and_keeps_canonical_shape() {
+        let names: Vec<String> = (0..100).map(|i| format!("k{i:02}")).collect();
+        let full = Instance::from_bindings(
+            names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (Name::new(n), Value::atom(i as u64))),
+        );
+        // deleting every other key, functionally
+        let mut thinned = full.clone();
+        for (i, n) in names.iter().enumerate() {
+            if i % 2 == 0 {
+                thinned = thinned.without(&Name::new(n));
+            }
+        }
+        assert_eq!(full.len(), 100, "original untouched");
+        assert_eq!(thinned.len(), 50);
+        for (i, n) in names.iter().enumerate() {
+            assert_eq!(thinned.contains(&Name::new(n)), i % 2 != 0, "{n}");
+        }
+        // canonical shape: delete-then-reinsert equals never-deleted
+        let n13 = Name::new("k13");
+        let back = thinned.without(&n13).with(n13, Value::atom(13));
+        assert_eq!(back, thinned);
+        let iterated: Vec<&'static str> = thinned.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = iterated.clone();
+        sorted.sort_unstable();
+        assert_eq!(iterated, sorted, "iteration stays lexicographic");
+        // removing an unbound name shares the whole tree
+        let same = thinned.without(&Name::new("zz_missing"));
+        assert_eq!(same, thinned);
+    }
+
+    #[test]
+    fn unbind_and_with_many() {
+        let mut i = Instance::from_bindings([
+            (Name::new("a"), Value::atom(1)),
+            (Name::new("b"), Value::atom(2)),
+        ]);
+        assert!(i.unbind(&Name::new("a")));
+        assert!(!i.unbind(&Name::new("a")));
+        assert_eq!(i.len(), 1);
+        let ext = i.with_many([
+            (Name::new("b"), Value::atom(20)),
+            (Name::new("c"), Value::atom(30)),
+        ]);
+        assert_eq!(i.len(), 1, "with_many is functional");
+        assert_eq!(ext.get(&Name::new("b")).unwrap(), &Value::atom(20));
+        assert_eq!(ext.get(&Name::new("c")).unwrap(), &Value::atom(30));
+        assert_eq!(ext.len(), 2);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use std::sync::{Arc, OnceLock};
 
 /// The shared payload of a set value: the canonical `BTreeSet` plus a cached
 /// structural hash, computed at most once per node.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SetNode {
     elems: BTreeSet<Value>,
     hash: OnceLock<u64>,
@@ -72,6 +72,21 @@ impl SetValue {
     /// Do two handles point at the very same node?
     pub fn ptr_eq(&self, other: &SetValue) -> bool {
         Arc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// Mutable access to the member set, copying on write: when this handle is
+    /// the sole owner of the node the mutation is in place (so a k-element
+    /// delta costs O(k log n)); when the node is shared the set is cloned once
+    /// first, exactly like any persistent update.  The cached hash is
+    /// invalidated either way, so the canonicity/hash contract is preserved.
+    ///
+    /// This is what lets the incremental view-maintenance layer keep a
+    /// maintained output up to date under single-tuple updates without paying
+    /// a full-set copy per batch.
+    pub fn make_mut(&mut self) -> &mut BTreeSet<Value> {
+        let node = Arc::make_mut(&mut self.0);
+        node.hash = OnceLock::new();
+        &mut node.elems
     }
 
     /// Recover the owned `BTreeSet`, cloning only if the node is shared.
@@ -606,6 +621,30 @@ mod tests {
         assert_eq!(Value::Unit.size(), 1);
         assert_eq!(Value::pair(Value::atom(1), Value::atom(2)).size(), 3);
         assert_eq!(Value::set([Value::atom(1), Value::atom(2)]).size(), 3);
+    }
+
+    #[test]
+    fn make_mut_copies_on_write_and_invalidates_the_hash() {
+        let mut a = Value::set([Value::atom(1), Value::atom(2)])
+            .as_set_value()
+            .unwrap()
+            .clone();
+        let warm = a.hash64();
+        let shared = a.clone();
+        // mutating through the shared handle leaves the sibling untouched
+        a.make_mut().insert(Value::atom(3));
+        assert_eq!(a.len(), 3);
+        assert_eq!(shared.len(), 2);
+        assert_eq!(shared.hash64(), warm, "sibling keeps its cached hash");
+        assert_ne!(a.hash64(), warm, "mutated set recomputes its hash");
+        // sole-owner mutation is in place (no observable copy, same contract)
+        drop(shared);
+        a.make_mut().remove(&Value::atom(3));
+        assert_eq!(
+            Value::Set(a),
+            Value::set([Value::atom(1), Value::atom(2)]),
+            "canonical equality after in-place edits"
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@
 # same calibrated tolerance (the gate covers both an evaluation-bound and a
 # prover-bound benchmark in CI).
 #
-# Defaults: reference = BENCH_pr3.json, bench = from_views/100, factor = 2.0,
+# Defaults: reference = BENCH_pr4.json, bench = from_views/100, factor = 2.0,
 # calib = recompute_from_base/100.  Summaries are the one-bench-per-line JSON
 # emitted by scripts/bench.sh.
 
@@ -26,7 +26,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fresh="${1:?usage: scripts/bench_check.sh <fresh.json> [reference.json] [bench[,bench…]] [factor] [calib]}"
-reference="${2:-BENCH_pr3.json}"
+reference="${2:-BENCH_pr4.json}"
 benches="${3:-from_views/100}"
 factor="${4:-2.0}"
 calib="${5:-recompute_from_base/100}"

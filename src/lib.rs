@@ -10,6 +10,7 @@
 pub use nrs_delta0 as delta0;
 pub use nrs_fol as fol;
 pub use nrs_interp as interp;
+pub use nrs_ivm as ivm;
 pub use nrs_nrc as nrc;
 pub use nrs_proof as proof;
 pub use nrs_prover as prover;
