@@ -1,10 +1,19 @@
 //! E7 — the first-order baseline: classical proof search and Craig
 //! interpolation on implication chains (the flat-relational setting that
 //! Segoufin–Vianu's theorem addresses and that the paper generalizes).
+//!
+//! `prove_and_interpolate` measures the per-proof cost through a **warm
+//! [`FolSession`]** — the interactive-speed number a synthesis run sees once
+//! the session's failure memo has been populated by the first proof.
+//! `prove_and_interpolate_cold` keeps the old cold-start measurement (a
+//! throwaway session per proof) so the structural win of the shared-formula
+//! rework stays visible separately from the session win.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nrs_bench::fo_implication_chain;
-use nrs_fol::{fo_interpolate, fo_prove, FoFormula, FoPartition, FoProverConfig};
+use nrs_fol::{
+    fo_interpolate, fo_prove, FoFormula, FoPartition, FoProverConfig, FoSequent, FolSession,
+};
 use std::time::Duration;
 
 fn bench_fol(c: &mut Criterion) {
@@ -14,34 +23,51 @@ fn bench_fol(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(3));
     for n in [2usize, 4, 8] {
         let (assumptions, goal) = fo_implication_chain(n);
-        let proof = fo_prove(
-            &assumptions,
-            std::slice::from_ref(&goal),
-            &FoProverConfig::default(),
-        )
-        .expect("provable");
         let partition = FoPartition::with_left(
             assumptions[..assumptions.len() / 2]
                 .iter()
                 .map(FoFormula::negate),
         );
+        let seq = FoSequent::new(
+            assumptions
+                .iter()
+                .map(FoFormula::negate)
+                .chain(std::iter::once(goal.clone())),
+        );
+        let session = FolSession::new(FoProverConfig::default());
+        let (proof, cold_stats) = session.prove_sequent(&seq).expect("provable");
         let theta = fo_interpolate(&proof, &partition).expect("interpolant");
+        let (_, warm_stats) = session.prove_sequent(&seq).expect("provable");
         println!(
-            "E7 row: chain_length={n} proof_size={} interpolant_size={}",
+            "E7 row: chain_length={n} proof_size={} interpolant_size={} \
+             visited_cold={} visited_warm={} memo={}",
             proof.size(),
-            theta.size()
+            theta.size(),
+            cold_stats.visited,
+            warm_stats.visited,
+            session.memo_len(),
         );
         group.bench_with_input(BenchmarkId::new("prove_and_interpolate", n), &n, |b, _| {
             b.iter(|| {
-                let proof = fo_prove(
-                    &assumptions,
-                    std::slice::from_ref(&goal),
-                    &FoProverConfig::default(),
-                )
-                .unwrap();
+                let (proof, _) = session.prove_sequent(&seq).unwrap();
                 fo_interpolate(&proof, &partition).unwrap()
             })
         });
+        group.bench_with_input(
+            BenchmarkId::new("prove_and_interpolate_cold", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let proof = fo_prove(
+                        &assumptions,
+                        std::slice::from_ref(&goal),
+                        &FoProverConfig::default(),
+                    )
+                    .unwrap();
+                    fo_interpolate(&proof, &partition).unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -70,6 +70,14 @@ pub struct SynthesisConfig {
     /// goal with a cold prover — the oracle the session-cached mode is tested
     /// against.
     pub share_prover_session: bool,
+    /// Collect the per-depth parameter-collection goals (and the membership
+    /// interpolation goal) of a set-typed output up front and prove them in
+    /// **one batched prover call** with a shared saturation prefix — one
+    /// worker dispatch, every goal warmed by the failures and cached
+    /// specializations of the ones before it (the default).  Disable to
+    /// prove each goal as the recursion reaches it — the oracle the batched
+    /// mode is tested against.
+    pub batch_goals: bool,
 }
 
 impl Default for SynthesisConfig {
@@ -79,6 +87,7 @@ impl Default for SynthesisConfig {
             check_determinacy: false,
             parallel_goals: false,
             share_prover_session: true,
+            batch_goals: true,
         }
     }
 }
@@ -321,6 +330,103 @@ struct Ctx {
     session: ProverSession,
 }
 
+/// The proof goals of one batched proving pass, in generation order.
+#[derive(Debug, Default)]
+struct GoalBatch {
+    seqs: Vec<Sequent>,
+    purposes: Vec<String>,
+}
+
+impl GoalBatch {
+    /// Record a goal; returns its index into the batch (and into the proof
+    /// vector the batched prover call produces).
+    fn push(&mut self, seq: Sequent, purpose: String) -> usize {
+        self.seqs.push(seq);
+        self.purposes.push(purpose);
+        self.seqs.len() - 1
+    }
+}
+
+/// The pre-walked shape of the Theorem 10 recursion (batched mode): the same
+/// type-directed case analysis as [`collect_answers`], with each set-case
+/// goal *recorded* into a [`GoalBatch`] instead of proven on the spot.  After
+/// one batched prover call resolves every goal, [`assemble_collect`] replays
+/// the recursion bottom-up over the proofs.
+#[derive(Debug)]
+enum CollectPlan {
+    Unit,
+    Ur,
+    Prod(Box<CollectPlan>, Box<CollectPlan>),
+    Set {
+        /// The recursion one level down (the Lemma 6 step).
+        member: Box<CollectPlan>,
+        /// Index of this level's parameter-collection goal in the batch.
+        goal_idx: usize,
+        /// Nesting depth, for provenance notes.
+        depth: usize,
+        /// Everything the Lemma 9 extraction needs besides the proof
+        /// (boxed: it dwarfs the other variants).
+        input: Box<CollectInput>,
+    },
+}
+
+fn record_stats(
+    purpose: &str,
+    proof_size: usize,
+    stats: &nrs_prover::ProverStats,
+    report: &mut SynthesisReport,
+) {
+    report.goals_proved += 1;
+    report.states_visited += stats.visited;
+    report.proof_sizes.push(proof_size);
+    report.notes.push(format!(
+        "prover[{purpose}]: {} states visited (risky level {}), memo {} hit / {} miss, \
+         interner {} hit / {} miss",
+        stats.visited,
+        stats.risky_level,
+        stats.memo_hits,
+        stats.memo_misses,
+        stats.interner_hits,
+        stats.interner_misses,
+    ));
+}
+
+/// Prove every goal of `batch` — through one [`ProverSession::prove_batch`]
+/// dispatch in the shared mode, or goal-by-goal with cold provers in the
+/// oracle mode — and unwrap the proofs in batch order.
+fn prove_goal_batch(
+    batch: &GoalBatch,
+    session: &ProverSession,
+    cfg: &SynthesisConfig,
+    report: &mut SynthesisReport,
+) -> Result<Vec<nrs_proof::Proof>, SynthesisError> {
+    let outcomes = if cfg.share_prover_session {
+        session.prove_batch(&batch.seqs)
+    } else {
+        batch
+            .seqs
+            .iter()
+            .map(|s| prove_sequent(s, session.config()))
+            .collect()
+    };
+    let mut proofs = Vec::with_capacity(outcomes.len());
+    for (outcome, purpose) in outcomes.into_iter().zip(&batch.purposes) {
+        match outcome {
+            Ok((proof, stats)) => {
+                record_stats(purpose, proof.size(), &stats, report);
+                proofs.push(proof);
+            }
+            Err(error) => {
+                return Err(SynthesisError::ProofNotFound {
+                    purpose: purpose.clone(),
+                    error,
+                })
+            }
+        }
+    }
+    Ok(proofs)
+}
+
 fn prove_goal(
     seq: &Sequent,
     session: &ProverSession,
@@ -339,19 +445,7 @@ fn prove_goal(
     };
     match outcome {
         Ok((proof, stats)) => {
-            report.goals_proved += 1;
-            report.states_visited += stats.visited;
-            report.proof_sizes.push(proof.size());
-            report.notes.push(format!(
-                "prover[{purpose}]: {} states visited (risky level {}), memo {} hit / {} miss, \
-                 interner {} hit / {} miss",
-                stats.visited,
-                stats.risky_level,
-                stats.memo_hits,
-                stats.memo_misses,
-                stats.interner_hits,
-                stats.interner_misses,
-            ));
+            record_stats(purpose, proof.size(), &stats, report);
             Ok(proof)
         }
         Err(error) => Err(SynthesisError::ProofNotFound {
@@ -451,47 +545,213 @@ fn synth_output(
             let ctx_atoms = vec![MemAtom::new(Term::Var(r), Term::Var(*output))];
             let mut env_r = env.clone();
             env_r.insert(r, (**elem_ty).clone());
-            let superset = collect_answers(
-                ctx,
-                &ctx_atoms,
-                &Term::Var(r),
-                elem_ty,
-                1,
-                &env_r,
-                gen,
-                report,
-            )?;
             // …and the interpolant κ(ī, r) that filters it down to exactly o.
-            let goal = Formula::exists(gen.fresh("rp"), Term::Var(ctx.primed_out), Formula::True);
-            // build ∃ r' ∈ o' . r ≡ r' properly (fresh bound variable)
-            let rp = match &goal {
-                Formula::Exists { var, .. } => *var,
-                _ => unreachable!(),
+            let membership_goal = |gen: &mut NameGen| {
+                // ∃ r' ∈ o' . r ≡ r'  (fresh bound variable)
+                let rp = gen.fresh("rp");
+                let goal = Formula::exists(
+                    rp,
+                    Term::Var(ctx.primed_out),
+                    d0::equiv(elem_ty, &Term::Var(r), &Term::Var(rp), gen),
+                );
+                Sequent::two_sided(
+                    InContext::from_atoms(ctx_atoms.clone()),
+                    [ctx.phi.clone(), ctx.phi_primed.clone()],
+                    [goal],
+                )
             };
-            let goal = Formula::exists(
-                rp,
-                Term::Var(ctx.primed_out),
-                d0::equiv(elem_ty, &Term::Var(r), &Term::Var(rp), gen),
-            );
-            let seq = Sequent::two_sided(
-                InContext::from_atoms(ctx_atoms.clone()),
-                [ctx.phi.clone(), ctx.phi_primed.clone()],
-                [goal.clone()],
-            );
-            let proof = prove_goal(
-                &seq,
-                &ctx.session,
-                &ctx.cfg,
-                "the membership interpolation goal",
-                report,
-            )?;
+            let (superset, mem_proof) = if ctx.cfg.batch_goals {
+                // Batched mode: pre-walk the Theorem 10 recursion recording
+                // every per-depth goal, append the membership goal, resolve
+                // them all in ONE prover call (shared saturation prefix),
+                // then assemble the superset bottom-up over the proofs.
+                let mut batch = GoalBatch::default();
+                let plan = plan_collect(
+                    ctx,
+                    &ctx_atoms,
+                    &Term::Var(r),
+                    elem_ty,
+                    1,
+                    &env_r,
+                    gen,
+                    &mut batch,
+                )?;
+                let mem_idx = batch.push(
+                    membership_goal(gen),
+                    "the membership interpolation goal".into(),
+                );
+                report.notes.push(format!(
+                    "batched {} goals into one prover call",
+                    batch.seqs.len()
+                ));
+                let mut proofs = prove_goal_batch(&batch, &ctx.session, &ctx.cfg, report)?;
+                let mem_proof = proofs.swap_remove(mem_idx);
+                let superset = assemble_collect(ctx, &plan, &proofs, gen, report)?;
+                (superset, mem_proof)
+            } else {
+                // Sequential oracle: prove each goal as the recursion
+                // reaches it.
+                let superset = collect_answers(
+                    ctx,
+                    &ctx_atoms,
+                    &Term::Var(r),
+                    elem_ty,
+                    1,
+                    &env_r,
+                    gen,
+                    report,
+                )?;
+                let seq = membership_goal(gen);
+                let proof = prove_goal(
+                    &seq,
+                    &ctx.session,
+                    &ctx.cfg,
+                    "the membership interpolation goal",
+                    report,
+                )?;
+                (superset, proof)
+            };
             let partition = Partition::with_left(ctx_atoms.iter().cloned(), [ctx.phi.negate()]);
-            let kappa = interpolate(&proof, &partition)?;
+            let kappa = interpolate(&mem_proof, &partition)?;
             report
                 .notes
                 .push(format!("membership interpolant: {kappa}"));
             let filtered = compile::comprehension(r, superset, elem_ty, &kappa, &env_r, gen)?;
             Ok(filtered)
+        }
+    }
+}
+
+/// The plan phase of the batched Theorem 10 recursion: the same case
+/// analysis as [`collect_answers`], recording each set-case goal into the
+/// batch instead of proving it.  Returns the plan tree that
+/// [`assemble_collect`] later replays over the batch's proofs.
+#[allow(clippy::too_many_arguments)]
+fn plan_collect(
+    ctx: &Ctx,
+    ctx_atoms: &[MemAtom],
+    subject: &Term,
+    subject_ty: &Type,
+    depth: usize,
+    env: &TypeEnv,
+    gen: &mut NameGen,
+    batch: &mut GoalBatch,
+) -> Result<CollectPlan, SynthesisError> {
+    match subject_ty {
+        Type::Unit => Ok(CollectPlan::Unit),
+        Type::Ur => Ok(CollectPlan::Ur),
+        Type::Prod(t1, t2) => {
+            let p1 = plan_collect(
+                ctx,
+                ctx_atoms,
+                &Term::proj1(subject.clone()).beta_normalize(),
+                t1,
+                depth,
+                env,
+                gen,
+                batch,
+            )?;
+            let p2 = plan_collect(
+                ctx,
+                ctx_atoms,
+                &Term::proj2(subject.clone()).beta_normalize(),
+                t2,
+                depth,
+                env,
+                gen,
+                batch,
+            )?;
+            Ok(CollectPlan::Prod(Box::new(p1), Box::new(p2)))
+        }
+        Type::Set(inner) => {
+            // (a) the recursion one level down (the Lemma 6 step)
+            let z = gen.fresh("z");
+            let mut deeper_atoms = ctx_atoms.to_vec();
+            deeper_atoms.push(MemAtom::new(Term::Var(z), subject.clone()));
+            let mut env_z = env.clone();
+            env_z.insert(z, (**inner).clone());
+            let member = plan_collect(
+                ctx,
+                &deeper_atoms,
+                &Term::Var(z),
+                inner,
+                depth + 1,
+                &env_z,
+                gen,
+                batch,
+            )?;
+
+            // (b) the parameter-collection goal (the Lemma 7 step):
+            //     ∃y ∈^p o' . ∀w ∈ a . (w ∈̂ subject ↔ w ∈̂ y)
+            let a = gen.fresh("a");
+            let mut env_a = env.clone();
+            env_a.insert(a, subject_ty.clone());
+            let w = gen.fresh("w");
+            let y = gen.fresh("y");
+            let lam = d0::member_hat(inner, &Term::Var(w), subject, gen);
+            let rho = d0::member_hat(inner, &Term::Var(w), &Term::Var(y), gen);
+            let body = Formula::forall(w, Term::Var(a), d0::iff(lam, rho));
+            let path = nrs_value::SubtypePath(vec![nrs_value::SubtypeStep::Member; depth]);
+            let goal = d0::exists_path(&y, &path, &Term::Var(ctx.primed_out), body, gen);
+            let seq = Sequent::two_sided(
+                InContext::from_atoms(ctx_atoms.iter().cloned()),
+                [ctx.phi.clone(), ctx.phi_primed.clone()],
+                [goal.clone()],
+            );
+            let goal_idx = batch.push(
+                seq,
+                format!("the parameter-collection goal at nesting depth {depth}"),
+            );
+            let partition = Partition::with_left(ctx_atoms.iter().cloned(), [ctx.phi.negate()]);
+            let input = Box::new(CollectInput {
+                goal,
+                c: a,
+                elem_ty: (**inner).clone(),
+                partition,
+                env: env_a,
+            });
+            Ok(CollectPlan::Set {
+                member: Box::new(member),
+                goal_idx,
+                depth,
+                input,
+            })
+        }
+    }
+}
+
+/// The assembly phase of the batched Theorem 10 recursion: replay the plan
+/// bottom-up, running the Lemma 9 extraction over each set-case proof and
+/// instantiating the common parameter with the member superset.
+fn assemble_collect(
+    ctx: &Ctx,
+    plan: &CollectPlan,
+    proofs: &[nrs_proof::Proof],
+    gen: &mut NameGen,
+    report: &mut SynthesisReport,
+) -> Result<Expr, SynthesisError> {
+    match plan {
+        CollectPlan::Unit => Ok(Expr::singleton(Expr::Unit)),
+        CollectPlan::Ur => Ok(nrc_macros::atoms_of_inputs(&ctx.inputs, gen)),
+        CollectPlan::Prod(p1, p2) => {
+            let e1 = assemble_collect(ctx, p1, proofs, gen, report)?;
+            let e2 = assemble_collect(ctx, p2, proofs, gen, report)?;
+            Ok(nrc_macros::product(e1, e2, gen))
+        }
+        CollectPlan::Set {
+            member,
+            goal_idx,
+            depth,
+            input,
+        } => {
+            let member_superset = assemble_collect(ctx, member, proofs, gen, report)?;
+            let collected = collect_parameters(&proofs[*goal_idx], input, gen)?;
+            report.notes.push(format!(
+                "parameter collection at depth {depth}: θ = {}",
+                collected.theta
+            ));
+            // instantiate the common parameter a with the member superset
+            Ok(collected.expr.subst(&input.c, &member_superset))
         }
     }
 }

@@ -14,7 +14,7 @@
 //!   extensionality `≡_T`, inclusion `⊆_T`, membership up to extensionality
 //!   `∈̂_T`, implication/bi-implication, and bounded quantification along a
 //!   subtype occurrence `∃x ∈^p t . φ` ([`macros`]);
-//! * typing of terms and formulas against a [`Schema`](nrs_value::Schema);
+//! * typing of terms and formulas against a [`Schema`];
 //! * evaluation of formulas over nested relational instances ([`eval`]);
 //! * brute-force *bounded* entailment checking over small universes
 //!   ([`entail`]) — used by the test suites to validate proof rules,

@@ -1,15 +1,69 @@
 //! The one-sided sequent calculus for first-order logic with equality
 //! (paper Figure 4), proof objects and the FO-focusing side condition.
+//!
+//! [`FoSequent`] is built for the prover's hot path: the formula vector is
+//! `Arc`-shared copy-on-write (an O(1) clone until mutated), a combined
+//! order-independent hash is maintained incrementally on insert/remove (so
+//! failure-memo probes hash in O(1)), and the sorted order — grouped by
+//! [`FoFormula::variant_rank`] — yields per-kind index slices (literals,
+//! inequalities, invertibles, existentials) that the search uses instead of
+//! full scans.
 
 use crate::formula::{FoFormula, Var};
 use crate::FoError;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A shallow structural hash of a formula, mixed so the order-independent
+/// XOR combination over a sequent does not cancel related formulas.  Shallow
+/// because children write their cached hashes.
+pub(crate) fn fo_hash_mixed(f: &FoFormula) -> u64 {
+    let mut h = DefaultHasher::new();
+    f.hash(&mut h);
+    // splitmix64 finalizer
+    let mut z = h.finish().wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// A one-sided sequent: a finite set of formulas read disjunctively.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct FoSequent {
-    formulas: Vec<FoFormula>,
+    /// Sorted and deduplicated; `Arc`-shared copy-on-write.
+    formulas: Arc<Vec<FoFormula>>,
+    /// XOR of the mixed per-formula hashes (order-independent, incremental).
+    hash: u64,
+}
+
+impl PartialEq for FoSequent {
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash
+            && (Arc::ptr_eq(&self.formulas, &other.formulas) || self.formulas == other.formulas)
+    }
+}
+
+impl Eq for FoSequent {}
+
+impl Hash for FoSequent {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl PartialOrd for FoSequent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for FoSequent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.formulas.cmp(&other.formulas)
+    }
 }
 
 impl FoSequent {
@@ -30,21 +84,25 @@ impl FoSequent {
     /// Insert a formula.
     pub fn insert(&mut self, f: FoFormula) {
         if let Err(pos) = self.formulas.binary_search(&f) {
-            self.formulas.insert(pos, f);
+            self.hash ^= fo_hash_mixed(&f);
+            Arc::make_mut(&mut self.formulas).insert(pos, f);
         }
     }
 
-    /// Copy with an extra formula.
+    /// Copy with an extra formula (an O(1) clone when `f` is present).
     pub fn with(&self, f: FoFormula) -> FoSequent {
         let mut s = self.clone();
         s.insert(f);
         s
     }
 
-    /// Copy without a formula.
+    /// Copy without a formula (an O(1) clone when `f` is absent).
     pub fn without(&self, f: &FoFormula) -> FoSequent {
         let mut s = self.clone();
-        s.formulas.retain(|g| g != f);
+        if let Ok(pos) = s.formulas.binary_search(f) {
+            s.hash ^= fo_hash_mixed(f);
+            Arc::make_mut(&mut s.formulas).remove(pos);
+        }
         s
     }
 
@@ -53,14 +111,57 @@ impl FoSequent {
         self.formulas.binary_search(f).is_ok()
     }
 
-    /// Free variables of the sequent.
+    /// Free variables of the sequent (assembled from the formulas' cached
+    /// free-variable sets — no tree traversal).
     pub fn free_vars(&self) -> BTreeSet<Var> {
-        self.formulas.iter().flat_map(|f| f.free_vars()).collect()
+        let mut out = BTreeSet::new();
+        for f in self.formulas.iter() {
+            out.extend(f.free_vars_arc().iter().copied());
+        }
+        out
     }
 
     /// Total size.
     pub fn size(&self) -> usize {
         self.formulas.iter().map(FoFormula::size).sum()
+    }
+
+    /// The contiguous slice of formulas whose [`FoFormula::variant_rank`]
+    /// lies in `lo..=hi` (the vector is sorted, hence grouped by rank).
+    fn rank_slice(&self, lo: u8, hi: u8) -> &[FoFormula] {
+        let start = self.formulas.partition_point(|f| f.variant_rank() < lo);
+        let end = self.formulas.partition_point(|f| f.variant_rank() <= hi);
+        &self.formulas[start..end]
+    }
+
+    /// The literals (atoms, negated atoms, equalities, inequalities).
+    pub fn literals(&self) -> &[FoFormula] {
+        self.rank_slice(0, 3)
+    }
+
+    /// The equalities.
+    pub fn equalities(&self) -> &[FoFormula] {
+        self.rank_slice(2, 2)
+    }
+
+    /// The inequalities.
+    pub fn inequalities(&self) -> &[FoFormula] {
+        self.rank_slice(3, 3)
+    }
+
+    /// The invertible connectives (∧, ∨, ∀).
+    pub fn invertibles(&self) -> &[FoFormula] {
+        self.rank_slice(6, 8)
+    }
+
+    /// The first invertible formula, if any.
+    pub fn first_invertible(&self) -> Option<&FoFormula> {
+        self.invertibles().first()
+    }
+
+    /// The existentials.
+    pub fn existentials(&self) -> &[FoFormula] {
+        self.rank_slice(9, 9)
     }
 }
 
@@ -168,7 +269,10 @@ impl FoRule {
             FoRule::And { conj } => match conj {
                 FoFormula::And(a, b) if conclusion.contains(conj) => {
                     let base = conclusion.without(conj);
-                    Ok(vec![base.with((**a).clone()), base.with((**b).clone())])
+                    Ok(vec![
+                        base.with(a.value().clone()),
+                        base.with(b.value().clone()),
+                    ])
                 }
                 _ => Err(FoError::RuleNotApplicable(format!(
                     "∧: {conj} not a present conjunction"
@@ -177,7 +281,7 @@ impl FoRule {
             FoRule::Or { disj } => match disj {
                 FoFormula::Or(a, b) if conclusion.contains(disj) => {
                     let base = conclusion.without(disj);
-                    Ok(vec![base.with((**a).clone()).with((**b).clone())])
+                    Ok(vec![base.with(a.value().clone()).with(b.value().clone())])
                 }
                 _ => Err(FoError::RuleNotApplicable(format!(
                     "∨: {disj} not a present disjunction"
@@ -335,12 +439,7 @@ pub fn is_fo_focused(proof: &FoProof) -> bool {
         | FoRule::Top
         | FoRule::Exists { .. }
         | FoRule::Ref { .. }
-        | FoRule::Repl { .. } => node.conclusion.formulas().iter().all(|f| {
-            !matches!(
-                f,
-                FoFormula::And(_, _) | FoFormula::Or(_, _) | FoFormula::Forall(_, _)
-            )
-        }),
+        | FoRule::Repl { .. } => node.conclusion.invertibles().is_empty(),
         _ => true,
     })
 }
@@ -460,5 +559,47 @@ mod tests {
         };
         let seq2 = FoSequent::new([FoFormula::forall("z", FoFormula::atom("P", vec!["z"])), p]);
         assert!(not_fresh.premises(&seq2).is_err());
+    }
+
+    #[test]
+    fn sequent_hash_is_incremental_and_order_independent() {
+        let a = FoFormula::atom("P", vec!["x"]);
+        let b = FoFormula::atom("Q", vec!["y"]);
+        let s1 = FoSequent::new([a.clone(), b.clone()]);
+        let s2 = FoSequent::new([b.clone(), a.clone()]);
+        assert_eq!(s1, s2);
+        let mixed = |s: &FoSequent| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(mixed(&s1), mixed(&s2));
+        // with/without round-trips restore the hash exactly
+        let s3 = s1.with(FoFormula::True).without(&FoFormula::True);
+        assert_eq!(s1, s3);
+        assert_eq!(mixed(&s1), mixed(&s3));
+        // inserting a present formula is a no-op (set semantics)
+        assert_eq!(s1.with(a.clone()), s1);
+    }
+
+    #[test]
+    fn per_kind_slices_partition_the_sequent() {
+        let seq = FoSequent::new([
+            FoFormula::atom("P", vec!["x"]),
+            FoFormula::neg_atom("Q", vec!["y"]),
+            FoFormula::Eq("a".into(), "a".into()),
+            FoFormula::Neq("a".into(), "b".into()),
+            FoFormula::and(FoFormula::True, FoFormula::False),
+            FoFormula::or(FoFormula::True, FoFormula::False),
+            FoFormula::forall("z", FoFormula::atom("P", vec!["z"])),
+            FoFormula::exists("z", FoFormula::atom("P", vec!["z"])),
+            FoFormula::True,
+        ]);
+        assert_eq!(seq.literals().len(), 4);
+        assert_eq!(seq.equalities().len(), 1);
+        assert_eq!(seq.inequalities().len(), 1);
+        assert_eq!(seq.invertibles().len(), 3);
+        assert_eq!(seq.existentials().len(), 1);
+        assert!(matches!(seq.first_invertible(), Some(FoFormula::And(_, _))));
     }
 }

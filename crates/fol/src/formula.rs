@@ -6,10 +6,19 @@
 //!
 //! There are no function symbols; individual constants are modelled by free
 //! variables, exactly as in the paper.
+//!
+//! Subformulas are hash-consed [`Shared`] nodes (the same machinery the Δ0
+//! layer uses, lifted into `nrs-shared`): clones are O(1), equality/hashing
+//! are O(1), and every node caches its free-variable set, which substitution
+//! uses to return untouched subtrees shared instead of rebuilding them.  The
+//! prover's failure memo keys on these cached hashes, which is what makes
+//! warm [`FolSession`](crate::FolSession) probes near-free.
 
+use nrs_shared::{empty_name_set, union_name_sets, HashConsed, InternTable, Shared};
 use nrs_value::Name;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// A variable name — an interned [`Name`], so copies on the prover's hot
 /// path are word copies rather than `String` clones.
@@ -33,13 +42,29 @@ pub enum FoFormula {
     /// Falsity.
     False,
     /// Conjunction.
-    And(Box<FoFormula>, Box<FoFormula>),
+    And(Shared<FoFormula>, Shared<FoFormula>),
     /// Disjunction.
-    Or(Box<FoFormula>, Box<FoFormula>),
+    Or(Shared<FoFormula>, Shared<FoFormula>),
     /// Universal quantification.
-    Forall(Var, Box<FoFormula>),
+    Forall(Var, Shared<FoFormula>),
     /// Existential quantification.
-    Exists(Var, Box<FoFormula>),
+    Exists(Var, Shared<FoFormula>),
+}
+
+static FO_TABLE: OnceLock<InternTable<FoFormula>> = OnceLock::new();
+
+impl HashConsed for FoFormula {
+    fn intern_table() -> &'static InternTable<FoFormula> {
+        FO_TABLE.get_or_init(InternTable::default)
+    }
+
+    fn compute_free_vars(&self) -> Arc<BTreeSet<Name>> {
+        self.free_vars_arc()
+    }
+
+    fn compute_size(&self) -> usize {
+        self.size()
+    }
 }
 
 impl FoFormula {
@@ -55,27 +80,48 @@ impl FoFormula {
 
     /// Conjunction.
     pub fn and(a: FoFormula, b: FoFormula) -> FoFormula {
-        FoFormula::And(Box::new(a), Box::new(b))
+        FoFormula::And(Shared::new(a), Shared::new(b))
     }
 
     /// Disjunction.
     pub fn or(a: FoFormula, b: FoFormula) -> FoFormula {
-        FoFormula::Or(Box::new(a), Box::new(b))
+        FoFormula::Or(Shared::new(a), Shared::new(b))
     }
 
     /// Universal quantification.
     pub fn forall(x: impl Into<Var>, body: FoFormula) -> FoFormula {
-        FoFormula::Forall(x.into(), Box::new(body))
+        FoFormula::Forall(x.into(), Shared::new(body))
     }
 
     /// Existential quantification.
     pub fn exists(x: impl Into<Var>, body: FoFormula) -> FoFormula {
-        FoFormula::Exists(x.into(), Box::new(body))
+        FoFormula::Exists(x.into(), Shared::new(body))
     }
 
     /// `φ → ψ` as `¬φ ∨ ψ`.
     pub fn implies(a: FoFormula, b: FoFormula) -> FoFormula {
         FoFormula::or(a.negate(), b)
+    }
+
+    /// The position of this formula's variant in the derived `Ord` (variants
+    /// compare by declaration order before contents).  A sorted formula
+    /// sequence is therefore grouped by rank — [`FoSequent`] uses this to
+    /// slice itself into per-kind index ranges.
+    ///
+    /// [`FoSequent`]: crate::FoSequent
+    pub fn variant_rank(&self) -> u8 {
+        match self {
+            FoFormula::Atom(_, _) => 0,
+            FoFormula::NegAtom(_, _) => 1,
+            FoFormula::Eq(_, _) => 2,
+            FoFormula::Neq(_, _) => 3,
+            FoFormula::True => 4,
+            FoFormula::False => 5,
+            FoFormula::And(_, _) => 6,
+            FoFormula::Or(_, _) => 7,
+            FoFormula::Forall(_, _) => 8,
+            FoFormula::Exists(_, _) => 9,
+        }
     }
 
     /// Negation by dualization (NNF is preserved).
@@ -105,42 +151,38 @@ impl FoFormula {
         )
     }
 
-    /// Free variables.
-    pub fn free_vars(&self) -> BTreeSet<Var> {
-        let mut out = BTreeSet::new();
-        self.collect_free(&mut BTreeSet::new(), &mut out);
-        out
-    }
-
-    fn collect_free(&self, bound: &mut BTreeSet<Var>, out: &mut BTreeSet<Var>) {
+    /// Free variables of the formula, as a shareable set (children cache
+    /// theirs, so only the top level is assembled).
+    pub fn free_vars_arc(&self) -> Arc<BTreeSet<Var>> {
         match self {
             FoFormula::Atom(_, args) | FoFormula::NegAtom(_, args) => {
-                for a in args {
-                    if !bound.contains(a) {
-                        out.insert(*a);
-                    }
+                if args.is_empty() {
+                    empty_name_set()
+                } else {
+                    Arc::new(args.iter().copied().collect())
                 }
             }
-            FoFormula::Eq(x, y) | FoFormula::Neq(x, y) => {
-                for a in [x, y] {
-                    if !bound.contains(a) {
-                        out.insert(*a);
-                    }
-                }
-            }
-            FoFormula::True | FoFormula::False => {}
+            FoFormula::Eq(x, y) | FoFormula::Neq(x, y) => Arc::new([*x, *y].into_iter().collect()),
+            FoFormula::True | FoFormula::False => empty_name_set(),
             FoFormula::And(a, b) | FoFormula::Or(a, b) => {
-                a.collect_free(bound, out);
-                b.collect_free(bound, out);
+                union_name_sets(a.free_vars_set(), b.free_vars_set())
             }
             FoFormula::Forall(x, body) | FoFormula::Exists(x, body) => {
-                let newly = bound.insert(*x);
-                body.collect_free(bound, out);
-                if newly {
-                    bound.remove(x);
+                let body_fv = body.free_vars_set();
+                if body_fv.contains(x) {
+                    let mut out: BTreeSet<Name> = (**body_fv).clone();
+                    out.remove(x);
+                    Arc::new(out)
+                } else {
+                    body_fv.clone()
                 }
             }
         }
+    }
+
+    /// Free variables.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        (*self.free_vars_arc()).clone()
     }
 
     /// Predicates occurring in the formula.
@@ -162,8 +204,16 @@ impl FoFormula {
         out
     }
 
-    /// Capture-avoiding substitution of a variable for a variable.
+    /// Capture-avoiding substitution of a variable for a variable.  Subtrees
+    /// that do not mention the variable are returned as-is, shared.
     pub fn subst(&self, from: &Var, to: &Var) -> FoFormula {
+        fn child(c: &Shared<FoFormula>, from: &Var, to: &Var) -> Shared<FoFormula> {
+            if c.free_vars_set().contains(from) {
+                Shared::new(c.value().subst(from, to))
+            } else {
+                c.clone()
+            }
+        }
         let sub = |v: &Var| if v == from { *to } else { *v };
         match self {
             FoFormula::Atom(p, a) => FoFormula::Atom(*p, a.iter().map(sub).collect()),
@@ -172,36 +222,50 @@ impl FoFormula {
             FoFormula::Neq(x, y) => FoFormula::Neq(sub(x), sub(y)),
             FoFormula::True => FoFormula::True,
             FoFormula::False => FoFormula::False,
-            FoFormula::And(a, b) => FoFormula::and(a.subst(from, to), b.subst(from, to)),
-            FoFormula::Or(a, b) => FoFormula::or(a.subst(from, to), b.subst(from, to)),
-            FoFormula::Forall(x, body) if x == from => self.clone_with_body(x, body),
-            FoFormula::Exists(x, body) if x == from => self.clone_with_body(x, body),
+            FoFormula::And(a, b) => FoFormula::And(child(a, from, to), child(b, from, to)),
+            FoFormula::Or(a, b) => FoFormula::Or(child(a, from, to), child(b, from, to)),
             FoFormula::Forall(x, body) => {
-                if x == to {
-                    let fresh = Name::new(format!("{x}'"));
-                    let renamed = body.subst(x, &fresh);
-                    FoFormula::forall(fresh, renamed.subst(from, to))
-                } else {
-                    FoFormula::forall(*x, body.subst(from, to))
-                }
+                let (x, body) = Self::subst_under_binder(x, body, from, to);
+                FoFormula::Forall(x, body)
             }
             FoFormula::Exists(x, body) => {
-                if x == to {
-                    let fresh = Name::new(format!("{x}'"));
-                    let renamed = body.subst(x, &fresh);
-                    FoFormula::exists(fresh, renamed.subst(from, to))
-                } else {
-                    FoFormula::exists(*x, body.subst(from, to))
-                }
+                let (x, body) = Self::subst_under_binder(x, body, from, to);
+                FoFormula::Exists(x, body)
             }
         }
     }
 
-    fn clone_with_body(&self, _x: &Var, _body: &FoFormula) -> FoFormula {
-        self.clone()
+    fn subst_under_binder(
+        x: &Var,
+        body: &Shared<FoFormula>,
+        from: &Var,
+        to: &Var,
+    ) -> (Var, Shared<FoFormula>) {
+        if x == from || !body.free_vars_set().contains(from) {
+            // the substituted variable is shadowed, or absent from the body
+            return (*x, body.clone());
+        }
+        if x == to {
+            // rename the binder to avoid capturing the replacement variable
+            let mut avoid: BTreeSet<Name> = (**body.free_vars_set()).clone();
+            avoid.insert(*to);
+            let fresh = Self::fresh_variant(x, &avoid);
+            let renamed = body.subst(x, &fresh);
+            (fresh, Shared::new(renamed.subst(from, to)))
+        } else {
+            (*x, Shared::new(body.value().subst(from, to)))
+        }
     }
 
-    /// Structural size.
+    fn fresh_variant(base: &Name, avoid: &BTreeSet<Name>) -> Name {
+        let mut candidate = Name::new(format!("{}'", base.as_str()));
+        while avoid.contains(&candidate) {
+            candidate = Name::new(format!("{}'", candidate.as_str()));
+        }
+        candidate
+    }
+
+    /// Structural size.  O(1): children cache their sizes.
     pub fn size(&self) -> usize {
         match self {
             FoFormula::Atom(_, a) | FoFormula::NegAtom(_, a) => 1 + a.len(),
@@ -285,6 +349,58 @@ mod tests {
         // substituting a bound variable is a no-op
         let g = FoFormula::exists("x", FoFormula::atom("R", vec!["x"]));
         assert_eq!(g.subst(&Name::new("x"), &Name::new("z")), g);
+    }
+
+    #[test]
+    fn interning_shares_structurally_equal_children() {
+        let make = || {
+            FoFormula::and(
+                FoFormula::atom("P", vec!["c"]),
+                FoFormula::atom("Q", vec!["c"]),
+            )
+        };
+        let (a, b) = (make(), make());
+        match (&a, &b) {
+            (FoFormula::And(l1, r1), FoFormula::And(l2, r2)) => {
+                assert!(l1.ptr_eq(l2));
+                assert!(r1.ptr_eq(r2));
+                assert_eq!(l1.hash64(), l2.hash64());
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn substitution_shares_untouched_subtrees() {
+        let stable = FoFormula::atom("P", vec!["a"]);
+        let f = FoFormula::and(stable.clone(), FoFormula::atom("Q", vec!["x"]));
+        let s = f.subst(&Name::new("x"), &Name::new("y"));
+        match (&f, &s) {
+            (FoFormula::And(l1, _), FoFormula::And(l2, r2)) => {
+                assert!(l1.ptr_eq(l2), "untouched conjunct must be shared");
+                assert_eq!(**r2, FoFormula::atom("Q", vec!["y"]));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn variant_rank_is_consistent_with_ord() {
+        let mut formulas = vec![
+            FoFormula::exists("z", FoFormula::True),
+            FoFormula::True,
+            FoFormula::atom("P", vec!["x"]),
+            FoFormula::neg_atom("P", vec!["x"]),
+            FoFormula::Eq("a".into(), "b".into()),
+            FoFormula::Neq("a".into(), "b".into()),
+            FoFormula::False,
+            FoFormula::or(FoFormula::True, FoFormula::False),
+            FoFormula::and(FoFormula::True, FoFormula::False),
+            FoFormula::forall("z", FoFormula::True),
+        ];
+        formulas.sort();
+        let ranks: Vec<u8> = formulas.iter().map(FoFormula::variant_rank).collect();
+        assert_eq!(ranks, (0..=9).collect::<Vec<u8>>());
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod prover;
 pub use calculus::{check_fo_proof, is_fo_focused, FoProof, FoRule, FoSequent};
 pub use formula::FoFormula;
 pub use interpolation::{fo_interpolate, FoPartition};
-pub use prover::{fo_prove, FoProverConfig};
+pub use prover::{fo_prove, fo_prove_sequent, FoProverConfig, FoProverStats, FolSession};
 
 /// Errors of the first-order toolkit.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -5,11 +5,44 @@
 //! applied eagerly, existential instantiations (over the variables visible in
 //! the sequent) and `Repl` rewrites are saturated under a budget, and the
 //! whole search is iterated over an increasing instantiation allowance.
+//!
+//! Since the sharing rework the engine also inherits the Δ0 engine's session
+//! machinery:
+//!
+//! * **[`FolSession`]** owns a **failure memo** shared by every goal proved
+//!   through it (and by every deepening level): sequents refuted once prune
+//!   the search everywhere else.  Memo keys hash in O(1) through the cached
+//!   hashes of the shared formula nodes ([`crate::formula`]).
+//! * **Candidate moves are inherited down the branch.**  Literals never
+//!   leave a sequent and existentials are kept by the ∃ rule, so the `Repl`
+//!   pairs and ∃-instantiation candidates computed at a state remain valid at
+//!   every descendant; each premise extends its parent's persistent candidate
+//!   chains with just the pairs involving the newly added formulas and newly
+//!   visible variables, instead of rescanning all O(|Δ|²) combinations.
+//! * **Eigenvariables are a deterministic function of the state** (the
+//!   smallest fresh `w#k`), not of the path that reached it, so identical
+//!   sequents reached along different branches — or while proving different
+//!   goals of one session — produce identical subtrees and the failure memo
+//!   can see it.
+//!
+//! One caveat keeps the memo a *bounded-search* device rather than a
+//! semantic theorem (the same caveat the Δ0 engine documents): inherited
+//! candidate chains scan in discovery order, which is path-dependent, and
+//! the saturating `Repl` step commits to the first applicable candidate.
+//! Exactly at a rewrite/instantiation budget boundary, two paths reaching
+//! the same state can therefore commit to different rewrites and reach
+//! different verdicts, and a memo hit can prune an exploration that a cold
+//! scan would have ordered more luckily.  This stays within the engine's
+//! existing incompleteness envelope (budgets already make the search
+//! incomplete, and every returned proof is checked independently); the
+//! session-equivalence property test exercises goal families whose budgets
+//! are far from binding.
 
 use crate::calculus::{FoProof, FoRule, FoSequent};
 use crate::formula::{FoFormula, Var};
 use crate::FoError;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Mutex};
 
 /// Budgets for the first-order search.
 #[derive(Debug, Clone)]
@@ -32,40 +65,405 @@ impl Default for FoProverConfig {
     }
 }
 
-struct St {
-    cfg: FoProverConfig,
-    visited: usize,
-    fresh: usize,
-    failed: HashMap<FoSequent, usize>,
+/// Statistics reported alongside a successful proof.
+#[derive(Debug, Clone, Default)]
+pub struct FoProverStats {
+    /// Number of search states visited.
+    pub visited: usize,
+    /// Instantiation budget at which the proof was found.
+    pub budget_level: usize,
+    /// Size (node count) of the returned proof.
+    pub proof_size: usize,
+    /// Failure-memo probes that pruned a subtree.
+    pub memo_hits: usize,
+    /// Failure-memo probes that found nothing (or nothing strong enough).
+    pub memo_misses: usize,
 }
 
-/// Prove the disjunction of `goals` from `assumptions` (two-sided reading:
-/// the assumptions are negated onto the right).
+/// The memo key: the search-relevant state besides the instantiation budget.
+/// A failure recorded at budget `b` refutes re-entry at any budget ≤ `b`
+/// with **exactly** the same number of rewrites already spent (the probe is
+/// an exact lookup; positions with more rewrites spent are strictly weaker
+/// but are simply re-searched rather than subsumption-pruned).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MemoKey {
+    seq: FoSequent,
+    rewrites_used: usize,
+}
+
+/// Sequents known to fail, mapping to the largest refuted budget.
+type FailureMemo = HashMap<MemoKey, usize>;
+
+/// A reusable handle to the first-order search engine: the configuration plus
+/// the failure memo shared across every goal proved through the session.
+/// Cheap to clone (handles share the memo); `Sync`, so independent goals may
+/// prove from several threads.
+#[derive(Clone)]
+pub struct FolSession {
+    inner: Arc<SessionInner>,
+}
+
+struct SessionInner {
+    cfg: FoProverConfig,
+    memo: Mutex<FailureMemo>,
+}
+
+impl FolSession {
+    /// Create a session with the given budgets.  Memo entries are only valid
+    /// for the budgets they were recorded under, so a session proves every
+    /// goal with the same [`FoProverConfig`].
+    pub fn new(cfg: FoProverConfig) -> FolSession {
+        FolSession {
+            inner: Arc::new(SessionInner {
+                cfg,
+                memo: Mutex::new(FailureMemo::new()),
+            }),
+        }
+    }
+
+    /// The budgets every goal of this session is proved under.
+    pub fn config(&self) -> &FoProverConfig {
+        &self.inner.cfg
+    }
+
+    /// Number of refuted search states currently memoized.
+    pub fn memo_len(&self) -> usize {
+        self.inner
+            .memo
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .len()
+    }
+
+    /// Prove a one-sided sequent, returning a checked proof object and the
+    /// search statistics.
+    pub fn prove_sequent(&self, seq: &FoSequent) -> Result<(FoProof, FoProverStats), FoError> {
+        prove_inner(seq, &self.inner.cfg, &self.inner.memo)
+    }
+
+    /// Prove the disjunction of `goals` from `assumptions` (two-sided
+    /// reading: the assumptions are negated onto the right).
+    pub fn prove(
+        &self,
+        assumptions: &[FoFormula],
+        goals: &[FoFormula],
+    ) -> Result<(FoProof, FoProverStats), FoError> {
+        self.prove_sequent(&sequent_of(assumptions, goals))
+    }
+
+    /// Prove a batch of sequents through one warm session pass: later goals
+    /// are pruned by everything the earlier ones refuted.  Results come back
+    /// in input order; a failure does not stop the remaining goals.
+    pub fn prove_all(
+        &self,
+        sequents: &[FoSequent],
+    ) -> Vec<Result<(FoProof, FoProverStats), FoError>> {
+        sequents.iter().map(|s| self.prove_sequent(s)).collect()
+    }
+}
+
+impl std::fmt::Debug for FolSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FolSession")
+            .field("cfg", &self.inner.cfg)
+            .field("memo_len", &self.memo_len())
+            .finish()
+    }
+}
+
+fn sequent_of(assumptions: &[FoFormula], goals: &[FoFormula]) -> FoSequent {
+    FoSequent::new(
+        assumptions
+            .iter()
+            .map(FoFormula::negate)
+            .chain(goals.iter().cloned()),
+    )
+}
+
+/// Prove the disjunction of `goals` from `assumptions` with a cold
+/// (throwaway) session.  Callers proving several related goals should create
+/// a [`FolSession`] and reuse it.
 pub fn fo_prove(
     assumptions: &[FoFormula],
     goals: &[FoFormula],
     cfg: &FoProverConfig,
 ) -> Result<FoProof, FoError> {
-    let seq = FoSequent::new(
-        assumptions
-            .iter()
-            .map(FoFormula::negate)
-            .chain(goals.iter().cloned()),
-    );
-    fo_prove_sequent(&seq, cfg)
+    FolSession::new(cfg.clone())
+        .prove(assumptions, goals)
+        .map(|(proof, _)| proof)
 }
 
-/// Prove a one-sided sequent.
+/// Prove a one-sided sequent with a cold (throwaway) session.
 pub fn fo_prove_sequent(seq: &FoSequent, cfg: &FoProverConfig) -> Result<FoProof, FoError> {
+    FolSession::new(cfg.clone())
+        .prove_sequent(seq)
+        .map(|(proof, _)| proof)
+}
+
+// ---------------------------------------------------------------------------
+// Candidate moves, inherited down the branch
+// ---------------------------------------------------------------------------
+
+/// An append-only persistent sequence of candidate batches: extending is an
+/// O(1) cons of the new batch, sharing the whole tail with the parent state.
+#[derive(Debug, Clone)]
+struct Chain<T> {
+    head: Option<Arc<ChainNode<T>>>,
+    len: usize,
+}
+
+impl<T> Default for Chain<T> {
+    fn default() -> Self {
+        Chain { head: None, len: 0 }
+    }
+}
+
+#[derive(Debug)]
+struct ChainNode<T> {
+    batch: Vec<T>,
+    prev: Option<Arc<ChainNode<T>>>,
+}
+
+impl<T> Chain<T> {
+    fn push_batch(&mut self, batch: Vec<T>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.len += batch.len();
+        self.head = Some(Arc::new(ChainNode {
+            batch,
+            prev: self.head.take(),
+        }));
+    }
+
+    /// Iterate oldest-first, skipping the first `skip` items.
+    fn iter_from(&self, skip: usize) -> impl Iterator<Item = &T> {
+        let mut nodes = Vec::new();
+        let mut cur = self.head.as_deref();
+        while let Some(node) = cur {
+            nodes.push(node);
+            cur = node.prev.as_deref();
+        }
+        nodes.reverse();
+        nodes
+            .into_iter()
+            .flat_map(|node| node.batch.iter())
+            .skip(skip)
+    }
+}
+
+/// A `Repl` candidate: the pair it came from and the rewritten literal.
+#[derive(Debug, Clone)]
+struct ReplCand {
+    ineq: FoFormula,
+    literal: FoFormula,
+    rewritten: FoFormula,
+}
+
+/// An ∃-instantiation candidate with its precomputed instance.
+#[derive(Debug, Clone)]
+struct InstCand {
+    quant: FoFormula,
+    witness: Var,
+    inst: FoFormula,
+}
+
+/// The candidate moves of a state, inherited and extended down the branch.
+#[derive(Debug, Clone, Default)]
+struct Moves {
+    /// `Repl` rewrites in discovery order.
+    repl: Chain<ReplCand>,
+    /// ∃ instantiations in discovery order.
+    inst: Chain<InstCand>,
+    /// The variables candidates have been generated against so far.
+    vars: Arc<BTreeSet<Var>>,
+    /// Leading `Repl` candidates this branch has already refuted.  (The
+    /// rewrite chain is append-only and its skip conditions are monotone
+    /// along a branch, so positional counts are sound; the ∃ class has a
+    /// non-monotone "already present" check and is always rescanned.)
+    dead_repl: usize,
+}
+
+/// The branch-independent part of a `Repl` candidate, or `None` when the
+/// pair can never yield a move.  `skip_present` callers pass the generating
+/// sequent when the rewritten literal can be filtered eagerly (literals never
+/// leave a sequent, so generation-time presence is monotone).
+fn repl_candidate(seq: &FoSequent, ineq: &FoFormula, lit: &FoFormula) -> Option<ReplCand> {
+    let (t, u) = match ineq {
+        FoFormula::Neq(t, u) if t != u => (*t, *u),
+        _ => return None,
+    };
+    if !lit.is_literal() || lit == ineq {
+        return None;
+    }
+    let rewritten = lit.subst(&t, &u);
+    if &rewritten == lit || seq.contains(&rewritten) {
+        return None;
+    }
+    Some(ReplCand {
+        ineq: ineq.clone(),
+        literal: lit.clone(),
+        rewritten,
+    })
+}
+
+/// Generate the ∃ candidates for one existential against a set of witnesses.
+fn push_inst_candidates<'a>(
+    seq: &FoSequent,
+    quant: &FoFormula,
+    witnesses: impl IntoIterator<Item = &'a Var>,
+    out: &mut Vec<InstCand>,
+) {
+    let FoFormula::Exists(x, body) = quant else {
+        return;
+    };
+    for v in witnesses {
+        let inst = body.subst(x, v);
+        // "Already present" is a sound *generation-time* filter only for
+        // shapes the calculus never removes from a sequent; an ∧/∨/∀
+        // instance that is present now can be decomposed away and need
+        // re-introduction later.  Presence is re-checked at application time
+        // either way.
+        let removable = matches!(
+            inst,
+            FoFormula::And(_, _) | FoFormula::Or(_, _) | FoFormula::Forall(_, _)
+        );
+        if !removable && seq.contains(&inst) {
+            continue;
+        }
+        out.push(InstCand {
+            quant: quant.clone(),
+            witness: *v,
+            inst,
+        });
+    }
+}
+
+/// Full candidate scan, used when entering a state with no inherited moves:
+/// an indexed join of the inequality slice against the literal slice, plus
+/// the instantiations of the existential slice against all visible variables.
+fn full_moves(seq: &FoSequent) -> Moves {
+    let vars: Arc<BTreeSet<Var>> = Arc::new(seq.free_vars());
+    let mut repl = Vec::new();
+    for ineq in seq.inequalities() {
+        for lit in seq.literals() {
+            repl.extend(repl_candidate(seq, ineq, lit));
+        }
+    }
+    let mut inst = Vec::new();
+    for quant in seq.existentials() {
+        push_inst_candidates(seq, quant, vars.iter(), &mut inst);
+    }
+    let mut moves = Moves {
+        vars,
+        ..Moves::default()
+    };
+    moves.repl.push_batch(repl);
+    moves.inst.push_batch(inst);
+    moves
+}
+
+/// Build the candidate moves a premise inherits: the parent's chains
+/// (shared), extended with the candidates arising from the formulas the
+/// applied rule added and the variables they made visible.
+fn child_moves(
+    premise: &FoSequent,
+    parent: &Moves,
+    delta: &[FoFormula],
+    dead_repl: usize,
+) -> Moves {
+    let mut moves = parent.clone();
+    moves.dead_repl = dead_repl;
+    // variables first: a delta formula can bring new witnesses for *every*
+    // existential (e.g. the ∀ rule's eigenvariable)
+    let mut new_vars: Vec<Var> = Vec::new();
+    for f in delta {
+        for v in f.free_vars_arc().iter() {
+            if !moves.vars.contains(v) && !new_vars.contains(v) {
+                new_vars.push(*v);
+            }
+        }
+    }
+    let mut inst = Vec::new();
+    if !new_vars.is_empty() {
+        for quant in premise.existentials() {
+            if delta.contains(quant) {
+                continue; // handled below against the full variable set
+            }
+            push_inst_candidates(premise, quant, new_vars.iter(), &mut inst);
+        }
+        let vars = Arc::make_mut(&mut moves.vars);
+        vars.extend(new_vars.iter().copied());
+    }
+    let mut repl = Vec::new();
+    for f in delta {
+        match f {
+            FoFormula::Neq(_, _) => {
+                // as a new inequality against every literal (including
+                // itself: `repl_candidate` filters the degenerate pair)…
+                for lit in premise.literals() {
+                    repl.extend(repl_candidate(premise, f, lit));
+                }
+                // …and as a new rewrite target for the other inequalities
+                for ineq in premise.inequalities() {
+                    if ineq != f {
+                        repl.extend(repl_candidate(premise, ineq, f));
+                    }
+                }
+            }
+            _ if f.is_literal() => {
+                for ineq in premise.inequalities() {
+                    repl.extend(repl_candidate(premise, ineq, f));
+                }
+            }
+            FoFormula::Exists(_, _) => {
+                push_inst_candidates(premise, f, moves.vars.iter(), &mut inst);
+            }
+            _ => {}
+        }
+    }
+    moves.repl.push_batch(repl);
+    moves.inst.push_batch(inst);
+    moves
+}
+
+// ---------------------------------------------------------------------------
+// The search
+// ---------------------------------------------------------------------------
+
+struct St<'a> {
+    cfg: &'a FoProverConfig,
+    visited: usize,
+    aborted: bool,
+    memo: &'a Mutex<FailureMemo>,
+    memo_hits: usize,
+    memo_misses: usize,
+}
+
+fn prove_inner(
+    seq: &FoSequent,
+    cfg: &FoProverConfig,
+    memo: &Mutex<FailureMemo>,
+) -> Result<(FoProof, FoProverStats), FoError> {
     let mut st = St {
-        cfg: cfg.clone(),
+        cfg,
         visited: 0,
-        fresh: 0,
-        failed: HashMap::new(),
+        aborted: false,
+        memo,
+        memo_hits: 0,
+        memo_misses: 0,
     };
     for budget in 0..=cfg.max_instantiations {
-        if let Some(p) = attempt(seq, budget, 0, &mut st) {
-            return Ok(p);
+        st.aborted = false;
+        if let Some(proof) = attempt(seq, budget, 0, None, &mut st) {
+            let stats = FoProverStats {
+                visited: st.visited,
+                budget_level: budget,
+                proof_size: proof.size(),
+                memo_hits: st.memo_hits,
+                memo_misses: st.memo_misses,
+            };
+            return Ok((proof, stats));
         }
         if st.visited >= cfg.max_states {
             break;
@@ -78,13 +476,15 @@ pub fn fo_prove_sequent(seq: &FoSequent, cfg: &FoProverConfig) -> Result<FoProof
 }
 
 fn find_axiom(seq: &FoSequent) -> Option<FoRule> {
-    for f in seq.formulas() {
-        if matches!(f, FoFormula::True) {
-            return Some(FoRule::Top);
-        }
-        if f.is_literal() && seq.contains(&f.negate()) {
+    if seq.contains(&FoFormula::True) {
+        return Some(FoRule::Top);
+    }
+    for f in seq.literals() {
+        if seq.contains(&f.negate()) {
             return Some(FoRule::Ax { literal: f.clone() });
         }
+    }
+    for f in seq.equalities() {
         if let FoFormula::Eq(x, y) = f {
             if x == y {
                 // close via Ref + Ax
@@ -95,114 +495,176 @@ fn find_axiom(seq: &FoSequent) -> Option<FoRule> {
     None
 }
 
-fn attempt(seq: &FoSequent, budget: usize, rewrites: usize, st: &mut St) -> Option<FoProof> {
-    st.visited += 1;
-    if st.visited >= st.cfg.max_states {
+/// The smallest eigenvariable `w#k` fresh for the sequent — a deterministic
+/// function of the state, so search diamonds converge on identical subtrees.
+fn fresh_witness(seq: &FoSequent) -> Var {
+    let free = seq.free_vars();
+    let mut k = 1usize;
+    loop {
+        let candidate = Var::new(format!("w#{k}"));
+        if !free.contains(&candidate) {
+            return candidate;
+        }
+        k += 1;
+    }
+}
+
+fn attempt(
+    seq: &FoSequent,
+    budget: usize,
+    rewrites: usize,
+    inherited: Option<Moves>,
+    st: &mut St,
+) -> Option<FoProof> {
+    if st.aborted {
         return None;
     }
+    st.visited += 1;
+    if st.visited >= st.cfg.max_states {
+        st.aborted = true;
+        return None;
+    }
+
+    // 1. axioms
     if let Some(rule) = find_axiom(seq) {
         match &rule {
             FoRule::Ref { .. } => {
                 let prem = rule.premises(seq).ok()?.remove(0);
-                let sub = attempt(&prem, budget, rewrites, st)?;
+                let sub = attempt(&prem, budget, rewrites, None, st)?;
                 return FoProof::by(seq.clone(), rule, vec![sub]).ok();
             }
             _ => return FoProof::by(seq.clone(), rule, vec![]).ok(),
         }
     }
-    // invertible decomposition
-    if let Some(f) = seq
-        .formulas()
-        .iter()
-        .find(|f| {
-            matches!(
-                f,
-                FoFormula::And(_, _) | FoFormula::Or(_, _) | FoFormula::Forall(_, _)
-            )
-        })
-        .cloned()
-    {
+
+    // 2. invertible decomposition (∧ / ∨ / ∀); candidate moves flow through
+    //    the phase — the decomposed principal is never a candidate source,
+    //    and only the added pieces contribute new candidates.
+    if let Some(f) = seq.first_invertible().cloned() {
         let rule = match &f {
             FoFormula::And(_, _) => FoRule::And { conj: f.clone() },
             FoFormula::Or(_, _) => FoRule::Or { disj: f.clone() },
-            FoFormula::Forall(_, _) => {
-                st.fresh += 1;
-                FoRule::Forall {
-                    quant: f.clone(),
-                    witness: Var::new(format!("w#{}", st.fresh)),
-                }
-            }
+            FoFormula::Forall(_, _) => FoRule::Forall {
+                quant: f.clone(),
+                witness: fresh_witness(seq),
+            },
             _ => unreachable!(),
         };
-        let prems = rule.premises(seq).ok()?;
-        let mut subs = Vec::new();
-        for p in &prems {
-            subs.push(attempt(p, budget, rewrites, st)?);
+        let premises = rule.premises(seq).ok()?;
+        let mut subs = Vec::with_capacity(premises.len());
+        for (i, p) in premises.iter().enumerate() {
+            let forwarded = inherited.as_ref().map(|m| {
+                let delta: Vec<FoFormula> = match (&f, &rule) {
+                    (FoFormula::And(a, b), _) => {
+                        vec![if i == 0 { a } else { b }.value().clone()]
+                    }
+                    (FoFormula::Or(a, b), _) => vec![a.value().clone(), b.value().clone()],
+                    (FoFormula::Forall(x, body), FoRule::Forall { witness, .. }) => {
+                        vec![body.subst(x, witness)]
+                    }
+                    _ => unreachable!(),
+                };
+                child_moves(p, m, &delta, m.dead_repl)
+            });
+            subs.push(attempt(p, budget, rewrites, forwarded, st)?);
         }
         return FoProof::by(seq.clone(), rule, subs).ok();
     }
-    if let Some(&known) = st.failed.get(seq) {
-        if budget <= known {
-            return None;
-        }
-    }
-    // Repl rewrites (saturating, cheap)
-    if rewrites < st.cfg.max_rewrites {
-        for ineq in seq.formulas() {
-            let (t, u) = match ineq {
-                FoFormula::Neq(t, u) if t != u => (*t, *u),
-                _ => continue,
-            };
-            for lit in seq.formulas() {
-                if !lit.is_literal() || lit == ineq {
-                    continue;
-                }
-                let rewritten = lit.subst(&t, &u);
-                if &rewritten == lit || seq.contains(&rewritten) {
-                    continue;
-                }
-                let rule = FoRule::Repl {
-                    ineq: ineq.clone(),
-                    literal: lit.clone(),
-                    rewritten: rewritten.clone(),
-                };
-                if let Ok(prems) = rule.premises(seq) {
-                    if let Some(sub) = attempt(&prems[0], budget, rewrites + 1, st) {
-                        return FoProof::by(seq.clone(), rule, vec![sub]).ok();
-                    }
-                }
-                // saturating move: no alternative orders explored
+
+    // 3. memoized failure?  (an O(1) probe on the cached sequent hash)
+    let key = MemoKey {
+        seq: seq.clone(),
+        rewrites_used: rewrites,
+    };
+    {
+        let memo = st.memo.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(&known) = memo.get(&key) {
+            if budget <= known {
+                st.memo_hits += 1;
                 return None;
             }
         }
     }
-    // existential instantiations (the only true choice points)
+    st.memo_misses += 1;
+
+    // 4. candidate moves: inherited (already extended by the parent) when
+    //    possible, recomputed from the per-kind slices otherwise
+    let moves = match inherited {
+        Some(moves) => moves,
+        None => full_moves(seq),
+    };
+
+    // 5. Repl rewrites (saturating: a rewrite only adds information, so the
+    //    first applicable candidate is committed to — if the saturated state
+    //    is unprovable within budget, so is this one)
+    if rewrites < st.cfg.max_rewrites {
+        let mut dead = moves.dead_repl;
+        let mut chosen = None;
+        for cand in moves.repl.iter_from(moves.dead_repl) {
+            if seq.contains(&cand.rewritten) {
+                dead += 1;
+                continue;
+            }
+            chosen = Some(cand.clone());
+            break;
+        }
+        if let Some(cand) = chosen {
+            let rule = FoRule::Repl {
+                ineq: cand.ineq.clone(),
+                literal: cand.literal.clone(),
+                rewritten: cand.rewritten.clone(),
+            };
+            if let Ok(prems) = rule.premises(seq) {
+                let delta = [cand.rewritten.clone()];
+                let forwarded = child_moves(&prems[0], &moves, &delta, dead + 1);
+                if let Some(sub) = attempt(&prems[0], budget, rewrites + 1, Some(forwarded), st) {
+                    return FoProof::by(seq.clone(), rule, vec![sub]).ok();
+                }
+            }
+            // saturating move: no alternative orders explored
+            if !st.aborted {
+                record_failure(st, key, budget);
+            }
+            return None;
+        }
+    }
+
+    // 6. existential instantiations (the only true choice points)
     if budget > 0 {
-        let vars: BTreeSet<Var> = seq.free_vars();
-        for quant in seq.formulas() {
-            let FoFormula::Exists(x, body) = quant else {
+        for cand in moves.inst.iter_from(0) {
+            if st.aborted {
+                return None;
+            }
+            if seq.contains(&cand.inst) {
+                continue;
+            }
+            let rule = FoRule::Exists {
+                quant: cand.quant.clone(),
+                witness: cand.witness,
+            };
+            let Ok(prems) = rule.premises(seq) else {
                 continue;
             };
-            for v in &vars {
-                let inst = body.subst(x, v);
-                if seq.contains(&inst) {
-                    continue;
-                }
-                let rule = FoRule::Exists {
-                    quant: quant.clone(),
-                    witness: *v,
-                };
-                if let Ok(prems) = rule.premises(seq) {
-                    if let Some(sub) = attempt(&prems[0], budget - 1, rewrites, st) {
-                        return FoProof::by(seq.clone(), rule, vec![sub]).ok();
-                    }
-                }
+            let delta = [cand.inst.clone()];
+            let forwarded = child_moves(&prems[0], &moves, &delta, moves.dead_repl);
+            if let Some(sub) = attempt(&prems[0], budget - 1, rewrites, Some(forwarded), st) {
+                return FoProof::by(seq.clone(), rule, vec![sub]).ok();
             }
         }
     }
-    let e = st.failed.entry(seq.clone()).or_insert(0);
-    *e = (*e).max(budget);
+
+    // 7. record failure — but never while aborting, which would poison the
+    //    shared memo with states that merely ran out of the state budget
+    if !st.aborted {
+        record_failure(st, key, budget);
+    }
     None
+}
+
+fn record_failure(st: &mut St, key: MemoKey, budget: usize) {
+    let mut memo = st.memo.lock().unwrap_or_else(|p| p.into_inner());
+    let entry = memo.entry(key).or_insert(0);
+    *entry = (*entry).max(budget);
 }
 
 #[cfg(test)]
@@ -295,5 +757,73 @@ mod tests {
         );
         let proof = fo_prove(&[v_def], &[goal], &FoProverConfig::default()).unwrap();
         assert!(check_fo_proof(&proof).is_ok());
+    }
+
+    #[test]
+    fn sessions_share_the_failure_memo_across_goals() {
+        let session = FolSession::new(FoProverConfig::default());
+        // an unprovable goal populates the memo…
+        let bad = FoFormula::exists("y", FoFormula::atom("T", vec!["y"]));
+        assert!(session.prove(&[], std::slice::from_ref(&bad)).is_err());
+        let memo_after_first = session.memo_len();
+        assert!(memo_after_first > 0);
+        // …and a provable chain goal through the same session still checks
+        let p = FoFormula::atom("P", vec!["c"]);
+        let (proof, stats) = session
+            .prove(&[], &[FoFormula::or(p.clone(), p.negate())])
+            .unwrap();
+        assert!(check_fo_proof(&proof).is_ok());
+        assert!(stats.visited >= 1);
+    }
+
+    #[test]
+    fn warm_sessions_visit_fewer_states() {
+        // an implication chain mixes ∀-decomposition and ∃-instantiation;
+        // the second run through the same session is pruned by the memo
+        let mut assumptions = vec![FoFormula::atom("P0", vec!["c"])];
+        for i in 0..4 {
+            assumptions.push(FoFormula::forall(
+                "x",
+                FoFormula::implies(
+                    FoFormula::Atom(format!("P{i}").into(), vec!["x".into()]),
+                    FoFormula::Atom(format!("P{}", i + 1).into(), vec!["x".into()]),
+                ),
+            ));
+        }
+        let goal = FoFormula::Atom("P4".into(), vec!["c".into()]);
+        let session = FolSession::new(FoProverConfig::default());
+        let (p1, s1) = session
+            .prove(&assumptions, std::slice::from_ref(&goal))
+            .unwrap();
+        assert!(check_fo_proof(&p1).is_ok());
+        let (p2, s2) = session.prove(&assumptions, &[goal]).unwrap();
+        assert!(check_fo_proof(&p2).is_ok());
+        assert!(
+            s2.visited < s1.visited,
+            "warm run must be pruned: {} vs {}",
+            s2.visited,
+            s1.visited
+        );
+        assert!(s2.memo_hits > 0);
+    }
+
+    #[test]
+    fn prove_all_returns_per_goal_results() {
+        let session = FolSession::new(FoProverConfig::default());
+        let p = FoFormula::atom("P", vec!["c"]);
+        let good = FoSequent::new([FoFormula::or(p.clone(), p.negate())]);
+        let bad = FoSequent::new([p.clone()]);
+        let out = session.prove_all(&[good, bad]);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].is_ok());
+        assert!(out[1].is_err());
+    }
+
+    #[test]
+    fn eigenvariables_are_deterministic_in_the_state() {
+        let seq = FoSequent::new([FoFormula::forall("z", FoFormula::atom("P", vec!["z"]))]);
+        assert_eq!(fresh_witness(&seq), Var::new("w#1"));
+        let seq2 = seq.with(FoFormula::atom("Q", vec!["w#1"]));
+        assert_eq!(fresh_witness(&seq2), Var::new("w#2"));
     }
 }

@@ -1,0 +1,190 @@
+//! Property-based equivalence for the first-order session machinery: proving
+//! a family of sequents through one shared [`FolSession`] (warm failure memo)
+//! must be **provability-equivalent** to proving each sequent with a cold
+//! prover — same Ok/Err verdict per sequent, every returned proof passes the
+//! independent checker, and the Maehara interpolants extracted from warm and
+//! cold proofs coincide.  This mirrors `crates/prover/tests/
+//! session_equivalence.rs` for the Δ0 engine; away from budget boundaries a
+//! memo hit only prunes subtrees that would fail again.
+
+use nrs_fol::{
+    check_fo_proof, fo_interpolate, FoFormula, FoPartition, FoProverConfig, FoSequent, FolSession,
+};
+use proptest::prelude::*;
+
+/// Small budgets keep the exhaustive-failure cases fast while staying far
+/// from the state cap on these tiny formulas (an abort could otherwise make
+/// verdicts budget-dependent).
+fn cfg() -> FoProverConfig {
+    FoProverConfig {
+        max_instantiations: 4,
+        max_rewrites: 8,
+        max_states: 20_000,
+    }
+}
+
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        // splitmix64
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[(self.next() % items.len() as u64) as usize]
+    }
+
+    fn var(&mut self) -> &'static str {
+        const VARS: [&str; 3] = ["x", "y", "c"];
+        VARS[(self.next() % 3) as usize]
+    }
+
+    fn formula(&mut self, depth: usize) -> FoFormula {
+        let leaf = depth == 0 || self.next().is_multiple_of(3);
+        if leaf {
+            match self.next() % 7 {
+                0 | 1 => FoFormula::atom(*self.pick(&["P", "Q"]), vec![self.var()]),
+                2 => FoFormula::neg_atom(*self.pick(&["P", "Q"]), vec![self.var()]),
+                3 => FoFormula::Eq(self.var().into(), self.var().into()),
+                4 => FoFormula::Neq(self.var().into(), self.var().into()),
+                5 => FoFormula::True,
+                _ => FoFormula::False,
+            }
+        } else {
+            let bound = *self.pick(&["v", "w"]);
+            match self.next() % 4 {
+                0 => FoFormula::and(self.formula(depth - 1), self.formula(depth - 1)),
+                1 => FoFormula::or(self.formula(depth - 1), self.formula(depth - 1)),
+                2 => FoFormula::forall(bound, self.formula(depth - 1)),
+                _ => FoFormula::exists(bound, self.formula(depth - 1)),
+            }
+        }
+    }
+
+    fn sequent(&mut self) -> FoSequent {
+        let n = 1 + self.next() % 3;
+        FoSequent::new((0..n).map(|_| self.formula(2)))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Warm-session search ≡ cold search on generated FO sequent families,
+    /// with matching interpolants on the provable ones.
+    #[test]
+    fn prop_fo_session_verdicts_and_interpolants_match_cold(seed in 0u64..100_000) {
+        let mut gen = Gen(seed);
+        let sequents: Vec<FoSequent> = (0..4).map(|_| gen.sequent()).collect();
+
+        let warm = FolSession::new(cfg());
+        for seq in &sequents {
+            let warm_outcome = warm.prove_sequent(seq);
+            let cold_outcome = FolSession::new(cfg()).prove_sequent(seq);
+            prop_assert!(
+                warm_outcome.is_ok() == cold_outcome.is_ok(),
+                "verdicts diverge on {}: warm {:?} vs cold {:?}",
+                seq,
+                warm_outcome.as_ref().map(|_| "Ok"),
+                cold_outcome.as_ref().map(|_| "Ok")
+            );
+            if let (Ok((warm_proof, _)), Ok((cold_proof, _))) = (&warm_outcome, &cold_outcome) {
+                prop_assert!(
+                    check_fo_proof(warm_proof).is_ok(),
+                    "warm-session proof fails the checker on {seq}"
+                );
+                prop_assert!(
+                    check_fo_proof(cold_proof).is_ok(),
+                    "cold proof fails the checker on {seq}"
+                );
+                prop_assert!(&warm_proof.conclusion == seq);
+                // interpolants extracted from the warm and cold proofs must
+                // coincide (the search is deterministic given the memo, and
+                // the memo only prunes failures)
+                let left: Vec<FoFormula> = seq
+                    .formulas()
+                    .iter()
+                    .take(seq.formulas().len() / 2)
+                    .cloned()
+                    .collect();
+                let partition = FoPartition::with_left(left);
+                let warm_theta = fo_interpolate(warm_proof, &partition);
+                let cold_theta = fo_interpolate(cold_proof, &partition);
+                prop_assert!(
+                    warm_theta == cold_theta,
+                    "interpolants diverge on {seq}: {warm_theta:?} vs {cold_theta:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The E7 chain goal: a warm session must strictly reduce visited states on a
+/// re-proof (the memo has refuted every dead branch), and the warm verdict,
+/// proof and interpolant must match the cold ones exactly.
+#[test]
+fn warm_session_strictly_reduces_visited_states_on_the_e7_chain() {
+    // P0(c), ∀x (P_i(x) → P_{i+1}(x)) ⊢ P_n(c) — the fo_implication_chain
+    // workload of the E7 bench, rebuilt here to keep the dev-dependency
+    // graph acyclic.
+    let n = 6usize;
+    let mut assumptions = vec![FoFormula::atom("P0", vec!["c"])];
+    for i in 0..n {
+        assumptions.push(FoFormula::forall(
+            "x",
+            FoFormula::implies(
+                FoFormula::Atom(format!("P{i}").into(), vec!["x".into()]),
+                FoFormula::Atom(format!("P{}", i + 1).into(), vec!["x".into()]),
+            ),
+        ));
+    }
+    let goal = FoFormula::Atom(format!("P{n}").into(), vec!["c".into()]);
+    let seq = FoSequent::new(
+        assumptions
+            .iter()
+            .map(FoFormula::negate)
+            .chain(std::iter::once(goal)),
+    );
+
+    let session = FolSession::new(FoProverConfig::default());
+    let (cold_proof, cold_stats) = session.prove_sequent(&seq).expect("chain is provable");
+    assert!(check_fo_proof(&cold_proof).is_ok());
+    assert!(
+        session.memo_len() > 0,
+        "the search must have recorded failures"
+    );
+
+    let (warm_proof, warm_stats) = session.prove_sequent(&seq).expect("still provable");
+    assert!(check_fo_proof(&warm_proof).is_ok());
+    assert!(
+        warm_stats.visited < cold_stats.visited,
+        "warm session must visit strictly fewer states: {} vs {}",
+        warm_stats.visited,
+        cold_stats.visited
+    );
+    assert!(
+        warm_stats.visited * 5 < cold_stats.visited,
+        "the memo should prune the bulk of the search: {} vs {}",
+        warm_stats.visited,
+        cold_stats.visited
+    );
+    assert!(warm_stats.memo_hits > 0);
+
+    // deterministic eigenvariables make the warm proof identical to the cold
+    // one — and so are the interpolants
+    assert_eq!(warm_proof, cold_proof);
+    let partition = FoPartition::with_left(
+        assumptions[..assumptions.len() / 2]
+            .iter()
+            .map(FoFormula::negate),
+    );
+    assert_eq!(
+        fo_interpolate(&warm_proof, &partition).unwrap(),
+        fo_interpolate(&cold_proof, &partition).unwrap()
+    );
+}

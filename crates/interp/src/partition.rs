@@ -6,11 +6,17 @@
 //! proof, the premise's partition is derived from the conclusion's: formulas
 //! already present keep their side, and material introduced by the rule
 //! inherits the side of its principal formula.
+//!
+//! Side lookups are hot inside the extraction inductions (`formula_side` is
+//! probed once per formula per proof node), so the left marks are kept in
+//! hash sets: formulas and atoms are hash-consed shared nodes whose cached
+//! hashes make every probe O(1), where a `BTreeSet` would pay a structural
+//! comparison per tree level.
 
 use nrs_delta0::{Formula, MemAtom};
 use nrs_proof::{Rule, Sequent};
 use nrs_value::Name;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
 
 /// Which side of the partition an item belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,9 +43,9 @@ impl Side {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Partition {
     /// ∈-context atoms assigned to the left part.
-    pub left_atoms: BTreeSet<MemAtom>,
+    pub left_atoms: HashSet<MemAtom>,
     /// Right-hand-side formulas assigned to the left part.
-    pub left_formulas: BTreeSet<Formula>,
+    pub left_formulas: HashSet<Formula>,
 }
 
 impl Partition {
@@ -101,36 +107,33 @@ impl Partition {
         }
     }
 
-    /// The free variables of the left part of `seq`.
-    pub fn left_vars(&self, seq: &Sequent) -> BTreeSet<Name> {
+    /// The free variables of one side of `seq`, assembled from the formulas'
+    /// cached free-variable sets (no tree traversal, no intermediate set
+    /// clones).
+    fn side_vars(&self, seq: &Sequent, side: Side) -> BTreeSet<Name> {
         let mut out = BTreeSet::new();
         for a in seq.ctx.iter() {
-            if self.atom_side(a) == Side::Left {
-                out.extend(a.free_vars());
+            if self.atom_side(a) == side {
+                out.extend(a.elem.free_vars_arc().iter().copied());
+                out.extend(a.set.free_vars_arc().iter().copied());
             }
         }
         for f in seq.rhs() {
-            if self.formula_side(f) == Side::Left {
-                out.extend(f.free_vars());
+            if self.formula_side(f) == side {
+                out.extend(f.free_vars_arc().iter().copied());
             }
         }
         out
     }
 
+    /// The free variables of the left part of `seq`.
+    pub fn left_vars(&self, seq: &Sequent) -> BTreeSet<Name> {
+        self.side_vars(seq, Side::Left)
+    }
+
     /// The free variables of the right part of `seq`.
     pub fn right_vars(&self, seq: &Sequent) -> BTreeSet<Name> {
-        let mut out = BTreeSet::new();
-        for a in seq.ctx.iter() {
-            if self.atom_side(a) == Side::Right {
-                out.extend(a.free_vars());
-            }
-        }
-        for f in seq.rhs() {
-            if self.formula_side(f) == Side::Right {
-                out.extend(f.free_vars());
-            }
-        }
-        out
+        self.side_vars(seq, Side::Right)
     }
 
     /// The variables common to the two parts of `seq` — the vocabulary an

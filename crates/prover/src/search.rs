@@ -123,6 +123,14 @@ pub(crate) struct MemoKey {
 /// Sequents known to fail, mapping to the largest risky budget refuted.
 pub(crate) type FailureMemo = HashMap<MemoKey, usize>;
 
+/// Cached `max_specializations` results, keyed by (quantifier, ∈-context).
+/// The cache lives in the [`ProverSession`], not the per-goal search state:
+/// the per-depth goals of one synthesis run decompose the same specification
+/// formulas under the same contexts, so a warm session stops re-enumerating
+/// their specializations goal after goal — the shared saturation prefix of a
+/// batched synthesis run.
+pub(crate) type SpecCache = HashMap<(Formula, InContext), Arc<Vec<MaxSpecialization>>>;
+
 /// The set of specializations introduced along the current branch (they may
 /// later disappear from the right-hand side when the invertible phase
 /// decomposes them, and must not be re-introduced, which would loop forever).
@@ -340,10 +348,12 @@ struct State<'a> {
     memo_hits: usize,
     memo_misses: usize,
     move_seqno: usize,
-    /// Per-search cache of `max_specializations` results: within one
-    /// existential-leading phase the ∈-context is fixed, and identical
-    /// (quantifier, context) pairs recur across sibling branches.
-    spec_cache: HashMap<(Formula, InContext), Arc<Vec<MaxSpecialization>>>,
+    /// Session-shared cache of `max_specializations` results: within one
+    /// existential-leading phase the ∈-context is fixed, identical
+    /// (quantifier, context) pairs recur across sibling branches, and —
+    /// because the cache belongs to the session — across every goal of a
+    /// batched synthesis run.
+    spec_cache: &'a Mutex<SpecCache>,
 }
 
 /// Prove `Θ ; ⊢ Δ` (one-sided), returning a checked proof object.
@@ -366,6 +376,7 @@ pub(crate) fn prove_sequent_inner(
     sequent: &Sequent,
     cfg: &ProverConfig,
     memo: &Mutex<FailureMemo>,
+    spec_cache: &Mutex<SpecCache>,
 ) -> Result<(Proof, ProverStats), ProofError> {
     let interner_before = nrs_delta0::intern_stats();
     let mut st = State {
@@ -377,7 +388,7 @@ pub(crate) fn prove_sequent_inner(
         memo_hits: 0,
         memo_misses: 0,
         move_seqno: 0,
-        spec_cache: HashMap::new(),
+        spec_cache,
     };
     for level in 0..=cfg.max_risky {
         st.aborted = false;
@@ -458,11 +469,18 @@ fn find_axiom(seq: &Sequent) -> Option<Rule> {
 
 impl<'a> State<'a> {
     fn specializations(&mut self, quant: &Formula, ctx: &InContext) -> Arc<Vec<MaxSpecialization>> {
-        if let Some(cached) = self.spec_cache.get(&(quant.clone(), ctx.clone())) {
-            return cached.clone();
+        {
+            let cache = self.spec_cache.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(cached) = cache.get(&(quant.clone(), ctx.clone())) {
+                return cached.clone();
+            }
         }
+        // computed outside the lock: enumeration can be expensive, and two
+        // workers racing on the same key simply overwrite with equal values
         let specs = Arc::new(max_specializations(quant, ctx, self.cfg.spec_limit));
         self.spec_cache
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
             .insert((quant.clone(), ctx.clone()), specs.clone());
         specs
     }

@@ -19,7 +19,7 @@
 //!
 //! [`prove_sequent`]: ProverSession::prove_sequent
 
-use crate::search::{prove_sequent_inner, FailureMemo, ProverConfig, ProverStats};
+use crate::search::{prove_sequent_inner, FailureMemo, ProverConfig, ProverStats, SpecCache};
 use nrs_delta0::{Formula, InContext};
 use nrs_proof::{Proof, ProofError, Sequent};
 use std::sync::mpsc::{channel, Sender};
@@ -29,14 +29,19 @@ use std::sync::{Arc, Mutex};
 /// frame per proof step, which can run deep on the synthesis goals.
 const WORKER_STACK: usize = 256 * 1024 * 1024;
 
+/// A unit of worker work: one or more sequents proved back-to-back on the
+/// same worker.  Batches are how `nrs-synthesis` ships all per-depth goals
+/// of one run in a single call — one dispatch, one warm walk over the
+/// session's memo and specialization cache.
 struct Job {
-    seq: Sequent,
-    reply: Sender<Result<(Proof, ProverStats), ProofError>>,
+    seqs: Vec<Sequent>,
+    reply: Sender<Vec<Result<(Proof, ProverStats), ProofError>>>,
 }
 
 struct SessionInner {
     cfg: ProverConfig,
     memo: Mutex<FailureMemo>,
+    specs: Mutex<SpecCache>,
     idle: Mutex<Vec<Sender<Job>>>,
 }
 
@@ -53,6 +58,7 @@ impl ProverSession {
             inner: Arc::new(SessionInner {
                 cfg,
                 memo: Mutex::new(FailureMemo::new()),
+                specs: Mutex::new(SpecCache::new()),
                 idle: Mutex::new(Vec::new()),
             }),
         }
@@ -76,6 +82,27 @@ impl ProverSession {
     /// on one of the session's big-stack workers; concurrent calls get
     /// concurrent workers.
     pub fn prove_sequent(&self, sequent: &Sequent) -> Result<(Proof, ProverStats), ProofError> {
+        self.prove_batch(std::slice::from_ref(sequent))
+            .pop()
+            .expect("one result per sequent")
+    }
+
+    /// Prove a batch of sequents in one worker dispatch: the goals run
+    /// back-to-back on the same big-stack worker, each pruned by the failures
+    /// (and warmed by the specialization cache) of the ones before it.
+    /// Results come back in input order.  The batch **short-circuits**: a
+    /// failed goal fails the whole run for the callers this serves (the
+    /// batched synthesis goals), so the remaining sequents are not searched
+    /// and report a "skipped" error instead.  This is the call
+    /// `nrs-synthesis` funnels the per-depth goals of one synthesis run
+    /// through.
+    pub fn prove_batch(
+        &self,
+        sequents: &[Sequent],
+    ) -> Vec<Result<(Proof, ProverStats), ProofError>> {
+        if sequents.is_empty() {
+            return Vec::new();
+        }
         let worker = match self
             .inner
             .idle
@@ -84,18 +111,38 @@ impl ProverSession {
             .pop()
         {
             Some(w) => w,
-            None => self.spawn_worker()?,
+            None => match self.spawn_worker() {
+                Ok(w) => w,
+                Err(e) => return sequents.iter().map(|_| Err(e.clone())).collect(),
+            },
         };
         let (reply_tx, reply_rx) = channel();
-        worker
+        if worker
             .send(Job {
-                seq: sequent.clone(),
+                seqs: sequents.to_vec(),
                 reply: reply_tx,
             })
-            .map_err(|_| ProofError::SearchFailed("prover worker exited unexpectedly".into()))?;
-        let out = reply_rx
-            .recv()
-            .map_err(|_| ProofError::SearchFailed("proof search thread panicked".into()))?;
+            .is_err()
+        {
+            return sequents
+                .iter()
+                .map(|_| {
+                    Err(ProofError::SearchFailed(
+                        "prover worker exited unexpectedly".into(),
+                    ))
+                })
+                .collect();
+        }
+        let Ok(out) = reply_rx.recv() else {
+            return sequents
+                .iter()
+                .map(|_| {
+                    Err(ProofError::SearchFailed(
+                        "proof search thread panicked".into(),
+                    ))
+                })
+                .collect();
+        };
         // Only a worker that answered goes back in the pool; a panicked one
         // is simply dropped (its channel closed with it).
         self.inner
@@ -140,10 +187,22 @@ impl ProverSession {
                     // its call, so an upgrade failure means the session is
                     // gone and nobody is waiting for replies
                     let Some(inner) = inner.upgrade() else { break };
-                    let result = prove_sequent_inner(&job.seq, &inner.cfg, &inner.memo);
+                    let mut results = Vec::with_capacity(job.seqs.len());
+                    let mut failed = false;
+                    for seq in &job.seqs {
+                        if failed {
+                            results.push(Err(ProofError::SearchFailed(
+                                "skipped: an earlier goal of the batch failed".into(),
+                            )));
+                            continue;
+                        }
+                        let out = prove_sequent_inner(seq, &inner.cfg, &inner.memo, &inner.specs);
+                        failed = out.is_err();
+                        results.push(out);
+                    }
                     drop(inner);
                     // a dropped receiver just means the caller gave up
-                    let _ = job.reply.send(result);
+                    let _ = job.reply.send(results);
                 }
             })
             .map_err(|e| ProofError::SearchFailed(format!("could not spawn search worker: {e}")))?;

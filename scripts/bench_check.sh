@@ -15,10 +15,14 @@
 #   scripts/bench_check.sh <fresh.json> [reference.json] [bench] [factor] [calib]
 #
 # `bench` may be a comma-separated list; every listed benchmark must pass the
-# same calibrated tolerance (the gate covers both an evaluation-bound and a
-# prover-bound benchmark in CI).
+# same calibrated tolerance (the gate covers evaluation-bound, prover-bound
+# and IVM benchmarks in CI).
 #
-# Defaults: reference = BENCH_pr4.json, bench = from_views/100, factor = 2.0,
+# Before any comparison, every requested bench (and the calibration bench) is
+# resolved against *both* summaries; if anything is missing, the check fails
+# with one line per missing (bench, file) pair instead of a bare parse error.
+#
+# Defaults: reference = BENCH_pr5.json, bench = from_views/100, factor = 2.0,
 # calib = recompute_from_base/100.  Summaries are the one-bench-per-line JSON
 # emitted by scripts/bench.sh.
 
@@ -26,10 +30,17 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fresh="${1:?usage: scripts/bench_check.sh <fresh.json> [reference.json] [bench[,bench…]] [factor] [calib]}"
-reference="${2:-BENCH_pr4.json}"
+reference="${2:-BENCH_pr5.json}"
 benches="${3:-from_views/100}"
 factor="${4:-2.0}"
 calib="${5:-recompute_from_base/100}"
+
+for file in "$fresh" "$reference"; do
+    if [ ! -r "$file" ]; then
+        echo "bench_check: summary file '$file' does not exist or is unreadable" >&2
+        exit 2
+    fi
+done
 
 min_of() {
     # Extract min_ns for the named bench from a bench.sh summary.  Each bench
@@ -42,24 +53,30 @@ min_of() {
         head -n1
 }
 
-require() {
-    if [ -z "$2" ]; then
-        echo "bench_check: '$3' not found in $1" >&2
-        exit 2
-    fi
-}
+# Resolve every (bench, file) pair up front so a missing benchmark fails the
+# check with a complete, per-bench report rather than a parse error on the
+# first gap.
+missing=0
+for bench in ${benches//,/ } "$calib"; do
+    for file in "$fresh" "$reference"; do
+        if [ -z "$(min_of "$file" "$bench")" ]; then
+            echo "bench_check: MISSING - bench '$bench' not found in $file" >&2
+            missing=1
+        fi
+    done
+done
+if [ "$missing" -ne 0 ]; then
+    echo "bench_check: aborting - the summaries above do not cover the requested benches" >&2
+    exit 2
+fi
 
 fresh_calib="$(min_of "$fresh" "$calib")"
 ref_calib="$(min_of "$reference" "$calib")"
-require "$fresh" "$fresh_calib" "$calib"
-require "$reference" "$ref_calib" "$calib"
 
 status=0
 for bench in ${benches//,/ }; do
     fresh_mean="$(min_of "$fresh" "$bench")"
     ref_mean="$(min_of "$reference" "$bench")"
-    require "$fresh" "$fresh_mean" "$bench"
-    require "$reference" "$ref_mean" "$bench"
 
     awk -v fm="$fresh_mean" -v fc="$fresh_calib" \
         -v rm="$ref_mean" -v rc="$ref_calib" \

@@ -1,4 +1,4 @@
-//! JSON encoding of [`Content`](crate::Content) trees — the offline
+//! JSON encoding of [`Content`] trees — the offline
 //! equivalent of `serde_json::{to_string, from_str}`.
 //!
 //! Maps whose keys all serialize to strings are emitted as JSON objects (the
