@@ -381,13 +381,24 @@ fn record_stats(
     report.proof_sizes.push(proof_size);
     report.notes.push(format!(
         "prover[{purpose}]: {} states visited (risky level {}), memo {} hit / {} miss, \
-         interner {} hit / {} miss",
+         interner {} hit / {} miss, rewrite-cache {} hit / {} miss, \
+         occ-join {} pairs / {} pruned, {} parallel branches{}",
         stats.visited,
         stats.risky_level,
         stats.memo_hits,
         stats.memo_misses,
         stats.interner_hits,
         stats.interner_misses,
+        stats.rewrite_cache_hits,
+        stats.rewrite_cache_misses,
+        stats.occ_join_pairs,
+        stats.occ_join_pruned,
+        stats.parallel_branches,
+        if stats.goal_cache_hits > 0 {
+            " (goal replayed from session cache)"
+        } else {
+            ""
+        },
     ));
 }
 

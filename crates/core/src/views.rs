@@ -9,13 +9,14 @@
 //! concrete instances.
 
 use crate::synthesis::{
-    synthesize, ImplicitSpec, SynthesisConfig, SynthesisError, SynthesizedDefinition,
+    synthesize_with, ImplicitSpec, SynthesisConfig, SynthesisError, SynthesizedDefinition,
 };
 use nrs_delta0::macros as d0;
 use nrs_delta0::typing::TypeEnv;
 use nrs_delta0::Formula;
 use nrs_nrc::spec::ViewDef;
 use nrs_nrc::{eval as nrc_eval, Expr};
+use nrs_prover::ProverSession;
 use nrs_value::{Instance, Name, NameGen, Type, Value};
 
 /// A query-rewriting problem: determine the query from the views (relative to
@@ -87,9 +88,23 @@ impl RewritingProblem {
         &self,
         cfg: &SynthesisConfig,
     ) -> Result<RewritingResult, SynthesisError> {
+        let session = ProverSession::new(cfg.prover.clone());
+        self.derive_rewriting_with(cfg, &session)
+    }
+
+    /// [`derive_rewriting`](Self::derive_rewriting) through a caller-owned
+    /// [`ProverSession`].  A watch-mode loop re-deriving its problems after
+    /// each edit keeps one session per configuration: unchanged goals replay
+    /// from the session's goal-outcome cache, and changed ones still reuse
+    /// its failure memo, specialization cache and rewrite-candidate cache.
+    pub fn derive_rewriting_with(
+        &self,
+        cfg: &SynthesisConfig,
+        session: &ProverSession,
+    ) -> Result<RewritingResult, SynthesisError> {
         let mut gen = NameGen::new();
         let spec = self.specification(&mut gen)?;
-        let definition = synthesize(&spec, cfg)?;
+        let definition = synthesize_with(&spec, cfg, session)?;
         Ok(RewritingResult {
             definition,
             problem: self.clone(),

@@ -371,51 +371,58 @@ impl Formula {
     /// protected: callers must ensure the target and replacement are free for
     /// the formula, which holds for the proof-rule usages (the target never
     /// contains bound variables of the formula).  Unchanged subformulas keep
-    /// their shared nodes, and the term layer skips subtrees that are too
-    /// small (or miss a free variable of the target).
+    /// their shared nodes, and subtrees that miss a free variable of the
+    /// target (or, at the term layer, are too small to contain it) are
+    /// skipped without descending — the target's free-variable set and size
+    /// are computed once here, not once per term, which matters to the
+    /// prover's per-candidate rewrites over large literals.
     pub fn replace_term(&self, target: &Term, replacement: &Term) -> Formula {
-        fn child(c: &Shared<Formula>, target: &Term, replacement: &Term) -> Shared<Formula> {
-            let replaced = c.value().replace_term(target, replacement);
+        let target_fv = target.free_vars_arc();
+        self.replace_term_gated(target, replacement, &target_fv, target.size())
+    }
+
+    fn replace_term_gated(
+        &self,
+        target: &Term,
+        replacement: &Term,
+        target_fv: &BTreeSet<Name>,
+        target_size: usize,
+    ) -> Formula {
+        let child = |c: &Shared<Formula>| -> Shared<Formula> {
+            // a subformula missing a free variable of the target cannot
+            // contain it (the proof-rule contract above rules out capture,
+            // so occurrences are purely syntactic)
+            if !target_fv.iter().all(|v| c.free_vars_set().contains(v)) {
+                return c.clone();
+            }
+            let replaced =
+                c.value()
+                    .replace_term_gated(target, replacement, target_fv, target_size);
             if &replaced == c.value() {
                 c.clone()
             } else {
                 Shared::new(replaced)
             }
-        }
+        };
+        let term = |t: &Term| t.replace_term_gated(target, replacement, target_fv, target_size);
         match self {
-            Formula::EqUr(t, u) => Formula::EqUr(
-                t.replace_term(target, replacement),
-                u.replace_term(target, replacement),
-            ),
-            Formula::NeqUr(t, u) => Formula::NeqUr(
-                t.replace_term(target, replacement),
-                u.replace_term(target, replacement),
-            ),
-            Formula::Mem(t, u) => Formula::Mem(
-                t.replace_term(target, replacement),
-                u.replace_term(target, replacement),
-            ),
-            Formula::NotMem(t, u) => Formula::NotMem(
-                t.replace_term(target, replacement),
-                u.replace_term(target, replacement),
-            ),
+            Formula::EqUr(t, u) => Formula::EqUr(term(t), term(u)),
+            Formula::NeqUr(t, u) => Formula::NeqUr(term(t), term(u)),
+            Formula::Mem(t, u) => Formula::Mem(term(t), term(u)),
+            Formula::NotMem(t, u) => Formula::NotMem(term(t), term(u)),
             Formula::True => Formula::True,
             Formula::False => Formula::False,
-            Formula::And(a, b) => {
-                Formula::And(child(a, target, replacement), child(b, target, replacement))
-            }
-            Formula::Or(a, b) => {
-                Formula::Or(child(a, target, replacement), child(b, target, replacement))
-            }
+            Formula::And(a, b) => Formula::And(child(a), child(b)),
+            Formula::Or(a, b) => Formula::Or(child(a), child(b)),
             Formula::Forall { var, bound, body } => Formula::Forall {
                 var: *var,
-                bound: bound.replace_term(target, replacement),
-                body: child(body, target, replacement),
+                bound: term(bound),
+                body: child(body),
             },
             Formula::Exists { var, bound, body } => Formula::Exists {
                 var: *var,
-                bound: bound.replace_term(target, replacement),
-                body: child(body, target, replacement),
+                bound: term(bound),
+                body: child(body),
             },
         }
     }

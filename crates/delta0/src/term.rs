@@ -152,7 +152,7 @@ impl Term {
         self.replace_term_gated(target, replacement, &target_fv, target.size())
     }
 
-    fn replace_term_gated(
+    pub(crate) fn replace_term_gated(
         &self,
         target: &Term,
         replacement: &Term,

@@ -260,6 +260,66 @@ impl Rule {
             }
         }
     }
+
+    /// Compute the premises **without** re-validating applicability.  This is
+    /// the proof-search fast path: the prover only applies rules whose side
+    /// conditions it has already established (candidates are generated from
+    /// the conclusion's own slices, and re-checked via `still_applicable`),
+    /// so the containment / partial-replacement / phase checks of
+    /// [`Rule::premises`] would each be recomputed per visited state for no
+    /// information.  Callers **must** guarantee the rule applies; the final
+    /// proof object is still independently validated (by [`check_proof`],
+    /// and by [`Proof::by`] unless assembled through
+    /// [`Proof::by_unchecked`]).  Debug builds assert agreement with the
+    /// checked computation.
+    ///
+    /// [`check_proof`]: crate::check_proof
+    pub fn premises_unchecked(&self, conclusion: &Sequent) -> Vec<Sequent> {
+        let out = match self {
+            Rule::EqRefl { .. } | Rule::Top => vec![],
+            Rule::Neq { rewritten, .. } => vec![conclusion.with_formula(rewritten.clone())],
+            Rule::And { conj } => match conj {
+                Formula::And(a, b) => {
+                    let base = conclusion.without_formula(conj);
+                    vec![
+                        base.with_formula((**a).clone()),
+                        base.with_formula((**b).clone()),
+                    ]
+                }
+                _ => unreachable!("∧ rule with a non-conjunction principal"),
+            },
+            Rule::Or { disj } => match disj {
+                Formula::Or(a, b) => vec![conclusion
+                    .without_formula(disj)
+                    .with_formula((**a).clone())
+                    .with_formula((**b).clone())],
+                _ => unreachable!("∨ rule with a non-disjunction principal"),
+            },
+            Rule::Forall { quant, witness } => match quant {
+                Formula::Forall { var, bound, body } => {
+                    let instantiated = body.subst_var(var, &Term::Var(*witness));
+                    vec![conclusion
+                        .without_formula(quant)
+                        .with_formula(instantiated)
+                        .with_atom(nrs_delta0::MemAtom::new(Term::Var(*witness), bound.clone()))]
+                }
+                _ => unreachable!("∀ rule with a non-universal principal"),
+            },
+            Rule::Exists { spec, .. } => vec![conclusion.with_formula(spec.clone())],
+            // the product rules are applied by proof *transformations*, not
+            // by the search loop — no fast path needed
+            Rule::ProdEta { .. } | Rule::ProdBeta { .. } => self
+                .premises(conclusion)
+                .expect("caller guarantees applicability"),
+        };
+        debug_assert_eq!(
+            Some(&out),
+            self.premises(conclusion).ok().as_ref(),
+            "premises_unchecked caller broke the applicability contract for {}",
+            self.name()
+        );
+        out
+    }
 }
 
 /// Is `result` obtainable from `orig` by replacing *some* occurrences of `t`
@@ -335,6 +395,35 @@ impl Proof {
             rule,
             premises,
         })
+    }
+
+    /// Build a proof node **without** re-validating the rule application —
+    /// the proof-search counterpart of [`Rule::premises_unchecked`].  The
+    /// search constructs each premise with `premises_unchecked` and proves
+    /// exactly those sequents, so re-deriving the expected premises at every
+    /// assembled node (what [`Proof::by`] does) only repeats work; external
+    /// consumers still validate the finished tree with [`check_proof`].
+    /// Debug builds assert the node would also pass the checked constructor.
+    ///
+    /// [`check_proof`]: crate::check_proof
+    pub fn by_unchecked(conclusion: Sequent, rule: Rule, premises: Vec<Proof>) -> Proof {
+        debug_assert!(
+            {
+                let expected = rule.premises(&conclusion);
+                matches!(
+                    &expected,
+                    Ok(want) if want.len() == premises.len()
+                        && want.iter().zip(&premises).all(|(w, h)| w == &h.conclusion)
+                )
+            },
+            "by_unchecked caller broke the applicability contract for {}",
+            rule.name()
+        );
+        Proof {
+            conclusion,
+            rule,
+            premises,
+        }
     }
 
     /// Axiom node for `t = t`.

@@ -3,9 +3,10 @@
 use nrs_delta0::{Formula, InContext, MemAtom, Term};
 use nrs_value::Name;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// A one-sided sequent: an ∈-context `Θ` and a finite set `Δ` of Δ0 formulas
 /// read disjunctively.
@@ -32,6 +33,16 @@ use std::hash::{Hash, Hasher};
 /// The `ctx` field is public for read access; it must not be mutated in
 /// place (every producer goes through [`Sequent::with_atom`] or
 /// [`Sequent::new`], which keep the cached context hash in sync).
+///
+/// On top of the kind slices, the (in)equality literals are **indexed by
+/// free variable** ([`Sequent::eq_literals_with_var`]): the prover's
+/// ≠-congruence joins only ever pair literals that share a term, and since
+/// literals have no binders, a literal containing a term contains every free
+/// variable of that term — so a variable bucket is a sound (and in practice
+/// tight) superset of the literals a given inequality can rewrite.  The
+/// index is maintained incrementally under the same Arc-CoW regime as the
+/// side itself: buckets are `Arc`-shared vectors, so a copy that inserts one
+/// literal clones only the touched buckets.
 #[derive(Debug, Clone, Default)]
 pub struct Sequent {
     /// The ∈-context `Θ`.  Read-only by convention — see the type docs.
@@ -39,9 +50,18 @@ pub struct Sequent {
     /// Cached hash of `ctx`, kept in sync by the constructors.
     ctx_hash: u64,
     /// The right-hand side `Δ`.
-    rhs: std::sync::Arc<Vec<Formula>>,
+    rhs: Arc<Vec<Formula>>,
     /// Order-independent combined hash of `rhs`, maintained incrementally.
     rhs_hash: u64,
+    /// Occurrence index: variable → sorted (in)equality literals (variant
+    /// ranks 0–1) of `rhs` containing it.  Derived data — excluded from
+    /// `Eq`/`Hash`/`Ord`.
+    occ: Arc<HashMap<Name, Arc<Vec<Formula>>>>,
+    /// The inequalities `t ≠ u` whose *left* term is ground, sorted.  Such a
+    /// `t` can occur in a literal sharing no variable with the inequality,
+    /// so rewrite joins must always consider these few (usually zero)
+    /// candidates on top of the variable buckets.
+    ground_rw: Arc<Vec<Formula>>,
 }
 
 /// The per-formula contribution to an XOR-combined (order-independent) set
@@ -70,8 +90,10 @@ impl Sequent {
         let mut s = Sequent {
             ctx_hash: ctx_hash_of(&ctx),
             ctx,
-            rhs: std::sync::Arc::new(Vec::new()),
+            rhs: Arc::new(Vec::new()),
             rhs_hash: 0,
+            occ: Arc::new(HashMap::new()),
+            ground_rw: Arc::new(Vec::new()),
         };
         for f in rhs {
             s.insert(f);
@@ -105,7 +127,52 @@ impl Sequent {
     pub fn insert(&mut self, f: Formula) {
         if let Err(pos) = self.rhs.binary_search(&f) {
             self.rhs_hash ^= formula_hash_mixed(&f);
-            std::sync::Arc::make_mut(&mut self.rhs).insert(pos, f);
+            if f.variant_rank() <= 1 {
+                self.index_literal(&f);
+            }
+            Arc::make_mut(&mut self.rhs).insert(pos, f);
+        }
+    }
+
+    /// Add a freshly inserted (in)equality literal to the occurrence index.
+    /// The literal is known absent from `rhs`, hence from every bucket.
+    fn index_literal(&mut self, f: &Formula) {
+        let occ = Arc::make_mut(&mut self.occ);
+        for v in f.free_vars_arc().iter() {
+            let bucket = Arc::make_mut(occ.entry(*v).or_default());
+            let pos = bucket.partition_point(|g| g < f);
+            bucket.insert(pos, f.clone());
+        }
+        if let Formula::NeqUr(t, _) = f {
+            if t.free_vars_arc().is_empty() {
+                let ground = Arc::make_mut(&mut self.ground_rw);
+                let pos = ground.partition_point(|g| g < f);
+                ground.insert(pos, f.clone());
+            }
+        }
+    }
+
+    /// Remove a just-removed (in)equality literal from the occurrence index.
+    fn unindex_literal(&mut self, f: &Formula) {
+        let occ = Arc::make_mut(&mut self.occ);
+        for v in f.free_vars_arc().iter() {
+            if let Some(bucket) = occ.get_mut(v) {
+                let b = Arc::make_mut(bucket);
+                if let Ok(pos) = b.binary_search(f) {
+                    b.remove(pos);
+                }
+                if b.is_empty() {
+                    occ.remove(v);
+                }
+            }
+        }
+        if let Formula::NeqUr(t, _) = f {
+            if t.free_vars_arc().is_empty() {
+                let ground = Arc::make_mut(&mut self.ground_rw);
+                if let Ok(pos) = ground.binary_search(f) {
+                    ground.remove(pos);
+                }
+            }
         }
     }
 
@@ -129,8 +196,11 @@ impl Sequent {
     pub fn without_formula(&self, f: &Formula) -> Sequent {
         let mut out = self.clone();
         if let Ok(pos) = out.rhs.binary_search(f) {
-            let removed = std::sync::Arc::make_mut(&mut out.rhs).remove(pos);
+            let removed = Arc::make_mut(&mut out.rhs).remove(pos);
             out.rhs_hash ^= formula_hash_mixed(&removed);
+            if removed.variant_rank() <= 1 {
+                out.unindex_literal(&removed);
+            }
         }
         out
     }
@@ -143,6 +213,8 @@ impl Sequent {
             ctx,
             rhs: self.rhs.clone(),
             rhs_hash: self.rhs_hash,
+            occ: self.occ.clone(),
+            ground_rw: self.ground_rw.clone(),
         }
     }
 
@@ -173,6 +245,23 @@ impl Sequent {
     /// congruence rule may rewrite), as one contiguous slice.
     pub fn eq_literals(&self) -> &[Formula] {
         self.rank_range(0, 1)
+    }
+
+    /// The (in)equality literals of the right-hand side containing the given
+    /// free variable, sorted — one bucket of the occurrence index.  A
+    /// literal containing a term `t` contains every free variable of `t`
+    /// (literals have no binders), so for a non-ground `t` the bucket of any
+    /// of its variables is a superset of the literals `t` occurs in.
+    pub fn eq_literals_with_var(&self, v: &Name) -> &[Formula] {
+        self.occ.get(v).map(|b| b.as_slice()).unwrap_or(&[])
+    }
+
+    /// The inequalities whose left term is ground (no free variables),
+    /// sorted.  Rewrite joins driven by [`Sequent::eq_literals_with_var`]
+    /// must always include these: a ground term can occur in a literal that
+    /// shares no variable with its inequality.
+    pub fn ground_lhs_inequalities(&self) -> &[Formula] {
+        &self.ground_rw
     }
 
     /// The bounded existentials of the right-hand side.
@@ -362,6 +451,55 @@ mod tests {
         // a genuine edit changes equality
         let s4 = s1.without_formula(&b);
         assert_ne!(s1, s4);
+    }
+
+    #[test]
+    fn occurrence_index_tracks_inserts_and_removals() {
+        let xy = Formula::eq_ur("x", "y");
+        let xz = Formula::neq_ur("x", "z");
+        let s = Sequent::goals([
+            xy.clone(),
+            xz.clone(),
+            Formula::exists("x", "S", Formula::True), // not a literal: unindexed
+        ]);
+        let x = Name::new("x");
+        assert_eq!(s.eq_literals_with_var(&x), &[xy.clone(), xz.clone()]);
+        assert_eq!(
+            s.eq_literals_with_var(&Name::new("y")),
+            std::slice::from_ref(&xy)
+        );
+        assert_eq!(
+            s.eq_literals_with_var(&Name::new("z")),
+            std::slice::from_ref(&xz)
+        );
+        assert!(s.eq_literals_with_var(&Name::new("S")).is_empty());
+        // buckets stay sorted like the kind slices they refine
+        assert_eq!(s.eq_literals_with_var(&x), s.eq_literals());
+        // removal unindexes; re-adding restores (CoW: the original is intact)
+        let s2 = s.without_formula(&xy);
+        assert_eq!(s2.eq_literals_with_var(&x), std::slice::from_ref(&xz));
+        assert!(s2.eq_literals_with_var(&Name::new("y")).is_empty());
+        assert_eq!(s.eq_literals_with_var(&x).len(), 2);
+        let s3 = s2.with_formula(xy.clone());
+        assert_eq!(s3.eq_literals_with_var(&x), &[xy, xz]);
+        // duplicate inserts don't double-index
+        let s4 = s3.with_formula(Formula::neq_ur("x", "z"));
+        assert_eq!(s4.eq_literals_with_var(&x).len(), 2);
+    }
+
+    #[test]
+    fn ground_lhs_inequalities_are_tracked_separately() {
+        let ground = Formula::neq_ur(Term::Unit, Term::var("y"));
+        let vars = Formula::neq_ur("x", "y");
+        let s = Sequent::goals([ground.clone(), vars.clone()]);
+        assert_eq!(s.ground_lhs_inequalities(), std::slice::from_ref(&ground));
+        // the ground-lhs inequality still appears in its variables' buckets
+        assert_eq!(
+            s.eq_literals_with_var(&Name::new("y")),
+            &[vars, ground.clone()]
+        );
+        let s2 = s.without_formula(&ground);
+        assert!(s2.ground_lhs_inequalities().is_empty());
     }
 
     #[test]

@@ -1,7 +1,26 @@
 //! The search engine: saturation of safe moves + iterative deepening over
 //! risky (case-splitting) instantiations.
 //!
-//! Two structural ideas keep the per-state cost near-constant:
+//! Four session-lifetime caches (see `SearchCaches`) and two structural
+//! ideas keep the per-state cost near-constant.  The caches: the **failure
+//! memo** (below), the **specialization cache** (`max_specializations`
+//! results per (quantifier, context)), the **rewrite-candidate cache** —
+//! `(≠-node, literal-node) → Option<(rewritten, cost)>`, sound to share
+//! globally because both keys are interned nodes and the rewrite result
+//! depends on nothing else; across branches, deepening levels and batched
+//! goals the overwhelming majority of pairs repeat, turning a subtree
+//! rewrite into an O(1) hash probe — and the **goal-outcome cache**, which
+//! replays the proof (or failure) of a root goal the session has already
+//! settled, sound because every budget that could change the outcome is
+//! fixed in the session's [`ProverConfig`].  Candidate joins are further narrowed by
+//! the sequents' variable-occurrence index ([`Sequent::eq_literals_with_var`]):
+//! a new (in)equality is paired only against literals sharing a term, not
+//! the whole `inequalities() × eq_literals()` product.  Neither device
+//! changes which candidates are generated or their order — unproductive
+//! pairs never consumed a sequence number — so proofs are bit-identical
+//! with the caches on or off.
+//!
+//! The structural ideas:
 //!
 //! * **Candidate-move inheritance.**  Within an existential-leading phase the
 //!   right-hand side only ever *grows*, so the candidate ≠-rewrites and ∃
@@ -27,14 +46,29 @@
 //!   already make the search incomplete, and every returned proof is checked
 //!   independently); the session-equivalence property test exercises goal
 //!   families whose budgets are far from binding.
+//!
+//! **Parallel branch search.**  With [`ProverConfig::parallel_branches`]
+//! set, the *first* risky choice point of each branch (where the risky
+//! budget is still at its deepening level) dispatches its applicable
+//! candidates onto concurrent big-stack workers instead of trying them in
+//! sequence.  Branches share the session caches (they are `Sync`), carry a
+//! first-success cancellation token, and commit deterministically: outcomes
+//! are scanned in candidate order and the lowest successful branch index
+//! wins, so the returned proof is the one the sequential scan would have
+//! found.  Per-branch candidate sequence numbers restart from the parent's
+//! counter; that relabeling is order-preserving within every list a branch
+//! ever compares, so branch-local verdicts equal their sequential
+//! counterparts (away from the shared-budget boundary, exactly the memo
+//! caveat above — parallel branches each get the full remaining state
+//! budget instead of consuming one shared counter).
 
 use crate::session::ProverSession;
 use nrs_delta0::specialize::{max_specializations, MaxSpecialization};
-use nrs_delta0::{Formula, InContext};
+use nrs_delta0::{Formula, InContext, Term};
 use nrs_proof::{formula_hash_mixed, Proof, ProofError, Rule, Sequent};
-use nrs_value::NameGen;
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use nrs_shared::ShardedMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Budgets controlling the proof search.
 #[derive(Debug, Clone)]
@@ -50,6 +84,16 @@ pub struct ProverConfig {
     pub spec_limit: usize,
     /// Global cap on visited search states.
     pub max_states: usize,
+    /// Dispatch the candidates of each branch's first risky choice point
+    /// onto concurrent big-stack workers (first success wins, lowest branch
+    /// index breaks ties — proofs are identical to the sequential scan).
+    /// Defaults to on when the machine has more than one CPU; on a single
+    /// CPU the dispatch only adds thread overhead.
+    pub parallel_branches: bool,
+    /// Consult and extend the session's rewrite-candidate cache.  Purely a
+    /// performance knob: generated candidates and proofs are identical with
+    /// the cache off.
+    pub rewrite_cache: bool,
 }
 
 impl Default for ProverConfig {
@@ -60,6 +104,8 @@ impl Default for ProverConfig {
             max_rewrites: 48,
             spec_limit: 64,
             max_states: 400_000,
+            parallel_branches: std::thread::available_parallelism().is_ok_and(|n| n.get() > 1),
+            rewrite_cache: true,
         }
     }
 }
@@ -73,6 +119,7 @@ impl ProverConfig {
             max_rewrites: 24,
             spec_limit: 32,
             max_states: 40_000,
+            ..ProverConfig::default()
         }
     }
 
@@ -84,6 +131,7 @@ impl ProverConfig {
             max_rewrites: 96,
             spec_limit: 128,
             max_states: 4_000_000,
+            ..ProverConfig::default()
         }
     }
 }
@@ -107,6 +155,22 @@ pub struct ProverStats {
     /// Formula/term interner constructions that allocated a fresh node
     /// during this search.
     pub interner_misses: u64,
+    /// Rewrite-candidate probes answered by the session cache.
+    pub rewrite_cache_hits: usize,
+    /// Rewrite-candidate probes that had to compute (and then cache) the
+    /// rewrite.
+    pub rewrite_cache_misses: usize,
+    /// (inequality, literal) pairs enumerated by the occurrence-indexed
+    /// congruence joins.
+    pub occ_join_pairs: usize,
+    /// Additional pairs the unindexed full `inequalities() × eq_literals()`
+    /// joins would have enumerated (all provably unproductive).
+    pub occ_join_pruned: usize,
+    /// Risky branch subtrees dispatched onto parallel workers.
+    pub parallel_branches: usize,
+    /// Whole root goals answered from the session's goal-outcome cache
+    /// (1 for a replayed goal, 0 for a searched one).
+    pub goal_cache_hits: usize,
 }
 
 /// The memo key: the search-relevant state besides the risky budget.
@@ -120,16 +184,59 @@ pub(crate) struct MemoKey {
     used_hash: u64,
 }
 
-/// Sequents known to fail, mapping to the largest risky budget refuted.
-pub(crate) type FailureMemo = HashMap<MemoKey, usize>;
+/// The session-lifetime caches, shared by every goal, worker and parallel
+/// branch of one [`ProverSession`].  All four are [`ShardedMap`]s —
+/// concurrent probes of different shards (the common case: keys are interned
+/// nodes with well-mixed cached hashes) don't serialize, and concurrent
+/// readers of one shard share a read lock; the former `Mutex` wrappers made
+/// every probe exclusive.  Poisoning is recovered by the map itself, keeping
+/// the sessions' existing panic-tolerance behavior.
+pub(crate) struct SearchCaches {
+    /// Sequents known to fail, mapping to the largest risky budget refuted.
+    pub(crate) memo: ShardedMap<MemoKey, usize>,
+    /// Cached `max_specializations` results, keyed by (quantifier,
+    /// ∈-context): the per-depth goals of one synthesis run decompose the
+    /// same specification formulas under the same contexts, so a warm
+    /// session stops re-enumerating their specializations goal after goal —
+    /// the shared saturation prefix of a batched synthesis run.
+    pub(crate) specs: ShardedMap<(Formula, InContext), Arc<Vec<MaxSpecialization>>>,
+    /// Cached ≠-congruence candidates: `(inequality, literal) →
+    /// Option<(rewritten, cost)>`.  Branch-independent (the value depends
+    /// only on the two interned nodes), so one entry serves every branch,
+    /// deepening level and goal that re-derives the pair.
+    pub(crate) rewrites: ShardedMap<(Formula, Formula), Option<(Formula, usize)>>,
+    /// Completed root-goal outcomes.  A session asked to settle a goal it
+    /// has already settled — the watch-mode loop re-deriving an unchanged
+    /// view, a synthesis batch repeating a goal at two depths — answers from
+    /// here without searching.  Keying by the goal sequent alone is sound
+    /// because every search budget that could change the outcome lives in
+    /// the session's [`ProverConfig`], fixed at session construction.
+    pub(crate) goals: ShardedMap<Sequent, GoalOutcome>,
+}
 
-/// Cached `max_specializations` results, keyed by (quantifier, ∈-context).
-/// The cache lives in the [`ProverSession`], not the per-goal search state:
-/// the per-depth goals of one synthesis run decompose the same specification
-/// formulas under the same contexts, so a warm session stops re-enumerating
-/// their specializations goal after goal — the shared saturation prefix of a
-/// batched synthesis run.
-pub(crate) type SpecCache = HashMap<(Formula, InContext), Arc<Vec<MaxSpecialization>>>;
+/// A settled root goal, as remembered by a session: the proof found (with
+/// the deepening level that found it) or the failure report.
+#[derive(Debug, Clone)]
+pub(crate) enum GoalOutcome {
+    /// Proved; replaying returns a clone of the same proof object.
+    Proved {
+        proof: Box<Proof>,
+        risky_level: usize,
+    },
+    /// Search exhausted its budgets; replaying returns the same error.
+    Failed(String),
+}
+
+impl SearchCaches {
+    pub(crate) fn new() -> SearchCaches {
+        SearchCaches {
+            memo: ShardedMap::new(),
+            specs: ShardedMap::new(),
+            rewrites: ShardedMap::new(),
+            goals: ShardedMap::new(),
+        }
+    }
+}
 
 /// The set of specializations introduced along the current branch (they may
 /// later disappear from the right-hand side when the invertible phase
@@ -343,17 +450,30 @@ struct State<'a> {
     cfg: &'a ProverConfig,
     visited: usize,
     aborted: bool,
+    /// Set alongside `aborted` when the abort came from the parallel
+    /// cancellation token rather than the state budget (a cancelled branch's
+    /// result is discarded; a budget abort must stop the whole search).
+    cancelled: bool,
     trace: bool,
-    memo: &'a Mutex<FailureMemo>,
+    /// The session-shared caches (failure memo, specializations, rewrite
+    /// candidates) — see `SearchCaches`.
+    caches: &'a SearchCaches,
     memo_hits: usize,
     memo_misses: usize,
+    rewrite_hits: usize,
+    rewrite_misses: usize,
+    occ_pairs: usize,
+    occ_pruned: usize,
+    branches_dispatched: usize,
     move_seqno: usize,
-    /// Session-shared cache of `max_specializations` results: within one
-    /// existential-leading phase the ∈-context is fixed, identical
-    /// (quantifier, context) pairs recur across sibling branches, and —
-    /// because the cache belongs to the session — across every goal of a
-    /// batched synthesis run.
-    spec_cache: &'a Mutex<SpecCache>,
+    /// The deepening level this attempt runs at; a risky choice point is
+    /// *top-level* (eligible for parallel dispatch) while the remaining
+    /// risky budget still equals it.
+    level: usize,
+    /// On parallel branch states: the first-success cell and this branch's
+    /// candidate index.  A branch aborts (as `cancelled`) once a
+    /// lower-indexed branch has won.
+    cancel: Option<(&'a AtomicUsize, usize)>,
 }
 
 /// Prove `Θ ; ⊢ Δ` (one-sided), returning a checked proof object.
@@ -375,23 +495,44 @@ pub fn prove_sequent(
 pub(crate) fn prove_sequent_inner(
     sequent: &Sequent,
     cfg: &ProverConfig,
-    memo: &Mutex<FailureMemo>,
-    spec_cache: &Mutex<SpecCache>,
+    caches: &SearchCaches,
 ) -> Result<(Proof, ProverStats), ProofError> {
+    if let Some(outcome) = caches.goals.get(sequent) {
+        return match outcome {
+            GoalOutcome::Proved { proof, risky_level } => {
+                let stats = ProverStats {
+                    risky_level,
+                    proof_size: proof.size(),
+                    goal_cache_hits: 1,
+                    ..ProverStats::default()
+                };
+                Ok((*proof, stats))
+            }
+            GoalOutcome::Failed(msg) => Err(ProofError::SearchFailed(msg)),
+        };
+    }
     let interner_before = nrs_delta0::intern_stats();
     let mut st = State {
         cfg,
         visited: 0,
         aborted: false,
+        cancelled: false,
         trace: std::env::var_os("NRS_PROVER_TRACE").is_some(),
-        memo,
+        caches,
         memo_hits: 0,
         memo_misses: 0,
+        rewrite_hits: 0,
+        rewrite_misses: 0,
+        occ_pairs: 0,
+        occ_pruned: 0,
+        branches_dispatched: 0,
         move_seqno: 0,
-        spec_cache,
+        level: 0,
+        cancel: None,
     };
     for level in 0..=cfg.max_risky {
         st.aborted = false;
+        st.level = level;
         let used = UsedSpecs::default();
         if let Some(proof) = attempt(sequent, level, 0, &used, None, &mut st) {
             let interner_after = nrs_delta0::intern_stats();
@@ -403,17 +544,34 @@ pub(crate) fn prove_sequent_inner(
                 memo_misses: st.memo_misses,
                 interner_hits: interner_after.hits - interner_before.hits,
                 interner_misses: interner_after.misses - interner_before.misses,
+                rewrite_cache_hits: st.rewrite_hits,
+                rewrite_cache_misses: st.rewrite_misses,
+                occ_join_pairs: st.occ_pairs,
+                occ_join_pruned: st.occ_pruned,
+                parallel_branches: st.branches_dispatched,
+                goal_cache_hits: 0,
             };
+            caches.goals.insert(
+                sequent.clone(),
+                GoalOutcome::Proved {
+                    proof: Box::new(proof.clone()),
+                    risky_level: level,
+                },
+            );
             return Ok((proof, stats));
         }
         if st.visited >= cfg.max_states {
             break;
         }
     }
-    Err(ProofError::SearchFailed(format!(
+    let msg = format!(
         "no proof found within budgets (visited {} states, max risky {})",
         st.visited, cfg.max_risky
-    )))
+    );
+    caches
+        .goals
+        .insert(sequent.clone(), GoalOutcome::Failed(msg.clone()));
+    Err(ProofError::SearchFailed(msg))
 }
 
 /// Convenience wrapper: prove that `assumptions` entail one of `goals` under
@@ -469,20 +627,41 @@ fn find_axiom(seq: &Sequent) -> Option<Rule> {
 
 impl<'a> State<'a> {
     fn specializations(&mut self, quant: &Formula, ctx: &InContext) -> Arc<Vec<MaxSpecialization>> {
-        {
-            let cache = self.spec_cache.lock().unwrap_or_else(|p| p.into_inner());
-            if let Some(cached) = cache.get(&(quant.clone(), ctx.clone())) {
-                return cached.clone();
-            }
+        if let Some(cached) = self.caches.specs.get(&(quant.clone(), ctx.clone())) {
+            return cached;
         }
-        // computed outside the lock: enumeration can be expensive, and two
+        // computed outside any lock: enumeration can be expensive, and two
         // workers racing on the same key simply overwrite with equal values
         let specs = Arc::new(max_specializations(quant, ctx, self.cfg.spec_limit));
-        self.spec_cache
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
+        self.caches
+            .specs
             .insert((quant.clone(), ctx.clone()), specs.clone());
         specs
+    }
+
+    /// The branch-independent rewrite for an (inequality, literal) pair,
+    /// through the session cache when enabled (both keys are interned nodes,
+    /// so the probe is O(1) and the cached value is valid for every state
+    /// that re-derives the pair).
+    fn rewrite_candidate(
+        &mut self,
+        ineq: &Formula,
+        atom: &Formula,
+        t: &Term,
+        u: &Term,
+    ) -> Option<(Formula, usize)> {
+        if !self.cfg.rewrite_cache {
+            return compute_rewrite(atom, t, u);
+        }
+        let key = (ineq.clone(), atom.clone());
+        if let Some(cached) = self.caches.rewrites.get(&key) {
+            self.rewrite_hits += 1;
+            return cached;
+        }
+        self.rewrite_misses += 1;
+        let computed = compute_rewrite(atom, t, u);
+        self.caches.rewrites.insert(key, computed.clone());
+        computed
     }
 
     fn next_seqno(&mut self) -> usize {
@@ -531,7 +710,7 @@ fn push_neq_candidates(
     if !matches!(atom, Formula::EqUr(_, _) | Formula::NeqUr(_, _)) {
         return;
     }
-    let Some((rewritten, cost)) = compute_rewrite(atom, t, u) else {
+    let Some((rewritten, cost)) = st.rewrite_candidate(ineq, atom, t, u) else {
         return;
     };
     if seq.contains(&rewritten) {
@@ -605,14 +784,118 @@ fn push_exists_candidates(
     }
 }
 
+/// The literals a given inequality `t ≠ u` can rewrite, via the sequent's
+/// occurrence index: the bucket of one free variable of `t` (a superset of
+/// the literals `t` occurs in — see [`Sequent::eq_literals_with_var`]), or
+/// the full literal slice when `t` is ground.  Restriction of a sorted slice
+/// preserves iteration order, and no *productive* pair is ever dropped, so
+/// the generated candidates (and their sequence numbers) are identical to
+/// the full join's.
+fn atoms_for<'s>(seq: &'s Sequent, t: &Term, st: &mut State) -> &'s [Formula] {
+    let atoms = match t.free_vars_arc().iter().next() {
+        Some(v) => seq.eq_literals_with_var(v),
+        None => seq.eq_literals(),
+    };
+    st.occ_pairs += atoms.len();
+    st.occ_pruned += seq.eq_literals().len() - atoms.len();
+    atoms
+}
+
+/// The inequalities whose left term can occur in the literal `f`, visited in
+/// sorted (full-scan) order without allocating.  Single-variable literals —
+/// the common case — iterate one occurrence-index bucket directly: buckets
+/// sort variant-first, so their ≠ literals form a contiguous suffix and the
+/// whole visit is a subslice walk.  Other shapes scan the inequality slice
+/// with a cached free-variable subset test (if the left term occurs in `f`,
+/// every free variable of the term is free in `f`).  Both paths are sorted
+/// supersets of the productive rewriters: only pairs `compute_rewrite` would
+/// reject are skipped, so the generated candidates (and their sequence
+/// numbers) are identical to the full join\'s.
+fn rewriters_for<'s>(seq: &'s Sequent, f: &Formula) -> Rewriters<'s> {
+    let fv = f.free_vars_arc();
+    if fv.len() == 1 && seq.ground_lhs_inequalities().is_empty() {
+        let v = fv.iter().next().expect("len-1 set");
+        let bucket = seq.eq_literals_with_var(v);
+        let start = bucket.partition_point(|g| g.variant_rank() < 1);
+        return Rewriters::Bucket(bucket[start..].iter());
+    }
+    Rewriters::Scan {
+        inner: seq.inequalities().iter(),
+        fv,
+    }
+}
+
+/// Iterator behind [`rewriters_for`]; both variants borrow the sequent\'s
+/// slices and yield in sorted order.
+enum Rewriters<'s> {
+    /// The ≠ suffix of one occurrence-index bucket.
+    Bucket(std::slice::Iter<'s, Formula>),
+    /// The inequality slice, filtered by the subset test against the
+    /// literal\'s cached free-variable set.
+    Scan {
+        inner: std::slice::Iter<'s, Formula>,
+        fv: Arc<std::collections::BTreeSet<nrs_value::Name>>,
+    },
+}
+
+impl<'s> Iterator for Rewriters<'s> {
+    type Item = &'s Formula;
+    fn next(&mut self) -> Option<&'s Formula> {
+        match self {
+            Rewriters::Bucket(it) => it.next(),
+            Rewriters::Scan { inner, fv } => {
+                for ineq in inner {
+                    let Formula::NeqUr(t, _) = ineq else {
+                        continue;
+                    };
+                    let tfv = t.free_vars_arc();
+                    if tfv.is_empty() || tfv.iter().all(|v| fv.contains(v)) {
+                        return Some(ineq);
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+/// The witness for a ∀ step: the smallest `ev#k` name fresh for the sequent.
+/// Equivalent to `NameGen::avoiding(seq.free_vars().iter()).fresh("ev")` —
+/// and it must stay exactly that, so identical sequents keep introducing
+/// identical witnesses — but computed by scanning the cached per-node
+/// free-variable sets instead of materializing their union.
+fn fresh_eigenvariable(seq: &Sequent) -> nrs_value::Name {
+    let mut max = 0u64;
+    let mut scan = |names: &std::collections::BTreeSet<nrs_value::Name>| {
+        for n in names {
+            if let Some(rest) = n.as_str().rsplit('#').next() {
+                if let Ok(k) = rest.parse::<u64>() {
+                    max = max.max(k + 1);
+                }
+            }
+        }
+    };
+    for atom in seq.ctx.iter() {
+        scan(&atom.elem.free_vars_arc());
+        scan(&atom.set.free_vars_arc());
+    }
+    for f in seq.rhs() {
+        scan(&f.free_vars_arc());
+    }
+    nrs_value::Name::new(format!("ev#{max}"))
+}
+
 /// Full candidate scan, used when (re-)entering an existential-leading phase:
-/// an indexed join of the inequality slice against the literal slices, plus
-/// the specializations of the existential slice.
+/// an occurrence-indexed join of the inequality slice against the literal
+/// buckets, plus the specializations of the existential slice.
 fn full_moves(seq: &Sequent, used: &UsedSpecs, st: &mut State) -> Moves {
     let mut moves = Moves::default();
     let mut batch = MoveBatch::default();
     for ineq in seq.inequalities() {
-        for atom in seq.eq_literals() {
+        let Formula::NeqUr(t, _) = ineq else {
+            unreachable!("the inequality slice holds only ≠ literals")
+        };
+        for atom in atoms_for(seq, t, st) {
             push_neq_candidates(seq, ineq, atom, &mut batch, st);
         }
     }
@@ -626,11 +909,11 @@ fn full_moves(seq: &Sequent, used: &UsedSpecs, st: &mut State) -> Moves {
 /// Build the candidate moves a premise inherits: the parent's moves (shared),
 /// the dead-prefix counts the parent's scan established, and the new
 /// candidates arising from the formulas the applied rule added (the
-/// "delta") — an indexed join against the per-kind slices.
+/// "delta") — occurrence-indexed joins against the per-kind slices.
 fn child_moves(
     premise: &Sequent,
     parent: &Moves,
-    delta: &[Formula],
+    delta: &[&Formula],
     dead: DeadCounts,
     used: &UsedSpecs,
     st: &mut State,
@@ -638,26 +921,36 @@ fn child_moves(
     let mut moves = parent.clone();
     moves.dead = dead;
     let mut batch = MoveBatch::default();
-    for f in delta {
+    for &f in delta {
         match f {
             Formula::EqUr(_, _) => {
-                // a new atom for every known inequality
-                for ineq in premise.inequalities() {
+                // a new atom for every inequality that can rewrite it
+                let total = premise.inequalities().len();
+                let mut seen = 0;
+                for ineq in rewriters_for(premise, f) {
+                    seen += 1;
                     push_neq_candidates(premise, ineq, f, &mut batch, st);
                 }
+                st.occ_pairs += seen;
+                st.occ_pruned += total - seen;
             }
-            Formula::NeqUr(_, _) => {
-                // as a new inequality against every literal (including
-                // itself)…
-                for atom in premise.eq_literals() {
+            Formula::NeqUr(t, _) => {
+                // as a new inequality against every literal containing its
+                // left term (including itself)…
+                for atom in atoms_for(premise, t, st) {
                     push_neq_candidates(premise, f, atom, &mut batch, st);
                 }
                 // …and as a new atom for the other inequalities
-                for ineq in premise.inequalities() {
+                let total = premise.inequalities().len();
+                let mut seen = 0;
+                for ineq in rewriters_for(premise, f) {
+                    seen += 1;
                     if ineq != f {
                         push_neq_candidates(premise, ineq, f, &mut batch, st);
                     }
                 }
+                st.occ_pairs += seen;
+                st.occ_pruned += total - seen;
             }
             Formula::Exists { .. } => push_exists_candidates(premise, f, used, &mut batch, st),
             _ => {}
@@ -691,18 +984,11 @@ fn forward_moves(
     match (principal, rule) {
         (Formula::And(a, b), Rule::And { .. }) => {
             let component = if premise_index == 0 { a } else { b };
-            child_moves(
-                premise,
-                parent,
-                std::slice::from_ref(component),
-                parent.dead,
-                used,
-                st,
-            )
+            child_moves(premise, parent, &[&**component], parent.dead, used, st)
         }
         (Formula::Or(a, b), Rule::Or { .. }) => {
-            let delta = [(**a).clone(), (**b).clone()];
-            child_moves(premise, parent, &delta, parent.dead, used, st)
+            // the disjuncts pass through as shared handles — no unsharing
+            child_moves(premise, parent, &[&**a, &**b], parent.dead, used, st)
         }
         (Formula::Forall { var, body, .. }, Rule::Forall { witness, .. }) => {
             let mut base = parent.clone();
@@ -712,10 +998,10 @@ fn forward_moves(
             for quant in premise.existentials() {
                 push_exists_candidates(premise, quant, used, &mut batch, st);
             }
-            let instantiated = body.subst_var(var, &nrs_delta0::Term::Var(*witness));
+            let instantiated = body.subst_var(var, &Term::Var(*witness));
             if matches!(instantiated, Formula::EqUr(_, _) | Formula::NeqUr(_, _)) {
                 batch.merge_into(&mut base);
-                return child_moves(premise, &base, &[instantiated], base.dead, used, st);
+                return child_moves(premise, &base, &[&instantiated], base.dead, used, st);
             }
             batch.merge_into(&mut base);
             base
@@ -819,10 +1105,10 @@ fn still_applicable(
 
 /// The formula a safe/risky move adds to its premise (the "delta" its child
 /// state extends the inherited candidates with).
-fn added_formula(rule: &Rule) -> Formula {
+fn added_formula(rule: &Rule) -> &Formula {
     match rule {
-        Rule::Neq { rewritten, .. } => rewritten.clone(),
-        Rule::Exists { spec, .. } => spec.clone(),
+        Rule::Neq { rewritten, .. } => rewritten,
+        Rule::Exists { spec, .. } => spec,
         other => unreachable!("saturation applies only ≠/∃ rules, got {}", other.name()),
     }
 }
@@ -838,6 +1124,16 @@ fn attempt(
     if st.aborted {
         return None;
     }
+    if let Some((winner, index)) = st.cancel {
+        // a lower-indexed parallel branch already won: this branch's result
+        // is irrelevant, stop exploring (and stop recording failures — the
+        // abort flag guards the memo writes below)
+        if winner.load(Ordering::Relaxed) < index {
+            st.aborted = true;
+            st.cancelled = true;
+            return None;
+        }
+    }
     if st.trace {
         eprintln!(
             "[{} / r{} w{}] {}",
@@ -852,7 +1148,7 @@ fn attempt(
 
     // 1. axioms
     if let Some(rule) = find_axiom(seq) {
-        return Proof::by(seq.clone(), rule, vec![]).ok();
+        return Some(Proof::by_unchecked(seq.clone(), rule, vec![]));
     }
 
     // 2. invertible decomposition (∧ / ∨ / ∀ are invertible, so no
@@ -873,11 +1169,11 @@ fn attempt(
             // their subtrees coincide and the failure memo can see it.
             Formula::Forall { .. } => Rule::Forall {
                 quant: f.clone(),
-                witness: NameGen::avoiding(seq.free_vars().iter()).fresh("ev"),
+                witness: fresh_eigenvariable(seq),
             },
             _ => unreachable!(),
         };
-        let premises = rule.premises(seq).ok()?;
+        let premises = rule.premises_unchecked(seq);
         let mut sub = Vec::with_capacity(premises.len());
         for (i, p) in premises.iter().enumerate() {
             let forwarded = inherited
@@ -892,7 +1188,7 @@ fn attempt(
                 st,
             )?);
         }
-        return Proof::by(seq.clone(), rule, sub).ok();
+        return Some(Proof::by_unchecked(seq.clone(), rule, sub));
     }
 
     // 3. memoized failure?  (a cheap hash probe: the sequent hash is cached)
@@ -901,13 +1197,10 @@ fn attempt(
         rewrites_used,
         used_hash: used.hash,
     };
-    {
-        let memo = st.memo.lock().unwrap_or_else(|p| p.into_inner());
-        if let Some(&known) = memo.get(&key) {
-            if risky_budget <= known {
-                st.memo_hits += 1;
-                return None;
-            }
+    if let Some(known) = st.caches.memo.get(&key) {
+        if risky_budget <= known {
+            st.memo_hits += 1;
+            return None;
         }
     }
     st.memo_misses += 1;
@@ -928,7 +1221,8 @@ fn attempt(
         let picked = pick_safe_move(seq, &moves, rewrites_used, used, st);
         let safe_dead_prefix = picked.dead_prefix;
         if let Some((ranked, child_dead)) = picked.chosen {
-            if let Ok(premises) = ranked.rule.premises(seq) {
+            {
+                let premises = ranked.rule.premises_unchecked(seq);
                 let rewrites = rewrites_used + usize::from(matches!(ranked.rule, Rule::Neq { .. }));
                 let extended_used = extend_used(used, &ranked.rule);
                 let delta = [added_formula(&ranked.rule)];
@@ -942,7 +1236,11 @@ fn attempt(
                     Some(inherited),
                     st,
                 ) {
-                    return Proof::by(seq.clone(), ranked.rule.clone(), vec![sub]).ok();
+                    return Some(Proof::by_unchecked(
+                        seq.clone(),
+                        ranked.rule.clone(),
+                        vec![sub],
+                    ));
                 }
                 // a safe move never needs alternatives: it only adds
                 // information, so if the extended sequent is unprovable
@@ -952,39 +1250,70 @@ fn attempt(
         }
 
         // 6. risky moves with backtracking (smallest specializations first:
-        //    they tend to be goal instantiations)
+        //    they tend to be goal instantiations).  Applicability depends
+        //    only on this state — not on which earlier candidates were
+        //    tried — so the applicable set can be collected up front, which
+        //    is what the parallel dispatch needs.
         if risky_budget > 0 {
-            for ranked in moves.risky.iter() {
+            let applicable: Vec<&RankedRule> = moves
+                .risky
+                .iter()
+                .filter(|r| still_applicable(seq, &r.rule, rewrites_used, used, st.cfg))
+                .collect();
+            // parallel dispatch only at a branch's *first* risky choice
+            // point (bounded fan-out), and never nested inside a branch
+            let parallel = st.cfg.parallel_branches
+                && st.cancel.is_none()
+                && risky_budget == st.level
+                && applicable.len() >= 2;
+            if parallel {
+                if let Some(proof) = parallel_risky(
+                    seq,
+                    &moves,
+                    &applicable,
+                    risky_budget,
+                    rewrites_used,
+                    used,
+                    safe_dead_prefix,
+                    st,
+                ) {
+                    return Some(proof);
+                }
                 if st.aborted {
                     return None;
                 }
-                if !still_applicable(seq, &ranked.rule, rewrites_used, used, st.cfg) {
-                    continue;
-                }
-                let Ok(premises) = ranked.rule.premises(seq) else {
-                    continue;
-                };
-                let extended_used = extend_used(used, &ranked.rule);
-                let delta = [added_formula(&ranked.rule)];
-                // the append-only safe classes resume from the prefix the
-                // safe scan refuted; the sorted classes rescan from 0
-                let inherited = child_moves(
-                    &premises[0],
-                    &moves,
-                    &delta,
-                    safe_dead_prefix,
-                    &extended_used,
-                    st,
-                );
-                if let Some(sub) = attempt(
-                    &premises[0],
-                    risky_budget - 1,
-                    rewrites_used,
-                    &extended_used,
-                    Some(inherited),
-                    st,
-                ) {
-                    return Proof::by(seq.clone(), ranked.rule.clone(), vec![sub]).ok();
+            } else {
+                for ranked in applicable {
+                    if st.aborted {
+                        return None;
+                    }
+                    let premises = ranked.rule.premises_unchecked(seq);
+                    let extended_used = extend_used(used, &ranked.rule);
+                    let delta = [added_formula(&ranked.rule)];
+                    // the append-only safe classes resume from the prefix
+                    // the safe scan refuted; the sorted classes rescan from 0
+                    let inherited = child_moves(
+                        &premises[0],
+                        &moves,
+                        &delta,
+                        safe_dead_prefix,
+                        &extended_used,
+                        st,
+                    );
+                    if let Some(sub) = attempt(
+                        &premises[0],
+                        risky_budget - 1,
+                        rewrites_used,
+                        &extended_used,
+                        Some(inherited),
+                        st,
+                    ) {
+                        return Some(Proof::by_unchecked(
+                            seq.clone(),
+                            ranked.rule.clone(),
+                            vec![sub],
+                        ));
+                    }
                 }
             }
         }
@@ -992,10 +1321,194 @@ fn attempt(
 
     // 7. record failure — but never while aborting, which would poison the
     //    shared memo with states that merely ran out of the state budget
+    //    (or were cancelled by a winning sibling branch)
     if !st.aborted {
-        let mut memo = st.memo.lock().unwrap_or_else(|p| p.into_inner());
-        let entry = memo.entry(key).or_insert(0);
-        *entry = (*entry).max(risky_budget);
+        st.caches
+            .memo
+            .merge(key, risky_budget, |cur, new| *cur = (*cur).max(new));
+    }
+    None
+}
+
+/// Stack size for parallel branch workers: each explores a full saturation
+/// subtree, so it needs the same deep-recursion stack as the session workers.
+const BRANCH_STACK: usize = 256 * 1024 * 1024;
+
+/// One parallel branch's input (moved onto its worker) and outcome.
+/// Cloning is O(1)-ish (shared formulas and Arc-backed move lists), which
+/// the spawn-failure fallback relies on.
+#[derive(Clone)]
+struct BranchInput {
+    rule: Rule,
+    premise: Sequent,
+    moves: Moves,
+    used: UsedSpecs,
+}
+
+struct BranchOutcome {
+    proof: Option<Proof>,
+    rule: Rule,
+    visited_delta: usize,
+    memo_hits: usize,
+    memo_misses: usize,
+    rewrite_hits: usize,
+    rewrite_misses: usize,
+    occ_pairs: usize,
+    occ_pruned: usize,
+    branches_dispatched: usize,
+    move_seqno: usize,
+    budget_aborted: bool,
+}
+
+/// Explore the applicable risky candidates of a top-level choice point on
+/// concurrent big-stack workers sharing the session caches.  Selection is
+/// deterministic: outcomes are scanned in candidate order and the first
+/// success wins (higher-indexed branches are cancelled once a lower one
+/// succeeds — their discarded results can't influence anything), so the
+/// returned proof is exactly the sequential scan's.  A branch that ran out
+/// of state budget *before* any lower-indexed success aborts the whole
+/// search, as the sequential scan would have.
+#[allow(clippy::too_many_arguments)]
+fn parallel_risky(
+    seq: &Sequent,
+    moves: &Moves,
+    applicable: &[&RankedRule],
+    risky_budget: usize,
+    rewrites_used: usize,
+    used: &UsedSpecs,
+    safe_dead_prefix: DeadCounts,
+    st: &mut State,
+) -> Option<Proof> {
+    // Build every branch's premise and inherited candidate list up front
+    // (deterministic sequence numbers: the generation step happens on the
+    // parent, in candidate order — each branch's new candidates still rank
+    // after everything it inherits).
+    let mut inputs = Vec::with_capacity(applicable.len());
+    for ranked in applicable {
+        let mut premises = ranked.rule.premises_unchecked(seq);
+        let premise = premises.swap_remove(0);
+        let extended_used = extend_used(used, &ranked.rule);
+        let delta = [added_formula(&ranked.rule)];
+        let inherited = child_moves(
+            &premise,
+            moves,
+            &delta,
+            safe_dead_prefix,
+            &extended_used,
+            st,
+        );
+        inputs.push(BranchInput {
+            rule: ranked.rule.clone(),
+            premise,
+            moves: inherited,
+            used: extended_used,
+        });
+    }
+    st.branches_dispatched += inputs.len();
+    let winner = AtomicUsize::new(usize::MAX);
+    let cfg = st.cfg;
+    let caches = st.caches;
+    let trace = st.trace;
+    let visited0 = st.visited;
+    let seqno0 = st.move_seqno;
+    let run = move |input: BranchInput, index: usize, winner: &AtomicUsize| -> BranchOutcome {
+        let mut bst = State {
+            cfg,
+            visited: visited0,
+            aborted: false,
+            cancelled: false,
+            trace,
+            caches,
+            memo_hits: 0,
+            memo_misses: 0,
+            rewrite_hits: 0,
+            rewrite_misses: 0,
+            occ_pairs: 0,
+            occ_pruned: 0,
+            branches_dispatched: 0,
+            move_seqno: seqno0,
+            // a risky move was just taken, so no descendant state of this
+            // branch is top-level — parallel dispatch never nests
+            level: usize::MAX,
+            cancel: Some((winner, index)),
+        };
+        let proof = attempt(
+            &input.premise,
+            risky_budget - 1,
+            rewrites_used,
+            &input.used,
+            Some(input.moves),
+            &mut bst,
+        );
+        if proof.is_some() {
+            winner.fetch_min(index, Ordering::SeqCst);
+        }
+        BranchOutcome {
+            proof,
+            rule: input.rule,
+            visited_delta: bst.visited - visited0,
+            memo_hits: bst.memo_hits,
+            memo_misses: bst.memo_misses,
+            rewrite_hits: bst.rewrite_hits,
+            rewrite_misses: bst.rewrite_misses,
+            occ_pairs: bst.occ_pairs,
+            occ_pruned: bst.occ_pruned,
+            branches_dispatched: bst.branches_dispatched,
+            move_seqno: bst.move_seqno,
+            budget_aborted: bst.aborted && !bst.cancelled,
+        }
+    };
+    let outcomes: Vec<BranchOutcome> = std::thread::scope(|scope| {
+        enum Pending<'h, T> {
+            Spawned(std::thread::ScopedJoinHandle<'h, T>),
+            Inline(T),
+        }
+        let mut pending = Vec::with_capacity(inputs.len());
+        for (index, input) in inputs.into_iter().enumerate() {
+            let winner = &winner;
+            let run = &run;
+            let spawn_input = input.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("nrs-branch-{index}"))
+                .stack_size(BRANCH_STACK)
+                .spawn_scoped(scope, move || run(spawn_input, index, winner));
+            match spawned {
+                Ok(handle) => pending.push(Pending::Spawned(handle)),
+                // can't get a thread: run the branch on this one (the
+                // cancellation token still applies)
+                Err(_) => pending.push(Pending::Inline(run(input, index, winner))),
+            }
+        }
+        pending
+            .into_iter()
+            .map(|p| match p {
+                Pending::Spawned(handle) => match handle.join() {
+                    Ok(outcome) => outcome,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                },
+                Pending::Inline(outcome) => outcome,
+            })
+            .collect()
+    });
+    for outcome in &outcomes {
+        st.visited += outcome.visited_delta;
+        st.memo_hits += outcome.memo_hits;
+        st.memo_misses += outcome.memo_misses;
+        st.rewrite_hits += outcome.rewrite_hits;
+        st.rewrite_misses += outcome.rewrite_misses;
+        st.occ_pairs += outcome.occ_pairs;
+        st.occ_pruned += outcome.occ_pruned;
+        st.branches_dispatched += outcome.branches_dispatched;
+        st.move_seqno = st.move_seqno.max(outcome.move_seqno);
+    }
+    for outcome in outcomes {
+        if outcome.budget_aborted {
+            st.aborted = true;
+            return None;
+        }
+        if let Some(sub) = outcome.proof {
+            return Some(Proof::by_unchecked(seq.clone(), outcome.rule, vec![sub]));
+        }
     }
     None
 }
@@ -1009,7 +1522,7 @@ mod tests {
     use nrs_delta0::MemAtom;
     use nrs_delta0::Term;
     use nrs_proof::check_proof;
-    use nrs_value::{Name, Type};
+    use nrs_value::{Name, NameGen, Type};
 
     fn cfg() -> ProverConfig {
         ProverConfig::default()

@@ -19,7 +19,7 @@
 //!
 //! [`prove_sequent`]: ProverSession::prove_sequent
 
-use crate::search::{prove_sequent_inner, FailureMemo, ProverConfig, ProverStats, SpecCache};
+use crate::search::{prove_sequent_inner, ProverConfig, ProverStats, SearchCaches};
 use nrs_delta0::{Formula, InContext};
 use nrs_proof::{Proof, ProofError, Sequent};
 use std::sync::mpsc::{channel, Sender};
@@ -40,8 +40,10 @@ struct Job {
 
 struct SessionInner {
     cfg: ProverConfig,
-    memo: Mutex<FailureMemo>,
-    specs: Mutex<SpecCache>,
+    /// The session-lifetime caches (failure memo, specialization cache,
+    /// rewrite-candidate cache), each a sharded concurrent map so parallel
+    /// workers and branch threads don't serialize on probes.
+    caches: SearchCaches,
     idle: Mutex<Vec<Sender<Job>>>,
 }
 
@@ -57,8 +59,7 @@ impl ProverSession {
         ProverSession {
             inner: Arc::new(SessionInner {
                 cfg,
-                memo: Mutex::new(FailureMemo::new()),
-                specs: Mutex::new(SpecCache::new()),
+                caches: SearchCaches::new(),
                 idle: Mutex::new(Vec::new()),
             }),
         }
@@ -71,11 +72,26 @@ impl ProverSession {
 
     /// Number of refuted search states currently memoized.
     pub fn memo_len(&self) -> usize {
-        self.inner
-            .memo
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .len()
+        self.inner.caches.memo.len()
+    }
+
+    /// Number of cached ≠-rewrite candidates.  Grows while goals are proved
+    /// and persists across [`ProverSession::prove_batch`] calls — later
+    /// goals of a warm session answer most candidate probes from here.
+    pub fn rewrite_cache_len(&self) -> usize {
+        self.inner.caches.rewrites.len()
+    }
+
+    /// Number of cached specialization enumerations.
+    pub fn spec_cache_len(&self) -> usize {
+        self.inner.caches.specs.len()
+    }
+
+    /// Number of root goals this session has settled (proved or exhausted);
+    /// re-proving any of them replays the remembered outcome without
+    /// searching.
+    pub fn goal_cache_len(&self) -> usize {
+        self.inner.caches.goals.len()
     }
 
     /// Prove `Θ ; ⊢ Δ` (one-sided), returning a checked proof object.  Runs
@@ -196,7 +212,7 @@ impl ProverSession {
                             )));
                             continue;
                         }
-                        let out = prove_sequent_inner(seq, &inner.cfg, &inner.memo, &inner.specs);
+                        let out = prove_sequent_inner(seq, &inner.cfg, &inner.caches);
                         failed = out.is_err();
                         results.push(out);
                     }
@@ -230,13 +246,16 @@ mod tests {
         let session = ProverSession::new(ProverConfig::quick());
         let ctx = InContext::from_atoms([MemAtom::new("x", "S")]);
         let goal = Formula::exists("z", "S", Formula::eq_ur("z", "x"));
-        let (p1, s1) = session
+        let (p1, _s1) = session
             .prove(&ctx, &[], std::slice::from_ref(&goal))
             .unwrap();
         assert!(check_proof(&p1).is_ok());
         let (p2, s2) = session.prove(&ctx, &[], &[goal]).unwrap();
         assert!(check_proof(&p2).is_ok());
-        assert_eq!(s1.visited, s2.visited, "trivial goal has no failures");
+        assert_eq!(p1, p2, "replayed goal returns the identical proof");
+        assert_eq!(s2.visited, 0, "second run replays from the goal cache");
+        assert_eq!(s2.goal_cache_hits, 1);
+        assert_eq!(session.goal_cache_len(), 1);
         // an invalid goal populates the memo…
         let bad = Formula::forall("z", "S", Formula::eq_ur("z", "x"));
         assert!(session

@@ -1,0 +1,246 @@
+//! A sharded, poison-recovering concurrent hash map for identity-keyed
+//! caches.
+//!
+//! The prover keeps several session-lifetime caches keyed by interned syntax
+//! nodes — specialization enumerations, ≠-rewrite candidates, refuted search
+//! states.  All of them share a profile: keys hash in O(1) (the nodes cache
+//! their hashes), probes vastly outnumber inserts, and several search workers
+//! may probe concurrently.  A single `Mutex<HashMap>` serializes those
+//! probes; [`ShardedMap`] splits the key space across `RwLock`-protected
+//! shards instead, so concurrent readers of different keys (and even the same
+//! key) proceed in parallel and writers only exclude their own shard.
+//!
+//! Lock poisoning is **recovered**, not propagated: a worker that panics
+//! mid-insert leaves at worst an absent or stale cache entry, never a torn
+//! one (entries are inserted whole), so later workers can safely keep using
+//! the map — the same policy the prover already applied to its mutex-guarded
+//! caches.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::RwLock;
+
+/// Number of shards; a power of two so the shard index is a mask of the
+/// key's hash.  32 matches the intern tables: enough to make cross-worker
+/// collisions rare at the session's worker counts without bloating the
+/// per-map footprint.
+const SHARDS: usize = 32;
+
+/// A fast multiply-rotate hasher (the FxHash construction) for the cache
+/// keys.  The keys are interned nodes whose `Hash` writes out a few cached
+/// 64-bit structural hashes, so the per-probe cost is dominated by the
+/// hasher's fixed overhead — SipHash's finalization alone costs more than
+/// the whole probe should.  Not DoS-resistant, which is fine for process-
+/// internal caches whose keys the process itself constructs.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        // the Firefox hash: rotate, xor, multiply by a large odd constant
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`FxHasher`]; usable directly as the `S`
+/// parameter of `HashMap`/`HashSet`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A concurrent hash map split into `SHARDS` `RwLock`-guarded shards.
+/// See the module docs for the intended cache profile and the poisoning
+/// policy.
+pub struct ShardedMap<K, V> {
+    shards: Vec<RwLock<HashMap<K, V, FxBuildHasher>>>,
+}
+
+impl<K: Hash + Eq, V> ShardedMap<K, V> {
+    /// An empty map.
+    pub fn new() -> ShardedMap<K, V> {
+        ShardedMap {
+            shards: (0..SHARDS)
+                .map(|_| RwLock::new(HashMap::default()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V, FxBuildHasher>> {
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        // use the high bits for shard selection: the map inside each shard
+        // indexes by the low bits of the same hash function
+        &self.shards[(h.finish() >> 57) as usize & (SHARDS - 1)]
+    }
+
+    /// Look up a key, cloning the value out (values are cheap handles:
+    /// `Arc`s, shared formulas, small copies).
+    pub fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.shard(key)
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(key)
+            .cloned()
+    }
+
+    /// Insert a value, returning the previous one (if any).  Two workers
+    /// racing on the same key simply overwrite each other with values
+    /// computed from the same inputs.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        self.shard(&key)
+            .write()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(key, value)
+    }
+
+    /// Merge a value into the map: insert it when the key is absent,
+    /// otherwise let `f` combine it into the existing entry (e.g. a
+    /// `max`-merge for the failure memo's refuted budgets).
+    pub fn merge(&self, key: K, value: V, f: impl FnOnce(&mut V, V)) {
+        let mut shard = self.shard(&key).write().unwrap_or_else(|p| p.into_inner());
+        match shard.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => f(e.get_mut(), value),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(value);
+            }
+        }
+    }
+
+    /// Total number of entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(|p| p.into_inner()).len())
+            .sum()
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.read().unwrap_or_else(|p| p.into_inner()).is_empty())
+    }
+}
+
+impl<K: Hash + Eq, V> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        ShardedMap::new()
+    }
+}
+
+impl<K: Hash + Eq, V> std::fmt::Debug for ShardedMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedMap")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_insert_merge_len() {
+        let map: ShardedMap<u64, usize> = ShardedMap::new();
+        assert!(map.is_empty());
+        assert_eq!(map.get(&1), None);
+        assert_eq!(map.insert(1, 10), None);
+        assert_eq!(map.insert(1, 11), Some(10));
+        assert_eq!(map.get(&1), Some(11));
+        map.merge(1, 5, |cur, new| *cur = (*cur).max(new));
+        assert_eq!(map.get(&1), Some(11), "max-merge keeps the larger value");
+        map.merge(1, 20, |cur, new| *cur = (*cur).max(new));
+        assert_eq!(map.get(&1), Some(20));
+        map.merge(2, 7, |cur, new| *cur = (*cur).max(new));
+        assert_eq!(map.get(&2), Some(7), "merge inserts absent keys");
+        // keys spread across shards still count once each
+        for k in 0..100u64 {
+            map.insert(k, k as usize);
+        }
+        assert_eq!(map.len(), 100);
+        assert!(!map.is_empty());
+    }
+
+    #[test]
+    fn concurrent_probes_and_inserts() {
+        let map: ShardedMap<u64, u64> = ShardedMap::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let map = &map;
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        let _ = map.get(&(i / 2));
+                        map.merge(i, t, |cur, new| *cur = (*cur).max(new));
+                    }
+                });
+            }
+        });
+        assert_eq!(map.len(), 500);
+        for i in 0..500u64 {
+            assert_eq!(
+                map.get(&i),
+                Some(3),
+                "max-merge converges to the largest writer"
+            );
+        }
+    }
+
+    #[test]
+    fn poisoned_shards_recover() {
+        let map: std::sync::Arc<ShardedMap<u8, u8>> = std::sync::Arc::new(ShardedMap::new());
+        // poison every shard by panicking while holding its write lock
+        for k in 0..=255u8 {
+            let map = map.clone();
+            let _ = std::thread::spawn(move || {
+                let shard = map.shard(&k);
+                let _guard = shard.write().unwrap();
+                panic!("poison shard");
+            })
+            .join();
+        }
+        map.insert(1, 2);
+        assert_eq!(map.get(&1), Some(2), "reads and writes survive poisoning");
+        assert_eq!(map.len(), 1);
+    }
+}

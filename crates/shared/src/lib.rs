@@ -27,6 +27,10 @@
 //! The intern tables hold [`Weak`] references and purge dead entries as they
 //! grow, so interning never leaks nodes whose last strong handle is dropped.
 
+mod cache;
+
+pub use cache::{FxBuildHasher, FxHasher, ShardedMap};
+
 use nrs_value::Name;
 use serde::{Content, Deserialize, Error, Serialize};
 use std::cell::Cell;
