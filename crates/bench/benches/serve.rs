@@ -1,0 +1,133 @@
+//! E9 — serving maintained views: the cost of the fault-tolerance layer on
+//! top of the E8 maintenance path, and snapshot-read latency under load.
+//!
+//! Workload: the partition problem (as in E5/E8) behind a `ViewServer`.
+//! For each base size |S| the group measures:
+//!
+//! * `serve_update` — one validated, transactional single-tuple update
+//!   round (submit → coalesce → exactness check → apply → publish a new
+//!   epoch).  The overhead over E8's bare `ivm_single` is the price of the
+//!   serving guarantees;
+//! * `serve_update_readers` — the same round while 4 reader threads spin
+//!   on `snapshot()`: writer-side latency under read load;
+//! * `snapshot_read` — cloning the published `Arc<Snapshot>`, the whole
+//!   read path;
+//! * `snapshot_read_contended` — the same read while a writer thread
+//!   applies update rounds back to back: epoch swaps must not stall
+//!   readers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nrs_ivm::UpdateBatch;
+use nrs_serve::ViewServer;
+use nrs_synthesis::views::{partition_instance, partition_problem};
+use nrs_synthesis::SynthesisConfig;
+use nrs_value::Value;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+fn toggle_batch(size: usize, present: bool) -> UpdateBatch {
+    let tuple = Value::atom((3 * size + 17) as u64);
+    let mut batch = UpdateBatch::new();
+    if present {
+        batch.delete("S", tuple);
+    } else {
+        batch.insert("S", tuple);
+    }
+    batch
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let problem = partition_problem();
+    let rewriting = problem
+        .derive_rewriting(&SynthesisConfig::default())
+        .expect("rewriting");
+
+    let mut group = c.benchmark_group("E9_serving");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let sizes: &[usize] = if std::env::var_os("NRS_BENCH_FAST").is_some() {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    for &size in sizes {
+        let base = partition_instance(size, 42);
+        let server = ViewServer::new(&rewriting, &base).expect("server");
+
+        // Warm the maintenance operators before measuring: the harness
+        // calibrates its iteration count from the first call, and a cold
+        // first round would pin every sample at the cold cost.
+        let mut present = false;
+        for _ in 0..8 {
+            server.apply(&toggle_batch(size, present)).unwrap();
+            present = !present;
+        }
+        group.bench_with_input(BenchmarkId::new("serve_update", size), &size, |b, _| {
+            b.iter(|| {
+                let report = server.apply(&toggle_batch(size, present)).unwrap();
+                present = !present;
+                report.snapshot.epoch
+            })
+        });
+
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let mut epoch = 0;
+                    while !stop.load(Ordering::Relaxed) {
+                        epoch = server.snapshot().epoch.max(epoch);
+                    }
+                    epoch
+                });
+            }
+            group.bench_with_input(
+                BenchmarkId::new("serve_update_readers", size),
+                &size,
+                |b, _| {
+                    b.iter(|| {
+                        let report = server.apply(&toggle_batch(size, present)).unwrap();
+                        present = !present;
+                        report.snapshot.epoch
+                    })
+                },
+            );
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        group.bench_with_input(BenchmarkId::new("snapshot_read", size), &size, |b, _| {
+            b.iter(|| server.snapshot().epoch)
+        });
+
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut writer_present = present;
+                while !stop.load(Ordering::Relaxed) {
+                    server.apply(&toggle_batch(size, writer_present)).unwrap();
+                    writer_present = !writer_present;
+                }
+            });
+            group.bench_with_input(
+                BenchmarkId::new("snapshot_read_contended", size),
+                &size,
+                |b, _| b.iter(|| server.snapshot().epoch),
+            );
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        // The served state is still exactly what the oracle computes.  The
+        // oracle interprets the raw view expressions (no plan recognition),
+        // which is quadratic in |S| for the partition views — affordable up
+        // to 10^4, hours at 10^5 — so the largest size checks coverage only.
+        if size <= 10_000 {
+            assert!(server.cross_check(&rewriting).unwrap());
+        }
+        assert!(server.coverage().fully_incremental());
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

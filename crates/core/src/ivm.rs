@@ -23,13 +23,14 @@
 
 use crate::synthesis::{SynthesisError, SynthesizedDefinition};
 use crate::views::RewritingResult;
-use nrs_ivm::{DeltaSet, IvmError, MaintainedQuery, UpdateBatch};
+use nrs_ivm::{CoverageReport, DeltaSet, IvmError, MaintainedQuery, UpdateBatch};
 use nrs_nrc::{eval as nrc_eval, CompiledQuery};
 use nrs_value::{Instance, Name, Value};
+use std::fmt;
 
 impl From<IvmError> for SynthesisError {
     fn from(e: IvmError) -> Self {
-        SynthesisError::Ill(e.to_string())
+        SynthesisError::Maintenance(e)
     }
 }
 
@@ -58,6 +59,19 @@ impl MaintainedView {
     /// view's materialization.
     pub fn apply(&mut self, batch: &UpdateBatch) -> Result<DeltaSet, SynthesisError> {
         Ok(self.maintained.apply(batch)?)
+    }
+
+    /// Like [`MaintainedView::apply`], but all-or-nothing: if propagation
+    /// fails mid-batch, the inputs and every operator cache are restored to
+    /// their pre-batch state before the error is returned.
+    pub fn apply_transactional(&mut self, batch: &UpdateBatch) -> Result<DeltaSet, SynthesisError> {
+        Ok(self.maintained.apply_transactional(batch)?)
+    }
+
+    /// Per-operator maintenance modes of the compiled definition (ROADMAP
+    /// item 5: which operators are delta-maintained vs recomputed).
+    pub fn coverage(&self) -> CoverageReport {
+        self.maintained.coverage()
     }
 
     /// The maintained materialization of the view.
@@ -89,6 +103,68 @@ impl MaintainedView {
 struct MaintainedStage {
     name: Name,
     maintained: MaintainedQuery,
+}
+
+/// Where in a rewriting pipeline a maintenance failure occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FailLoc {
+    /// The view-materialization stage at this index.
+    Stage(usize),
+    /// The answer query over the views.
+    Answer,
+}
+
+/// An operator the self-healing apply demoted to recompute-on-dirty:
+/// which query it belongs to (a view stage or the answer) and its stable
+/// preorder id within that query's plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedOperator {
+    /// The view the operator belongs to, or `None` for the answer query.
+    pub view: Option<Name>,
+    /// Stable preorder operator id within the owning plan.
+    pub op: usize,
+}
+
+impl fmt::Display for DegradedOperator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.view {
+            Some(name) => write!(f, "view {name} operator #{}", self.op),
+            None => write!(f, "answer operator #{}", self.op),
+        }
+    }
+}
+
+/// Per-query coverage of a maintained rewriting pipeline (ROADMAP item 5):
+/// one [`CoverageReport`] per view stage plus one for the answer, including
+/// any operators the self-healing apply has degraded.
+#[derive(Debug, Clone)]
+pub struct RewritingCoverage {
+    /// Coverage of each view-materialization stage, in pipeline order.
+    pub views: Vec<(Name, CoverageReport)>,
+    /// Coverage of the answer query over the views.
+    pub answer: CoverageReport,
+}
+
+impl RewritingCoverage {
+    /// Is every operator of every stage delta-maintained (nothing opaque,
+    /// nothing degraded)?
+    pub fn fully_incremental(&self) -> bool {
+        self.views.iter().all(|(_, c)| c.fully_incremental()) && self.answer.fully_incremental()
+    }
+
+    /// Total number of degraded operators across the pipeline.
+    pub fn degraded(&self) -> usize {
+        self.views.iter().map(|(_, c)| c.degraded()).sum::<usize>() + self.answer.degraded()
+    }
+}
+
+impl fmt::Display for RewritingCoverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, c) in &self.views {
+            writeln!(f, "view {name}: {c}")?;
+        }
+        write!(f, "answer: {}", self.answer)
+    }
 }
 
 /// A full Corollary 3 pipeline kept materialized under *base* updates: the
@@ -132,9 +208,18 @@ impl MaintainedRewriting {
     /// names, and the rewriting's answer is maintained from that.  Returns
     /// the exact delta of the answer.
     pub fn apply(&mut self, batch: &UpdateBatch) -> Result<DeltaSet, SynthesisError> {
+        self.apply_inner(batch).map_err(|(_, e)| e.into())
+    }
+
+    /// The shared propagation step, reporting *where* a failure occurred so
+    /// the transactional wrappers can degrade the right operator.
+    fn apply_inner(&mut self, batch: &UpdateBatch) -> Result<DeltaSet, (FailLoc, IvmError)> {
         let mut view_batch = UpdateBatch::new();
-        for stage in &mut self.stages {
-            let delta = stage.maintained.apply(batch)?;
+        for (i, stage) in self.stages.iter_mut().enumerate() {
+            let delta = stage
+                .maintained
+                .apply(batch)
+                .map_err(|e| (FailLoc::Stage(i), e))?;
             if !delta.is_empty() {
                 view_batch.push_delta(stage.name, delta);
             }
@@ -142,7 +227,136 @@ impl MaintainedRewriting {
         if view_batch.is_empty() {
             return Ok(DeltaSet::new());
         }
-        Ok(self.answer.apply(&view_batch)?)
+        self.answer
+            .apply(&view_batch)
+            .map_err(|e| (FailLoc::Answer, e))
+    }
+
+    /// Restore every stage and the answer to a previously captured
+    /// (base, views) snapshot by full rebuild.  Failure path only — the
+    /// success path never pays this; serving layers use it to unwind a batch
+    /// whose publication step failed after propagation succeeded.
+    pub fn restore(&mut self, base: &Instance, views: &Instance) -> Result<(), SynthesisError> {
+        self.rollback(base, views)
+    }
+
+    /// Restore every stage and the answer to a pre-batch snapshot by full
+    /// rebuild (failure path only — the success path never pays this).
+    fn rollback(&mut self, base: &Instance, views: &Instance) -> Result<(), SynthesisError> {
+        for stage in &mut self.stages {
+            stage.maintained.rebuild(base).map_err(|e| {
+                SynthesisError::Ill(format!("rollback of view {} failed: {e}", stage.name))
+            })?;
+        }
+        self.answer
+            .rebuild(views)
+            .map_err(|e| SynthesisError::Ill(format!("rollback of the answer failed: {e}")))
+    }
+
+    /// Like [`MaintainedRewriting::apply`], but all-or-nothing across the
+    /// whole pipeline: if any stage (or the answer) fails mid-propagation,
+    /// every materialization is restored to its pre-batch state before the
+    /// error is returned.  Validation errors
+    /// ([`IvmError::is_validation`]) never modify state, so they skip the
+    /// rollback.
+    pub fn apply_transactional(&mut self, batch: &UpdateBatch) -> Result<DeltaSet, SynthesisError> {
+        let base_before = self.base().clone();
+        let views_before = self.answer.env().clone();
+        match self.apply_inner(batch) {
+            Ok(d) => Ok(d),
+            Err((_, e)) => {
+                if !e.is_validation() {
+                    self.rollback(&base_before, &views_before)?;
+                }
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Self-healing apply: transactional, and an operator failure
+    /// additionally **degrades** the failing operator to recompute-on-dirty
+    /// (visible in [`MaintainedRewriting::coverage`]) and retries the batch
+    /// through the degraded plan.  Returns the answer delta together with
+    /// the operators degraded while processing this batch.  Validation
+    /// errors are returned as-is — there is nothing to heal.
+    pub fn apply_resilient(
+        &mut self,
+        batch: &UpdateBatch,
+    ) -> Result<(DeltaSet, Vec<DegradedOperator>), SynthesisError> {
+        let mut degraded = Vec::new();
+        loop {
+            let base_before = self.base().clone();
+            let views_before = self.answer.env().clone();
+            match self.apply_inner(batch) {
+                Ok(d) => return Ok((d, degraded)),
+                Err((loc, e)) => {
+                    if e.is_validation() {
+                        return Err(e.into());
+                    }
+                    self.rollback(&base_before, &views_before)?;
+                    let Some(op) = e.operator() else {
+                        // no operator to blame (e.g. an internal invariant
+                        // violation): degradation can't help
+                        return Err(e.into());
+                    };
+                    let query = match loc {
+                        FailLoc::Stage(i) => &mut self.stages[i].maintained,
+                        FailLoc::Answer => &mut self.answer,
+                    };
+                    if query.degraded().contains(&op) {
+                        // the operator failed *again* while already degraded
+                        // (its recompute path is broken too): give up rather
+                        // than loop
+                        return Err(e.into());
+                    }
+                    query.degrade(op).map_err(SynthesisError::from)?;
+                    degraded.push(DegradedOperator {
+                        view: match loc {
+                            FailLoc::Stage(i) => Some(self.stages[i].name),
+                            FailLoc::Answer => None,
+                        },
+                        op,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Per-stage maintenance coverage (ROADMAP item 5), including operators
+    /// degraded by [`MaintainedRewriting::apply_resilient`].
+    pub fn coverage(&self) -> RewritingCoverage {
+        RewritingCoverage {
+            views: self
+                .stages
+                .iter()
+                .map(|s| (s.name, s.maintained.coverage()))
+                .collect(),
+            answer: self.answer.coverage(),
+        }
+    }
+
+    /// The operators currently degraded across the pipeline.
+    pub fn degraded_operators(&self) -> Vec<DegradedOperator> {
+        let mut out = Vec::new();
+        for stage in &self.stages {
+            out.extend(
+                stage
+                    .maintained
+                    .degraded()
+                    .iter()
+                    .map(|&op| DegradedOperator {
+                        view: Some(stage.name),
+                        op,
+                    }),
+            );
+        }
+        out.extend(
+            self.answer
+                .degraded()
+                .iter()
+                .map(|&op| DegradedOperator { view: None, op }),
+        );
+        out
     }
 
     /// The maintained query answer.
@@ -230,6 +444,47 @@ mod tests {
                 "diverged from the naive oracle at step {i}"
             );
         }
+    }
+
+    #[test]
+    fn transactional_apply_rejects_malformed_batches_without_state_change() {
+        let problem = partition_problem();
+        let result = problem
+            .derive_rewriting(&SynthesisConfig::default())
+            .expect("rewriting exists");
+        let base = partition_instance(20, 3);
+        let mut mv = MaintainedRewriting::new(&result, &base).expect("materialize");
+        let before = mv.answer().clone();
+        // a delta with overlapping sides is malformed on every path
+        let mut ds = DeltaSet::new();
+        ds.inserts.insert(Value::atom(1));
+        ds.deletes.insert(Value::atom(1));
+        // the insert/delete builders cancel opposite sides, so an overlap is
+        // only constructible by wrapping a hand-built delta verbatim
+        let batch = UpdateBatch::from_delta("S", ds);
+        let err = mv.apply_transactional(&batch).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SynthesisError::Maintenance(IvmError::OverlappingDelta { .. })
+            ),
+            "got {err}"
+        );
+        assert_eq!(
+            mv.answer(),
+            &before,
+            "validation errors leave state untouched"
+        );
+        assert!(mv.cross_check(&result).unwrap());
+        // a healthy pipeline is fully incremental with nothing degraded
+        assert!(mv.coverage().fully_incremental());
+        assert!(mv.degraded_operators().is_empty());
+        // and a resilient apply of a good batch degrades nothing
+        let mut good = UpdateBatch::new();
+        good.insert("S", Value::atom(7777));
+        let (_, degraded) = mv.apply_resilient(&good).expect("resilient apply");
+        assert!(degraded.is_empty());
+        assert!(mv.cross_check(&result).unwrap());
     }
 
     #[test]

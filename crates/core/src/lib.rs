@@ -44,8 +44,8 @@ pub mod synthesis;
 pub mod views;
 
 pub use collect::{collect_parameters, CollectInput, CollectOutput};
-pub use ivm::{MaintainedRewriting, MaintainedView};
-pub use nrs_ivm::{DeltaSet, UpdateBatch};
+pub use ivm::{DegradedOperator, MaintainedRewriting, MaintainedView, RewritingCoverage};
+pub use nrs_ivm::{CoverageReport, DeltaSet, IvmError, UpdateBatch};
 pub use synthesis::{
     synthesize, synthesize_with, ImplicitSpec, SynthesisConfig, SynthesisError, SynthesisReport,
     SynthesizedDefinition,

@@ -108,6 +108,12 @@ pub enum SynthesisError {
     Interpolation(String),
     /// The parameter-collection extraction failed on a found proof.
     Extraction(String),
+    /// Incremental maintenance of a materialized view or rewriting failed.
+    /// The typed [`IvmError`](nrs_ivm::IvmError) is preserved so serving
+    /// layers can tell
+    /// validation errors (reject the batch, state untouched) from operator
+    /// failures (roll back and degrade the failing operator).
+    Maintenance(nrs_ivm::IvmError),
     /// Types or expressions were inconsistent.
     Ill(String),
 }
@@ -120,6 +126,7 @@ impl std::fmt::Display for SynthesisError {
             }
             SynthesisError::Interpolation(m) => write!(f, "interpolation failed: {m}"),
             SynthesisError::Extraction(m) => write!(f, "parameter collection failed: {m}"),
+            SynthesisError::Maintenance(e) => write!(f, "view maintenance failed: {e}"),
             SynthesisError::Ill(m) => write!(f, "inconsistent synthesis input: {m}"),
         }
     }

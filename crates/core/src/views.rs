@@ -49,6 +49,13 @@ impl RewritingProblem {
         TypeEnv::from_pairs(self.base.iter().cloned())
     }
 
+    /// The base declarations as a [`Schema`][nrs_value::Schema] — the
+    /// contract a serving layer validates incoming update batches against.
+    pub fn base_schema(&self) -> Result<nrs_value::Schema, SynthesisError> {
+        nrs_value::Schema::from_decls(self.base.iter().cloned())
+            .map_err(|e| SynthesisError::Ill(e.to_string()))
+    }
+
     /// The combined Δ0 specification `Σ_{V̄,Q}` of views, query and constraints.
     pub fn specification(&self, gen: &mut NameGen) -> Result<ImplicitSpec, SynthesisError> {
         let env = self.base_env();

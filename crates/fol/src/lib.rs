@@ -32,6 +32,14 @@ pub enum FoError {
     PremiseMismatch(String),
     /// Proof search exhausted its budget.
     SearchFailed(String),
+    /// Proof search hit its wall-clock deadline
+    /// ([`FoProverConfig::deadline`]) — transient, unlike a budget failure.
+    Timeout {
+        /// Milliseconds elapsed when the deadline fired.
+        elapsed_ms: u64,
+        /// Search states visited before giving up.
+        visited: usize,
+    },
     /// Interpolation could not eliminate a non-shared symbol.
     Interpolation(String),
 }
@@ -42,6 +50,15 @@ impl std::fmt::Display for FoError {
             FoError::RuleNotApplicable(m) => write!(f, "FO rule not applicable: {m}"),
             FoError::PremiseMismatch(m) => write!(f, "FO premise mismatch: {m}"),
             FoError::SearchFailed(m) => write!(f, "FO proof search failed: {m}"),
+            FoError::Timeout {
+                elapsed_ms,
+                visited,
+            } => {
+                write!(
+                    f,
+                    "FO proof search timed out after {elapsed_ms} ms ({visited} states visited)"
+                )
+            }
             FoError::Interpolation(m) => write!(f, "FO interpolation failed: {m}"),
         }
     }

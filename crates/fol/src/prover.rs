@@ -53,6 +53,11 @@ pub struct FoProverConfig {
     pub max_rewrites: usize,
     /// Global cap on visited states.
     pub max_states: usize,
+    /// Wall-clock deadline per goal, checked at state-visit granularity.
+    /// When it fires the search returns [`FoError::Timeout`] — distinct from
+    /// the budget-exhaustion [`FoError::SearchFailed`].  `None` (the
+    /// default) means no deadline.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl Default for FoProverConfig {
@@ -61,6 +66,7 @@ impl Default for FoProverConfig {
             max_instantiations: 12,
             max_rewrites: 24,
             max_states: 200_000,
+            deadline: None,
         }
     }
 }
@@ -435,6 +441,11 @@ struct St<'a> {
     cfg: &'a FoProverConfig,
     visited: usize,
     aborted: bool,
+    /// The absolute wall-clock deadline, if the config sets one.
+    deadline: Option<std::time::Instant>,
+    /// Set alongside `aborted` when the abort came from the deadline (the
+    /// search stops and reports [`FoError::Timeout`]).
+    timed_out: bool,
     memo: &'a Mutex<FailureMemo>,
     memo_hits: usize,
     memo_misses: usize,
@@ -445,10 +456,13 @@ fn prove_inner(
     cfg: &FoProverConfig,
     memo: &Mutex<FailureMemo>,
 ) -> Result<(FoProof, FoProverStats), FoError> {
+    let start = std::time::Instant::now();
     let mut st = St {
         cfg,
         visited: 0,
         aborted: false,
+        deadline: cfg.deadline.map(|d| start + d),
+        timed_out: false,
         memo,
         memo_hits: 0,
         memo_misses: 0,
@@ -464,6 +478,12 @@ fn prove_inner(
                 memo_misses: st.memo_misses,
             };
             return Ok((proof, stats));
+        }
+        if st.timed_out {
+            return Err(FoError::Timeout {
+                elapsed_ms: start.elapsed().as_millis() as u64,
+                visited: st.visited,
+            });
         }
         if st.visited >= cfg.max_states {
             break;
@@ -523,6 +543,13 @@ fn attempt(
     if st.visited >= st.cfg.max_states {
         st.aborted = true;
         return None;
+    }
+    if let Some(deadline) = st.deadline {
+        if std::time::Instant::now() >= deadline {
+            st.aborted = true;
+            st.timed_out = true;
+            return None;
+        }
     }
 
     // 1. axioms
@@ -671,6 +698,21 @@ fn record_failure(st: &mut St, key: MemoKey, budget: usize) {
 mod tests {
     use super::*;
     use crate::calculus::check_fo_proof;
+
+    #[test]
+    fn fo_deadline_reports_timeout_not_search_failure() {
+        let bad = FoFormula::exists("y", FoFormula::atom("T", vec!["y"]));
+        // a zero deadline fires at the very first state visit
+        let cfg = FoProverConfig {
+            deadline: Some(std::time::Duration::ZERO),
+            ..FoProverConfig::default()
+        };
+        let err = fo_prove(&[], std::slice::from_ref(&bad), &cfg).unwrap_err();
+        assert!(matches!(err, FoError::Timeout { .. }), "got {err:?}");
+        // without a deadline the same goal fails on budgets
+        let err = fo_prove(&[], &[bad], &FoProverConfig::default()).unwrap_err();
+        assert!(matches!(err, FoError::SearchFailed(_)), "got {err:?}");
+    }
 
     #[test]
     fn propositional_and_equality_reasoning() {

@@ -20,6 +20,7 @@ fn cfg() -> FoProverConfig {
         max_instantiations: 4,
         max_rewrites: 8,
         max_states: 20_000,
+        ..FoProverConfig::default()
     }
 }
 

@@ -11,9 +11,21 @@
 //! F").  Batches as written by callers may be sloppy (inserting a present
 //! tuple, deleting an absent one); [`UpdateBatch::normalize_against`] reduces
 //! them to exact deltas against a concrete instance before application.
+//! One malformation is rejected rather than normalized: a tuple listed on
+//! **both** sides of a delta has no sequential meaning (the
+//! [`insert`][UpdateBatch::insert]/[`delete`][UpdateBatch::delete] builders
+//! cannot produce it; only hand-built [`DeltaSet`]s can) and every
+//! application path reports it as [`IvmError::OverlappingDelta`].
+//!
+//! A serving boundary wants to *reject* sloppiness instead of silently
+//! normalizing it: [`UpdateBatch::validate_schema`] checks relation names
+//! and tuple types against a [`Schema`], [`UpdateBatch::validate_against`]
+//! checks exactness against a concrete instance, and
+//! [`UpdateBatch::apply_strict`] applies only batches that pass both the
+//! overlap and exactness checks.
 
 use crate::IvmError;
-use nrs_value::{Instance, Name, Value};
+use nrs_value::{Instance, Name, Schema, Value};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// An exact set delta: disjoint inserts and deletes.
@@ -76,6 +88,13 @@ impl DeltaSet {
             out.insert(i.clone());
         }
         out
+    }
+
+    /// A tuple listed on both sides, if any — such a delta is malformed
+    /// (the builders keep the sides disjoint; only hand-assembled deltas
+    /// can overlap) and is rejected by every application path.
+    pub fn overlap(&self) -> Option<&Value> {
+        self.inserts.intersection(&self.deletes).next()
     }
 }
 
@@ -150,6 +169,7 @@ impl UpdateBatch {
     /// Unbound relation names are treated as the empty set (the update
     /// introduces the relation); a non-set binding is an error.
     pub fn normalize_against(&self, inst: &Instance) -> Result<UpdateBatch, IvmError> {
+        self.check_disjoint()?;
         let mut out = UpdateBatch::new();
         for (name, delta) in &self.rels {
             let exact = match inst.try_get(name) {
@@ -181,6 +201,7 @@ impl UpdateBatch {
     /// `new = (old ∖ deletes) ∪ inserts` (functional; the input is shared,
     /// not copied, except along the touched paths).
     pub fn apply(&self, inst: &Instance) -> Result<Instance, IvmError> {
+        self.check_disjoint()?;
         let mut bindings = Vec::with_capacity(self.rels.len());
         for (name, delta) in &self.rels {
             let old = match inst.try_get(name) {
@@ -191,7 +212,109 @@ impl UpdateBatch {
         }
         Ok(inst.with_many(bindings))
     }
+
+    /// Reject deltas with a tuple on both sides ([`IvmError::
+    /// OverlappingDelta`]) — the check every application path runs first.
+    pub fn check_disjoint(&self) -> Result<(), IvmError> {
+        for (name, delta) in &self.rels {
+            if let Some(t) = delta.overlap() {
+                return Err(IvmError::OverlappingDelta {
+                    rel: *name,
+                    tuple: t.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate the batch against a schema: every touched relation must be
+    /// declared with a set type, and every tuple must have that set's
+    /// element type.  Reports [`IvmError::UnknownRelation`],
+    /// [`IvmError::NotASet`] or [`IvmError::TypeMismatch`]; state is never
+    /// touched.
+    pub fn validate_schema(&self, schema: &Schema) -> Result<(), IvmError> {
+        for (name, delta) in &self.rels {
+            let Ok(ty) = schema.type_of(name) else {
+                return Err(IvmError::UnknownRelation(*name));
+            };
+            let Some(elem_ty) = ty.elem() else {
+                return Err(IvmError::NotASet(*name));
+            };
+            for t in delta.elems() {
+                if !t.has_type(elem_ty) {
+                    return Err(IvmError::TypeMismatch {
+                        rel: *name,
+                        expected: elem_ty.clone(),
+                        tuple: t.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Strict exactness check against a concrete instance: beyond
+    /// [disjointness][UpdateBatch::check_disjoint], every insert must be
+    /// genuinely absent ([`IvmError::DuplicateInsert`] otherwise) and every
+    /// delete genuinely present ([`IvmError::MissingDelete`]).  This is the
+    /// serving boundary's alternative to silent normalization.
+    pub fn validate_against(&self, inst: &Instance) -> Result<(), IvmError> {
+        self.check_disjoint()?;
+        for (name, delta) in &self.rels {
+            let bound;
+            let old = match inst.try_get(name) {
+                None => &EMPTY,
+                Some(v) => {
+                    bound = v.as_set().map_err(|_| IvmError::NotASet(*name))?;
+                    bound
+                }
+            };
+            if let Some(t) = delta.inserts.iter().find(|t| old.contains(*t)) {
+                return Err(IvmError::DuplicateInsert {
+                    rel: *name,
+                    tuple: t.clone(),
+                });
+            }
+            if let Some(t) = delta.deletes.iter().find(|t| !old.contains(*t)) {
+                return Err(IvmError::MissingDelete {
+                    rel: *name,
+                    tuple: t.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// [`validate_against`][UpdateBatch::validate_against] +
+    /// [`apply`][UpdateBatch::apply]: apply the batch only if it is an
+    /// exact delta of the instance.
+    pub fn apply_strict(&self, inst: &Instance) -> Result<Instance, IvmError> {
+        self.validate_against(inst)?;
+        self.apply(inst)
+    }
+
+    /// Merge a later batch into this one with sequential semantics: the
+    /// result applied once is the two batches applied in order (later
+    /// operations cancel earlier opposite ones tuple-wise).
+    pub fn merge(&mut self, later: &UpdateBatch) -> &mut Self {
+        for (name, delta) in &later.rels {
+            self.push_delta(*name, delta.clone());
+        }
+        self
+    }
+
+    /// Coalesce a sequence of batches into one with sequential semantics —
+    /// the ingest-queue compaction of the serving layer.
+    pub fn coalesce<'a>(batches: impl IntoIterator<Item = &'a UpdateBatch>) -> UpdateBatch {
+        let mut out = UpdateBatch::new();
+        for b in batches {
+            out.merge(b);
+        }
+        out
+    }
 }
+
+static EMPTY: BTreeSet<Value> = BTreeSet::new();
 
 #[cfg(test)]
 mod tests {

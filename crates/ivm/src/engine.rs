@@ -47,22 +47,50 @@ use nrs_value::{Instance, Name, Value};
 use std::collections::{BTreeSet, HashMap};
 
 /// A compiled query kept incrementally up to date under [`UpdateBatch`]es.
+///
+/// Every operator of the plan carries a stable **preorder index** (its
+/// position in a preorder walk of the [`Plan`] tree), reported by
+/// [`coverage`][MaintainedQuery::coverage] and used by
+/// [`IvmError::Operator`] to say *where* a batch failed.  An operator whose
+/// delta rule misbehaves can be [degraded][MaintainedQuery::degrade] to the
+/// recompute-on-dirty fallback without touching the rest of the plan —
+/// indices do not shift when operators are degraded.
 #[derive(Debug)]
 pub struct MaintainedQuery {
     query: CompiledQuery,
     root: Node,
     env: Instance,
+    /// Preorder indices forced to the recompute-on-dirty fallback.
+    degraded: BTreeSet<usize>,
 }
 
 impl MaintainedQuery {
     /// Materialize the query over `env` and set up the operator caches.
+    ///
+    /// The environment must bind every free variable of the plan; a missing
+    /// binding is reported as [`IvmError::UnboundRelation`] here rather
+    /// than panicking mid-maintenance later.
     pub fn new(query: &CompiledQuery, env: &Instance) -> Result<MaintainedQuery, IvmError> {
+        MaintainedQuery::with_degraded(query, env, BTreeSet::new())
+    }
+
+    /// Like [`MaintainedQuery::new`], but with the given operators (by
+    /// preorder index) forced to the recompute-on-dirty fallback from the
+    /// start.
+    pub fn with_degraded(
+        query: &CompiledQuery,
+        env: &Instance,
+        degraded: BTreeSet<usize>,
+    ) -> Result<MaintainedQuery, IvmError> {
+        check_env_binds(query.plan(), env)?;
+        check_degradable(query.plan(), &degraded)?;
         let env = env.clone();
-        let root = build(query.plan(), &env)?;
+        let root = Builder::new(&degraded).build(query.plan(), &env)?;
         Ok(MaintainedQuery {
             query: query.clone(),
             root,
             env,
+            degraded,
         })
     }
 
@@ -126,11 +154,256 @@ impl MaintainedQuery {
         }
     }
 
+    /// Apply a batch **transactionally**: on success this is exactly
+    /// [`apply`][MaintainedQuery::apply]; on a mid-propagation failure the
+    /// query is rolled back to its pre-batch state (environment and operator
+    /// caches) before the error is returned, so the maintained value stays
+    /// consistent and further batches may be applied.
+    ///
+    /// Rollback re-materializes the operator tree from the pre-batch
+    /// environment — a full recompute, paid only on the (rare) failure
+    /// path.  Validation rejections never mutate state and skip it.
+    pub fn apply_transactional(&mut self, batch: &UpdateBatch) -> Result<DeltaSet, IvmError> {
+        let env_before = self.env.clone();
+        match self.apply(batch) {
+            Ok(d) => Ok(d),
+            Err(e) if e.is_validation() => Err(e),
+            Err(e) => {
+                self.rebuild(&env_before).map_err(|re| {
+                    IvmError::Internal(format!("rollback failed ({re}) while recovering from: {e}"))
+                })?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Throw away all operator caches and re-materialize over `env` (keeping
+    /// the degraded-operator set).  This is the recovery path after a failed
+    /// [`apply`][MaintainedQuery::apply] left the caches unspecified.
+    pub fn rebuild(&mut self, env: &Instance) -> Result<(), IvmError> {
+        check_env_binds(self.query.plan(), env)?;
+        let env = env.clone();
+        self.root = Builder::new(&self.degraded).build(self.query.plan(), &env)?;
+        self.env = env;
+        Ok(())
+    }
+
+    /// Record operator `op` (preorder index) as degraded without rebuilding.
+    /// Takes effect at the next [`rebuild`][MaintainedQuery::rebuild].
+    pub fn mark_degraded(&mut self, op: usize) -> Result<(), IvmError> {
+        let size = plan_size(self.query.plan());
+        if op >= size {
+            return Err(IvmError::Internal(format!(
+                "cannot degrade operator #{op}: the plan has {size} operators"
+            )));
+        }
+        self.degraded.insert(op);
+        Ok(())
+    }
+
+    /// Degrade operator `op` to the recompute-on-dirty fallback and rebuild
+    /// the operator tree over the current environment.  Maintenance stays
+    /// correct (the fallback re-executes the subplan when a dependency
+    /// changes); only the per-batch cost of that subtree grows.
+    pub fn degrade(&mut self, op: usize) -> Result<(), IvmError> {
+        self.mark_degraded(op)?;
+        let env = self.env.clone();
+        self.rebuild(&env)
+    }
+
+    /// The operators currently degraded (by preorder index).
+    pub fn degraded(&self) -> &BTreeSet<usize> {
+        &self.degraded
+    }
+
+    /// Per-operator maintenance coverage: how each operator of the plan is
+    /// kept up to date (exact delta rule, recompute-on-dirty fallback, or
+    /// explicitly degraded).
+    pub fn coverage(&self) -> CoverageReport {
+        let mut ops = Vec::new();
+        collect_coverage(&self.root, &self.degraded, &mut ops);
+        CoverageReport { ops }
+    }
+
     /// Re-execute the plan from scratch on the current inputs and compare
     /// with the maintained value — the engine's internal consistency oracle.
     pub fn consistency_check(&self) -> Result<bool, IvmError> {
         let fresh = self.query.execute(&self.env)?;
         Ok(&fresh == self.value())
+    }
+}
+
+/// Reject plans whose free variables the environment does not bind — the
+/// one user error that could otherwise only surface as a panic deep inside
+/// an update round.
+fn check_env_binds(plan: &Plan, env: &Instance) -> Result<(), IvmError> {
+    for n in plan.free_vars() {
+        if env.try_get(&n).is_none() {
+            return Err(IvmError::UnboundRelation(n));
+        }
+    }
+    Ok(())
+}
+
+fn check_degradable(plan: &Plan, degraded: &BTreeSet<usize>) -> Result<(), IvmError> {
+    let size = plan_size(plan);
+    if let Some(op) = degraded.iter().find(|op| **op >= size) {
+        return Err(IvmError::Internal(format!(
+            "cannot degrade operator #{op}: the plan has {size} operators"
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Coverage report (ROADMAP item 5)
+// ---------------------------------------------------------------------------
+
+/// How an operator's output is kept up to date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Maintenance {
+    /// A targeted delta rule updates the output in O(|Δ| log n).
+    DeltaMaintained,
+    /// The subplan is re-executed whenever a dependency changes (the
+    /// engine's fallback for operators without a delta rule).
+    RecomputeOnDirty,
+    /// Explicitly degraded to recompute-on-dirty after its delta rule
+    /// failed (see [`MaintainedQuery::degrade`]).
+    Degraded,
+}
+
+impl std::fmt::Display for Maintenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Maintenance::DeltaMaintained => "delta-maintained",
+            Maintenance::RecomputeOnDirty => "recompute-on-dirty",
+            Maintenance::Degraded => "degraded",
+        })
+    }
+}
+
+/// One operator's entry in a [`CoverageReport`].
+#[derive(Debug, Clone)]
+pub struct OperatorCoverage {
+    /// Preorder index of the operator in the plan.
+    pub op: usize,
+    /// Operator kind (`"join"`, `"for-union"`, …).
+    pub kind: &'static str,
+    /// How the operator is maintained.
+    pub mode: Maintenance,
+}
+
+/// Per-operator maintenance coverage of one maintained plan: which
+/// operators are delta-maintained and which fall back to recomputation.
+#[derive(Debug, Clone)]
+pub struct CoverageReport {
+    /// Entries in preorder (the root operator first).
+    pub ops: Vec<OperatorCoverage>,
+}
+
+impl CoverageReport {
+    /// Number of operators maintained by an exact delta rule.
+    pub fn delta_maintained(&self) -> usize {
+        self.count(Maintenance::DeltaMaintained)
+    }
+
+    /// Number of operators on the recompute-on-dirty fallback by
+    /// construction (no delta rule exists for them).
+    pub fn recompute_on_dirty(&self) -> usize {
+        self.count(Maintenance::RecomputeOnDirty)
+    }
+
+    /// Number of operators explicitly degraded after a failure.
+    pub fn degraded(&self) -> usize {
+        self.count(Maintenance::Degraded)
+    }
+
+    /// Every operator runs an exact delta rule (nothing recomputes).
+    pub fn fully_incremental(&self) -> bool {
+        self.delta_maintained() == self.ops.len()
+    }
+
+    fn count(&self, mode: Maintenance) -> usize {
+        self.ops.iter().filter(|o| o.mode == mode).count()
+    }
+}
+
+impl std::fmt::Display for CoverageReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} operators: {} delta-maintained, {} recompute-on-dirty, {} degraded",
+            self.ops.len(),
+            self.delta_maintained(),
+            self.recompute_on_dirty(),
+            self.degraded()
+        )?;
+        for o in &self.ops {
+            if o.mode != Maintenance::DeltaMaintained {
+                write!(f, "\n  #{} {}: {}", o.op, o.kind, o.mode)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn collect_coverage(node: &Node, degraded: &BTreeSet<usize>, out: &mut Vec<OperatorCoverage>) {
+    let mode = match &node.kind {
+        Kind::Opaque { .. } if degraded.contains(&node.id) => Maintenance::Degraded,
+        Kind::Opaque { .. } => Maintenance::RecomputeOnDirty,
+        _ => Maintenance::DeltaMaintained,
+    };
+    out.push(OperatorCoverage {
+        op: node.id,
+        kind: kind_name(&node.kind),
+        mode,
+    });
+    match &node.kind {
+        Kind::Var(_) | Kind::Opaque { .. } => {}
+        Kind::Union(a, b) | Kind::Diff(a, b) => {
+            collect_coverage(a, degraded, out);
+            collect_coverage(b, degraded, out);
+        }
+        Kind::Guard { cond, body, .. } => {
+            collect_coverage(cond, degraded, out);
+            collect_coverage(body, degraded, out);
+        }
+        Kind::ForUnion(st) => collect_coverage(&st.over, degraded, out),
+        Kind::HashJoin(st) => {
+            collect_coverage(&st.left, degraded, out);
+            collect_coverage(&st.right, degraded, out);
+        }
+        Kind::Let { value, body, .. } => {
+            collect_coverage(value, degraded, out);
+            collect_coverage(body, degraded, out);
+        }
+    }
+}
+
+fn kind_name(kind: &Kind) -> &'static str {
+    match kind {
+        Kind::Var(_) => "var",
+        Kind::Union(..) => "union",
+        Kind::Diff(..) => "difference",
+        Kind::Guard { .. } => "guard",
+        Kind::ForUnion(_) => "for-union",
+        Kind::HashJoin(_) => "join",
+        Kind::Let { .. } => "let",
+        Kind::Opaque { .. } => "opaque",
+    }
+}
+
+/// The fault-injection site for an operator kind (see [`crate::fault`]).
+fn fault_site(kind: &Kind) -> &'static str {
+    match kind {
+        Kind::Var(_) => "ivm.var.update",
+        Kind::Union(..) => "ivm.union.update",
+        Kind::Diff(..) => "ivm.difference.update",
+        Kind::Guard { .. } => "ivm.guard.update",
+        Kind::ForUnion(_) => "ivm.for-union.update",
+        Kind::HashJoin(_) => "ivm.join.update",
+        Kind::Let { .. } => "ivm.let.update",
+        Kind::Opaque { .. } => "ivm.opaque.update",
     }
 }
 
@@ -223,6 +496,9 @@ impl Change {
 
 #[derive(Debug)]
 struct Node {
+    /// Preorder index of the operator's plan node — stable across rebuilds
+    /// and degradations, so errors and coverage entries can name it.
+    id: usize,
     /// The node's materialized output.  Meaningless for `Var` (read from the
     /// environment) and `Let` (pass-through to the body).
     current: Value,
@@ -348,135 +624,212 @@ impl<'a> CountDelta<'a> {
 // Build: instantiate the node tree and materialize the initial state
 // ---------------------------------------------------------------------------
 
-fn build(plan: &Plan, env: &Instance) -> Result<Node, IvmError> {
-    match plan {
-        Plan::Var(n) => Ok(Node {
-            current: Value::Unit, // read through the environment instead
-            kind: Kind::Var(*n),
-        }),
-        Plan::Union(a, b) => {
-            let a = build(a, env)?;
-            let b = build(b, env)?;
-            let mut elems = set_of(a.value(env), "union lhs")?.clone();
-            elems.extend(set_of(b.value(env), "union rhs")?.iter().cloned());
-            Ok(Node {
-                current: Value::from_set(elems),
-                kind: Kind::Union(Box::new(a), Box::new(b)),
-            })
+/// Number of plan nodes in the subtree — the id space one operator's
+/// subtree occupies in the preorder numbering.  Subplans that never become
+/// engine nodes (loop bodies, join keys, opaque innards) still own their
+/// indices, which is what keeps indices stable when an operator is
+/// degraded to an [`Kind::Opaque`] leaf.
+fn plan_size(p: &Plan) -> usize {
+    1 + match p {
+        Plan::Var(_) | Plan::Unit | Plan::Empty => 0,
+        Plan::Pair(a, b) | Plan::Union(a, b) | Plan::Diff(a, b) | Plan::Eq(a, b) => {
+            plan_size(a) + plan_size(b)
         }
-        Plan::Diff(a, b) => {
-            let a = build(a, env)?;
-            let b = build(b, env)?;
-            let bset = set_of(b.value(env), "difference rhs")?;
-            let elems = set_of(a.value(env), "difference lhs")?
-                .iter()
-                .filter(|v| !bset.contains(*v))
-                .cloned()
-                .collect();
-            Ok(Node {
-                current: Value::from_set(elems),
-                kind: Kind::Diff(Box::new(a), Box::new(b)),
-            })
-        }
-        Plan::Guard { cond, body } => {
-            let cond = build(cond, env)?;
-            let body = build(body, env)?;
-            let nonempty = !set_of(cond.value(env), "guard condition")?.is_empty();
-            let current = if nonempty {
-                body.value(env).clone()
-            } else {
-                Value::empty_set()
-            };
-            Ok(Node {
-                current,
-                kind: Kind::Guard {
-                    cond: Box::new(cond),
-                    body: Box::new(body),
-                    nonempty,
-                },
-            })
-        }
-        Plan::ForUnion { var, over, body } => {
-            let over = build(over, env)?;
-            let (probe_deps, hard_deps) = analyze_body(body, &[*var]);
-            let mut state = ForUnionState {
-                var: *var,
-                over,
-                body: (**body).clone(),
-                probe_deps,
-                hard_deps,
-                cache: HashMap::new(),
-                counts: HashMap::new(),
-            };
-            let current = state.fill(env)?;
-            Ok(Node {
-                current,
-                kind: Kind::ForUnion(Box::new(state)),
-            })
-        }
+        Plan::Proj1(x) | Plan::Proj2(x) | Plan::Singleton(x) => plan_size(x),
+        Plan::Get { arg, .. } => plan_size(arg),
+        Plan::Guard { cond, body } => plan_size(cond) + plan_size(body),
+        Plan::Member { elem, set } => plan_size(elem) + plan_size(set),
+        Plan::ForUnion { over, body, .. } => plan_size(over) + plan_size(body),
+        Plan::Let { value, body, .. } => plan_size(value) + plan_size(body),
         Plan::HashJoin {
             left,
-            lvar,
             lkey,
             right,
-            rvar,
             rkey,
             body,
+            ..
         } => {
-            let left = build(left, env)?;
-            let right = build(right, env)?;
-            let mut hard_deps = BTreeSet::new();
-            for (p, bound) in [
-                (&**lkey, vec![*lvar]),
-                (&**rkey, vec![*rvar]),
-                (&**body, vec![*lvar, *rvar]),
-            ] {
-                for n in p.free_vars() {
-                    if !bound.contains(&n) {
-                        hard_deps.insert(n);
+            plan_size(left) + plan_size(lkey) + plan_size(right) + plan_size(rkey) + plan_size(body)
+        }
+    }
+}
+
+/// Instantiates the node tree, assigning each operator its preorder index
+/// and forcing operators in the `degraded` set to the opaque fallback.
+struct Builder<'a> {
+    degraded: &'a BTreeSet<usize>,
+    next: usize,
+}
+
+impl<'a> Builder<'a> {
+    fn new(degraded: &'a BTreeSet<usize>) -> Builder<'a> {
+        Builder { degraded, next: 0 }
+    }
+
+    /// Take the next preorder index for `plan`'s root operator.
+    fn take(&mut self) -> usize {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+
+    /// Skip over a subplan that does not become an engine node, keeping the
+    /// preorder numbering aligned with the plan tree.
+    fn skip(&mut self, sub: &Plan) {
+        self.next += plan_size(sub);
+    }
+
+    fn opaque(&mut self, id: usize, plan: &Plan, env: &Instance) -> Result<Node, IvmError> {
+        self.next = id + plan_size(plan); // the whole subtree collapses
+        Ok(Node {
+            id,
+            current: exec_plan(plan, env)?,
+            kind: Kind::Opaque {
+                plan: plan.clone(),
+                deps: plan.free_vars(),
+            },
+        })
+    }
+
+    fn build(&mut self, plan: &Plan, env: &Instance) -> Result<Node, IvmError> {
+        let id = self.take();
+        if self.degraded.contains(&id) {
+            return self.opaque(id, plan, env);
+        }
+        match plan {
+            Plan::Var(n) => Ok(Node {
+                id,
+                current: Value::Unit, // read through the environment instead
+                kind: Kind::Var(*n),
+            }),
+            Plan::Union(a, b) => {
+                let a = self.build(a, env)?;
+                let b = self.build(b, env)?;
+                let mut elems = set_of(a.value(env), "union lhs")?.clone();
+                elems.extend(set_of(b.value(env), "union rhs")?.iter().cloned());
+                Ok(Node {
+                    id,
+                    current: Value::from_set(elems),
+                    kind: Kind::Union(Box::new(a), Box::new(b)),
+                })
+            }
+            Plan::Diff(a, b) => {
+                let a = self.build(a, env)?;
+                let b = self.build(b, env)?;
+                let bset = set_of(b.value(env), "difference rhs")?;
+                let elems = set_of(a.value(env), "difference lhs")?
+                    .iter()
+                    .filter(|v| !bset.contains(*v))
+                    .cloned()
+                    .collect();
+                Ok(Node {
+                    id,
+                    current: Value::from_set(elems),
+                    kind: Kind::Diff(Box::new(a), Box::new(b)),
+                })
+            }
+            Plan::Guard { cond, body } => {
+                let cond = self.build(cond, env)?;
+                let body = self.build(body, env)?;
+                let nonempty = !set_of(cond.value(env), "guard condition")?.is_empty();
+                let current = if nonempty {
+                    body.value(env).clone()
+                } else {
+                    Value::empty_set()
+                };
+                Ok(Node {
+                    id,
+                    current,
+                    kind: Kind::Guard {
+                        cond: Box::new(cond),
+                        body: Box::new(body),
+                        nonempty,
+                    },
+                })
+            }
+            Plan::ForUnion { var, over, body } => {
+                let over = self.build(over, env)?;
+                self.skip(body);
+                let (probe_deps, hard_deps) = analyze_body(body, &[*var]);
+                let mut state = ForUnionState {
+                    var: *var,
+                    over,
+                    body: (**body).clone(),
+                    probe_deps,
+                    hard_deps,
+                    cache: HashMap::new(),
+                    counts: HashMap::new(),
+                };
+                let current = state.fill(env)?;
+                Ok(Node {
+                    id,
+                    current,
+                    kind: Kind::ForUnion(Box::new(state)),
+                })
+            }
+            Plan::HashJoin {
+                left,
+                lvar,
+                lkey,
+                right,
+                rvar,
+                rkey,
+                body,
+            } => {
+                let left = self.build(left, env)?;
+                self.skip(lkey);
+                let right = self.build(right, env)?;
+                self.skip(rkey);
+                self.skip(body);
+                let mut hard_deps = BTreeSet::new();
+                for (p, bound) in [
+                    (&**lkey, vec![*lvar]),
+                    (&**rkey, vec![*rvar]),
+                    (&**body, vec![*lvar, *rvar]),
+                ] {
+                    for n in p.free_vars() {
+                        if !bound.contains(&n) {
+                            hard_deps.insert(n);
+                        }
                     }
                 }
+                let mut state = HashJoinState {
+                    lvar: *lvar,
+                    lkey: (**lkey).clone(),
+                    rvar: *rvar,
+                    rkey: (**rkey).clone(),
+                    body: (**body).clone(),
+                    left,
+                    right,
+                    lindex: HashMap::new(),
+                    rindex: HashMap::new(),
+                    counts: HashMap::new(),
+                    hard_deps,
+                };
+                let current = state.fill(env)?;
+                Ok(Node {
+                    id,
+                    current,
+                    kind: Kind::HashJoin(Box::new(state)),
+                })
             }
-            let mut state = HashJoinState {
-                lvar: *lvar,
-                lkey: (**lkey).clone(),
-                rvar: *rvar,
-                rkey: (**rkey).clone(),
-                body: (**body).clone(),
-                left,
-                right,
-                lindex: HashMap::new(),
-                rindex: HashMap::new(),
-                counts: HashMap::new(),
-                hard_deps,
-            };
-            let current = state.fill(env)?;
-            Ok(Node {
-                current,
-                kind: Kind::HashJoin(Box::new(state)),
-            })
+            Plan::Let { var, value, body } => {
+                let value = self.build(value, env)?;
+                let env_body = env.with(*var, value.value(env).clone());
+                let body = self.build(body, &env_body)?;
+                Ok(Node {
+                    id,
+                    current: Value::Unit, // pass-through to the body
+                    kind: Kind::Let {
+                        var: *var,
+                        value: Box::new(value),
+                        body: Box::new(body),
+                        env_body,
+                    },
+                })
+            }
+            other => self.opaque(id, other, env),
         }
-        Plan::Let { var, value, body } => {
-            let value = build(value, env)?;
-            let env_body = env.with(*var, value.value(env).clone());
-            let body = build(body, &env_body)?;
-            Ok(Node {
-                current: Value::Unit, // pass-through to the body
-                kind: Kind::Let {
-                    var: *var,
-                    value: Box::new(value),
-                    body: Box::new(body),
-                    env_body,
-                },
-            })
-        }
-        other => Ok(Node {
-            current: exec_plan(other, env)?,
-            kind: Kind::Opaque {
-                plan: other.clone(),
-                deps: other.free_vars(),
-            },
-        }),
     }
 }
 
@@ -583,15 +936,25 @@ impl Node {
     /// `Let` through its extended environment).
     fn value<'a>(&'a self, env: &'a Instance) -> &'a Value {
         match &self.kind {
-            Kind::Var(n) => env
-                .try_get(n)
-                .expect("maintained environment binds every free variable"),
+            Kind::Var(n) => env.try_get(n).expect(
+                "invariant: MaintainedQuery::new/rebuild validated that the \
+                 environment binds every free variable of the plan",
+            ),
             Kind::Let { body, env_body, .. } => body.value(env_body),
             _ => &self.current,
         }
     }
 
+    /// Run the operator's delta rule, tagging any failure (including an
+    /// injected fault) with this operator's preorder index and kind.
     fn update(&mut self, ctx: &mut Ctx, env: &Instance) -> Result<Change, IvmError> {
+        let (id, kind) = (self.id, kind_name(&self.kind));
+        crate::fault::hit(fault_site(&self.kind))
+            .and_then(|()| self.update_inner(ctx, env))
+            .map_err(|e| e.at(id, kind))
+    }
+
+    fn update_inner(&mut self, ctx: &mut Ctx, env: &Instance) -> Result<Change, IvmError> {
         match &mut self.kind {
             Kind::Var(n) => match ctx.changes.get(n) {
                 None => Ok(Change::None),
@@ -724,7 +1087,9 @@ impl Node {
                             delta: None,
                             old: Some(old),
                         },
-                        Change::None => unreachable!(),
+                        Change::None => {
+                            unreachable!("invariant: the cv.is_none() branch above handled None")
+                        }
                     };
                     Some(ctx.changes.insert(*var, nc))
                 };

@@ -1,0 +1,201 @@
+//! Deterministic fault injection for the maintenance engine.
+//!
+//! Compiled in only with the **`fault-injection`** feature; without it every
+//! hook compiles to a no-op and the engine carries zero overhead.  With the
+//! feature on, a thread-local [`FaultPlan`] arms the instrumentation sites
+//! the engine (and `nrs-serve`) call at operator-apply and lock/publish
+//! points.  Each call while a plan is armed counts as one **hit**; the plan
+//! fires exactly once, at its chosen hit, returning
+//! [`IvmError::FaultInjected`] from that site.
+//!
+//! The intended protocol — used by the chaos proptests — is:
+//!
+//! 1. run the workload once under [`FaultPlan::count_only`] to learn how
+//!    many sites a batch reaches (`hits`);
+//! 2. re-run it once per reachable site under [`FaultPlan::fail_nth`],
+//!    asserting after each injected failure that readers still see the old
+//!    epoch, the engine reports a degraded (not corrupt) operator, and the
+//!    next clean batch converges to the naive oracle.
+//!
+//! Plans are **thread-local**: arming a plan affects only maintenance work
+//! performed on the current thread, so concurrent reader threads in a test
+//! are never faulted by accident.  `FaultScope` is the RAII way to arm a
+//! plan for one workload run.
+
+use crate::IvmError;
+
+/// When (at which instrumented hit) a fault fires.  See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    fail_at: Option<u64>,
+}
+
+impl FaultPlan {
+    /// Count instrumentation hits without ever firing — the discovery pass.
+    pub fn count_only() -> FaultPlan {
+        FaultPlan { fail_at: None }
+    }
+
+    /// Fire at the `n`-th hit (0-based), once.
+    pub fn fail_nth(n: u64) -> FaultPlan {
+        FaultPlan { fail_at: Some(n) }
+    }
+
+    /// Derive a single-shot plan from a seed: fires at hit `seed % sites`.
+    /// `sites` is the hit count a [`count_only`][FaultPlan::count_only]
+    /// discovery pass reported for the same workload.
+    pub fn seeded(seed: u64, sites: u64) -> FaultPlan {
+        FaultPlan::fail_nth(seed % sites.max(1))
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+mod armed {
+    use super::FaultPlan;
+    use std::cell::RefCell;
+
+    #[derive(Default)]
+    pub(super) struct State {
+        pub(super) armed: bool,
+        pub(super) fail_at: Option<u64>,
+        pub(super) hits: u64,
+        pub(super) fired: Option<&'static str>,
+    }
+
+    thread_local! {
+        pub(super) static STATE: RefCell<State> = RefCell::new(State::default());
+    }
+
+    pub(super) fn install(plan: FaultPlan) {
+        STATE.with(|s| {
+            *s.borrow_mut() = State {
+                armed: true,
+                fail_at: plan.fail_at,
+                hits: 0,
+                fired: None,
+            };
+        });
+    }
+
+    pub(super) fn uninstall() -> u64 {
+        STATE.with(|s| {
+            let mut st = s.borrow_mut();
+            st.armed = false;
+            st.fail_at = None;
+            st.hits
+        })
+    }
+}
+
+/// Arm `plan` on the current thread, resetting the hit counter.  Replaces
+/// any previously armed plan.
+#[cfg(feature = "fault-injection")]
+pub fn install(plan: FaultPlan) {
+    armed::install(plan);
+}
+
+/// Disarm the current thread's plan; returns how many hits were counted
+/// since [`install`].
+#[cfg(feature = "fault-injection")]
+pub fn uninstall() -> u64 {
+    armed::uninstall()
+}
+
+/// Hits counted since the last [`install`] (the counter keeps running after
+/// the plan fires, so a discovery pass and an injection pass agree).
+#[cfg(feature = "fault-injection")]
+pub fn hits() -> u64 {
+    armed::STATE.with(|s| s.borrow().hits)
+}
+
+/// The site the armed plan fired at, if it has fired.
+#[cfg(feature = "fault-injection")]
+pub fn fired() -> Option<&'static str> {
+    armed::STATE.with(|s| s.borrow().fired)
+}
+
+/// RAII guard: arms `plan` on construction, disarms on drop (also on
+/// panic/early-return, keeping proptest iterations independent).
+#[cfg(feature = "fault-injection")]
+pub struct FaultScope {
+    _priv: (),
+}
+
+#[cfg(feature = "fault-injection")]
+impl FaultScope {
+    /// Arm `plan` for the lifetime of the guard.
+    pub fn new(plan: FaultPlan) -> FaultScope {
+        install(plan);
+        FaultScope { _priv: () }
+    }
+
+    /// Hits counted so far under this scope.
+    pub fn hits(&self) -> u64 {
+        hits()
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+impl Drop for FaultScope {
+    fn drop(&mut self) {
+        armed::uninstall();
+    }
+}
+
+/// Instrumentation hook.  Sites are cheap string constants like
+/// `"ivm.join.apply"`; the engine calls this at the top of every operator
+/// delta rule, `nrs-serve` at its lock/publish points.
+#[cfg(feature = "fault-injection")]
+#[inline]
+pub fn hit(site: &'static str) -> Result<(), IvmError> {
+    armed::STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        if !st.armed {
+            return Ok(());
+        }
+        let n = st.hits;
+        st.hits += 1;
+        if st.fail_at == Some(n) {
+            // one-shot: keep counting, never fire again
+            st.fail_at = None;
+            st.fired = Some(site);
+            return Err(IvmError::FaultInjected { site });
+        }
+        Ok(())
+    })
+}
+
+/// Instrumentation hook — no-op without the `fault-injection` feature.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn hit(_site: &'static str) -> Result<(), IvmError> {
+    Ok(())
+}
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_fires_exactly_once_at_the_chosen_hit() {
+        let scope = FaultScope::new(FaultPlan::fail_nth(1));
+        assert!(hit("a").is_ok());
+        let e = hit("b").unwrap_err();
+        assert!(matches!(e, IvmError::FaultInjected { site: "b" }));
+        assert!(hit("c").is_ok(), "one-shot plans never fire twice");
+        assert_eq!(scope.hits(), 3);
+        assert_eq!(fired(), Some("b"));
+        drop(scope);
+        assert!(hit("d").is_ok(), "disarmed hooks are inert");
+    }
+
+    #[test]
+    fn count_only_never_fires() {
+        let scope = FaultScope::new(FaultPlan::count_only());
+        for _ in 0..10 {
+            assert!(hit("x").is_ok());
+        }
+        assert_eq!(scope.hits(), 10);
+        assert_eq!(fired(), None);
+    }
+}

@@ -250,4 +250,63 @@ proptest! {
             );
         }
     }
+
+    /// Self-healing under interleaved failures: every good batch is preceded
+    /// by a malformed one (an overlapping delta) pushed through the
+    /// transactional path.  The failed batch must be rejected with the right
+    /// variant and leave no trace — the maintained value keeps tracking the
+    /// naive oracle exactly as if the failures never happened.
+    #[test]
+    fn prop_interleaved_failed_batches_leave_no_trace(seed in 0u64..10_000, universe in 3u64..9) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_mul(0x517c_c1b7_2722_0a95));
+        let mut inst = initial_instance(seed, universe);
+        let mut cases: Vec<(&str, Expr, MaintainedQuery)> = families()
+            .into_iter()
+            .map(|(label, e)| {
+                let q = CompiledQuery::compile(&e);
+                let mq = MaintainedQuery::new(&q, &inst).expect("initial materialization");
+                (label, e, mq)
+            })
+            .collect();
+        for step in 0..8 {
+            // a malformed batch: the same tuple on both sides of a delta
+            // (only constructible by wrapping one verbatim — the builders
+            // cancel opposite sides)
+            let (rel, shape) = RELS[rng.gen_range(0..RELS.len() as u64) as usize];
+            let tuple = random_tuple(shape, &mut rng, universe);
+            let mut ds = nrs_ivm::DeltaSet::new();
+            ds.inserts.insert(tuple.clone());
+            ds.deletes.insert(tuple);
+            let bad = UpdateBatch::from_delta(Name::new(rel), ds);
+            for (label, expr, mq) in &mut cases {
+                let err = mq.apply_transactional(&bad).unwrap_err();
+                prop_assert!(
+                    matches!(err, nrs_ivm::IvmError::OverlappingDelta { .. }),
+                    "family {label} step {step}: wrong rejection {err}"
+                );
+                let naive = eval(expr, &inst).expect("naive oracle");
+                prop_assert!(
+                    mq.value() == &naive,
+                    "family {label}: rejected batch left a trace at step {step}"
+                );
+            }
+            // then a good batch: maintenance proceeds as if nothing happened
+            let batch = random_batch(&mut rng, &inst, universe);
+            inst = batch.apply(&inst).expect("model update");
+            for (label, expr, mq) in &mut cases {
+                mq.apply_transactional(&batch).expect("maintenance step");
+                let naive = eval(expr, &inst).expect("naive oracle");
+                prop_assert!(
+                    mq.value() == &naive,
+                    "family {label} diverged at step {step} after interleaved failures"
+                );
+            }
+        }
+        for (label, _, mq) in &cases {
+            prop_assert!(
+                mq.consistency_check().expect("recompute"),
+                "family {label} failed the internal consistency check"
+            );
+        }
+    }
 }

@@ -1,0 +1,176 @@
+//! Property-based validation: malformed update batches are rejected with the
+//! *right* typed error and never panic or modify state — on the functional
+//! path ([`UpdateBatch::apply`] / [`UpdateBatch::apply_strict`]) and on the
+//! maintenance path ([`MaintainedQuery::apply`] /
+//! [`MaintainedQuery::apply_transactional`]) alike.
+
+use nrs_ivm::{DeltaSet, IvmError, MaintainedQuery, UpdateBatch};
+use nrs_nrc::{macros, CompiledQuery, Expr};
+use nrs_value::{Instance, Name, NameGen, Schema, Type, Value};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// { x ∈ S | x ∈ F } — a representative maintained query over S and F.
+fn member_filter() -> CompiledQuery {
+    let mut gen = NameGen::new();
+    let e = Expr::big_union(
+        "x",
+        Expr::var("S"),
+        macros::guard(
+            macros::member(&Type::Ur, Expr::var("x"), Expr::var("F"), &mut gen),
+            Expr::singleton(Expr::var("x")),
+            &mut gen,
+        ),
+    );
+    CompiledQuery::compile(&e)
+}
+
+fn atoms(seed: u64, universe: u64, size: usize) -> BTreeSet<Value> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..size)
+        .map(|_| Value::atom(rng.gen_range(0..universe)))
+        .collect()
+}
+
+fn instance(seed: u64, universe: u64) -> Instance {
+    Instance::from_bindings([
+        (Name::new("S"), Value::from_set(atoms(seed, universe, 6))),
+        (
+            Name::new("F"),
+            Value::from_set(atoms(seed ^ 0xbeef, universe, 6)),
+        ),
+    ])
+}
+
+fn base_schema() -> Schema {
+    Schema::from_decls([
+        (Name::new("S"), Type::set(Type::Ur)),
+        (Name::new("F"), Type::set(Type::Ur)),
+        (Name::new("R"), Type::relation(2)),
+    ])
+    .expect("distinct names")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A delta listing the same tuple on both sides is rejected as
+    /// `OverlappingDelta` by every application path, and the maintained
+    /// query is left exactly as it was.
+    #[test]
+    fn prop_overlapping_deltas_rejected_everywhere(
+        seed in 0u64..10_000,
+        universe in 2u64..9,
+        tuple in 0u64..16,
+    ) {
+        let inst = instance(seed, universe);
+        let mut ds = DeltaSet::new();
+        ds.inserts.insert(Value::atom(tuple));
+        ds.deletes.insert(Value::atom(tuple));
+        // the insert/delete builders cancel opposite sides, so an overlap
+        // is only constructible by wrapping a hand-built delta verbatim
+        let batch = UpdateBatch::from_delta("S", ds);
+        prop_assert!(matches!(
+            batch.check_disjoint(),
+            Err(IvmError::OverlappingDelta { .. })
+        ));
+        prop_assert!(matches!(
+            batch.apply(&inst),
+            Err(IvmError::OverlappingDelta { .. })
+        ));
+        prop_assert!(matches!(
+            batch.apply_strict(&inst),
+            Err(IvmError::OverlappingDelta { .. })
+        ));
+        let q = member_filter();
+        let mut mq = MaintainedQuery::new(&q, &inst).expect("materialize");
+        let before = mq.value().clone();
+        let err = mq.apply(&batch).unwrap_err();
+        prop_assert!(matches!(err, IvmError::OverlappingDelta { .. }), "got {err}");
+        prop_assert!(err.is_validation());
+        prop_assert_eq!(mq.value(), &before);
+        let err = mq.apply_transactional(&batch).unwrap_err();
+        prop_assert!(matches!(err, IvmError::OverlappingDelta { .. }), "got {err}");
+        prop_assert_eq!(mq.value(), &before);
+    }
+
+    /// Strict application rejects inexact deltas — inserts of present
+    /// tuples as `DuplicateInsert`, deletes of absent tuples as
+    /// `MissingDelete` — while the lenient path normalizes them to no-ops.
+    #[test]
+    fn prop_strict_apply_rejects_inexact_deltas(seed in 0u64..10_000, universe in 2u64..9) {
+        let inst = instance(seed, universe);
+        let s = inst
+            .try_get(&Name::new("S"))
+            .and_then(|v| v.as_set().ok().cloned())
+            .expect("S is a set");
+        let present = s.iter().next().cloned();
+        let absent = (0u64..).map(Value::atom).find(|v| !s.contains(v)).expect("finite set");
+
+        if let Some(present) = present {
+            let mut dup = UpdateBatch::new();
+            dup.insert("S", present.clone());
+            let err = dup.apply_strict(&inst).unwrap_err();
+            prop_assert!(matches!(err, IvmError::DuplicateInsert { .. }), "got {err}");
+            prop_assert!(err.is_validation());
+            // the lenient path normalizes the duplicate away entirely
+            let relaxed = dup.apply(&inst).expect("lenient apply");
+            prop_assert_eq!(relaxed.try_get(&Name::new("S")), inst.try_get(&Name::new("S")));
+            let q = member_filter();
+            let mut mq = MaintainedQuery::new(&q, &inst).expect("materialize");
+            let before = mq.value().clone();
+            let delta = mq.apply(&dup).expect("normalized to a no-op");
+            prop_assert!(delta.is_empty());
+            prop_assert_eq!(mq.value(), &before);
+        }
+
+        let mut miss = UpdateBatch::new();
+        miss.delete("S", absent);
+        let err = miss.apply_strict(&inst).unwrap_err();
+        prop_assert!(matches!(err, IvmError::MissingDelete { .. }), "got {err}");
+        prop_assert!(err.is_validation());
+        let relaxed = miss.apply(&inst).expect("lenient apply");
+        prop_assert_eq!(relaxed.try_get(&Name::new("S")), inst.try_get(&Name::new("S")));
+    }
+
+    /// Schema validation pins down the malformed-shape cases: unknown
+    /// relations, wrong-arity tuples, and non-set declarations, each with
+    /// its own variant; conforming batches pass.
+    #[test]
+    fn prop_schema_validation_classifies_shape_errors(
+        a in 0u64..32,
+        b in 0u64..32,
+    ) {
+        let schema = base_schema();
+
+        let mut unknown = UpdateBatch::new();
+        unknown.insert("Nope", Value::atom(a));
+        prop_assert!(matches!(
+            unknown.validate_schema(&schema),
+            Err(IvmError::UnknownRelation(_))
+        ));
+
+        // a pair where an atom is declared
+        let mut wrong_arity = UpdateBatch::new();
+        wrong_arity.insert("S", Value::pair(Value::atom(a), Value::atom(b)));
+        prop_assert!(matches!(
+            wrong_arity.validate_schema(&schema),
+            Err(IvmError::TypeMismatch { .. })
+        ));
+
+        // an atom where a pair is declared
+        let mut too_flat = UpdateBatch::new();
+        too_flat.insert("R", Value::atom(a));
+        prop_assert!(matches!(
+            too_flat.validate_schema(&schema),
+            Err(IvmError::TypeMismatch { .. })
+        ));
+
+        let mut ok = UpdateBatch::new();
+        ok.insert("S", Value::atom(a));
+        ok.delete("F", Value::atom(b));
+        ok.insert("R", Value::pair(Value::atom(a), Value::atom(b)));
+        prop_assert!(ok.validate_schema(&schema).is_ok());
+    }
+}

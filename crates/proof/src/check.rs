@@ -29,8 +29,34 @@ pub enum ProofError {
     },
     /// A transformation could not be applied to a proof of this shape.
     TransformFailed(String),
-    /// Proof search gave up (budget exhausted or no rule applies).
+    /// Proof search gave up for a reason other than its budgets (no rule
+    /// applies, a worker died, a batch was short-circuited, …).
     SearchFailed(String),
+    /// Proof search exhausted its state/risky budgets without settling the
+    /// goal.  Distinct from [`ProofError::Timeout`]: this verdict is stable
+    /// for a given configuration (the same budgets will fail the same way)
+    /// and is therefore safe to remember per session.
+    BudgetExhausted(String),
+    /// Proof search hit its wall-clock deadline.  Transient by nature — a
+    /// retry (or a longer deadline) may succeed — so sessions never cache
+    /// this verdict.
+    Timeout {
+        /// Milliseconds elapsed when the deadline fired.
+        elapsed_ms: u64,
+        /// Search states visited before giving up.
+        visited: usize,
+    },
+    /// Proof search was cancelled cooperatively (the session's cancellation
+    /// token was set).  Never cached.
+    Cancelled,
+}
+
+impl ProofError {
+    /// Is this a wall-clock timeout (as opposed to a budget exhaustion or a
+    /// genuine search failure)?
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, ProofError::Timeout { .. })
+    }
 }
 
 impl fmt::Display for ProofError {
@@ -56,6 +82,17 @@ impl fmt::Display for ProofError {
             }
             ProofError::TransformFailed(m) => write!(f, "proof transformation failed: {m}"),
             ProofError::SearchFailed(m) => write!(f, "proof search failed: {m}"),
+            ProofError::BudgetExhausted(m) => write!(f, "proof search budget exhausted: {m}"),
+            ProofError::Timeout {
+                elapsed_ms,
+                visited,
+            } => {
+                write!(
+                    f,
+                    "proof search timed out after {elapsed_ms} ms ({visited} states visited)"
+                )
+            }
+            ProofError::Cancelled => write!(f, "proof search cancelled"),
         }
     }
 }

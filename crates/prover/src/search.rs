@@ -67,8 +67,9 @@ use nrs_delta0::specialize::{max_specializations, MaxSpecialization};
 use nrs_delta0::{Formula, InContext, Term};
 use nrs_proof::{formula_hash_mixed, Proof, ProofError, Rule, Sequent};
 use nrs_shared::ShardedMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Budgets controlling the proof search.
 #[derive(Debug, Clone)]
@@ -94,6 +95,13 @@ pub struct ProverConfig {
     /// performance knob: generated candidates and proofs are identical with
     /// the cache off.
     pub rewrite_cache: bool,
+    /// Wall-clock deadline per goal.  Checked at state-visit granularity (on
+    /// every branch, including parallel workers); when it fires the search
+    /// returns [`ProofError::Timeout`] — distinct from
+    /// [`ProofError::BudgetExhausted`], and **never cached** in the session's
+    /// goal-outcome cache, since a retry under better conditions (or a longer
+    /// deadline) could succeed.  `None` (the default) means no deadline.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for ProverConfig {
@@ -106,6 +114,7 @@ impl Default for ProverConfig {
             max_states: 400_000,
             parallel_branches: std::thread::available_parallelism().is_ok_and(|n| n.get() > 1),
             rewrite_cache: true,
+            deadline: None,
         }
     }
 }
@@ -454,6 +463,19 @@ struct State<'a> {
     /// cancellation token rather than the state budget (a cancelled branch's
     /// result is discarded; a budget abort must stop the whole search).
     cancelled: bool,
+    /// The absolute wall-clock deadline ([`ProverConfig::deadline`] resolved
+    /// against this goal's start time), if any.
+    deadline: Option<Instant>,
+    /// Set alongside `aborted` when the abort came from the wall-clock
+    /// deadline: the whole search stops and reports [`ProofError::Timeout`],
+    /// and nothing is recorded in the goal-outcome cache.
+    timed_out: bool,
+    /// The session's cooperative cancellation token
+    /// ([`ProverSession::cancel`]), if the search runs under one.
+    ext_cancel: Option<&'a AtomicBool>,
+    /// Set alongside `aborted` when the abort came from `ext_cancel`: the
+    /// whole search stops and reports [`ProofError::Cancelled`], uncached.
+    ext_cancelled: bool,
     trace: bool,
     /// The session-shared caches (failure memo, specializations, rewrite
     /// candidates) — see `SearchCaches`.
@@ -492,10 +514,13 @@ pub fn prove_sequent(
 }
 
 /// The search proper; runs on a session worker thread (big stack).
+/// `ext_cancel` is the session's cooperative cancellation token, observed at
+/// state-visit granularity alongside the wall-clock deadline.
 pub(crate) fn prove_sequent_inner(
     sequent: &Sequent,
     cfg: &ProverConfig,
     caches: &SearchCaches,
+    ext_cancel: Option<&AtomicBool>,
 ) -> Result<(Proof, ProverStats), ProofError> {
     if let Some(outcome) = caches.goals.get(sequent) {
         return match outcome {
@@ -508,15 +533,23 @@ pub(crate) fn prove_sequent_inner(
                 };
                 Ok((*proof, stats))
             }
-            GoalOutcome::Failed(msg) => Err(ProofError::SearchFailed(msg)),
+            // Only budget verdicts are ever cached (timeouts and
+            // cancellations return before the insertion below), so a replayed
+            // failure is by construction a budget exhaustion.
+            GoalOutcome::Failed(msg) => Err(ProofError::BudgetExhausted(msg)),
         };
     }
     let interner_before = nrs_delta0::intern_stats();
+    let start = Instant::now();
     let mut st = State {
         cfg,
         visited: 0,
         aborted: false,
         cancelled: false,
+        deadline: cfg.deadline.map(|d| start + d),
+        timed_out: false,
+        ext_cancel,
+        ext_cancelled: false,
         trace: std::env::var_os("NRS_PROVER_TRACE").is_some(),
         caches,
         memo_hits: 0,
@@ -560,6 +593,19 @@ pub(crate) fn prove_sequent_inner(
             );
             return Ok((proof, stats));
         }
+        // Transient aborts return immediately and are NOT cached: the same
+        // goal retried with more time (or without the cancellation) could
+        // succeed, and the session's goal-outcome cache must only remember
+        // verdicts that are stable for its configuration.
+        if st.timed_out {
+            return Err(ProofError::Timeout {
+                elapsed_ms: start.elapsed().as_millis() as u64,
+                visited: st.visited,
+            });
+        }
+        if st.ext_cancelled {
+            return Err(ProofError::Cancelled);
+        }
         if st.visited >= cfg.max_states {
             break;
         }
@@ -571,7 +617,7 @@ pub(crate) fn prove_sequent_inner(
     caches
         .goals
         .insert(sequent.clone(), GoalOutcome::Failed(msg.clone()));
-    Err(ProofError::SearchFailed(msg))
+    Err(ProofError::BudgetExhausted(msg))
 }
 
 /// Convenience wrapper: prove that `assumptions` entail one of `goals` under
@@ -1145,6 +1191,20 @@ fn attempt(
         st.aborted = true;
         return None;
     }
+    if let Some(deadline) = st.deadline {
+        if Instant::now() >= deadline {
+            st.aborted = true;
+            st.timed_out = true;
+            return None;
+        }
+    }
+    if let Some(flag) = st.ext_cancel {
+        if flag.load(Ordering::Relaxed) {
+            st.aborted = true;
+            st.ext_cancelled = true;
+            return None;
+        }
+    }
 
     // 1. axioms
     if let Some(rule) = find_axiom(seq) {
@@ -1358,6 +1418,11 @@ struct BranchOutcome {
     branches_dispatched: usize,
     move_seqno: usize,
     budget_aborted: bool,
+    /// The branch hit the wall-clock deadline: the whole search must stop
+    /// and report a timeout (unless a lower-indexed branch already proved).
+    timed_out: bool,
+    /// The branch observed the session's cancellation token.
+    ext_cancelled: bool,
 }
 
 /// Explore the applicable risky candidates of a top-level choice point on
@@ -1411,12 +1476,18 @@ fn parallel_risky(
     let trace = st.trace;
     let visited0 = st.visited;
     let seqno0 = st.move_seqno;
+    let deadline0 = st.deadline;
+    let ext_cancel0 = st.ext_cancel;
     let run = move |input: BranchInput, index: usize, winner: &AtomicUsize| -> BranchOutcome {
         let mut bst = State {
             cfg,
             visited: visited0,
             aborted: false,
             cancelled: false,
+            deadline: deadline0,
+            timed_out: false,
+            ext_cancel: ext_cancel0,
+            ext_cancelled: false,
             trace,
             caches,
             memo_hits: 0,
@@ -1455,7 +1526,9 @@ fn parallel_risky(
             occ_pruned: bst.occ_pruned,
             branches_dispatched: bst.branches_dispatched,
             move_seqno: bst.move_seqno,
-            budget_aborted: bst.aborted && !bst.cancelled,
+            budget_aborted: bst.aborted && !bst.cancelled && !bst.timed_out && !bst.ext_cancelled,
+            timed_out: bst.timed_out,
+            ext_cancelled: bst.ext_cancelled,
         }
     };
     let outcomes: Vec<BranchOutcome> = std::thread::scope(|scope| {
@@ -1502,8 +1575,22 @@ fn parallel_risky(
         st.move_seqno = st.move_seqno.max(outcome.move_seqno);
     }
     for outcome in outcomes {
+        // transient aborts stop the search the way the sequential scan
+        // would have: a lower-indexed proof still wins (it was found before
+        // the scan could have reached the aborting candidate), everything
+        // after the abort is moot
         if outcome.budget_aborted {
             st.aborted = true;
+            return None;
+        }
+        if outcome.timed_out {
+            st.aborted = true;
+            st.timed_out = true;
+            return None;
+        }
+        if outcome.ext_cancelled {
+            st.aborted = true;
+            st.ext_cancelled = true;
             return None;
         }
         if let Some(sub) = outcome.proof {
@@ -1709,6 +1796,50 @@ mod tests {
         );
         let (_, stats) = prove(&InContext::new(), &[], &[goal], &cfg()).unwrap();
         assert!(stats.interner_hits + stats.interner_misses > 0);
+    }
+
+    #[test]
+    fn deadlines_report_timeout_distinct_from_budget_exhaustion() {
+        // an unprovable goal: both configurations give up, for different reasons
+        let ctx = InContext::from_atoms([MemAtom::new("x", "S")]);
+        let goal = Formula::forall("z", "S", Formula::eq_ur("z", "x"));
+        let seq = Sequent::two_sided(ctx, [], [goal]);
+        // a zero deadline fires at the very first state visit
+        let session = ProverSession::new(ProverConfig {
+            deadline: Some(std::time::Duration::ZERO),
+            ..ProverConfig::quick()
+        });
+        let err = session.prove_sequent(&seq).unwrap_err();
+        assert!(err.is_timeout(), "expected Timeout, got {err:?}");
+        assert_eq!(
+            session.goal_cache_len(),
+            0,
+            "timeouts must never enter the goal-outcome cache"
+        );
+        // the same goal without a deadline exhausts its budgets instead —
+        // a stable verdict, which the session does remember
+        let session = ProverSession::new(ProverConfig::quick());
+        let err = session.prove_sequent(&seq).unwrap_err();
+        assert!(
+            matches!(err, ProofError::BudgetExhausted(_)),
+            "expected BudgetExhausted, got {err:?}"
+        );
+        assert_eq!(session.goal_cache_len(), 1);
+        let replayed = session.prove_sequent(&seq).unwrap_err();
+        assert!(matches!(replayed, ProofError::BudgetExhausted(_)));
+    }
+
+    #[test]
+    fn cancelled_sessions_refuse_goals_until_reset() {
+        let session = ProverSession::new(ProverConfig::quick());
+        let seq = Sequent::goals([Formula::True]);
+        session.cancel();
+        assert!(session.is_cancelled());
+        let err = session.prove_sequent(&seq).unwrap_err();
+        assert!(matches!(err, ProofError::Cancelled), "got {err:?}");
+        assert_eq!(session.goal_cache_len(), 0, "cancellations are not cached");
+        session.reset_cancel();
+        assert!(session.prove_sequent(&seq).is_ok());
     }
 
     #[test]

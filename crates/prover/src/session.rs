@@ -22,6 +22,7 @@
 use crate::search::{prove_sequent_inner, ProverConfig, ProverStats, SearchCaches};
 use nrs_delta0::{Formula, InContext};
 use nrs_proof::{Proof, ProofError, Sequent};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 
@@ -45,6 +46,10 @@ struct SessionInner {
     /// workers and branch threads don't serialize on probes.
     caches: SearchCaches,
     idle: Mutex<Vec<Sender<Job>>>,
+    /// Cooperative cancellation token: set by [`ProverSession::cancel`],
+    /// observed by every in-flight search (including parallel branch
+    /// workers) at state-visit granularity.
+    cancelled: AtomicBool,
 }
 
 /// A reusable handle to the proof-search engine.  See the module docs.
@@ -61,6 +66,7 @@ impl ProverSession {
                 cfg,
                 caches: SearchCaches::new(),
                 idle: Mutex::new(Vec::new()),
+                cancelled: AtomicBool::new(false),
             }),
         }
     }
@@ -94,6 +100,27 @@ impl ProverSession {
         self.inner.caches.goals.len()
     }
 
+    /// Cooperatively cancel every in-flight and future search of this
+    /// session (and its clones — the token is shared).  In-flight goals stop
+    /// at their next state visit and report [`ProofError::Cancelled`];
+    /// cancelled outcomes are never cached, and the session's warm caches
+    /// survive, so after [`ProverSession::reset_cancel`] the session is as
+    /// good as before.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Has [`ProverSession::cancel`] been called (without a reset since)?
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Clear the cancellation token, making the session (with its warm
+    /// caches) usable for new goals again.
+    pub fn reset_cancel(&self) {
+        self.inner.cancelled.store(false, Ordering::SeqCst);
+    }
+
     /// Prove `Θ ; ⊢ Δ` (one-sided), returning a checked proof object.  Runs
     /// on one of the session's big-stack workers; concurrent calls get
     /// concurrent workers.
@@ -118,6 +145,12 @@ impl ProverSession {
     ) -> Vec<Result<(Proof, ProverStats), ProofError>> {
         if sequents.is_empty() {
             return Vec::new();
+        }
+        if self.is_cancelled() {
+            return sequents
+                .iter()
+                .map(|_| Err(ProofError::Cancelled))
+                .collect();
         }
         let worker = match self
             .inner
@@ -212,7 +245,12 @@ impl ProverSession {
                             )));
                             continue;
                         }
-                        let out = prove_sequent_inner(seq, &inner.cfg, &inner.caches);
+                        let out = prove_sequent_inner(
+                            seq,
+                            &inner.cfg,
+                            &inner.caches,
+                            Some(&inner.cancelled),
+                        );
                         failed = out.is_err();
                         results.push(out);
                     }

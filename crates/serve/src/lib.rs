@@ -1,0 +1,608 @@
+//! # nrs-serve
+//!
+//! Fault-tolerant serving of maintained rewritings.
+//!
+//! The synthesis pipeline ends with a [`MaintainedRewriting`]: views and
+//! answer kept incrementally up to date under base updates.  This crate
+//! wraps that engine in the machinery a long-running service needs:
+//!
+//! * **Epoch-published snapshots.**  Readers never lock against writers: a
+//!   [`ViewServer`] publishes an [`Arc<Snapshot>`] per successfully applied
+//!   batch, and [`ViewServer::snapshot`] hands the current one out with an
+//!   atomic pointer read.  A snapshot is immutable and internally consistent
+//!   (answer, views and base all from the same epoch) — the persistent
+//!   values underneath make publication O(1), not a copy.
+//! * **Validated, coalesced ingest.**  [`ViewServer::submit`] checks each
+//!   batch against the base [`Schema`] (unknown relation, non-set relation,
+//!   ill-typed tuple) and rejects overlapping deltas; queued batches are
+//!   [coalesced][UpdateBatch::coalesce] with sequential semantics and
+//!   checked for exactness against the live base at
+//!   [flush][ViewServer::flush] time.  A rejected batch never modifies
+//!   state.
+//! * **Transactional application with graceful degradation.**  A batch
+//!   either applies completely — every view, the answer, and a new published
+//!   epoch — or not at all.  An operator failure mid-propagation rolls the
+//!   engine back to the pre-batch state, **degrades** the failing operator
+//!   to recompute-on-dirty (visible in [`ViewServer::coverage`], ROADMAP
+//!   item 5), and retries through the degraded plan: the server keeps
+//!   serving, slower but correct, instead of dying or corrupting.
+//! * **A typed error taxonomy.**  [`NrsError`] says *what kind* of failure
+//!   occurred — batch rejected (fix and resubmit), maintenance failed (state
+//!   rolled back), prover timeout vs budget exhaustion — with `Display`
+//!   messages meant for operators, not `Debug` dumps.
+//!
+//! With the **`fault-injection`** feature, the server's lock and publish
+//! points call the maintenance engine's deterministic fault hooks
+//! (`nrs_ivm::fault`), so a chaos harness can fail every reachable site and
+//! assert that readers always see a complete epoch and the next clean batch
+//! converges to the naive oracle.
+
+use nrs_ivm::fault;
+use nrs_proof::ProofError;
+use nrs_synthesis::{
+    CoverageReport, DegradedOperator, DeltaSet, IvmError, MaintainedRewriting, RewritingResult,
+    SynthesisError, UpdateBatch,
+};
+use nrs_value::{Instance, Name, Schema, Value};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// What went wrong, in terms a serving layer can act on.
+///
+/// The variants split by *recovery action*:
+///
+/// * [`Rejected`][NrsError::Rejected] — the batch was malformed; nothing
+///   changed, fix the batch and resubmit;
+/// * [`Maintenance`][NrsError::Maintenance] — propagation failed; the
+///   server rolled back to the pre-batch epoch (degrading the failing
+///   operator when it could) and keeps serving;
+/// * [`Timeout`][NrsError::Timeout] / [`Cancelled`][NrsError::Cancelled] —
+///   transient prover outcomes, retry may succeed;
+/// * [`BudgetExhausted`][NrsError::BudgetExhausted] — a stable prover
+///   verdict for the configured budgets;
+/// * [`Synthesis`][NrsError::Synthesis] / [`Internal`][NrsError::Internal]
+///   — derivation or invariant failures; not retryable as-is.
+#[derive(Debug, Clone)]
+pub enum NrsError {
+    /// The batch failed validation (schema, overlap or exactness); no state
+    /// was modified.
+    Rejected(IvmError),
+    /// Incremental propagation failed; the engine was rolled back to its
+    /// pre-batch state.
+    Maintenance(IvmError),
+    /// Proof search hit its wall-clock deadline.
+    Timeout {
+        /// Milliseconds elapsed when the deadline fired.
+        elapsed_ms: u64,
+        /// Search states visited before giving up.
+        visited: usize,
+    },
+    /// Proof search exhausted its configured budgets.
+    BudgetExhausted(String),
+    /// Proof search was cancelled cooperatively.
+    Cancelled,
+    /// The synthesis/derivation pipeline failed.
+    Synthesis(SynthesisError),
+    /// An invariant of the serving layer was violated.
+    Internal(String),
+}
+
+impl NrsError {
+    /// Was the batch rejected without any state change (so the caller can
+    /// fix it and resubmit)?
+    pub fn is_rejection(&self) -> bool {
+        matches!(self, NrsError::Rejected(_))
+    }
+
+    /// Is this a transient failure worth retrying as-is?
+    pub fn is_transient(&self) -> bool {
+        matches!(self, NrsError::Timeout { .. } | NrsError::Cancelled)
+    }
+}
+
+impl std::fmt::Display for NrsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NrsError::Rejected(e) => write!(f, "update batch rejected: {e}"),
+            NrsError::Maintenance(e) => {
+                write!(f, "maintenance failed (state rolled back): {e}")
+            }
+            NrsError::Timeout {
+                elapsed_ms,
+                visited,
+            } => {
+                write!(
+                    f,
+                    "proof search timed out after {elapsed_ms} ms ({visited} states visited)"
+                )
+            }
+            NrsError::BudgetExhausted(m) => write!(f, "proof search budget exhausted: {m}"),
+            NrsError::Cancelled => write!(f, "proof search cancelled"),
+            NrsError::Synthesis(e) => write!(f, "synthesis failed: {e}"),
+            NrsError::Internal(m) => write!(f, "internal serving error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NrsError {}
+
+impl From<IvmError> for NrsError {
+    fn from(e: IvmError) -> Self {
+        if e.is_validation() {
+            NrsError::Rejected(e)
+        } else {
+            NrsError::Maintenance(e)
+        }
+    }
+}
+
+impl From<SynthesisError> for NrsError {
+    fn from(e: SynthesisError) -> Self {
+        match e {
+            SynthesisError::Maintenance(ivm) => ivm.into(),
+            SynthesisError::ProofNotFound { error, .. } => match error {
+                ProofError::Timeout {
+                    elapsed_ms,
+                    visited,
+                } => NrsError::Timeout {
+                    elapsed_ms,
+                    visited,
+                },
+                ProofError::BudgetExhausted(m) => NrsError::BudgetExhausted(m),
+                ProofError::Cancelled => NrsError::Cancelled,
+                other => NrsError::Synthesis(SynthesisError::ProofNotFound {
+                    purpose: String::new(),
+                    error: other,
+                }),
+            },
+            other => NrsError::Synthesis(other),
+        }
+    }
+}
+
+/// One published epoch: an immutable, internally consistent view of the
+/// pipeline (base, views and answer all post the same batch).  Cheap to
+/// clone and hold — the values underneath are persistent and shared.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Publication counter: epoch `n+1` is epoch `n` plus exactly one
+    /// successfully applied batch.
+    pub epoch: u64,
+    answer: Value,
+    views: Instance,
+    base: Instance,
+    degraded: Vec<DegradedOperator>,
+}
+
+impl Snapshot {
+    /// The maintained query answer at this epoch.
+    pub fn answer(&self) -> &Value {
+        &self.answer
+    }
+
+    /// One view's materialization at this epoch.
+    pub fn view(&self, name: &Name) -> Option<&Value> {
+        self.views.try_get(name)
+    }
+
+    /// The view instance (view names bound to materializations).
+    pub fn views(&self) -> &Instance {
+        &self.views
+    }
+
+    /// The base instance at this epoch.
+    pub fn base(&self) -> &Instance {
+        &self.base
+    }
+
+    /// Operators running degraded (recompute-on-dirty) at this epoch.
+    pub fn degraded(&self) -> &[DegradedOperator] {
+        &self.degraded
+    }
+}
+
+/// The outcome of a successful flush: the newly published snapshot, the
+/// answer's exact delta, and any operators degraded while healing failures
+/// of this batch.
+#[derive(Debug, Clone)]
+pub struct FlushReport {
+    /// The snapshot published for this batch.
+    pub snapshot: Arc<Snapshot>,
+    /// Exact delta of the answer (empty when the batch didn't reach it).
+    pub answer_delta: DeltaSet,
+    /// Operators degraded to recompute-on-dirty while applying this batch.
+    pub degraded: Vec<DegradedOperator>,
+}
+
+/// The writer-side state: the live engine plus the ingest queue.
+struct ServerState {
+    maintained: MaintainedRewriting,
+    pending: Vec<UpdateBatch>,
+    epoch: u64,
+}
+
+/// A serving wrapper around a [`MaintainedRewriting`]: validated ingest,
+/// transactional batch application, epoch-published snapshots, graceful
+/// degradation.  See the crate docs for the guarantees.
+///
+/// The server is `Sync`: any number of reader threads call
+/// [`snapshot`][ViewServer::snapshot] (an atomic pointer read behind an
+/// `RwLock` held only for the clone) while one or more writers
+/// [`submit`][ViewServer::submit] and [`flush`][ViewServer::flush] behind
+/// the state mutex.
+pub struct ViewServer {
+    schema: Schema,
+    state: Mutex<ServerState>,
+    published: RwLock<Arc<Snapshot>>,
+}
+
+impl ViewServer {
+    /// Materialize `result` over `base` and publish epoch 0.
+    pub fn new(result: &RewritingResult, base: &Instance) -> Result<ViewServer, NrsError> {
+        let schema = result.problem.base_schema()?;
+        let maintained = MaintainedRewriting::new(result, base)?;
+        let snapshot = Arc::new(Self::capture(&maintained, 0));
+        Ok(ViewServer {
+            schema,
+            state: Mutex::new(ServerState {
+                maintained,
+                pending: Vec::new(),
+                epoch: 0,
+            }),
+            published: RwLock::new(snapshot),
+        })
+    }
+
+    /// The schema incoming batches are validated against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The current published snapshot — always a complete epoch, never a
+    /// partially applied batch.  O(1): an `Arc` clone under a read lock.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.published
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// The current published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch
+    }
+
+    /// Validate a batch against the schema and enqueue it.  Rejected
+    /// batches ([`NrsError::Rejected`]) are not enqueued; nothing changes.
+    pub fn submit(&self, batch: &UpdateBatch) -> Result<(), NrsError> {
+        batch.check_disjoint()?;
+        batch.validate_schema(&self.schema)?;
+        self.lock_state()?.pending.push(batch.clone());
+        Ok(())
+    }
+
+    /// Number of batches queued and not yet flushed.
+    pub fn pending_len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pending
+            .len()
+    }
+
+    /// Apply everything queued as **one** transactional batch and publish a
+    /// new epoch.
+    ///
+    /// The queued batches are coalesced with sequential semantics, checked
+    /// for exactness against the live base, and driven through the engine's
+    /// self-healing transactional apply.  On success the queue is drained
+    /// and the new snapshot published.  On failure the engine is rolled back
+    /// to the pre-batch epoch and the queue is dropped (the combined batch
+    /// is rejected as a unit) — except a fault at the lock site, which
+    /// leaves the queue intact for a clean retry.
+    pub fn flush(&self) -> Result<FlushReport, NrsError> {
+        let mut st = self.lock_state()?;
+        if st.pending.is_empty() {
+            return Ok(FlushReport {
+                snapshot: self.snapshot(),
+                answer_delta: DeltaSet::new(),
+                degraded: Vec::new(),
+            });
+        }
+        // exactness is sequential: each queued batch must be exact against
+        // the base *as of its turn*, not against the pre-flush base
+        let mut scratch = st.maintained.base().clone();
+        for b in &st.pending {
+            let step = b
+                .validate_against(&scratch)
+                .and_then(|()| b.apply(&scratch));
+            match step {
+                Ok(next) => scratch = next,
+                Err(e) => {
+                    st.pending.clear();
+                    return Err(e.into());
+                }
+            }
+        }
+        // the net batch: coalescing nets each tuple to its final disposition,
+        // and normalizing against the pre-flush base drops round trips
+        // (insert-then-delete of a non-member, delete-then-insert of a member)
+        let combined = match UpdateBatch::coalesce(st.pending.iter())
+            .normalize_against(st.maintained.base())
+        {
+            Ok(c) => c,
+            Err(e) => {
+                st.pending.clear();
+                return Err(e.into());
+            }
+        };
+        // capture the pre-batch state: propagation can roll itself back, but
+        // a publish-site failure below must unwind manually
+        let base_before = st.maintained.base().clone();
+        let views_before = st.maintained.view_instance().clone();
+        let (answer_delta, degraded) = match st.maintained.apply_resilient(&combined) {
+            Ok(out) => out,
+            Err(e) => {
+                st.pending.clear();
+                return Err(e.into());
+            }
+        };
+        // a fault between application and publication must reject the batch
+        // as a whole: readers keep the old epoch, so the writer state must
+        // return to it too
+        if let Err(e) = fault::hit("serve.publish") {
+            st.pending.clear();
+            st.maintained
+                .restore(&base_before, &views_before)
+                .map_err(|r| {
+                    NrsError::Internal(format!("rollback after failed publish failed: {r}"))
+                })?;
+            return Err(e.into());
+        }
+        st.pending.clear();
+        st.epoch += 1;
+        let snapshot = Arc::new(Self::capture(&st.maintained, st.epoch));
+        *self.published.write().unwrap_or_else(|p| p.into_inner()) = snapshot.clone();
+        Ok(FlushReport {
+            snapshot,
+            answer_delta,
+            degraded,
+        })
+    }
+
+    /// [`submit`][ViewServer::submit] + [`flush`][ViewServer::flush] in one
+    /// call: validate, apply transactionally, publish.
+    pub fn apply(&self, batch: &UpdateBatch) -> Result<FlushReport, NrsError> {
+        self.submit(batch)?;
+        self.flush()
+    }
+
+    /// Per-stage maintenance coverage of the live engine, including
+    /// operators degraded by self-healing (ROADMAP item 5).
+    pub fn coverage(&self) -> nrs_synthesis::RewritingCoverage {
+        self.state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .maintained
+            .coverage()
+    }
+
+    /// Coverage of the answer query alone.
+    pub fn answer_coverage(&self) -> CoverageReport {
+        self.coverage().answer
+    }
+
+    /// The operators currently degraded across the pipeline.
+    pub fn degraded_operators(&self) -> Vec<DegradedOperator> {
+        self.state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .maintained
+            .degraded_operators()
+    }
+
+    /// Naive end-to-end oracle check of the *live* engine state.
+    pub fn cross_check(&self, result: &RewritingResult) -> Result<bool, NrsError> {
+        let st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        Ok(st.maintained.cross_check(result)?)
+    }
+
+    /// Acquire the writer lock, running the lock-site fault hook (a fault
+    /// here fails the operation before anything is read or written).
+    fn lock_state(&self) -> Result<std::sync::MutexGuard<'_, ServerState>, NrsError> {
+        fault::hit("serve.lock")?;
+        Ok(self.state.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// An immutable snapshot of the engine at `epoch` (cheap: the values are
+    /// persistent, so the clones are pointer-deep).
+    fn capture(maintained: &MaintainedRewriting, epoch: u64) -> Snapshot {
+        Snapshot {
+            epoch,
+            answer: maintained.answer().clone(),
+            views: maintained.view_instance().clone(),
+            base: maintained.base().clone(),
+            degraded: maintained.degraded_operators(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ViewServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("ViewServer")
+            .field("epoch", &snap.epoch)
+            .field("degraded", &snap.degraded.len())
+            .field("pending", &self.pending_len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrs_synthesis::views::{partition_instance, partition_problem};
+    use nrs_synthesis::SynthesisConfig;
+    use std::collections::BTreeSet;
+
+    fn setup(size: usize, seed: u64) -> (RewritingResult, Instance) {
+        let problem = partition_problem();
+        let result = problem
+            .derive_rewriting(&SynthesisConfig::default())
+            .expect("rewriting exists");
+        (result, partition_instance(size, seed))
+    }
+
+    fn small_base() -> Instance {
+        let s: BTreeSet<Value> = [1u64, 2, 3].into_iter().map(Value::atom).collect();
+        let f: BTreeSet<Value> = [2u64].into_iter().map(Value::atom).collect();
+        Instance::from_bindings([
+            (Name::new("S"), Value::from_set(s)),
+            (Name::new("F"), Value::from_set(f)),
+        ])
+    }
+
+    #[test]
+    fn server_publishes_epochs_and_readers_keep_old_snapshots() {
+        let (result, base) = setup(30, 11);
+        let server = ViewServer::new(&result, &base).expect("server");
+        assert_eq!(server.epoch(), 0);
+        let old = server.snapshot();
+        let answer0 = old.answer().clone();
+        let mut batch = UpdateBatch::new();
+        batch.insert("S", Value::atom(9001));
+        batch.insert("F", Value::atom(9001));
+        let report = server.apply(&batch).expect("apply");
+        assert_eq!(report.snapshot.epoch, 1);
+        assert_eq!(server.epoch(), 1);
+        // a reader holding the old epoch is untouched by the publication
+        assert_eq!(old.epoch, 0);
+        assert_eq!(old.answer(), &answer0);
+        assert_ne!(server.snapshot().answer(), &answer0);
+        assert!(server.cross_check(&result).expect("oracle"));
+        assert!(report.degraded.is_empty());
+    }
+
+    #[test]
+    fn rejected_batches_change_nothing() {
+        let (result, base) = setup(20, 3);
+        let server = ViewServer::new(&result, &base).expect("server");
+        let before = server.snapshot();
+
+        // unknown relation: schema validation at submit time
+        let mut unknown = UpdateBatch::new();
+        unknown.insert("Nope", Value::atom(1));
+        let err = server.submit(&unknown).unwrap_err();
+        assert!(err.is_rejection(), "got {err}");
+
+        // overlapping delta: only constructible by wrapping one verbatim
+        let mut ds = DeltaSet::new();
+        ds.inserts.insert(Value::atom(7));
+        ds.deletes.insert(Value::atom(7));
+        let overlap = UpdateBatch::from_delta("S", ds);
+        let err = server.submit(&overlap).unwrap_err();
+        assert!(
+            matches!(err, NrsError::Rejected(IvmError::OverlappingDelta { .. })),
+            "got {err}"
+        );
+
+        // ill-typed tuple: S holds atoms, not sets
+        let mut ill = UpdateBatch::new();
+        ill.insert("S", Value::from_set(BTreeSet::new()));
+        let err = server.submit(&ill).unwrap_err();
+        assert!(err.is_rejection(), "got {err}");
+
+        assert_eq!(server.pending_len(), 0, "rejected batches are not enqueued");
+        assert_eq!(server.epoch(), 0);
+        assert_eq!(server.snapshot().answer(), before.answer());
+        assert!(server.cross_check(&result).expect("oracle"));
+    }
+
+    #[test]
+    fn flush_checks_exactness_against_the_live_base() {
+        let problem = partition_problem();
+        let result = problem
+            .derive_rewriting(&SynthesisConfig::default())
+            .expect("rewriting exists");
+        let server = ViewServer::new(&result, &small_base()).expect("server");
+        // inserting a member passes the schema but fails exactness at flush
+        let mut dup = UpdateBatch::new();
+        dup.insert("S", Value::atom(1));
+        server.submit(&dup).expect("schema-valid");
+        assert_eq!(server.pending_len(), 1);
+        let err = server.flush().unwrap_err();
+        assert!(
+            matches!(err, NrsError::Rejected(IvmError::DuplicateInsert { .. })),
+            "got {err}"
+        );
+        assert_eq!(server.pending_len(), 0, "rejected queue is dropped");
+        assert_eq!(server.epoch(), 0);
+        assert!(server.cross_check(&result).expect("oracle"));
+    }
+
+    #[test]
+    fn queued_batches_coalesce_with_sequential_semantics() {
+        let problem = partition_problem();
+        let result = problem
+            .derive_rewriting(&SynthesisConfig::default())
+            .expect("rewriting exists");
+        let server = ViewServer::new(&result, &small_base()).expect("server");
+        // insert 10 then delete it again: the coalesced batch must cancel,
+        // otherwise exactness would reject the delete of a non-member
+        let mut b1 = UpdateBatch::new();
+        b1.insert("S", Value::atom(10));
+        b1.insert("S", Value::atom(11));
+        let mut b2 = UpdateBatch::new();
+        b2.delete("S", Value::atom(10));
+        server.submit(&b1).expect("b1");
+        server.submit(&b2).expect("b2");
+        let report = server.flush().expect("flush");
+        assert_eq!(report.snapshot.epoch, 1);
+        assert!(report.answer_delta.inserts.contains(&Value::atom(11)));
+        assert!(!report.answer_delta.inserts.contains(&Value::atom(10)));
+        assert!(server.cross_check(&result).expect("oracle"));
+        // an empty flush is a no-op at the same epoch
+        let report = server.flush().expect("empty flush");
+        assert_eq!(report.snapshot.epoch, 1);
+        assert!(report.answer_delta.is_empty());
+    }
+
+    #[test]
+    fn error_taxonomy_maps_prover_outcomes() {
+        let timeout: NrsError = SynthesisError::ProofNotFound {
+            purpose: "test".into(),
+            error: ProofError::Timeout {
+                elapsed_ms: 12,
+                visited: 34,
+            },
+        }
+        .into();
+        assert!(
+            matches!(
+                timeout,
+                NrsError::Timeout {
+                    elapsed_ms: 12,
+                    visited: 34
+                }
+            ),
+            "got {timeout}"
+        );
+        assert!(timeout.is_transient());
+        let budget: NrsError = SynthesisError::ProofNotFound {
+            purpose: "test".into(),
+            error: ProofError::BudgetExhausted("max_states=5".into()),
+        }
+        .into();
+        assert!(
+            matches!(budget, NrsError::BudgetExhausted(_)),
+            "got {budget}"
+        );
+        assert!(!budget.is_transient());
+        let cancelled: NrsError = SynthesisError::ProofNotFound {
+            purpose: "test".into(),
+            error: ProofError::Cancelled,
+        }
+        .into();
+        assert!(matches!(cancelled, NrsError::Cancelled), "got {cancelled}");
+        assert!(cancelled.is_transient());
+    }
+}

@@ -1,0 +1,156 @@
+//! Chaos testing of the serving layer: inject a fault at **every** site a
+//! submit+flush round reaches — the server's own lock/publish points plus
+//! every operator delta rule underneath — and assert, per site:
+//!
+//! 1. a failed round leaves the published snapshot on the old epoch with
+//!    the old answer (readers never observe a partial batch),
+//! 2. the server stays internally consistent (the naive oracle agrees),
+//! 3. the retried batch converges to the reference answer — possibly
+//!    through a degraded plan, never through a corrupt one.
+//!
+//! Fault plans are thread-local, so only the writer is faulted; a reader
+//! holding a snapshot is structurally unaffected.
+
+#![cfg(feature = "fault-injection")]
+
+use nrs_ivm::fault::{FaultPlan, FaultScope};
+use nrs_serve::ViewServer;
+use nrs_synthesis::views::partition_problem;
+use nrs_synthesis::{RewritingResult, SynthesisConfig, UpdateBatch};
+use nrs_value::{Instance, Name, Value};
+use std::collections::BTreeSet;
+
+fn base() -> Instance {
+    let s: BTreeSet<Value> = [1u64, 2, 3, 4].into_iter().map(Value::atom).collect();
+    let f: BTreeSet<Value> = [2u64, 4].into_iter().map(Value::atom).collect();
+    Instance::from_bindings([
+        (Name::new("S"), Value::from_set(s)),
+        (Name::new("F"), Value::from_set(f)),
+    ])
+}
+
+fn batch() -> UpdateBatch {
+    let mut b = UpdateBatch::new();
+    b.insert("S", Value::atom(10));
+    b.insert("F", Value::atom(10));
+    b.delete("S", Value::atom(1));
+    b
+}
+
+fn rewriting() -> RewritingResult {
+    partition_problem()
+        .derive_rewriting(&SynthesisConfig::default())
+        .expect("rewriting exists")
+}
+
+#[test]
+fn chaos_every_reachable_site_keeps_readers_on_a_complete_epoch() {
+    let result = rewriting();
+    let base = base();
+    let batch = batch();
+
+    // the reference answer a fault-free server publishes for this batch
+    let reference = ViewServer::new(&result, &base).expect("reference server");
+    let want = reference.apply(&batch).expect("clean apply").snapshot;
+    assert_eq!(want.epoch, 1);
+
+    // discovery pass: how many instrumented sites does one round reach?
+    let hits = {
+        let server = ViewServer::new(&result, &base).expect("server");
+        let scope = FaultScope::new(FaultPlan::count_only());
+        server.apply(&batch).expect("clean apply under count_only");
+        scope.hits()
+    };
+    // at minimum: the submit lock, the flush lock and the publish point
+    assert!(hits >= 3, "expected >= 3 sites, found {hits}");
+
+    for n in 0..hits {
+        let server = ViewServer::new(&result, &base).expect("server");
+        // a reader takes a snapshot before the faulted round
+        let reader = server.snapshot();
+        let outcome = {
+            let _scope = FaultScope::new(FaultPlan::fail_nth(n));
+            server.submit(&batch).and_then(|()| server.flush())
+        };
+        match outcome {
+            Ok(report) => {
+                // the fault hit an operator; self-healing degraded it and
+                // retried through the degraded plan within the same flush
+                assert_eq!(report.snapshot.epoch, 1, "site {n}");
+                assert!(
+                    !report.degraded.is_empty(),
+                    "site {n}: a fault fired but nothing was degraded"
+                );
+                assert_eq!(
+                    report.snapshot.answer(),
+                    want.answer(),
+                    "site {n}: degraded plan diverged"
+                );
+            }
+            Err(e) => {
+                // the round failed outright: readers keep the old epoch
+                assert_eq!(server.epoch(), 0, "site {n}: partial epoch published");
+                assert_eq!(
+                    server.snapshot().answer(),
+                    reader.answer(),
+                    "site {n}: published answer changed without an epoch"
+                );
+                assert!(
+                    !e.is_rejection(),
+                    "site {n}: injected fault misclassified as a validation rejection: {e}"
+                );
+                // recovery: a lock-site fault leaves the queue intact, a
+                // publish/apply-site fault drops it — resubmit if needed
+                if server.pending_len() == 0 {
+                    server.submit(&batch).expect("resubmit");
+                }
+                let report = server.flush().expect("clean retry");
+                assert_eq!(report.snapshot.epoch, 1, "site {n}");
+                assert_eq!(
+                    report.snapshot.answer(),
+                    want.answer(),
+                    "site {n}: recovered server diverged"
+                );
+            }
+        }
+        // the reader's snapshot was never touched
+        assert_eq!(reader.epoch, 0);
+        assert!(
+            server.cross_check(&result).expect("oracle"),
+            "site {n}: live state disagrees with the naive oracle"
+        );
+    }
+}
+
+/// The seeded convenience plan exercises the same protocol end-to-end: any
+/// seed maps to some reachable site, and the server must recover from it.
+#[test]
+fn chaos_seeded_plans_always_recover() {
+    let result = rewriting();
+    let base = base();
+    let batch = batch();
+    let reference = ViewServer::new(&result, &base).expect("reference server");
+    let want = reference.apply(&batch).expect("clean apply").snapshot;
+    let hits = {
+        let server = ViewServer::new(&result, &base).expect("server");
+        let scope = FaultScope::new(FaultPlan::count_only());
+        server.apply(&batch).expect("clean apply");
+        scope.hits()
+    };
+    for seed in [0u64, 7, 42, 1_000_003, u64::MAX] {
+        let server = ViewServer::new(&result, &base).expect("server");
+        let outcome = {
+            let _scope = FaultScope::new(FaultPlan::seeded(seed, hits));
+            server.submit(&batch).and_then(|()| server.flush())
+        };
+        if outcome.is_err() {
+            if server.pending_len() == 0 {
+                server.submit(&batch).expect("resubmit");
+            }
+            server.flush().expect("clean retry");
+        }
+        assert_eq!(server.epoch(), 1, "seed {seed}");
+        assert_eq!(server.snapshot().answer(), want.answer(), "seed {seed}");
+        assert!(server.cross_check(&result).expect("oracle"), "seed {seed}");
+    }
+}

@@ -121,11 +121,20 @@ fn lookup() -> &'static RwLock<Lookup> {
 }
 
 fn intern(s: &str) -> u32 {
+    // Poisoning is harmless here: the table is only ever appended to, and an
+    // id is published to RESOLVE before it is inserted, so state observed
+    // through a poisoned lock is still consistent.  Recover instead of
+    // cascading a panic from an unrelated thread into every Name::new.
     // Fast path: already interned, shared read lock only.
-    if let Some(&id) = lookup().read().unwrap().map.get(s) {
+    if let Some(&id) = lookup()
+        .read()
+        .unwrap_or_else(|p| p.into_inner())
+        .map
+        .get(s)
+    {
         return id;
     }
-    let mut table = lookup().write().unwrap();
+    let mut table = lookup().write().unwrap_or_else(|p| p.into_inner());
     // Re-check: another thread may have interned `s` between the locks.
     if let Some(&id) = table.map.get(s) {
         return id;

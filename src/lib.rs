@@ -14,5 +14,6 @@ pub use nrs_ivm as ivm;
 pub use nrs_nrc as nrc;
 pub use nrs_proof as proof;
 pub use nrs_prover as prover;
+pub use nrs_serve as serve;
 pub use nrs_synthesis as synthesis;
 pub use nrs_value as value;
