@@ -74,6 +74,12 @@ impl MaintainedView {
         self.maintained.coverage()
     }
 
+    /// Use up to `workers` threads for the evaluation phase of delta rounds
+    /// (bit-identical state for every count; a pure throughput knob).
+    pub fn set_workers(&mut self, workers: usize) {
+        self.maintained.set_workers(workers);
+    }
+
     /// The maintained materialization of the view.
     pub fn value(&self) -> &Value {
         self.maintained.value()
@@ -201,6 +207,30 @@ impl MaintainedRewriting {
         }
         let answer = MaintainedQuery::new(result.definition.compiled(), &view_inst)?;
         Ok(MaintainedRewriting { stages, answer })
+    }
+
+    /// Use up to `workers` threads for the pure evaluation phase of every
+    /// stage's (and the answer's) delta rounds.  Maintained state stays
+    /// bit-identical to the sequential path for every worker count — see
+    /// `nrs_ivm::engine`'s module docs — so this only trades threads for
+    /// wall-clock on large deltas.
+    pub fn set_workers(&mut self, workers: usize) {
+        for stage in &mut self.stages {
+            stage.maintained.set_workers(workers);
+        }
+        self.answer.set_workers(workers);
+    }
+
+    /// Cumulative sharded-evaluation counters summed across every view
+    /// stage and the answer query.  Snapshot before/after a flush and
+    /// subtract to attribute rounds to it (the serving layer surfaces that
+    /// delta in its `FlushReport`).
+    pub fn maint_stats(&self) -> nrs_ivm::MaintStats {
+        let mut total = self.answer.maint_stats();
+        for stage in &self.stages {
+            total += stage.maintained.maint_stats();
+        }
+        total
     }
 
     /// Apply a batch of *base* updates: every view materialization is

@@ -45,7 +45,7 @@ pub mod views;
 
 pub use collect::{collect_parameters, CollectInput, CollectOutput};
 pub use ivm::{DegradedOperator, MaintainedRewriting, MaintainedView, RewritingCoverage};
-pub use nrs_ivm::{CoverageReport, DeltaSet, IvmError, UpdateBatch};
+pub use nrs_ivm::{CoverageReport, DeltaSet, IvmError, MaintStats, UpdateBatch};
 pub use synthesis::{
     synthesize, synthesize_with, ImplicitSpec, SynthesisConfig, SynthesisError, SynthesisReport,
     SynthesizedDefinition,

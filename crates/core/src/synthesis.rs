@@ -407,6 +407,17 @@ fn record_stats(
             ""
         },
     ));
+    let lock = stats.memo_lock;
+    if lock.reads + lock.writes > 0 {
+        report.notes.push(format!(
+            "prover[{purpose}]: memo shards {} ({} reads / {} writes, {} contended, ratio {:.4})",
+            lock.shards,
+            lock.reads,
+            lock.writes,
+            lock.reads_contended + lock.writes_contended,
+            lock.contention_ratio(),
+        ));
+    }
 }
 
 /// Prove every goal of `batch` — through one [`ProverSession::prove_batch`]

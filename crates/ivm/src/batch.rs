@@ -312,6 +312,92 @@ impl UpdateBatch {
         }
         out
     }
+
+    /// Validate and coalesce a queue of batches against `base` in one pass,
+    /// returning the single **exact** delta whose application equals
+    /// applying the batches in order.
+    ///
+    /// Semantically this is the strict-serving composition
+    ///
+    /// ```text
+    /// for b in batches { b.validate_against(&state)?; state = b.apply(&state)?; }
+    /// ```
+    ///
+    /// followed by [`UpdateBatch::coalesce`] + [`UpdateBatch::
+    /// normalize_against`] — but where that composition clones every touched
+    /// relation per batch (O(queue · n)), this maintains only an *overlay*:
+    /// the exact delta accumulated so far, with membership after batch `i`
+    /// answered as "base membership, flipped if the overlay touches the
+    /// tuple".  Cost is O(|Δ| · log n) total, which is what lets a batched
+    /// flush amortize toward the bare maintenance cost per update.
+    ///
+    /// Errors are the same as the sequential composition's:
+    /// [`IvmError::OverlappingDelta`], [`IvmError::DuplicateInsert`] and
+    /// [`IvmError::MissingDelete`] (against the *evolving* state, so a
+    /// later batch may legally delete what an earlier one inserted), and
+    /// [`IvmError::NotASet`] for non-set base bindings.  On error, nothing
+    /// is returned and `base` is untouched (it never is).
+    pub fn coalesce_exact<'a>(
+        batches: impl IntoIterator<Item = &'a UpdateBatch>,
+        base: &Instance,
+    ) -> Result<UpdateBatch, IvmError> {
+        let mut overlay: BTreeMap<Name, DeltaSet> = BTreeMap::new();
+        for b in batches {
+            b.check_disjoint()?;
+            for (name, delta) in &b.rels {
+                let base_set = match base.try_get(name) {
+                    None => &EMPTY,
+                    Some(v) => v.as_set().map_err(|_| IvmError::NotASet(*name))?,
+                };
+                let ov = overlay.entry(*name).or_default();
+                // Mutating the overlay while validating is equivalent to
+                // validate-whole-batch-then-apply: one batch's sides are
+                // disjoint, so no tuple is checked twice within a batch.
+                for t in &delta.inserts {
+                    let in_base = base_set.contains(t);
+                    let present = if in_base {
+                        !ov.deletes.contains(t)
+                    } else {
+                        ov.inserts.contains(t)
+                    };
+                    if present {
+                        return Err(IvmError::DuplicateInsert {
+                            rel: *name,
+                            tuple: t.clone(),
+                        });
+                    }
+                    if in_base {
+                        // re-insert of a base tuple deleted earlier in the
+                        // queue: the two cancel out of the exact delta
+                        ov.deletes.remove(t);
+                    } else {
+                        ov.inserts.insert(t.clone());
+                    }
+                }
+                for t in &delta.deletes {
+                    let in_base = base_set.contains(t);
+                    let present = if in_base {
+                        !ov.deletes.contains(t)
+                    } else {
+                        ov.inserts.contains(t)
+                    };
+                    if !present {
+                        return Err(IvmError::MissingDelete {
+                            rel: *name,
+                            tuple: t.clone(),
+                        });
+                    }
+                    if in_base {
+                        ov.deletes.insert(t.clone());
+                    } else {
+                        ov.inserts.remove(t);
+                    }
+                }
+            }
+        }
+        overlay.retain(|_, d| !d.is_empty());
+        Ok(UpdateBatch { rels: overlay })
+    }
 }
 
 static EMPTY: BTreeSet<Value> = BTreeSet::new();
@@ -369,6 +455,101 @@ mod tests {
         // a non-set binding is rejected
         let bad = Instance::from_bindings([(Name::new("S"), Value::atom(0))]);
         assert!(b.normalize_against(&bad).is_err());
+    }
+
+    /// The spec `coalesce_exact` must match: strict-validate and apply each
+    /// batch in order, then diff the end state against the base.
+    fn oracle_coalesce(batches: &[UpdateBatch], base: &Instance) -> Result<UpdateBatch, IvmError> {
+        let mut state = base.clone();
+        for b in batches {
+            state = b.apply_strict(&state)?;
+        }
+        let mut out = UpdateBatch::new();
+        for (name, _) in batches.iter().flat_map(|b| b.relations()) {
+            let as_set = |inst: &Instance| -> BTreeSet<Value> {
+                inst.try_get(name)
+                    .map(|v| v.as_set().unwrap().clone())
+                    .unwrap_or_default()
+            };
+            let d = DeltaSet::diff(&as_set(base), &as_set(&state));
+            if !d.is_empty() {
+                out.rels.insert(*name, d);
+            }
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn coalesce_exact_matches_the_sequential_composition() {
+        let base = Instance::from_bindings([(Name::new("S"), Value::set(atoms([1, 2, 3])))]);
+        // delete a base tuple, re-insert it, insert-then-delete a fresh one,
+        // and leave one genuine insert and one genuine delete
+        let mut b1 = UpdateBatch::new();
+        b1.delete("S", Value::atom(1)).insert("S", Value::atom(9));
+        let mut b2 = UpdateBatch::new();
+        b2.insert("S", Value::atom(1)).delete("S", Value::atom(9));
+        let mut b3 = UpdateBatch::new();
+        b3.insert("S", Value::atom(7)).delete("S", Value::atom(2));
+        b3.insert("T", Value::atom(4)); // unbound relation = empty base
+        let queue = [b1, b2, b3];
+        let got = UpdateBatch::coalesce_exact(&queue, &base).unwrap();
+        let want = oracle_coalesce(&queue, &base).unwrap();
+        assert_eq!(got, want);
+        let s = got.relations().find(|(r, _)| r.as_str() == "S").unwrap().1;
+        assert_eq!(s.inserts, atoms([7]), "cancelled pairs drop out");
+        assert_eq!(s.deletes, atoms([2]));
+        // and applying the one coalesced batch equals applying the queue
+        assert_eq!(
+            got.apply(&base).unwrap().get(&Name::new("S")),
+            queue
+                .iter()
+                .try_fold(base.clone(), |st, b| b.apply(&st))
+                .unwrap()
+                .get(&Name::new("S"))
+        );
+    }
+
+    #[test]
+    fn coalesce_exact_rejects_what_strict_application_rejects() {
+        let base = Instance::from_bindings([(Name::new("S"), Value::set(atoms([1])))]);
+        // duplicate insert of a base tuple
+        let mut dup = UpdateBatch::new();
+        dup.insert("S", Value::atom(1));
+        assert!(matches!(
+            UpdateBatch::coalesce_exact([&dup], &base),
+            Err(IvmError::DuplicateInsert { .. })
+        ));
+        // duplicate insert across batches: b1 inserts 5, b2 inserts 5 again
+        let mut b1 = UpdateBatch::new();
+        b1.insert("S", Value::atom(5));
+        let mut b2 = UpdateBatch::new();
+        b2.insert("S", Value::atom(5));
+        assert!(matches!(
+            UpdateBatch::coalesce_exact([&b1, &b2], &base),
+            Err(IvmError::DuplicateInsert { .. })
+        ));
+        // missing delete against the evolving state: b1 deletes 1, b2 too
+        let mut d1 = UpdateBatch::new();
+        d1.delete("S", Value::atom(1));
+        let mut d2 = UpdateBatch::new();
+        d2.delete("S", Value::atom(1));
+        assert!(matches!(
+            UpdateBatch::coalesce_exact([&d1, &d2], &base),
+            Err(IvmError::MissingDelete { .. })
+        ));
+        // but delete-of-own-insert is legal (evolving-state semantics)
+        let mut i = UpdateBatch::new();
+        i.insert("S", Value::atom(5));
+        let mut d = UpdateBatch::new();
+        d.delete("S", Value::atom(5));
+        let merged = UpdateBatch::coalesce_exact([&i, &d], &base).unwrap();
+        assert!(merged.is_empty());
+        // non-set base binding
+        let bad = Instance::from_bindings([(Name::new("S"), Value::atom(0))]);
+        assert!(matches!(
+            UpdateBatch::coalesce_exact([&i], &bad),
+            Err(IvmError::NotASet(_))
+        ));
     }
 
     #[test]

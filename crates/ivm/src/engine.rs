@@ -39,6 +39,21 @@
 //! of small batches never pays a full-set copy; sharing a materialized value
 //! outward degrades a single later update to one copy-on-write, exactly like
 //! any persistent structure.
+//!
+//! ### Sharded parallel maintenance
+//!
+//! The expensive part of a `ForUnion`/`HashJoin` delta round is **pure**:
+//! re-evaluating loop bodies for affected members, evaluating join bodies
+//! for matching pairs.  With [`MaintainedQuery::set_workers`] above 1, each
+//! round splits its work items (members, delta tuples — already in key
+//! order, so chunks are contiguous key ranges) across `std::thread::scope`
+//! workers for the evaluations only, then replays all cache/index/count
+//! mutations **sequentially in the original item order**.  The maintained
+//! state after a parallel round is therefore *bit-identical* to the
+//! sequential round by construction — the only thing parallelism changes is
+//! which thread computed a pure value (property-tested in
+//! `tests/maintenance_equivalence.rs`).  Per-round shard counters are
+//! reported through [`MaintainedQuery::maint_stats`].
 
 use crate::batch::{DeltaSet, UpdateBatch};
 use crate::IvmError;
@@ -62,6 +77,53 @@ pub struct MaintainedQuery {
     env: Instance,
     /// Preorder indices forced to the recompute-on-dirty fallback.
     degraded: BTreeSet<usize>,
+    /// Worker threads for the pure evaluation phase of delta rounds (1 =
+    /// fully sequential, the default).
+    workers: usize,
+    /// Cumulative shard/round counters (see [`MaintStats`]).
+    stats: MaintStats,
+}
+
+/// Cumulative counters of the sharded-parallel evaluation rounds of one
+/// [`MaintainedQuery`] (or, summed by the serving layer, one maintained
+/// rewriting).  Snapshot before and after a workload and subtract to
+/// attribute rounds to it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintStats {
+    /// Evaluation rounds executed (parallel-eligible operator phases, both
+    /// the ones that fanned out and the ones that ran inline).
+    pub rounds: u64,
+    /// Rounds that actually dispatched work to >1 worker.
+    pub parallel_rounds: u64,
+    /// Work items (members / delta tuples) evaluated inside parallel rounds.
+    pub sharded_items: u64,
+    /// Contiguous key-range chunks handed to workers across all parallel
+    /// rounds.
+    pub shards_dispatched: u64,
+}
+
+impl std::ops::AddAssign for MaintStats {
+    fn add_assign(&mut self, rhs: MaintStats) {
+        self.rounds += rhs.rounds;
+        self.parallel_rounds += rhs.parallel_rounds;
+        self.sharded_items += rhs.sharded_items;
+        self.shards_dispatched += rhs.shards_dispatched;
+    }
+}
+
+impl std::ops::Sub for MaintStats {
+    type Output = MaintStats;
+    /// Counter delta between two snapshots (saturating).
+    fn sub(self, before: MaintStats) -> MaintStats {
+        MaintStats {
+            rounds: self.rounds.saturating_sub(before.rounds),
+            parallel_rounds: self.parallel_rounds.saturating_sub(before.parallel_rounds),
+            sharded_items: self.sharded_items.saturating_sub(before.sharded_items),
+            shards_dispatched: self
+                .shards_dispatched
+                .saturating_sub(before.shards_dispatched),
+        }
+    }
 }
 
 impl MaintainedQuery {
@@ -91,7 +153,27 @@ impl MaintainedQuery {
             root,
             env,
             degraded,
+            workers: 1,
+            stats: MaintStats::default(),
         })
+    }
+
+    /// Use up to `workers` threads for the pure evaluation phase of delta
+    /// rounds (clamped to ≥ 1; 1 disables fan-out).  The maintained state
+    /// is bit-identical for every worker count — see the module docs — so
+    /// this is purely a throughput knob.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// The configured evaluation worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Cumulative sharded-round counters since construction.
+    pub fn maint_stats(&self) -> MaintStats {
+        self.stats
     }
 
     /// The maintained output value.
@@ -118,7 +200,10 @@ impl MaintainedQuery {
         // treap's reference so the copy-on-write mutation is O(|Δ| log n)
         // once the maintained query owns its sets (the first batch after an
         // external share pays one copy, as any persistent update would).
-        let mut ctx = Ctx::default();
+        let mut ctx = Ctx {
+            workers: self.workers,
+            ..Ctx::default()
+        };
         for (name, delta) in normalized.relations() {
             let old = self
                 .env
@@ -140,7 +225,9 @@ impl MaintainedQuery {
             );
         }
         let env = self.env.clone();
-        let change = self.root.update(&mut ctx, &env)?;
+        let change = self.root.update(&mut ctx, &env);
+        self.stats += ctx.stats;
+        let change = change?;
         match change {
             Change::None => Ok(DeltaSet::new()),
             Change::Delta(d) => Ok(d),
@@ -447,10 +534,83 @@ struct NameChange {
 }
 
 /// The per-round update context: base relations changed by the batch plus
-/// `Let`-bound names changed by their maintained subplans.
+/// `Let`-bound names changed by their maintained subplans, the evaluation
+/// worker count, and the round's shard counters.
 #[derive(Default)]
 struct Ctx {
     changes: HashMap<Name, NameChange>,
+    workers: usize,
+    stats: MaintStats,
+}
+
+/// Run the pure evaluation phase of a delta round: `f` over every item, in
+/// order, returning `(item, f(item))` pairs.  With more than one worker and
+/// enough items, the items are split into contiguous chunks (key ranges —
+/// callers pass them in sorted order) evaluated on `std::thread::scope`
+/// workers; `f` must be pure, and the caller replays all state mutations
+/// sequentially from the returned pairs, which is what keeps parallel
+/// rounds bit-identical to sequential ones.
+///
+/// Error semantics match the sequential loop: the error of the *earliest*
+/// failing item is returned (chunks stop at their first failure and chunks
+/// are ordered, so the first failing chunk holds the globally first
+/// failure).  A panicking worker is reported as [`IvmError::Internal`].
+/// The `ivm.shard.dispatch` / `ivm.shard.merge` fault sites fire on the
+/// calling thread, and only when a round actually fans out.
+fn par_eval<T, R>(
+    ctx: &mut Ctx,
+    items: Vec<T>,
+    f: impl Fn(&T) -> Result<R, IvmError> + Sync,
+) -> Result<Vec<(T, R)>, IvmError>
+where
+    T: Send + Sync,
+    R: Send,
+{
+    ctx.stats.rounds += 1;
+    if ctx.workers < 2 || items.len() < 2 {
+        // the single-worker engine's exact code path
+        return items
+            .into_iter()
+            .map(|t| {
+                let r = f(&t)?;
+                Ok((t, r))
+            })
+            .collect();
+    }
+    crate::fault::hit("ivm.shard.dispatch")?;
+    let chunk_len = items.len().div_ceil(ctx.workers);
+    let mut chunk_results: Vec<Result<Vec<R>, IvmError>> = std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Result<Vec<R>, _>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(IvmError::Internal(
+                        "maintenance evaluation worker panicked".into(),
+                    ))
+                })
+            })
+            .collect()
+    });
+    ctx.stats.parallel_rounds += 1;
+    ctx.stats.sharded_items += items.len() as u64;
+    ctx.stats.shards_dispatched += chunk_results.len() as u64;
+    crate::fault::hit("ivm.shard.merge")?;
+    let mut out = Vec::with_capacity(items.len());
+    let mut items = items.into_iter();
+    for res in chunk_results.drain(..) {
+        for r in res? {
+            let t = items.next().ok_or_else(|| {
+                IvmError::Internal("shard merge produced more results than items".into())
+            })?;
+            out.push((t, r));
+        }
+    }
+    Ok(out)
 }
 
 /// What a node reports about its output after an update round.
@@ -1197,7 +1357,10 @@ impl ForUnionState {
             }
         }
         // 2. members whose cached body a probe delta invalidates: exactly
-        //    the delta's own elements (the probe needle is the member)
+        //    the delta's own elements (the probe needle is the member).
+        //    Body evaluations are pure, so they run as one (possibly
+        //    parallel) round; the cache/count mutations replay in member
+        //    order below.
         let mut affected: BTreeSet<Value> = BTreeSet::new();
         for n in &self.probe_deps {
             if let Some(NameChange { delta: Some(d), .. }) = ctx.changes.get(n) {
@@ -1208,8 +1371,11 @@ impl ForUnionState {
                 }
             }
         }
-        for m in affected {
-            let new_body = exec_plan(&self.body, &env.with(self.var, m.clone()))?;
+        let (body, var) = (&self.body, self.var);
+        let evals = par_eval(ctx, affected.into_iter().collect(), |m| {
+            Ok(exec_plan(body, &env.with(var, m.clone()))?)
+        })?;
+        for (m, new_body) in evals {
             let old_body = self
                 .cache
                 .get(&m)
@@ -1225,14 +1391,17 @@ impl ForUnionState {
             }
             self.cache.insert(m, new_body);
         }
-        // 3. members entering the loop: evaluate their bodies fresh
+        // 3. members entering the loop: evaluate their bodies fresh (same
+        //    eval round / sequential merge split)
         if let Some(d) = &over_delta {
-            for m in &d.inserts {
-                let body_v = exec_plan(&self.body, &env.with(self.var, m.clone()))?;
+            let evals = par_eval(ctx, d.inserts.iter().cloned().collect(), |m| {
+                Ok(exec_plan(body, &env.with(var, m.clone()))?)
+            })?;
+            for (m, body_v) in evals {
                 for e in set_of(&body_v, "binding union body")? {
                     trans.inc(e);
                 }
-                self.cache.insert(m.clone(), body_v);
+                self.cache.insert(m, body_v);
             }
         }
         let delta = trans.into_delta();
@@ -1310,64 +1479,80 @@ impl HashJoinState {
             return Ok(DeltaSet::new());
         }
         let mut trans = CountDelta::new(&mut self.counts);
+        // Each bilinear part's evaluations (key + matching body values) read
+        // only the index the part never mutates — part 1 reads `rindex`
+        // (mutated in part 2 only), part 2 reads the post-part-1 `lindex` —
+        // so they run as one pure (possibly parallel) round per part, and
+        // the index/count mutations replay sequentially in delta order.
+        //
         // Bilinear rule, part 1: Δleft against the *old* build side.
         if let Some(d) = &dl {
-            for x in &d.deletes {
-                let k = bound_exec1(&self.lkey, self.lvar, x, env)?;
-                if let Some(members) = self.lindex.get_mut(&k) {
-                    members.remove(x);
-                    if members.is_empty() {
-                        self.lindex.remove(&k);
+            let n_dels = d.deletes.len();
+            let items: Vec<Value> = d.deletes.iter().chain(d.inserts.iter()).cloned().collect();
+            let (lkey, lvar, rvar, body, rindex) =
+                (&self.lkey, self.lvar, self.rvar, &self.body, &self.rindex);
+            let evals = par_eval(ctx, items, |x| {
+                let k = bound_exec1(lkey, lvar, x, env)?;
+                let mut elems = Vec::new();
+                if let Some(matches) = rindex.get(&k) {
+                    for y in matches {
+                        elems.extend(bound_exec2(body, lvar, x, rvar, y, env)?);
                     }
                 }
-                if let Some(matches) = self.rindex.get(&k) {
-                    for y in matches.clone() {
-                        for e in bound_exec2(&self.body, self.lvar, x, self.rvar, &y, env)? {
-                            trans.dec(&e)?;
+                Ok((k, elems))
+            })?;
+            for (i, (x, (k, elems))) in evals.into_iter().enumerate() {
+                if i < n_dels {
+                    if let Some(members) = self.lindex.get_mut(&k) {
+                        members.remove(&x);
+                        if members.is_empty() {
+                            self.lindex.remove(&k);
                         }
                     }
-                }
-            }
-            for x in &d.inserts {
-                let k = bound_exec1(&self.lkey, self.lvar, x, env)?;
-                if let Some(matches) = self.rindex.get(&k) {
-                    for y in matches.clone() {
-                        for e in bound_exec2(&self.body, self.lvar, x, self.rvar, &y, env)? {
-                            trans.inc(&e);
-                        }
+                    for e in &elems {
+                        trans.dec(e)?;
                     }
+                } else {
+                    for e in &elems {
+                        trans.inc(e);
+                    }
+                    self.lindex.entry(k).or_default().insert(x);
                 }
-                self.lindex.entry(k).or_default().insert(x.clone());
             }
         }
         // Part 2: Δright against the *new* probe side.
         if let Some(d) = &dr {
-            for y in &d.deletes {
-                let k = bound_exec1(&self.rkey, self.rvar, y, env)?;
-                if let Some(members) = self.rindex.get_mut(&k) {
-                    members.remove(y);
-                    if members.is_empty() {
-                        self.rindex.remove(&k);
+            let n_dels = d.deletes.len();
+            let items: Vec<Value> = d.deletes.iter().chain(d.inserts.iter()).cloned().collect();
+            let (rkey, lvar, rvar, body, lindex) =
+                (&self.rkey, self.lvar, self.rvar, &self.body, &self.lindex);
+            let evals = par_eval(ctx, items, |y| {
+                let k = bound_exec1(rkey, rvar, y, env)?;
+                let mut elems = Vec::new();
+                if let Some(matches) = lindex.get(&k) {
+                    for x in matches {
+                        elems.extend(bound_exec2(body, lvar, x, rvar, y, env)?);
                     }
                 }
-                if let Some(matches) = self.lindex.get(&k) {
-                    for x in matches.clone() {
-                        for e in bound_exec2(&self.body, self.lvar, &x, self.rvar, y, env)? {
-                            trans.dec(&e)?;
+                Ok((k, elems))
+            })?;
+            for (i, (y, (k, elems))) in evals.into_iter().enumerate() {
+                if i < n_dels {
+                    if let Some(members) = self.rindex.get_mut(&k) {
+                        members.remove(&y);
+                        if members.is_empty() {
+                            self.rindex.remove(&k);
                         }
                     }
-                }
-            }
-            for y in &d.inserts {
-                let k = bound_exec1(&self.rkey, self.rvar, y, env)?;
-                if let Some(matches) = self.lindex.get(&k) {
-                    for x in matches.clone() {
-                        for e in bound_exec2(&self.body, self.lvar, &x, self.rvar, y, env)? {
-                            trans.inc(&e);
-                        }
+                    for e in &elems {
+                        trans.dec(e)?;
                     }
+                } else {
+                    for e in &elems {
+                        trans.inc(e);
+                    }
+                    self.rindex.entry(k).or_default().insert(y);
                 }
-                self.rindex.entry(k).or_default().insert(y.clone());
             }
         }
         let delta = trans.into_delta();

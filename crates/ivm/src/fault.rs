@@ -21,6 +21,15 @@
 //! performed on the current thread, so concurrent reader threads in a test
 //! are never faulted by accident.  `FaultScope` is the RAII way to arm a
 //! plan for one workload run.
+//!
+//! The pipelined server runs maintenance on a dedicated **writer thread**
+//! the test never executes on, so thread-local plans can't reach it.  For
+//! that one case a **process-global** plan (`install_global` /
+//! `GlobalFaultScope`, compiled in with the feature) is consulted by any
+//! thread whose local plan is not armed.  Global plans follow the same count/fire protocol; a thread-local
+//! plan, when armed, shadows the global one on its thread (keeping the
+//! established single-threaded chaos tests deterministic even if both are
+//! armed).
 
 use crate::IvmError;
 
@@ -28,17 +37,36 @@ use crate::IvmError;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultPlan {
     fail_at: Option<u64>,
+    persistent: bool,
 }
 
 impl FaultPlan {
     /// Count instrumentation hits without ever firing — the discovery pass.
     pub fn count_only() -> FaultPlan {
-        FaultPlan { fail_at: None }
+        FaultPlan {
+            fail_at: None,
+            persistent: false,
+        }
     }
 
     /// Fire at the `n`-th hit (0-based), once.
     pub fn fail_nth(n: u64) -> FaultPlan {
-        FaultPlan { fail_at: Some(n) }
+        FaultPlan {
+            fail_at: Some(n),
+            persistent: false,
+        }
+    }
+
+    /// Fire at the `n`-th hit (0-based) **and at every hit after it** — a
+    /// persistent failure rather than a one-shot glitch.  This is how the
+    /// chaos suite models a subsystem that stays broken (e.g. a flush that
+    /// fails on every retry), exercising give-up paths like the writer
+    /// thread's bounded shutdown drain.
+    pub fn fail_from(n: u64) -> FaultPlan {
+        FaultPlan {
+            fail_at: Some(n),
+            persistent: true,
+        }
     }
 
     /// Derive a single-shot plan from a seed: fires at hit `seed % sites`.
@@ -58,6 +86,7 @@ mod armed {
     pub(super) struct State {
         pub(super) armed: bool,
         pub(super) fail_at: Option<u64>,
+        pub(super) persistent: bool,
         pub(super) hits: u64,
         pub(super) fired: Option<&'static str>,
     }
@@ -71,6 +100,7 @@ mod armed {
             *s.borrow_mut() = State {
                 armed: true,
                 fail_at: plan.fail_at,
+                persistent: plan.persistent,
                 hits: 0,
                 fired: None,
             };
@@ -84,6 +114,32 @@ mod armed {
             st.fail_at = None;
             st.hits
         })
+    }
+
+    pub(super) static GLOBAL: std::sync::Mutex<State> = std::sync::Mutex::new(State {
+        armed: false,
+        fail_at: None,
+        persistent: false,
+        hits: 0,
+        fired: None,
+    });
+
+    pub(super) fn install_global(plan: FaultPlan) {
+        let mut st = GLOBAL.lock().unwrap_or_else(|p| p.into_inner());
+        *st = State {
+            armed: true,
+            fail_at: plan.fail_at,
+            persistent: plan.persistent,
+            hits: 0,
+            fired: None,
+        };
+    }
+
+    pub(super) fn uninstall_global() -> u64 {
+        let mut st = GLOBAL.lock().unwrap_or_else(|p| p.into_inner());
+        st.armed = false;
+        st.fail_at = None;
+        st.hits
     }
 }
 
@@ -112,6 +168,67 @@ pub fn hits() -> u64 {
 #[cfg(feature = "fault-injection")]
 pub fn fired() -> Option<&'static str> {
     armed::STATE.with(|s| s.borrow().fired)
+}
+
+/// Arm `plan` **process-wide**: every thread whose local plan is not armed
+/// (notably the server's writer thread and shard workers) counts against —
+/// and can be failed by — this plan.  Replaces any previous global plan and
+/// resets its hit counter.
+#[cfg(feature = "fault-injection")]
+pub fn install_global(plan: FaultPlan) {
+    armed::install_global(plan);
+}
+
+/// Disarm the process-global plan; returns how many hits it counted since
+/// [`install_global`].
+#[cfg(feature = "fault-injection")]
+pub fn uninstall_global() -> u64 {
+    armed::uninstall_global()
+}
+
+/// Hits counted by the global plan since the last [`install_global`].
+#[cfg(feature = "fault-injection")]
+pub fn global_hits() -> u64 {
+    armed::GLOBAL.lock().unwrap_or_else(|p| p.into_inner()).hits
+}
+
+/// The site the global plan fired at, if it has fired.
+#[cfg(feature = "fault-injection")]
+pub fn global_fired() -> Option<&'static str> {
+    armed::GLOBAL
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .fired
+}
+
+/// RAII guard for a process-global plan: arms on construction, disarms on
+/// drop.  Tests arming this must not run concurrently with other fault
+/// tests (`cargo test` runs each *test binary*'s chaos tests in one
+/// process; the suites using this serialize themselves).
+#[cfg(feature = "fault-injection")]
+pub struct GlobalFaultScope {
+    _priv: (),
+}
+
+#[cfg(feature = "fault-injection")]
+impl GlobalFaultScope {
+    /// Arm `plan` globally for the lifetime of the guard.
+    pub fn new(plan: FaultPlan) -> GlobalFaultScope {
+        install_global(plan);
+        GlobalFaultScope { _priv: () }
+    }
+
+    /// Hits counted so far under this scope.
+    pub fn hits(&self) -> u64 {
+        global_hits()
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+impl Drop for GlobalFaultScope {
+    fn drop(&mut self) {
+        armed::uninstall_global();
+    }
 }
 
 /// RAII guard: arms `plan` on construction, disarms on drop (also on
@@ -148,21 +265,43 @@ impl Drop for FaultScope {
 #[cfg(feature = "fault-injection")]
 #[inline]
 pub fn hit(site: &'static str) -> Result<(), IvmError> {
-    armed::STATE.with(|s| {
+    let local = armed::STATE.with(|s| {
         let mut st = s.borrow_mut();
         if !st.armed {
-            return Ok(());
+            return None;
         }
         let n = st.hits;
         st.hits += 1;
-        if st.fail_at == Some(n) {
-            // one-shot: keep counting, never fire again
-            st.fail_at = None;
+        if st.fail_at.is_some_and(|k| n >= k) {
+            // one-shot plans keep counting but never fire again; persistent
+            // plans fire at every hit from `fail_at` on
+            if !st.persistent {
+                st.fail_at = None;
+            }
             st.fired = Some(site);
-            return Err(IvmError::FaultInjected { site });
+            return Some(Err(IvmError::FaultInjected { site }));
         }
-        Ok(())
-    })
+        Some(Ok(()))
+    });
+    if let Some(outcome) = local {
+        return outcome;
+    }
+    // the thread-local plan is not armed on this thread — fall back to the
+    // process-global plan (inert unless a chaos test armed it)
+    let mut st = armed::GLOBAL.lock().unwrap_or_else(|p| p.into_inner());
+    if !st.armed {
+        return Ok(());
+    }
+    let n = st.hits;
+    st.hits += 1;
+    if st.fail_at.is_some_and(|k| n >= k) {
+        if !st.persistent {
+            st.fail_at = None;
+        }
+        st.fired = Some(site);
+        return Err(IvmError::FaultInjected { site });
+    }
+    Ok(())
 }
 
 /// Instrumentation hook — no-op without the `fault-injection` feature.
@@ -187,6 +326,46 @@ mod tests {
         assert_eq!(fired(), Some("b"));
         drop(scope);
         assert!(hit("d").is_ok(), "disarmed hooks are inert");
+    }
+
+    #[test]
+    fn global_plan_reaches_other_threads_and_is_shadowed_locally() {
+        let scope = GlobalFaultScope::new(FaultPlan::fail_nth(1));
+        // another thread, no local plan: counts against the global plan
+        std::thread::spawn(|| {
+            assert!(hit("w0").is_ok());
+            let e = hit("w1").unwrap_err();
+            assert!(matches!(e, IvmError::FaultInjected { site: "w1" }));
+            assert!(hit("w2").is_ok(), "global plans are one-shot too");
+        })
+        .join()
+        .unwrap();
+        assert_eq!(scope.hits(), 3);
+        assert_eq!(global_fired(), Some("w1"));
+        // an armed local plan shadows the global one on its thread
+        {
+            let local = FaultScope::new(FaultPlan::count_only());
+            assert!(hit("local").is_ok());
+            assert_eq!(local.hits(), 1);
+            assert_eq!(scope.hits(), 3, "shadowed: the global count is frozen");
+        }
+        drop(scope);
+        assert!(hit("idle").is_ok(), "disarmed global plans are inert");
+    }
+
+    #[test]
+    fn persistent_plan_fires_at_every_hit_from_its_start() {
+        let scope = FaultScope::new(FaultPlan::fail_from(2));
+        assert!(hit("a").is_ok());
+        assert!(hit("b").is_ok());
+        for _ in 0..3 {
+            let e = hit("c").unwrap_err();
+            assert!(matches!(e, IvmError::FaultInjected { site: "c" }));
+        }
+        assert_eq!(scope.hits(), 5);
+        assert_eq!(fired(), Some("c"));
+        drop(scope);
+        assert!(hit("d").is_ok(), "disarmed persistent plans are inert");
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod engine;
 pub mod fault;
 
 pub use batch::{DeltaSet, UpdateBatch};
-pub use engine::{CoverageReport, MaintainedQuery, Maintenance, OperatorCoverage};
+pub use engine::{CoverageReport, MaintStats, MaintainedQuery, Maintenance, OperatorCoverage};
 
 use nrs_nrc::NrcError;
 use nrs_value::{Name, Type, Value};

@@ -66,7 +66,7 @@ use crate::session::ProverSession;
 use nrs_delta0::specialize::{max_specializations, MaxSpecialization};
 use nrs_delta0::{Formula, InContext, Term};
 use nrs_proof::{formula_hash_mixed, Proof, ProofError, Rule, Sequent};
-use nrs_shared::ShardedMap;
+use nrs_shared::{ShardStats, ShardedMap};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -180,6 +180,12 @@ pub struct ProverStats {
     /// Whole root goals answered from the session's goal-outcome cache
     /// (1 for a replayed goal, 0 for a searched one).
     pub goal_cache_hits: usize,
+    /// Lock traffic on the failure memo's [`ShardedMap`] during this goal:
+    /// acquisitions and how many of them found their shard held by another
+    /// worker.  `memo_lock.shards` is the shard count; `memo_lock.
+    /// contention_ratio()` quantifies the PR-6 "first contention point"
+    /// observation instead of assuming it.
+    pub memo_lock: ShardStats,
 }
 
 /// The memo key: the search-relevant state besides the risky budget.
@@ -540,6 +546,7 @@ pub(crate) fn prove_sequent_inner(
         };
     }
     let interner_before = nrs_delta0::intern_stats();
+    let memo_before = caches.memo.stats();
     let start = Instant::now();
     let mut st = State {
         cfg,
@@ -583,6 +590,7 @@ pub(crate) fn prove_sequent_inner(
                 occ_join_pruned: st.occ_pruned,
                 parallel_branches: st.branches_dispatched,
                 goal_cache_hits: 0,
+                memo_lock: caches.memo.stats() - memo_before,
             };
             caches.goals.insert(
                 sequent.clone(),

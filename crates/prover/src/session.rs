@@ -93,6 +93,15 @@ impl ProverSession {
         self.inner.caches.specs.len()
     }
 
+    /// Lifetime lock-traffic counters of the failure memo's sharded map:
+    /// shard count, acquisitions, and how many acquisitions found their
+    /// shard held by a concurrent worker.  Use the delta between two
+    /// snapshots to attribute contention to one workload; per-goal deltas
+    /// are already reported in [`ProverStats::memo_lock`](crate::ProverStats::memo_lock).
+    pub fn memo_shard_stats(&self) -> nrs_shared::ShardStats {
+        self.inner.caches.memo.stats()
+    }
+
     /// Number of root goals this session has settled (proved or exhausted);
     /// re-proving any of them replays the remembered outcome without
     /// searching.

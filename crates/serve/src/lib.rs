@@ -1,6 +1,6 @@
 //! # nrs-serve
 //!
-//! Fault-tolerant serving of maintained rewritings.
+//! Fault-tolerant, pipelined serving of maintained rewritings.
 //!
 //! The synthesis pipeline ends with a [`MaintainedRewriting`]: views and
 //! answer kept incrementally up to date under base updates.  This crate
@@ -12,13 +12,22 @@
 //!   atomic pointer read.  A snapshot is immutable and internally consistent
 //!   (answer, views and base all from the same epoch) — the persistent
 //!   values underneath make publication O(1), not a copy.
-//! * **Validated, coalesced ingest.**  [`ViewServer::submit`] checks each
-//!   batch against the base [`Schema`] (unknown relation, non-set relation,
-//!   ill-typed tuple) and rejects overlapping deltas; queued batches are
-//!   [coalesced][UpdateBatch::coalesce] with sequential semantics and
-//!   checked for exactness against the live base at
-//!   [flush][ViewServer::flush] time.  A rejected batch never modifies
-//!   state.
+//! * **A bounded, pipelined ingest queue.**  Producers
+//!   [`submit`][ViewServer::submit] (blocking when the queue is full) or
+//!   [`try_submit`][ViewServer::try_submit] (returning
+//!   [`NrsError::Backpressure`]) validated batches into a bounded queue
+//!   without ever touching the maintenance engine; a dedicated batching
+//!   writer thread ([`ViewServer::start`]) drains the queue, so producers
+//!   never contend with maintenance.  Queued batches are coalesced into a
+//!   single exact net batch ([`UpdateBatch::coalesce_exact`]) and the
+//!   engine pass plus snapshot publication are amortized across the whole
+//!   batch.
+//! * **Sharded parallel maintenance.**  With [`ServerConfig::workers`] > 1
+//!   the engine partitions each operator's delta work into contiguous
+//!   key-range shards evaluated on scoped worker threads and merged
+//!   deterministically — maintained state is bit-identical to the
+//!   sequential path.  Per-flush round/shard counters are surfaced in
+//!   [`FlushReport`].
 //! * **Transactional application with graceful degradation.**  A batch
 //!   either applies completely — every view, the answer, and a new published
 //!   epoch — or not at all.  An operator failure mid-propagation rolls the
@@ -27,24 +36,53 @@
 //!   item 5), and retries through the degraded plan: the server keeps
 //!   serving, slower but correct, instead of dying or corrupting.
 //! * **A typed error taxonomy.**  [`NrsError`] says *what kind* of failure
-//!   occurred — batch rejected (fix and resubmit), maintenance failed (state
-//!   rolled back), prover timeout vs budget exhaustion — with `Display`
-//!   messages meant for operators, not `Debug` dumps.
+//!   occurred — batch rejected (fix and resubmit), queue full (retry
+//!   later), maintenance failed (state rolled back), prover timeout vs
+//!   budget exhaustion — with `Display` messages meant for operators, not
+//!   `Debug` dumps.
 //!
-//! With the **`fault-injection`** feature, the server's lock and publish
-//! points call the maintenance engine's deterministic fault hooks
-//! (`nrs_ivm::fault`), so a chaos harness can fail every reachable site and
-//! assert that readers always see a complete epoch and the next clean batch
-//! converges to the naive oracle.
+//! ## Pipeline
+//!
+//! ```text
+//!  producers                ingest queue               writer thread
+//!  submit ──▶ (validate) ─▶┌────────────┐  drain ≤    ┌─────────────┐
+//!  submit ──▶ (validate) ─▶│ VecDeque,  │─ max_batch ▶│ coalesce +  │
+//!     ⋮           ⋮        │ bounded,   │             │ exactness,  │─▶ publish
+//!  submit ──▶ (validate) ─▶│ 2 condvars │             │ apply       │   epoch n+1
+//!                ▲         └────────────┘             │ (sharded)   │
+//!                │ full → Backpressure / block        └─────────────┘
+//!                └─ space signalled per flush          readers: snapshot()
+//! ```
+//!
+//! Failure semantics along the pipeline: a batch that fails *validation*
+//! (schema, overlap, exactness) is dropped — it can never apply, so
+//! retrying is pointless; a flush that fails *transiently* (injected
+//! fault, maintenance failure after self-healing gave up) re-queues the
+//! drained batches in order, so a retry — manual or the writer thread's
+//! next cycle — converges without the producer resubmitting.  Readers keep
+//! the old epoch through every failure.  A **stopping** writer bounds its
+//! final drain: after [`SHUTDOWN_DRAIN_FAILURES`] consecutive failed flush
+//! cycles it gives up and exits with the unflushed batches left queued
+//! (visible in its [`WriterStats`] and [`ViewServer::pending_len`]), so a
+//! persistent failure can never block [`WriterHandle::stop`].
+//!
+//! With the **`fault-injection`** feature, the server's ingest, lock,
+//! coalesce, publish and writer-cycle points call the maintenance engine's
+//! deterministic fault hooks (`nrs_ivm::fault`), so a chaos harness can
+//! fail every reachable site and assert that readers always see a complete
+//! epoch and the next clean batch converges to the naive oracle.
 
 use nrs_ivm::fault;
 use nrs_proof::ProofError;
 use nrs_synthesis::{
-    CoverageReport, DegradedOperator, DeltaSet, IvmError, MaintainedRewriting, RewritingResult,
-    SynthesisError, UpdateBatch,
+    CoverageReport, DegradedOperator, DeltaSet, IvmError, MaintStats, MaintainedRewriting,
+    RewritingResult, SynthesisError, UpdateBatch,
 };
 use nrs_value::{Instance, Name, Schema, Value};
-use std::sync::{Arc, Mutex, RwLock};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 /// What went wrong, in terms a serving layer can act on.
 ///
@@ -52,6 +90,9 @@ use std::sync::{Arc, Mutex, RwLock};
 ///
 /// * [`Rejected`][NrsError::Rejected] — the batch was malformed; nothing
 ///   changed, fix the batch and resubmit;
+/// * [`Backpressure`][NrsError::Backpressure] — the ingest queue is full;
+///   nothing changed, retry after a flush drains it (or use the blocking
+///   [`submit`][ViewServer::submit]);
 /// * [`Maintenance`][NrsError::Maintenance] — propagation failed; the
 ///   server rolled back to the pre-batch epoch (degrading the failing
 ///   operator when it could) and keeps serving;
@@ -66,6 +107,13 @@ pub enum NrsError {
     /// The batch failed validation (schema, overlap or exactness); no state
     /// was modified.
     Rejected(IvmError),
+    /// The bounded ingest queue is at capacity; the batch was **not**
+    /// enqueued and no state was modified.  Retry after a flush, or use
+    /// the blocking [`submit`][ViewServer::submit].
+    Backpressure {
+        /// The configured [`ServerConfig::queue_capacity`].
+        capacity: usize,
+    },
     /// Incremental propagation failed; the engine was rolled back to its
     /// pre-batch state.
     Maintenance(IvmError),
@@ -93,9 +141,18 @@ impl NrsError {
         matches!(self, NrsError::Rejected(_))
     }
 
-    /// Is this a transient failure worth retrying as-is?
+    /// Is this a transient failure worth retrying as-is?  Backpressure is
+    /// transient: the same batch succeeds once a flush drains the queue.
     pub fn is_transient(&self) -> bool {
-        matches!(self, NrsError::Timeout { .. } | NrsError::Cancelled)
+        matches!(
+            self,
+            NrsError::Timeout { .. } | NrsError::Cancelled | NrsError::Backpressure { .. }
+        )
+    }
+
+    /// Was the batch refused because the ingest queue is full?
+    pub fn is_backpressure(&self) -> bool {
+        matches!(self, NrsError::Backpressure { .. })
     }
 }
 
@@ -103,6 +160,12 @@ impl std::fmt::Display for NrsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NrsError::Rejected(e) => write!(f, "update batch rejected: {e}"),
+            NrsError::Backpressure { capacity } => {
+                write!(
+                    f,
+                    "ingest queue full ({capacity} batches); retry after a flush"
+                )
+            }
             NrsError::Maintenance(e) => {
                 write!(f, "maintenance failed (state rolled back): {e}")
             }
@@ -159,13 +222,47 @@ impl From<SynthesisError> for NrsError {
     }
 }
 
+/// Tuning knobs of the serving pipeline.  The defaults suit a test or
+/// small-service deployment; see each field for what it trades off.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum batches the ingest queue holds before
+    /// [`try_submit`][ViewServer::try_submit] returns
+    /// [`NrsError::Backpressure`] and [`submit`][ViewServer::submit]
+    /// blocks.  Bounds writer memory under a producer storm.
+    pub queue_capacity: usize,
+    /// Maximum queued batches one flush drains and coalesces.  Larger
+    /// batches amortize the engine pass and snapshot publication over more
+    /// updates; smaller batches bound per-flush latency.
+    pub max_batch: usize,
+    /// How long the writer thread lets a batch build up after the first
+    /// arrival before flushing (it flushes early when `max_batch` is
+    /// reached).  Also the writer's idle poll interval for shutdown.
+    pub batch_window: Duration,
+    /// Worker threads for the engine's sharded parallel delta evaluation
+    /// (1 = fully sequential).  Results are bit-identical either way; see
+    /// `nrs_ivm::MaintainedQuery::set_workers`.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            queue_capacity: 1024,
+            max_batch: 256,
+            batch_window: Duration::from_millis(1),
+            workers: 1,
+        }
+    }
+}
+
 /// One published epoch: an immutable, internally consistent view of the
 /// pipeline (base, views and answer all post the same batch).  Cheap to
 /// clone and hold — the values underneath are persistent and shared.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     /// Publication counter: epoch `n+1` is epoch `n` plus exactly one
-    /// successfully applied batch.
+    /// successfully applied (coalesced) batch.
     pub epoch: u64,
     answer: Value,
     views: Instance,
@@ -201,8 +298,8 @@ impl Snapshot {
 }
 
 /// The outcome of a successful flush: the newly published snapshot, the
-/// answer's exact delta, and any operators degraded while healing failures
-/// of this batch.
+/// answer's exact delta, operators degraded while healing failures of this
+/// batch, and the pipeline counters for capacity planning.
 #[derive(Debug, Clone)]
 pub struct FlushReport {
     /// The snapshot published for this batch.
@@ -211,50 +308,188 @@ pub struct FlushReport {
     pub answer_delta: DeltaSet,
     /// Operators degraded to recompute-on-dirty while applying this batch.
     pub degraded: Vec<DegradedOperator>,
+    /// Queued batches coalesced into this flush (0 for an empty flush).
+    pub batches: usize,
+    /// Tuples (inserts + deletes) in the coalesced net batch actually
+    /// driven through the engine — round trips cancel out before this.
+    pub updates: usize,
+    /// Worker threads the engine was configured with for this flush.
+    pub workers: usize,
+    /// Engine round/shard counters attributed to this flush (how many
+    /// evaluation rounds ran, how many fanned out, items and shards).
+    pub maint: MaintStats,
 }
 
-/// The writer-side state: the live engine plus the ingest queue.
+/// The writer-side state: the live engine plus the epoch counter.
 struct ServerState {
     maintained: MaintainedRewriting,
-    pending: Vec<UpdateBatch>,
     epoch: u64,
 }
 
-/// A serving wrapper around a [`MaintainedRewriting`]: validated ingest,
-/// transactional batch application, epoch-published snapshots, graceful
-/// degradation.  See the crate docs for the guarantees.
+/// Consecutive failed flush cycles after which a stopping writer thread
+/// gives up draining and exits with the batches left queued.  Transient
+/// flush failures re-queue their drained batches, so without this bound a
+/// *persistently* failing flush (e.g. an [`NrsError::Internal`] from a
+/// failed rollback, which is not a rejection and is therefore re-queued)
+/// would turn [`WriterHandle::stop`] into an indefinitely blocking
+/// busy-loop — the batching window short-circuits once stop is requested.
+pub const SHUTDOWN_DRAIN_FAILURES: u64 = 3;
+
+/// The bounded ingest queue producers write into: a deque behind its own
+/// mutex (never held across engine work) plus two condvars — `arrival`
+/// wakes the writer thread, `space` wakes blocked producers after a flush.
+struct Ingest {
+    queue: Mutex<VecDeque<UpdateBatch>>,
+    arrival: Condvar,
+    space: Condvar,
+}
+
+/// Counters the batching writer thread accumulates over its lifetime,
+/// returned by [`WriterHandle::stop`].
+#[derive(Debug, Clone, Default)]
+pub struct WriterStats {
+    /// Flush cycles that published a new epoch.
+    pub flushes: u64,
+    /// Queued batches drained across all successful flushes.
+    pub batches: u64,
+    /// Net tuples driven through the engine across all successful flushes.
+    pub updates: u64,
+    /// Flush cycles that failed (the drained batches were re-queued or
+    /// dropped depending on the error class; see the crate docs).
+    pub errors: u64,
+    /// The last flush error observed, if any.
+    pub last_error: Option<NrsError>,
+}
+
+/// Handle to the dedicated batching writer thread started by
+/// [`ViewServer::start`].  [`stop`][WriterHandle::stop] drains the queue,
+/// joins the thread and returns its [`WriterStats`]; dropping the handle
+/// also stops and joins the thread.
+pub struct WriterHandle {
+    server: Arc<ViewServer>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<WriterStats>>,
+}
+
+impl WriterHandle {
+    /// Signal the writer to finish: it drains whatever is queued with a
+    /// final flush, then exits.  Returns the thread's lifetime counters.
+    ///
+    /// The shutdown drain is **bounded**: if the final flushes keep failing
+    /// ([`SHUTDOWN_DRAIN_FAILURES`] consecutive cycles), the writer gives
+    /// up and exits with the unflushed batches left queued — visible as
+    /// [`ViewServer::pending_len`] > 0 plus a non-zero
+    /// [`errors`][WriterStats::errors] count — rather than retrying a
+    /// persistent failure forever and blocking this call.  A writer thread
+    /// that *panicked* is reported the same way: the returned stats carry
+    /// `errors >= 1` and an [`NrsError::Internal`] `last_error`, never a
+    /// clean default.
+    pub fn stop(mut self) -> WriterStats {
+        self.signal_stop();
+        match self.thread.take() {
+            Some(t) => t.join().unwrap_or_else(|_| WriterStats {
+                errors: 1,
+                last_error: Some(NrsError::Internal("writer thread panicked".into())),
+                ..WriterStats::default()
+            }),
+            None => WriterStats::default(),
+        }
+    }
+
+    /// Set the stop flag and wake the writer if it is parked waiting for
+    /// arrivals (the flag is checked under the queue lock, so notifying
+    /// under it cannot be missed).
+    fn signal_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _guard = self
+            .server
+            .ingest
+            .queue
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        self.server.ingest.arrival.notify_all();
+    }
+}
+
+impl Drop for WriterHandle {
+    fn drop(&mut self) {
+        if let Some(t) = self.thread.take() {
+            self.signal_stop();
+            let _ = t.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WriterHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriterHandle")
+            .field("running", &self.thread.is_some())
+            .finish()
+    }
+}
+
+/// A serving wrapper around a [`MaintainedRewriting`]: validated bounded
+/// ingest, transactional coalesced batch application, epoch-published
+/// snapshots, graceful degradation.  See the crate docs for the pipeline
+/// and its guarantees.
 ///
 /// The server is `Sync`: any number of reader threads call
 /// [`snapshot`][ViewServer::snapshot] (an atomic pointer read behind an
-/// `RwLock` held only for the clone) while one or more writers
-/// [`submit`][ViewServer::submit] and [`flush`][ViewServer::flush] behind
-/// the state mutex.
+/// `RwLock` held only for the clone) and any number of producers
+/// [`submit`][ViewServer::submit] into the ingest queue, while one flusher
+/// — the dedicated writer thread ([`start`][ViewServer::start]) or manual
+/// [`flush`][ViewServer::flush] calls — drives the engine behind the state
+/// mutex.
 pub struct ViewServer {
     schema: Schema,
+    config: ServerConfig,
     state: Mutex<ServerState>,
     published: RwLock<Arc<Snapshot>>,
+    ingest: Ingest,
 }
 
 impl ViewServer {
-    /// Materialize `result` over `base` and publish epoch 0.
+    /// Materialize `result` over `base` and publish epoch 0, with the
+    /// default [`ServerConfig`].
     pub fn new(result: &RewritingResult, base: &Instance) -> Result<ViewServer, NrsError> {
+        Self::with_config(result, base, ServerConfig::default())
+    }
+
+    /// Materialize `result` over `base` and publish epoch 0, with explicit
+    /// pipeline knobs.
+    pub fn with_config(
+        result: &RewritingResult,
+        base: &Instance,
+        config: ServerConfig,
+    ) -> Result<ViewServer, NrsError> {
         let schema = result.problem.base_schema()?;
-        let maintained = MaintainedRewriting::new(result, base)?;
+        let mut maintained = MaintainedRewriting::new(result, base)?;
+        maintained.set_workers(config.workers);
         let snapshot = Arc::new(Self::capture(&maintained, 0));
         Ok(ViewServer {
             schema,
+            config,
             state: Mutex::new(ServerState {
                 maintained,
-                pending: Vec::new(),
                 epoch: 0,
             }),
             published: RwLock::new(snapshot),
+            ingest: Ingest {
+                queue: Mutex::new(VecDeque::new()),
+                arrival: Condvar::new(),
+                space: Condvar::new(),
+            },
         })
     }
 
     /// The schema incoming batches are validated against.
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// The pipeline configuration this server runs with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
     }
 
     /// The current published snapshot — always a complete epoch, never a
@@ -271,67 +506,191 @@ impl ViewServer {
         self.snapshot().epoch
     }
 
-    /// Validate a batch against the schema and enqueue it.  Rejected
-    /// batches ([`NrsError::Rejected`]) are not enqueued; nothing changes.
+    /// Validate a batch against the schema and enqueue it, **blocking**
+    /// while the ingest queue is at capacity (a concurrent flusher — the
+    /// writer thread or manual [`flush`][ViewServer::flush] calls — must
+    /// be draining it, or this blocks indefinitely).  Rejected batches
+    /// ([`NrsError::Rejected`]) are not enqueued; nothing changes.
     pub fn submit(&self, batch: &UpdateBatch) -> Result<(), NrsError> {
+        self.validate(batch)?;
+        let mut q = self.lock_ingest();
+        while q.len() >= self.config.queue_capacity {
+            q = self.ingest.space.wait(q).unwrap_or_else(|p| p.into_inner());
+        }
+        q.push_back(batch.clone());
+        self.ingest.arrival.notify_one();
+        Ok(())
+    }
+
+    /// Validate a batch against the schema and enqueue it **without
+    /// blocking**: a full queue returns [`NrsError::Backpressure`] and the
+    /// batch is not enqueued.  Rejected batches are not enqueued either;
+    /// in both cases nothing changes.
+    pub fn try_submit(&self, batch: &UpdateBatch) -> Result<(), NrsError> {
+        self.validate(batch)?;
+        let mut q = self.lock_ingest();
+        if q.len() >= self.config.queue_capacity {
+            return Err(NrsError::Backpressure {
+                capacity: self.config.queue_capacity,
+            });
+        }
+        q.push_back(batch.clone());
+        self.ingest.arrival.notify_one();
+        Ok(())
+    }
+
+    /// Submit-time validation shared by both entry points, running the
+    /// ingest fault hook (a fault here refuses the batch before anything
+    /// is queued).
+    fn validate(&self, batch: &UpdateBatch) -> Result<(), NrsError> {
+        fault::hit("serve.ingest")?;
         batch.check_disjoint()?;
         batch.validate_schema(&self.schema)?;
-        self.lock_state()?.pending.push(batch.clone());
         Ok(())
     }
 
     /// Number of batches queued and not yet flushed.
     pub fn pending_len(&self) -> usize {
-        self.state
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .pending
-            .len()
+        self.lock_ingest().len()
     }
 
-    /// Apply everything queued as **one** transactional batch and publish a
-    /// new epoch.
+    /// Start the dedicated batching writer thread: it waits for arrivals,
+    /// lets a batch build for [`batch_window`][ServerConfig::batch_window]
+    /// (or until [`max_batch`][ServerConfig::max_batch] batches are
+    /// queued), then [flushes][ViewServer::flush].  Producers submit from
+    /// any thread; readers are untouched.  Stop (and drain) it with
+    /// [`WriterHandle::stop`].
+    pub fn start(self: &Arc<ViewServer>) -> WriterHandle {
+        let server = Arc::clone(self);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || server.writer_loop(&stop_flag));
+        WriterHandle {
+            server: Arc::clone(self),
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Body of the batching writer thread.
+    fn writer_loop(&self, stop: &AtomicBool) -> WriterStats {
+        let mut stats = WriterStats::default();
+        // Consecutive failed flush cycles since the last success; once stop
+        // is requested this bounds the drain (see SHUTDOWN_DRAIN_FAILURES).
+        let mut consecutive_failures: u64 = 0;
+        loop {
+            // park until a batch arrives or we are told to stop
+            {
+                let mut q = self.lock_ingest();
+                while q.is_empty() && !stop.load(Ordering::SeqCst) {
+                    let (guard, _) = self
+                        .ingest
+                        .arrival
+                        .wait_timeout(q, self.config.batch_window)
+                        .unwrap_or_else(|p| p.into_inner());
+                    q = guard;
+                }
+                if q.is_empty() && stop.load(Ordering::SeqCst) {
+                    return stats;
+                }
+                // batching window: give producers a moment to pile on, but
+                // flush as soon as a full batch is waiting
+                let deadline = Instant::now() + self.config.batch_window;
+                while q.len() < self.config.max_batch && !stop.load(Ordering::SeqCst) {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, timeout) = self
+                        .ingest
+                        .arrival
+                        .wait_timeout(q, deadline - now)
+                        .unwrap_or_else(|p| p.into_inner());
+                    q = guard;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+            }
+            // the writer-cycle fault hook: a fault here kills the cycle
+            // *before* anything is drained, so the queued batches survive
+            // and the next cycle retries them
+            let outcome = fault::hit("serve.writer.flush")
+                .map_err(NrsError::from)
+                .and_then(|()| self.flush());
+            match outcome {
+                Ok(report) => {
+                    consecutive_failures = 0;
+                    if report.batches > 0 {
+                        stats.flushes += 1;
+                        stats.batches += report.batches as u64;
+                        stats.updates += report.updates as u64;
+                    }
+                }
+                Err(e) => {
+                    consecutive_failures += 1;
+                    stats.errors += 1;
+                    stats.last_error = Some(e);
+                }
+            }
+            if stop.load(Ordering::SeqCst)
+                && (self.lock_ingest().is_empty()
+                    || consecutive_failures >= SHUTDOWN_DRAIN_FAILURES)
+            {
+                return stats;
+            }
+        }
+    }
+
+    /// Drain up to [`max_batch`][ServerConfig::max_batch] queued batches,
+    /// apply them as **one** transactional net batch and publish a new
+    /// epoch.
     ///
-    /// The queued batches are coalesced with sequential semantics, checked
-    /// for exactness against the live base, and driven through the engine's
-    /// self-healing transactional apply.  On success the queue is drained
-    /// and the new snapshot published.  On failure the engine is rolled back
-    /// to the pre-batch epoch and the queue is dropped (the combined batch
-    /// is rejected as a unit) — except a fault at the lock site, which
-    /// leaves the queue intact for a clean retry.
+    /// The drained batches are coalesced with sequential exactness
+    /// semantics ([`UpdateBatch::coalesce_exact`]): each batch must be
+    /// exact against the base *as of its turn*, and each tuple nets to its
+    /// final disposition, so round trips (insert-then-delete of a
+    /// non-member, delete-then-insert of a member) vanish before the
+    /// engine runs.  The net batch is driven through the engine's
+    /// self-healing transactional apply and the new snapshot published.
+    ///
+    /// On failure the engine is rolled back to the pre-batch epoch; the
+    /// drained batches are **dropped** if the combined batch failed
+    /// validation (it can never apply), and **re-queued in order** on a
+    /// transient failure (injected fault, unhealed maintenance error) so a
+    /// retry converges — except a fault at the lock site, which fails
+    /// before anything is drained.
     pub fn flush(&self) -> Result<FlushReport, NrsError> {
+        // lock order: state mutex first, then the ingest queue (briefly).
+        // A fault at the lock site therefore leaves the queue intact.
         let mut st = self.lock_state()?;
-        if st.pending.is_empty() {
+        let drained: Vec<UpdateBatch> = {
+            let mut q = self.lock_ingest();
+            let n = q.len().min(self.config.max_batch);
+            q.drain(..n).collect()
+        };
+        if drained.is_empty() {
             return Ok(FlushReport {
                 snapshot: self.snapshot(),
                 answer_delta: DeltaSet::new(),
                 degraded: Vec::new(),
+                batches: 0,
+                updates: 0,
+                workers: self.config.workers,
+                maint: MaintStats::default(),
             });
         }
-        // exactness is sequential: each queued batch must be exact against
-        // the base *as of its turn*, not against the pre-flush base
-        let mut scratch = st.maintained.base().clone();
-        for b in &st.pending {
-            let step = b
-                .validate_against(&scratch)
-                .and_then(|()| b.apply(&scratch));
-            match step {
-                Ok(next) => scratch = next,
-                Err(e) => {
-                    st.pending.clear();
-                    return Err(e.into());
-                }
-            }
+        // coalesce + exactness-check once for the whole batch, against the
+        // live base: O(|Δ| log n) instead of cloning the base per batch
+        if let Err(e) = fault::hit("serve.coalesce") {
+            self.requeue(drained);
+            return Err(e.into());
         }
-        // the net batch: coalescing nets each tuple to its final disposition,
-        // and normalizing against the pre-flush base drops round trips
-        // (insert-then-delete of a non-member, delete-then-insert of a member)
-        let combined = match UpdateBatch::coalesce(st.pending.iter())
-            .normalize_against(st.maintained.base())
-        {
+        let combined = match UpdateBatch::coalesce_exact(drained.iter(), st.maintained.base()) {
             Ok(c) => c,
             Err(e) => {
-                st.pending.clear();
+                // validation failure: the drained prefix can never apply
+                self.drop_drained();
                 return Err(e.into());
             }
         };
@@ -339,33 +698,43 @@ impl ViewServer {
         // a publish-site failure below must unwind manually
         let base_before = st.maintained.base().clone();
         let views_before = st.maintained.view_instance().clone();
+        let maint_before = st.maintained.maint_stats();
         let (answer_delta, degraded) = match st.maintained.apply_resilient(&combined) {
             Ok(out) => out,
             Err(e) => {
-                st.pending.clear();
-                return Err(e.into());
+                let e = NrsError::from(e);
+                if e.is_rejection() {
+                    self.drop_drained();
+                } else {
+                    self.requeue(drained);
+                }
+                return Err(e);
             }
         };
         // a fault between application and publication must reject the batch
         // as a whole: readers keep the old epoch, so the writer state must
-        // return to it too
+        // return to it too — and the drained batches go back for a retry
         if let Err(e) = fault::hit("serve.publish") {
-            st.pending.clear();
             st.maintained
                 .restore(&base_before, &views_before)
                 .map_err(|r| {
                     NrsError::Internal(format!("rollback after failed publish failed: {r}"))
                 })?;
+            self.requeue(drained);
             return Err(e.into());
         }
-        st.pending.clear();
         st.epoch += 1;
         let snapshot = Arc::new(Self::capture(&st.maintained, st.epoch));
         *self.published.write().unwrap_or_else(|p| p.into_inner()) = snapshot.clone();
+        self.ingest.space.notify_all();
         Ok(FlushReport {
             snapshot,
             answer_delta,
             degraded,
+            batches: drained.len(),
+            updates: combined.len(),
+            workers: self.config.workers,
+            maint: st.maintained.maint_stats() - maint_before,
         })
     }
 
@@ -400,6 +769,15 @@ impl ViewServer {
             .degraded_operators()
     }
 
+    /// Cumulative engine round/shard counters (see `nrs_ivm::MaintStats`).
+    pub fn maint_stats(&self) -> MaintStats {
+        self.state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .maintained
+            .maint_stats()
+    }
+
     /// Naive end-to-end oracle check of the *live* engine state.
     pub fn cross_check(&self, result: &RewritingResult) -> Result<bool, NrsError> {
         let st = self.state.lock().unwrap_or_else(|p| p.into_inner());
@@ -411,6 +789,27 @@ impl ViewServer {
     fn lock_state(&self) -> Result<std::sync::MutexGuard<'_, ServerState>, NrsError> {
         fault::hit("serve.lock")?;
         Ok(self.state.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Lock the ingest queue (never held across engine work).
+    fn lock_ingest(&self) -> std::sync::MutexGuard<'_, VecDeque<UpdateBatch>> {
+        self.ingest.queue.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Put transiently-failed batches back at the front of the queue, in
+    /// their original order, and wake the writer for a retry.
+    fn requeue(&self, drained: Vec<UpdateBatch>) {
+        let mut q = self.lock_ingest();
+        for b in drained.into_iter().rev() {
+            q.push_front(b);
+        }
+        self.ingest.arrival.notify_one();
+    }
+
+    /// A validation failure consumed the drained prefix; producers blocked
+    /// on a full queue may now have space.
+    fn drop_drained(&self) {
+        self.ingest.space.notify_all();
     }
 
     /// An immutable snapshot of the engine at `epoch` (cheap: the values are
@@ -433,6 +832,7 @@ impl std::fmt::Debug for ViewServer {
             .field("epoch", &snap.epoch)
             .field("degraded", &snap.degraded.len())
             .field("pending", &self.pending_len())
+            .field("workers", &self.config.workers)
             .finish()
     }
 }
@@ -474,6 +874,8 @@ mod tests {
         let report = server.apply(&batch).expect("apply");
         assert_eq!(report.snapshot.epoch, 1);
         assert_eq!(server.epoch(), 1);
+        assert_eq!(report.batches, 1);
+        assert_eq!(report.updates, 2);
         // a reader holding the old epoch is untouched by the publication
         assert_eq!(old.epoch, 0);
         assert_eq!(old.answer(), &answer0);
@@ -557,6 +959,11 @@ mod tests {
         server.submit(&b2).expect("b2");
         let report = server.flush().expect("flush");
         assert_eq!(report.snapshot.epoch, 1);
+        assert_eq!(report.batches, 2);
+        assert_eq!(
+            report.updates, 1,
+            "the 10 round trip cancels before the engine"
+        );
         assert!(report.answer_delta.inserts.contains(&Value::atom(11)));
         assert!(!report.answer_delta.inserts.contains(&Value::atom(10)));
         assert!(server.cross_check(&result).expect("oracle"));
@@ -564,6 +971,188 @@ mod tests {
         let report = server.flush().expect("empty flush");
         assert_eq!(report.snapshot.epoch, 1);
         assert!(report.answer_delta.is_empty());
+        assert_eq!(report.batches, 0);
+    }
+
+    #[test]
+    fn try_submit_backpressures_at_capacity_and_flush_makes_room() {
+        let problem = partition_problem();
+        let result = problem
+            .derive_rewriting(&SynthesisConfig::default())
+            .expect("rewriting exists");
+        let config = ServerConfig {
+            queue_capacity: 2,
+            ..ServerConfig::default()
+        };
+        let server = ViewServer::with_config(&result, &small_base(), config).expect("server");
+        let mut b1 = UpdateBatch::new();
+        b1.insert("S", Value::atom(10));
+        let mut b2 = UpdateBatch::new();
+        b2.insert("S", Value::atom(11));
+        let mut b3 = UpdateBatch::new();
+        b3.insert("S", Value::atom(12));
+        server.try_submit(&b1).expect("b1 fits");
+        server.try_submit(&b2).expect("b2 fits");
+        let err = server.try_submit(&b3).unwrap_err();
+        assert!(
+            matches!(err, NrsError::Backpressure { capacity: 2 }),
+            "got {err}"
+        );
+        assert!(err.is_transient() && err.is_backpressure() && !err.is_rejection());
+        assert_eq!(server.pending_len(), 2, "the refused batch was not queued");
+        // a flush drains the queue; the batch fits afterwards
+        server.flush().expect("flush");
+        server.try_submit(&b3).expect("b3 fits after flush");
+        server.flush().expect("flush b3");
+        assert_eq!(server.epoch(), 2);
+        assert!(server.cross_check(&result).expect("oracle"));
+    }
+
+    #[test]
+    fn blocking_submit_waits_for_space_instead_of_failing() {
+        let problem = partition_problem();
+        let result = problem
+            .derive_rewriting(&SynthesisConfig::default())
+            .expect("rewriting exists");
+        let config = ServerConfig {
+            queue_capacity: 1,
+            ..ServerConfig::default()
+        };
+        let server =
+            Arc::new(ViewServer::with_config(&result, &small_base(), config).expect("server"));
+        let mut b1 = UpdateBatch::new();
+        b1.insert("S", Value::atom(10));
+        let mut b2 = UpdateBatch::new();
+        b2.insert("S", Value::atom(11));
+        server.submit(&b1).expect("b1 fits");
+        // the queue is full: submit(b2) must block until a flush drains it
+        let producer = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.submit(&b2))
+        };
+        // flush repeatedly until the producer's batch lands and is flushed
+        // (the producer may enqueue just after a drain)
+        loop {
+            server.flush().expect("flush");
+            if producer.is_finished() && server.pending_len() == 0 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        producer
+            .join()
+            .expect("join")
+            .expect("blocked submit succeeds");
+        server.flush().expect("final flush");
+        let snap = server.snapshot();
+        let s = snap.base().try_get(&Name::new("S")).expect("S");
+        let s = s.as_set().expect("set");
+        assert!(s.contains(&Value::atom(10)) && s.contains(&Value::atom(11)));
+        assert!(server.cross_check(&result).expect("oracle"));
+    }
+
+    #[test]
+    fn max_batch_bounds_one_flush_and_the_rest_stays_queued() {
+        let problem = partition_problem();
+        let result = problem
+            .derive_rewriting(&SynthesisConfig::default())
+            .expect("rewriting exists");
+        let config = ServerConfig {
+            max_batch: 2,
+            ..ServerConfig::default()
+        };
+        let server = ViewServer::with_config(&result, &small_base(), config).expect("server");
+        for i in 0..5u64 {
+            let mut b = UpdateBatch::new();
+            b.insert("S", Value::atom(100 + i));
+            server.submit(&b).expect("submit");
+        }
+        let report = server.flush().expect("flush");
+        assert_eq!(report.batches, 2);
+        assert_eq!(server.pending_len(), 3, "drained only max_batch");
+        assert_eq!(server.epoch(), 1);
+        // three more flushes drain the rest
+        assert_eq!(server.flush().expect("flush").batches, 2);
+        assert_eq!(server.flush().expect("flush").batches, 1);
+        assert_eq!(server.flush().expect("flush").batches, 0);
+        assert!(server.cross_check(&result).expect("oracle"));
+    }
+
+    #[test]
+    fn writer_thread_drains_producers_end_to_end() {
+        let (result, base) = setup(30, 5);
+        let config = ServerConfig {
+            batch_window: Duration::from_millis(1),
+            ..ServerConfig::default()
+        };
+        let server = Arc::new(ViewServer::with_config(&result, &base, config).expect("server"));
+        let handle = server.start();
+        let mut producers = Vec::new();
+        for p in 0..3u64 {
+            let server = Arc::clone(&server);
+            producers.push(std::thread::spawn(move || {
+                for i in 0..10u64 {
+                    let mut b = UpdateBatch::new();
+                    // disjoint fresh tuples per producer: exact under any
+                    // interleaving
+                    b.insert("S", Value::atom(10_000 + p * 100 + i));
+                    server.submit(&b).expect("submit");
+                }
+            }));
+        }
+        for t in producers {
+            t.join().expect("producer");
+        }
+        let stats = handle.stop();
+        assert_eq!(server.pending_len(), 0, "stop drains the queue");
+        assert_eq!(stats.batches, 30, "every submitted batch was flushed");
+        assert_eq!(stats.updates, 30);
+        assert!(stats.flushes >= 1 && stats.flushes <= 30);
+        assert!(stats.errors == 0, "clean run: {:?}", stats.last_error);
+        let snap = server.snapshot();
+        assert_eq!(snap.epoch, stats.flushes);
+        let s = snap.base().try_get(&Name::new("S")).expect("S");
+        let s = s.as_set().expect("set");
+        for p in 0..3u64 {
+            for i in 0..10u64 {
+                assert!(s.contains(&Value::atom(10_000 + p * 100 + i)));
+            }
+        }
+        assert!(server.cross_check(&result).expect("oracle"));
+    }
+
+    #[test]
+    fn sharded_workers_report_counters_and_agree_with_sequential() {
+        let (result, base) = setup(40, 9);
+        let sequential = ViewServer::new(&result, &base).expect("sequential");
+        let config = ServerConfig {
+            workers: 3,
+            ..ServerConfig::default()
+        };
+        let sharded = ViewServer::with_config(&result, &base, config).expect("sharded");
+        let mut batch = UpdateBatch::new();
+        for i in 0..8u64 {
+            batch.insert("S", Value::atom(9100 + i));
+        }
+        batch.insert("F", Value::atom(9100));
+        let seq = sequential.apply(&batch).expect("sequential apply");
+        let par = sharded.apply(&batch).expect("sharded apply");
+        assert_eq!(seq.snapshot.answer(), par.snapshot.answer());
+        assert_eq!(seq.answer_delta, par.answer_delta);
+        assert_eq!(par.workers, 3);
+        assert_eq!(seq.workers, 1);
+        assert!(
+            par.maint.parallel_rounds > 0,
+            "an 9-tuple batch fans out: {:?}",
+            par.maint
+        );
+        assert!(par.maint.shards_dispatched > par.maint.parallel_rounds);
+        assert_eq!(
+            seq.maint.parallel_rounds, 0,
+            "one worker never dispatches: {:?}",
+            seq.maint
+        );
+        assert!(sharded.cross_check(&result).expect("oracle"));
     }
 
     #[test]

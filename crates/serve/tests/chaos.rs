@@ -14,11 +14,18 @@
 #![cfg(feature = "fault-injection")]
 
 use nrs_ivm::fault::{FaultPlan, FaultScope};
-use nrs_serve::ViewServer;
+use nrs_serve::{ServerConfig, ViewServer};
 use nrs_synthesis::views::partition_problem;
 use nrs_synthesis::{RewritingResult, SynthesisConfig, UpdateBatch};
 use nrs_value::{Instance, Name, Value};
 use std::collections::BTreeSet;
+
+fn config(workers: usize) -> ServerConfig {
+    ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    }
+}
 
 fn base() -> Instance {
     let s: BTreeSet<Value> = [1u64, 2, 3, 4].into_iter().map(Value::atom).collect();
@@ -43,29 +50,51 @@ fn rewriting() -> RewritingResult {
         .expect("rewriting exists")
 }
 
-#[test]
-fn chaos_every_reachable_site_keeps_readers_on_a_complete_epoch() {
+/// A wider batch (several fresh members per relation) so sharded servers
+/// get delta rounds with >= 2 items, which is what makes the engine fan
+/// out across workers and reach the `ivm.shard.*` sites.
+fn wide_batch() -> UpdateBatch {
+    let mut b = UpdateBatch::new();
+    for i in 0..4u64 {
+        b.insert("S", Value::atom(10 + i));
+    }
+    b.insert("F", Value::atom(10));
+    b.delete("S", Value::atom(1));
+    b
+}
+
+/// Discovery pass: how many instrumented sites does one submit+flush
+/// round reach on a server built with `config`?
+fn discovery(
+    result: &RewritingResult,
+    base: &Instance,
+    config: ServerConfig,
+    batch: &UpdateBatch,
+) -> u64 {
+    let server = ViewServer::with_config(result, base, config).expect("server");
+    let scope = FaultScope::new(FaultPlan::count_only());
+    server.apply(batch).expect("clean apply under count_only");
+    scope.hits()
+}
+
+/// Run the full discovery-then-inject sweep against servers built with
+/// `config` (notably: sequential vs sharded-parallel maintenance).
+fn sweep_every_reachable_site(config: ServerConfig, batch: &UpdateBatch) {
     let result = rewriting();
     let base = base();
-    let batch = batch();
+    let batch = batch.clone();
 
     // the reference answer a fault-free server publishes for this batch
     let reference = ViewServer::new(&result, &base).expect("reference server");
     let want = reference.apply(&batch).expect("clean apply").snapshot;
     assert_eq!(want.epoch, 1);
 
-    // discovery pass: how many instrumented sites does one round reach?
-    let hits = {
-        let server = ViewServer::new(&result, &base).expect("server");
-        let scope = FaultScope::new(FaultPlan::count_only());
-        server.apply(&batch).expect("clean apply under count_only");
-        scope.hits()
-    };
-    // at minimum: the submit lock, the flush lock and the publish point
+    let hits = discovery(&result, &base, config.clone(), &batch);
+    // at minimum: the ingest point, the flush lock and the publish point
     assert!(hits >= 3, "expected >= 3 sites, found {hits}");
 
     for n in 0..hits {
-        let server = ViewServer::new(&result, &base).expect("server");
+        let server = ViewServer::with_config(&result, &base, config.clone()).expect("server");
         // a reader takes a snapshot before the faulted round
         let reader = server.snapshot();
         let outcome = {
@@ -99,8 +128,9 @@ fn chaos_every_reachable_site_keeps_readers_on_a_complete_epoch() {
                     !e.is_rejection(),
                     "site {n}: injected fault misclassified as a validation rejection: {e}"
                 );
-                // recovery: a lock-site fault leaves the queue intact, a
-                // publish/apply-site fault drops it — resubmit if needed
+                // recovery: transiently-failed flushes re-queue the drained
+                // batches, and a lock-site fault never drains — only an
+                // ingest-site fault leaves nothing queued; resubmit then
                 if server.pending_len() == 0 {
                     server.submit(&batch).expect("resubmit");
                 }
@@ -120,6 +150,28 @@ fn chaos_every_reachable_site_keeps_readers_on_a_complete_epoch() {
             "site {n}: live state disagrees with the naive oracle"
         );
     }
+}
+
+#[test]
+fn chaos_every_reachable_site_keeps_readers_on_a_complete_epoch() {
+    sweep_every_reachable_site(config(1), &batch());
+}
+
+/// The same sweep with sharded-parallel maintenance: the shard dispatch
+/// and merge sites join the reachable set, and every one of them must
+/// still roll back to a complete epoch and converge on retry.
+#[test]
+fn chaos_sharded_workers_sweep_keeps_readers_on_a_complete_epoch() {
+    let result = rewriting();
+    let base = base();
+    let wide = wide_batch();
+    let hits_seq = discovery(&result, &base, config(1), &wide);
+    let hits_par = discovery(&result, &base, config(3), &wide);
+    assert!(
+        hits_par > hits_seq,
+        "sharding added no sites ({hits_seq} sequential vs {hits_par} sharded)"
+    );
+    sweep_every_reachable_site(config(3), &wide);
 }
 
 /// The seeded convenience plan exercises the same protocol end-to-end: any

@@ -18,6 +18,7 @@
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 /// Number of shards; a power of two so the shard index is a mask of the
@@ -85,11 +86,66 @@ impl Hasher for FxHasher {
 /// parameter of `HashMap`/`HashSet`.
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
+/// A point-in-time view of a [`ShardedMap`]'s sharding behaviour: how many
+/// lock acquisitions there were and how many of them found their shard
+/// already held by another thread.  The PR-6 parallel-search work flagged
+/// the failure memo as "the first contention point at higher core counts";
+/// these counters make that claim *observable* — a session can report
+/// `contended / (reads + writes)` instead of assuming the 32-way split is
+/// enough.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Number of lock shards the map splits its key space across.
+    pub shards: usize,
+    /// Read-lock acquisitions (`get`).
+    pub reads: u64,
+    /// Write-lock acquisitions (`insert` / `merge`).
+    pub writes: u64,
+    /// Read acquisitions that found the shard write-locked and had to block.
+    pub reads_contended: u64,
+    /// Write acquisitions that found the shard locked and had to block.
+    pub writes_contended: u64,
+}
+
+impl ShardStats {
+    /// Fraction of acquisitions that blocked, in `[0, 1]`; `0.0` when the
+    /// map was never touched.
+    pub fn contention_ratio(&self) -> f64 {
+        let total = self.reads + self.writes;
+        if total == 0 {
+            0.0
+        } else {
+            (self.reads_contended + self.writes_contended) as f64 / total as f64
+        }
+    }
+}
+
+impl std::ops::Sub for ShardStats {
+    type Output = ShardStats;
+    /// Counter delta between two snapshots of the *same* map (saturating,
+    /// so a stale "before" snapshot never underflows).
+    fn sub(self, before: ShardStats) -> ShardStats {
+        ShardStats {
+            shards: self.shards,
+            reads: self.reads.saturating_sub(before.reads),
+            writes: self.writes.saturating_sub(before.writes),
+            reads_contended: self.reads_contended.saturating_sub(before.reads_contended),
+            writes_contended: self
+                .writes_contended
+                .saturating_sub(before.writes_contended),
+        }
+    }
+}
+
 /// A concurrent hash map split into `SHARDS` `RwLock`-guarded shards.
 /// See the module docs for the intended cache profile and the poisoning
 /// policy.
 pub struct ShardedMap<K, V> {
     shards: Vec<RwLock<HashMap<K, V, FxBuildHasher>>>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    reads_contended: AtomicU64,
+    writes_contended: AtomicU64,
 }
 
 impl<K: Hash + Eq, V> ShardedMap<K, V> {
@@ -99,6 +155,10 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
             shards: (0..SHARDS)
                 .map(|_| RwLock::new(HashMap::default()))
                 .collect(),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            reads_contended: AtomicU64::new(0),
+            writes_contended: AtomicU64::new(0),
         }
     }
 
@@ -110,39 +170,81 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         &self.shards[(h.finish() >> 57) as usize & (SHARDS - 1)]
     }
 
+    /// Acquire a shard's read lock, counting the acquisition and whether it
+    /// had to block behind a writer.  Contention is detected with a
+    /// `try_read` probe *before* the blocking wait — cheap, and exact
+    /// enough for a trend counter (a shard released between the probe and
+    /// the wait over-counts by one).
+    fn read_shard<'a>(
+        &'a self,
+        shard: &'a RwLock<HashMap<K, V, FxBuildHasher>>,
+    ) -> std::sync::RwLockReadGuard<'a, HashMap<K, V, FxBuildHasher>> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        match shard.try_read() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.reads_contended.fetch_add(1, Ordering::Relaxed);
+                shard.read().unwrap_or_else(|p| p.into_inner())
+            }
+        }
+    }
+
+    /// Write-lock counterpart of [`read_shard`](Self::read_shard).
+    fn write_shard<'a>(
+        &'a self,
+        shard: &'a RwLock<HashMap<K, V, FxBuildHasher>>,
+    ) -> std::sync::RwLockWriteGuard<'a, HashMap<K, V, FxBuildHasher>> {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        match shard.try_write() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.writes_contended.fetch_add(1, Ordering::Relaxed);
+                shard.write().unwrap_or_else(|p| p.into_inner())
+            }
+        }
+    }
+
     /// Look up a key, cloning the value out (values are cheap handles:
     /// `Arc`s, shared formulas, small copies).
     pub fn get(&self, key: &K) -> Option<V>
     where
         V: Clone,
     {
-        self.shard(key)
-            .read()
-            .unwrap_or_else(|p| p.into_inner())
-            .get(key)
-            .cloned()
+        self.read_shard(self.shard(key)).get(key).cloned()
     }
 
     /// Insert a value, returning the previous one (if any).  Two workers
     /// racing on the same key simply overwrite each other with values
     /// computed from the same inputs.
     pub fn insert(&self, key: K, value: V) -> Option<V> {
-        self.shard(&key)
-            .write()
-            .unwrap_or_else(|p| p.into_inner())
-            .insert(key, value)
+        self.write_shard(self.shard(&key)).insert(key, value)
     }
 
     /// Merge a value into the map: insert it when the key is absent,
     /// otherwise let `f` combine it into the existing entry (e.g. a
     /// `max`-merge for the failure memo's refuted budgets).
     pub fn merge(&self, key: K, value: V, f: impl FnOnce(&mut V, V)) {
-        let mut shard = self.shard(&key).write().unwrap_or_else(|p| p.into_inner());
+        let mut shard = self.write_shard(self.shard(&key));
         match shard.entry(key) {
             std::collections::hash_map::Entry::Occupied(mut e) => f(e.get_mut(), value),
             std::collections::hash_map::Entry::Vacant(e) => {
                 e.insert(value);
             }
+        }
+    }
+
+    /// Lifetime totals of this map's lock traffic.  Counters are `Relaxed`
+    /// atomics: exact under quiescence (when the caller snapshots between
+    /// workloads), approximate while workers are still running.
+    pub fn stats(&self) -> ShardStats {
+        ShardStats {
+            shards: SHARDS,
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            reads_contended: self.reads_contended.load(Ordering::Relaxed),
+            writes_contended: self.writes_contended.load(Ordering::Relaxed),
         }
     }
 
@@ -224,6 +326,47 @@ mod tests {
                 "max-merge converges to the largest writer"
             );
         }
+    }
+
+    #[test]
+    fn stats_count_lock_traffic() {
+        let map: ShardedMap<u64, u64> = ShardedMap::new();
+        let zero = map.stats();
+        assert_eq!(zero.shards, SHARDS);
+        assert_eq!((zero.reads, zero.writes), (0, 0));
+        assert_eq!(zero.contention_ratio(), 0.0);
+        for k in 0..10u64 {
+            map.insert(k, k);
+            let _ = map.get(&k);
+        }
+        map.merge(3, 9, |cur, new| *cur = (*cur).max(new));
+        let after = map.stats() - zero;
+        assert_eq!(after.reads, 10);
+        assert_eq!(after.writes, 11, "merge counts as a write acquisition");
+        // single-threaded traffic never contends
+        assert_eq!((after.reads_contended, after.writes_contended), (0, 0));
+        assert_eq!(after.contention_ratio(), 0.0);
+    }
+
+    #[test]
+    fn contention_counter_fires_when_a_shard_is_held() {
+        let map: ShardedMap<u64, u64> = ShardedMap::new();
+        map.insert(7, 7);
+        let shard = map.shard(&7);
+        std::thread::scope(|scope| {
+            let guard = shard.write().unwrap();
+            let t = scope.spawn(|| map.get(&7));
+            // wait until the prober has registered the read and blocked on
+            // the held shard, then release it
+            while (map.stats().reads_contended) == 0 {
+                std::thread::yield_now();
+            }
+            drop(guard);
+            assert_eq!(t.join().unwrap(), Some(7));
+        });
+        let stats = map.stats();
+        assert!(stats.reads_contended >= 1);
+        assert!(stats.contention_ratio() > 0.0);
     }
 
     #[test]

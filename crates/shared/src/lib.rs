@@ -29,7 +29,7 @@
 
 mod cache;
 
-pub use cache::{FxBuildHasher, FxHasher, ShardedMap};
+pub use cache::{FxBuildHasher, FxHasher, ShardStats, ShardedMap};
 
 use nrs_value::Name;
 use serde::{Content, Deserialize, Error, Serialize};

@@ -11,12 +11,12 @@
 //! Run with `cargo run --release --example serve_views [size] [updates]`
 //! (defaults: 2000 base tuples, 200 updates).
 
-use nested_synth::serve::{NrsError, ViewServer};
+use nested_synth::serve::{NrsError, ServerConfig, ViewServer};
 use nested_synth::synthesis::views::{partition_instance, partition_problem};
 use nested_synth::synthesis::{SynthesisConfig, UpdateBatch};
 use nested_synth::value::Value;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -108,6 +108,64 @@ fn main() {
     );
     assert_eq!(report.snapshot.epoch, before + 1);
 
+    // The pipelined path: a bounded ingest queue plus a dedicated batching
+    // writer thread decouple producers from the flush cost — coalescing,
+    // the exactness check, the engine pass and the epoch publication are
+    // paid once per batch window, not once per update.
+    let pipe = Arc::new(
+        ViewServer::with_config(
+            &rewriting,
+            &base,
+            ServerConfig {
+                queue_capacity: 4,
+                batch_window: Duration::from_micros(200),
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("pipelined server"),
+    );
+    // Before the writer runs, the bounded queue pushes back with a typed,
+    // transient error instead of growing without bound.
+    let mut queued = 0u64;
+    loop {
+        let mut b = UpdateBatch::new();
+        b.insert("S", Value::atom(50_000 + queued));
+        match pipe.try_submit(&b) {
+            Ok(()) => queued += 1,
+            Err(e) => {
+                assert!(e.is_backpressure() && e.is_transient());
+                println!("queue full after {queued} batches: {e}");
+                break;
+            }
+        }
+    }
+    let writer = pipe.start();
+    let t0 = Instant::now();
+    for j in queued..updates.max(queued) {
+        let mut b = UpdateBatch::new();
+        b.insert("S", Value::atom(50_000 + j));
+        pipe.submit(&b).expect("blocking submit");
+    }
+    let stats = writer.stop();
+    assert_eq!(stats.batches, updates.max(queued), "every batch flushed");
+    assert_eq!(
+        stats.errors, 0,
+        "clean pipeline run: {:?}",
+        stats.last_error
+    );
+    println!(
+        "pipelined {} batches in {:.1?} through {} flushes, now at epoch {}",
+        stats.batches,
+        t0.elapsed(),
+        stats.flushes,
+        pipe.epoch()
+    );
+    assert!(
+        pipe.cross_check(&rewriting).expect("oracle"),
+        "pipelined state diverged from the naive oracle"
+    );
+
     // With `--features fault-injection`, demonstrate the failure path too:
     // fail the publish site of one round, observe the typed error and the
     // unchanged epoch, then verify the retried batch converges.
@@ -138,8 +196,12 @@ fn main() {
             epoch_before + 1,
             "the faulted round published nothing (only the discovery round did)"
         );
-        server.apply(&batch).expect("clean retry");
-        println!("retried batch converged at epoch {}", server.epoch());
+        // the transiently failed batch was re-queued in place, so the retry
+        // is a bare flush — no resubmission (resubmitting would coalesce a
+        // duplicate insert of the same tuple and be rejected as inexact)
+        assert_eq!(server.pending_len(), 1, "the failed batch stays queued");
+        let report = server.flush().expect("clean retry");
+        println!("retried batch converged at epoch {}", report.snapshot.epoch);
     }
 
     // Nothing was degraded along the way, and the oracle agrees.

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Amortization gate for the pipelined serving path: the batched flush must
+# keep the *per-update* cost (serve_update_batched_x64 / 64) within a factor
+# of the bare maintenance round (ivm_single) at the same base size.  This is
+# the scale-out promise of the ingest pipeline — coalescing, the exactness
+# check, the engine pass and snapshot publication are paid once per flush,
+# not once per update — and this check stops it from silently eroding.
+#
+# Both benches come from the same summary file, so no machine calibration is
+# needed: the ratio is dimensionless on one box.
+#
+# Usage:
+#   scripts/amortization_check.sh <summary.json> [size] [factor]
+#
+# Defaults: size = 1000 (the smoke-run size), factor = 3.0 (the ROADMAP
+# acceptance bound).  Summaries are the one-bench-per-line JSON emitted by
+# scripts/bench.sh.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+summary="${1:?usage: scripts/amortization_check.sh <summary.json> [size] [factor]}"
+size="${2:-1000}"
+factor="${3:-3.0}"
+
+if [ ! -r "$summary" ]; then
+    echo "amortization_check: summary file '$summary' does not exist or is unreadable" >&2
+    exit 2
+fi
+
+min_of() {
+    local file="$1" name="$2"
+    grep -F "\"bench\":\"${name}\"" "$file" |
+        sed 's/.*"min_ns":\([0-9.eE+-]*\).*/\1/' |
+        head -n1
+}
+
+batched="$(min_of "$summary" "serve_update_batched_x64/${size}")"
+single="$(min_of "$summary" "ivm_single/${size}")"
+
+missing=0
+[ -z "$batched" ] && { echo "amortization_check: MISSING - serve_update_batched_x64/${size} not in $summary" >&2; missing=1; }
+[ -z "$single" ] && { echo "amortization_check: MISSING - ivm_single/${size} not in $summary" >&2; missing=1; }
+[ "$missing" -ne 0 ] && exit 2
+
+awk -v b="$batched" -v s="$single" -v k="$factor" -v sz="$size" 'BEGIN {
+    per_update = b / 64;
+    ratio = per_update / s;
+    printf "amortization_check: batched flush at |S|=%s costs %.0f ns / 64 = %.0f ns per update; bare ivm_single %.0f ns; ratio %.2fx, limit %.1fx\n",
+        sz, b, per_update, s, ratio, k;
+    if (ratio > k) {
+        printf "amortization_check: REGRESSION - amortized per-update cost is %.2fx the bare maintenance round\n",
+            ratio > "/dev/stderr";
+        exit 1;
+    }
+}'
