@@ -47,8 +47,8 @@ pub use collect::{collect_parameters, CollectInput, CollectOutput};
 pub use ivm::{DegradedOperator, MaintainedRewriting, MaintainedView, RewritingCoverage};
 pub use nrs_ivm::{CoverageReport, DeltaSet, IvmError, MaintStats, UpdateBatch};
 pub use synthesis::{
-    synthesize, synthesize_with, ImplicitSpec, SynthesisConfig, SynthesisError, SynthesisReport,
-    SynthesizedDefinition,
+    synthesize, synthesize_with, GoalMetrics, ImplicitSpec, SynthesisConfig, SynthesisError,
+    SynthesisMetrics, SynthesisReport, SynthesizedDefinition,
 };
 pub use views::{materialize_views, RewritingProblem, RewritingResult};
 

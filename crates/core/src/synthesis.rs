@@ -163,6 +163,160 @@ pub struct SynthesisReport {
     pub proof_sizes: Vec<usize>,
     /// Human-readable notes (which steps ran, which fallbacks were taken).
     pub notes: Vec<String>,
+    /// Machine-readable counters — the structured successor of the stringly
+    /// per-goal prover notes that used to be parsed back out of `notes`.
+    pub metrics: SynthesisMetrics,
+}
+
+/// Aggregated machine-readable counters for one synthesis run, with a
+/// per-goal breakdown in proving order.  Everything the run's prover goals
+/// report ([`nrs_prover::ProverStats`]) is summed here; the same counters
+/// also flow into the process-wide [`nrs_obs`] registry.
+#[derive(Debug, Clone, Default)]
+pub struct SynthesisMetrics {
+    /// Goals answered from the session's goal-outcome cache.
+    pub goal_cache_hits: usize,
+    /// Failure-memo probes that pruned a subtree, across all goals.
+    pub memo_hits: usize,
+    /// Failure-memo probes that found nothing, across all goals.
+    pub memo_misses: usize,
+    /// Interner constructions that reused an existing node.
+    pub interner_hits: u64,
+    /// Interner constructions that allocated a fresh node.
+    pub interner_misses: u64,
+    /// Rewrite-candidate probes answered by the session cache.
+    pub rewrite_cache_hits: usize,
+    /// Rewrite-candidate probes that had to compute the rewrite.
+    pub rewrite_cache_misses: usize,
+    /// (inequality, literal) pairs enumerated by the occurrence-indexed
+    /// congruence joins.
+    pub occ_join_pairs: usize,
+    /// Pairs the unindexed joins would additionally have enumerated.
+    pub occ_join_pruned: usize,
+    /// Risky branch subtrees dispatched onto parallel prover workers.
+    pub parallel_branches: usize,
+    /// Shard count of the session's failure-memo map.
+    pub memo_lock_shards: usize,
+    /// Lock acquisitions on the failure memo (reads + writes).
+    pub memo_lock_acquisitions: u64,
+    /// Acquisitions that found their shard held by another worker.
+    pub memo_lock_contended: u64,
+    /// AST size of the synthesized expression before algebraic
+    /// simplification (0 until [`SynthesizedDefinition::new`] runs).
+    pub raw_ast_size: usize,
+    /// AST size after simplification.
+    pub simplified_ast_size: usize,
+    /// Per-goal breakdown, in proving order.
+    pub per_goal: Vec<GoalMetrics>,
+}
+
+/// One proved goal's contribution to [`SynthesisMetrics`].
+#[derive(Debug, Clone)]
+pub struct GoalMetrics {
+    /// What the goal was for (same phrasing as the error-path `purpose`).
+    pub purpose: String,
+    /// Size of the proof found.
+    pub proof_size: usize,
+    /// The prover's full statistics for this goal.
+    pub stats: nrs_prover::ProverStats,
+}
+
+impl SynthesisMetrics {
+    fn absorb(&mut self, purpose: &str, proof_size: usize, stats: &nrs_prover::ProverStats) {
+        self.goal_cache_hits += stats.goal_cache_hits;
+        self.memo_hits += stats.memo_hits;
+        self.memo_misses += stats.memo_misses;
+        self.interner_hits += stats.interner_hits;
+        self.interner_misses += stats.interner_misses;
+        self.rewrite_cache_hits += stats.rewrite_cache_hits;
+        self.rewrite_cache_misses += stats.rewrite_cache_misses;
+        self.occ_join_pairs += stats.occ_join_pairs;
+        self.occ_join_pruned += stats.occ_join_pruned;
+        self.parallel_branches += stats.parallel_branches;
+        self.memo_lock_shards = self.memo_lock_shards.max(stats.memo_lock.shards);
+        self.memo_lock_acquisitions += stats.memo_lock.reads + stats.memo_lock.writes;
+        self.memo_lock_contended +=
+            stats.memo_lock.reads_contended + stats.memo_lock.writes_contended;
+        self.per_goal.push(GoalMetrics {
+            purpose: purpose.to_string(),
+            proof_size,
+            stats: stats.clone(),
+        });
+    }
+
+    fn merge(&mut self, from: SynthesisMetrics) {
+        self.goal_cache_hits += from.goal_cache_hits;
+        self.memo_hits += from.memo_hits;
+        self.memo_misses += from.memo_misses;
+        self.interner_hits += from.interner_hits;
+        self.interner_misses += from.interner_misses;
+        self.rewrite_cache_hits += from.rewrite_cache_hits;
+        self.rewrite_cache_misses += from.rewrite_cache_misses;
+        self.occ_join_pairs += from.occ_join_pairs;
+        self.occ_join_pruned += from.occ_join_pruned;
+        self.parallel_branches += from.parallel_branches;
+        self.memo_lock_shards = self.memo_lock_shards.max(from.memo_lock_shards);
+        self.memo_lock_acquisitions += from.memo_lock_acquisitions;
+        self.memo_lock_contended += from.memo_lock_contended;
+        // AST sizes describe the outermost definition; sub-runs' values are
+        // superseded when the enclosing `SynthesizedDefinition::new` runs.
+        self.per_goal.extend(from.per_goal);
+    }
+
+    /// Fraction of failure-memo probes that pruned a subtree.
+    pub fn memo_hit_rate(&self) -> f64 {
+        ratio(self.memo_hits as u64, self.memo_misses as u64)
+    }
+
+    /// Fraction of rewrite-candidate probes answered by the cache.
+    pub fn rewrite_cache_hit_rate(&self) -> f64 {
+        ratio(
+            self.rewrite_cache_hits as u64,
+            self.rewrite_cache_misses as u64,
+        )
+    }
+
+    /// Fraction of memo-lock acquisitions that had to block.
+    pub fn memo_lock_contention_ratio(&self) -> f64 {
+        ratio(
+            self.memo_lock_contended,
+            self.memo_lock_acquisitions - self.memo_lock_contended,
+        )
+    }
+}
+
+fn ratio(hits: u64, misses: u64) -> f64 {
+    if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    }
+}
+
+/// Cached handles into the global [`nrs_obs`] registry.  Goal-level counters
+/// are bumped in [`record_stats`] (once per actually-proved goal, so merged
+/// sub-run reports are not double counted); run-level counters in
+/// [`synthesize_with`].
+struct ObsMetrics {
+    runs: std::sync::Arc<nrs_obs::Counter>,
+    failed_runs: std::sync::Arc<nrs_obs::Counter>,
+    goals_proved: std::sync::Arc<nrs_obs::Counter>,
+    states_visited: std::sync::Arc<nrs_obs::Counter>,
+    run_seconds: std::sync::Arc<nrs_obs::Histogram>,
+}
+
+fn obs() -> &'static ObsMetrics {
+    static METRICS: std::sync::OnceLock<ObsMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = nrs_obs::global();
+        ObsMetrics {
+            runs: r.counter("synth.runs_total"),
+            failed_runs: r.counter("synth.failed_runs_total"),
+            goals_proved: r.counter("synth.goals_proved_total"),
+            states_visited: r.counter("synth.states_visited_total"),
+            run_seconds: r.timer("synth.run_seconds"),
+        }
+    })
 }
 
 /// The result of synthesis: an explicit NRC definition of the output over the
@@ -189,6 +343,8 @@ impl SynthesizedDefinition {
     pub fn new(expr: Expr, spec: ImplicitSpec, mut report: SynthesisReport) -> Self {
         let raw_size = expr.size();
         let expr = nrs_nrc::opt::simplify(&expr);
+        report.metrics.raw_ast_size = raw_size;
+        report.metrics.simplified_ast_size = expr.size();
         if expr.size() < raw_size {
             report.notes.push(format!(
                 "algebraic simplification: {raw_size} -> {} AST nodes",
@@ -265,6 +421,32 @@ pub fn synthesize(
 /// [`synthesize`] against a caller-provided prover session (reused across the
 /// recursive cases, and reusable across several related synthesis runs).
 pub fn synthesize_with(
+    spec: &ImplicitSpec,
+    cfg: &SynthesisConfig,
+    session: &ProverSession,
+) -> Result<SynthesizedDefinition, SynthesisError> {
+    // Run-level observability: one span + one `synth.run_seconds` sample per
+    // run, recursive product sub-runs included (they call back in here).
+    nrs_obs::init_from_env();
+    let mut run_span = nrs_obs::span("synth.run");
+    let run_start = std::time::Instant::now();
+    let m = obs();
+    m.runs.inc();
+    let result = synthesize_with_inner(spec, cfg, session);
+    m.run_seconds.record_duration(run_start.elapsed());
+    match &result {
+        Ok(def) => {
+            run_span.record("goals_proved", def.report.goals_proved);
+        }
+        Err(e) => {
+            m.failed_runs.inc();
+            nrs_obs::error("synth.run_failed", e);
+        }
+    }
+    result
+}
+
+fn synthesize_with_inner(
     spec: &ImplicitSpec,
     cfg: &SynthesisConfig,
     session: &ProverSession,
@@ -386,38 +568,22 @@ fn record_stats(
     report.goals_proved += 1;
     report.states_visited += stats.visited;
     report.proof_sizes.push(proof_size);
+    report.metrics.absorb(purpose, proof_size, stats);
+    let m = obs();
+    m.goals_proved.inc();
+    m.states_visited.add(stats.visited as u64);
+    // The counters themselves now live in `report.metrics` (and in the
+    // process-wide `nrs_obs` registry); the note keeps a short display line.
     report.notes.push(format!(
-        "prover[{purpose}]: {} states visited (risky level {}), memo {} hit / {} miss, \
-         interner {} hit / {} miss, rewrite-cache {} hit / {} miss, \
-         occ-join {} pairs / {} pruned, {} parallel branches{}",
+        "prover[{purpose}]: {} states visited (risky level {}, proof size {proof_size}){}",
         stats.visited,
         stats.risky_level,
-        stats.memo_hits,
-        stats.memo_misses,
-        stats.interner_hits,
-        stats.interner_misses,
-        stats.rewrite_cache_hits,
-        stats.rewrite_cache_misses,
-        stats.occ_join_pairs,
-        stats.occ_join_pruned,
-        stats.parallel_branches,
         if stats.goal_cache_hits > 0 {
             " (goal replayed from session cache)"
         } else {
             ""
         },
     ));
-    let lock = stats.memo_lock;
-    if lock.reads + lock.writes > 0 {
-        report.notes.push(format!(
-            "prover[{purpose}]: memo shards {} ({} reads / {} writes, {} contended, ratio {:.4})",
-            lock.shards,
-            lock.reads,
-            lock.writes,
-            lock.reads_contended + lock.writes_contended,
-            lock.contention_ratio(),
-        ));
-    }
 }
 
 /// Prove every goal of `batch` — through one [`ProverSession::prove_batch`]
@@ -429,6 +595,7 @@ fn prove_goal_batch(
     cfg: &SynthesisConfig,
     report: &mut SynthesisReport,
 ) -> Result<Vec<nrs_proof::Proof>, SynthesisError> {
+    let _span = nrs_obs::span("synth.prove_batch").with("goals", batch.seqs.len());
     let outcomes = if cfg.share_prover_session {
         session.prove_batch(&batch.seqs)
     } else {
@@ -463,6 +630,7 @@ fn prove_goal(
     purpose: &str,
     report: &mut SynthesisReport,
 ) -> Result<nrs_proof::Proof, SynthesisError> {
+    let _span = nrs_obs::span("synth.goal").with("purpose", purpose);
     // Both modes prove under the *session's* budgets, so flipping
     // `share_prover_session` changes only the memo caching — never the
     // search envelope (callers of `synthesize_with` may pass a session
@@ -595,6 +763,7 @@ fn synth_output(
                 // them all in ONE prover call (shared saturation prefix),
                 // then assemble the superset bottom-up over the proofs.
                 let mut batch = GoalBatch::default();
+                let collect_span = nrs_obs::span("synth.collect").with("mode", "batched");
                 let plan = plan_collect(
                     ctx,
                     &ctx_atoms,
@@ -605,6 +774,7 @@ fn synth_output(
                     gen,
                     &mut batch,
                 )?;
+                drop(collect_span);
                 let mem_idx = batch.push(
                     membership_goal(gen),
                     "the membership interpolation goal".into(),
@@ -615,11 +785,14 @@ fn synth_output(
                 ));
                 let mut proofs = prove_goal_batch(&batch, &ctx.session, &ctx.cfg, report)?;
                 let mem_proof = proofs.swap_remove(mem_idx);
+                let assemble_span = nrs_obs::span("synth.assemble").with("proofs", proofs.len());
                 let superset = assemble_collect(ctx, &plan, &proofs, gen, report)?;
+                drop(assemble_span);
                 (superset, mem_proof)
             } else {
                 // Sequential oracle: prove each goal as the recursion
                 // reaches it.
+                let collect_span = nrs_obs::span("synth.collect").with("mode", "sequential");
                 let superset = collect_answers(
                     ctx,
                     &ctx_atoms,
@@ -630,6 +803,7 @@ fn synth_output(
                     gen,
                     report,
                 )?;
+                drop(collect_span);
                 let seq = membership_goal(gen);
                 let proof = prove_goal(
                     &seq,
@@ -815,6 +989,7 @@ fn merge_report(into: &mut SynthesisReport, from: SynthesisReport) {
     into.states_visited += from.states_visited;
     into.proof_sizes.extend(from.proof_sizes);
     into.notes.extend(from.notes);
+    into.metrics.merge(from.metrics);
 }
 
 /// Theorem 10: an NRC expression over the inputs that is guaranteed to contain

@@ -87,25 +87,18 @@ fn e2_membership_goal_hits_the_rewrite_candidate_cache() {
     let result = partition_problem()
         .derive_rewriting(&SynthesisConfig::default())
         .expect("rewriting");
-    let note = result
+    let goal = result
         .definition
         .report
-        .notes
+        .metrics
+        .per_goal
         .iter()
-        .find(|n| n.contains("membership interpolation goal"))
+        .find(|g| g.purpose.contains("membership interpolation goal"))
         .expect("membership goal records prover stats");
-    // the note embeds "rewrite-cache {hits} hit / {misses} miss"
-    let hits: usize = note
-        .split("rewrite-cache ")
-        .nth(1)
-        .and_then(|rest| rest.split(" hit").next())
-        .expect("note carries rewrite-cache counters")
-        .trim()
-        .parse()
-        .expect("hit counter is numeric");
     assert!(
-        hits > 0,
-        "the ≠-candidate cache must be hit on the membership goal: {note}"
+        goal.stats.rewrite_cache_hits > 0,
+        "the ≠-candidate cache must be hit on the membership goal: {:?}",
+        goal.stats
     );
 }
 

@@ -42,7 +42,37 @@ use crate::calculus::{FoProof, FoRule, FoSequent};
 use crate::formula::{FoFormula, Var};
 use crate::FoError;
 use std::collections::{BTreeSet, HashMap};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Cached handles into the global [`nrs_obs`] registry; one lookup per
+/// process, relaxed atomic adds on the search paths afterwards.
+struct ObsMetrics {
+    goals: Arc<nrs_obs::Counter>,
+    proved: Arc<nrs_obs::Counter>,
+    failed: Arc<nrs_obs::Counter>,
+    visited: Arc<nrs_obs::Counter>,
+    memo_hits: Arc<nrs_obs::Counter>,
+    memo_misses: Arc<nrs_obs::Counter>,
+    goal_seconds: Arc<nrs_obs::Histogram>,
+    proof_size: Arc<nrs_obs::Histogram>,
+}
+
+fn obs() -> &'static ObsMetrics {
+    static METRICS: OnceLock<ObsMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = nrs_obs::global();
+        ObsMetrics {
+            goals: r.counter("fol.goals_total"),
+            proved: r.counter("fol.proved_total"),
+            failed: r.counter("fol.failed_total"),
+            visited: r.counter("fol.visited_total"),
+            memo_hits: r.counter("fol.memo_hits_total"),
+            memo_misses: r.counter("fol.memo_misses_total"),
+            goal_seconds: r.timer("fol.goal_seconds"),
+            proof_size: r.histogram("fol.proof_size"),
+        }
+    })
+}
 
 /// Budgets for the first-order search.
 #[derive(Debug, Clone)]
@@ -456,6 +486,10 @@ fn prove_inner(
     cfg: &FoProverConfig,
     memo: &Mutex<FailureMemo>,
 ) -> Result<(FoProof, FoProverStats), FoError> {
+    nrs_obs::init_from_env();
+    let m = obs();
+    m.goals.inc();
+    let mut goal_span = nrs_obs::span("fol.goal");
     let start = std::time::Instant::now();
     let mut st = St {
         cfg,
@@ -469,7 +503,13 @@ fn prove_inner(
     };
     for budget in 0..=cfg.max_instantiations {
         st.aborted = false;
-        if let Some(proof) = attempt(seq, budget, 0, None, &mut st) {
+        let mut level_span = nrs_obs::span("fol.deepen").with("budget", budget);
+        let visited_before = st.visited;
+        let outcome = attempt(seq, budget, 0, None, &mut st);
+        level_span.record("visited", st.visited - visited_before);
+        level_span.record("proved", outcome.is_some());
+        drop(level_span);
+        if let Some(proof) = outcome {
             let stats = FoProverStats {
                 visited: st.visited,
                 budget_level: budget,
@@ -477,9 +517,22 @@ fn prove_inner(
                 memo_hits: st.memo_hits,
                 memo_misses: st.memo_misses,
             };
+            m.proved.inc();
+            m.visited.add(stats.visited as u64);
+            m.memo_hits.add(stats.memo_hits as u64);
+            m.memo_misses.add(stats.memo_misses as u64);
+            m.proof_size.record(stats.proof_size as u64);
+            m.goal_seconds.record_duration(start.elapsed());
+            goal_span.record("proved", true);
+            goal_span.record("budget", budget);
+            goal_span.record("visited", stats.visited);
             return Ok((proof, stats));
         }
         if st.timed_out {
+            m.failed.inc();
+            m.visited.add(st.visited as u64);
+            m.goal_seconds.record_duration(start.elapsed());
+            nrs_obs::error("fol.timeout", format_args!("visited {}", st.visited));
             return Err(FoError::Timeout {
                 elapsed_ms: start.elapsed().as_millis() as u64,
                 visited: st.visited,
@@ -489,6 +542,13 @@ fn prove_inner(
             break;
         }
     }
+    m.failed.inc();
+    m.visited.add(st.visited as u64);
+    m.memo_hits.add(st.memo_hits as u64);
+    m.memo_misses.add(st.memo_misses as u64);
+    m.goal_seconds.record_duration(start.elapsed());
+    goal_span.record("proved", false);
+    goal_span.record("visited", st.visited);
     Err(FoError::SearchFailed(format!(
         "no FO proof within budgets (visited {} states)",
         st.visited

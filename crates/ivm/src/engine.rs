@@ -60,6 +60,68 @@ use crate::IvmError;
 use nrs_nrc::{exec_plan, CompiledQuery, Plan};
 use nrs_value::{Instance, Name, Value};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Cached handles into the global [`nrs_obs`] registry.  The counters mirror
+/// [`MaintStats`] (per-apply deltas are folded in at the end of
+/// [`MaintainedQuery::apply`]); the histograms carry apply latency and
+/// shard-phase timing.
+struct ObsMetrics {
+    applies: Arc<nrs_obs::Counter>,
+    rounds: Arc<nrs_obs::Counter>,
+    parallel_rounds: Arc<nrs_obs::Counter>,
+    sharded_items: Arc<nrs_obs::Counter>,
+    shards_dispatched: Arc<nrs_obs::Counter>,
+    touched_members: Arc<nrs_obs::Counter>,
+    apply_seconds: Arc<nrs_obs::Histogram>,
+    delta_tuples: Arc<nrs_obs::Histogram>,
+    shard_eval_seconds: Arc<nrs_obs::Histogram>,
+    shard_merge_seconds: Arc<nrs_obs::Histogram>,
+}
+
+fn obs() -> &'static ObsMetrics {
+    static METRICS: OnceLock<ObsMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = nrs_obs::global();
+        ObsMetrics {
+            applies: r.counter("ivm.applies_total"),
+            rounds: r.counter("ivm.rounds_total"),
+            parallel_rounds: r.counter("ivm.parallel_rounds_total"),
+            sharded_items: r.counter("ivm.sharded_items_total"),
+            shards_dispatched: r.counter("ivm.shards_dispatched_total"),
+            touched_members: r.counter("ivm.touched_members_total"),
+            apply_seconds: r.timer("ivm.apply_seconds"),
+            delta_tuples: r.histogram("ivm.delta_tuples"),
+            shard_eval_seconds: r.timer("ivm.shard_eval_seconds"),
+            shard_merge_seconds: r.timer("ivm.shard_merge_seconds"),
+        }
+    })
+}
+
+/// Per-operator-kind delta timers, recorded only under
+/// [`nrs_obs::detailed`] (one clock pair per operator visit is too much for
+/// the always-on path).
+fn op_timer(kind: &'static str) -> Arc<nrs_obs::Histogram> {
+    static TIMERS: OnceLock<HashMap<&'static str, Arc<nrs_obs::Histogram>>> = OnceLock::new();
+    let map = TIMERS.get_or_init(|| {
+        let r = nrs_obs::global();
+        [
+            "var",
+            "union",
+            "difference",
+            "guard",
+            "for-union",
+            "join",
+            "let",
+            "opaque",
+        ]
+        .into_iter()
+        .map(|k| (k, r.timer(&format!("ivm.op.{k}_seconds"))))
+        .collect()
+    });
+    Arc::clone(&map[kind])
+}
 
 /// A compiled query kept incrementally up to date under [`UpdateBatch`]es.
 ///
@@ -100,6 +162,10 @@ pub struct MaintStats {
     /// Contiguous key-range chunks handed to workers across all parallel
     /// rounds.
     pub shards_dispatched: u64,
+    /// Work items (members / delta tuples) evaluated across **all** rounds,
+    /// sequential ones included — `sharded_items` is the subset that ran on
+    /// parallel workers.
+    pub touched_members: u64,
 }
 
 impl std::ops::AddAssign for MaintStats {
@@ -108,6 +174,7 @@ impl std::ops::AddAssign for MaintStats {
         self.parallel_rounds += rhs.parallel_rounds;
         self.sharded_items += rhs.sharded_items;
         self.shards_dispatched += rhs.shards_dispatched;
+        self.touched_members += rhs.touched_members;
     }
 }
 
@@ -122,6 +189,7 @@ impl std::ops::Sub for MaintStats {
             shards_dispatched: self
                 .shards_dispatched
                 .saturating_sub(before.shards_dispatched),
+            touched_members: self.touched_members.saturating_sub(before.touched_members),
         }
     }
 }
@@ -196,6 +264,11 @@ impl MaintainedQuery {
         if normalized.is_empty() {
             return Ok(DeltaSet::new());
         }
+        let m = obs();
+        let mut apply_span = nrs_obs::span("ivm.apply");
+        let apply_start = Instant::now();
+        let stats_before = self.stats;
+        let delta_tuples = normalized.len();
         // Update the environment *in place*: unbinding first drops the
         // treap's reference so the copy-on-write mutation is O(|Δ| log n)
         // once the maintained query owns its sets (the first batch after an
@@ -227,6 +300,19 @@ impl MaintainedQuery {
         let env = self.env.clone();
         let change = self.root.update(&mut ctx, &env);
         self.stats += ctx.stats;
+        let applied = self.stats - stats_before;
+        m.applies.inc();
+        m.rounds.add(applied.rounds);
+        m.parallel_rounds.add(applied.parallel_rounds);
+        m.sharded_items.add(applied.sharded_items);
+        m.shards_dispatched.add(applied.shards_dispatched);
+        m.touched_members.add(applied.touched_members);
+        m.delta_tuples.record(delta_tuples as u64);
+        m.apply_seconds.record_duration(apply_start.elapsed());
+        apply_span.record("delta_tuples", delta_tuples);
+        apply_span.record("rounds", applied.rounds);
+        apply_span.record("touched_members", applied.touched_members);
+        drop(apply_span);
         let change = change?;
         match change {
             Change::None => Ok(DeltaSet::new()),
@@ -567,6 +653,7 @@ where
     R: Send,
 {
     ctx.stats.rounds += 1;
+    ctx.stats.touched_members += items.len() as u64;
     if ctx.workers < 2 || items.len() < 2 {
         // the single-worker engine's exact code path
         return items
@@ -578,6 +665,7 @@ where
             .collect();
     }
     crate::fault::hit("ivm.shard.dispatch")?;
+    let eval_start = Instant::now();
     let chunk_len = items.len().div_ceil(ctx.workers);
     let mut chunk_results: Vec<Result<Vec<R>, IvmError>> = std::thread::scope(|scope| {
         let f = &f;
@@ -599,7 +687,11 @@ where
     ctx.stats.parallel_rounds += 1;
     ctx.stats.sharded_items += items.len() as u64;
     ctx.stats.shards_dispatched += chunk_results.len() as u64;
+    obs()
+        .shard_eval_seconds
+        .record_duration(eval_start.elapsed());
     crate::fault::hit("ivm.shard.merge")?;
+    let merge_start = Instant::now();
     let mut out = Vec::with_capacity(items.len());
     let mut items = items.into_iter();
     for res in chunk_results.drain(..) {
@@ -610,6 +702,9 @@ where
             out.push((t, r));
         }
     }
+    obs()
+        .shard_merge_seconds
+        .record_duration(merge_start.elapsed());
     Ok(out)
 }
 
@@ -1109,6 +1204,19 @@ impl Node {
     /// injected fault) with this operator's preorder index and kind.
     fn update(&mut self, ctx: &mut Ctx, env: &Instance) -> Result<Change, IvmError> {
         let (id, kind) = (self.id, kind_name(&self.kind));
+        if nrs_obs::detailed() {
+            // Fine-grained per-operator delta timing: one clock pair per
+            // operator visit, so it only runs under the `detailed` flag.
+            let start = Instant::now();
+            let result = crate::fault::hit(fault_site(&self.kind))
+                .and_then(|()| self.update_inner(ctx, env))
+                .map_err(|e| e.at(id, kind));
+            op_timer(kind).record_duration(start.elapsed());
+            if let Err(e) = &result {
+                nrs_obs::error("ivm.op_failed", e);
+            }
+            return result;
+        }
         crate::fault::hit(fault_site(&self.kind))
             .and_then(|()| self.update_inner(ctx, env))
             .map_err(|e| e.at(id, kind))

@@ -1,0 +1,54 @@
+//! # nrs-obs
+//!
+//! The workspace's unified observability layer: a zero-dependency,
+//! thread-safe **metrics registry** and a lightweight **structured-span
+//! tracing facade**.  Every other crate (the Δ0/FO provers, the synthesis
+//! driver, the IVM engine, the view server) records into the same
+//! process-wide [`global`] registry, so one [`Registry::snapshot`] answers
+//! "where did the last flush spend its time", "what is the queue depth",
+//! and "what are the cache hit rates" together.
+//!
+//! ## Metrics
+//!
+//! Three metric kinds, all recorded with relaxed atomics (no locks on the
+//! hot path):
+//!
+//! * [`Counter`] — monotonically increasing `u64`;
+//! * [`Gauge`] — signed point-in-time value;
+//! * [`Histogram`] — log-linear bucketed distribution (HDR-style, two
+//!   significant bits) with p50/p95/p99/max readout.  Quantile estimates
+//!   overshoot the true sample by at most 25% (exact below 8).
+//!
+//! Handles are obtained by name from the registry and should be cached at
+//! the call site (a `OnceLock<Arc<Counter>>` per metric is the idiom used
+//! throughout the workspace).  [`MetricsSnapshot`] serializes to JSON
+//! ([`MetricsSnapshot::to_json`]) and to the Prometheus text exposition
+//! format ([`MetricsSnapshot::to_prometheus`]) without any serde
+//! dependency.
+//!
+//! ## Spans
+//!
+//! [`span`] opens a named, monotonically timed span; spans nest per thread
+//! and carry `key=value` [`FieldValue`] payloads.  Events are delivered to
+//! a process-wide [`EventSink`] — [`TextSink`] (stderr lines, the successor
+//! of the old `NRS_PROVER_TRACE` printf trace), [`JsonLinesSink`] (one JSON
+//! object per line), or [`CaptureSink`] (in-memory, for tests).  When no
+//! sink is installed the whole facade reduces to one relaxed atomic load
+//! per call site, so instrumentation stays compiled into release builds.
+//!
+//! Environment knobs (read once by [`init_from_env`]): `NRS_PROVER_TRACE` /
+//! `NRS_OBS_TEXT` (stderr text sink + detailed events), `NRS_OBS_JSON=path`
+//! (JSON-lines sink), `NRS_OBS_DETAILED` (fine-grained instrumentation,
+//! see [`detailed`]).
+
+mod registry;
+mod span;
+
+pub use registry::{
+    global, Counter, Gauge, Histogram, HistogramSnapshot, Metric, MetricSnapshot, MetricValue,
+    MetricsSnapshot, Registry, Unit,
+};
+pub use span::{
+    clear_sink, detailed, enabled, error, event, init_from_env, install_sink, set_detailed, span,
+    CaptureSink, Event, EventKind, EventSink, FieldValue, JsonLinesSink, Span, TextSink,
+};

@@ -1,0 +1,677 @@
+//! The metrics half of the observability layer: lock-free counters, gauges,
+//! and log-bucketed histograms, collected in a process-wide [`Registry`].
+//!
+//! Everything here is built on plain atomics so the hot paths (the prover's
+//! inner search loop, the IVM delta application, the serve writer) can record
+//! without taking a lock.  The registry itself is only locked when a metric
+//! is first registered or when a [`MetricsSnapshot`] is taken; call sites are
+//! expected to cache the returned `Arc` handles (e.g. in a `OnceLock`).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Create a standalone counter (not attached to any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move in both directions.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Create a standalone gauge (not attached to any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// What a histogram's samples measure; decides how the Prometheus
+/// exposition renders it (nanoseconds are scaled to seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Dimensionless sample values (batch sizes, tuple counts, ...).
+    Count,
+    /// Sample values are durations in nanoseconds.
+    Nanos,
+}
+
+// Log-linear bucket layout (HDR-histogram style, 2 significant bits):
+// values below `LINEAR_CUTOFF` get an exact bucket each; every octave above
+// that is split into 4 sub-buckets, so any estimate read back from a bucket
+// upper bound overshoots the true sample by at most a factor of 5/4.
+const LINEAR_CUTOFF: u64 = 8;
+const SUBS_PER_OCTAVE: u64 = 4;
+// msb ranges over 3..=63 once v >= 8: 61 octaves of 4 sub-buckets.
+const NUM_BUCKETS: usize = (LINEAR_CUTOFF + 61 * SUBS_PER_OCTAVE) as usize;
+
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_CUTOFF {
+        v as usize
+    } else {
+        let msb = 63 - u64::from(v.leading_zeros());
+        let sub = (v >> (msb - 2)) & 3;
+        (LINEAR_CUTOFF + (msb - 3) * SUBS_PER_OCTAVE + sub) as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (the largest value mapped into it).
+fn bucket_bound(i: usize) -> u64 {
+    let i = i as u64;
+    if i < LINEAR_CUTOFF {
+        i
+    } else {
+        let k = i - LINEAR_CUTOFF;
+        let msb = k / SUBS_PER_OCTAVE + 3;
+        let sub = k % SUBS_PER_OCTAVE;
+        let width = 1u64 << (msb - 2);
+        let lo = (1u64 << msb) + sub * width;
+        lo.saturating_add(width - 1)
+    }
+}
+
+/// A lock-free latency/size histogram with log-linear buckets.
+///
+/// Recording is a handful of relaxed atomic adds; reading produces a
+/// [`HistogramSnapshot`] whose quantile estimates are guaranteed to be
+/// within `+25%` of the true sample (see [`HistogramSnapshot::quantile`]).
+#[derive(Debug)]
+pub struct Histogram {
+    unit: Unit,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+impl Histogram {
+    /// Create a standalone histogram with the given sample unit.
+    pub fn new(unit: Unit) -> Self {
+        let buckets = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            unit,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets,
+        }
+    }
+
+    /// The unit this histogram was registered with.
+    pub fn unit(&self) -> Unit {
+        self.unit
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration as nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Capture a point-in-time snapshot of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.push((bucket_bound(i), c));
+            }
+        }
+        HistogramSnapshot {
+            unit: self.unit,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]'s distribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Sample unit (decides Prometheus scaling).
+    pub unit: Unit,
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// Largest recorded sample.
+    pub max: u64,
+    /// Non-empty buckets as `(inclusive upper bound, sample count)`,
+    /// sorted by bound.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`).
+    ///
+    /// The estimate is the inclusive upper bound of the bucket holding the
+    /// target sample, clamped to the recorded maximum.  With the log-linear
+    /// layout this guarantees `t <= estimate <= t + t/4` where `t` is the
+    /// true sample value (exact for values below the linear cutoff).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for &(bound, c) in &self.buckets {
+            cum += c;
+            if cum >= target {
+                return bound.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Fold another snapshot into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+        let mut merged: BTreeMap<u64, u64> = self.buckets.iter().copied().collect();
+        for &(bound, c) in &other.buckets {
+            *merged.entry(bound).or_insert(0) += c;
+        }
+        self.buckets = merged.into_iter().collect();
+    }
+}
+
+/// A registered metric handle, as stored in (and listed by) a [`Registry`].
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A monotonically increasing counter.
+    Counter(Arc<Counter>),
+    /// A signed point-in-time value.
+    Gauge(Arc<Gauge>),
+    /// A sample distribution.
+    Histogram(Arc<Histogram>),
+}
+
+/// The value part of one metric in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(i64),
+    /// Histogram distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// One named metric in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Dotted metric name as registered (e.g. `serve.flush_seconds`).
+    pub name: String,
+    /// The reading at snapshot time.
+    pub value: MetricValue,
+}
+
+/// A point-in-time reading of every metric in a [`Registry`], sorted by
+/// name.  Serializable via [`MetricsSnapshot::to_json`] and
+/// [`MetricsSnapshot::to_prometheus`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All metric readings, sorted by name.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a metric reading by its registered name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| &m.value)
+    }
+
+    /// Counter reading by name (`None` if absent or not a counter).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge reading by name (`None` if absent or not a gauge).
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.get(name)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram reading by name (`None` if absent or not a histogram).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name)? {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Serialize the whole snapshot as one JSON object.
+    ///
+    /// Histograms are rendered with `count`/`sum`/`max`, the standard
+    /// quantiles, and the sparse `[bound, count]` bucket list, so the output
+    /// is self-contained (no external schema needed to re-derive quantiles).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.metrics.len() * 64);
+        out.push_str("{\"metrics\":[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            json_escape_into(&mut out, &m.name);
+            out.push_str("\",");
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("\"type\":\"counter\",\"value\":{v}"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("\"type\":\"gauge\",\"value\":{v}"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "\"type\":\"histogram\",\"unit\":\"{}\",\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+                        match h.unit {
+                            Unit::Count => "count",
+                            Unit::Nanos => "ns",
+                        },
+                        h.count,
+                        h.sum,
+                        h.max,
+                        h.quantile(0.50),
+                        h.quantile(0.95),
+                        h.quantile(0.99),
+                    ));
+                    for (j, (bound, c)) in h.buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&format!("[{bound},{c}]"));
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Render the snapshot in the Prometheus text exposition format.
+    ///
+    /// Dotted names are sanitized (`.` → `_`) and prefixed with `nrs_`;
+    /// nanosecond histograms are scaled to seconds and suffixed `_seconds`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(256 + self.metrics.len() * 96);
+        for m in &self.metrics {
+            let name = prometheus_name(&m.name);
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    let (name, scale) = match h.unit {
+                        Unit::Count => (name, 1.0),
+                        // suffix the base unit unless the registered name
+                        // already carries it (`serve.flush_seconds`)
+                        Unit::Nanos if name.ends_with("_seconds") => (name, 1e-9),
+                        Unit::Nanos => (format!("{name}_seconds"), 1e-9),
+                    };
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let mut cum = 0u64;
+                    for &(bound, c) in &h.buckets {
+                        cum += c;
+                        out.push_str(&format!(
+                            "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                            format_float(bound as f64 * scale)
+                        ));
+                    }
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+                    out.push_str(&format!(
+                        "{name}_sum {}\n{name}_count {}\n",
+                        format_float(h.sum as f64 * scale),
+                        h.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn json_escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    if !name.starts_with("nrs_") && !name.starts_with("nrs.") {
+        out.push_str("nrs_");
+    }
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' || ch == ':' {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Format a float the way Prometheus expects (no trailing `.0` noise for
+/// integral values, enough precision otherwise).
+fn format_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.9}");
+        let trimmed = s.trim_end_matches('0').trim_end_matches('.');
+        trimmed.to_string()
+    }
+}
+
+/// A named collection of metrics.
+///
+/// `counter`/`gauge`/`histogram`/`timer` get-or-register: the first call for
+/// a name creates the metric, later calls return the same handle.  Handles
+/// are `Arc`s — cache them at the call site (typically in a `OnceLock`)
+/// rather than looking them up on every record.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Create an empty registry (tests; production code uses [`global`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or register a counter named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(Metric::Counter(c)) = self.lookup(name) {
+            return c;
+        }
+        let mut map = self.metrics.write().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or register a gauge named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(Metric::Gauge(g)) = self.lookup(name) {
+            return g;
+        }
+        let mut map = self.metrics.write().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or register a dimensionless histogram named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with_unit(name, Unit::Count)
+    }
+
+    /// Get or register a nanosecond-latency histogram named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn timer(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with_unit(name, Unit::Nanos)
+    }
+
+    fn histogram_with_unit(&self, name: &str, unit: Unit) -> Arc<Histogram> {
+        if let Some(Metric::Histogram(h)) = self.lookup(name) {
+            return h;
+        }
+        let mut map = self.metrics.write().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(unit))))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<Metric> {
+        self.metrics.read().unwrap().get(name).cloned()
+    }
+
+    /// Read every registered metric at once.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.metrics.read().unwrap();
+        let metrics = map
+            .iter()
+            .map(|(name, m)| MetricSnapshot {
+                name: name.clone(),
+                value: match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        MetricsSnapshot { metrics }
+    }
+}
+
+/// The process-wide registry every layer of the workspace records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_is_monotone_and_bounding() {
+        let mut prev = None;
+        for v in (0..4096u64).chain([u64::MAX / 3, u64::MAX - 1, u64::MAX]) {
+            let i = bucket_index(v);
+            let bound = bucket_bound(i);
+            assert!(bound >= v, "bound {bound} < value {v}");
+            // bound <= v + v/4 is the log-bucket error guarantee.
+            assert!(
+                bound <= v.saturating_add(v / 4).saturating_add(1),
+                "bound {bound} too loose for {v}"
+            );
+            if let Some(p) = prev {
+                assert!(i >= p, "bucket index not monotone at {v}");
+            }
+            prev = Some(i);
+        }
+    }
+
+    #[test]
+    fn quantiles_exact_below_cutoff() {
+        let h = Histogram::new(Unit::Count);
+        for v in [1u64, 2, 3, 4, 5] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 1);
+        assert_eq!(s.quantile(0.5), 3);
+        assert_eq!(s.quantile(1.0), 5);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 15);
+        assert_eq!(s.max, 5);
+    }
+
+    #[test]
+    fn registry_get_or_register_returns_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("x.total");
+        let b = r.counter("x.total");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("x.total").get(), 3);
+        assert_eq!(r.snapshot().counter("x.total"), Some(3));
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let r = Registry::new();
+        r.counter("a.total").add(7);
+        r.gauge("q.depth").set(-2);
+        let t = r.timer("f.latency");
+        t.record(1_000);
+        t.record(3_000_000_000);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE nrs_a_total counter\nnrs_a_total 7\n"));
+        assert!(text.contains("# TYPE nrs_q_depth gauge\nnrs_q_depth -2\n"));
+        assert!(text.contains("# TYPE nrs_f_latency_seconds histogram\n"));
+        assert!(text.contains("nrs_f_latency_seconds_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("nrs_f_latency_seconds_count 2\n"));
+    }
+
+    #[test]
+    fn json_contains_all_families() {
+        let r = Registry::new();
+        r.counter("c").inc();
+        r.gauge("g").set(5);
+        r.histogram("h").record(42);
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"name\":\"c\",\"type\":\"counter\",\"value\":1"));
+        assert!(json.contains("\"name\":\"g\",\"type\":\"gauge\",\"value\":5"));
+        assert!(json.contains("\"type\":\"histogram\""));
+        assert!(json.contains("\"buckets\":[["));
+    }
+
+    #[test]
+    fn merge_adds_distributions() {
+        let a = Histogram::new(Unit::Count);
+        let b = Histogram::new(Unit::Count);
+        for v in 0..100 {
+            a.record(v);
+            b.record(v * 13);
+        }
+        let mut sa = a.snapshot();
+        let sb = b.snapshot();
+        let total: u64 = sa.count + sb.count;
+        sa.merge(&sb);
+        assert_eq!(sa.count, total);
+        assert_eq!(sa.max, 99 * 13);
+        let bucket_total: u64 = sa.buckets.iter().map(|(_, c)| c).sum();
+        assert_eq!(bucket_total, total);
+    }
+}

@@ -1,0 +1,599 @@
+//! The tracing half of the observability layer: named, timed, nestable
+//! spans and point events, delivered to a pluggable [`EventSink`].
+//!
+//! The facade is designed so the *disabled* path is almost free: [`span`],
+//! [`event`], and [`error`] each start with a single relaxed atomic load and
+//! return immediately when no sink is installed — no clock read, no id
+//! allocation, no formatting.  Instrumented code can therefore stay
+//! compiled-in on hot paths (the gated benches run with sinks disabled).
+//!
+//! Spans nest per thread: a thread-local stack supplies the parent id for
+//! each new span or event, so a sink can reconstruct the span tree from the
+//! `(span_id, parent_id, thread_id)` triples alone.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write as IoWrite};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Once, RwLock};
+use std::time::Instant;
+
+/// Whether any sink is installed.  Checked (one relaxed load) before any
+/// other work in [`span`]/[`event`]/[`error`].
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Whether expensive fine-grained instrumentation (per-operator IVM timing,
+/// per-visit prover events) should be emitted.  Off by default even when a
+/// sink is installed.
+static DETAILED: AtomicBool = AtomicBool::new(false);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+static SINK: RwLock<Option<Arc<dyn EventSink>>> = RwLock::new(None);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Is a sink installed (i.e. will spans/events actually be emitted)?
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Should expensive fine-grained instrumentation be emitted?
+///
+/// Implies [`enabled`]; gated separately so that installing a sink for
+/// coarse flush/goal spans does not turn on per-operator timing.
+#[inline]
+pub fn detailed() -> bool {
+    DETAILED.load(Ordering::Relaxed) && enabled()
+}
+
+/// Turn fine-grained instrumentation on or off (see [`detailed`]).
+pub fn set_detailed(on: bool) {
+    DETAILED.store(on, Ordering::Relaxed);
+}
+
+/// Install `sink` as the process-wide event sink and enable tracing.
+/// Replaces any previously installed sink.
+pub fn install_sink(sink: Arc<dyn EventSink>) {
+    *SINK.write().unwrap() = Some(sink);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Remove the installed sink (if any) and disable tracing.
+pub fn clear_sink() {
+    ENABLED.store(false, Ordering::Relaxed);
+    *SINK.write().unwrap() = None;
+}
+
+/// Install sinks from the environment, once per process:
+///
+/// * `NRS_PROVER_TRACE` (legacy alias) or `NRS_OBS_TEXT` — install the
+///   stderr [`TextSink`] and enable detailed events, which reproduces the
+///   old printf-style prover trace on the span layer;
+/// * `NRS_OBS_JSON=<path>` — install a [`JsonLinesSink`] writing one JSON
+///   event per line to `<path>`;
+/// * `NRS_OBS_DETAILED` — additionally enable fine-grained instrumentation.
+///
+/// Explicit [`install_sink`] calls made before or after win (the env sinks
+/// are only installed if the variable is set).
+pub fn init_from_env() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        let text = std::env::var_os("NRS_PROVER_TRACE").is_some()
+            || std::env::var_os("NRS_OBS_TEXT").is_some();
+        let json = std::env::var_os("NRS_OBS_JSON");
+        if let Some(path) = json {
+            match JsonLinesSink::to_file(Path::new(&path)) {
+                Ok(sink) => install_sink(Arc::new(sink)),
+                Err(e) => eprintln!("[nrs-obs] cannot open NRS_OBS_JSON={path:?}: {e}"),
+            }
+        } else if text {
+            install_sink(Arc::new(TextSink));
+        }
+        if text || std::env::var_os("NRS_OBS_DETAILED").is_some() {
+            set_detailed(true);
+        }
+    });
+}
+
+/// A field value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Free-form text (sequent displays, error messages, ...).
+    Str(String),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+/// What kind of event this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened.
+    SpanStart,
+    /// A span closed; `elapsed_ns` carries its duration.
+    SpanEnd,
+    /// A point-in-time event inside the current span.
+    Instant,
+    /// An error event inside the current span.
+    Error,
+}
+
+impl EventKind {
+    /// Short lowercase label (used by the text and JSON sinks).
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::SpanStart => "start",
+            EventKind::SpanEnd => "end",
+            EventKind::Instant => "event",
+            EventKind::Error => "error",
+        }
+    }
+}
+
+/// One emitted trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Kind of event.
+    pub kind: EventKind,
+    /// Span or event name (a static call-site label like `serve.flush`).
+    pub name: &'static str,
+    /// Id of the span this event belongs to (for `Instant`/`Error`: the
+    /// enclosing span's id, or 0 when emitted outside any span).
+    pub span_id: u64,
+    /// Id of the enclosing span, if any.
+    pub parent_id: Option<u64>,
+    /// Small dense id of the emitting thread (process-local).
+    pub thread_id: u64,
+    /// For `SpanEnd`: wall-clock duration of the span in nanoseconds.
+    pub elapsed_ns: Option<u64>,
+    /// Key/value payload.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// Receives every emitted [`Event`].  Implementations must be cheap and
+/// must not call back into the span layer.
+pub trait EventSink: Send + Sync {
+    /// Deliver one event.
+    fn emit(&self, event: &Event);
+}
+
+fn emit(event: &Event) {
+    if let Some(sink) = SINK.read().unwrap().as_ref() {
+        sink.emit(event);
+    }
+}
+
+fn current_thread() -> u64 {
+    THREAD_ID.with(|t| *t)
+}
+
+fn current_parent() -> Option<u64> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// An open span.  Created by [`span`]; emits a `SpanEnd` event (with its
+/// accumulated fields and elapsed time) when dropped.
+#[must_use = "a span measures the scope it is alive for; bind it with `let _span = ...`"]
+#[derive(Debug)]
+pub struct Span {
+    id: u64,
+    name: &'static str,
+    start: Option<Instant>,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Span {
+    /// Is this span actually recording (tracing was enabled at creation)?
+    pub fn is_armed(&self) -> bool {
+        self.start.is_some()
+    }
+
+    /// Attach a field, builder-style.
+    pub fn with(mut self, key: &'static str, value: impl Into<FieldValue>) -> Self {
+        self.record(key, value);
+        self
+    }
+
+    /// Attach a field to an already-bound span.
+    pub fn record(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if self.start.is_some() {
+            self.fields.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&id| id == self.id) {
+                stack.remove(pos);
+            }
+        });
+        emit(&Event {
+            kind: EventKind::SpanEnd,
+            name: self.name,
+            span_id: self.id,
+            parent_id: current_parent(),
+            thread_id: current_thread(),
+            elapsed_ns: Some(elapsed),
+            fields: std::mem::take(&mut self.fields),
+        });
+    }
+}
+
+/// Open a named span.  Returns a disarmed no-op span (no clock read, no
+/// allocation) when tracing is disabled.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span {
+            id: 0,
+            name,
+            start: None,
+            fields: Vec::new(),
+        };
+    }
+    span_slow(name)
+}
+
+#[cold]
+fn span_slow(name: &'static str) -> Span {
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = current_parent();
+    emit(&Event {
+        kind: EventKind::SpanStart,
+        name,
+        span_id: id,
+        parent_id: parent,
+        thread_id: current_thread(),
+        elapsed_ns: None,
+        fields: Vec::new(),
+    });
+    SPAN_STACK.with(|s| s.borrow_mut().push(id));
+    Span {
+        id,
+        name,
+        start: Some(Instant::now()),
+        fields: Vec::new(),
+    }
+}
+
+/// Emit a point-in-time event with fields, attached to the current span.
+/// No-op when tracing is disabled.
+#[inline]
+pub fn event(name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
+    if !enabled() {
+        return;
+    }
+    let parent = current_parent();
+    emit(&Event {
+        kind: EventKind::Instant,
+        name,
+        span_id: parent.unwrap_or(0),
+        parent_id: parent,
+        thread_id: current_thread(),
+        elapsed_ns: None,
+        fields,
+    });
+}
+
+/// Emit an error event (message in the `message` field), attached to the
+/// current span.  No-op when tracing is disabled.
+#[inline]
+pub fn error(name: &'static str, message: impl fmt::Display) {
+    if !enabled() {
+        return;
+    }
+    let parent = current_parent();
+    emit(&Event {
+        kind: EventKind::Error,
+        name,
+        span_id: parent.unwrap_or(0),
+        parent_id: parent,
+        thread_id: current_thread(),
+        elapsed_ns: None,
+        fields: vec![("message", FieldValue::Str(message.to_string()))],
+    });
+}
+
+/// A sink that prints every event to stderr, one line each — the span-layer
+/// replacement for the old `NRS_PROVER_TRACE` printf trace.
+#[derive(Debug, Default)]
+pub struct TextSink;
+
+impl EventSink for TextSink {
+    fn emit(&self, event: &Event) {
+        let mut line = format!(
+            "[obs t{} s{}] {} {}",
+            event.thread_id,
+            event.span_id,
+            event.kind.label(),
+            event.name
+        );
+        if let Some(ns) = event.elapsed_ns {
+            line.push_str(&format!(" {ns}ns"));
+        }
+        for (k, v) in &event.fields {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// A sink that writes one JSON object per event per line to any writer
+/// (typically a file; see [`JsonLinesSink::to_file`]).
+pub struct JsonLinesSink {
+    out: Mutex<BufWriter<Box<dyn IoWrite + Send>>>,
+}
+
+impl fmt::Debug for JsonLinesSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonLinesSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonLinesSink {
+    /// Wrap an arbitrary writer.
+    pub fn new(out: Box<dyn IoWrite + Send>) -> Self {
+        JsonLinesSink {
+            out: Mutex::new(BufWriter::new(out)),
+        }
+    }
+
+    /// Create (truncating) `path` and write events there.
+    pub fn to_file(path: &Path) -> std::io::Result<Self> {
+        Ok(Self::new(Box::new(File::create(path)?)))
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl EventSink for JsonLinesSink {
+    fn emit(&self, event: &Event) {
+        let mut line = format!(
+            "{{\"kind\":\"{}\",\"name\":\"{}\",\"span\":{},\"thread\":{}",
+            event.kind.label(),
+            json_escape(event.name),
+            event.span_id,
+            event.thread_id
+        );
+        if let Some(p) = event.parent_id {
+            line.push_str(&format!(",\"parent\":{p}"));
+        }
+        if let Some(ns) = event.elapsed_ns {
+            line.push_str(&format!(",\"elapsed_ns\":{ns}"));
+        }
+        if !event.fields.is_empty() {
+            line.push_str(",\"fields\":{");
+            for (i, (k, v)) in event.fields.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push_str(&format!("\"{}\":", json_escape(k)));
+                match v {
+                    FieldValue::U64(n) => line.push_str(&n.to_string()),
+                    FieldValue::I64(n) => line.push_str(&n.to_string()),
+                    FieldValue::F64(n) if n.is_finite() => line.push_str(&n.to_string()),
+                    FieldValue::F64(_) => line.push_str("null"),
+                    FieldValue::Bool(b) => line.push_str(if *b { "true" } else { "false" }),
+                    FieldValue::Str(s) => line.push_str(&format!("\"{}\"", json_escape(s))),
+                }
+            }
+            line.push('}');
+        }
+        line.push('}');
+        let mut out = self.out.lock().unwrap();
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+/// A sink that buffers every event in memory — for tests that assert on the
+/// emitted span tree.
+#[derive(Debug, Default)]
+pub struct CaptureSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl CaptureSink {
+    /// Create an empty capture sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy out everything captured so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Drop everything captured so far.
+    pub fn clear(&self) {
+        self.events.lock().unwrap().clear();
+    }
+}
+
+impl EventSink for CaptureSink {
+    fn emit(&self, event: &Event) {
+        self.events.lock().unwrap().push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The sink slot is process-global, so the span tests share one capture
+    // sink and serialize on a mutex to avoid cross-talk.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_capture<R>(f: impl FnOnce(&CaptureSink) -> R) -> R {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let sink = Arc::new(CaptureSink::new());
+        install_sink(sink.clone());
+        let r = f(&sink);
+        clear_sink();
+        r
+    }
+
+    #[test]
+    fn disabled_span_is_disarmed() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        clear_sink();
+        let s = span("noop");
+        assert!(!s.is_armed());
+        drop(s);
+        event("noop", vec![]);
+        error("noop", "nothing");
+    }
+
+    #[test]
+    fn span_tree_nests_and_times() {
+        let events = with_capture(|sink| {
+            {
+                let _outer = span("outer").with("k", 1u64);
+                {
+                    let _inner = span("inner");
+                    event("tick", vec![("n", 7u64.into())]);
+                }
+                error("boom", "synthetic");
+            }
+            sink.events()
+        });
+        let starts: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanStart)
+            .collect();
+        let ends: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanEnd)
+            .collect();
+        assert_eq!(starts.len(), 2);
+        assert_eq!(ends.len(), 2);
+        let outer_id = starts.iter().find(|e| e.name == "outer").unwrap().span_id;
+        let inner_start = starts.iter().find(|e| e.name == "inner").unwrap();
+        assert_eq!(inner_start.parent_id, Some(outer_id));
+        let tick = events.iter().find(|e| e.name == "tick").unwrap();
+        assert_eq!(tick.kind, EventKind::Instant);
+        assert_eq!(tick.span_id, inner_start.span_id);
+        let boom = events.iter().find(|e| e.name == "boom").unwrap();
+        assert_eq!(boom.kind, EventKind::Error);
+        assert_eq!(boom.parent_id, Some(outer_id));
+        let outer_end = ends.iter().find(|e| e.name == "outer").unwrap();
+        assert!(outer_end.elapsed_ns.is_some());
+        assert!(outer_end
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "k" && *v == FieldValue::U64(1)));
+    }
+
+    #[test]
+    fn json_lines_sink_escapes_and_terminates() {
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl IoWrite for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = JsonLinesSink::new(Box::new(SharedBuf(buf.clone())));
+        sink.emit(&Event {
+            kind: EventKind::Error,
+            name: "x",
+            span_id: 3,
+            parent_id: Some(2),
+            thread_id: 1,
+            elapsed_ns: Some(10),
+            fields: vec![("message", FieldValue::Str("a \"quoted\"\nline".into()))],
+        });
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert!(text.ends_with('}') || text.ends_with('\n'));
+        assert!(text.contains("\\\"quoted\\\""));
+        assert!(text.contains("\\n"));
+        assert!(text.contains("\"parent\":2"));
+        assert!(text.contains("\"elapsed_ns\":10"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Multi-threaded hammering of the registry primitives: counters and
+//! histograms must lose no increments under contention, and snapshot
+//! merging must agree with recording everything into one histogram.
+
+use nrs_obs::{Histogram, Registry, Unit};
+use std::sync::Arc;
+use std::thread;
+
+const THREADS: usize = 8;
+const PER_THREAD: u64 = 10_000;
+
+#[test]
+fn counters_lose_nothing_under_contention() {
+    let reg = Arc::new(Registry::new());
+    thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let reg = Arc::clone(&reg);
+            scope.spawn(move || {
+                let c = reg.counter("hammer.total");
+                let g = reg.gauge("hammer.depth");
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    g.add(1);
+                    if i % 2 == 1 {
+                        g.sub(2);
+                    }
+                }
+            });
+        }
+    });
+    let snap = reg.snapshot();
+    assert_eq!(
+        snap.counter("hammer.total"),
+        Some(THREADS as u64 * PER_THREAD)
+    );
+    // Each thread nets zero: +1 per iteration, −2 every second iteration.
+    assert_eq!(snap.gauge("hammer.depth"), Some(0));
+}
+
+#[test]
+fn histograms_lose_nothing_under_contention() {
+    let reg = Arc::new(Registry::new());
+    thread::scope(|scope| {
+        for t in 0..THREADS as u64 {
+            let reg = Arc::clone(&reg);
+            scope.spawn(move || {
+                let h = reg.timer("hammer.latency");
+                for i in 0..PER_THREAD {
+                    // A spread of magnitudes so many buckets see contention.
+                    h.record((i % 64) * (t + 1) * 37 + t);
+                }
+            });
+        }
+    });
+    let snap = reg.snapshot();
+    let h = snap.histogram("hammer.latency").expect("registered");
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(h.count, total);
+    let bucket_total: u64 = h.buckets.iter().map(|(_, c)| c).sum();
+    assert_eq!(bucket_total, total);
+    assert_eq!(h.max, 63 * THREADS as u64 * 37 + (THREADS as u64 - 1));
+    // Quantiles are defined and ordered.
+    let (p50, p95, p99) = (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
+    assert!(p50 <= p95 && p95 <= p99 && p99 <= h.max);
+}
+
+#[test]
+fn sharded_recording_merges_to_one_distribution() {
+    // Record the same sample stream (a) into one histogram and (b) split
+    // across one histogram per thread; merging (b) must reproduce (a).
+    let combined = Arc::new(Histogram::new(Unit::Count));
+    let shards: Vec<Arc<Histogram>> = (0..THREADS)
+        .map(|_| Arc::new(Histogram::new(Unit::Count)))
+        .collect();
+    thread::scope(|scope| {
+        for (t, shard) in shards.iter().enumerate() {
+            let combined = Arc::clone(&combined);
+            let shard = Arc::clone(shard);
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let v = i.wrapping_mul(2654435761).wrapping_add(t as u64) % 1_000_000;
+                    combined.record(v);
+                    shard.record(v);
+                }
+            });
+        }
+    });
+    let mut merged = shards[0].snapshot();
+    for shard in &shards[1..] {
+        merged.merge(&shard.snapshot());
+    }
+    let reference = combined.snapshot();
+    assert_eq!(merged.count, reference.count);
+    assert_eq!(merged.sum, reference.sum);
+    assert_eq!(merged.max, reference.max);
+    assert_eq!(merged.buckets, reference.buckets);
+    for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+        assert_eq!(merged.quantile(q), reference.quantile(q));
+    }
+}
+
+#[test]
+fn snapshot_during_recording_is_consistent() {
+    // Snapshots taken mid-hammering never observe more bucket mass than
+    // `count` claims at a later point, and the final snapshot is exact.
+    let reg = Arc::new(Registry::new());
+    thread::scope(|scope| {
+        for _ in 0..4 {
+            let reg = Arc::clone(&reg);
+            scope.spawn(move || {
+                let h = reg.histogram("live.sizes");
+                for i in 0..PER_THREAD {
+                    h.record(i % 128);
+                }
+            });
+        }
+        let reg = Arc::clone(&reg);
+        scope.spawn(move || {
+            for _ in 0..50 {
+                let snap = reg.snapshot();
+                if let Some(h) = snap.histogram("live.sizes") {
+                    // Mid-flight reads must stay within the total that will
+                    // ever be recorded, and quantiles must never panic.
+                    let mass: u64 = h.buckets.iter().map(|(_, c)| c).sum();
+                    assert!(mass <= 4 * PER_THREAD);
+                    assert!(h.quantile(0.5) <= 127);
+                }
+                thread::yield_now();
+            }
+        });
+    });
+    let h = reg.snapshot();
+    let h = h.histogram("live.sizes").expect("registered");
+    assert_eq!(h.count, 4 * PER_THREAD);
+}

@@ -1,0 +1,77 @@
+//! Property test: histogram quantile estimates respect the log-linear
+//! bucket error bound.  For any recorded sample `t` read back as a
+//! quantile, the estimate must satisfy `t <= est <= t + t/4` (exact below
+//! the linear cutoff of 8), and estimates across all quantiles must stay
+//! within the recorded `[min, max]` envelope.
+
+use nrs_obs::{Histogram, Unit};
+use proptest::prelude::*;
+
+/// Deterministically expand a compact seed into a sample set spanning many
+/// magnitudes (the stand-in proptest has no `Vec` strategy).
+fn samples_from_seed(seed: u64, len: usize) -> Vec<u64> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let magnitude = (state >> 58) % 6; // 0..=5 decades
+        let v = (state >> 8) % 10u64.pow(magnitude as u32 + 1);
+        out.push(v);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Single-value distributions: every quantile points at the one bucket,
+    /// and the clamped estimate equals the recorded value exactly.
+    #[test]
+    fn prop_single_value_quantile_is_exact(raw in 0u64..u64::MAX) {
+        let h = Histogram::new(Unit::Count);
+        h.record(raw);
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            // The bucket bound over-approximates but the max clamp makes a
+            // single-value histogram exact.
+            prop_assert_eq!(s.quantile(q), raw);
+        }
+    }
+
+    /// Multi-value distributions: the p-th quantile estimate brackets the
+    /// true p-th order statistic within the log-bucket error bound.
+    #[test]
+    fn prop_quantiles_respect_bucket_error_bound(seed in 0u64..1_000_000, len in 1usize..400) {
+        let mut samples = samples_from_seed(seed, len);
+        let h = Histogram::new(Unit::Count);
+        for &v in &samples {
+            h.record(v);
+        }
+        samples.sort_unstable();
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, samples.len() as u64);
+        prop_assert_eq!(s.max, *samples.last().unwrap());
+        for &q in &[0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            // The same rank the estimator targets.
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let truth = samples[rank - 1];
+            let est = s.quantile(q);
+            prop_assert!(
+                est >= truth,
+                "q={} estimate {} under-reports true order statistic {}",
+                q, est, truth
+            );
+            let bound = truth + truth / 4;
+            prop_assert!(
+                est <= bound.max(truth),
+                "q={} estimate {} exceeds error bound {} (truth {})",
+                q, est, bound, truth
+            );
+            if truth < 8 {
+                prop_assert_eq!(est, truth);
+            }
+        }
+    }
+}

@@ -68,8 +68,77 @@ use nrs_delta0::{Formula, InContext, Term};
 use nrs_proof::{formula_hash_mixed, Proof, ProofError, Rule, Sequent};
 use nrs_shared::{ShardStats, ShardedMap};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Cached handles into the global [`nrs_obs`] registry: one name lookup per
+/// process, relaxed atomic adds afterwards.  Every counter here mirrors a
+/// [`ProverStats`] field, so the per-goal struct readout and the process-wide
+/// registry stay two views of the same accounting.
+struct ObsMetrics {
+    goals: Arc<nrs_obs::Counter>,
+    goal_cache_hits: Arc<nrs_obs::Counter>,
+    proved: Arc<nrs_obs::Counter>,
+    failed: Arc<nrs_obs::Counter>,
+    timeouts: Arc<nrs_obs::Counter>,
+    cancelled: Arc<nrs_obs::Counter>,
+    visited: Arc<nrs_obs::Counter>,
+    memo_hits: Arc<nrs_obs::Counter>,
+    memo_misses: Arc<nrs_obs::Counter>,
+    rewrite_cache_hits: Arc<nrs_obs::Counter>,
+    rewrite_cache_misses: Arc<nrs_obs::Counter>,
+    parallel_branches: Arc<nrs_obs::Counter>,
+    memo_lock_acquisitions: Arc<nrs_obs::Counter>,
+    memo_lock_contended: Arc<nrs_obs::Counter>,
+    goal_seconds: Arc<nrs_obs::Histogram>,
+    proof_size: Arc<nrs_obs::Histogram>,
+    risky_level: Arc<nrs_obs::Histogram>,
+}
+
+fn obs() -> &'static ObsMetrics {
+    static METRICS: OnceLock<ObsMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = nrs_obs::global();
+        ObsMetrics {
+            goals: r.counter("prover.goals_total"),
+            goal_cache_hits: r.counter("prover.goal_cache_hits_total"),
+            proved: r.counter("prover.proved_total"),
+            failed: r.counter("prover.failed_total"),
+            timeouts: r.counter("prover.timeouts_total"),
+            cancelled: r.counter("prover.cancelled_total"),
+            visited: r.counter("prover.visited_total"),
+            memo_hits: r.counter("prover.memo_hits_total"),
+            memo_misses: r.counter("prover.memo_misses_total"),
+            rewrite_cache_hits: r.counter("prover.rewrite_cache_hits_total"),
+            rewrite_cache_misses: r.counter("prover.rewrite_cache_misses_total"),
+            parallel_branches: r.counter("prover.parallel_branches_total"),
+            memo_lock_acquisitions: r.counter("prover.memo_lock_acquisitions_total"),
+            memo_lock_contended: r.counter("prover.memo_lock_contended_total"),
+            goal_seconds: r.timer("prover.goal_seconds"),
+            proof_size: r.histogram("prover.proof_size"),
+            risky_level: r.histogram("prover.risky_level"),
+        }
+    })
+}
+
+impl ObsMetrics {
+    /// Fold one goal's [`ProverStats`] into the process-wide registry.
+    fn record_stats(&self, stats: &ProverStats) {
+        self.visited.add(stats.visited as u64);
+        self.memo_hits.add(stats.memo_hits as u64);
+        self.memo_misses.add(stats.memo_misses as u64);
+        self.rewrite_cache_hits.add(stats.rewrite_cache_hits as u64);
+        self.rewrite_cache_misses
+            .add(stats.rewrite_cache_misses as u64);
+        self.parallel_branches.add(stats.parallel_branches as u64);
+        self.memo_lock_acquisitions
+            .add(stats.memo_lock.reads + stats.memo_lock.writes);
+        self.memo_lock_contended
+            .add(stats.memo_lock.reads_contended + stats.memo_lock.writes_contended);
+        self.proof_size.record(stats.proof_size as u64);
+        self.risky_level.record(stats.risky_level as u64);
+    }
+}
 
 /// Budgets controlling the proof search.
 #[derive(Debug, Clone)]
@@ -528,7 +597,13 @@ pub(crate) fn prove_sequent_inner(
     caches: &SearchCaches,
     ext_cancel: Option<&AtomicBool>,
 ) -> Result<(Proof, ProverStats), ProofError> {
+    nrs_obs::init_from_env();
+    let m = obs();
+    m.goals.inc();
+    let mut goal_span = nrs_obs::span("prover.goal");
     if let Some(outcome) = caches.goals.get(sequent) {
+        m.goal_cache_hits.inc();
+        goal_span.record("cached", true);
         return match outcome {
             GoalOutcome::Proved { proof, risky_level } => {
                 let stats = ProverStats {
@@ -557,7 +632,10 @@ pub(crate) fn prove_sequent_inner(
         timed_out: false,
         ext_cancel,
         ext_cancelled: false,
-        trace: std::env::var_os("NRS_PROVER_TRACE").is_some(),
+        // Per-visit events are expensive (one formatted event per search
+        // state); they ride the span layer's `detailed` flag, which
+        // `NRS_PROVER_TRACE` still turns on via `init_from_env` above.
+        trace: nrs_obs::detailed(),
         caches,
         memo_hits: 0,
         memo_misses: 0,
@@ -574,7 +652,13 @@ pub(crate) fn prove_sequent_inner(
         st.aborted = false;
         st.level = level;
         let used = UsedSpecs::default();
-        if let Some(proof) = attempt(sequent, level, 0, &used, None, &mut st) {
+        let mut level_span = nrs_obs::span("prover.deepen").with("level", level);
+        let visited_before = st.visited;
+        let outcome = attempt(sequent, level, 0, &used, None, &mut st);
+        level_span.record("visited", st.visited - visited_before);
+        level_span.record("proved", outcome.is_some());
+        drop(level_span);
+        if let Some(proof) = outcome {
             let interner_after = nrs_delta0::intern_stats();
             let stats = ProverStats {
                 visited: st.visited,
@@ -599,6 +683,12 @@ pub(crate) fn prove_sequent_inner(
                     risky_level: level,
                 },
             );
+            m.proved.inc();
+            m.record_stats(&stats);
+            m.goal_seconds.record_duration(start.elapsed());
+            goal_span.record("proved", true);
+            goal_span.record("level", level);
+            goal_span.record("visited", stats.visited);
             return Ok((proof, stats));
         }
         // Transient aborts return immediately and are NOT cached: the same
@@ -606,12 +696,19 @@ pub(crate) fn prove_sequent_inner(
         // succeed, and the session's goal-outcome cache must only remember
         // verdicts that are stable for its configuration.
         if st.timed_out {
+            m.timeouts.inc();
+            m.visited.add(st.visited as u64);
+            m.goal_seconds.record_duration(start.elapsed());
+            nrs_obs::error("prover.timeout", format_args!("visited {}", st.visited));
             return Err(ProofError::Timeout {
                 elapsed_ms: start.elapsed().as_millis() as u64,
                 visited: st.visited,
             });
         }
         if st.ext_cancelled {
+            m.cancelled.inc();
+            m.visited.add(st.visited as u64);
+            m.goal_seconds.record_duration(start.elapsed());
             return Err(ProofError::Cancelled);
         }
         if st.visited >= cfg.max_states {
@@ -625,6 +722,16 @@ pub(crate) fn prove_sequent_inner(
     caches
         .goals
         .insert(sequent.clone(), GoalOutcome::Failed(msg.clone()));
+    m.failed.inc();
+    m.visited.add(st.visited as u64);
+    m.memo_hits.add(st.memo_hits as u64);
+    m.memo_misses.add(st.memo_misses as u64);
+    m.rewrite_cache_hits.add(st.rewrite_hits as u64);
+    m.rewrite_cache_misses.add(st.rewrite_misses as u64);
+    m.parallel_branches.add(st.branches_dispatched as u64);
+    m.goal_seconds.record_duration(start.elapsed());
+    goal_span.record("proved", false);
+    goal_span.record("visited", st.visited);
     Err(ProofError::BudgetExhausted(msg))
 }
 
@@ -1189,9 +1296,17 @@ fn attempt(
         }
     }
     if st.trace {
-        eprintln!(
-            "[{} / r{} w{}] {}",
-            st.visited, risky_budget, rewrites_used, seq
+        // The span-layer successor of the old `NRS_PROVER_TRACE` eprintln:
+        // one detailed event per visited state, attached to the enclosing
+        // deepening span (the text sink renders it as a single stderr line).
+        nrs_obs::event(
+            "prover.visit",
+            vec![
+                ("visited", st.visited.into()),
+                ("risky", risky_budget.into()),
+                ("rewrites", rewrites_used.into()),
+                ("sequent", seq.to_string().into()),
+            ],
         );
     }
     st.visited += 1;

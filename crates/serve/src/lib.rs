@@ -80,9 +80,61 @@ use nrs_synthesis::{
 };
 use nrs_value::{Instance, Name, Schema, Value};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
+
+/// Cached handles into the global metrics registry (`nrs-obs`), resolved
+/// once: the serving hot paths touch only atomics.
+struct ObsMetrics {
+    submits: Arc<nrs_obs::Counter>,
+    rejected: Arc<nrs_obs::Counter>,
+    backpressure: Arc<nrs_obs::Counter>,
+    flushes: Arc<nrs_obs::Counter>,
+    flush_errors: Arc<nrs_obs::Counter>,
+    batches: Arc<nrs_obs::Counter>,
+    updates: Arc<nrs_obs::Counter>,
+    requeued_batches: Arc<nrs_obs::Counter>,
+    dropped_batches: Arc<nrs_obs::Counter>,
+    queue_depth: Arc<nrs_obs::Gauge>,
+    epoch: Arc<nrs_obs::Gauge>,
+    queue_wait_seconds: Arc<nrs_obs::Histogram>,
+    batches_per_flush: Arc<nrs_obs::Histogram>,
+    batch_tuples: Arc<nrs_obs::Histogram>,
+    flush_seconds: Arc<nrs_obs::Histogram>,
+    drain_seconds: Arc<nrs_obs::Histogram>,
+    coalesce_seconds: Arc<nrs_obs::Histogram>,
+    maintain_seconds: Arc<nrs_obs::Histogram>,
+    publish_seconds: Arc<nrs_obs::Histogram>,
+}
+
+fn obs() -> &'static ObsMetrics {
+    static OBS: OnceLock<ObsMetrics> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = nrs_obs::global();
+        ObsMetrics {
+            submits: r.counter("serve.submits_total"),
+            rejected: r.counter("serve.rejected_batches_total"),
+            backpressure: r.counter("serve.backpressure_total"),
+            flushes: r.counter("serve.flushes_total"),
+            flush_errors: r.counter("serve.flush_errors_total"),
+            batches: r.counter("serve.batches_total"),
+            updates: r.counter("serve.updates_total"),
+            requeued_batches: r.counter("serve.requeued_batches_total"),
+            dropped_batches: r.counter("serve.dropped_batches_total"),
+            queue_depth: r.gauge("serve.queue_depth"),
+            epoch: r.gauge("serve.epoch"),
+            queue_wait_seconds: r.timer("serve.queue_wait_seconds"),
+            batches_per_flush: r.histogram("serve.batches_per_flush"),
+            batch_tuples: r.histogram("serve.batch_tuples"),
+            flush_seconds: r.timer("serve.flush_seconds"),
+            drain_seconds: r.timer("serve.flush.drain_seconds"),
+            coalesce_seconds: r.timer("serve.flush.coalesce_seconds"),
+            maintain_seconds: r.timer("serve.flush.maintain_seconds"),
+            publish_seconds: r.timer("serve.flush.publish_seconds"),
+        }
+    })
+}
 
 /// What went wrong, in terms a serving layer can act on.
 ///
@@ -318,6 +370,13 @@ pub struct FlushReport {
     /// Engine round/shard counters attributed to this flush (how many
     /// evaluation rounds ran, how many fanned out, items and shards).
     pub maint: MaintStats,
+    /// **Cumulative** batches this server has dropped over its lifetime
+    /// (drops happen only on *failed* flushes — a validation failure of
+    /// the coalesced batch — so a successful flush reports the running
+    /// total, letting an operator notice drops without scraping errors).
+    /// The triggering error is retained in
+    /// [`ViewServer::last_drop_error`].
+    pub dropped_batches: u64,
 }
 
 /// The writer-side state: the live engine plus the epoch counter.
@@ -338,8 +397,12 @@ pub const SHUTDOWN_DRAIN_FAILURES: u64 = 3;
 /// The bounded ingest queue producers write into: a deque behind its own
 /// mutex (never held across engine work) plus two condvars — `arrival`
 /// wakes the writer thread, `space` wakes blocked producers after a flush.
+/// Each queued batch carries its enqueue instant so the flush that drains
+/// it can record the queue-wait latency (`serve.queue_wait_seconds`); a
+/// re-queued batch is re-stamped, so the histogram measures one queue
+/// residency per drain, not cumulative latency across retries.
 struct Ingest {
-    queue: Mutex<VecDeque<UpdateBatch>>,
+    queue: Mutex<VecDeque<(UpdateBatch, Instant)>>,
     arrival: Condvar,
     space: Condvar,
 }
@@ -357,6 +420,14 @@ pub struct WriterStats {
     /// Flush cycles that failed (the drained batches were re-queued or
     /// dropped depending on the error class; see the crate docs).
     pub errors: u64,
+    /// Queued batches **dropped** by failed flushes this writer ran: a
+    /// coalesced batch that fails validation can never apply, so its
+    /// drained prefix is discarded.  Previously these vanished with only a
+    /// generic error count; now they are tallied here (and in
+    /// [`FlushReport::dropped_batches`] /
+    /// [`ViewServer::dropped_batches`]), with the triggering error kept in
+    /// [`ViewServer::last_drop_error`].
+    pub dropped_batches: u64,
     /// The last flush error observed, if any.
     pub last_error: Option<NrsError>,
 }
@@ -446,6 +517,11 @@ pub struct ViewServer {
     state: Mutex<ServerState>,
     published: RwLock<Arc<Snapshot>>,
     ingest: Ingest,
+    /// Lifetime count of queued batches dropped by failed flushes (a
+    /// coalesced batch that fails validation discards its drained prefix).
+    dropped: AtomicU64,
+    /// The error that triggered the most recent drop, for post-mortems.
+    last_drop: Mutex<Option<NrsError>>,
 }
 
 impl ViewServer {
@@ -462,6 +538,7 @@ impl ViewServer {
         base: &Instance,
         config: ServerConfig,
     ) -> Result<ViewServer, NrsError> {
+        nrs_obs::init_from_env();
         let schema = result.problem.base_schema()?;
         let mut maintained = MaintainedRewriting::new(result, base)?;
         maintained.set_workers(config.workers);
@@ -479,6 +556,8 @@ impl ViewServer {
                 arrival: Condvar::new(),
                 space: Condvar::new(),
             },
+            dropped: AtomicU64::new(0),
+            last_drop: Mutex::new(None),
         })
     }
 
@@ -512,12 +591,19 @@ impl ViewServer {
     /// be draining it, or this blocks indefinitely).  Rejected batches
     /// ([`NrsError::Rejected`]) are not enqueued; nothing changes.
     pub fn submit(&self, batch: &UpdateBatch) -> Result<(), NrsError> {
-        self.validate(batch)?;
+        let m = obs();
+        self.validate(batch).inspect_err(|_| m.rejected.inc())?;
         let mut q = self.lock_ingest();
-        while q.len() >= self.config.queue_capacity {
-            q = self.ingest.space.wait(q).unwrap_or_else(|p| p.into_inner());
+        if q.len() >= self.config.queue_capacity {
+            // counted once per blocked submit, not per spurious wakeup
+            m.backpressure.inc();
+            while q.len() >= self.config.queue_capacity {
+                q = self.ingest.space.wait(q).unwrap_or_else(|p| p.into_inner());
+            }
         }
-        q.push_back(batch.clone());
+        q.push_back((batch.clone(), Instant::now()));
+        m.submits.inc();
+        m.queue_depth.set(q.len() as i64);
         self.ingest.arrival.notify_one();
         Ok(())
     }
@@ -527,14 +613,18 @@ impl ViewServer {
     /// batch is not enqueued.  Rejected batches are not enqueued either;
     /// in both cases nothing changes.
     pub fn try_submit(&self, batch: &UpdateBatch) -> Result<(), NrsError> {
-        self.validate(batch)?;
+        let m = obs();
+        self.validate(batch).inspect_err(|_| m.rejected.inc())?;
         let mut q = self.lock_ingest();
         if q.len() >= self.config.queue_capacity {
+            m.backpressure.inc();
             return Err(NrsError::Backpressure {
                 capacity: self.config.queue_capacity,
             });
         }
-        q.push_back(batch.clone());
+        q.push_back((batch.clone(), Instant::now()));
+        m.submits.inc();
+        m.queue_depth.set(q.len() as i64);
         self.ingest.arrival.notify_one();
         Ok(())
     }
@@ -615,9 +705,11 @@ impl ViewServer {
             // the writer-cycle fault hook: a fault here kills the cycle
             // *before* anything is drained, so the queued batches survive
             // and the next cycle retries them
+            let dropped_before = self.dropped_batches();
             let outcome = fault::hit("serve.writer.flush")
                 .map_err(NrsError::from)
                 .and_then(|()| self.flush());
+            stats.dropped_batches += self.dropped_batches() - dropped_before;
             match outcome {
                 Ok(report) => {
                     consecutive_failures = 0;
@@ -661,14 +753,57 @@ impl ViewServer {
     /// retry converges — except a fault at the lock site, which fails
     /// before anything is drained.
     pub fn flush(&self) -> Result<FlushReport, NrsError> {
+        let m = obs();
+        let start = Instant::now();
+        let mut span = nrs_obs::span("serve.flush");
+        let out = self.flush_inner();
+        m.flush_seconds.record_duration(start.elapsed());
+        match &out {
+            Ok(report) => {
+                if report.batches > 0 {
+                    m.flushes.inc();
+                    m.batches.add(report.batches as u64);
+                    m.updates.add(report.updates as u64);
+                }
+                m.epoch.set(report.snapshot.epoch as i64);
+                span.record("batches", report.batches);
+                span.record("updates", report.updates);
+                span.record("epoch", report.snapshot.epoch);
+            }
+            Err(e) => {
+                m.flush_errors.inc();
+                span.record("error", true);
+                nrs_obs::error("serve.flush_failed", e);
+            }
+        }
+        out
+    }
+
+    /// [`flush`][ViewServer::flush] minus the instrumentation envelope: the
+    /// wrapper records totals and the `serve.flush` span around every exit
+    /// path of this body.
+    fn flush_inner(&self) -> Result<FlushReport, NrsError> {
+        let m = obs();
         // lock order: state mutex first, then the ingest queue (briefly).
         // A fault at the lock site therefore leaves the queue intact.
+        let mut drain_span = nrs_obs::span("serve.drain");
+        let drain_start = Instant::now();
         let mut st = self.lock_state()?;
-        let drained: Vec<UpdateBatch> = {
+        let drained: Vec<(UpdateBatch, Instant)> = {
             let mut q = self.lock_ingest();
             let n = q.len().min(self.config.max_batch);
-            q.drain(..n).collect()
+            let d: Vec<_> = q.drain(..n).collect();
+            m.queue_depth.set(q.len() as i64);
+            d
         };
+        let now = Instant::now();
+        for (_, enqueued) in &drained {
+            m.queue_wait_seconds
+                .record_duration(now.saturating_duration_since(*enqueued));
+        }
+        m.drain_seconds.record_duration(drain_start.elapsed());
+        drain_span.record("batches", drained.len());
+        drop(drain_span);
         if drained.is_empty() {
             return Ok(FlushReport {
                 snapshot: self.snapshot(),
@@ -678,42 +813,62 @@ impl ViewServer {
                 updates: 0,
                 workers: self.config.workers,
                 maint: MaintStats::default(),
+                dropped_batches: self.dropped_batches(),
             });
         }
+        m.batches_per_flush.record(drained.len() as u64);
         // coalesce + exactness-check once for the whole batch, against the
         // live base: O(|Δ| log n) instead of cloning the base per batch
+        let mut coalesce_span = nrs_obs::span("serve.coalesce");
+        let coalesce_start = Instant::now();
         if let Err(e) = fault::hit("serve.coalesce") {
             self.requeue(drained);
             return Err(e.into());
         }
-        let combined = match UpdateBatch::coalesce_exact(drained.iter(), st.maintained.base()) {
-            Ok(c) => c,
-            Err(e) => {
-                // validation failure: the drained prefix can never apply
-                self.drop_drained();
-                return Err(e.into());
-            }
-        };
+        let combined =
+            match UpdateBatch::coalesce_exact(drained.iter().map(|(b, _)| b), st.maintained.base())
+            {
+                Ok(c) => c,
+                Err(e) => {
+                    // validation failure: the drained prefix can never apply
+                    let e = NrsError::from(e);
+                    self.drop_drained(drained.len(), &e);
+                    return Err(e);
+                }
+            };
+        m.coalesce_seconds.record_duration(coalesce_start.elapsed());
+        m.batch_tuples.record(combined.len() as u64);
+        coalesce_span.record("batches", drained.len());
+        coalesce_span.record("tuples", combined.len());
+        drop(coalesce_span);
         // capture the pre-batch state: propagation can roll itself back, but
         // a publish-site failure below must unwind manually
         let base_before = st.maintained.base().clone();
         let views_before = st.maintained.view_instance().clone();
         let maint_before = st.maintained.maint_stats();
+        let mut maintain_span = nrs_obs::span("serve.maintain");
+        let maintain_start = Instant::now();
         let (answer_delta, degraded) = match st.maintained.apply_resilient(&combined) {
             Ok(out) => out,
             Err(e) => {
                 let e = NrsError::from(e);
                 if e.is_rejection() {
-                    self.drop_drained();
+                    self.drop_drained(drained.len(), &e);
                 } else {
                     self.requeue(drained);
                 }
                 return Err(e);
             }
         };
+        m.maintain_seconds.record_duration(maintain_start.elapsed());
+        maintain_span.record("tuples", combined.len());
+        maintain_span.record("degraded", degraded.len());
+        drop(maintain_span);
         // a fault between application and publication must reject the batch
         // as a whole: readers keep the old epoch, so the writer state must
         // return to it too — and the drained batches go back for a retry
+        let mut publish_span = nrs_obs::span("serve.publish");
+        let publish_start = Instant::now();
         if let Err(e) = fault::hit("serve.publish") {
             st.maintained
                 .restore(&base_before, &views_before)
@@ -727,6 +882,9 @@ impl ViewServer {
         let snapshot = Arc::new(Self::capture(&st.maintained, st.epoch));
         *self.published.write().unwrap_or_else(|p| p.into_inner()) = snapshot.clone();
         self.ingest.space.notify_all();
+        m.publish_seconds.record_duration(publish_start.elapsed());
+        publish_span.record("epoch", st.epoch);
+        drop(publish_span);
         Ok(FlushReport {
             snapshot,
             answer_delta,
@@ -735,6 +893,7 @@ impl ViewServer {
             updates: combined.len(),
             workers: self.config.workers,
             maint: st.maintained.maint_stats() - maint_before,
+            dropped_batches: self.dropped_batches(),
         })
     }
 
@@ -792,24 +951,74 @@ impl ViewServer {
     }
 
     /// Lock the ingest queue (never held across engine work).
-    fn lock_ingest(&self) -> std::sync::MutexGuard<'_, VecDeque<UpdateBatch>> {
+    fn lock_ingest(&self) -> std::sync::MutexGuard<'_, VecDeque<(UpdateBatch, Instant)>> {
         self.ingest.queue.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// Put transiently-failed batches back at the front of the queue, in
-    /// their original order, and wake the writer for a retry.
-    fn requeue(&self, drained: Vec<UpdateBatch>) {
+    /// their original order (re-stamped: queue wait is measured per
+    /// residency), and wake the writer for a retry.
+    fn requeue(&self, drained: Vec<(UpdateBatch, Instant)>) {
+        let m = obs();
+        m.requeued_batches.add(drained.len() as u64);
         let mut q = self.lock_ingest();
-        for b in drained.into_iter().rev() {
-            q.push_front(b);
+        for (b, _) in drained.into_iter().rev() {
+            q.push_front((b, Instant::now()));
         }
+        m.queue_depth.set(q.len() as i64);
         self.ingest.arrival.notify_one();
     }
 
-    /// A validation failure consumed the drained prefix; producers blocked
-    /// on a full queue may now have space.
-    fn drop_drained(&self) {
+    /// A validation failure consumed the drained prefix: count the dropped
+    /// batches, retain the triggering error for post-mortems, and notify
+    /// producers blocked on a full queue that there may now be space.
+    /// (These drops used to vanish silently — the only trace was a generic
+    /// error return.)
+    fn drop_drained(&self, count: usize, cause: &NrsError) {
+        self.dropped.fetch_add(count as u64, Ordering::Relaxed);
+        *self.last_drop.lock().unwrap_or_else(|p| p.into_inner()) = Some(cause.clone());
+        obs().dropped_batches.add(count as u64);
+        nrs_obs::error(
+            "serve.dropped_batches",
+            format_args!("dropped {count} queued batch(es): {cause}"),
+        );
         self.ingest.space.notify_all();
+    }
+
+    /// Lifetime count of queued batches dropped by failed flushes (a
+    /// coalesced batch that fails validation can never apply, so its
+    /// drained prefix is discarded rather than re-queued).
+    pub fn dropped_batches(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The error that triggered the most recent batch drop, if any.
+    pub fn last_drop_error(&self) -> Option<NrsError> {
+        self.last_drop
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// One coherent snapshot of **every** registered metric — prover, FO
+    /// prover, synthesis, IVM engine and this serving layer share one
+    /// global registry, so a single call reports the whole pipeline.  The
+    /// server's point-in-time gauges (queue depth, published epoch) are
+    /// refreshed before the registry is read.  Render it with
+    /// [`to_json`][nrs_obs::MetricsSnapshot::to_json] or query it with the
+    /// typed accessors.
+    pub fn metrics_snapshot(&self) -> nrs_obs::MetricsSnapshot {
+        let m = obs();
+        m.queue_depth.set(self.pending_len() as i64);
+        m.epoch.set(self.epoch() as i64);
+        nrs_obs::global().snapshot()
+    }
+
+    /// [`metrics_snapshot`][ViewServer::metrics_snapshot] rendered in the
+    /// Prometheus text exposition format, ready to serve from a
+    /// `/metrics` endpoint.
+    pub fn metrics_text(&self) -> String {
+        self.metrics_snapshot().to_prometheus()
     }
 
     /// An immutable snapshot of the engine at `epoch` (cheap: the values are
@@ -1153,6 +1362,97 @@ mod tests {
             seq.maint
         );
         assert!(sharded.cross_check(&result).expect("oracle"));
+    }
+
+    #[test]
+    fn dropped_batches_are_counted_with_the_triggering_error() {
+        let problem = partition_problem();
+        let result = problem
+            .derive_rewriting(&SynthesisConfig::default())
+            .expect("rewriting exists");
+        let server = ViewServer::new(&result, &small_base()).expect("server");
+        assert_eq!(server.dropped_batches(), 0);
+        assert!(server.last_drop_error().is_none());
+        // two schema-valid batches whose coalesced net fails exactness (1 is
+        // already a member): the whole drained prefix is dropped — and must
+        // be accounted for, not silently vanish
+        let mut dup = UpdateBatch::new();
+        dup.insert("S", Value::atom(1));
+        let mut fine = UpdateBatch::new();
+        fine.insert("S", Value::atom(50));
+        server.submit(&dup).expect("schema-valid");
+        server.submit(&fine).expect("schema-valid");
+        let err = server.flush().unwrap_err();
+        assert!(err.is_rejection(), "got {err}");
+        assert_eq!(server.dropped_batches(), 2, "both drained batches dropped");
+        let cause = server.last_drop_error().expect("drop cause retained");
+        assert!(
+            matches!(cause, NrsError::Rejected(IvmError::DuplicateInsert { .. })),
+            "got {cause}"
+        );
+        // the innocent bystander was dropped too — resubmitting it works,
+        // and a successful flush reports the lifetime drop count
+        server.submit(&fine).expect("resubmit");
+        let report = server.flush().expect("flush");
+        assert_eq!(report.dropped_batches, 2);
+        assert!(server.cross_check(&result).expect("oracle"));
+    }
+
+    #[test]
+    fn writer_stats_count_dropped_batches() {
+        let problem = partition_problem();
+        let result = problem
+            .derive_rewriting(&SynthesisConfig::default())
+            .expect("rewriting exists");
+        let server = Arc::new(ViewServer::new(&result, &small_base()).expect("server"));
+        let mut dup = UpdateBatch::new();
+        dup.insert("S", Value::atom(1));
+        server.submit(&dup).expect("schema-valid");
+        let handle = server.start();
+        let stats = handle.stop();
+        assert_eq!(server.pending_len(), 0, "the bad batch is gone");
+        assert_eq!(stats.dropped_batches, 1, "and the writer accounted for it");
+        assert!(stats.errors >= 1);
+        assert!(
+            matches!(stats.last_error, Some(NrsError::Rejected(_))),
+            "got {:?}",
+            stats.last_error
+        );
+        assert_eq!(server.epoch(), 0, "nothing was applied");
+        assert!(server.cross_check(&result).expect("oracle"));
+    }
+
+    #[test]
+    fn metrics_snapshot_reports_the_whole_pipeline() {
+        // derive_rewriting exercises the prover + synthesis, the server
+        // flush exercises the IVM engine and the serving layer: one
+        // snapshot must report all of them (shared global registry).
+        let (result, base) = setup(20, 7);
+        let server = ViewServer::new(&result, &base).expect("server");
+        let mut batch = UpdateBatch::new();
+        batch.insert("S", Value::atom(7777));
+        batch.insert("F", Value::atom(7777));
+        server.apply(&batch).expect("apply");
+        let snap = server.metrics_snapshot();
+        assert!(snap.counter("prover.goals_total").unwrap_or(0) > 0);
+        assert!(snap.counter("synth.runs_total").unwrap_or(0) > 0);
+        assert!(snap.counter("ivm.applies_total").unwrap_or(0) > 0);
+        assert!(snap.counter("serve.flushes_total").unwrap_or(0) > 0);
+        assert_eq!(snap.gauge("serve.queue_depth"), Some(0));
+        assert!(snap.gauge("serve.epoch").unwrap_or(0) >= 1);
+        let flush = snap.histogram("serve.flush_seconds").expect("timer");
+        assert!(flush.count > 0 && flush.quantile(0.99) >= flush.quantile(0.50));
+        // and the Prometheus rendering carries the same families
+        let text = server.metrics_text();
+        for family in [
+            "# TYPE nrs_prover_goals_total counter",
+            "# TYPE nrs_ivm_applies_total counter",
+            "# TYPE nrs_serve_flushes_total counter",
+            "# TYPE nrs_serve_flush_seconds histogram",
+            "nrs_serve_flush_seconds_bucket{le=\"+Inf\"}",
+        ] {
+            assert!(text.contains(family), "missing {family:?} in:\n{text}");
+        }
     }
 
     #[test]

@@ -174,6 +174,111 @@ fn chaos_sharded_workers_sweep_keeps_readers_on_a_complete_epoch() {
     sweep_every_reachable_site(config(3), &wide);
 }
 
+/// Observability under chaos: a flush that fails at the **publish** site —
+/// the rollback path — must still emit a *complete* span tree: every span
+/// started on the flushing thread is ended (the early-return paths drop
+/// their spans), the stage spans are children of `serve.flush`, and an
+/// `Error` event is attached to the failed flush span.
+#[test]
+fn chaos_failed_flush_emits_a_complete_span_tree_with_an_error_event() {
+    use nrs_ivm::fault;
+    use nrs_obs::{CaptureSink, EventKind, FieldValue};
+    use std::collections::BTreeSet as Set;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let result = rewriting();
+    let base = base();
+    let batch = batch();
+    let sink = Arc::new(CaptureSink::new());
+    nrs_obs::install_sink(sink.clone());
+
+    // there is no fail-at-named-site plan: count the reachable sites, then
+    // fault each ordinal until the publish site is the one that fires
+    let hits = discovery(&result, &base, config(1), &batch);
+    let mut publish_checked = false;
+    for n in 0..hits {
+        let server = ViewServer::with_config(&result, &base, config(1)).expect("server");
+        sink.clear();
+        // a unique marker identifies this thread's events in the global
+        // sink (concurrent tests emit their own spans into it)
+        static NONCE: AtomicU64 = AtomicU64::new(1);
+        let nonce = NONCE.fetch_add(1, Ordering::Relaxed);
+        nrs_obs::event("chaos.marker", vec![("nonce", nonce.into())]);
+        let fired;
+        let outcome = {
+            let _scope = FaultScope::new(FaultPlan::fail_nth(n));
+            let out = server.submit(&batch).and_then(|()| server.flush());
+            fired = fault::fired();
+            out
+        };
+        if fired != Some("serve.publish") {
+            continue;
+        }
+        assert!(outcome.is_err(), "a publish-site fault must fail the flush");
+        let events = sink.events();
+        let me = events
+            .iter()
+            .find(|e| {
+                e.name == "chaos.marker"
+                    && e.fields
+                        .iter()
+                        .any(|(k, v)| *k == "nonce" && *v == FieldValue::U64(nonce))
+            })
+            .expect("marker event captured")
+            .thread_id;
+        let mine: Vec<_> = events.into_iter().filter(|e| e.thread_id == me).collect();
+        // complete tree: every span started was ended, with a duration
+        let started: Set<u64> = mine
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanStart)
+            .map(|e| e.span_id)
+            .collect();
+        let ended: Set<u64> = mine
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanEnd)
+            .map(|e| e.span_id)
+            .collect();
+        assert_eq!(started, ended, "unbalanced span tree after a failed flush");
+        assert!(mine
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanEnd)
+            .all(|e| e.elapsed_ns.is_some()));
+        // the stage spans hang off the flush span...
+        let flush_id = mine
+            .iter()
+            .find(|e| e.kind == EventKind::SpanStart && e.name == "serve.flush")
+            .expect("flush span started")
+            .span_id;
+        let children: Set<&str> = mine
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanStart && e.parent_id == Some(flush_id))
+            .map(|e| e.name)
+            .collect();
+        for stage in [
+            "serve.drain",
+            "serve.coalesce",
+            "serve.maintain",
+            "serve.publish",
+        ] {
+            assert!(children.contains(stage), "missing child span {stage:?}");
+        }
+        // ...and the failure surfaced as an error event on that span
+        assert!(
+            mine.iter().any(|e| e.kind == EventKind::Error
+                && e.name == "serve.flush_failed"
+                && e.span_id == flush_id),
+            "no error event attached to the failed flush span"
+        );
+        publish_checked = true;
+        break;
+    }
+    assert!(
+        publish_checked,
+        "publish fault site never fired in {hits} sites"
+    );
+}
+
 /// The seeded convenience plan exercises the same protocol end-to-end: any
 /// seed maps to some reachable site, and the server must recover from it.
 #[test]

@@ -12,6 +12,7 @@ pub use nrs_fol as fol;
 pub use nrs_interp as interp;
 pub use nrs_ivm as ivm;
 pub use nrs_nrc as nrc;
+pub use nrs_obs as obs;
 pub use nrs_proof as proof;
 pub use nrs_prover as prover;
 pub use nrs_serve as serve;
