@@ -23,10 +23,12 @@
 
 use crate::synthesis::{SynthesisError, SynthesizedDefinition};
 use crate::views::RewritingResult;
+use crate::workload::WorkloadRewriting;
 use nrs_ivm::{CoverageReport, DeltaSet, IvmError, MaintainedQuery, UpdateBatch};
 use nrs_nrc::{eval as nrc_eval, CompiledQuery};
 use nrs_value::{Instance, Name, Value};
 use std::fmt;
+use std::sync::Arc;
 
 impl From<IvmError> for SynthesisError {
     fn from(e: IvmError) -> Self {
@@ -440,6 +442,516 @@ impl MaintainedRewriting {
     }
 }
 
+/// Where in a maintained workload a failure occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorkloadFailLoc {
+    /// The view-materialization stage at this index.
+    Stage(usize),
+    /// The shared-fragment stage at this index.
+    Shared(usize),
+    /// The answer query at this index.
+    Answer(usize),
+}
+
+/// Per-query coverage of a maintained workload: one [`CoverageReport`] per
+/// view stage, per shared fragment, and per query answer.
+#[derive(Debug, Clone)]
+pub struct WorkloadCoverage {
+    /// Coverage of each view-materialization stage, in pipeline order.
+    pub views: Vec<(Name, CoverageReport)>,
+    /// Coverage of each shared-fragment materialization.
+    pub shared: Vec<(Name, CoverageReport)>,
+    /// Coverage of each query answer, in workload order.
+    pub answers: Vec<(Name, CoverageReport)>,
+}
+
+impl WorkloadCoverage {
+    /// Is every operator of every stage delta-maintained?
+    pub fn fully_incremental(&self) -> bool {
+        self.views.iter().all(|(_, c)| c.fully_incremental())
+            && self.shared.iter().all(|(_, c)| c.fully_incremental())
+            && self.answers.iter().all(|(_, c)| c.fully_incremental())
+    }
+
+    /// Total number of degraded operators across the workload.
+    pub fn degraded(&self) -> usize {
+        self.views
+            .iter()
+            .chain(&self.shared)
+            .chain(&self.answers)
+            .map(|(_, c)| c.degraded())
+            .sum()
+    }
+}
+
+impl fmt::Display for WorkloadCoverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, c) in &self.views {
+            writeln!(f, "view {name}: {c}")?;
+        }
+        for (name, c) in &self.shared {
+            writeln!(f, "shared {name}: {c}")?;
+        }
+        for (i, (name, c)) in self.answers.iter().enumerate() {
+            if i + 1 == self.answers.len() {
+                write!(f, "answer {name}: {c}")?;
+            } else {
+                writeln!(f, "answer {name}: {c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One maintained query answer of a workload, with its per-query flush
+/// timer.
+#[derive(Debug)]
+struct MaintainedAnswer {
+    name: Name,
+    maintained: MaintainedQuery,
+    apply_seconds: Arc<nrs_obs::Histogram>,
+}
+
+/// Per-query deltas of one maintenance round: one `(query name, delta)`
+/// entry per named workload answer, in workload entry order.
+pub type AnswerDeltas = Vec<(Name, DeltaSet)>;
+
+/// A whole multi-query workload kept materialized under *base* updates:
+/// the view materializations, the **shared fragments** (each maintained
+/// exactly once per batch, however many answers read it), and every named
+/// query answer — the maintenance half of the workload amortization story.
+///
+/// Propagation order per [`UpdateBatch`]: base → views (their deltas become
+/// a batch over the view names) → shared fragments (their deltas extend
+/// that batch) → every answer, delta-fed from the combined batch.  The
+/// `ivm.views_shared_total` counter advances by `views + shared` per apply,
+/// which is what the acceptance test pins: each shared view is maintained
+/// once per flush, not once per dependent query.
+#[derive(Debug)]
+pub struct MaintainedWorkload {
+    stages: Vec<MaintainedStage>,
+    shared: Vec<MaintainedStage>,
+    answers: Vec<MaintainedAnswer>,
+}
+
+fn workload_obs() -> (
+    &'static Arc<nrs_obs::Counter>,
+    &'static Arc<nrs_obs::Counter>,
+) {
+    static METRICS: std::sync::OnceLock<(Arc<nrs_obs::Counter>, Arc<nrs_obs::Counter>)> =
+        std::sync::OnceLock::new();
+    let (shared, applies) = METRICS.get_or_init(|| {
+        let r = nrs_obs::global();
+        (
+            r.counter("ivm.views_shared_total"),
+            r.counter("ivm.workload_applies_total"),
+        )
+    });
+    (shared, applies)
+}
+
+impl MaintainedWorkload {
+    /// Materialize every view over `base`, every shared fragment over the
+    /// views, and every query answer over views + shared fragments, and set
+    /// up maintenance state for all of them.
+    pub fn new(
+        rewriting: &WorkloadRewriting,
+        base: &Instance,
+    ) -> Result<MaintainedWorkload, SynthesisError> {
+        let env = rewriting.problem.base_env();
+        let mut gen = nrs_value::NameGen::new();
+        let mut stages = Vec::with_capacity(rewriting.problem.views.len());
+        let mut view_inst = Instance::new();
+        for view in &rewriting.problem.views {
+            let expr = view
+                .to_nrc(&env, &mut gen)
+                .map_err(|e| SynthesisError::Ill(e.to_string()))?;
+            let compiled = CompiledQuery::compile(&expr);
+            let maintained = MaintainedQuery::new(&compiled, base)?;
+            view_inst.bind(view.name, maintained.value().clone());
+            stages.push(MaintainedStage {
+                name: view.name,
+                maintained,
+            });
+        }
+        let shared_set = rewriting.shared();
+        let mut shared = Vec::with_capacity(shared_set.views.len());
+        let mut aug_inst = view_inst.clone();
+        for (name, expr) in &shared_set.views {
+            let compiled = CompiledQuery::compile(expr);
+            let maintained = MaintainedQuery::new(&compiled, &view_inst)?;
+            aug_inst.bind(*name, maintained.value().clone());
+            shared.push(MaintainedStage {
+                name: *name,
+                maintained,
+            });
+        }
+        let registry = nrs_obs::global();
+        let mut answers = Vec::with_capacity(shared_set.queries.len());
+        for (name, expr) in &shared_set.queries {
+            let compiled = CompiledQuery::compile(expr);
+            let maintained = MaintainedQuery::new(&compiled, &aug_inst)?;
+            answers.push(MaintainedAnswer {
+                name: *name,
+                maintained,
+                apply_seconds: registry.timer(&format!("ivm.workload.answer.{name}.apply_seconds")),
+            });
+        }
+        Ok(MaintainedWorkload {
+            stages,
+            shared,
+            answers,
+        })
+    }
+
+    /// Use up to `workers` threads for the evaluation phase of every
+    /// stage's delta rounds (bit-identical state for every count).
+    pub fn set_workers(&mut self, workers: usize) {
+        for stage in self.stages.iter_mut().chain(&mut self.shared) {
+            stage.maintained.set_workers(workers);
+        }
+        for answer in &mut self.answers {
+            answer.maintained.set_workers(workers);
+        }
+    }
+
+    /// Cumulative sharded-evaluation counters summed across every stage,
+    /// shared fragment and answer.
+    pub fn maint_stats(&self) -> nrs_ivm::MaintStats {
+        let mut total = nrs_ivm::MaintStats::default();
+        for stage in self.stages.iter().chain(&self.shared) {
+            total += stage.maintained.maint_stats();
+        }
+        for answer in &self.answers {
+            total += answer.maintained.maint_stats();
+        }
+        total
+    }
+
+    /// Apply a batch of *base* updates through the whole workload; returns
+    /// the exact per-query answer deltas (empty deltas included, so the
+    /// result always has one entry per query, in workload order).
+    pub fn apply(&mut self, batch: &UpdateBatch) -> Result<AnswerDeltas, SynthesisError> {
+        self.apply_inner(batch).map_err(|(_, e)| e.into())
+    }
+
+    /// The shared propagation step: each view and each shared fragment is
+    /// maintained exactly once; every answer is delta-fed from the combined
+    /// view + shared batch.
+    fn apply_inner(
+        &mut self,
+        batch: &UpdateBatch,
+    ) -> Result<AnswerDeltas, (WorkloadFailLoc, IvmError)> {
+        let (shared_ctr, applies_ctr) = workload_obs();
+        let mut view_batch = UpdateBatch::new();
+        for (i, stage) in self.stages.iter_mut().enumerate() {
+            let delta = stage
+                .maintained
+                .apply(batch)
+                .map_err(|e| (WorkloadFailLoc::Stage(i), e))?;
+            if !delta.is_empty() {
+                view_batch.push_delta(stage.name, delta);
+            }
+        }
+        let mut combined = view_batch.clone();
+        for (i, stage) in self.shared.iter_mut().enumerate() {
+            let delta = stage
+                .maintained
+                .apply(&view_batch)
+                .map_err(|e| (WorkloadFailLoc::Shared(i), e))?;
+            if !delta.is_empty() {
+                combined.push_delta(stage.name, delta);
+            }
+        }
+        shared_ctr.add((self.stages.len() + self.shared.len()) as u64);
+        applies_ctr.inc();
+        let mut out = Vec::with_capacity(self.answers.len());
+        for (i, answer) in self.answers.iter_mut().enumerate() {
+            let delta = if combined.is_empty() {
+                DeltaSet::new()
+            } else {
+                let start = std::time::Instant::now();
+                let delta = answer
+                    .maintained
+                    .apply(&combined)
+                    .map_err(|e| (WorkloadFailLoc::Answer(i), e))?;
+                answer.apply_seconds.record_duration(start.elapsed());
+                delta
+            };
+            out.push((answer.name, delta));
+        }
+        Ok(out)
+    }
+
+    /// Restore every stage to a previously captured (base, views, aug)
+    /// snapshot by full rebuild (failure path only).
+    fn rollback(
+        &mut self,
+        base: &Instance,
+        views: &Instance,
+        aug: &Instance,
+    ) -> Result<(), SynthesisError> {
+        for stage in &mut self.stages {
+            stage.maintained.rebuild(base).map_err(|e| {
+                SynthesisError::Ill(format!("rollback of view {} failed: {e}", stage.name))
+            })?;
+        }
+        for stage in &mut self.shared {
+            stage.maintained.rebuild(views).map_err(|e| {
+                SynthesisError::Ill(format!(
+                    "rollback of shared view {} failed: {e}",
+                    stage.name
+                ))
+            })?;
+        }
+        for answer in &mut self.answers {
+            answer.maintained.rebuild(aug).map_err(|e| {
+                SynthesisError::Ill(format!("rollback of answer {} failed: {e}", answer.name))
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Restore the workload to a captured (base, views, aug) snapshot —
+    /// the serving layer's unwind path for failed publications.
+    pub fn restore(
+        &mut self,
+        base: &Instance,
+        views: &Instance,
+        aug: &Instance,
+    ) -> Result<(), SynthesisError> {
+        self.rollback(base, views, aug)
+    }
+
+    /// Like [`MaintainedWorkload::apply`], but all-or-nothing across every
+    /// stage and every answer (validation errors never modify state and
+    /// skip the rollback).
+    pub fn apply_transactional(
+        &mut self,
+        batch: &UpdateBatch,
+    ) -> Result<AnswerDeltas, SynthesisError> {
+        let base_before = self.base().clone();
+        let views_before = self.view_instance().clone();
+        let aug_before = self.answer_instance().clone();
+        match self.apply_inner(batch) {
+            Ok(d) => Ok(d),
+            Err((_, e)) => {
+                if !e.is_validation() {
+                    self.rollback(&base_before, &views_before, &aug_before)?;
+                }
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Self-healing apply: transactional, and an operator failure degrades
+    /// the failing operator to recompute-on-dirty and retries the batch —
+    /// the workload counterpart of
+    /// [`MaintainedRewriting::apply_resilient`].
+    pub fn apply_resilient(
+        &mut self,
+        batch: &UpdateBatch,
+    ) -> Result<(AnswerDeltas, Vec<DegradedOperator>), SynthesisError> {
+        let mut degraded = Vec::new();
+        loop {
+            let base_before = self.base().clone();
+            let views_before = self.view_instance().clone();
+            let aug_before = self.answer_instance().clone();
+            match self.apply_inner(batch) {
+                Ok(d) => return Ok((d, degraded)),
+                Err((loc, e)) => {
+                    if e.is_validation() {
+                        return Err(e.into());
+                    }
+                    self.rollback(&base_before, &views_before, &aug_before)?;
+                    let Some(op) = e.operator() else {
+                        return Err(e.into());
+                    };
+                    let (owner, query) = match loc {
+                        WorkloadFailLoc::Stage(i) => {
+                            (Some(self.stages[i].name), &mut self.stages[i].maintained)
+                        }
+                        WorkloadFailLoc::Shared(i) => {
+                            (Some(self.shared[i].name), &mut self.shared[i].maintained)
+                        }
+                        WorkloadFailLoc::Answer(i) => {
+                            (Some(self.answers[i].name), &mut self.answers[i].maintained)
+                        }
+                    };
+                    if query.degraded().contains(&op) {
+                        return Err(e.into());
+                    }
+                    query.degrade(op).map_err(SynthesisError::from)?;
+                    degraded.push(DegradedOperator { view: owner, op });
+                }
+            }
+        }
+    }
+
+    /// Per-stage maintenance coverage across views, shared fragments and
+    /// answers.
+    pub fn coverage(&self) -> WorkloadCoverage {
+        WorkloadCoverage {
+            views: self
+                .stages
+                .iter()
+                .map(|s| (s.name, s.maintained.coverage()))
+                .collect(),
+            shared: self
+                .shared
+                .iter()
+                .map(|s| (s.name, s.maintained.coverage()))
+                .collect(),
+            answers: self
+                .answers
+                .iter()
+                .map(|a| (a.name, a.maintained.coverage()))
+                .collect(),
+        }
+    }
+
+    /// The operators currently degraded across the workload.
+    pub fn degraded_operators(&self) -> Vec<DegradedOperator> {
+        let mut out = Vec::new();
+        for stage in self.stages.iter().chain(&self.shared) {
+            out.extend(
+                stage
+                    .maintained
+                    .degraded()
+                    .iter()
+                    .map(|&op| DegradedOperator {
+                        view: Some(stage.name),
+                        op,
+                    }),
+            );
+        }
+        for answer in &self.answers {
+            out.extend(
+                answer
+                    .maintained
+                    .degraded()
+                    .iter()
+                    .map(|&op| DegradedOperator {
+                        view: Some(answer.name),
+                        op,
+                    }),
+            );
+        }
+        out
+    }
+
+    /// The maintained answers, in workload order.
+    pub fn answers(&self) -> Vec<(Name, &Value)> {
+        self.answers
+            .iter()
+            .map(|a| (a.name, a.maintained.value()))
+            .collect()
+    }
+
+    /// The maintained answer of one query.
+    pub fn answer(&self, name: &Name) -> Option<&Value> {
+        self.answers
+            .iter()
+            .find(|a| &a.name == name)
+            .map(|a| a.maintained.value())
+    }
+
+    /// The maintained materialization of one view or shared fragment.
+    pub fn view(&self, name: &Name) -> Option<&Value> {
+        self.stages
+            .iter()
+            .chain(&self.shared)
+            .find(|s| &s.name == name)
+            .map(|s| s.maintained.value())
+    }
+
+    /// Number of shared-fragment stages.
+    pub fn shared_count(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Number of view stages.
+    pub fn view_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The base instance at its current (post-batch) state.
+    pub fn base(&self) -> &Instance {
+        self.stages
+            .first()
+            .map(|s| s.maintained.env())
+            .unwrap_or_else(|| self.answer_instance())
+    }
+
+    /// The current view instance (view names bound to maintained values).
+    pub fn view_instance(&self) -> &Instance {
+        self.shared
+            .first()
+            .map(|s| s.maintained.env())
+            .unwrap_or_else(|| self.answer_instance())
+    }
+
+    /// The instance the answers are maintained over: views + shared
+    /// fragments.
+    pub fn answer_instance(&self) -> &Instance {
+        self.answers
+            .first()
+            .map(|a| a.maintained.env())
+            .expect("a workload has at least one query")
+    }
+
+    /// Naive end-to-end check: every maintained view, shared fragment and
+    /// answer is compared against from-scratch naive evaluation, and every
+    /// answer additionally against the *original* (unrewritten) query
+    /// evaluated directly on the current base — incremental maintenance,
+    /// fragment sharing and rewriting all checked against the oracle.
+    pub fn cross_check(&self, rewriting: &WorkloadRewriting) -> Result<bool, SynthesisError> {
+        let env = rewriting.problem.base_env();
+        let mut gen = nrs_value::NameGen::new();
+        let base = self.base();
+        let mut view_inst = Instance::new();
+        for view in &rewriting.problem.views {
+            let expr = view
+                .to_nrc(&env, &mut gen)
+                .map_err(|e| SynthesisError::Ill(e.to_string()))?;
+            let naive =
+                nrc_eval::eval(&expr, base).map_err(|e| SynthesisError::Ill(e.to_string()))?;
+            match self.view(&view.name) {
+                Some(v) if v == &naive => view_inst.bind(view.name, naive),
+                _ => return Ok(false),
+            };
+        }
+        let mut aug = view_inst;
+        for (name, expr) in &rewriting.shared().views {
+            let naive =
+                nrc_eval::eval(expr, &aug).map_err(|e| SynthesisError::Ill(e.to_string()))?;
+            match self.view(name) {
+                Some(v) if v == &naive => aug.bind(*name, naive),
+                _ => return Ok(false),
+            };
+        }
+        for (name, expr) in &rewriting.shared().queries {
+            let naive =
+                nrc_eval::eval(expr, &aug).map_err(|e| SynthesisError::Ill(e.to_string()))?;
+            if self.answer(name) != Some(&naive) {
+                return Ok(false);
+            }
+        }
+        for query in &rewriting.problem.queries {
+            let mut qgen = nrs_value::NameGen::new();
+            let q_expr = query
+                .to_nrc(&env, &mut qgen)
+                .map_err(|e| SynthesisError::Ill(e.to_string()))?;
+            let direct =
+                nrc_eval::eval(&q_expr, base).map_err(|e| SynthesisError::Ill(e.to_string()))?;
+            if self.answer(&query.name) != Some(&direct) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -538,5 +1050,104 @@ mod tests {
         // inserted element must have surfaced in the answer
         assert!(delta.inserts.contains(&Value::atom(900)));
         assert!(mv.value().as_set().unwrap().contains(&Value::atom(900)));
+    }
+
+    #[test]
+    fn maintained_workload_tracks_base_updates() {
+        let problem = crate::workload::overlapping_workload_problem(4);
+        let rewriting = problem
+            .derive_workload(&SynthesisConfig::default())
+            .expect("workload rewriting exists");
+        let base = partition_instance(30, 11);
+        let mut mw = MaintainedWorkload::new(&rewriting, &base).expect("materialize");
+        assert!(mw.cross_check(&rewriting).unwrap());
+        assert!(mw.coverage().fully_incremental());
+        for i in 0..24u64 {
+            let mut batch = UpdateBatch::new();
+            match i % 4 {
+                0 => batch.insert("S", Value::atom(700 + i)),
+                1 => batch.insert("F", Value::atom(700 + i - 1)),
+                2 => batch.delete("S", Value::atom(700 + i - 2)),
+                _ => batch.delete("F", Value::atom(i % 5)),
+            };
+            let deltas = mw.apply(&batch).expect("maintenance step");
+            assert_eq!(deltas.len(), 4, "one delta per query");
+            assert!(
+                mw.cross_check(&rewriting).expect("oracle re-evaluation"),
+                "diverged from the naive oracle at step {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn workload_maintains_each_shared_view_once_per_apply() {
+        let problem = crate::workload::overlapping_workload_problem(4);
+        let rewriting = problem
+            .derive_workload(&SynthesisConfig::default())
+            .expect("workload rewriting exists");
+        assert!(
+            mw_shared_count(&rewriting) > 0,
+            "the fixture must produce at least one shared fragment"
+        );
+        let base = partition_instance(16, 5);
+        let mut mw = MaintainedWorkload::new(&rewriting, &base).expect("materialize");
+        let per_apply = (mw.view_count() + mw.shared_count()) as u64;
+        let counter = nrs_obs::global().counter("ivm.views_shared_total");
+        for i in 0..5u64 {
+            let before = counter.get();
+            let mut batch = UpdateBatch::new();
+            batch.insert("S", Value::atom(900 + i));
+            mw.apply(&batch).expect("apply");
+            assert_eq!(
+                counter.get() - before,
+                per_apply,
+                "each view and shared fragment is maintained exactly once per apply"
+            );
+        }
+        assert!(mw.cross_check(&rewriting).unwrap());
+    }
+
+    fn mw_shared_count(rewriting: &WorkloadRewriting) -> usize {
+        rewriting.shared().views.len()
+    }
+
+    #[test]
+    fn workload_transactional_apply_rejects_malformed_batches() {
+        let problem = crate::workload::overlapping_workload_problem(2);
+        let rewriting = problem
+            .derive_workload(&SynthesisConfig::default())
+            .expect("workload rewriting exists");
+        let base = partition_instance(12, 9);
+        let mut mw = MaintainedWorkload::new(&rewriting, &base).expect("materialize");
+        let before: Vec<(Name, Value)> = mw
+            .answers()
+            .into_iter()
+            .map(|(n, v)| (n, v.clone()))
+            .collect();
+        let mut ds = DeltaSet::new();
+        ds.inserts.insert(Value::atom(1));
+        ds.deletes.insert(Value::atom(1));
+        let batch = UpdateBatch::from_delta("S", ds);
+        let err = mw.apply_transactional(&batch).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SynthesisError::Maintenance(IvmError::OverlappingDelta { .. })
+            ),
+            "got {err}"
+        );
+        let after: Vec<(Name, Value)> = mw
+            .answers()
+            .into_iter()
+            .map(|(n, v)| (n, v.clone()))
+            .collect();
+        assert_eq!(before, after, "validation errors leave state untouched");
+        assert!(mw.degraded_operators().is_empty());
+        let (deltas, degraded) = mw
+            .apply_resilient(&UpdateBatch::new().insert("S", Value::atom(424242)).clone())
+            .expect("resilient apply");
+        assert!(degraded.is_empty());
+        assert_eq!(deltas.len(), 2);
+        assert!(mw.cross_check(&rewriting).unwrap());
     }
 }

@@ -41,16 +41,26 @@
 pub mod collect;
 pub mod ivm;
 pub mod synthesis;
+pub mod synthesizer;
 pub mod views;
+pub mod workload;
 
 pub use collect::{collect_parameters, CollectInput, CollectOutput};
-pub use ivm::{DegradedOperator, MaintainedRewriting, MaintainedView, RewritingCoverage};
+pub use ivm::{
+    AnswerDeltas, DegradedOperator, MaintainedRewriting, MaintainedView, MaintainedWorkload,
+    RewritingCoverage, WorkloadCoverage,
+};
 pub use nrs_ivm::{CoverageReport, DeltaSet, IvmError, MaintStats, UpdateBatch};
 pub use synthesis::{
     synthesize, synthesize_with, GoalMetrics, ImplicitSpec, SynthesisConfig, SynthesisError,
     SynthesisMetrics, SynthesisReport, SynthesizedDefinition,
 };
+pub use synthesizer::Synthesizer;
 pub use views::{materialize_views, RewritingProblem, RewritingResult};
+pub use workload::{
+    overlapping_workload_problem, synthesize_workload, synthesize_workload_with, SharedViewSet,
+    Workload, WorkloadProblem, WorkloadReport, WorkloadRewriting, WorkloadSynthesis,
+};
 
 pub use nrs_delta0::{Formula, Term};
 pub use nrs_nrc::Expr;

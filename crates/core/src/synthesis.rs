@@ -410,16 +410,23 @@ impl SynthesizedDefinition {
 /// parameter-collection goals, the interpolation goals, and every goal of the
 /// recursive product/set cases — share one [`ProverSession`], so the failure
 /// memo built while proving one goal prunes the searches of the others.
+///
+/// This is a thin wrapper over the session-owning
+/// [`Synthesizer`](crate::Synthesizer) facade — prefer the builder when
+/// running more than one spec, workload or rewriting problem, so they share
+/// a warm session.
 pub fn synthesize(
     spec: &ImplicitSpec,
     cfg: &SynthesisConfig,
 ) -> Result<SynthesizedDefinition, SynthesisError> {
-    let session = ProverSession::new(cfg.prover.clone());
-    synthesize_with(spec, cfg, &session)
+    crate::Synthesizer::with_config(cfg.clone()).synthesize(spec)
 }
 
 /// [`synthesize`] against a caller-provided prover session (reused across the
 /// recursive cases, and reusable across several related synthesis runs).
+///
+/// [`Synthesizer::with_session`](crate::Synthesizer::with_session) wraps this
+/// behind a facade that owns the session for you.
 pub fn synthesize_with(
     spec: &ImplicitSpec,
     cfg: &SynthesisConfig,
@@ -510,26 +517,54 @@ fn synthesize_with_inner(
 }
 
 /// Immutable data threaded through the type-directed recursion.
-struct Ctx {
-    phi: Formula,
-    phi_primed: Formula,
-    primed_out: Name,
-    inputs: Vec<(Name, Type)>,
-    cfg: SynthesisConfig,
-    session: ProverSession,
+pub(crate) struct Ctx {
+    pub(crate) phi: Formula,
+    pub(crate) phi_primed: Formula,
+    pub(crate) primed_out: Name,
+    pub(crate) inputs: Vec<(Name, Type)>,
+    pub(crate) cfg: SynthesisConfig,
+    pub(crate) session: ProverSession,
 }
 
 /// The proof goals of one batched proving pass, in generation order.
+///
+/// In the single-spec pipeline every recorded goal is distinct by
+/// construction, so the plain [`push`](GoalBatch::push) suffices.  The
+/// workload pipeline ([`crate::workload`]) records the goals of *many* specs
+/// into one batch and uses the [`deduping`](GoalBatch::deduping) variant:
+/// structurally identical sequents (hash-consed formulas make the comparison
+/// cheap) collapse onto one batch slot, so a proof obligation shared across
+/// specs is dispatched to the prover exactly once.
 #[derive(Debug, Default)]
-struct GoalBatch {
-    seqs: Vec<Sequent>,
-    purposes: Vec<String>,
+pub(crate) struct GoalBatch {
+    pub(crate) seqs: Vec<Sequent>,
+    pub(crate) purposes: Vec<String>,
+    /// `Some` in deduping mode: sequent → index of its first occurrence.
+    index: Option<std::collections::HashMap<Sequent, usize>>,
+    /// Goals collapsed onto an earlier identical one (deduping mode only).
+    pub(crate) dedup_hits: usize,
 }
 
 impl GoalBatch {
+    /// A batch that collapses structurally identical sequents onto one slot.
+    pub(crate) fn deduping() -> GoalBatch {
+        GoalBatch {
+            index: Some(std::collections::HashMap::new()),
+            ..GoalBatch::default()
+        }
+    }
+
     /// Record a goal; returns its index into the batch (and into the proof
-    /// vector the batched prover call produces).
-    fn push(&mut self, seq: Sequent, purpose: String) -> usize {
+    /// vector the batched prover call produces).  In deduping mode an
+    /// already-recorded sequent returns the index of its first occurrence.
+    pub(crate) fn push(&mut self, seq: Sequent, purpose: String) -> usize {
+        if let Some(index) = &mut self.index {
+            if let Some(&i) = index.get(&seq) {
+                self.dedup_hits += 1;
+                return i;
+            }
+            index.insert(seq.clone(), self.seqs.len());
+        }
         self.seqs.push(seq);
         self.purposes.push(purpose);
         self.seqs.len() - 1
@@ -542,7 +577,7 @@ impl GoalBatch {
 /// one batched prover call resolves every goal, [`assemble_collect`] replays
 /// the recursion bottom-up over the proofs.
 #[derive(Debug)]
-enum CollectPlan {
+pub(crate) enum CollectPlan {
     Unit,
     Ur,
     Prod(Box<CollectPlan>, Box<CollectPlan>),
@@ -559,7 +594,7 @@ enum CollectPlan {
     },
 }
 
-fn record_stats(
+pub(crate) fn record_stats(
     purpose: &str,
     proof_size: usize,
     stats: &nrs_prover::ProverStats,
@@ -589,7 +624,7 @@ fn record_stats(
 /// Prove every goal of `batch` — through one [`ProverSession::prove_batch`]
 /// dispatch in the shared mode, or goal-by-goal with cold provers in the
 /// oracle mode — and unwrap the proofs in batch order.
-fn prove_goal_batch(
+pub(crate) fn prove_goal_batch(
     batch: &GoalBatch,
     session: &ProverSession,
     cfg: &SynthesisConfig,
@@ -623,7 +658,7 @@ fn prove_goal_batch(
     Ok(proofs)
 }
 
-fn prove_goal(
+pub(crate) fn prove_goal(
     seq: &Sequent,
     session: &ProverSession,
     cfg: &SynthesisConfig,
@@ -830,7 +865,7 @@ fn synth_output(
 /// batch instead of proving it.  Returns the plan tree that
 /// [`assemble_collect`] later replays over the batch's proofs.
 #[allow(clippy::too_many_arguments)]
-fn plan_collect(
+pub(crate) fn plan_collect(
     ctx: &Ctx,
     ctx_atoms: &[MemAtom],
     subject: &Term,
@@ -926,7 +961,7 @@ fn plan_collect(
 /// The assembly phase of the batched Theorem 10 recursion: replay the plan
 /// bottom-up, running the Lemma 9 extraction over each set-case proof and
 /// instantiating the common parameter with the member superset.
-fn assemble_collect(
+pub(crate) fn assemble_collect(
     ctx: &Ctx,
     plan: &CollectPlan,
     proofs: &[nrs_proof::Proof],
@@ -984,7 +1019,7 @@ fn collect_aux(
     out
 }
 
-fn merge_report(into: &mut SynthesisReport, from: SynthesisReport) {
+pub(crate) fn merge_report(into: &mut SynthesisReport, from: SynthesisReport) {
     into.goals_proved += from.goals_proved;
     into.states_visited += from.states_visited;
     into.proof_sizes.extend(from.proof_sizes);

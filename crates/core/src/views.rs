@@ -104,6 +104,9 @@ impl RewritingProblem {
     /// each edit keeps one session per configuration: unchanged goals replay
     /// from the session's goal-outcome cache, and changed ones still reuse
     /// its failure memo, specialization cache and rewrite-candidate cache.
+    ///
+    /// [`Synthesizer::derive_rewriting`](crate::Synthesizer::derive_rewriting)
+    /// wraps this behind a facade that owns the session for you.
     pub fn derive_rewriting_with(
         &self,
         cfg: &SynthesisConfig,

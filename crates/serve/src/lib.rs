@@ -75,8 +75,9 @@
 use nrs_ivm::fault;
 use nrs_proof::ProofError;
 use nrs_synthesis::{
-    CoverageReport, DegradedOperator, DeltaSet, IvmError, MaintStats, MaintainedRewriting,
-    RewritingResult, SynthesisError, UpdateBatch,
+    AnswerDeltas, CoverageReport, DegradedOperator, DeltaSet, IvmError, MaintStats,
+    MaintainedRewriting, MaintainedWorkload, RewritingCoverage, RewritingResult, SynthesisError,
+    UpdateBatch, WorkloadCoverage, WorkloadRewriting,
 };
 use nrs_value::{Instance, Name, Schema, Value};
 use std::collections::VecDeque;
@@ -309,23 +310,39 @@ impl Default for ServerConfig {
 }
 
 /// One published epoch: an immutable, internally consistent view of the
-/// pipeline (base, views and answer all post the same batch).  Cheap to
-/// clone and hold — the values underneath are persistent and shared.
+/// pipeline (base, views and every query answer all post the same batch).
+/// Cheap to clone and hold — the values underneath are persistent and
+/// shared.
+///
+/// A single-query server publishes one named answer; a workload server
+/// ([`ViewServer::serve_workload`]) publishes one answer per query, all
+/// from the same epoch.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     /// Publication counter: epoch `n+1` is epoch `n` plus exactly one
     /// successfully applied (coalesced) batch.
     pub epoch: u64,
-    answer: Value,
+    answers: Vec<(Name, Value)>,
     views: Instance,
     base: Instance,
     degraded: Vec<DegradedOperator>,
 }
 
 impl Snapshot {
-    /// The maintained query answer at this epoch.
+    /// The maintained answer of the first (or only) query at this epoch.
     pub fn answer(&self) -> &Value {
-        &self.answer
+        &self.answers[0].1
+    }
+
+    /// The maintained answer of one named query at this epoch.
+    pub fn answer_named(&self, name: &Name) -> Option<&Value> {
+        self.answers.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Every `(query, answer)` pair of this epoch, in workload order (a
+    /// single-query server has exactly one entry).
+    pub fn answers(&self) -> &[(Name, Value)] {
+        &self.answers
     }
 
     /// One view's materialization at this epoch.
@@ -356,8 +373,12 @@ impl Snapshot {
 pub struct FlushReport {
     /// The snapshot published for this batch.
     pub snapshot: Arc<Snapshot>,
-    /// Exact delta of the answer (empty when the batch didn't reach it).
+    /// Exact delta of the first (or only) query's answer (empty when the
+    /// batch didn't reach it).
     pub answer_delta: DeltaSet,
+    /// Exact per-query answer deltas, in workload order (a single-query
+    /// server reports one entry; an empty flush reports none).
+    pub answer_deltas: Vec<(Name, DeltaSet)>,
     /// Operators degraded to recompute-on-dirty while applying this batch.
     pub degraded: Vec<DegradedOperator>,
     /// Queued batches coalesced into this flush (0 for an empty flush).
@@ -379,9 +400,150 @@ pub struct FlushReport {
     pub dropped_batches: u64,
 }
 
+/// The maintenance engine behind a server: one rewriting, or a whole
+/// workload with a shared view set.  Every pipeline call site goes through
+/// this enum, so the flush path is identical for both shapes.
+enum Engine {
+    Single {
+        maintained: Box<MaintainedRewriting>,
+        query: Name,
+    },
+    Workload(MaintainedWorkload),
+}
+
+/// A pre-batch state capture, sufficient to [`Engine::restore`] after a
+/// failed publication.
+struct EngineBackup {
+    base: Instance,
+    views: Instance,
+    /// Workload engines additionally need the views + shared instance the
+    /// answers are maintained over.
+    aug: Option<Instance>,
+}
+
+impl Engine {
+    fn set_workers(&mut self, workers: usize) {
+        match self {
+            Engine::Single { maintained, .. } => maintained.set_workers(workers),
+            Engine::Workload(w) => w.set_workers(workers),
+        }
+    }
+
+    fn maint_stats(&self) -> MaintStats {
+        match self {
+            Engine::Single { maintained, .. } => maintained.maint_stats(),
+            Engine::Workload(w) => w.maint_stats(),
+        }
+    }
+
+    /// Self-healing transactional apply, normalized to per-query deltas.
+    fn apply_resilient(
+        &mut self,
+        batch: &UpdateBatch,
+    ) -> Result<(AnswerDeltas, Vec<DegradedOperator>), SynthesisError> {
+        match self {
+            Engine::Single { maintained, query } => {
+                let (delta, degraded) = maintained.apply_resilient(batch)?;
+                Ok((vec![(*query, delta)], degraded))
+            }
+            Engine::Workload(w) => w.apply_resilient(batch),
+        }
+    }
+
+    fn backup(&self) -> EngineBackup {
+        match self {
+            Engine::Single { maintained, .. } => EngineBackup {
+                base: maintained.base().clone(),
+                views: maintained.view_instance().clone(),
+                aug: None,
+            },
+            Engine::Workload(w) => EngineBackup {
+                base: w.base().clone(),
+                views: w.view_instance().clone(),
+                aug: Some(w.answer_instance().clone()),
+            },
+        }
+    }
+
+    fn restore(&mut self, backup: &EngineBackup) -> Result<(), SynthesisError> {
+        match self {
+            Engine::Single { maintained, .. } => maintained.restore(&backup.base, &backup.views),
+            Engine::Workload(w) => w.restore(
+                &backup.base,
+                &backup.views,
+                backup.aug.as_ref().unwrap_or(&backup.views),
+            ),
+        }
+    }
+
+    fn base(&self) -> &Instance {
+        match self {
+            Engine::Single { maintained, .. } => maintained.base(),
+            Engine::Workload(w) => w.base(),
+        }
+    }
+
+    /// The instance snapshots expose as "views": the view materializations
+    /// for a single rewriting, views **plus shared fragments** for a
+    /// workload.
+    fn published_views(&self) -> &Instance {
+        match self {
+            Engine::Single { maintained, .. } => maintained.view_instance(),
+            Engine::Workload(w) => w.answer_instance(),
+        }
+    }
+
+    fn answers(&self) -> Vec<(Name, Value)> {
+        match self {
+            Engine::Single { maintained, query } => vec![(*query, maintained.answer().clone())],
+            Engine::Workload(w) => w
+                .answers()
+                .into_iter()
+                .map(|(n, v)| (n, v.clone()))
+                .collect(),
+        }
+    }
+
+    fn degraded_operators(&self) -> Vec<DegradedOperator> {
+        match self {
+            Engine::Single { maintained, .. } => maintained.degraded_operators(),
+            Engine::Workload(w) => w.degraded_operators(),
+        }
+    }
+
+    /// Coverage in the single-rewriting shape (the workload's shared
+    /// fragments are folded into the view list; its first answer stands for
+    /// `answer`).  [`Engine::workload_coverage`] has the full per-query
+    /// picture.
+    fn coverage(&self) -> RewritingCoverage {
+        match self {
+            Engine::Single { maintained, .. } => maintained.coverage(),
+            Engine::Workload(w) => {
+                let wc = w.coverage();
+                let mut views = wc.views;
+                views.extend(wc.shared);
+                let answer = wc
+                    .answers
+                    .into_iter()
+                    .next()
+                    .map(|(_, c)| c)
+                    .expect("a workload has at least one query");
+                RewritingCoverage { views, answer }
+            }
+        }
+    }
+
+    fn workload_coverage(&self) -> Option<WorkloadCoverage> {
+        match self {
+            Engine::Single { .. } => None,
+            Engine::Workload(w) => Some(w.coverage()),
+        }
+    }
+}
+
 /// The writer-side state: the live engine plus the epoch counter.
 struct ServerState {
-    maintained: MaintainedRewriting,
+    maintained: Engine,
     epoch: u64,
 }
 
@@ -524,23 +686,150 @@ pub struct ViewServer {
     last_drop: Mutex<Option<NrsError>>,
 }
 
+/// Fluent construction of a [`ViewServer`]: one path owns what used to be
+/// spread across hand-built [`ServerConfig`]s, [`ViewServer::new`] /
+/// [`ViewServer::with_config`] and a separate [`ViewServer::start`] call.
+///
+/// ```no_run
+/// # use nrs_serve::ViewServer;
+/// # fn demo(result: &nrs_synthesis::RewritingResult, base: &nrs_value::Instance) {
+/// let (server, writer) = ViewServer::builder()
+///     .workers(2)
+///     .max_batch(64)
+///     .spawn(result, base)
+///     .unwrap();
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ViewServerBuilder {
+    config: ServerConfig,
+}
+
+impl ViewServerBuilder {
+    /// Start from an explicit [`ServerConfig`] instead of the defaults.
+    pub fn config(mut self, config: ServerConfig) -> ViewServerBuilder {
+        self.config = config;
+        self
+    }
+
+    /// See [`ServerConfig::queue_capacity`].
+    pub fn queue_capacity(mut self, capacity: usize) -> ViewServerBuilder {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// See [`ServerConfig::max_batch`].
+    pub fn max_batch(mut self, max_batch: usize) -> ViewServerBuilder {
+        self.config.max_batch = max_batch;
+        self
+    }
+
+    /// See [`ServerConfig::batch_window`].
+    pub fn batch_window(mut self, window: Duration) -> ViewServerBuilder {
+        self.config.batch_window = window;
+        self
+    }
+
+    /// See [`ServerConfig::workers`].
+    pub fn workers(mut self, workers: usize) -> ViewServerBuilder {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Materialize a single rewriting over `base` and publish epoch 0.
+    pub fn serve(self, result: &RewritingResult, base: &Instance) -> Result<ViewServer, NrsError> {
+        nrs_obs::init_from_env();
+        let schema = result.problem.base_schema()?;
+        let query = result.problem.query.name;
+        let maintained = Box::new(MaintainedRewriting::new(result, base)?);
+        ViewServer::from_engine(Engine::Single { maintained, query }, schema, self.config)
+    }
+
+    /// Materialize a whole multi-query workload over `base` — every shared
+    /// view maintained once per flush, one epoch covering every named
+    /// answer — and publish epoch 0.
+    pub fn serve_workload(
+        self,
+        rewriting: &WorkloadRewriting,
+        base: &Instance,
+    ) -> Result<ViewServer, NrsError> {
+        nrs_obs::init_from_env();
+        if rewriting.queries().is_empty() {
+            return Err(NrsError::Internal(
+                "cannot serve an empty workload (no queries)".into(),
+            ));
+        }
+        let schema = rewriting.problem.base_schema()?;
+        let maintained = MaintainedWorkload::new(rewriting, base)?;
+        ViewServer::from_engine(Engine::Workload(maintained), schema, self.config)
+    }
+
+    /// [`serve`](Self::serve) plus [`ViewServer::start`]: returns the
+    /// server and its running writer thread in one call.
+    pub fn spawn(
+        self,
+        result: &RewritingResult,
+        base: &Instance,
+    ) -> Result<(Arc<ViewServer>, WriterHandle), NrsError> {
+        let server = Arc::new(self.serve(result, base)?);
+        let writer = server.start();
+        Ok((server, writer))
+    }
+
+    /// [`serve_workload`](Self::serve_workload) plus [`ViewServer::start`].
+    pub fn spawn_workload(
+        self,
+        rewriting: &WorkloadRewriting,
+        base: &Instance,
+    ) -> Result<(Arc<ViewServer>, WriterHandle), NrsError> {
+        let server = Arc::new(self.serve_workload(rewriting, base)?);
+        let writer = server.start();
+        Ok((server, writer))
+    }
+}
+
 impl ViewServer {
+    /// Fluent construction: configuration knobs, then
+    /// [`serve`](ViewServerBuilder::serve) /
+    /// [`serve_workload`](ViewServerBuilder::serve_workload) (or the
+    /// `spawn` variants to also start the writer thread).
+    pub fn builder() -> ViewServerBuilder {
+        ViewServerBuilder::default()
+    }
+
     /// Materialize `result` over `base` and publish epoch 0, with the
-    /// default [`ServerConfig`].
+    /// default [`ServerConfig`].  Delegates to [`ViewServer::builder`].
     pub fn new(result: &RewritingResult, base: &Instance) -> Result<ViewServer, NrsError> {
-        Self::with_config(result, base, ServerConfig::default())
+        Self::builder().serve(result, base)
     }
 
     /// Materialize `result` over `base` and publish epoch 0, with explicit
-    /// pipeline knobs.
+    /// pipeline knobs.  Delegates to [`ViewServer::builder`].
     pub fn with_config(
         result: &RewritingResult,
         base: &Instance,
         config: ServerConfig,
     ) -> Result<ViewServer, NrsError> {
-        nrs_obs::init_from_env();
-        let schema = result.problem.base_schema()?;
-        let mut maintained = MaintainedRewriting::new(result, base)?;
+        Self::builder().config(config).serve(result, base)
+    }
+
+    /// Serve a multi-query workload with the default [`ServerConfig`]: one
+    /// epoch per flush covering every named answer, each shared view
+    /// maintained exactly once per batch.  Delegates to
+    /// [`ViewServer::builder`].
+    pub fn serve_workload(
+        rewriting: &WorkloadRewriting,
+        base: &Instance,
+    ) -> Result<ViewServer, NrsError> {
+        Self::builder().serve_workload(rewriting, base)
+    }
+
+    /// Shared tail of every construction path.
+    fn from_engine(
+        mut maintained: Engine,
+        schema: Schema,
+        config: ServerConfig,
+    ) -> Result<ViewServer, NrsError> {
         maintained.set_workers(config.workers);
         let snapshot = Arc::new(Self::capture(&maintained, 0));
         Ok(ViewServer {
@@ -808,6 +1097,7 @@ impl ViewServer {
             return Ok(FlushReport {
                 snapshot: self.snapshot(),
                 answer_delta: DeltaSet::new(),
+                answer_deltas: Vec::new(),
                 degraded: Vec::new(),
                 batches: 0,
                 updates: 0,
@@ -843,12 +1133,11 @@ impl ViewServer {
         drop(coalesce_span);
         // capture the pre-batch state: propagation can roll itself back, but
         // a publish-site failure below must unwind manually
-        let base_before = st.maintained.base().clone();
-        let views_before = st.maintained.view_instance().clone();
+        let backup = st.maintained.backup();
         let maint_before = st.maintained.maint_stats();
         let mut maintain_span = nrs_obs::span("serve.maintain");
         let maintain_start = Instant::now();
-        let (answer_delta, degraded) = match st.maintained.apply_resilient(&combined) {
+        let (answer_deltas, degraded) = match st.maintained.apply_resilient(&combined) {
             Ok(out) => out,
             Err(e) => {
                 let e = NrsError::from(e);
@@ -870,11 +1159,9 @@ impl ViewServer {
         let mut publish_span = nrs_obs::span("serve.publish");
         let publish_start = Instant::now();
         if let Err(e) = fault::hit("serve.publish") {
-            st.maintained
-                .restore(&base_before, &views_before)
-                .map_err(|r| {
-                    NrsError::Internal(format!("rollback after failed publish failed: {r}"))
-                })?;
+            st.maintained.restore(&backup).map_err(|r| {
+                NrsError::Internal(format!("rollback after failed publish failed: {r}"))
+            })?;
             self.requeue(drained);
             return Err(e.into());
         }
@@ -887,7 +1174,11 @@ impl ViewServer {
         drop(publish_span);
         Ok(FlushReport {
             snapshot,
-            answer_delta,
+            answer_delta: answer_deltas
+                .first()
+                .map(|(_, d)| d.clone())
+                .unwrap_or_else(DeltaSet::new),
+            answer_deltas,
             degraded,
             batches: drained.len(),
             updates: combined.len(),
@@ -905,13 +1196,26 @@ impl ViewServer {
     }
 
     /// Per-stage maintenance coverage of the live engine, including
-    /// operators degraded by self-healing (ROADMAP item 5).
+    /// operators degraded by self-healing (ROADMAP item 5).  A workload
+    /// server folds its shared fragments into the view list and reports its
+    /// first answer; [`workload_coverage`][ViewServer::workload_coverage]
+    /// has the full per-query picture.
     pub fn coverage(&self) -> nrs_synthesis::RewritingCoverage {
         self.state
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .maintained
             .coverage()
+    }
+
+    /// Full per-query coverage of a workload server (views, shared
+    /// fragments, every answer); `None` for a single-query server.
+    pub fn workload_coverage(&self) -> Option<WorkloadCoverage> {
+        self.state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .maintained
+            .workload_coverage()
     }
 
     /// Coverage of the answer query alone.
@@ -937,10 +1241,32 @@ impl ViewServer {
             .maint_stats()
     }
 
-    /// Naive end-to-end oracle check of the *live* engine state.
+    /// Naive end-to-end oracle check of the *live* engine state (single-
+    /// query servers; use
+    /// [`cross_check_workload`][ViewServer::cross_check_workload] for a
+    /// workload server).
     pub fn cross_check(&self, result: &RewritingResult) -> Result<bool, NrsError> {
         let st = self.state.lock().unwrap_or_else(|p| p.into_inner());
-        Ok(st.maintained.cross_check(result)?)
+        match &st.maintained {
+            Engine::Single { maintained, .. } => Ok(maintained.cross_check(result)?),
+            Engine::Workload(_) => Err(NrsError::Internal(
+                "cross_check on a workload server: use cross_check_workload".into(),
+            )),
+        }
+    }
+
+    /// Naive end-to-end oracle check of a workload server's live state:
+    /// every view, shared fragment and named answer compared against
+    /// from-scratch evaluation (and each answer against its unrewritten
+    /// query on the base).
+    pub fn cross_check_workload(&self, rewriting: &WorkloadRewriting) -> Result<bool, NrsError> {
+        let st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        match &st.maintained {
+            Engine::Workload(w) => Ok(w.cross_check(rewriting)?),
+            Engine::Single { .. } => Err(NrsError::Internal(
+                "cross_check_workload on a single-query server: use cross_check".into(),
+            )),
+        }
     }
 
     /// Acquire the writer lock, running the lock-site fault hook (a fault
@@ -1023,11 +1349,11 @@ impl ViewServer {
 
     /// An immutable snapshot of the engine at `epoch` (cheap: the values are
     /// persistent, so the clones are pointer-deep).
-    fn capture(maintained: &MaintainedRewriting, epoch: u64) -> Snapshot {
+    fn capture(maintained: &Engine, epoch: u64) -> Snapshot {
         Snapshot {
             epoch,
-            answer: maintained.answer().clone(),
-            views: maintained.view_instance().clone(),
+            answers: maintained.answers(),
+            views: maintained.published_views().clone(),
             base: maintained.base().clone(),
             degraded: maintained.degraded_operators(),
         }
@@ -1453,6 +1779,113 @@ mod tests {
         ] {
             assert!(text.contains(family), "missing {family:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn workload_server_publishes_named_answers_in_one_epoch() {
+        let problem = nrs_synthesis::overlapping_workload_problem(4);
+        let rewriting = problem
+            .derive_workload(&SynthesisConfig::default())
+            .expect("workload rewriting exists");
+        let base = partition_instance(20, 13);
+        let server = ViewServer::serve_workload(&rewriting, &base).expect("server");
+        let snap = server.snapshot();
+        assert_eq!(snap.epoch, 0);
+        assert_eq!(snap.answers().len(), 4, "one named answer per query");
+        // Q0 and Q3 are the same query: identical answers from the shared view
+        assert_eq!(
+            snap.answer_named(&Name::new("Q0")),
+            snap.answer_named(&Name::new("Q3"))
+        );
+        assert!(snap.answer_named(&Name::new("Nope")).is_none());
+        // one batch updates every answer at the same epoch
+        let mut batch = UpdateBatch::new();
+        batch.insert("S", Value::atom(8888));
+        batch.insert("F", Value::atom(8888));
+        let report = server.apply(&batch).expect("apply");
+        assert_eq!(report.snapshot.epoch, 1);
+        assert_eq!(report.answer_deltas.len(), 4);
+        // Q0 (all of S) and Q1 (S ∩ F) both gained the new member
+        for q in ["Q0", "Q1", "Q3"] {
+            let (_, delta) = report
+                .answer_deltas
+                .iter()
+                .find(|(n, _)| n == &Name::new(q))
+                .expect("delta present");
+            assert!(
+                delta.inserts.contains(&Value::atom(8888)),
+                "{q} delta: {delta:?}"
+            );
+        }
+        assert_eq!(report.answer_delta, report.answer_deltas[0].1);
+        assert!(server.cross_check_workload(&rewriting).expect("oracle"));
+        // coverage is reported per query, with the shared fragments visible
+        let wc = server.workload_coverage().expect("workload server");
+        assert_eq!(wc.answers.len(), 4);
+        assert!(!wc.shared.is_empty(), "the fixture shares a fragment");
+        assert!(wc.fully_incremental());
+        // the single-query cross_check refuses a workload server
+        let err = server
+            .cross_check(
+                &partition_problem()
+                    .derive_rewriting(&SynthesisConfig::default())
+                    .unwrap(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, NrsError::Internal(_)), "got {err}");
+    }
+
+    #[test]
+    fn workload_server_with_writer_thread_converges() {
+        let problem = nrs_synthesis::overlapping_workload_problem(2);
+        let rewriting = problem
+            .derive_workload(&SynthesisConfig::default())
+            .expect("workload rewriting exists");
+        let base = partition_instance(16, 21);
+        let (server, writer) = ViewServer::builder()
+            .batch_window(Duration::from_millis(1))
+            .spawn_workload(&rewriting, &base)
+            .expect("spawn");
+        for i in 0..12u64 {
+            let mut b = UpdateBatch::new();
+            b.insert("S", Value::atom(30_000 + i));
+            server.submit(&b).expect("submit");
+        }
+        let stats = writer.stop();
+        assert_eq!(stats.batches, 12);
+        assert_eq!(server.pending_len(), 0);
+        assert!(server.cross_check_workload(&rewriting).expect("oracle"));
+        let snap = server.snapshot();
+        for (name, _) in rewriting.queries() {
+            assert!(snap.answer_named(name).is_some(), "answer {name} published");
+        }
+    }
+
+    #[test]
+    fn builder_path_matches_legacy_constructors() {
+        let (result, base) = setup(14, 2);
+        let legacy = ViewServer::with_config(
+            &result,
+            &base,
+            ServerConfig {
+                workers: 2,
+                max_batch: 8,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("legacy");
+        let fluent = ViewServer::builder()
+            .workers(2)
+            .max_batch(8)
+            .serve(&result, &base)
+            .expect("fluent");
+        assert_eq!(legacy.config().workers, fluent.config().workers);
+        assert_eq!(legacy.config().max_batch, fluent.config().max_batch);
+        assert_eq!(legacy.snapshot().answer(), fluent.snapshot().answer());
+        assert_eq!(
+            legacy.snapshot().answers().len(),
+            fluent.snapshot().answers().len()
+        );
     }
 
     #[test]

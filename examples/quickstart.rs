@@ -11,8 +11,8 @@
 
 use nested_synth::delta0::macros as d0;
 use nested_synth::delta0::{Formula, Term};
-use nested_synth::synthesis::{synthesize, ImplicitSpec, SynthesisConfig};
-use nested_synth::value::{Instance, Name, NameGen, Type, Value};
+use nested_synth::value::NameGen;
+use nested_synth::{ImplicitSpec, Instance, Name, SynthesisConfig, Synthesizer, Type, Value};
 
 fn main() {
     // 1. Build the Δ0 specification φ(V1, V2, F, S).
@@ -55,12 +55,11 @@ fn main() {
     };
     println!("specification φ:\n  {}\n", spec.formula);
 
-    // 2. Synthesize (this also finds the proof witnesses it needs).
-    let cfg = SynthesisConfig {
-        check_determinacy: true,
-        ..Default::default()
-    };
-    let def = synthesize(&spec, &cfg).expect("the views determine S");
+    // 2. Synthesize (this also finds the proof witnesses it needs).  The
+    //    `Synthesizer` facade owns the prover session and the config — reuse
+    //    it across specs and the proof caches stay warm.
+    let synth = Synthesizer::with_config(SynthesisConfig::default()).check_determinacy(true);
+    let def = synth.synthesize(&spec).expect("the views determine S");
     println!(
         "synthesized definition of S over {{V1, V2}}:\n  {}\n",
         def.expr()

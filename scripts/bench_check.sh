@@ -22,7 +22,7 @@
 # resolved against *both* summaries; if anything is missing, the check fails
 # with one line per missing (bench, file) pair instead of a bare parse error.
 #
-# Defaults: reference = BENCH_pr9.json, bench = from_views/100, factor = 2.0,
+# Defaults: reference = BENCH_pr10.json, bench = from_views/100, factor = 2.0,
 # calib = recompute_from_base/100.  Summaries are the one-bench-per-line JSON
 # emitted by scripts/bench.sh.
 
@@ -30,7 +30,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fresh="${1:?usage: scripts/bench_check.sh <fresh.json> [reference.json] [bench[,bench…]] [factor] [calib]}"
-reference="${2:-BENCH_pr9.json}"
+reference="${2:-BENCH_pr10.json}"
 benches="${3:-from_views/100}"
 factor="${4:-2.0}"
 calib="${5:-recompute_from_base/100}"

@@ -18,3 +18,19 @@ pub use nrs_prover as prover;
 pub use nrs_serve as serve;
 pub use nrs_synthesis as synthesis;
 pub use nrs_value as value;
+
+// The one-`use` surface: the types a consumer needs to go from an implicit
+// specification (or a whole workload of them) to a served, incrementally
+// maintained answer.  `use nested_synth::{Synthesizer, Workload, ViewServer,
+// UpdateBatch, NrsError};` covers the pipeline end to end — see
+// `examples/quickstart.rs` and `examples/workload_views.rs`.
+pub use nrs_ivm::{DeltaSet, UpdateBatch};
+pub use nrs_serve::{
+    NrsError, ServerConfig, Snapshot, ViewServer, ViewServerBuilder, WriterHandle,
+};
+pub use nrs_synthesis::{
+    synthesize, synthesize_workload, ImplicitSpec, MaintainedRewriting, MaintainedWorkload,
+    RewritingProblem, RewritingResult, SynthesisConfig, SynthesizedDefinition, Synthesizer,
+    Workload, WorkloadProblem, WorkloadRewriting, WorkloadSynthesis,
+};
+pub use nrs_value::{Instance, Name, Type, Value};
